@@ -1,0 +1,47 @@
+// Ablation C: approximate computing via deliberate over-scaling.
+//
+// Paper Sec. IV-A (last paragraph): the data-dependent delay spread "could
+// be further leveraged by approximate computing techniques, ... using
+// shorter clock periods ... while actually allowing a violation of the
+// timing requirements of certain paths", producing approximate results
+// (e.g. multiplier outputs). This bench compresses every LUT period by a
+// scale factor and reports the resulting speedup / timing-violation-rate
+// trade-off curve.
+#include <cstdio>
+
+#include "asm/assembler.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/dca_engine.hpp"
+
+int main() {
+    using namespace focs;
+    bench::print_header("Ablation - approximate computing (deliberate over-scaling)",
+                        "Extension sketched in Constantin et al., DATE'15 Sec. IV-A");
+
+    const timing::DesignConfig design;
+    const auto characterization = bench::characterize(design);
+    core::DcaEngine engine(design);
+    const auto program =
+        assembler::assemble(workloads::find_kernel("fir").source);  // multiplier heavy
+
+    TextTable table({"LUT scale", "Eff. clock [MHz]", "Speedup", "Violating cycles [%]",
+                     "Worst shortfall [ps]"});
+    for (const double scale : {1.0, 0.98, 0.96, 0.94, 0.92, 0.90, 0.85, 0.80}) {
+        core::ApproximateLutPolicy policy(characterization.table, scale);
+        const auto result = engine.run(program, policy);
+        table.add_row({TextTable::num(scale, 2), TextTable::num(result.eff_freq_mhz, 1),
+                       TextTable::num(result.speedup_vs_static, 3),
+                       TextTable::num(100.0 * static_cast<double>(result.timing_violations) /
+                                          static_cast<double>(result.cycles),
+                                      2),
+                       TextTable::num(result.worst_violation_ps, 1)});
+    }
+    std::printf("\n%s\n", table.to_string().c_str());
+    std::printf("Expected shape: scale 1.00 is exact (0 violations); shrinking the period\n"
+                "buys frequency roughly linearly while violations grow from zero through a\n"
+                "soft knee - the slack distribution's tail. Violating cycles would produce\n"
+                "approximate results (paper: e.g. multiplication outputs), so the curve is\n"
+                "the error/performance trade-off an approximate system would navigate.\n\n");
+    return 0;
+}

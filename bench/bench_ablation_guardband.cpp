@@ -1,0 +1,79 @@
+// Ablation D: PVT drift and online LUT updating.
+//
+// Paper conclusion: the approach "could be effective in accounting for
+// other static and dynamic timing variations, for example due to process,
+// temperature and voltage fluctuations, by (online-)updating of the used
+// delay prediction table". This bench drops the supply below the 0.70 V
+// characterization point (all paths slow down) and compares three
+// mitigations: doing nothing (violations appear), adding a fixed safety
+// margin, and rescaling the LUT by the cell library's delay ratio (the
+// online update the paper suggests).
+#include <cstdio>
+
+#include "asm/assembler.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/dca_engine.hpp"
+#include "timing/cell_library.hpp"
+
+int main() {
+    using namespace focs;
+    bench::print_header("Ablation - PVT drift, safety margins and online LUT updates",
+                        "Extension sketched in Constantin et al., DATE'15 Sec. V");
+
+    const timing::DesignConfig nominal;  // characterize at 0.70 V
+    const auto characterization = bench::characterize(nominal);
+    const auto program = assembler::assemble(workloads::find_kernel("coremark_mini").source);
+    const auto& library = timing::CellLibrary::fdsoi28();
+
+    TextTable table({"Operating V", "Mitigation", "Eff. clock [MHz]", "Speedup",
+                     "Violating cycles [%]"});
+    for (const double voltage : {0.70, 0.69, 0.68, 0.66}) {
+        timing::DesignConfig op = nominal;
+        op.voltage_v = voltage;
+        core::DcaEngine engine(op);
+        const double drift = library.delay_scale(voltage) / library.delay_scale(0.70);
+
+        // (a) stale 0.70 V LUT, no mitigation.
+        {
+            core::InstructionLutPolicy policy(characterization.table);
+            const auto r = engine.run(program, policy);
+            table.add_row({TextTable::num(voltage, 2), "stale LUT",
+                           TextTable::num(r.eff_freq_mhz, 1),
+                           TextTable::num(r.speedup_vs_static, 3),
+                           TextTable::num(100.0 * static_cast<double>(r.timing_violations) /
+                                              static_cast<double>(r.cycles),
+                                          2)});
+        }
+        // (b) stale LUT plus a fixed 150 ps guard margin.
+        {
+            core::InstructionLutPolicy policy(characterization.table, 150.0);
+            const auto r = engine.run(program, policy);
+            table.add_row({TextTable::num(voltage, 2), "stale LUT + 150 ps margin",
+                           TextTable::num(r.eff_freq_mhz, 1),
+                           TextTable::num(r.speedup_vs_static, 3),
+                           TextTable::num(100.0 * static_cast<double>(r.timing_violations) /
+                                              static_cast<double>(r.cycles),
+                                          2)});
+        }
+        // (c) online update: LUT rescaled by the library delay ratio.
+        {
+            const dta::DelayTable updated = characterization.table.scaled(drift);
+            core::InstructionLutPolicy policy(updated);
+            const auto r = engine.run(program, policy);
+            table.add_row({TextTable::num(voltage, 2), "online-updated LUT",
+                           TextTable::num(r.eff_freq_mhz, 1),
+                           TextTable::num(r.speedup_vs_static, 3),
+                           TextTable::num(100.0 * static_cast<double>(r.timing_violations) /
+                                              static_cast<double>(r.cycles),
+                                          2)});
+        }
+    }
+    std::printf("\n%s\n", table.to_string().c_str());
+    std::printf("Expected shape: at 0.70 V everything is safe; as the supply drifts down a\n"
+                "stale LUT starts violating; a fixed margin buys a few tens of mV at a\n"
+                "speed cost; the online-updated LUT stays violation-free at every point\n"
+                "while keeping the full relative speedup (speedup is voltage-invariant\n"
+                "because all paths scale together).\n\n");
+    return 0;
+}

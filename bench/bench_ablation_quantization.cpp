@@ -1,0 +1,56 @@
+// Ablation B: clock-generator granularity.
+//
+// The paper assumes a cycle-by-cycle tunable clock generator (ring
+// oscillator with muxed taps [9][10] or a multi-PLL unit [11]) and notes
+// its design "requires special care". This ablation quantifies how much of
+// the DCA gain survives coarser generators: tap-count sweep for the
+// ring-oscillator model, and dwell-time sweep for the PLL-bank model.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "clock/clock_generator.hpp"
+#include "common/table.hpp"
+
+int main() {
+    using namespace focs;
+    bench::print_header("Ablation - clock generator granularity",
+                        "CG realizability study around Constantin et al., DATE'15 Sec. II-A");
+
+    const timing::DesignConfig design;
+    const auto characterization = bench::characterize(design);
+    const core::EvaluationFlow flow(design, characterization.table);
+    const auto suite = workloads::assemble_suite(workloads::benchmark_suite());
+    const double static_ps = flow.static_period_ps();
+
+    TextTable table({"Clock generator", "Avg eff. clock [MHz]", "Avg speedup", "Violations"});
+    {
+        const auto ideal = flow.run_suite(suite, core::PolicyKind::kInstructionLut);
+        table.add_row({"ideal (continuous)", TextTable::num(ideal.mean_eff_freq_mhz, 1),
+                       TextTable::num(ideal.mean_speedup, 3),
+                       std::to_string(ideal.total_violations)});
+    }
+    for (const int taps : {128, 32, 16, 8, 4, 2, 1}) {
+        clocking::QuantizedClockGenerator cg =
+            clocking::QuantizedClockGenerator::for_static_period(static_ps, taps);
+        const auto result = flow.run_suite(suite, core::PolicyKind::kInstructionLut, &cg);
+        table.add_row({cg.name(), TextTable::num(result.mean_eff_freq_mhz, 1),
+                       TextTable::num(result.mean_speedup, 3),
+                       std::to_string(result.total_violations)});
+    }
+    for (const int dwell : {0, 4, 16, 64}) {
+        clocking::PllBankClockGenerator cg(
+            {0.62 * static_ps, 0.72 * static_ps, 0.85 * static_ps, static_ps}, dwell);
+        const auto result = flow.run_suite(suite, core::PolicyKind::kInstructionLut, &cg);
+        char name[64];
+        std::snprintf(name, sizeof name, "pll-bank/4, dwell %d", dwell);
+        table.add_row({name, TextTable::num(result.mean_eff_freq_mhz, 1),
+                       TextTable::num(result.mean_speedup, 3),
+                       std::to_string(result.total_violations)});
+    }
+    std::printf("\n%s\n", table.to_string().c_str());
+    std::printf("Expected shape: the speedup degrades gracefully with fewer taps (a 1-tap\n"
+                "generator degenerates to conventional clocking) and with longer PLL dwell\n"
+                "times; safety (0 violations) holds for every generator because requests\n"
+                "are always rounded up.\n\n");
+    return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 5: histogram of per-cycle maximum dynamic delays over all pipeline
+// stages (genie-aided clock adjustment bound).
+//
+// Paper: mean 1334 ps vs. static limit 2026 ps -> theoretical speedup ~50%.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+    using namespace focs;
+    bench::print_header("Figure 5 - dynamic maximum delay per cycle (all stages, incl. SRAMs)",
+                        "Constantin et al., DATE'15, Fig. 5 and Sec. IV-A");
+
+    const timing::DesignConfig design;
+    const auto result = bench::characterize(design);
+
+    std::printf("\nHistogram of per-cycle maximum delays over %llu characterization cycles:\n\n",
+                static_cast<unsigned long long>(result.cycles));
+    const Histogram histogram = result.analysis->genie_histogram(40);
+    std::printf("%s\n", histogram.render_ascii(60).c_str());
+
+    const double mean = result.genie_mean_period_ps;
+    std::printf("Summary (paper values from Sec. IV-A):\n");
+    bench::compare("static timing limit T_static", 2026.0, result.static_period_ps, "ps");
+    bench::compare("mean required cycle delay (genie)", 1334.0, mean, "ps");
+    bench::compare("theoretical (genie) speedup", 1.50, result.genie_speedup, "x");
+    std::printf("\n");
+    return 0;
+}

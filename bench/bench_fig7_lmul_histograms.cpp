@@ -1,0 +1,37 @@
+// Figure 7: histograms of dynamic maximum delays per pipeline stage for the
+// l.mul instruction.
+//
+// Paper: EX delays are high (close to the static maximum, ~300 ps data
+// dependent spread); all other stages are significantly lower.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "dta/delay_table.hpp"
+
+int main() {
+    using namespace focs;
+    bench::print_header("Figure 7 - per-stage dynamic delay histograms for l.mul",
+                        "Constantin et al., DATE'15, Fig. 7");
+
+    const auto result = bench::characterize(timing::DesignConfig{});
+    const auto key = static_cast<dta::OccKey>(isa::Opcode::kMul);
+
+    for (int s = 0; s < sim::kStageCount; ++s) {
+        const auto stage = static_cast<sim::Stage>(s);
+        const auto& stats = result.analysis->stats(key, stage);
+        std::printf("--- stage %-4s  (n=%llu, mean=%.0f ps, max=%.0f ps) ---\n",
+                    std::string(sim::stage_name(stage)).c_str(),
+                    static_cast<unsigned long long>(stats.occurrences), stats.stats.mean(),
+                    stats.max_ps);
+        std::printf("%s\n", result.analysis->key_stage_histogram(key, stage, 32)
+                                .render_ascii(48)
+                                .c_str());
+    }
+
+    const auto& ex = result.analysis->stats(key, sim::Stage::kEx);
+    std::printf("Summary (paper Sec. IV-A / Table II):\n");
+    bench::compare("l.mul EX worst-case delay", 1899.0, ex.max_ps, "ps");
+    bench::compare("l.mul EX data-dependent spread", 300.0, ex.max_ps - ex.stats.min(), "ps");
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 8: effective clock frequency per benchmark, conventional clocking
+// vs. instruction-based dynamic clock adjustment, at 0.70 V.
+//
+// Paper: average 494 MHz (static) -> 680 MHz (DCA), +38% on average across
+// CoreMark and BEEBS; within 12% of the 50% genie bound.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+int main() {
+    using namespace focs;
+    bench::print_header("Figure 8 - effective clock frequency per benchmark @ 0.70 V",
+                        "Constantin et al., DATE'15, Fig. 8 and Sec. IV-B");
+
+    const timing::DesignConfig design;
+    const auto characterization = bench::characterize(design);
+    const core::EvaluationFlow flow(design, characterization.table);
+    const auto suite = workloads::assemble_suite(workloads::benchmark_suite());
+
+    const auto static_suite = flow.run_suite(suite, core::PolicyKind::kStatic);
+    const auto dca_suite = flow.run_suite(suite, core::PolicyKind::kInstructionLut);
+    const auto genie_suite = flow.run_suite(suite, core::PolicyKind::kGenie);
+
+    TextTable table({"Benchmark", "Conventional [MHz]", "DCA [MHz]", "Speedup", "Genie [MHz]"});
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        table.add_row({static_suite.rows[i].benchmark,
+                       TextTable::num(static_suite.rows[i].result.eff_freq_mhz, 1),
+                       TextTable::num(dca_suite.rows[i].result.eff_freq_mhz, 1),
+                       TextTable::num(dca_suite.rows[i].result.speedup_vs_static, 3),
+                       TextTable::num(genie_suite.rows[i].result.eff_freq_mhz, 1)});
+    }
+    table.add_row({"== average ==", TextTable::num(static_suite.mean_eff_freq_mhz, 1),
+                   TextTable::num(dca_suite.mean_eff_freq_mhz, 1),
+                   TextTable::num(dca_suite.mean_speedup, 3),
+                   TextTable::num(genie_suite.mean_eff_freq_mhz, 1)});
+    std::printf("\n%s\n", table.to_string().c_str());
+
+    std::printf("Summary (paper values from Sec. IV-B):\n");
+    bench::compare("conventional effective frequency", 494.0, static_suite.mean_eff_freq_mhz,
+                   "MHz");
+    bench::compare("DCA effective frequency", 680.0, dca_suite.mean_eff_freq_mhz, "MHz");
+    bench::compare("average speedup", 1.38, dca_suite.mean_speedup, "x");
+    bench::compare("genie-bound speedup", 1.50, genie_suite.mean_speedup, "x");
+    std::printf("  timing violations across every run: %llu (must be 0)\n\n",
+                static_cast<unsigned long long>(static_suite.total_violations +
+                                                dca_suite.total_violations +
+                                                genie_suite.total_violations));
+    return 0;
+}

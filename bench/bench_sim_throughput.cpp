@@ -1,0 +1,101 @@
+// Simulator performance microbenchmarks (google-benchmark).
+//
+// The paper stresses that the custom delay-annotated ISS enables "rapid
+// evaluation ... for any complex benchmark"; these benchmarks document the
+// throughput of this reproduction's equivalents: the bare cycle-accurate
+// pipeline, the DCA-annotated engine, and the full characterization flow.
+#include <benchmark/benchmark.h>
+
+#include "asm/assembler.hpp"
+#include "core/dca_engine.hpp"
+#include "core/flows.hpp"
+#include "dta/gatesim.hpp"
+#include "sim/machine.hpp"
+#include "timing/netlist.hpp"
+#include "workloads/kernel.hpp"
+
+namespace {
+
+using namespace focs;
+
+const assembler::Program& coremark_program() {
+    static const assembler::Program program =
+        assembler::assemble(workloads::find_kernel("coremark_mini").source);
+    return program;
+}
+
+void BM_PipelineCycles(benchmark::State& state) {
+    sim::Machine machine;
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        machine.load(coremark_program());
+        const auto result = machine.run();
+        cycles += result.cycles;
+        benchmark::DoNotOptimize(result.exit_code);
+    }
+    state.counters["cycles/s"] = benchmark::Counter(static_cast<double>(cycles),
+                                                    benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PipelineCycles)->Unit(benchmark::kMillisecond);
+
+void BM_DcaEngineCycles(benchmark::State& state) {
+    const timing::DesignConfig design;
+    core::DcaEngine engine(design);
+    core::GenieOraclePolicy policy;
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        const auto result = engine.run(coremark_program(), policy);
+        cycles += result.cycles;
+        benchmark::DoNotOptimize(result.total_time_ps);
+    }
+    state.counters["cycles/s"] = benchmark::Counter(static_cast<double>(cycles),
+                                                    benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DcaEngineCycles)->Unit(benchmark::kMillisecond);
+
+void BM_GateLevelEventEmission(benchmark::State& state) {
+    const timing::DesignConfig design;
+    const auto netlist = timing::SyntheticNetlist::generate(design);
+    const timing::DelayCalculator calculator(design);
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        sim::Machine machine;
+        machine.load(coremark_program());
+        dta::GateLevelSimulation gatesim(netlist, calculator);
+        machine.run(&gatesim);
+        events += gatesim.event_log().size();
+        benchmark::DoNotOptimize(gatesim.event_log().size());
+    }
+    state.counters["events/s"] = benchmark::Counter(static_cast<double>(events),
+                                                    benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GateLevelEventEmission)->Unit(benchmark::kMillisecond);
+
+void BM_Assembler(benchmark::State& state) {
+    const auto& kernel = workloads::find_kernel("coremark_mini");
+    for (auto _ : state) {
+        const auto program = assembler::assemble(kernel.source);
+        benchmark::DoNotOptimize(program.bytes().size());
+    }
+}
+BENCHMARK(BM_Assembler)->Unit(benchmark::kMicrosecond);
+
+void BM_DelayCalculatorEvaluate(benchmark::State& state) {
+    const timing::DesignConfig design;
+    const timing::DelayCalculator calculator(design);
+    sim::CycleRecord record;
+    record.stages[static_cast<std::size_t>(sim::Stage::kEx)].valid = true;
+    record.stages[static_cast<std::size_t>(sim::Stage::kEx)].inst.opcode = isa::Opcode::kAdd;
+    record.stages[static_cast<std::size_t>(sim::Stage::kEx)].operand_a = 0x12345678u;
+    record.stages[static_cast<std::size_t>(sim::Stage::kEx)].operand_b = 0x9abcdef0u;
+    std::uint64_t cycle = 0;
+    for (auto _ : state) {
+        record.cycle = ++cycle;
+        benchmark::DoNotOptimize(calculator.evaluate(record).required_period_ps);
+    }
+}
+BENCHMARK(BM_DelayCalculatorEvaluate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Table II: dynamic instruction delay worst-cases per instruction (max
+// delay over all occurrences in the characterization benchmark, and the
+// pipeline stage owning it).
+//
+// Paper anchors: l.add(i) 1467 EX, l.and(i) 1482 EX, l.bf 1470 EX,
+// l.j 1172 ADR, l.lwz 1391 EX, l.mul 1899 EX, l.sll(i) 1270 EX,
+// l.xor 1514 EX.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "dta/delay_table.hpp"
+#include "isa/isa_info.hpp"
+
+int main() {
+    using namespace focs;
+    bench::print_header("Table II - dynamic instruction delay worst-cases",
+                        "Constantin et al., DATE'15, Table II");
+
+    const auto result = bench::characterize(timing::DesignConfig{});
+
+    const std::map<std::string, double> paper = {
+        {"l.add", 1467},  {"l.addi", 1467}, {"l.and", 1482}, {"l.andi", 1482},
+        {"l.bf", 1470},   {"l.j", 1172},    {"l.lwz", 1391}, {"l.mul", 1899},
+        {"l.sll", 1270},  {"l.slli", 1270}, {"l.xor", 1514},
+    };
+
+    TextTable table({"Instruction", "Max delay [ps]", "Stage", "Occurrences", "Paper [ps]"});
+    for (int i = 0; i < isa::kOpcodeCount; ++i) {
+        const auto op = static_cast<isa::Opcode>(i);
+        const auto key = static_cast<dta::OccKey>(i);
+        double max_ps = 0;
+        sim::Stage worst_stage = sim::Stage::kEx;
+        std::uint64_t occurrences = 0;
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            const auto& stats = result.analysis->stats(key, static_cast<sim::Stage>(s));
+            occurrences = std::max(occurrences, stats.occurrences);
+            if (stats.max_ps > max_ps) {
+                max_ps = stats.max_ps;
+                worst_stage = static_cast<sim::Stage>(s);
+            }
+        }
+        if (occurrences == 0) continue;
+        const std::string name{isa::mnemonic(op)};
+        const auto it = paper.find(name);
+        table.add_row({name, TextTable::num(max_ps, 0),
+                       std::string(sim::stage_name(worst_stage)),
+                       std::to_string(occurrences),
+                       it != paper.end() ? TextTable::num(it->second, 0) : std::string("-")});
+    }
+    std::printf("\n%s\n", table.to_string().c_str());
+    std::printf("Delay-LUT entries add a %.0f ps characterization guard band on top of the\n"
+                "observed maxima; instructions with too few occurrences fall back to the\n"
+                "static limit of %.0f ps (paper Sec. IV-A).\n\n",
+                timing::kLutGuardPs, result.static_period_ps);
+    return 0;
+}

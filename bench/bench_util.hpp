@@ -1,0 +1,34 @@
+// Shared helpers for the reproduction benches (one binary per paper
+// table/figure). Each bench prints the regenerated rows/series next to the
+// paper's published values so the shape comparison is immediate.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/flows.hpp"
+#include "workloads/kernel.hpp"
+
+namespace focs::bench {
+
+inline void print_header(const std::string& title, const std::string& paper_reference) {
+    std::printf("==============================================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces: %s\n", paper_reference.c_str());
+    std::printf("==============================================================================\n");
+}
+
+/// Runs the full characterization flow (gate-level-style simulation of the
+/// characterization suite + dynamic timing analysis) for one design config.
+inline core::CharacterizationResult characterize(const timing::DesignConfig& design) {
+    const core::CharacterizationFlow flow(design);
+    return flow.run(workloads::assemble_programs(workloads::characterization_suite()));
+}
+
+/// "paper vs measured" one-liner.
+inline void compare(const char* metric, double paper, double measured, const char* unit) {
+    std::printf("  %-44s paper %8.2f %-6s measured %8.2f %-6s\n", metric, paper, unit, measured,
+                unit);
+}
+
+}  // namespace focs::bench

@@ -1,0 +1,57 @@
+// Example: the characterization flow in detail (paper Fig. 2, right half).
+//
+// Runs the characterization suite through the gate-level-style timing
+// model, performs dynamic timing analysis, and prints:
+//   - the per-cycle slack histogram (Fig. 5 flavour),
+//   - the limiting-stage breakdown (Fig. 6 flavour),
+//   - a slice of the extracted per-instruction delay LUT (Table II flavour),
+//   - the serialized LUT, ready to be stored and reloaded.
+//
+// Build & run:  ./build/examples/characterize_core
+#include <cstdio>
+
+#include "core/flows.hpp"
+#include "dta/delay_table.hpp"
+#include "isa/isa_info.hpp"
+#include "workloads/kernel.hpp"
+
+int main() {
+    using namespace focs;
+
+    const timing::DesignConfig design;
+    const core::CharacterizationFlow flow(design);
+    const auto result =
+        flow.run(workloads::assemble_programs(workloads::characterization_suite()));
+
+    std::printf("characterization: %llu cycles, %zu endpoints, T_static %.0f ps\n\n",
+                static_cast<unsigned long long>(result.cycles),
+                flow.netlist().endpoints().size(), result.static_period_ps);
+
+    std::printf("per-cycle worst dynamic delay (genie view):\n%s\n",
+                result.analysis->genie_histogram(32).render_ascii(52).c_str());
+
+    std::printf("limiting stage shares:\n");
+    const auto counts = result.analysis->limiting_stage_counts();
+    for (int s = 0; s < sim::kStageCount; ++s) {
+        std::printf("  %-5s %6.2f %%\n",
+                    std::string(sim::stage_name(static_cast<sim::Stage>(s))).c_str(),
+                    100.0 * static_cast<double>(counts[static_cast<std::size_t>(s)]) /
+                        static_cast<double>(result.cycles));
+    }
+
+    std::printf("\nextracted EX-stage LUT entries (observed max + %.0f ps guard):\n",
+                timing::kLutGuardPs);
+    for (const auto op : {isa::Opcode::kAdd, isa::Opcode::kAnd, isa::Opcode::kXor,
+                          isa::Opcode::kSll, isa::Opcode::kLwz, isa::Opcode::kSw,
+                          isa::Opcode::kBf, isa::Opcode::kMul, isa::Opcode::kNop}) {
+        std::printf("  %-8s %7.1f ps\n", std::string(isa::mnemonic(op)).c_str(),
+                    result.table.lookup(static_cast<dta::OccKey>(op), sim::Stage::kEx));
+    }
+
+    const std::string serialized = result.table.serialize();
+    const dta::DelayTable reloaded = dta::DelayTable::deserialize(serialized);
+    std::printf("\nserialized LUT: %zu bytes; reload check: l.mul EX = %.1f ps\n",
+                serialized.size(),
+                reloaded.lookup(static_cast<dta::OccKey>(isa::Opcode::kMul), sim::Stage::kEx));
+    return 0;
+}

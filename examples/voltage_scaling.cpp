@@ -1,0 +1,54 @@
+// Example: explore the voltage/frequency/energy trade-off enabled by DCA
+// (paper Sec. IV-B) across the whole characterized voltage range.
+//
+// Build & run:  ./build/examples/voltage_scaling
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/flows.hpp"
+#include "power/power_model.hpp"
+#include "power/vf_scaling.hpp"
+#include "timing/cell_library.hpp"
+#include "workloads/kernel.hpp"
+
+int main() {
+    using namespace focs;
+
+    // Measure the DCA speedup once at the nominal voltage.
+    const timing::DesignConfig design;
+    const core::CharacterizationFlow characterization_flow(design);
+    const auto characterization = characterization_flow.run(
+        workloads::assemble_programs(workloads::characterization_suite()));
+    const core::EvaluationFlow flow(design, characterization.table);
+    const auto suite = workloads::assemble_suite(workloads::benchmark_suite());
+    const double speedup =
+        flow.run_suite(suite, core::PolicyKind::kInstructionLut).mean_speedup;
+    const double f_static = mhz_from_period_ps(flow.static_period_ps());
+    std::printf("DCA speedup at 0.70 V: %.3fx (static %.0f MHz)\n\n", speedup, f_static);
+
+    // Sweep the library's operating points.
+    const auto& library = timing::CellLibrary::fdsoi28();
+    const power::PowerModel model(timing::DesignVariant::kCriticalRangeOptimized);
+    TextTable table({"V [V]", "Static clock [MHz]", "DCA clock [MHz]", "uW/MHz @DCA",
+                     "Energy/op vs 0.70 V static"});
+    const double baseline_uw_per_mhz = model.at(0.70, f_static).uw_per_mhz;
+    for (const auto& point : library.points()) {
+        const double scale = library.delay_scale(point.voltage_v);
+        const double f_s = f_static / scale;
+        const double f_d = f_s * speedup;
+        const auto p = model.at(point.voltage_v, f_d);
+        table.add_row({TextTable::num(point.voltage_v, 2), TextTable::num(f_s, 1),
+                       TextTable::num(f_d, 1), TextTable::num(p.uw_per_mhz, 2),
+                       TextTable::num(p.uw_per_mhz / baseline_uw_per_mhz, 3)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+
+    const power::VoltageFrequencyScaler scaler(model);
+    const auto iso = scaler.iso_throughput(f_static, speedup, 0.70);
+    std::printf("iso-throughput point: %.3f V (-%.0f mV), %.2f -> %.2f uW/MHz (%.1f%% gain)\n",
+                iso.scaled_voltage_v, iso.voltage_reduction_mv,
+                iso.baseline_power.uw_per_mhz, iso.scaled_power.uw_per_mhz,
+                iso.efficiency_gain * 100.0);
+    return 0;
+}

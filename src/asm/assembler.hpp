@@ -1,0 +1,40 @@
+// Two-pass assembler for the ORBIS32 subset.
+//
+// Supported syntax (GNU as flavour):
+//   label:               ; labels, may share a line with an instruction
+//   l.addi r3,r3,-1      ; canonical mnemonics, registers r0..r31
+//   l.lwz  r4,8(r2)      ; loads/stores with displacement(base)
+//   l.bf   loop          ; branch/jump targets are labels or expressions
+//   l.movhi r5,hi(table) ; hi()/lo() relocation operators
+//   l.li   r5,0x12345678 ; pseudo: expands to l.movhi + l.ori
+//   l.mov  r5,r6         ; pseudo: l.ori r5,r6,0
+//   .text / .data        ; switch location counter (data base 0x00100000)
+//   .org ADDR            ; set location counter
+//   .align N             ; align to N bytes (power of two)
+//   .word/.half/.byte v,... ; literal data (big-endian)
+//   .space N [, FILL]    ; reserve N bytes
+//   .ascii/.asciz "s"    ; string data
+//   .equ NAME, EXPR      ; symbolic constant
+//   .global NAME         ; accepted, ignored
+// Comments: '#', ';' or "//" to end of line. Expressions support + - and
+// parentheses over numbers (dec/hex/bin) and symbols.
+#pragma once
+
+#include <string_view>
+
+#include "asm/program.hpp"
+
+namespace focs::assembler {
+
+/// Assembler configuration.
+struct AssemblyOptions {
+    std::uint32_t text_base = 0;          ///< initial .text location counter
+    std::uint32_t data_base = kDataBase;  ///< initial .data location counter
+};
+
+/// Assembles `source` into a program image.
+/// The entry point is the `_start` symbol when defined, else `text_base`.
+/// Throws focs::ParseError (with line number) on malformed input.
+Program assemble(std::string_view source, const AssemblyOptions& options = {});
+
+}  // namespace focs::assembler

@@ -1,0 +1,77 @@
+// Assembled program image.
+//
+// The guest address space is Harvard-style, mirroring the paper's tightly
+// coupled memories: code lives in the instruction SRAM region starting at 0,
+// data in the data SRAM region starting at kDataBase. The assembler's
+// `.text` / `.data` directives switch the location counter between the two.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace focs::assembler {
+
+/// Base address of the data SRAM region in the flat guest address space.
+inline constexpr std::uint32_t kDataBase = 0x0010'0000;
+
+/// One line of the assembly listing (for debugging and documentation).
+struct ListingEntry {
+    std::uint32_t address = 0;
+    std::uint32_t word = 0;
+    std::string disassembly;
+    int source_line = 0;
+};
+
+/// A fully assembled, relocated program image with symbols and a listing.
+class Program {
+public:
+    /// Stores one byte; later stores to the same address overwrite.
+    void set_byte(std::uint32_t addr, std::uint8_t value) { bytes_[addr] = value; }
+
+    /// Stores a 32-bit word big-endian (OpenRISC byte order).
+    void set_word(std::uint32_t addr, std::uint32_t value) {
+        set_byte(addr + 0, static_cast<std::uint8_t>(value >> 24));
+        set_byte(addr + 1, static_cast<std::uint8_t>(value >> 16));
+        set_byte(addr + 2, static_cast<std::uint8_t>(value >> 8));
+        set_byte(addr + 3, static_cast<std::uint8_t>(value));
+    }
+
+    /// Reads back a big-endian word (0 for unset bytes).
+    std::uint32_t word_at(std::uint32_t addr) const {
+        auto byte = [&](std::uint32_t a) -> std::uint32_t {
+            const auto it = bytes_.find(a);
+            return it == bytes_.end() ? 0u : it->second;
+        };
+        return byte(addr) << 24 | byte(addr + 1) << 16 | byte(addr + 2) << 8 | byte(addr + 3);
+    }
+
+    const std::map<std::uint32_t, std::uint8_t>& bytes() const { return bytes_; }
+
+    void set_entry(std::uint32_t entry) { entry_ = entry; }
+    std::uint32_t entry() const { return entry_; }
+
+    void define_symbol(const std::string& name, std::uint32_t value) { symbols_[name] = value; }
+    std::optional<std::uint32_t> symbol(const std::string& name) const {
+        const auto it = symbols_.find(name);
+        if (it == symbols_.end()) return std::nullopt;
+        return it->second;
+    }
+    const std::map<std::string, std::uint32_t>& symbols() const { return symbols_; }
+
+    void add_listing(ListingEntry entry) { listing_.push_back(std::move(entry)); }
+    const std::vector<ListingEntry>& listing() const { return listing_; }
+
+    /// Renders the listing as "address: word  disassembly" lines.
+    std::string listing_text() const;
+
+private:
+    std::map<std::uint32_t, std::uint8_t> bytes_;
+    std::map<std::string, std::uint32_t> symbols_;
+    std::vector<ListingEntry> listing_;
+    std::uint32_t entry_ = 0;
+};
+
+}  // namespace focs::assembler

@@ -1,0 +1,78 @@
+// Tunable clock generator models.
+//
+// The paper assumes a cycle-by-cycle tunable clock generator (CG), e.g. a
+// tunable ring oscillator with a muxed output [9][10] or a multi-PLL
+// clocking unit [11], and notes its design is outside the paper's scope.
+// These models capture the first-order constraint such a CG imposes on DCA:
+// the granted period is the requested period rounded UP to a realizable
+// one, and some CGs cannot retune to a faster clock instantly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace focs::clocking {
+
+class ClockGenerator {
+public:
+    virtual ~ClockGenerator() = default;
+
+    /// Returns the period the CG actually produces for this cycle.
+    /// Postcondition: granted >= requested (never unsafe).
+    virtual double grant_period_ps(double requested_ps) = 0;
+
+    /// Re-arms the CG for a new run.
+    virtual void reset() = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/// Continuously tunable CG: grants exactly the requested period.
+class IdealClockGenerator final : public ClockGenerator {
+public:
+    double grant_period_ps(double requested_ps) override { return requested_ps; }
+    void reset() override {}
+    std::string name() const override { return "ideal"; }
+};
+
+/// Ring-oscillator style CG with `num_taps` equally spaced periods in
+/// [min_period_ps, max_period_ps]; requests are ceiled to the next tap.
+/// Requests above the slowest tap are granted verbatim (cycle stretching).
+class QuantizedClockGenerator final : public ClockGenerator {
+public:
+    QuantizedClockGenerator(double min_period_ps, double max_period_ps, int num_taps);
+
+    /// Convenience: taps spanning [0.5 * static, static].
+    static QuantizedClockGenerator for_static_period(double static_period_ps, int num_taps);
+
+    double grant_period_ps(double requested_ps) override;
+    void reset() override {}
+    std::string name() const override;
+
+    const std::vector<double>& taps() const { return taps_; }
+
+private:
+    std::vector<double> taps_;  ///< ascending
+};
+
+/// Multi-PLL CG: a small set of clock sources; switching to a *faster*
+/// clock is only possible after `min_dwell_cycles` on the current source
+/// (relock/mux constraints), while switching to a slower clock (stretching)
+/// is always possible. Safety is preserved by staying slow when in doubt.
+class PllBankClockGenerator final : public ClockGenerator {
+public:
+    PllBankClockGenerator(std::vector<double> periods_ps, int min_dwell_cycles);
+
+    double grant_period_ps(double requested_ps) override;
+    void reset() override;
+    std::string name() const override;
+
+private:
+    std::vector<double> periods_;  ///< ascending
+    int min_dwell_cycles_;
+    std::size_t current_ = 0;  ///< index of the currently selected source
+    int dwell_ = 0;            ///< cycles spent on the current source
+    bool started_ = false;
+};
+
+}  // namespace focs::clocking

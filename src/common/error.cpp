@@ -1,0 +1,12 @@
+#include "common/error.hpp"
+
+#include <string>
+
+namespace focs {
+
+void check(bool condition, const std::string& message, std::source_location loc) {
+    if (condition) return;
+    throw Error(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) + ": " + message);
+}
+
+}  // namespace focs

@@ -1,0 +1,44 @@
+// Error handling primitives.
+//
+// The library reports unrecoverable misuse and malformed inputs via
+// exceptions derived from focs::Error (per the C++ Core Guidelines, errors
+// that cannot be handled locally are thrown, not returned).
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace focs {
+
+/// Base class of all exceptions thrown by this library.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an input file / assembly source / trace is malformed.
+class ParseError : public Error {
+public:
+    ParseError(const std::string& what, int line = 0)
+        : Error(line > 0 ? "line " + std::to_string(line) + ": " + what : what), line_(line) {}
+
+    /// 1-based source line, or 0 when unknown.
+    int line() const { return line_; }
+
+private:
+    int line_ = 0;
+};
+
+/// Thrown when a simulated guest program misbehaves (bad access, no exit, ...).
+class GuestError : public Error {
+public:
+    using Error::Error;
+};
+
+/// Throws focs::Error with source location context when `condition` is false.
+/// Used for internal invariants and precondition checks.
+void check(bool condition, const std::string& message,
+           std::source_location loc = std::source_location::current());
+
+}  // namespace focs

@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (synthetic netlist generation,
+// semi-random test programs, data-dependent delay jitter) draw from these
+// generators so that a fixed seed reproduces byte-identical results on every
+// platform. std::mt19937 is avoided because distribution implementations are
+// not portable across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace focs {
+
+/// SplitMix64: used for seeding and for stateless hash-style sampling.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/// xoshiro256** — fast, high-quality 64-bit PRNG with explicit state.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x5eedf0c5ULL) {
+        std::uint64_t x = seed;
+        for (auto& word : state_) {
+            x = splitmix64(x);
+            word = x;
+        }
+    }
+
+    /// Next raw 64-bit value.
+    std::uint64_t next_u64() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform 32-bit value.
+    std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+    /// Uniform integer in [0, bound) for bound >= 1.
+    std::uint64_t next_below(std::uint64_t bound) { return next_u64() % bound; }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t next_range(std::int64_t lo, std::int64_t hi) {
+        return lo + static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /// Uniform double in [0, 1).
+    double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+    /// Uniform double in [lo, hi).
+    double next_double(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+    /// True with probability `p`.
+    bool next_bool(double p) { return next_double() < p; }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+};
+
+/// Stateless uniform double in [0,1) derived from a hash of `key`.
+/// Used where a delay sample must depend only on (path, cycle, operands)
+/// and not on evaluation order.
+constexpr double hash_unit_double(std::uint64_t key) {
+    return static_cast<double>(splitmix64(key) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace focs

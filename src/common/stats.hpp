@@ -1,0 +1,62 @@
+// Streaming statistics (Welford) for delay/slack/power series.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace focs {
+
+/// Single-pass accumulator for count / mean / variance / min / max / sum.
+class RunningStats {
+public:
+    void add(double x) {
+        ++count_;
+        sum_ += x;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ > 0 ? mean_ : 0.0; }
+    double min() const { return count_ > 0 ? min_ : 0.0; }
+    double max() const { return count_ > 0 ? max_ : 0.0; }
+
+    double variance() const {
+        return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+    }
+    double stddev() const { return std::sqrt(variance()); }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    void merge(const RunningStats& other) {
+        if (other.count_ == 0) return;
+        if (count_ == 0) {
+            *this = other;
+            return;
+        }
+        const double total = static_cast<double>(count_ + other.count_);
+        const double delta = other.mean_ - mean_;
+        m2_ += other.m2_ +
+               delta * delta * static_cast<double>(count_) * static_cast<double>(other.count_) / total;
+        mean_ = (mean_ * static_cast<double>(count_) + other.mean_ * static_cast<double>(other.count_)) / total;
+        sum_ += other.sum_;
+        count_ += other.count_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+
+private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace focs

@@ -1,0 +1,92 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+
+namespace focs {
+
+namespace {
+bool is_space(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+}  // namespace
+
+std::string_view trim(std::string_view s) {
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && is_space(s[b])) ++b;
+    while (e > b && is_space(s[e - 1])) --e;
+    return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == sep) {
+            out.emplace_back(trim(s.substr(start, i - start)));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string> split_whitespace(std::string_view s) {
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() && is_space(s[i])) ++i;
+        std::size_t start = i;
+        while (i < s.size() && !is_space(s[i])) ++i;
+        if (i > start) out.emplace_back(s.substr(start, i - start));
+    }
+    return out;
+}
+
+std::string to_lower(std::string_view s) {
+    std::string out(s);
+    for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+    return s.substr(0, prefix.size()) == prefix;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view s) {
+    s = trim(s);
+    if (s.empty()) return std::nullopt;
+    bool negative = false;
+    if (s[0] == '-' || s[0] == '+') {
+        negative = s[0] == '-';
+        s.remove_prefix(1);
+        if (s.empty()) return std::nullopt;
+    }
+    int base = 10;
+    if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+        base = 16;
+        s.remove_prefix(2);
+    } else if (s.size() > 2 && s[0] == '0' && (s[1] == 'b' || s[1] == 'B')) {
+        base = 2;
+        s.remove_prefix(2);
+    }
+    if (s.empty()) return std::nullopt;
+
+    std::uint64_t value = 0;
+    for (char c : s) {
+        int digit;
+        if (c >= '0' && c <= '9') digit = c - '0';
+        else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+        else return std::nullopt;
+        if (digit >= base) return std::nullopt;
+        const std::uint64_t next = value * static_cast<std::uint64_t>(base) + static_cast<std::uint64_t>(digit);
+        if (next < value) return std::nullopt;  // overflow
+        value = next;
+    }
+    // Accept the full uint32 range for hex constants and the int64 range otherwise.
+    if (value > 0x8000000000000000ULL) return std::nullopt;
+    const auto magnitude = static_cast<std::int64_t>(value & 0x7fffffffffffffffULL);
+    if (negative) return -magnitude - static_cast<std::int64_t>(value >> 63);
+    if (value >> 63) return std::nullopt;
+    return magnitude;
+}
+
+}  // namespace focs

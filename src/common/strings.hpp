@@ -1,0 +1,30 @@
+// Small string utilities shared by the assembler, trace readers and reports.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace focs {
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on `sep`, trimming each piece; empty pieces are kept.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits on runs of whitespace; empty pieces are dropped.
+std::vector<std::string> split_whitespace(std::string_view s);
+
+/// ASCII lower-case copy.
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parses a signed integer with optional 0x/0b prefix and leading '-'.
+/// Returns nullopt on malformed input or overflow of int64.
+std::optional<std::int64_t> parse_int(std::string_view s);
+
+}  // namespace focs

@@ -1,0 +1,55 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace focs {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    check(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    check(cells.size() == headers_.size(), "row arity does not match header");
+    rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double value, int digits) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+    return buf;
+}
+
+std::string TextTable::to_string() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += ' ';
+            line += row[c];
+            line.append(width[c] - row[c].size() + 1, ' ');
+            line += '|';
+        }
+        return line + "\n";
+    };
+
+    std::string rule = "+";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        rule.append(width[c] + 2, '-');
+        rule += '+';
+    }
+    rule += '\n';
+
+    std::string out = rule + emit_row(headers_) + rule;
+    for (const auto& row : rows_) out += emit_row(row);
+    out += rule;
+    return out;
+}
+
+}  // namespace focs

@@ -1,0 +1,34 @@
+// Paper-style ASCII table rendering for benchmark and report binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace focs {
+
+/// Simple column-aligned text table.
+///
+///   TextTable t({"Instruction", "Max. delay [ps]", "Stage"});
+///   t.add_row({"l.add(i)", "1467", "EX"});
+///   std::cout << t.to_string();
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /// Appends one row; must match the header arity.
+    void add_row(std::vector<std::string> cells);
+
+    /// Renders with a header rule and right-padded columns.
+    std::string to_string() const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+    /// Formats a double with `digits` decimals (helper for cells).
+    static std::string num(double value, int digits = 1);
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace focs

@@ -1,0 +1,36 @@
+// Unit conventions and conversions used throughout the library.
+//
+// Physical quantities are carried as `double` with an explicit unit suffix in
+// every identifier:
+//   *_ps   time / path delay / clock period, picoseconds
+//   *_mhz  frequency, megahertz
+//   *_v    supply voltage, volts
+//   *_uw   power, microwatts
+//   *_pj   energy, picojoules
+//
+// The helpers below are the only sanctioned conversions between periods and
+// frequencies so that rounding behaviour is uniform across the code base.
+#pragma once
+
+namespace focs {
+
+/// Picoseconds in one second (1e12); used for period<->frequency conversions.
+inline constexpr double kPicosecondsPerSecond = 1e12;
+
+/// Converts a clock period in picoseconds to a frequency in MHz.
+constexpr double mhz_from_period_ps(double period_ps) {
+    return kPicosecondsPerSecond / period_ps / 1e6;
+}
+
+/// Converts a frequency in MHz to a clock period in picoseconds.
+constexpr double period_ps_from_mhz(double freq_mhz) {
+    return kPicosecondsPerSecond / (freq_mhz * 1e6);
+}
+
+/// Energy (picojoules) spent by power `power_uw` over `time_ps`.
+constexpr double pj_from_uw_ps(double power_uw, double time_ps) {
+    // 1 uW * 1 ps = 1e-6 W * 1e-12 s = 1e-18 J = 1e-6 pJ
+    return power_uw * time_ps * 1e-6;
+}
+
+}  // namespace focs

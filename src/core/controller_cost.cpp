@@ -1,0 +1,42 @@
+#include "core/controller_cost.hpp"
+
+#include "common/error.hpp"
+
+namespace focs::core {
+
+ControllerCostModel::ControllerCostModel(ControllerCostConfig config) : config_(config) {
+    check(config.resolution_bits >= 1 && config.resolution_bits <= 16,
+          "tap index width out of range");
+    check(config.monitored_stages >= 1 && config.monitored_stages <= sim::kStageCount,
+          "monitored stage count out of range");
+}
+
+ControllerCost ControllerCostModel::estimate(const dta::DelayTable& table, double freq_mhz,
+                                             double core_power_uw, double voltage_v) const {
+    check(freq_mhz > 0 && core_power_uw > 0, "need positive frequency and core power");
+    ControllerCost cost;
+    // Rows: every key with at least one characterized stage entry.
+    for (dta::OccKey key = 0; key < dta::kKeyCount; ++key) {
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            if (table.characterized(key, static_cast<sim::Stage>(s))) {
+                ++cost.lut_rows;
+                break;
+            }
+        }
+    }
+    cost.total_lut_bits = cost.lut_rows * config_.resolution_bits * config_.monitored_stages;
+
+    // Dynamic energy: each cycle reads one row per monitored stage and runs
+    // the max tree. fJ/cycle * MHz = uW * 1e-3... (1 fJ * 1e6 1/s = 1e-9 W).
+    const double vscale = (voltage_v * voltage_v) / (0.70 * 0.70);
+    const double read_fj = static_cast<double>(config_.monitored_stages * config_.resolution_bits) *
+                           config_.bit_read_energy_fj;
+    const double per_cycle_fj = (read_fj + config_.max_tree_energy_fj) * vscale;
+    cost.dynamic_uw = per_cycle_fj * freq_mhz * 1e-3;
+    cost.standing_uw = config_.clockgen_power_uw * vscale;
+    cost.total_uw = cost.dynamic_uw + cost.standing_uw;
+    cost.overhead_fraction = cost.total_uw / core_power_uw;
+    return cost;
+}
+
+}  // namespace focs::core

@@ -1,0 +1,52 @@
+// Hardware-cost model of the DCA controller itself.
+//
+// The paper notes that the clock generator and adjustment logic "can have a
+// significant influence on the system power consumption, and requires
+// special care" (Sec. II-A) but does not quantify it. This model estimates
+// the controller's area/power overhead so the net (rather than gross)
+// energy gain can be reported:
+//   - per-stage delay LUTs: one row per occupancy key, each row a clock-
+//     generator tap index of `resolution_bits` bits,
+//   - the S-input maximum tree + opcode monitors,
+//   - the tunable clock generator's own standing power.
+#pragma once
+
+#include "dta/delay_table.hpp"
+#include "power/power_model.hpp"
+
+namespace focs::core {
+
+struct ControllerCostConfig {
+    int resolution_bits = 5;      ///< tap-index width stored per LUT entry (32 taps)
+    int monitored_stages = 6;     ///< 6 for the full monitor, 1 for EX-only
+    double bit_read_energy_fj = 1.2;   ///< per LUT bit per cycle at 0.70 V (28 nm-ish)
+    double max_tree_energy_fj = 90.0;  ///< S-input comparator tree per cycle
+    double clockgen_power_uw = 55.0;   ///< ring-oscillator + mux standing power
+};
+
+struct ControllerCost {
+    int lut_rows = 0;          ///< characterized keys (rows per stage LUT)
+    int total_lut_bits = 0;
+    double dynamic_uw = 0;     ///< lookup + max-tree power at the effective clock
+    double standing_uw = 0;    ///< clock generator
+    double total_uw = 0;
+    double overhead_fraction = 0;  ///< of the given core power
+};
+
+class ControllerCostModel {
+public:
+    explicit ControllerCostModel(ControllerCostConfig config = {});
+
+    /// Cost of a controller holding `table`, clocking at `freq_mhz`, on a
+    /// core drawing `core_power_uw`. Energies scale with V^2 relative to
+    /// the 0.70 V calibration of the per-bit numbers.
+    ControllerCost estimate(const dta::DelayTable& table, double freq_mhz, double core_power_uw,
+                            double voltage_v = 0.70) const;
+
+    const ControllerCostConfig& config() const { return config_; }
+
+private:
+    ControllerCostConfig config_;
+};
+
+}  // namespace focs::core

@@ -1,0 +1,101 @@
+#include "core/flows.hpp"
+
+#include "common/error.hpp"
+#include "dta/gatesim.hpp"
+
+namespace focs::core {
+
+CharacterizationFlow::CharacterizationFlow(const timing::DesignConfig& design,
+                                           dta::AnalyzerConfig analyzer_config,
+                                           sim::MachineConfig machine_config)
+    : design_(design),
+      analyzer_config_(analyzer_config),
+      machine_config_(machine_config),
+      netlist_(timing::SyntheticNetlist::generate(design)),
+      calculator_(design) {
+    if (analyzer_config_.static_period_ps <= 0) {
+        analyzer_config_.static_period_ps = calculator_.static_period_ps();
+    }
+}
+
+CharacterizationResult CharacterizationFlow::run(
+    const std::vector<assembler::Program>& programs) const {
+    check(!programs.empty(), "characterization needs at least one program");
+
+    // Gate-level-style simulation of every program; cycles are concatenated
+    // into one global timeline before analysis.
+    dta::EventLog merged_log;
+    dta::OccupancyTrace merged_trace;
+    std::uint64_t cycle_offset = 0;
+    for (const auto& program : programs) {
+        sim::Machine machine(machine_config_);
+        machine.load(program);
+        dta::GateLevelSimulation gatesim(netlist_, calculator_);
+        const sim::RunResult run = machine.run(&gatesim);
+        if (run.exit_code != 0) {
+            throw GuestError("characterization program failed self-check (exit code " +
+                             std::to_string(run.exit_code) + ")");
+        }
+        for (dta::EndpointEvent event : gatesim.event_log().events()) {
+            event.cycle += cycle_offset;
+            merged_log.add(event);
+        }
+        for (dta::TraceEntry entry : gatesim.trace().entries()) {
+            entry.cycle += cycle_offset;
+            merged_trace.add(entry);
+        }
+        cycle_offset += gatesim.trace().size();
+    }
+
+    auto analysis = std::make_shared<dta::DynamicTimingAnalysis>(
+        dta::PipelineSpec::from_netlist(netlist_), analyzer_config_);
+    analysis->analyze(merged_log, merged_trace);
+
+    CharacterizationResult result;
+    result.table = analysis->build_delay_table();
+    result.static_period_ps = analyzer_config_.static_period_ps;
+    result.genie_mean_period_ps = analysis->genie_mean_period_ps();
+    result.genie_speedup = result.genie_mean_period_ps > 0
+                               ? result.static_period_ps / result.genie_mean_period_ps
+                               : 0;
+    result.cycles = analysis->cycles();
+    result.analysis = std::move(analysis);
+    return result;
+}
+
+EvaluationFlow::EvaluationFlow(const timing::DesignConfig& design, const dta::DelayTable& table,
+                               sim::MachineConfig machine_config)
+    : design_(design), table_(&table), machine_config_(machine_config) {}
+
+double EvaluationFlow::static_period_ps() const {
+    return timing::DelayCalculator(design_).static_period_ps();
+}
+
+DcaRunResult EvaluationFlow::run_one(const assembler::Program& program, PolicyKind kind,
+                                     clocking::ClockGenerator* generator) const {
+    DcaEngine engine(design_, machine_config_);
+    const auto policy = make_policy(kind, *table_, engine.calculator().static_period_ps());
+    if (generator != nullptr) return engine.run(program, *policy, *generator);
+    return engine.run(program, *policy);
+}
+
+SuiteResult EvaluationFlow::run_suite(
+    const std::vector<std::pair<std::string, assembler::Program>>& suite, PolicyKind kind,
+    clocking::ClockGenerator* generator) const {
+    check(!suite.empty(), "empty benchmark suite");
+    SuiteResult result;
+    for (const auto& [name, program] : suite) {
+        BenchmarkRow row;
+        row.benchmark = name;
+        row.result = run_one(program, kind, generator);
+        result.mean_eff_freq_mhz += row.result.eff_freq_mhz;
+        result.mean_speedup += row.result.speedup_vs_static;
+        result.total_violations += row.result.timing_violations;
+        result.rows.push_back(std::move(row));
+    }
+    result.mean_eff_freq_mhz /= static_cast<double>(result.rows.size());
+    result.mean_speedup /= static_cast<double>(result.rows.size());
+    return result;
+}
+
+}  // namespace focs::core

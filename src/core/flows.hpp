@@ -1,0 +1,94 @@
+// End-to-end flows of the paper's methodology (Fig. 2).
+//
+// CharacterizationFlow: program binaries -> cycle-accurate execution with
+// the synthetic gate-level delay model -> endpoint event log + occupancy
+// trace -> dynamic timing analysis -> per-instruction delay LUT.
+//
+// EvaluationFlow: benchmark binaries + delay LUT -> delay-annotated ISS
+// runs under a selectable policy/clock generator -> effective clock
+// frequency, speedup and safety statistics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "core/dca_engine.hpp"
+#include "core/policies.hpp"
+#include "dta/analyzer.hpp"
+#include "dta/delay_table.hpp"
+#include "timing/design_config.hpp"
+#include "timing/netlist.hpp"
+
+namespace focs::core {
+
+struct CharacterizationResult {
+    dta::DelayTable table;
+    double static_period_ps = 0;
+    double genie_mean_period_ps = 0;
+    double genie_speedup = 0;  ///< static period / genie mean period
+    std::uint64_t cycles = 0;
+    /// Full analysis object for figure-level queries (histograms, per-
+    /// instruction stats).
+    std::shared_ptr<dta::DynamicTimingAnalysis> analysis;
+};
+
+class CharacterizationFlow {
+public:
+    explicit CharacterizationFlow(const timing::DesignConfig& design,
+                                  dta::AnalyzerConfig analyzer_config = {},
+                                  sim::MachineConfig machine_config = {});
+
+    /// Runs every program through the gate-level-style flow and merges all
+    /// cycles into one analysis (the paper's characterization benchmark of
+    /// ~14k cycles is a concatenation of kernels and semi-random tests).
+    CharacterizationResult run(const std::vector<assembler::Program>& programs) const;
+
+    const timing::SyntheticNetlist& netlist() const { return netlist_; }
+    const timing::DelayCalculator& calculator() const { return calculator_; }
+
+private:
+    timing::DesignConfig design_;
+    dta::AnalyzerConfig analyzer_config_;
+    sim::MachineConfig machine_config_;
+    timing::SyntheticNetlist netlist_;
+    timing::DelayCalculator calculator_;
+};
+
+/// One benchmark evaluated under one policy.
+struct BenchmarkRow {
+    std::string benchmark;
+    DcaRunResult result;
+};
+
+struct SuiteResult {
+    std::vector<BenchmarkRow> rows;
+    double mean_eff_freq_mhz = 0;  ///< arithmetic mean over benchmarks
+    double mean_speedup = 0;       ///< arithmetic mean of per-benchmark speedups
+    std::uint64_t total_violations = 0;
+};
+
+class EvaluationFlow {
+public:
+    EvaluationFlow(const timing::DesignConfig& design, const dta::DelayTable& table,
+                   sim::MachineConfig machine_config = {});
+
+    /// Runs one program under `kind` with an ideal clock generator (or
+    /// `generator` when provided).
+    DcaRunResult run_one(const assembler::Program& program, PolicyKind kind,
+                         clocking::ClockGenerator* generator = nullptr) const;
+
+    /// Runs a whole named suite under `kind`.
+    SuiteResult run_suite(const std::vector<std::pair<std::string, assembler::Program>>& suite,
+                          PolicyKind kind, clocking::ClockGenerator* generator = nullptr) const;
+
+    double static_period_ps() const;
+
+private:
+    timing::DesignConfig design_;
+    const dta::DelayTable* table_;
+    sim::MachineConfig machine_config_;
+};
+
+}  // namespace focs::core

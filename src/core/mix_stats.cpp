@@ -1,0 +1,83 @@
+#include "core/mix_stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace focs::core {
+
+namespace {
+
+class MixObserver final : public sim::PipelineObserver {
+public:
+    explicit MixObserver(MixReport& report) : report_(report) {}
+
+    void on_cycle(const sim::CycleRecord& record) override {
+        ++report_.total_cycles;
+        const auto keys = dta::attribution_keys(record);
+        ++report_.ex_cycles[static_cast<std::size_t>(
+            keys[static_cast<std::size_t>(sim::Stage::kEx)])];
+        if (record.fetch_redirect) ++report_.redirect_cycles;
+        const auto& wb = record.stage(sim::Stage::kWb);
+        if (wb.valid && !wb.held) {
+            ++report_.retired[static_cast<std::size_t>(dta::key_of(wb))];
+        }
+    }
+
+private:
+    MixReport& report_;
+};
+
+}  // namespace
+
+MixReport collect_mix(const assembler::Program& program, sim::MachineConfig config) {
+    MixReport report;
+    sim::Machine machine(config);
+    machine.load(program);
+    MixObserver observer(report);
+    const sim::RunResult result = machine.run(&observer);
+    report.total_instructions = result.instructions;
+    report.ipc = result.ipc();
+    return report;
+}
+
+std::string MixReport::to_string(const dta::DelayTable* table) const {
+    std::vector<dta::OccKey> order;
+    for (dta::OccKey key = 0; key < dta::kKeyCount; ++key) {
+        if (ex_cycles[static_cast<std::size_t>(key)] > 0) order.push_back(key);
+    }
+    std::sort(order.begin(), order.end(), [&](dta::OccKey a, dta::OccKey b) {
+        return ex_cycles[static_cast<std::size_t>(a)] > ex_cycles[static_cast<std::size_t>(b)];
+    });
+
+    std::vector<std::string> headers = {"EX occupant", "Cycles", "Share [%]", "Retired"};
+    if (table != nullptr) headers.push_back("EX LUT [ps]");
+    TextTable out(headers);
+    for (const auto key : order) {
+        std::vector<std::string> row = {
+            std::string(dta::key_name(key)),
+            std::to_string(ex_cycles[static_cast<std::size_t>(key)]),
+            TextTable::num(100.0 * static_cast<double>(ex_cycles[static_cast<std::size_t>(key)]) /
+                               static_cast<double>(total_cycles),
+                           2),
+            std::to_string(retired[static_cast<std::size_t>(key)]),
+        };
+        if (table != nullptr) {
+            row.push_back(TextTable::num(table->lookup(key, sim::Stage::kEx), 0));
+        }
+        out.add_row(std::move(row));
+    }
+    char summary[160];
+    std::snprintf(summary, sizeof summary,
+                  "cycles: %llu, instructions: %llu (IPC %.3f), redirect cycles: %llu (%.1f%%)\n",
+                  static_cast<unsigned long long>(total_cycles),
+                  static_cast<unsigned long long>(total_instructions), ipc,
+                  static_cast<unsigned long long>(redirect_cycles),
+                  100.0 * static_cast<double>(redirect_cycles) /
+                      static_cast<double>(std::max<std::uint64_t>(total_cycles, 1)));
+    return out.to_string() + summary;
+}
+
+}  // namespace focs::core

@@ -1,0 +1,36 @@
+// Instruction-mix and cycle-share statistics (the "stats" box of paper
+// Fig. 2). Explains *why* a benchmark gains what it gains: which occupancy
+// classes dominate the EX stage and what LUT period each contributes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "asm/program.hpp"
+#include "dta/delay_table.hpp"
+#include "sim/machine.hpp"
+
+namespace focs::core {
+
+struct MixReport {
+    /// Cycles each occupancy key spent in EX (including bubble/held rows).
+    std::array<std::uint64_t, dta::kKeyCount> ex_cycles{};
+    /// Retired-instruction counts per opcode key.
+    std::array<std::uint64_t, dta::kKeyCount> retired{};
+    std::uint64_t total_cycles = 0;
+    std::uint64_t total_instructions = 0;
+    double ipc = 0;
+    /// Taken-redirect cycles (fetch address mux applied a target).
+    std::uint64_t redirect_cycles = 0;
+
+    /// Renders the report: per-class EX share, retirement mix, IPC.
+    /// When `table` is non-null each row also shows the class's EX-stage
+    /// LUT period, connecting the mix to the achievable speedup.
+    std::string to_string(const dta::DelayTable* table = nullptr) const;
+};
+
+/// Runs `program` once and collects its mix statistics.
+MixReport collect_mix(const assembler::Program& program, sim::MachineConfig config = {});
+
+}  // namespace focs::core

@@ -1,0 +1,155 @@
+#include "core/policies.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "isa/isa_info.hpp"
+
+namespace focs::core {
+
+using dta::DelayTable;
+using dta::OccKey;
+using sim::Stage;
+
+StaticClockPolicy::StaticClockPolicy(double static_period_ps)
+    : static_period_ps_(static_period_ps) {
+    check(static_period_ps > 0, "static period must be positive");
+}
+
+double StaticClockPolicy::requested_period_ps(const PolicyContext&) {
+    return static_period_ps_;
+}
+
+double GenieOraclePolicy::requested_period_ps(const PolicyContext& context) {
+    return context.actual.required_period_ps;
+}
+
+InstructionLutPolicy::InstructionLutPolicy(const DelayTable& table, double margin_ps)
+    : table_(&table), margin_ps_(margin_ps) {
+    check(margin_ps >= 0, "negative safety margin");
+}
+
+double InstructionLutPolicy::requested_period_ps(const PolicyContext& context) {
+    const auto keys = dta::attribution_keys(context.record);
+    return table_->cycle_period_ps(keys) + margin_ps_;
+}
+
+ExOnlyPolicy::ExOnlyPolicy(const DelayTable& table) : table_(&table) {
+    double floor = 0;
+    for (OccKey key = 0; key < dta::kKeyCount; ++key) {
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            const auto stage = static_cast<Stage>(s);
+            if (stage == Stage::kEx) continue;
+            if (!table.characterized(key, stage)) continue;
+            floor = std::max(floor, table.lookup(key, stage));
+        }
+    }
+    check(floor > 0, "delay table has no non-EX entries to build the floor from");
+    floor_ps_ = floor;
+}
+
+double ExOnlyPolicy::requested_period_ps(const PolicyContext& context) {
+    const auto keys = dta::attribution_keys(context.record);
+    const double ex =
+        table_->lookup(keys[static_cast<std::size_t>(Stage::kEx)], Stage::kEx);
+    return std::max(ex, floor_ps_);
+}
+
+bool TwoClassPolicy::is_slow_key(OccKey key) {
+    if (key == dta::kKeyBubble || key == dta::kKeyHeld) return false;
+    const auto family = isa::timing_family(static_cast<isa::Opcode>(key));
+    return family == isa::TimingFamily::kMul || family == isa::TimingFamily::kDiv;
+}
+
+TwoClassPolicy::TwoClassPolicy(const DelayTable& table) : table_(&table) {
+    // The single fast-class period covers the worst *characterized* entry
+    // of every fast-class instruction across all stages. Cycles containing
+    // any uncharacterized (key, stage) pair are treated as slow at run
+    // time, so characterization gaps can never become unsafe.
+    double fast = 0;
+    for (OccKey key = 0; key < dta::kKeyCount; ++key) {
+        if (is_slow_key(key)) continue;
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            const auto stage = static_cast<Stage>(s);
+            if (table.characterized(key, stage)) {
+                fast = std::max(fast, table.lookup(key, stage));
+            }
+        }
+    }
+    fast_period_ps_ = fast > 0 ? fast : table.static_period_ps();
+}
+
+double TwoClassPolicy::requested_period_ps(const PolicyContext& context) {
+    const auto keys = dta::attribution_keys(context.record);
+    for (int s = 0; s < sim::kStageCount; ++s) {
+        const OccKey key = keys[static_cast<std::size_t>(s)];
+        if (is_slow_key(key) || !table_->characterized(key, static_cast<Stage>(s))) {
+            return table_->static_period_ps();
+        }
+    }
+    return fast_period_ps_;
+}
+
+DualCyclePolicy::DualCyclePolicy(const DelayTable& table) : table_(&table) {
+    // The fast period covers every characterized non-critical entry; the
+    // slow (2x) period must cover the critical class and the uncharacterized
+    // static fallback, or the scheme degenerates safely to the fallback.
+    double fast = 0;
+    for (OccKey key = 0; key < dta::kKeyCount; ++key) {
+        if (TwoClassPolicy::is_slow_key(key)) continue;
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            const auto stage = static_cast<Stage>(s);
+            if (table.characterized(key, stage)) {
+                fast = std::max(fast, table.lookup(key, stage));
+            }
+        }
+    }
+    fast_period_ps_ = fast > 0 ? fast : table.static_period_ps();
+    // Two fast cycles must cover the static limit so stretched cycles and
+    // fallback cases stay safe.
+    fast_period_ps_ = std::max(fast_period_ps_, 0.5 * table.static_period_ps());
+}
+
+double DualCyclePolicy::requested_period_ps(const PolicyContext& context) {
+    const auto keys = dta::attribution_keys(context.record);
+    for (int s = 0; s < sim::kStageCount; ++s) {
+        const OccKey key = keys[static_cast<std::size_t>(s)];
+        if (TwoClassPolicy::is_slow_key(key) ||
+            !table_->characterized(key, static_cast<Stage>(s))) {
+            return 2.0 * fast_period_ps_;  // occasional two-cycle operation
+        }
+    }
+    return fast_period_ps_;
+}
+
+ApproximateLutPolicy::ApproximateLutPolicy(const DelayTable& table, double scale)
+    : table_(&table), scale_(scale) {
+    check(scale > 0 && scale <= 1.0, "approximation scale must be in (0, 1]");
+}
+
+double ApproximateLutPolicy::requested_period_ps(const PolicyContext& context) {
+    const auto keys = dta::attribution_keys(context.record);
+    return table_->cycle_period_ps(keys) * scale_;
+}
+
+std::string ApproximateLutPolicy::name() const {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "approx-lut/%.2f", scale_);
+    return buf;
+}
+
+std::unique_ptr<ClockPolicy> make_policy(PolicyKind kind, const DelayTable& table,
+                                         double static_period_ps) {
+    switch (kind) {
+        case PolicyKind::kStatic: return std::make_unique<StaticClockPolicy>(static_period_ps);
+        case PolicyKind::kGenie: return std::make_unique<GenieOraclePolicy>();
+        case PolicyKind::kInstructionLut: return std::make_unique<InstructionLutPolicy>(table);
+        case PolicyKind::kExOnly: return std::make_unique<ExOnlyPolicy>(table);
+        case PolicyKind::kTwoClass: return std::make_unique<TwoClassPolicy>(table);
+    }
+    check(false, "unknown policy kind");
+    return nullptr;
+}
+
+}  // namespace focs::core

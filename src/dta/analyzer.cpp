@@ -1,0 +1,129 @@
+#include "dta/analyzer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace focs::dta {
+
+using sim::Stage;
+
+PipelineSpec PipelineSpec::from_netlist(const timing::SyntheticNetlist& netlist) {
+    PipelineSpec spec;
+    spec.endpoints.resize(netlist.endpoints().size());
+    for (const auto& endpoint : netlist.endpoints()) {
+        spec.endpoints[static_cast<std::size_t>(endpoint.id)] = {endpoint.stage, endpoint.setup_ps,
+                                                                 endpoint.skew_ps};
+    }
+    return spec;
+}
+
+DynamicTimingAnalysis::DynamicTimingAnalysis(PipelineSpec spec, AnalyzerConfig config)
+    : spec_(std::move(spec)), config_(config) {
+    check(!spec_.endpoints.empty(), "pipeline specification has no endpoints");
+    check(config_.static_period_ps > 0, "analyzer needs the static period as fallback");
+}
+
+void DynamicTimingAnalysis::analyze(const EventLog& log, const OccupancyTrace& trace) {
+    const std::uint64_t cycles = trace.size();
+    cycle_delays_.assign(cycles, {});
+    limiting_counts_ = {};
+
+    // Phase 1 (per-endpoint slack -> per-stage grouping -> per-cycle maxima).
+    // The paper identifies, per endpoint and cycle, the last data event and
+    // relates it to the *next* clock edge at the same endpoint: the dynamic
+    // delay requirement is (arrival + setup) - skew.
+    for (const auto& event : log.events()) {
+        check(event.cycle < cycles, "event log references a cycle beyond the trace");
+        const auto id = static_cast<std::size_t>(event.endpoint_id);
+        check(id < spec_.endpoints.size(), "event log references an unknown endpoint");
+        const auto& info = spec_.endpoints[id];
+        const double required = event.data_arrival_ps + info.setup_ps - info.skew_ps;
+        // Dynamic slack against the gate-sim clock (kept as a sanity check
+        // that the relaxed simulation clock never violated timing).
+        const double slack = event.clock_edge_ps - event.data_arrival_ps - info.setup_ps;
+        check(slack >= 0, "gate-level simulation clock violated an endpoint");
+        auto& stage_delay =
+            cycle_delays_[event.cycle][static_cast<std::size_t>(info.stage)];
+        stage_delay = std::max(stage_delay, required);
+    }
+
+    // Phase 2: limiting-stage attribution and per-instruction extraction.
+    for (const auto& entry : trace.entries()) {
+        check(entry.cycle < cycles, "trace cycle out of range");
+        const auto& delays = cycle_delays_[entry.cycle];
+        int limiting = 0;
+        for (int s = 1; s < sim::kStageCount; ++s) {
+            if (delays[static_cast<std::size_t>(s)] > delays[static_cast<std::size_t>(limiting)]) {
+                limiting = s;
+            }
+        }
+        ++limiting_counts_[static_cast<std::size_t>(limiting)];
+
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            const OccKey key = entry.keys[static_cast<std::size_t>(s)];
+            const double delay = delays[static_cast<std::size_t>(s)];
+            auto& ks = key_stats_[static_cast<std::size_t>(key)][static_cast<std::size_t>(s)];
+            ++ks.occurrences;
+            ks.max_ps = std::max(ks.max_ps, delay);
+            ks.stats.add(delay);
+            key_samples_[static_cast<std::size_t>(key)][static_cast<std::size_t>(s)].push_back(
+                static_cast<float>(delay));
+        }
+    }
+}
+
+Histogram DynamicTimingAnalysis::genie_histogram(int bins) const {
+    Histogram h(0.0, config_.static_period_ps * 1.02, bins);
+    for (const auto& delays : cycle_delays_) {
+        h.add(*std::max_element(delays.begin(), delays.end()));
+    }
+    return h;
+}
+
+Histogram DynamicTimingAnalysis::stage_histogram(sim::Stage stage, int bins) const {
+    Histogram h(0.0, config_.static_period_ps * 1.02, bins);
+    for (const auto& delays : cycle_delays_) {
+        h.add(delays[static_cast<std::size_t>(stage)]);
+    }
+    return h;
+}
+
+double DynamicTimingAnalysis::genie_mean_period_ps() const {
+    RunningStats stats;
+    for (const auto& delays : cycle_delays_) {
+        stats.add(*std::max_element(delays.begin(), delays.end()));
+    }
+    return stats.mean();
+}
+
+const KeyStageStats& DynamicTimingAnalysis::stats(OccKey key, Stage stage) const {
+    check(key >= 0 && key < kKeyCount, "key out of range");
+    return key_stats_[static_cast<std::size_t>(key)][static_cast<std::size_t>(stage)];
+}
+
+Histogram DynamicTimingAnalysis::key_stage_histogram(OccKey key, Stage stage, int bins) const {
+    Histogram h(0.0, config_.static_period_ps * 1.02, bins);
+    check(key >= 0 && key < kKeyCount, "key out of range");
+    for (const float sample :
+         key_samples_[static_cast<std::size_t>(key)][static_cast<std::size_t>(stage)]) {
+        h.add(sample);
+    }
+    return h;
+}
+
+DelayTable DynamicTimingAnalysis::build_delay_table() const {
+    DelayTable table(config_.static_period_ps);
+    for (OccKey key = 0; key < kKeyCount; ++key) {
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            const auto& ks = key_stats_[static_cast<std::size_t>(key)][static_cast<std::size_t>(s)];
+            if (ks.occurrences < static_cast<std::uint64_t>(config_.min_occurrences)) continue;
+            const double entry =
+                std::min(ks.max_ps + config_.lut_guard_ps, config_.static_period_ps);
+            table.set(key, static_cast<Stage>(s), entry);
+        }
+    }
+    return table;
+}
+
+}  // namespace focs::dta

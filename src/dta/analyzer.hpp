@@ -1,0 +1,96 @@
+// Dynamic timing analysis (the paper's Perl DTA tool + Matlab extraction).
+//
+// Consumes the endpoint event log and the aligned occupancy trace, and for
+// every cycle: recovers per-endpoint dynamic slack (relating each data
+// arrival to the *skewed* clock edge of the same endpoint and its setup
+// time), groups endpoints into pipeline stages via the pipeline
+// specification, takes per-stage maxima, attributes them to the occupying
+// instructions, and finally extracts per-(instruction, stage) worst-case
+// delays that populate the delay LUT.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/stats.hpp"
+#include "dta/delay_table.hpp"
+#include "dta/event_log.hpp"
+#include "timing/netlist.hpp"
+
+namespace focs::dta {
+
+/// Endpoint-side inputs the analyzer needs (stage grouping, setup, skew).
+/// This is the "pipeline specification" of paper Fig. 2.
+struct PipelineSpec {
+    struct EndpointInfo {
+        sim::Stage stage = sim::Stage::kAdr;
+        double setup_ps = 0;
+        double skew_ps = 0;
+    };
+    std::vector<EndpointInfo> endpoints;  ///< indexed by endpoint id
+
+    static PipelineSpec from_netlist(const timing::SyntheticNetlist& netlist);
+};
+
+struct AnalyzerConfig {
+    double static_period_ps = 0;  ///< STA fallback / report ceiling
+    double lut_guard_ps = 25.0;   ///< guard added on observed maxima
+    int min_occurrences = 10;     ///< below: fall back to the static limit
+};
+
+/// Aggregated delay statistics of one (instruction key, stage) pair.
+struct KeyStageStats {
+    std::uint64_t occurrences = 0;
+    double max_ps = 0;
+    RunningStats stats;
+};
+
+class DynamicTimingAnalysis {
+public:
+    DynamicTimingAnalysis(PipelineSpec spec, AnalyzerConfig config);
+
+    /// Runs the analysis. Events may arrive in any order; the trace must
+    /// contain every cycle referenced by an event.
+    void analyze(const EventLog& log, const OccupancyTrace& trace);
+
+    // ---- Per-cycle results (paper Figs. 5/6) -------------------------------
+    /// Recovered per-cycle per-stage maximum dynamic delays.
+    const std::vector<std::array<double, sim::kStageCount>>& cycle_stage_delays() const {
+        return cycle_delays_;
+    }
+    /// Histogram of per-cycle maxima over all stages (Fig. 5).
+    Histogram genie_histogram(int bins = 50) const;
+    /// Histogram of one stage's per-cycle maximum delays (the "dynamic
+    /// slack distributions ... at pipeline stage granularity" of Sec. II-B).
+    Histogram stage_histogram(sim::Stage stage, int bins = 50) const;
+    /// Mean of the per-cycle maxima: the genie-aided average clock period.
+    double genie_mean_period_ps() const;
+    /// How often each stage owned the per-cycle maximum (Fig. 6).
+    std::array<std::uint64_t, sim::kStageCount> limiting_stage_counts() const {
+        return limiting_counts_;
+    }
+    std::uint64_t cycles() const { return static_cast<std::uint64_t>(cycle_delays_.size()); }
+
+    // ---- Per-instruction results (Table II, Fig. 7) ------------------------
+    const KeyStageStats& stats(OccKey key, sim::Stage stage) const;
+    /// Delay histogram of one (instruction, stage) pair (Fig. 7 uses l.mul).
+    Histogram key_stage_histogram(OccKey key, sim::Stage stage, int bins = 40) const;
+
+    /// Builds the delay LUT: observed max + guard for sufficiently
+    /// characterized entries, static fallback otherwise.
+    DelayTable build_delay_table() const;
+
+private:
+    PipelineSpec spec_;
+    AnalyzerConfig config_;
+    std::vector<std::array<double, sim::kStageCount>> cycle_delays_;
+    std::array<std::uint64_t, sim::kStageCount> limiting_counts_{};
+    std::array<std::array<KeyStageStats, sim::kStageCount>, kKeyCount> key_stats_{};
+    // Raw samples per (key, stage) for histogram rendering; bounded by
+    // sample_cap to keep memory proportional to the characterization run.
+    std::array<std::array<std::vector<float>, sim::kStageCount>, kKeyCount> key_samples_;
+};
+
+}  // namespace focs::dta

@@ -1,0 +1,132 @@
+#include "dta/delay_table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "isa/isa_info.hpp"
+#include "timing/delay_model.hpp"
+
+namespace focs::dta {
+
+using sim::Stage;
+
+OccKey key_of(const sim::StageView& view) {
+    if (!view.valid) return kKeyBubble;
+    if (view.held) {
+        if (isa::timing_family(view.inst.opcode) == isa::TimingFamily::kDiv) {
+            return static_cast<OccKey>(view.inst.opcode);
+        }
+        return kKeyHeld;
+    }
+    return static_cast<OccKey>(view.inst.opcode);
+}
+
+std::array<OccKey, sim::kStageCount> attribution_keys(const sim::CycleRecord& record) {
+    std::array<OccKey, sim::kStageCount> keys{};
+    for (int s = 0; s < sim::kStageCount; ++s) {
+        keys[static_cast<std::size_t>(s)] = key_of(record.stages[static_cast<std::size_t>(s)]);
+    }
+    if (record.fetch_redirect && record.redirect_source != isa::Opcode::kInvalid) {
+        keys[static_cast<std::size_t>(Stage::kAdr)] =
+            static_cast<OccKey>(record.redirect_source);
+    }
+    return keys;
+}
+
+std::string_view key_name(OccKey key) {
+    if (key == kKeyBubble) return "<bubble>";
+    if (key == kKeyHeld) return "<held>";
+    return isa::mnemonic(static_cast<isa::Opcode>(key));
+}
+
+DelayTable::DelayTable(double static_period_ps) : static_period_ps_(static_period_ps) {
+    check(static_period_ps >= 0, "negative static period");
+}
+
+void DelayTable::set(OccKey key, Stage stage, double delay_ps) {
+    check(key >= 0 && key < kKeyCount, "delay table key out of range");
+    check(delay_ps > 0, "delay table entry must be positive");
+    delays_[static_cast<std::size_t>(key)][static_cast<std::size_t>(stage)] = delay_ps;
+    present_[static_cast<std::size_t>(key)][static_cast<std::size_t>(stage)] = true;
+}
+
+bool DelayTable::characterized(OccKey key, Stage stage) const {
+    check(key >= 0 && key < kKeyCount, "delay table key out of range");
+    return present_[static_cast<std::size_t>(key)][static_cast<std::size_t>(stage)];
+}
+
+double DelayTable::lookup(OccKey key, Stage stage) const {
+    return characterized(key, stage)
+               ? delays_[static_cast<std::size_t>(key)][static_cast<std::size_t>(stage)]
+               : static_period_ps_;
+}
+
+double DelayTable::cycle_period_ps(const std::array<OccKey, sim::kStageCount>& keys) const {
+    double period = 0;
+    for (int s = 0; s < sim::kStageCount; ++s) {
+        const double d = lookup(keys[static_cast<std::size_t>(s)], static_cast<Stage>(s));
+        if (d > period) period = d;
+    }
+    return period;
+}
+
+DelayTable DelayTable::scaled(double factor) const {
+    check(factor > 0, "scale factor must be positive");
+    DelayTable out(static_period_ps_ * factor);
+    for (OccKey key = 0; key < kKeyCount; ++key) {
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            if (characterized(key, static_cast<Stage>(s))) {
+                out.set(key, static_cast<Stage>(s),
+                        delays_[static_cast<std::size_t>(key)][static_cast<std::size_t>(s)] *
+                            factor);
+            }
+        }
+    }
+    return out;
+}
+
+std::string DelayTable::serialize() const {
+    std::string out = "delay_table v1 static_ps=" + std::to_string(static_period_ps_) + "\n";
+    char line[128];
+    for (OccKey key = 0; key < kKeyCount; ++key) {
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            if (!characterized(key, static_cast<Stage>(s))) continue;
+            std::snprintf(line, sizeof line, "%d %d %.4f\n", key, s,
+                          delays_[static_cast<std::size_t>(key)][static_cast<std::size_t>(s)]);
+            out += line;
+        }
+    }
+    return out;
+}
+
+DelayTable DelayTable::deserialize(const std::string& text) {
+    std::istringstream in(text);
+    std::string header;
+    std::getline(in, header);
+    const auto fields = split_whitespace(header);
+    if (fields.size() != 3 || fields[0] != "delay_table" || fields[1] != "v1" ||
+        !starts_with(fields[2], "static_ps=")) {
+        throw ParseError("malformed delay table header: " + header);
+    }
+    DelayTable table(std::stod(fields[2].substr(10)));
+    std::string line;
+    int line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (trim(line).empty()) continue;
+        const auto parts = split_whitespace(line);
+        if (parts.size() != 3) throw ParseError("malformed delay table entry", line_no);
+        const auto key = parse_int(parts[0]);
+        const auto stage = parse_int(parts[1]);
+        if (!key || !stage || *key < 0 || *key >= kKeyCount || *stage < 0 ||
+            *stage >= sim::kStageCount) {
+            throw ParseError("delay table entry out of range", line_no);
+        }
+        table.set(static_cast<OccKey>(*key), static_cast<Stage>(*stage), std::stod(parts[2]));
+    }
+    return table;
+}
+
+}  // namespace focs::dta

@@ -1,0 +1,76 @@
+// Per-instruction / per-stage delay lookup table (the LUT of paper Fig. 1).
+//
+// Rows are occupancy keys: one per opcode plus `bubble` (squashed/empty
+// pipeline slot) and `held` (stalled slot). Columns are the six pipeline
+// stages. Entries hold the worst dynamic delay observed during
+// characterization (plus the guard band); uncharacterized entries fall back
+// to the static timing limit, exactly as the paper handles instructions
+// with too few occurrences in the characterization benchmark.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "isa/opcode.hpp"
+#include "sim/cycle_record.hpp"
+
+namespace focs::dta {
+
+/// Row index into the delay table.
+using OccKey = std::int16_t;
+
+inline constexpr OccKey kKeyBubble = isa::kOpcodeCount;
+inline constexpr OccKey kKeyHeld = isa::kOpcodeCount + 1;
+inline constexpr int kKeyCount = isa::kOpcodeCount + 2;
+
+/// Occupancy key of one stage slot (opcode, bubble, or held).
+OccKey key_of(const sim::StageView& view);
+
+/// Per-stage attribution keys for one cycle. Matches the timing model's
+/// attribution rules: the ADR stage is charged to the redirecting
+/// control-transfer instruction on redirect cycles (DESIGN.md,
+/// "ADR attribution"); a held divider stays charged as l.div.
+std::array<OccKey, sim::kStageCount> attribution_keys(const sim::CycleRecord& record);
+
+/// Display name for a key: mnemonic, "<bubble>" or "<held>".
+std::string_view key_name(OccKey key);
+
+class DelayTable {
+public:
+    /// `static_period_ps` is the STA clock period used as fallback.
+    explicit DelayTable(double static_period_ps = 0);
+
+    double static_period_ps() const { return static_period_ps_; }
+
+    /// Sets a characterized entry.
+    void set(OccKey key, sim::Stage stage, double delay_ps);
+
+    /// True when characterization produced an entry for (key, stage).
+    bool characterized(OccKey key, sim::Stage stage) const;
+
+    /// Characterized delay, or the static period as a safe fallback.
+    double lookup(OccKey key, sim::Stage stage) const;
+
+    /// Clock period for a whole cycle: max over stages of lookup(keys[s], s)
+    /// (paper eq. 2).
+    double cycle_period_ps(const std::array<OccKey, sim::kStageCount>& keys) const;
+
+    /// Copy with every entry (and the static fallback) multiplied by
+    /// `factor`. This is the paper's proposed "(online-)updating of the
+    /// used delay prediction table": rescaling by the cell library's delay
+    /// ratio retargets a characterization to a different operating point.
+    DelayTable scaled(double factor) const;
+
+    /// Serialization (text, one line per characterized entry).
+    std::string serialize() const;
+    static DelayTable deserialize(const std::string& text);
+
+private:
+    double static_period_ps_;
+    std::array<std::array<double, sim::kStageCount>, kKeyCount> delays_{};
+    std::array<std::array<bool, sim::kStageCount>, kKeyCount> present_{};
+};
+
+}  // namespace focs::dta

@@ -1,0 +1,90 @@
+#include "dta/event_log.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace focs::dta {
+
+std::string EventLog::serialize() const {
+    std::string out = "event_log v1\n";
+    char line[128];
+    for (const auto& e : events_) {
+        // %.17g keeps doubles bit-exact through the text round trip, so an
+        // offline analysis of dumped logs reproduces the in-memory LUT.
+        std::snprintf(line, sizeof line, "%llu %d %.17g %.17g\n",
+                      static_cast<unsigned long long>(e.cycle), e.endpoint_id, e.data_arrival_ps,
+                      e.clock_edge_ps);
+        out += line;
+    }
+    return out;
+}
+
+EventLog EventLog::deserialize(const std::string& text) {
+    std::istringstream in(text);
+    std::string line;
+    std::getline(in, line);
+    if (trim(line) != "event_log v1") throw ParseError("malformed event log header");
+    EventLog log;
+    int line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (trim(line).empty()) continue;
+        const auto parts = split_whitespace(line);
+        if (parts.size() != 4) throw ParseError("malformed event log entry", line_no);
+        EndpointEvent e;
+        const auto cycle = parse_int(parts[0]);
+        const auto endpoint = parse_int(parts[1]);
+        if (!cycle || !endpoint) throw ParseError("malformed event log entry", line_no);
+        e.cycle = static_cast<std::uint64_t>(*cycle);
+        e.endpoint_id = static_cast<std::int32_t>(*endpoint);
+        e.data_arrival_ps = std::stod(parts[2]);
+        e.clock_edge_ps = std::stod(parts[3]);
+        log.add(e);
+    }
+    return log;
+}
+
+std::string OccupancyTrace::serialize() const {
+    std::string out = "occupancy_trace v1\n";
+    char line[96];
+    for (const auto& t : entries_) {
+        std::snprintf(line, sizeof line, "%llu %d %d %d %d %d %d\n",
+                      static_cast<unsigned long long>(t.cycle), t.keys[0], t.keys[1], t.keys[2],
+                      t.keys[3], t.keys[4], t.keys[5]);
+        out += line;
+    }
+    return out;
+}
+
+OccupancyTrace OccupancyTrace::deserialize(const std::string& text) {
+    std::istringstream in(text);
+    std::string line;
+    std::getline(in, line);
+    if (trim(line) != "occupancy_trace v1") throw ParseError("malformed occupancy trace header");
+    OccupancyTrace trace;
+    int line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (trim(line).empty()) continue;
+        const auto parts = split_whitespace(line);
+        if (parts.size() != 1 + sim::kStageCount) throw ParseError("malformed trace entry", line_no);
+        TraceEntry t;
+        const auto cycle = parse_int(parts[0]);
+        if (!cycle) throw ParseError("malformed trace entry", line_no);
+        t.cycle = static_cast<std::uint64_t>(*cycle);
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            const auto key = parse_int(parts[static_cast<std::size_t>(s) + 1]);
+            if (!key || *key < 0 || *key >= kKeyCount) {
+                throw ParseError("trace key out of range", line_no);
+            }
+            t.keys[static_cast<std::size_t>(s)] = static_cast<OccKey>(*key);
+        }
+        trace.add(t);
+    }
+    return trace;
+}
+
+}  // namespace focs::dta

@@ -1,0 +1,62 @@
+// Endpoint event log — the equivalent of the paper's TSSI event log
+// produced by SDF gate-level simulation.
+//
+// For every clock cycle and sequential endpoint the log records the time of
+// the last data-input event and the arrival of the next active clock edge
+// at that same endpoint (which differs per endpoint because of clock skew).
+// The dynamic timing analyzer recovers per-endpoint slack from exactly
+// these two timestamps, as described in paper Sec. II-B.2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dta/delay_table.hpp"
+#include "sim/cycle_record.hpp"
+
+namespace focs::dta {
+
+struct EndpointEvent {
+    std::uint64_t cycle = 0;
+    std::int32_t endpoint_id = 0;
+    double data_arrival_ps = 0;  ///< last data-pin event, relative to launch edge
+    double clock_edge_ps = 0;    ///< next capture edge at this endpoint
+};
+
+/// Per-cycle pipeline occupancy attribution (the "PC trace + disassembly"
+/// side input of the paper's flow, already aligned to stages).
+struct TraceEntry {
+    std::uint64_t cycle = 0;
+    std::array<OccKey, sim::kStageCount> keys{};
+};
+
+/// In-memory event log with text (de)serialization.
+class EventLog {
+public:
+    void add(EndpointEvent event) { events_.push_back(event); }
+    const std::vector<EndpointEvent>& events() const { return events_; }
+    std::size_t size() const { return events_.size(); }
+
+    std::string serialize() const;
+    static EventLog deserialize(const std::string& text);
+
+private:
+    std::vector<EndpointEvent> events_;
+};
+
+/// Occupancy trace with text (de)serialization.
+class OccupancyTrace {
+public:
+    void add(TraceEntry entry) { entries_.push_back(entry); }
+    const std::vector<TraceEntry>& entries() const { return entries_; }
+    std::size_t size() const { return entries_.size(); }
+
+    std::string serialize() const;
+    static OccupancyTrace deserialize(const std::string& text);
+
+private:
+    std::vector<TraceEntry> entries_;
+};
+
+}  // namespace focs::dta

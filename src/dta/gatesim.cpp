@@ -1,0 +1,58 @@
+#include "dta/gatesim.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace focs::dta {
+
+GateLevelSimulation::GateLevelSimulation(const timing::SyntheticNetlist& netlist,
+                                         const timing::DelayCalculator& calculator,
+                                         double sim_period_factor)
+    : netlist_(netlist), calculator_(calculator) {
+    check(sim_period_factor >= 1.0, "gate-sim clock must be at or below the STA frequency");
+    sim_period_ps_ = calculator.static_period_ps() * sim_period_factor;
+    for (int s = 0; s < sim::kStageCount; ++s) {
+        stage_endpoints_[static_cast<std::size_t>(s)] =
+            netlist.endpoints_of_stage(static_cast<sim::Stage>(s));
+        check(!stage_endpoints_[static_cast<std::size_t>(s)].empty(),
+              "netlist has a stage without endpoints");
+    }
+}
+
+void GateLevelSimulation::on_cycle(const sim::CycleRecord& record) {
+    const timing::CycleDelays delays = calculator_.evaluate(record);
+    reference_delays_.push_back(delays.stage_ps);
+
+    TraceEntry trace_entry;
+    trace_entry.cycle = record.cycle;
+    trace_entry.keys = attribution_keys(record);
+    trace_.add(trace_entry);
+
+    for (int s = 0; s < sim::kStageCount; ++s) {
+        const auto& endpoints = stage_endpoints_[static_cast<std::size_t>(s)];
+        const double required = delays.stage_ps[static_cast<std::size_t>(s)];
+        // One endpoint carries the stage's worst arrival this cycle; the
+        // others settle earlier. The pick rotates pseudo-randomly, like the
+        // shifting worst endpoint of a real design.
+        const std::size_t worst_pick = static_cast<std::size_t>(
+            splitmix64(record.cycle * 31 + static_cast<std::uint64_t>(s)) % endpoints.size());
+        for (std::size_t i = 0; i < endpoints.size(); ++i) {
+            const timing::Endpoint& endpoint = netlist_.endpoint(endpoints[i]);
+            const double endpoint_required =
+                i == worst_pick
+                    ? required
+                    : required * (0.45 + 0.5 * hash_unit_double(splitmix64(
+                                                   record.cycle * 131 + endpoint.id * 7919ULL)));
+            EndpointEvent event;
+            event.cycle = record.cycle;
+            event.endpoint_id = endpoint.id;
+            // The data pin settles `setup` before the "virtual" capture
+            // deadline; the clock edge at this endpoint is skewed.
+            event.data_arrival_ps = endpoint_required + endpoint.skew_ps - endpoint.setup_ps;
+            event.clock_edge_ps = sim_period_ps_ + endpoint.skew_ps;
+            event_log_.add(event);
+        }
+    }
+}
+
+}  // namespace focs::dta

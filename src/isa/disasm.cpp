@@ -1,0 +1,74 @@
+#include "isa/disasm.hpp"
+
+#include <cstdio>
+
+#include "isa/isa_info.hpp"
+
+namespace focs::isa {
+
+namespace {
+
+std::string reg(std::uint8_t r) {
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "r%u", r);
+    return buf;
+}
+
+std::string hex(std::uint32_t v) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "0x%x", v);
+    return buf;
+}
+
+}  // namespace
+
+std::string disassemble(const Instruction& inst, std::uint32_t pc) {
+    const OpcodeInfo& meta = info(inst.opcode);
+    std::string out{meta.mnemonic};
+    if (inst.opcode == Opcode::kInvalid) return out;
+    out += ' ';
+
+    switch (inst.opcode) {
+        case Opcode::kJ:
+        case Opcode::kJal:
+        case Opcode::kBf:
+        case Opcode::kBnf:
+            if (pc != kNoPc) {
+                out += hex(pc + 4u * static_cast<std::uint32_t>(inst.imm));
+            } else {
+                out += std::to_string(inst.imm);
+            }
+            return out;
+        case Opcode::kJr:
+        case Opcode::kJalr:
+            out += reg(inst.rb);
+            return out;
+        case Opcode::kNop:
+            out += hex(static_cast<std::uint32_t>(inst.imm));
+            return out;
+        case Opcode::kMovhi:
+            out += reg(inst.rd) + "," + hex(static_cast<std::uint32_t>(inst.imm));
+            return out;
+        default: break;
+    }
+
+    if (meta.writes_rd && meta.reads_ra && !meta.reads_rb && !meta.has_immediate) {
+        out += reg(inst.rd) + "," + reg(inst.ra);  // unary ALU: l.exths, l.ff1, ...
+        return out;
+    }
+    if (meta.is_load) {
+        out += reg(inst.rd) + "," + std::to_string(inst.imm) + "(" + reg(inst.ra) + ")";
+    } else if (meta.is_store) {
+        out += std::to_string(inst.imm) + "(" + reg(inst.ra) + ")," + reg(inst.rb);
+    } else if (meta.sets_flag) {
+        out += reg(inst.ra) + ",";
+        out += meta.has_immediate ? std::to_string(inst.imm) : reg(inst.rb);
+    } else if (meta.has_immediate) {
+        out += reg(inst.rd) + "," + reg(inst.ra) + "," + std::to_string(inst.imm);
+    } else {
+        out += reg(inst.rd) + "," + reg(inst.ra) + "," + reg(inst.rb);
+    }
+    return out;
+}
+
+}  // namespace focs::isa

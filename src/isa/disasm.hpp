@@ -1,0 +1,19 @@
+// Disassembler for the ORBIS32 subset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/instruction.hpp"
+
+namespace focs::isa {
+
+/// Sentinel for "instruction address unknown".
+inline constexpr std::uint32_t kNoPc = 0xffffffffu;
+
+/// Renders one instruction in GNU-style OR1K syntax, e.g.
+/// "l.addi r3,r3,-1" or "l.bf 0x1234" (branch targets are absolute when the
+/// instruction's own address `pc` is supplied, raw word offsets otherwise).
+std::string disassemble(const Instruction& inst, std::uint32_t pc = kNoPc);
+
+}  // namespace focs::isa

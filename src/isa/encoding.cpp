@@ -1,0 +1,371 @@
+#include "isa/encoding.hpp"
+
+#include "common/error.hpp"
+#include "isa/isa_info.hpp"
+
+namespace focs::isa {
+
+namespace {
+
+constexpr std::uint32_t kLinkRegister = 9;
+
+// Sign-extends the low `bits` bits of `value`.
+constexpr std::int32_t sext(std::uint32_t value, int bits) {
+    const std::uint32_t mask = (bits >= 32) ? 0xffffffffu : ((1u << bits) - 1u);
+    value &= mask;
+    const std::uint32_t sign = 1u << (bits - 1);
+    return static_cast<std::int32_t>((value ^ sign) - sign);
+}
+
+constexpr std::uint32_t major(std::uint32_t word) { return word >> 26; }
+constexpr std::uint32_t field_d(std::uint32_t word) { return (word >> 21) & 0x1f; }
+constexpr std::uint32_t field_a(std::uint32_t word) { return (word >> 16) & 0x1f; }
+constexpr std::uint32_t field_b(std::uint32_t word) { return (word >> 11) & 0x1f; }
+constexpr std::uint32_t field_imm16(std::uint32_t word) { return word & 0xffff; }
+
+// Set-flag condition codes shared by the 0x39 (register) and 0x2f
+// (immediate) major opcodes.
+constexpr std::uint32_t kCondEq = 0x0, kCondNe = 0x1, kCondGtu = 0x2, kCondGeu = 0x3,
+                        kCondLtu = 0x4, kCondLeu = 0x5, kCondGts = 0xa, kCondGes = 0xb,
+                        kCondLts = 0xc, kCondLes = 0xd;
+
+std::uint32_t sf_cond(Opcode op) {
+    switch (op) {
+        case Opcode::kSfeq: case Opcode::kSfeqi: return kCondEq;
+        case Opcode::kSfne: case Opcode::kSfnei: return kCondNe;
+        case Opcode::kSfgtu: case Opcode::kSfgtui: return kCondGtu;
+        case Opcode::kSfgeu: case Opcode::kSfgeui: return kCondGeu;
+        case Opcode::kSfltu: case Opcode::kSfltui: return kCondLtu;
+        case Opcode::kSfleu: case Opcode::kSfleui: return kCondLeu;
+        case Opcode::kSfgts: case Opcode::kSfgtsi: return kCondGts;
+        case Opcode::kSfges: case Opcode::kSfgesi: return kCondGes;
+        case Opcode::kSflts: case Opcode::kSfltsi: return kCondLts;
+        case Opcode::kSfles: case Opcode::kSflesi: return kCondLes;
+        default: check(false, "sf_cond: not a set-flag opcode"); return 0;
+    }
+}
+
+Opcode sf_reg_opcode(std::uint32_t cond) {
+    switch (cond) {
+        case kCondEq: return Opcode::kSfeq;
+        case kCondNe: return Opcode::kSfne;
+        case kCondGtu: return Opcode::kSfgtu;
+        case kCondGeu: return Opcode::kSfgeu;
+        case kCondLtu: return Opcode::kSfltu;
+        case kCondLeu: return Opcode::kSfleu;
+        case kCondGts: return Opcode::kSfgts;
+        case kCondGes: return Opcode::kSfges;
+        case kCondLts: return Opcode::kSflts;
+        case kCondLes: return Opcode::kSfles;
+        default: return Opcode::kInvalid;
+    }
+}
+
+Opcode sf_imm_opcode(std::uint32_t cond) {
+    switch (cond) {
+        case kCondEq: return Opcode::kSfeqi;
+        case kCondNe: return Opcode::kSfnei;
+        case kCondGtu: return Opcode::kSfgtui;
+        case kCondGeu: return Opcode::kSfgeui;
+        case kCondLtu: return Opcode::kSfltui;
+        case kCondLeu: return Opcode::kSfleui;
+        case kCondGts: return Opcode::kSfgtsi;
+        case kCondGes: return Opcode::kSfgesi;
+        case kCondLts: return Opcode::kSfltsi;
+        case kCondLes: return Opcode::kSflesi;
+        default: return Opcode::kInvalid;
+    }
+}
+
+// Major opcodes of the subset.
+constexpr std::uint32_t kMajJ = 0x00, kMajJal = 0x01, kMajBnf = 0x03, kMajBf = 0x04,
+                        kMajNop = 0x05, kMajMovhi = 0x06, kMajJr = 0x11, kMajJalr = 0x12,
+                        kMajLwz = 0x21, kMajLbz = 0x23, kMajLbs = 0x24, kMajLhz = 0x25,
+                        kMajLhs = 0x26, kMajAddi = 0x27, kMajAndi = 0x29, kMajOri = 0x2a,
+                        kMajXori = 0x2b, kMajMuli = 0x2c, kMajShifti = 0x2e, kMajSfi = 0x2f,
+                        kMajSw = 0x35, kMajSb = 0x36, kMajSh = 0x37, kMajAlu = 0x38,
+                        kMajSf = 0x39;
+
+std::uint32_t check_reg(std::uint32_t r) {
+    check(r < 32, "register index out of range");
+    return r;
+}
+
+std::uint32_t encode_r2i(std::uint32_t maj, const Instruction& i) {
+    return maj << 26 | check_reg(i.rd) << 21 | check_reg(i.ra) << 16 |
+           (static_cast<std::uint32_t>(i.imm) & 0xffff);
+}
+
+std::uint32_t encode_store(std::uint32_t maj, const Instruction& i) {
+    const auto imm = static_cast<std::uint32_t>(i.imm);
+    return maj << 26 | ((imm >> 11) & 0x1f) << 21 | check_reg(i.ra) << 16 |
+           check_reg(i.rb) << 11 | (imm & 0x7ff);
+}
+
+std::uint32_t encode_alu(const Instruction& i, std::uint32_t op2, std::uint32_t op3,
+                         std::uint32_t shift_op = 0) {
+    return kMajAlu << 26 | check_reg(i.rd) << 21 | check_reg(i.ra) << 16 |
+           check_reg(i.rb) << 11 | op2 << 8 | shift_op << 6 | op3;
+}
+
+std::uint32_t encode_jump_offset(std::uint32_t maj, const Instruction& i) {
+    check(i.imm >= -(1 << 25) && i.imm < (1 << 25), "jump/branch offset out of 26-bit range");
+    return maj << 26 | (static_cast<std::uint32_t>(i.imm) & 0x03ffffff);
+}
+
+}  // namespace
+
+std::uint32_t encode(const Instruction& i) {
+    switch (i.opcode) {
+        case Opcode::kJ: return encode_jump_offset(kMajJ, i);
+        case Opcode::kJal: return encode_jump_offset(kMajJal, i);
+        case Opcode::kBnf: return encode_jump_offset(kMajBnf, i);
+        case Opcode::kBf: return encode_jump_offset(kMajBf, i);
+        case Opcode::kNop:
+            return kMajNop << 26 | 0x01u << 24 | (static_cast<std::uint32_t>(i.imm) & 0xffff);
+        case Opcode::kMovhi:
+            return kMajMovhi << 26 | check_reg(i.rd) << 21 |
+                   (static_cast<std::uint32_t>(i.imm) & 0xffff);
+        case Opcode::kJr: return kMajJr << 26 | check_reg(i.rb) << 11;
+        case Opcode::kJalr: return kMajJalr << 26 | check_reg(i.rb) << 11;
+        case Opcode::kLwz: return encode_r2i(kMajLwz, i);
+        case Opcode::kLbz: return encode_r2i(kMajLbz, i);
+        case Opcode::kLbs: return encode_r2i(kMajLbs, i);
+        case Opcode::kLhz: return encode_r2i(kMajLhz, i);
+        case Opcode::kLhs: return encode_r2i(kMajLhs, i);
+        case Opcode::kAddi: return encode_r2i(kMajAddi, i);
+        case Opcode::kAndi: return encode_r2i(kMajAndi, i);
+        case Opcode::kOri: return encode_r2i(kMajOri, i);
+        case Opcode::kXori: return encode_r2i(kMajXori, i);
+        case Opcode::kMuli: return encode_r2i(kMajMuli, i);
+        case Opcode::kSlli:
+        case Opcode::kSrli:
+        case Opcode::kSrai:
+        case Opcode::kRori: {
+            std::uint32_t op2 = 0;
+            if (i.opcode == Opcode::kSrli) op2 = 1;
+            if (i.opcode == Opcode::kSrai) op2 = 2;
+            if (i.opcode == Opcode::kRori) op2 = 3;
+            check(i.imm >= 0 && i.imm < 64, "shift amount out of range");
+            return kMajShifti << 26 | check_reg(i.rd) << 21 | check_reg(i.ra) << 16 | op2 << 6 |
+                   static_cast<std::uint32_t>(i.imm);
+        }
+        case Opcode::kSfeqi:
+        case Opcode::kSfnei:
+        case Opcode::kSfgtui:
+        case Opcode::kSfgeui:
+        case Opcode::kSfltui:
+        case Opcode::kSfleui:
+        case Opcode::kSfgtsi:
+        case Opcode::kSfgesi:
+        case Opcode::kSfltsi:
+        case Opcode::kSflesi:
+            return kMajSfi << 26 | sf_cond(i.opcode) << 21 | check_reg(i.ra) << 16 |
+                   (static_cast<std::uint32_t>(i.imm) & 0xffff);
+        case Opcode::kSw: return encode_store(kMajSw, i);
+        case Opcode::kSb: return encode_store(kMajSb, i);
+        case Opcode::kSh: return encode_store(kMajSh, i);
+        case Opcode::kAdd: return encode_alu(i, 0, 0x0);
+        case Opcode::kSub: return encode_alu(i, 0, 0x2);
+        case Opcode::kAnd: return encode_alu(i, 0, 0x3);
+        case Opcode::kOr: return encode_alu(i, 0, 0x4);
+        case Opcode::kXor: return encode_alu(i, 0, 0x5);
+        case Opcode::kMul: return encode_alu(i, 3, 0x6);
+        case Opcode::kDiv: return encode_alu(i, 3, 0x9);
+        case Opcode::kDivu: return encode_alu(i, 3, 0xa);
+        case Opcode::kMulu: return encode_alu(i, 3, 0xb);
+        case Opcode::kExths: return encode_alu(i, 0, 0xc, 0);
+        case Opcode::kExtbs: return encode_alu(i, 0, 0xc, 1);
+        case Opcode::kExthz: return encode_alu(i, 0, 0xc, 2);
+        case Opcode::kExtbz: return encode_alu(i, 0, 0xc, 3);
+        case Opcode::kExtws: return encode_alu(i, 0, 0xd, 0);
+        case Opcode::kExtwz: return encode_alu(i, 0, 0xd, 1);
+        case Opcode::kCmov: return encode_alu(i, 0, 0xe);
+        case Opcode::kFf1: return encode_alu(i, 0, 0xf);
+        case Opcode::kFl1: return encode_alu(i, 1, 0xf);
+        case Opcode::kSll: return encode_alu(i, 0, 0x8, 0);
+        case Opcode::kSrl: return encode_alu(i, 0, 0x8, 1);
+        case Opcode::kSra: return encode_alu(i, 0, 0x8, 2);
+        case Opcode::kRor: return encode_alu(i, 0, 0x8, 3);
+        case Opcode::kSfeq:
+        case Opcode::kSfne:
+        case Opcode::kSfgtu:
+        case Opcode::kSfgeu:
+        case Opcode::kSfltu:
+        case Opcode::kSfleu:
+        case Opcode::kSfgts:
+        case Opcode::kSfges:
+        case Opcode::kSflts:
+        case Opcode::kSfles:
+            return kMajSf << 26 | sf_cond(i.opcode) << 21 | check_reg(i.ra) << 16 |
+                   check_reg(i.rb) << 11;
+        case Opcode::kInvalid: break;
+    }
+    check(false, "encode: invalid opcode");
+    return 0;  // unreachable
+}
+
+Instruction decode(std::uint32_t word) {
+    Instruction i;
+    const std::uint32_t maj = major(word);
+    switch (maj) {
+        case kMajJ:
+        case kMajJal:
+        case kMajBnf:
+        case kMajBf: {
+            i.opcode = maj == kMajJ    ? Opcode::kJ
+                       : maj == kMajJal ? Opcode::kJal
+                       : maj == kMajBnf ? Opcode::kBnf
+                                        : Opcode::kBf;
+            i.imm = sext(word, 26);
+            if (i.opcode == Opcode::kJal) i.rd = kLinkRegister;
+            return i;
+        }
+        case kMajNop:
+            if (((word >> 24) & 0x3) != 0x1) break;
+            i.opcode = Opcode::kNop;
+            i.imm = static_cast<std::int32_t>(field_imm16(word));
+            return i;
+        case kMajMovhi:
+            if ((word >> 16 & 1) != 0) break;  // bit16=1 is l.macrc (unsupported)
+            i.opcode = Opcode::kMovhi;
+            i.rd = static_cast<std::uint8_t>(field_d(word));
+            i.imm = static_cast<std::int32_t>(field_imm16(word));
+            return i;
+        case kMajJr:
+        case kMajJalr:
+            i.opcode = maj == kMajJr ? Opcode::kJr : Opcode::kJalr;
+            i.rb = static_cast<std::uint8_t>(field_b(word));
+            if (i.opcode == Opcode::kJalr) i.rd = kLinkRegister;
+            return i;
+        case kMajLwz:
+        case kMajLbz:
+        case kMajLbs:
+        case kMajLhz:
+        case kMajLhs: {
+            i.opcode = maj == kMajLwz   ? Opcode::kLwz
+                       : maj == kMajLbz ? Opcode::kLbz
+                       : maj == kMajLbs ? Opcode::kLbs
+                       : maj == kMajLhz ? Opcode::kLhz
+                                        : Opcode::kLhs;
+            i.rd = static_cast<std::uint8_t>(field_d(word));
+            i.ra = static_cast<std::uint8_t>(field_a(word));
+            i.imm = sext(word, 16);
+            return i;
+        }
+        case kMajAddi:
+        case kMajMuli:
+        case kMajXori:
+            i.opcode = maj == kMajAddi   ? Opcode::kAddi
+                       : maj == kMajMuli ? Opcode::kMuli
+                                         : Opcode::kXori;
+            i.rd = static_cast<std::uint8_t>(field_d(word));
+            i.ra = static_cast<std::uint8_t>(field_a(word));
+            i.imm = sext(word, 16);
+            return i;
+        case kMajAndi:
+        case kMajOri:
+            i.opcode = maj == kMajAndi ? Opcode::kAndi : Opcode::kOri;
+            i.rd = static_cast<std::uint8_t>(field_d(word));
+            i.ra = static_cast<std::uint8_t>(field_a(word));
+            i.imm = static_cast<std::int32_t>(field_imm16(word));
+            return i;
+        case kMajShifti: {
+            const std::uint32_t op2 = (word >> 6) & 0x3;
+            i.opcode = op2 == 0   ? Opcode::kSlli
+                       : op2 == 1 ? Opcode::kSrli
+                       : op2 == 2 ? Opcode::kSrai
+                                  : Opcode::kRori;
+            i.rd = static_cast<std::uint8_t>(field_d(word));
+            i.ra = static_cast<std::uint8_t>(field_a(word));
+            i.imm = static_cast<std::int32_t>(word & 0x3f);
+            return i;
+        }
+        case kMajSfi: {
+            i.opcode = sf_imm_opcode(field_d(word));
+            if (i.opcode == Opcode::kInvalid) break;
+            i.ra = static_cast<std::uint8_t>(field_a(word));
+            i.imm = sext(word, 16);
+            return i;
+        }
+        case kMajSw:
+        case kMajSb:
+        case kMajSh: {
+            i.opcode = maj == kMajSw ? Opcode::kSw : maj == kMajSb ? Opcode::kSb : Opcode::kSh;
+            i.ra = static_cast<std::uint8_t>(field_a(word));
+            i.rb = static_cast<std::uint8_t>(field_b(word));
+            const std::uint32_t imm = (field_d(word) << 11) | (word & 0x7ff);
+            i.imm = sext(imm, 16);
+            return i;
+        }
+        case kMajAlu: {
+            const std::uint32_t op2 = (word >> 8) & 0x3;
+            const std::uint32_t op3 = word & 0xf;
+            i.rd = static_cast<std::uint8_t>(field_d(word));
+            i.ra = static_cast<std::uint8_t>(field_a(word));
+            i.rb = static_cast<std::uint8_t>(field_b(word));
+            if (op2 == 0) {
+                switch (op3) {
+                    case 0x0: i.opcode = Opcode::kAdd; return i;
+                    case 0x2: i.opcode = Opcode::kSub; return i;
+                    case 0x3: i.opcode = Opcode::kAnd; return i;
+                    case 0x4: i.opcode = Opcode::kOr; return i;
+                    case 0x5: i.opcode = Opcode::kXor; return i;
+                    case 0x8: {
+                        const std::uint32_t shift_op = (word >> 6) & 0x3;
+                        i.opcode = shift_op == 0   ? Opcode::kSll
+                                   : shift_op == 1 ? Opcode::kSrl
+                                   : shift_op == 2 ? Opcode::kSra
+                                                   : Opcode::kRor;
+                        return i;
+                    }
+                    case 0xc: {
+                        const std::uint32_t ext_op = (word >> 6) & 0x3;
+                        i.opcode = ext_op == 0   ? Opcode::kExths
+                                   : ext_op == 1 ? Opcode::kExtbs
+                                   : ext_op == 2 ? Opcode::kExthz
+                                                 : Opcode::kExtbz;
+                        i.rb = 0;
+                        return i;
+                    }
+                    case 0xd: {
+                        const std::uint32_t ext_op = (word >> 6) & 0x3;
+                        if (ext_op > 1) break;
+                        i.opcode = ext_op == 0 ? Opcode::kExtws : Opcode::kExtwz;
+                        i.rb = 0;
+                        return i;
+                    }
+                    case 0xe: i.opcode = Opcode::kCmov; return i;
+                    case 0xf: i.opcode = Opcode::kFf1; i.rb = 0; return i;
+                    default: break;
+                }
+            } else if (op2 == 1) {
+                if (op3 == 0xf) {
+                    i.opcode = Opcode::kFl1;
+                    i.rb = 0;
+                    return i;
+                }
+            } else if (op2 == 3) {
+                switch (op3) {
+                    case 0x6: i.opcode = Opcode::kMul; return i;
+                    case 0x9: i.opcode = Opcode::kDiv; return i;
+                    case 0xa: i.opcode = Opcode::kDivu; return i;
+                    case 0xb: i.opcode = Opcode::kMulu; return i;
+                    default: break;
+                }
+            }
+            break;
+        }
+        case kMajSf: {
+            i.opcode = sf_reg_opcode(field_d(word));
+            if (i.opcode == Opcode::kInvalid) break;
+            i.ra = static_cast<std::uint8_t>(field_a(word));
+            i.rb = static_cast<std::uint8_t>(field_b(word));
+            return i;
+        }
+        default: break;
+    }
+    return Instruction{};  // kInvalid
+}
+
+}  // namespace focs::isa

@@ -1,0 +1,23 @@
+// Binary encode/decode for the ORBIS32 subset.
+//
+// Encodings follow the OpenRISC 1000 Architecture Manual: major opcode in
+// bits [31:26], register fields D[25:21] A[20:16] B[15:11], ALU sub-opcodes
+// in bits [9:8] and [3:0], shift sub-opcodes in bits [7:6], and split
+// store immediates (I[15:11] in [25:21], I[10:0] in [10:0]).
+#pragma once
+
+#include <cstdint>
+
+#include "isa/instruction.hpp"
+
+namespace focs::isa {
+
+/// Encodes a decoded instruction into its 32-bit instruction word.
+/// Throws focs::Error for kInvalid or out-of-range fields.
+std::uint32_t encode(const Instruction& inst);
+
+/// Decodes a 32-bit instruction word. Words outside the supported subset
+/// decode to an Instruction with opcode kInvalid.
+Instruction decode(std::uint32_t word);
+
+}  // namespace focs::isa

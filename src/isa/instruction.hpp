@@ -1,0 +1,28 @@
+// Decoded instruction representation.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/opcode.hpp"
+
+namespace focs::isa {
+
+/// A fully decoded ORBIS32 instruction.
+///
+/// `imm` carries the already sign- or zero-extended immediate as defined by
+/// the opcode's semantics; for jumps/branches it is the signed *word* offset
+/// relative to the instruction (target = pc + 4*imm).
+struct Instruction {
+    Opcode opcode = Opcode::kInvalid;
+    std::uint8_t rd = 0;   ///< destination register index (0..31)
+    std::uint8_t ra = 0;   ///< first source register index
+    std::uint8_t rb = 0;   ///< second source register index
+    std::int32_t imm = 0;  ///< extended immediate / branch word offset / nop code
+};
+
+/// Two instructions are equal when all architectural fields match.
+constexpr bool operator==(const Instruction& a, const Instruction& b) {
+    return a.opcode == b.opcode && a.rd == b.rd && a.ra == b.ra && a.rb == b.rb && a.imm == b.imm;
+}
+
+}  // namespace focs::isa

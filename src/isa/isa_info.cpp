@@ -1,0 +1,232 @@
+#include "isa/isa_info.hpp"
+
+#include <array>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace focs::isa {
+
+namespace {
+
+// Shorthand flags for table construction.
+struct Flags {
+    bool rd = false, ra = false, rb = false;
+    bool load = false, store = false, branch = false, jump = false;
+    bool setf = false, readf = false, imm = false;
+};
+
+constexpr OpcodeInfo make(Opcode op, std::string_view name, Flags f) {
+    OpcodeInfo i;
+    i.opcode = op;
+    i.mnemonic = name;
+    i.writes_rd = f.rd;
+    i.reads_ra = f.ra;
+    i.reads_rb = f.rb;
+    i.is_load = f.load;
+    i.is_store = f.store;
+    i.is_branch = f.branch;
+    i.is_jump = f.jump;
+    i.sets_flag = f.setf;
+    i.reads_flag = f.readf;
+    i.has_immediate = f.imm;
+    return i;
+}
+
+constexpr Flags kR3{.rd = true, .ra = true, .rb = true};                    // l.add rD,rA,rB
+constexpr Flags kR2I{.rd = true, .ra = true, .imm = true};                  // l.addi rD,rA,I
+constexpr Flags kSf{.ra = true, .rb = true, .setf = true};                  // l.sfeq rA,rB
+constexpr Flags kSfi{.ra = true, .setf = true, .imm = true};                // l.sfeqi rA,I
+constexpr Flags kLoad{.rd = true, .ra = true, .load = true, .imm = true};   // l.lwz rD,I(rA)
+constexpr Flags kStore{.ra = true, .rb = true, .store = true, .imm = true}; // l.sw I(rA),rB
+
+constexpr std::array<OpcodeInfo, kOpcodeCount> kTable = {
+    make(Opcode::kAdd, "l.add", kR3),
+    make(Opcode::kAddi, "l.addi", kR2I),
+    make(Opcode::kSub, "l.sub", kR3),
+    make(Opcode::kAnd, "l.and", kR3),
+    make(Opcode::kAndi, "l.andi", kR2I),
+    make(Opcode::kOr, "l.or", kR3),
+    make(Opcode::kOri, "l.ori", kR2I),
+    make(Opcode::kXor, "l.xor", kR3),
+    make(Opcode::kXori, "l.xori", kR2I),
+    make(Opcode::kMul, "l.mul", kR3),
+    make(Opcode::kMuli, "l.muli", kR2I),
+    make(Opcode::kDiv, "l.div", kR3),
+    make(Opcode::kDivu, "l.divu", kR3),
+    make(Opcode::kSll, "l.sll", kR3),
+    make(Opcode::kSlli, "l.slli", kR2I),
+    make(Opcode::kSrl, "l.srl", kR3),
+    make(Opcode::kSrli, "l.srli", kR2I),
+    make(Opcode::kSra, "l.sra", kR3),
+    make(Opcode::kSrai, "l.srai", kR2I),
+    make(Opcode::kRor, "l.ror", kR3),
+    make(Opcode::kRori, "l.rori", kR2I),
+    make(Opcode::kSfeq, "l.sfeq", kSf),
+    make(Opcode::kSfne, "l.sfne", kSf),
+    make(Opcode::kSfgtu, "l.sfgtu", kSf),
+    make(Opcode::kSfgeu, "l.sfgeu", kSf),
+    make(Opcode::kSfltu, "l.sfltu", kSf),
+    make(Opcode::kSfleu, "l.sfleu", kSf),
+    make(Opcode::kSfgts, "l.sfgts", kSf),
+    make(Opcode::kSfges, "l.sfges", kSf),
+    make(Opcode::kSflts, "l.sflts", kSf),
+    make(Opcode::kSfles, "l.sfles", kSf),
+    make(Opcode::kSfeqi, "l.sfeqi", kSfi),
+    make(Opcode::kSfnei, "l.sfnei", kSfi),
+    make(Opcode::kSfgtui, "l.sfgtui", kSfi),
+    make(Opcode::kSfgeui, "l.sfgeui", kSfi),
+    make(Opcode::kSfltui, "l.sfltui", kSfi),
+    make(Opcode::kSfleui, "l.sfleui", kSfi),
+    make(Opcode::kSfgtsi, "l.sfgtsi", kSfi),
+    make(Opcode::kSfgesi, "l.sfgesi", kSfi),
+    make(Opcode::kSfltsi, "l.sfltsi", kSfi),
+    make(Opcode::kSflesi, "l.sflesi", kSfi),
+    make(Opcode::kJ, "l.j", {.jump = true, .imm = true}),
+    make(Opcode::kJal, "l.jal", {.rd = true, .jump = true, .imm = true}),
+    make(Opcode::kJr, "l.jr", {.rb = true, .jump = true}),
+    make(Opcode::kJalr, "l.jalr", {.rd = true, .rb = true, .jump = true}),
+    make(Opcode::kBf, "l.bf", {.branch = true, .readf = true, .imm = true}),
+    make(Opcode::kBnf, "l.bnf", {.branch = true, .readf = true, .imm = true}),
+    make(Opcode::kLwz, "l.lwz", kLoad),
+    make(Opcode::kLbz, "l.lbz", kLoad),
+    make(Opcode::kLbs, "l.lbs", kLoad),
+    make(Opcode::kLhz, "l.lhz", kLoad),
+    make(Opcode::kLhs, "l.lhs", kLoad),
+    make(Opcode::kSw, "l.sw", kStore),
+    make(Opcode::kSb, "l.sb", kStore),
+    make(Opcode::kSh, "l.sh", kStore),
+    make(Opcode::kExths, "l.exths", {.rd = true, .ra = true}),
+    make(Opcode::kExtbs, "l.extbs", {.rd = true, .ra = true}),
+    make(Opcode::kExthz, "l.exthz", {.rd = true, .ra = true}),
+    make(Opcode::kExtbz, "l.extbz", {.rd = true, .ra = true}),
+    make(Opcode::kExtws, "l.extws", {.rd = true, .ra = true}),
+    make(Opcode::kExtwz, "l.extwz", {.rd = true, .ra = true}),
+    make(Opcode::kCmov, "l.cmov", {.rd = true, .ra = true, .rb = true, .readf = true}),
+    make(Opcode::kFf1, "l.ff1", {.rd = true, .ra = true}),
+    make(Opcode::kFl1, "l.fl1", {.rd = true, .ra = true}),
+    make(Opcode::kMulu, "l.mulu", kR3),
+    make(Opcode::kMovhi, "l.movhi", {.rd = true, .imm = true}),
+    make(Opcode::kNop, "l.nop", {.imm = true}),
+};
+
+const OpcodeInfo kInvalidInfo = make(Opcode::kInvalid, "<invalid>", {});
+
+}  // namespace
+
+const OpcodeInfo& info(Opcode op) {
+    const auto index = static_cast<std::size_t>(op);
+    if (index >= kTable.size()) return kInvalidInfo;
+    return kTable[index];
+}
+
+std::string_view mnemonic(Opcode op) { return info(op).mnemonic; }
+
+std::optional<Opcode> opcode_from_mnemonic(std::string_view name) {
+    static const auto* map = [] {
+        auto* m = new std::unordered_map<std::string_view, Opcode>();
+        for (const auto& entry : kTable) m->emplace(entry.mnemonic, entry.opcode);
+        return m;
+    }();
+    const auto it = map->find(name);
+    if (it == map->end()) return std::nullopt;
+    return it->second;
+}
+
+std::string_view timing_family_name(TimingFamily family) {
+    switch (family) {
+        case TimingFamily::kAdd: return "add";
+        case TimingFamily::kLogicAnd: return "and";
+        case TimingFamily::kLogicOr: return "or";
+        case TimingFamily::kLogicXor: return "xor";
+        case TimingFamily::kShift: return "shift";
+        case TimingFamily::kMul: return "mul";
+        case TimingFamily::kDiv: return "div";
+        case TimingFamily::kCompare: return "compare";
+        case TimingFamily::kBranch: return "branch";
+        case TimingFamily::kJump: return "jump";
+        case TimingFamily::kLoad: return "load";
+        case TimingFamily::kStore: return "store";
+        case TimingFamily::kMovhi: return "movhi";
+        case TimingFamily::kNop: return "nop";
+        case TimingFamily::kCount: break;
+    }
+    return "<invalid>";
+}
+
+TimingFamily timing_family(Opcode op) {
+    switch (op) {
+        case Opcode::kAdd:
+        case Opcode::kAddi:
+        case Opcode::kSub: return TimingFamily::kAdd;
+        case Opcode::kAnd:
+        case Opcode::kAndi: return TimingFamily::kLogicAnd;
+        case Opcode::kOr:
+        case Opcode::kOri: return TimingFamily::kLogicOr;
+        case Opcode::kXor:
+        case Opcode::kXori: return TimingFamily::kLogicXor;
+        case Opcode::kMul:
+        case Opcode::kMuli: return TimingFamily::kMul;
+        case Opcode::kDiv:
+        case Opcode::kDivu: return TimingFamily::kDiv;
+        case Opcode::kSll:
+        case Opcode::kSlli:
+        case Opcode::kSrl:
+        case Opcode::kSrli:
+        case Opcode::kSra:
+        case Opcode::kSrai:
+        case Opcode::kRor:
+        case Opcode::kRori: return TimingFamily::kShift;
+        case Opcode::kSfeq:
+        case Opcode::kSfne:
+        case Opcode::kSfgtu:
+        case Opcode::kSfgeu:
+        case Opcode::kSfltu:
+        case Opcode::kSfleu:
+        case Opcode::kSfgts:
+        case Opcode::kSfges:
+        case Opcode::kSflts:
+        case Opcode::kSfles:
+        case Opcode::kSfeqi:
+        case Opcode::kSfnei:
+        case Opcode::kSfgtui:
+        case Opcode::kSfgeui:
+        case Opcode::kSfltui:
+        case Opcode::kSfleui:
+        case Opcode::kSfgtsi:
+        case Opcode::kSfgesi:
+        case Opcode::kSfltsi:
+        case Opcode::kSflesi: return TimingFamily::kCompare;
+        case Opcode::kJ:
+        case Opcode::kJal:
+        case Opcode::kJr:
+        case Opcode::kJalr: return TimingFamily::kJump;
+        case Opcode::kBf:
+        case Opcode::kBnf: return TimingFamily::kBranch;
+        case Opcode::kLwz:
+        case Opcode::kLbz:
+        case Opcode::kLbs:
+        case Opcode::kLhz:
+        case Opcode::kLhs: return TimingFamily::kLoad;
+        case Opcode::kSw:
+        case Opcode::kSb:
+        case Opcode::kSh: return TimingFamily::kStore;
+        case Opcode::kExths:
+        case Opcode::kExtbs:
+        case Opcode::kExthz:
+        case Opcode::kExtbz:
+        case Opcode::kExtws:
+        case Opcode::kExtwz: return TimingFamily::kLogicAnd;  // mask/replicate logic
+        case Opcode::kCmov: return TimingFamily::kLogicOr;    // flag-controlled mux
+        case Opcode::kFf1:
+        case Opcode::kFl1: return TimingFamily::kShift;       // priority encoder
+        case Opcode::kMulu: return TimingFamily::kMul;
+        case Opcode::kMovhi: return TimingFamily::kMovhi;
+        case Opcode::kNop: return TimingFamily::kNop;
+        case Opcode::kInvalid: break;
+    }
+    check(false, "timing_family: invalid opcode");
+    return TimingFamily::kNop;  // unreachable
+}
+
+}  // namespace focs::isa

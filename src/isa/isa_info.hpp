@@ -1,0 +1,43 @@
+// Static per-opcode metadata: mnemonics and architectural properties.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "isa/opcode.hpp"
+
+namespace focs::isa {
+
+/// Architectural properties of one opcode, used by the decoder, the hazard
+/// logic of the pipeline model and the assembler.
+struct OpcodeInfo {
+    Opcode opcode = Opcode::kInvalid;
+    std::string_view mnemonic;  ///< e.g. "l.add"
+    bool writes_rd = false;     ///< produces a GPR result (jal/jalr write r9)
+    bool reads_ra = false;
+    bool reads_rb = false;
+    bool is_load = false;
+    bool is_store = false;
+    bool is_branch = false;  ///< conditional: l.bf / l.bnf
+    bool is_jump = false;    ///< unconditional: l.j / l.jal / l.jr / l.jalr
+    bool sets_flag = false;  ///< l.sf* family
+    bool reads_flag = false; ///< l.bf / l.bnf
+    bool has_immediate = false;
+};
+
+/// Metadata for `op`; valid for every opcode except kInvalid.
+const OpcodeInfo& info(Opcode op);
+
+/// Mnemonic string, e.g. "l.xori". Returns "<invalid>" for kInvalid.
+std::string_view mnemonic(Opcode op);
+
+/// Reverse lookup; accepts canonical mnemonics only (lower-case, "l." prefix).
+std::optional<Opcode> opcode_from_mnemonic(std::string_view name);
+
+/// True for any control transfer with an architectural delay slot.
+inline bool is_control_transfer(Opcode op) {
+    const auto& i = info(op);
+    return i.is_branch || i.is_jump;
+}
+
+}  // namespace focs::isa

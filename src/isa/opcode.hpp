@@ -1,0 +1,72 @@
+// OpenRISC 1000 (ORBIS32 subset) opcode definitions.
+//
+// The subset matches the instructions exercised by the mor1kx "cappuccino"
+// case study in the paper: integer ALU, single-cycle multiplier, serial
+// divider, shifter, set-flag comparisons, branches/jumps with one
+// architectural delay slot, and byte/half/word loads and stores against
+// tightly-coupled SRAMs.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace focs::isa {
+
+/// Decoded instruction mnemonics. `kInvalid` marks undecodable words.
+enum class Opcode : std::uint8_t {
+    // Arithmetic / logic (register and immediate forms)
+    kAdd, kAddi, kSub,
+    kAnd, kAndi, kOr, kOri, kXor, kXori,
+    kMul, kMuli, kDiv, kDivu,
+    // Shifts and rotate
+    kSll, kSlli, kSrl, kSrli, kSra, kSrai, kRor, kRori,
+    // Set-flag comparisons (register forms)
+    kSfeq, kSfne, kSfgtu, kSfgeu, kSfltu, kSfleu, kSfgts, kSfges, kSflts, kSfles,
+    // Set-flag comparisons (immediate forms)
+    kSfeqi, kSfnei, kSfgtui, kSfgeui, kSfltui, kSfleui, kSfgtsi, kSfgesi, kSfltsi, kSflesi,
+    // Control transfer (all with one delay slot)
+    kJ, kJal, kJr, kJalr, kBf, kBnf,
+    // Memory
+    kLwz, kLbz, kLbs, kLhz, kLhs, kSw, kSb, kSh,
+    // Sign/zero extension, conditional move, bit scan (ORBIS32 optional
+    // instructions, emitted by the OpenRISC GCC when enabled)
+    kExths, kExtbs, kExthz, kExtbz, kExtws, kExtwz,
+    kCmov, kFf1, kFl1, kMulu,
+    // Other
+    kMovhi, kNop,
+    kInvalid,
+};
+
+/// Number of valid opcodes (excludes kInvalid).
+inline constexpr int kOpcodeCount = static_cast<int>(Opcode::kInvalid);
+
+/// Functional-unit families used by the synthetic timing model to assign
+/// path-delay anchors (paper Tables I/II list delays per mnemonic family,
+/// e.g. "l.add(i)" covers both register and immediate forms).
+enum class TimingFamily : std::uint8_t {
+    kAdd,      // l.add / l.addi / l.sub: adder carry chain
+    kLogicAnd, // l.and(i)
+    kLogicOr,  // l.or(i)
+    kLogicXor, // l.xor(i)
+    kShift,    // barrel shifter / rotate
+    kMul,      // shielded single-cycle multiplier
+    kDiv,      // serial divider
+    kCompare,  // l.sf* flag generation
+    kBranch,   // l.bf / l.bnf (flag evaluation + target)
+    kJump,     // l.j / l.jal / l.jr / l.jalr (PC/address paths)
+    kLoad,     // LSU + data SRAM read
+    kStore,    // LSU + data SRAM write
+    kMovhi,    // immediate formation only
+    kNop,      // no datapath activity
+    kCount,
+};
+
+inline constexpr int kTimingFamilyCount = static_cast<int>(TimingFamily::kCount);
+
+/// Short name for a timing family (e.g. "add", "mul").
+std::string_view timing_family_name(TimingFamily family);
+
+/// Functional-unit family of an opcode.
+TimingFamily timing_family(Opcode op);
+
+}  // namespace focs::isa

@@ -1,0 +1,20 @@
+#include "power/power_model.hpp"
+
+#include "common/error.hpp"
+
+namespace focs::power {
+
+PowerModel::PowerModel(timing::DesignVariant variant, const timing::CellLibrary& library)
+    : library_(&library), power_factor_(timing::timing_params(variant).power_factor) {}
+
+PowerBreakdown PowerModel::at(double voltage_v, double freq_mhz) const {
+    check(freq_mhz > 0, "frequency must be positive");
+    PowerBreakdown p;
+    p.dynamic_uw = library_->dynamic_uw_per_mhz(voltage_v) * power_factor_ * freq_mhz;
+    p.leakage_uw = library_->leakage_uw(voltage_v) * power_factor_;
+    p.total_uw = p.dynamic_uw + p.leakage_uw;
+    p.uw_per_mhz = p.total_uw / freq_mhz;
+    return p;
+}
+
+}  // namespace focs::power

@@ -1,0 +1,38 @@
+// Core power model on top of the cell-library characterization.
+//
+// P(V, f) = dynamic_uw_per_mhz(V) * variant_power_factor * f + leakage(V),
+// reported both in absolute microwatts and in the paper's uW/MHz metric.
+// Calibrated to 13.7 uW/MHz for the critical-range-optimized core at
+// 0.70 V / 494 MHz (paper Sec. IV-B).
+#pragma once
+
+#include "timing/cell_library.hpp"
+#include "timing/design_config.hpp"
+#include "timing/timing_params.hpp"
+
+namespace focs::power {
+
+struct PowerBreakdown {
+    double dynamic_uw = 0;
+    double leakage_uw = 0;
+    double total_uw = 0;
+    double uw_per_mhz = 0;  ///< total power divided by effective frequency
+};
+
+class PowerModel {
+public:
+    explicit PowerModel(timing::DesignVariant variant,
+                        const timing::CellLibrary& library = timing::CellLibrary::fdsoi28());
+
+    /// Power of the core running at `freq_mhz` effective clock at `voltage_v`.
+    PowerBreakdown at(double voltage_v, double freq_mhz) const;
+
+    const timing::CellLibrary& library() const { return *library_; }
+    double variant_power_factor() const { return power_factor_; }
+
+private:
+    const timing::CellLibrary* library_;
+    double power_factor_;
+};
+
+}  // namespace focs::power

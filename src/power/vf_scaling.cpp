@@ -1,0 +1,56 @@
+#include "power/vf_scaling.hpp"
+
+#include "common/error.hpp"
+
+namespace focs::power {
+
+VoltageFrequencyScaler::VoltageFrequencyScaler(const PowerModel& model,
+                                               const timing::CellLibrary& library)
+    : model_(&model), library_(&library) {}
+
+double VoltageFrequencyScaler::solve_voltage_for_frequency(double freq_at_nominal_mhz,
+                                                           double nominal_voltage_v,
+                                                           double target_freq_mhz) const {
+    check(freq_at_nominal_mhz > 0 && target_freq_mhz > 0, "frequencies must be positive");
+    const double nominal_scale = library_->delay_scale(nominal_voltage_v);
+    auto freq_at = [&](double v) {
+        return freq_at_nominal_mhz * nominal_scale / library_->delay_scale(v);
+    };
+    if (freq_at(library_->min_voltage()) >= target_freq_mhz) return library_->min_voltage();
+    if (freq_at(library_->max_voltage()) < target_freq_mhz) {
+        throw Error("target frequency unreachable within the characterized voltage range");
+    }
+    double lo = library_->min_voltage();
+    double hi = library_->max_voltage();
+    while (hi - lo > 1e-3) {  // 1 mV
+        const double mid = 0.5 * (lo + hi);
+        if (freq_at(mid) >= target_freq_mhz) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    return hi;
+}
+
+IsoThroughputResult VoltageFrequencyScaler::iso_throughput(double static_freq_mhz,
+                                                           double dca_speedup,
+                                                           double nominal_voltage_v) const {
+    check(dca_speedup >= 1.0, "DCA speedup below 1 cannot be traded for voltage");
+    IsoThroughputResult r;
+    r.nominal_voltage_v = nominal_voltage_v;
+    r.target_freq_mhz = static_freq_mhz;
+    r.dca_freq_at_nominal_mhz = static_freq_mhz * dca_speedup;
+    r.scaled_voltage_v = solve_voltage_for_frequency(r.dca_freq_at_nominal_mhz, nominal_voltage_v,
+                                                     static_freq_mhz);
+    r.voltage_reduction_mv = (nominal_voltage_v - r.scaled_voltage_v) * 1000.0;
+    r.baseline_power = model_->at(nominal_voltage_v, static_freq_mhz);
+    // At the reduced voltage the DCA core is throttled to exactly the target
+    // throughput (same execution time as the conventional design).
+    r.scaled_power = model_->at(r.scaled_voltage_v, static_freq_mhz);
+    r.efficiency_gain = r.baseline_power.uw_per_mhz / r.scaled_power.uw_per_mhz - 1.0;
+    r.power_reduction = 1.0 - r.scaled_power.total_uw / r.baseline_power.total_uw;
+    return r;
+}
+
+}  // namespace focs::power

@@ -1,0 +1,48 @@
+// Iso-throughput voltage-frequency scaling (paper Sec. IV-B).
+//
+// Given the DCA speedup at the nominal voltage, finds the reduced supply
+// voltage at which the dynamically-clocked core still delivers the
+// conventional design's throughput, and compares energy efficiency at both
+// operating points (the paper reports -70 mV and 13.7 -> 11.0 uW/MHz).
+#pragma once
+
+#include "power/power_model.hpp"
+#include "timing/cell_library.hpp"
+
+namespace focs::power {
+
+struct IsoThroughputResult {
+    double nominal_voltage_v = 0;
+    double scaled_voltage_v = 0;        ///< reduced supply at iso-throughput
+    double voltage_reduction_mv = 0;
+    double target_freq_mhz = 0;         ///< throughput that must be sustained
+    double dca_freq_at_nominal_mhz = 0; ///< DCA effective frequency before scaling
+    PowerBreakdown baseline_power;      ///< conventional clocking at nominal V
+    PowerBreakdown scaled_power;        ///< DCA at the reduced voltage
+    double efficiency_gain = 0;         ///< baseline uW/MHz / scaled uW/MHz - 1
+    double power_reduction = 0;         ///< 1 - scaled total / baseline total
+};
+
+class VoltageFrequencyScaler {
+public:
+    VoltageFrequencyScaler(const PowerModel& model,
+                           const timing::CellLibrary& library = timing::CellLibrary::fdsoi28());
+
+    /// Smallest voltage (within the library's characterized range) at which
+    /// a design whose effective frequency at `nominal_voltage_v` is
+    /// `freq_at_nominal_mhz` still reaches `target_freq_mhz`.
+    /// Found by bisection on the library delay-scale curve (1 mV tolerance).
+    double solve_voltage_for_frequency(double freq_at_nominal_mhz, double nominal_voltage_v,
+                                       double target_freq_mhz) const;
+
+    /// Full paper-style comparison: conventional clocking at nominal voltage
+    /// vs. DCA (speedup x) scaled down to iso-throughput.
+    IsoThroughputResult iso_throughput(double static_freq_mhz, double dca_speedup,
+                                       double nominal_voltage_v) const;
+
+private:
+    const PowerModel* model_;
+    const timing::CellLibrary* library_;
+};
+
+}  // namespace focs::power

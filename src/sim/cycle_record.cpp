@@ -1,0 +1,17 @@
+#include "sim/cycle_record.hpp"
+
+namespace focs::sim {
+
+std::string_view stage_name(Stage stage) {
+    switch (stage) {
+        case Stage::kAdr: return "adr";
+        case Stage::kFe: return "fe";
+        case Stage::kDc: return "dc";
+        case Stage::kEx: return "ex";
+        case Stage::kCtrl: return "ctrl";
+        case Stage::kWb: return "wb";
+    }
+    return "<invalid>";
+}
+
+}  // namespace focs::sim

@@ -1,0 +1,67 @@
+// Per-cycle pipeline occupancy snapshot.
+//
+// This is the interface between the microarchitectural simulator and every
+// timing consumer (the synthetic "gate-level" delay calculator, the dynamic
+// timing analysis flow, and the DCA policies). It corresponds to the paper's
+// program trace L[t] aligned to pipeline stages: Is[t] = L[t+1-s].
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "isa/instruction.hpp"
+
+namespace focs::sim {
+
+/// Pipeline stages of the modelled 6-stage mor1kx-style core (paper Fig. 4).
+enum class Stage : std::uint8_t { kAdr = 0, kFe, kDc, kEx, kCtrl, kWb };
+
+inline constexpr int kStageCount = 6;
+
+/// Short stage name as used in the paper's figures ("adr", "fe", ...).
+std::string_view stage_name(Stage stage);
+
+/// What one pipeline stage holds during one cycle.
+struct StageView {
+    bool valid = false;        ///< false: bubble (squash or stall slot)
+    bool held = false;         ///< repeat occupancy due to a stall (few signal transitions)
+    isa::Instruction inst;     ///< decoded instruction when valid
+    std::uint32_t pc = 0;
+    // Operand/result values, populated from the EX stage onwards; used by the
+    // data-dependent delay model.
+    std::uint32_t operand_a = 0;
+    std::uint32_t operand_b = 0;
+    std::uint32_t result = 0;
+};
+
+/// One cycle of pipeline activity.
+struct CycleRecord {
+    std::uint64_t cycle = 0;
+    std::array<StageView, kStageCount> stages;
+
+    /// True when the instruction-memory address mux selected a non-sequential
+    /// address this cycle (jump/branch target application).
+    bool fetch_redirect = false;
+    /// Opcode of the control-transfer instruction driving the redirect
+    /// (meaningful only when fetch_redirect). The DTA pipeline specification
+    /// attributes the long instruction-address paths excited by a redirect to
+    /// this instruction (see DESIGN.md, "ADR attribution").
+    isa::Opcode redirect_source = isa::Opcode::kInvalid;
+    std::uint32_t fetch_addr = 0;  ///< instruction SRAM address driven
+
+    bool dmem_access = false;  ///< data SRAM request issued from EX
+    bool dmem_write = false;
+    std::uint32_t dmem_addr = 0;
+
+    const StageView& stage(Stage s) const { return stages[static_cast<std::size_t>(s)]; }
+};
+
+/// Observer invoked once per simulated cycle (after all stages settled).
+class PipelineObserver {
+public:
+    virtual ~PipelineObserver() = default;
+    virtual void on_cycle(const CycleRecord& record) = 0;
+};
+
+}  // namespace focs::sim

@@ -1,0 +1,45 @@
+#include "sim/machine.hpp"
+
+#include "common/error.hpp"
+
+namespace focs::sim {
+
+Machine::Machine(MachineConfig config)
+    : config_(config),
+      imem_("imem", 0, config.imem_size),
+      dmem_("dmem", config.dmem_base, config.dmem_size),
+      pipeline_(std::make_unique<Pipeline>(imem_, dmem_, config.pipeline)) {
+    check(config.imem_size <= config.dmem_base, "instruction SRAM overlaps data SRAM region");
+}
+
+void Machine::load(const assembler::Program& program) {
+    for (const auto& [addr, value] : program.bytes()) {
+        if (addr < config_.dmem_base) {
+            if (!imem_.contains(addr)) throw GuestError("program byte outside instruction SRAM");
+            imem_.write_u8(addr, value);
+        } else {
+            dmem_.write_u8(addr, value);
+        }
+    }
+    entry_ = program.entry();
+    pipeline_->reset(entry_);
+}
+
+RunResult Machine::run(PipelineObserver* observer) {
+    CycleRecord record;
+    while (!pipeline_->exited()) {
+        if (pipeline_->cycles() >= config_.max_cycles) {
+            throw GuestError("watchdog: guest did not exit within max_cycles");
+        }
+        pipeline_->step(record);
+        if (observer != nullptr) observer->on_cycle(record);
+    }
+    RunResult result;
+    result.exit_code = pipeline_->exit_code();
+    result.cycles = pipeline_->cycles();
+    result.instructions = pipeline_->retired_instructions();
+    result.reports = pipeline_->reports();
+    return result;
+}
+
+}  // namespace focs::sim

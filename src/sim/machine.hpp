@@ -1,0 +1,62 @@
+// Machine: couples the pipeline with its tightly-coupled memories, loads
+// program images and runs them to completion.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "sim/cycle_record.hpp"
+#include "sim/memory.hpp"
+#include "sim/pipeline.hpp"
+
+namespace focs::sim {
+
+struct MachineConfig {
+    std::uint32_t imem_size = 64 * 1024;  ///< instruction SRAM, base 0
+    std::uint32_t dmem_base = 0x0010'0000;
+    std::uint32_t dmem_size = 64 * 1024;
+    std::uint64_t max_cycles = 50'000'000;  ///< watchdog against runaway guests
+    PipelineConfig pipeline;
+};
+
+/// Result of a completed guest run.
+struct RunResult {
+    std::uint32_t exit_code = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::vector<std::uint32_t> reports;  ///< values published via l.nop 0x2
+
+    double ipc() const {
+        return cycles > 0 ? static_cast<double>(instructions) / static_cast<double>(cycles) : 0.0;
+    }
+};
+
+class Machine {
+public:
+    explicit Machine(MachineConfig config = {});
+
+    /// Loads a program image (code bytes below dmem_base go to the
+    /// instruction SRAM, the rest to the data SRAM) and resets the pipeline.
+    void load(const assembler::Program& program);
+
+    /// Runs until the guest executes the exit nop.
+    /// `observer` (optional) receives every cycle record.
+    /// Throws focs::GuestError on guest faults or watchdog expiry.
+    RunResult run(PipelineObserver* observer = nullptr);
+
+    Pipeline& pipeline() { return *pipeline_; }
+    Sram& imem() { return imem_; }
+    Sram& dmem() { return dmem_; }
+    const MachineConfig& config() const { return config_; }
+
+private:
+    MachineConfig config_;
+    Sram imem_;
+    Sram dmem_;
+    std::unique_ptr<Pipeline> pipeline_;
+    std::uint32_t entry_ = 0;
+};
+
+}  // namespace focs::sim

@@ -1,0 +1,384 @@
+#include "sim/pipeline.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoding.hpp"
+#include "isa/isa_info.hpp"
+
+namespace focs::sim {
+
+namespace {
+
+using isa::Opcode;
+
+std::uint32_t rotate_right(std::uint32_t value, unsigned amount) {
+    amount &= 31u;
+    if (amount == 0) return value;
+    return value >> amount | value << (32 - amount);
+}
+
+[[noreturn]] void guest_fault(const char* what, std::uint32_t pc) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%s at pc=0x%08x", what, pc);
+    throw GuestError(buf);
+}
+
+}  // namespace
+
+Pipeline::Pipeline(Sram& imem, Sram& dmem, PipelineConfig config)
+    : imem_(imem), dmem_(dmem), config_(config) {
+    check(config_.div_latency >= 1, "divider latency must be at least 1 cycle");
+}
+
+void Pipeline::reset(std::uint32_t entry) {
+    regfile_.reset();
+    adr_ = fe_ = dc_ = ex_ = ctrl_ = wb_ = Slot{};
+    flag_ = false;
+    ex_hold_ = 0;
+    exited_ = false;
+    exit_code_ = 0;
+    reports_.clear();
+    cycle_ = 0;
+    retired_ = 0;
+    adr_ = make_fetch_slot(entry, false, Opcode::kInvalid);
+}
+
+Pipeline::Slot Pipeline::make_fetch_slot(std::uint32_t pc, bool redirect, Opcode source) const {
+    Slot slot;
+    slot.valid = true;
+    slot.pc = pc;
+    slot.fetched_by_redirect = redirect;
+    slot.redirect_source = source;
+    // Decode eagerly for trace attribution; wrong-path fetches past the end
+    // of the program image decode to kInvalid and are harmless unless they
+    // reach EX.
+    slot.inst = imem_.contains(pc, 4) && pc % 4 == 0 ? isa::decode(imem_.read_u32(pc))
+                                                     : isa::Instruction{};
+    return slot;
+}
+
+std::uint32_t Pipeline::forward_reg(std::uint8_t reg) const {
+    if (reg == 0) return 0;
+    if (ctrl_.valid && ctrl_.writes_reg && ctrl_.wreg == reg) {
+        // A load's data is not available from CTRL within the same cycle;
+        // the load-use hazard bubble guarantees this is never needed.
+        check(!ctrl_.is_load, "load-use forwarding violation");
+        return ctrl_.result;
+    }
+    if (wb_.valid && wb_.writes_reg && wb_.wreg == reg) return wb_.result;
+    return regfile_.read(reg);
+}
+
+bool Pipeline::forward_flag() const {
+    if (ctrl_.valid && ctrl_.sets_flag) return ctrl_.flag_value;
+    if (wb_.valid && wb_.sets_flag) return wb_.flag_value;
+    return flag_;
+}
+
+void Pipeline::commit_wb() {
+    if (!wb_.valid) return;
+    if (wb_.writes_reg) regfile_.write(wb_.wreg, wb_.result);
+    if (wb_.sets_flag) flag_ = wb_.flag_value;
+    ++retired_;
+    if (wb_.inst.opcode == Opcode::kNop) {
+        if (wb_.inst.imm == kNopExit) {
+            exited_ = true;
+            exit_code_ = regfile_.read(3);
+        } else if (wb_.inst.imm == kNopReport) {
+            reports_.push_back(regfile_.read(3));
+        }
+    }
+}
+
+void Pipeline::ctrl_memory_access() {
+    if (!ctrl_.valid) return;
+    const Opcode op = ctrl_.inst.opcode;
+    if (ctrl_.is_load) {
+        switch (op) {
+            case Opcode::kLwz: ctrl_.result = dmem_.read_u32(ctrl_.mem_addr); break;
+            case Opcode::kLbz: ctrl_.result = dmem_.read_u8(ctrl_.mem_addr); break;
+            case Opcode::kLbs:
+                ctrl_.result = static_cast<std::uint32_t>(
+                    static_cast<std::int32_t>(static_cast<std::int8_t>(dmem_.read_u8(ctrl_.mem_addr))));
+                break;
+            case Opcode::kLhz: ctrl_.result = dmem_.read_u16(ctrl_.mem_addr); break;
+            case Opcode::kLhs:
+                ctrl_.result = static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                    static_cast<std::int16_t>(dmem_.read_u16(ctrl_.mem_addr))));
+                break;
+            default: check(false, "not a load"); break;
+        }
+    } else if (ctrl_.is_store) {
+        switch (op) {
+            case Opcode::kSw: dmem_.write_u32(ctrl_.mem_addr, ctrl_.store_data); break;
+            case Opcode::kSb:
+                dmem_.write_u8(ctrl_.mem_addr, static_cast<std::uint8_t>(ctrl_.store_data));
+                break;
+            case Opcode::kSh:
+                dmem_.write_u16(ctrl_.mem_addr, static_cast<std::uint16_t>(ctrl_.store_data));
+                break;
+            default: check(false, "not a store"); break;
+        }
+    }
+}
+
+void Pipeline::execute(Slot& s) {
+    const isa::Instruction& inst = s.inst;
+    const auto& meta = isa::info(inst.opcode);
+    if (inst.opcode == Opcode::kInvalid) guest_fault("invalid instruction reached EX", s.pc);
+
+    const std::uint32_t a = meta.reads_ra ? forward_reg(inst.ra) : 0;
+    const std::uint32_t b = meta.reads_rb ? forward_reg(inst.rb) : 0;
+    const auto imm = static_cast<std::uint32_t>(inst.imm);
+    s.a = a;
+    s.b = meta.has_immediate && !meta.is_store ? imm : b;
+    s.writes_reg = meta.writes_rd && inst.rd != 0;
+    s.wreg = inst.rd;
+    s.is_load = meta.is_load;
+    s.is_store = meta.is_store;
+
+    switch (inst.opcode) {
+        case Opcode::kAdd: s.result = a + b; break;
+        case Opcode::kAddi: s.result = a + imm; break;
+        case Opcode::kSub: s.result = a - b; break;
+        case Opcode::kAnd: s.result = a & b; break;
+        case Opcode::kAndi: s.result = a & imm; break;
+        case Opcode::kOr: s.result = a | b; break;
+        case Opcode::kOri: s.result = a | imm; break;
+        case Opcode::kXor: s.result = a ^ b; break;
+        case Opcode::kXori: s.result = a ^ imm; break;
+        case Opcode::kMul: s.result = a * b; break;
+        case Opcode::kMuli: s.result = a * imm; break;
+        case Opcode::kDiv: {
+            const auto sa = static_cast<std::int32_t>(a);
+            const auto sb = static_cast<std::int32_t>(b);
+            // Division by zero and INT_MIN/-1 produce 0 in this model (the
+            // real core flags overflow in SR; no trap in either case).
+            const bool undefined = sb == 0 || (sa == INT32_MIN && sb == -1);
+            s.result = undefined ? 0u : static_cast<std::uint32_t>(sa / sb);
+            break;
+        }
+        case Opcode::kDivu: s.result = b == 0 ? 0u : a / b; break;
+        case Opcode::kSll: s.result = a << (b & 31u); break;
+        case Opcode::kSlli: s.result = a << (imm & 31u); break;
+        case Opcode::kSrl: s.result = a >> (b & 31u); break;
+        case Opcode::kSrli: s.result = a >> (imm & 31u); break;
+        case Opcode::kSra:
+            s.result = static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >>
+                                                  static_cast<std::int32_t>(b & 31u));
+            break;
+        case Opcode::kSrai:
+            s.result = static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >>
+                                                  static_cast<std::int32_t>(imm & 31u));
+            break;
+        case Opcode::kRor: s.result = rotate_right(a, b); break;
+        case Opcode::kRori: s.result = rotate_right(a, static_cast<unsigned>(imm)); break;
+        case Opcode::kMulu: s.result = a * b; break;
+        case Opcode::kExths:
+            s.result = static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(static_cast<std::int16_t>(a & 0xffffu)));
+            break;
+        case Opcode::kExtbs:
+            s.result = static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(static_cast<std::int8_t>(a & 0xffu)));
+            break;
+        case Opcode::kExthz: s.result = a & 0xffffu; break;
+        case Opcode::kExtbz: s.result = a & 0xffu; break;
+        case Opcode::kExtws:
+        case Opcode::kExtwz: s.result = a; break;
+        case Opcode::kCmov: s.result = forward_flag() ? a : b; break;
+        case Opcode::kFf1:
+            s.result = a == 0 ? 0u : static_cast<std::uint32_t>(__builtin_ctz(a) + 1);
+            break;
+        case Opcode::kFl1:
+            s.result = a == 0 ? 0u : static_cast<std::uint32_t>(32 - __builtin_clz(a));
+            break;
+        case Opcode::kMovhi: s.result = imm << 16; break;
+        case Opcode::kNop: break;
+        case Opcode::kJal:
+        case Opcode::kJalr: s.result = s.pc + 8; break;  // return past the delay slot
+        case Opcode::kJ:
+        case Opcode::kJr:
+        case Opcode::kBf:
+        case Opcode::kBnf: break;  // control handled by the caller
+        default: {
+            if (meta.sets_flag) {
+                const auto sa = static_cast<std::int32_t>(a);
+                const std::uint32_t ub = meta.has_immediate ? imm : b;
+                const auto sb = static_cast<std::int32_t>(ub);
+                bool f = false;
+                switch (inst.opcode) {
+                    case Opcode::kSfeq: case Opcode::kSfeqi: f = a == ub; break;
+                    case Opcode::kSfne: case Opcode::kSfnei: f = a != ub; break;
+                    case Opcode::kSfgtu: case Opcode::kSfgtui: f = a > ub; break;
+                    case Opcode::kSfgeu: case Opcode::kSfgeui: f = a >= ub; break;
+                    case Opcode::kSfltu: case Opcode::kSfltui: f = a < ub; break;
+                    case Opcode::kSfleu: case Opcode::kSfleui: f = a <= ub; break;
+                    case Opcode::kSfgts: case Opcode::kSfgtsi: f = sa > sb; break;
+                    case Opcode::kSfges: case Opcode::kSfgesi: f = sa >= sb; break;
+                    case Opcode::kSflts: case Opcode::kSfltsi: f = sa < sb; break;
+                    case Opcode::kSfles: case Opcode::kSflesi: f = sa <= sb; break;
+                    default: check(false, "unhandled set-flag opcode"); break;
+                }
+                s.sets_flag = true;
+                s.flag_value = f;
+            }
+            break;
+        }
+    }
+
+    if (meta.is_load || meta.is_store) {
+        s.mem_addr = a + imm;
+        if (meta.is_store) s.store_data = b;
+    }
+}
+
+StageView Pipeline::view_of(const Slot& slot) const {
+    StageView view;
+    view.valid = slot.valid;
+    view.held = slot.held;
+    view.inst = slot.inst;
+    view.pc = slot.pc;
+    view.operand_a = slot.a;
+    view.operand_b = slot.b;
+    view.result = slot.result;
+    return view;
+}
+
+bool Pipeline::step(CycleRecord& record) {
+    if (exited_) return false;
+
+    // ---- In-cycle stage activity (using the current latch values) --------
+    commit_wb();
+    ctrl_memory_access();
+
+    bool redirect = false;
+    std::uint32_t redirect_target = 0;
+    Opcode redirect_source = Opcode::kInvalid;
+
+    const bool ex_is_new = ex_.valid && ex_hold_ == 0;
+    if (ex_is_new) {
+        if (isa::is_control_transfer(ex_.inst.opcode) && dc_.valid &&
+            isa::is_control_transfer(dc_.inst.opcode)) {
+            guest_fault("control transfer in delay slot", dc_.pc);
+        }
+        execute(ex_);
+        if (ex_.inst.opcode == Opcode::kDiv || ex_.inst.opcode == Opcode::kDivu) {
+            ex_hold_ = config_.div_latency - 1;
+        }
+        // EX-resolved control transfers (register jumps and conditional
+        // branches). Immediate jumps are handled in the fetch stage below.
+        switch (ex_.inst.opcode) {
+            case Opcode::kJr:
+            case Opcode::kJalr:
+                redirect = true;
+                redirect_target = ex_.b;
+                redirect_source = ex_.inst.opcode;
+                break;
+            case Opcode::kBf:
+            case Opcode::kBnf: {
+                const bool flag = forward_flag();
+                const bool taken = (ex_.inst.opcode == Opcode::kBf) == flag;
+                if (taken) {
+                    redirect = true;
+                    redirect_target = ex_.pc + 4u * static_cast<std::uint32_t>(ex_.inst.imm);
+                    redirect_source = ex_.inst.opcode;
+                }
+                break;
+            }
+            default: break;
+        }
+        if (redirect && redirect_target % 4 != 0) guest_fault("misaligned branch target", ex_.pc);
+    } else if (ex_.valid && ex_hold_ > 0) {
+        --ex_hold_;
+    }
+    const bool ex_retains = ex_.valid && ex_hold_ > 0;
+
+    // Load-use hazard: the DC instruction needs a register that the load
+    // currently in EX will only produce at the end of CTRL.
+    bool dc_stall = false;
+    if (dc_.valid && ex_.valid && !ex_retains && ex_.is_load && ex_.writes_reg) {
+        const auto& meta = isa::info(dc_.inst.opcode);
+        if ((meta.reads_ra && dc_.inst.ra == ex_.wreg) ||
+            (meta.reads_rb && dc_.inst.rb == ex_.wreg)) {
+            dc_stall = true;
+        }
+    }
+    const bool front_stall = dc_stall || ex_retains;
+
+    // Fetch-stage handling of immediate jumps: target computed while the
+    // jump sits in FE; applied to the address mux for the cycle after the
+    // delay slot's fetch (zero bubbles).
+    bool fe_jump = false;
+    std::uint32_t fe_jump_target = 0;
+    Opcode fe_jump_source = Opcode::kInvalid;
+    if (!front_stall && fe_.valid &&
+        (fe_.inst.opcode == Opcode::kJ || fe_.inst.opcode == Opcode::kJal)) {
+        if (dc_.valid && isa::is_control_transfer(dc_.inst.opcode)) {
+            guest_fault("control transfer in delay slot", fe_.pc);
+        }
+        fe_jump = true;
+        fe_jump_target = fe_.pc + 4u * static_cast<std::uint32_t>(fe_.inst.imm);
+        fe_jump_source = fe_.inst.opcode;
+    }
+
+    // ---- Record this cycle ------------------------------------------------
+    record = CycleRecord{};
+    record.cycle = cycle_;
+    record.stages[static_cast<std::size_t>(Stage::kAdr)] = view_of(adr_);
+    record.stages[static_cast<std::size_t>(Stage::kFe)] = view_of(fe_);
+    record.stages[static_cast<std::size_t>(Stage::kDc)] = view_of(dc_);
+    record.stages[static_cast<std::size_t>(Stage::kEx)] = view_of(ex_);
+    record.stages[static_cast<std::size_t>(Stage::kCtrl)] = view_of(ctrl_);
+    record.stages[static_cast<std::size_t>(Stage::kWb)] = view_of(wb_);
+    record.fetch_redirect = adr_.valid && adr_.fetched_by_redirect && !adr_.held;
+    record.redirect_source = adr_.redirect_source;
+    record.fetch_addr = adr_.pc;
+    if (ex_is_new && (ex_.is_load || ex_.is_store)) {
+        record.dmem_access = true;
+        record.dmem_write = ex_.is_store;
+        record.dmem_addr = ex_.mem_addr;
+    }
+
+    // ---- Latch update (end of cycle) --------------------------------------
+    check(!(redirect && front_stall), "redirect cannot coincide with a front-end stall");
+    wb_ = ctrl_;
+    wb_.held = false;
+    ctrl_ = ex_retains ? Slot{} : ex_;
+    ctrl_.held = false;
+    if (ex_retains) {
+        // EX keeps the divider; nothing upstream moves.
+        ex_.held = true;
+        dc_.held = fe_.held = adr_.held = true;
+    } else if (dc_stall) {
+        ex_ = Slot{};  // bubble between the load and its consumer
+        dc_.held = fe_.held = adr_.held = true;
+    } else {
+        ex_ = dc_;
+        ex_.held = false;
+        if (redirect) {
+            // The delay slot (in DC this cycle) has advanced into EX above;
+            // FE and ADR hold wrong-path sequential fetches and are squashed.
+            dc_ = Slot{};
+            fe_ = Slot{};
+            adr_ = make_fetch_slot(redirect_target, true, redirect_source);
+        } else {
+            dc_ = fe_;
+            dc_.held = false;
+            fe_ = adr_;
+            fe_.held = false;
+            if (fe_jump) {
+                adr_ = make_fetch_slot(fe_jump_target, true, fe_jump_source);
+            } else {
+                adr_ = make_fetch_slot(adr_.pc + 4, false, Opcode::kInvalid);
+            }
+        }
+    }
+
+    ++cycle_;
+    return !exited_;
+}
+
+}  // namespace focs::sim

@@ -1,0 +1,107 @@
+// Cycle-accurate model of the customized 6-stage mor1kx-style OpenRISC core
+// (paper Fig. 4): ADR, FE, DC, EX, CTRL, WB.
+//
+// Microarchitectural behaviour (see DESIGN.md for rationale):
+//  - Single-cycle tightly-coupled instruction and data SRAMs.
+//  - Full forwarding CTRL->EX and WB->EX; flag forwarding for l.sf*/l.bf
+//    pairs; write-before-read register file semantics.
+//  - Loads read the data SRAM in CTRL; one bubble on load-use hazards.
+//  - One architectural branch delay slot (OR1K semantics).
+//  - l.j / l.jal targets are computed by the fetch unit while the jump is in
+//    FE: taken immediate jumps cost no bubbles.
+//  - l.jr / l.jalr / l.bf / l.bnf resolve in EX: 2 bubbles when taken.
+//  - Serial divider: l.div / l.divu occupy EX for `div_latency` cycles.
+//  - Simulation control via l.nop codes: 0x1 exit (exit code in r3),
+//    0x2 report (pushes r3 to the report stream).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "sim/cycle_record.hpp"
+#include "sim/memory.hpp"
+#include "sim/regfile.hpp"
+
+namespace focs::sim {
+
+/// l.nop immediate codes interpreted by the simulation environment.
+inline constexpr std::int32_t kNopExit = 0x1;
+inline constexpr std::int32_t kNopReport = 0x2;
+
+struct PipelineConfig {
+    int div_latency = 32;  ///< EX occupancy of the serial divider, cycles
+};
+
+class Pipeline {
+public:
+    /// `imem` and `dmem` must outlive the pipeline.
+    Pipeline(Sram& imem, Sram& dmem, PipelineConfig config = {});
+
+    /// Resets all architectural and microarchitectural state and starts
+    /// fetching at `entry`.
+    void reset(std::uint32_t entry);
+
+    /// Advances one clock cycle; fills `record` with this cycle's occupancy.
+    /// Returns false once the exit l.nop has retired (the cycle in which it
+    /// retires still returns true and is recorded).
+    bool step(CycleRecord& record);
+
+    bool exited() const { return exited_; }
+    std::uint32_t exit_code() const { return exit_code_; }
+    const std::vector<std::uint32_t>& reports() const { return reports_; }
+
+    std::uint64_t cycles() const { return cycle_; }
+    std::uint64_t retired_instructions() const { return retired_; }
+
+    RegisterFile& registers() { return regfile_; }
+    const RegisterFile& registers() const { return regfile_; }
+    bool flag() const { return flag_; }
+
+private:
+    struct Slot {
+        bool valid = false;
+        isa::Instruction inst;
+        std::uint32_t pc = 0;
+        // Populated during EX:
+        std::uint32_t a = 0, b = 0;
+        std::uint32_t result = 0;
+        std::uint32_t store_data = 0;
+        std::uint32_t mem_addr = 0;
+        bool writes_reg = false;
+        std::uint8_t wreg = 0;
+        bool sets_flag = false;
+        bool flag_value = false;
+        bool is_load = false;
+        bool is_store = false;
+        // Fetch bookkeeping:
+        bool fetched_by_redirect = false;          ///< address mux selected a target
+        isa::Opcode redirect_source = isa::Opcode::kInvalid;
+        bool held = false;  ///< repeat occupancy due to an upstream stall
+    };
+
+    Slot make_fetch_slot(std::uint32_t pc, bool redirect, isa::Opcode source) const;
+    std::uint32_t forward_reg(std::uint8_t reg) const;
+    bool forward_flag() const;
+    void execute(Slot& slot);
+    void commit_wb();
+    void ctrl_memory_access();
+    StageView view_of(const Slot& slot) const;
+
+    Sram& imem_;
+    Sram& dmem_;
+    PipelineConfig config_;
+    RegisterFile regfile_;
+
+    Slot adr_, fe_, dc_, ex_, ctrl_, wb_;
+    bool flag_ = false;
+    int ex_hold_ = 0;  ///< remaining extra EX cycles of a multi-cycle op
+
+    bool exited_ = false;
+    std::uint32_t exit_code_ = 0;
+    std::vector<std::uint32_t> reports_;
+    std::uint64_t cycle_ = 0;
+    std::uint64_t retired_ = 0;
+};
+
+}  // namespace focs::sim

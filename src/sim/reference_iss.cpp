@@ -1,0 +1,199 @@
+#include "sim/reference_iss.hpp"
+
+#include "common/error.hpp"
+#include "isa/encoding.hpp"
+#include "isa/isa_info.hpp"
+
+namespace focs::sim {
+
+namespace {
+
+using isa::Opcode;
+
+std::uint32_t rotate_right(std::uint32_t value, unsigned amount) {
+    amount &= 31u;
+    if (amount == 0) return value;
+    return value >> amount | value << (32 - amount);
+}
+
+}  // namespace
+
+ReferenceIss::ReferenceIss(Sram& imem, Sram& dmem) : imem_(imem), dmem_(dmem) {}
+
+void ReferenceIss::reset(std::uint32_t entry) {
+    regfile_.reset();
+    flag_ = false;
+    pc_ = entry;
+    pending_redirect_ = false;
+    redirect_target_ = 0;
+    exited_ = false;
+    exit_code_ = 0;
+    reports_.clear();
+    executed_ = 0;
+}
+
+RunResult ReferenceIss::run(std::uint64_t max_steps) {
+    while (!exited_) {
+        if (executed_ >= max_steps) throw GuestError("reference ISS: step limit exceeded");
+        if (!imem_.contains(pc_, 4) || pc_ % 4 != 0) {
+            throw GuestError("reference ISS: bad instruction fetch");
+        }
+        const isa::Instruction inst = isa::decode(imem_.read_u32(pc_));
+        if (inst.opcode == Opcode::kInvalid) {
+            throw GuestError("reference ISS: invalid instruction");
+        }
+        const bool in_delay_slot = pending_redirect_;
+        std::uint32_t next = pc_ + 4;
+        if (pending_redirect_) {
+            next = redirect_target_;
+            pending_redirect_ = false;
+        }
+        if (in_delay_slot && isa::is_control_transfer(inst.opcode)) {
+            throw GuestError("reference ISS: control transfer in delay slot");
+        }
+        execute(inst, pc_);
+        ++executed_;
+        pc_ = next;
+    }
+    RunResult result;
+    result.exit_code = exit_code_;
+    result.cycles = executed_;  // 1 instruction per "cycle" in the reference
+    result.instructions = executed_;
+    result.reports = reports_;
+    return result;
+}
+
+void ReferenceIss::execute(const isa::Instruction& inst, std::uint32_t pc) {
+    const auto& meta = isa::info(inst.opcode);
+    const std::uint32_t a = meta.reads_ra ? regfile_.read(inst.ra) : 0;
+    const std::uint32_t b = meta.reads_rb ? regfile_.read(inst.rb) : 0;
+    const auto imm = static_cast<std::uint32_t>(inst.imm);
+    auto write = [&](std::uint32_t value) { regfile_.write(inst.rd, value); };
+
+    switch (inst.opcode) {
+        case Opcode::kAdd: write(a + b); break;
+        case Opcode::kAddi: write(a + imm); break;
+        case Opcode::kSub: write(a - b); break;
+        case Opcode::kAnd: write(a & b); break;
+        case Opcode::kAndi: write(a & imm); break;
+        case Opcode::kOr: write(a | b); break;
+        case Opcode::kOri: write(a | imm); break;
+        case Opcode::kXor: write(a ^ b); break;
+        case Opcode::kXori: write(a ^ imm); break;
+        case Opcode::kMul: write(a * b); break;
+        case Opcode::kMulu: write(a * b); break;
+        case Opcode::kMuli: write(a * imm); break;
+        case Opcode::kDiv: {
+            const auto sa = static_cast<std::int32_t>(a);
+            const auto sb = static_cast<std::int32_t>(b);
+            const bool undefined = sb == 0 || (sa == INT32_MIN && sb == -1);
+            write(undefined ? 0u : static_cast<std::uint32_t>(sa / sb));
+            break;
+        }
+        case Opcode::kDivu: write(b == 0 ? 0u : a / b); break;
+        case Opcode::kSll: write(a << (b & 31u)); break;
+        case Opcode::kSlli: write(a << (imm & 31u)); break;
+        case Opcode::kSrl: write(a >> (b & 31u)); break;
+        case Opcode::kSrli: write(a >> (imm & 31u)); break;
+        case Opcode::kSra:
+            write(static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >>
+                                             static_cast<std::int32_t>(b & 31u)));
+            break;
+        case Opcode::kSrai:
+            write(static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >>
+                                             static_cast<std::int32_t>(imm & 31u)));
+            break;
+        case Opcode::kRor: write(rotate_right(a, b)); break;
+        case Opcode::kRori: write(rotate_right(a, static_cast<unsigned>(inst.imm))); break;
+        case Opcode::kExths:
+            write(static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(static_cast<std::int16_t>(a & 0xffffu))));
+            break;
+        case Opcode::kExtbs:
+            write(static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(static_cast<std::int8_t>(a & 0xffu))));
+            break;
+        case Opcode::kExthz: write(a & 0xffffu); break;
+        case Opcode::kExtbz: write(a & 0xffu); break;
+        case Opcode::kExtws:
+        case Opcode::kExtwz: write(a); break;
+        case Opcode::kCmov: write(flag_ ? a : b); break;
+        case Opcode::kFf1: write(a == 0 ? 0u : static_cast<std::uint32_t>(__builtin_ctz(a) + 1)); break;
+        case Opcode::kFl1: write(a == 0 ? 0u : static_cast<std::uint32_t>(32 - __builtin_clz(a))); break;
+        case Opcode::kMovhi: write(imm << 16); break;
+        case Opcode::kLwz: write(dmem_.read_u32(a + imm)); break;
+        case Opcode::kLbz: write(dmem_.read_u8(a + imm)); break;
+        case Opcode::kLbs:
+            write(static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(static_cast<std::int8_t>(dmem_.read_u8(a + imm)))));
+            break;
+        case Opcode::kLhz: write(dmem_.read_u16(a + imm)); break;
+        case Opcode::kLhs:
+            write(static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(static_cast<std::int16_t>(dmem_.read_u16(a + imm)))));
+            break;
+        case Opcode::kSw: dmem_.write_u32(a + imm, b); break;
+        case Opcode::kSb: dmem_.write_u8(a + imm, static_cast<std::uint8_t>(b)); break;
+        case Opcode::kSh: dmem_.write_u16(a + imm, static_cast<std::uint16_t>(b)); break;
+        case Opcode::kJ:
+            pending_redirect_ = true;
+            redirect_target_ = pc + 4u * imm;
+            break;
+        case Opcode::kJal:
+            write(pc + 8);
+            pending_redirect_ = true;
+            redirect_target_ = pc + 4u * imm;
+            break;
+        case Opcode::kJr:
+            pending_redirect_ = true;
+            redirect_target_ = b;
+            break;
+        case Opcode::kJalr:
+            write(pc + 8);
+            pending_redirect_ = true;
+            redirect_target_ = b;
+            break;
+        case Opcode::kBf:
+        case Opcode::kBnf:
+            if ((inst.opcode == Opcode::kBf) == flag_) {
+                pending_redirect_ = true;
+                redirect_target_ = pc + 4u * imm;
+            }
+            break;
+        case Opcode::kNop:
+            if (inst.imm == kNopExit) {
+                exited_ = true;
+                exit_code_ = regfile_.read(3);
+            } else if (inst.imm == kNopReport) {
+                reports_.push_back(regfile_.read(3));
+            }
+            break;
+        case Opcode::kInvalid: check(false, "unreachable"); break;
+        default: {
+            check(meta.sets_flag, "unhandled opcode in reference ISS");
+            const auto sa = static_cast<std::int32_t>(a);
+            const std::uint32_t ub = meta.has_immediate ? imm : b;
+            const auto sb = static_cast<std::int32_t>(ub);
+            switch (inst.opcode) {
+                case Opcode::kSfeq: case Opcode::kSfeqi: flag_ = a == ub; break;
+                case Opcode::kSfne: case Opcode::kSfnei: flag_ = a != ub; break;
+                case Opcode::kSfgtu: case Opcode::kSfgtui: flag_ = a > ub; break;
+                case Opcode::kSfgeu: case Opcode::kSfgeui: flag_ = a >= ub; break;
+                case Opcode::kSfltu: case Opcode::kSfltui: flag_ = a < ub; break;
+                case Opcode::kSfleu: case Opcode::kSfleui: flag_ = a <= ub; break;
+                case Opcode::kSfgts: case Opcode::kSfgtsi: flag_ = sa > sb; break;
+                case Opcode::kSfges: case Opcode::kSfgesi: flag_ = sa >= sb; break;
+                case Opcode::kSflts: case Opcode::kSfltsi: flag_ = sa < sb; break;
+                case Opcode::kSfles: case Opcode::kSflesi: flag_ = sa <= sb; break;
+                default: check(false, "unhandled set-flag opcode"); break;
+            }
+            break;
+        }
+    }
+
+    if (pending_redirect_ && redirect_target_ % 4 != 0) {
+        throw GuestError("reference ISS: misaligned branch target");
+    }
+}
+
+}  // namespace focs::sim

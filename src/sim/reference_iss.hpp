@@ -1,0 +1,52 @@
+// Golden-reference instruction set simulator.
+//
+// A minimal sequential interpreter (one architectural instruction at a
+// time, with OR1K delay-slot semantics) used to cross-check the pipelined
+// model: after running the same program on both, the register file, flag,
+// data memory, report stream and exit code must match exactly.
+//
+// Caveat: the pipeline executes (but never retires) a few wrong-path/post-
+// exit instructions; stores among them could not be compared — which is why
+// the program convention requires l.nop padding after the exit nop.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/machine.hpp"
+#include "sim/memory.hpp"
+#include "sim/regfile.hpp"
+
+namespace focs::sim {
+
+class ReferenceIss {
+public:
+    /// `imem` / `dmem` must outlive the interpreter.
+    ReferenceIss(Sram& imem, Sram& dmem);
+
+    void reset(std::uint32_t entry);
+
+    /// Runs until the exit nop executes (or `max_steps` instructions).
+    /// Throws focs::GuestError on faults, exactly like the pipeline.
+    RunResult run(std::uint64_t max_steps = 50'000'000);
+
+    RegisterFile& registers() { return regfile_; }
+    const RegisterFile& registers() const { return regfile_; }
+    bool flag() const { return flag_; }
+
+private:
+    void execute(const isa::Instruction& inst, std::uint32_t pc);
+
+    Sram& imem_;
+    Sram& dmem_;
+    RegisterFile regfile_;
+    bool flag_ = false;
+    std::uint32_t pc_ = 0;
+    bool pending_redirect_ = false;
+    std::uint32_t redirect_target_ = 0;
+    bool exited_ = false;
+    std::uint32_t exit_code_ = 0;
+    std::vector<std::uint32_t> reports_;
+    std::uint64_t executed_ = 0;
+};
+
+}  // namespace focs::sim

@@ -1,0 +1,24 @@
+// 32x32 general-purpose register file (2R1W in the modelled core).
+// r0 is hardwired to zero per the OpenRISC architecture.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace focs::sim {
+
+class RegisterFile {
+public:
+    std::uint32_t read(std::uint8_t index) const { return regs_[index & 31u]; }
+
+    void write(std::uint8_t index, std::uint32_t value) {
+        if ((index & 31u) != 0) regs_[index & 31u] = value;
+    }
+
+    void reset() { regs_.fill(0); }
+
+private:
+    std::array<std::uint32_t, 32> regs_{};
+};
+
+}  // namespace focs::sim

@@ -1,0 +1,54 @@
+#include "sim/trace_printer.hpp"
+
+#include <cstdio>
+
+#include "isa/isa_info.hpp"
+
+namespace focs::sim {
+
+namespace {
+
+/// Fixed-width cell for one stage slot.
+std::string cell(const StageView& view) {
+    if (!view.valid) return "--------    ";
+    std::string name{isa::mnemonic(view.inst.opcode)};
+    if (view.held) name += "*";  // stalled occupancy
+    name.resize(12, ' ');
+    return name;
+}
+
+}  // namespace
+
+void TracePrinter::on_cycle(const CycleRecord& record) {
+    if (max_cycles_ != 0 && recorded_ >= max_cycles_) return;
+    ++recorded_;
+    char prefix[32];
+    std::snprintf(prefix, sizeof prefix, "%6llu | ",
+                  static_cast<unsigned long long>(record.cycle));
+    rows_ += prefix;
+    for (int s = 0; s < kStageCount; ++s) {
+        rows_ += cell(record.stages[static_cast<std::size_t>(s)]);
+        rows_ += "| ";
+    }
+    if (record.fetch_redirect) {
+        rows_ += "redirect<-";
+        rows_ += isa::mnemonic(record.redirect_source);
+    }
+    if (record.dmem_access) rows_ += record.dmem_write ? " dmem-wr" : " dmem-rd";
+    rows_ += '\n';
+}
+
+std::string TracePrinter::text() const {
+    std::string header = " cycle | ";
+    for (int s = 0; s < kStageCount; ++s) {
+        std::string name{stage_name(static_cast<Stage>(s))};
+        name.resize(12, ' ');
+        header += name + "| ";
+    }
+    header += "\n";
+    header.append(header.size() - 1, '-');
+    header += "\n";
+    return header + rows_;
+}
+
+}  // namespace focs::sim

@@ -1,0 +1,31 @@
+// Human-readable pipeline trace (pipeline-viewer style).
+//
+// An observer that renders, per cycle, the occupancy of all six stages plus
+// fetch-redirect and data-memory activity. Used by the CLI (`focs run
+// --trace N`) and handy when writing new kernels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/cycle_record.hpp"
+
+namespace focs::sim {
+
+class TracePrinter : public PipelineObserver {
+public:
+    /// Records at most `max_cycles` cycles (0 = unlimited).
+    explicit TracePrinter(std::uint64_t max_cycles = 0) : max_cycles_(max_cycles) {}
+
+    void on_cycle(const CycleRecord& record) override;
+
+    /// The rendered table (header + one row per recorded cycle).
+    std::string text() const;
+
+private:
+    std::uint64_t max_cycles_;
+    std::string rows_;
+    std::uint64_t recorded_ = 0;
+};
+
+}  // namespace focs::sim

@@ -1,0 +1,24 @@
+// Configuration of the synthetic post-layout design.
+#pragma once
+
+#include <cstdint>
+
+namespace focs::timing {
+
+/// Implementation strategy of the synthetic netlist (paper Sec. II-B.1 /
+/// Fig. 3): a conventional flow produces a "timing wall" (many near-critical
+/// paths); the proposed flow applies critical-range optimization and path
+/// over-constraining to keep sub-critical paths short, at a small area/power
+/// overhead and a 9% longer static period.
+enum class DesignVariant : std::uint8_t {
+    kConventional,            ///< standard synthesis, timing wall
+    kCriticalRangeOptimized,  ///< paper's proposed implementation style
+};
+
+struct DesignConfig {
+    DesignVariant variant = DesignVariant::kCriticalRangeOptimized;
+    double voltage_v = 0.70;     ///< supply voltage of the operating point
+    std::uint64_t seed = 0xf0c5; ///< seed for synthetic path/endpoint jitter
+};
+
+}  // namespace focs::timing

@@ -1,0 +1,134 @@
+#include "timing/netlist.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "isa/isa_info.hpp"
+#include "timing/cell_library.hpp"
+
+namespace focs::timing {
+
+namespace {
+
+using sim::Stage;
+
+struct EndpointPlan {
+    Stage stage;
+    int flops;
+    int sram_pins;
+    const char* prefix;
+};
+
+constexpr EndpointPlan kEndpointPlan[] = {
+    {Stage::kAdr, 2, 2, "adr/pc"},        // PC register + instruction SRAM address pins
+    {Stage::kFe, 4, 0, "fe/instr_reg"},   // fetched instruction word register
+    {Stage::kDc, 6, 0, "dc/pipe_reg"},    // decode outputs, operand registers
+    {Stage::kEx, 10, 2, "ex/pipe_reg"},   // EX/CTRL boundary regs + data SRAM pins
+    {Stage::kCtrl, 6, 2, "ctrl/pipe_reg"},// load align/extend regs + SRAM data pins
+    {Stage::kWb, 4, 0, "wb/rf_write"},    // register-file write port
+};
+
+/// Number of synthetic paths per (stage, class) group.
+constexpr int kPathsPerGroup = 8;
+
+}  // namespace
+
+SyntheticNetlist SyntheticNetlist::generate(const DesignConfig& config) {
+    SyntheticNetlist netlist;
+    netlist.config_ = config;
+    Rng rng(config.seed);
+    const double vscale = CellLibrary::fdsoi28().delay_scale(config.voltage_v);
+    const TimingParams& params = timing_params(config.variant);
+
+    // --- Endpoints ---------------------------------------------------------
+    for (const auto& plan : kEndpointPlan) {
+        for (int i = 0; i < plan.flops + plan.sram_pins; ++i) {
+            Endpoint e;
+            e.id = static_cast<int>(netlist.endpoints_.size());
+            e.stage = plan.stage;
+            e.is_sram_macro = i >= plan.flops;
+            char buf[64];
+            std::snprintf(buf, sizeof buf, "%s%s[%d]", plan.prefix,
+                          e.is_sram_macro ? "_macro" : "", i);
+            e.name = buf;
+            e.setup_ps = e.is_sram_macro ? 45.0 : 30.0;
+            // Post-layout clock skew, sometimes introduced deliberately
+            // (useful skew); zero on SRAM macros to keep the critical
+            // macro arrival exact.
+            e.skew_ps = e.is_sram_macro ? 0.0 : rng.next_double(-25.0, 25.0);
+            netlist.endpoints_.push_back(std::move(e));
+        }
+    }
+
+    // --- Paths per (stage, family) group ------------------------------------
+    auto add_group = [&](Stage stage, int occupancy_class, const DelayBand& band, bool redirect) {
+        if (band.sta_ps <= 0) return;  // bubble/held classes own no physical paths
+        const auto stage_endpoints = netlist.endpoints_of_stage(stage);
+        for (int i = 0; i < kPathsPerGroup; ++i) {
+            TimingPath p;
+            p.id = static_cast<int>(netlist.paths_.size());
+            p.stage = stage;
+            p.occupancy_class = occupancy_class;
+            p.redirect_path = redirect;
+            // The first path of a group carries the group's STA ceiling;
+            // the rest tail off (critical-range optimization keeps this
+            // tail short in the optimized variant, which is already encoded
+            // in the per-variant band ceilings).
+            const double fraction = i == 0 ? 1.0 : rng.next_double(0.55, 0.97);
+            p.sta_delay_ps = band.sta_ps * fraction * vscale;
+            const std::size_t pick = static_cast<std::size_t>(rng.next_below(stage_endpoints.size()));
+            p.endpoint_id = stage_endpoints[pick];
+            netlist.paths_.push_back(p);
+        }
+    };
+
+    for (int s = 0; s < sim::kStageCount; ++s) {
+        for (int c = 0; c < kOccupancyClasses; ++c) {
+            add_group(static_cast<Stage>(s), c,
+                      params.bands[static_cast<std::size_t>(s)][static_cast<std::size_t>(c)],
+                      /*redirect=*/false);
+        }
+    }
+    // ADR redirect paths (target application through the fetch address mux).
+    add_group(Stage::kAdr, static_cast<int>(isa::TimingFamily::kJump),
+              params.adr_redirect[static_cast<std::size_t>(isa::TimingFamily::kJump)],
+              /*redirect=*/true);
+    add_group(Stage::kAdr, static_cast<int>(isa::TimingFamily::kBranch),
+              params.adr_redirect[static_cast<std::size_t>(isa::TimingFamily::kBranch)],
+              /*redirect=*/true);
+
+    check(!netlist.paths_.empty(), "netlist generation produced no paths");
+    return netlist;
+}
+
+std::vector<int> SyntheticNetlist::endpoints_of_stage(Stage stage) const {
+    std::vector<int> ids;
+    for (const auto& e : endpoints_) {
+        if (e.stage == stage) ids.push_back(e.id);
+    }
+    return ids;
+}
+
+double SyntheticNetlist::static_period_ps() const {
+    double worst = 0;
+    for (const auto& p : paths_) worst = std::max(worst, p.sta_delay_ps);
+    return worst;
+}
+
+int SyntheticNetlist::near_critical_count(double range_ps) const {
+    const double limit = static_period_ps() - range_ps;
+    return static_cast<int>(
+        std::count_if(paths_.begin(), paths_.end(),
+                      [&](const TimingPath& p) { return p.sta_delay_ps >= limit; }));
+}
+
+Histogram SyntheticNetlist::path_delay_histogram(int bins) const {
+    const double hi = static_period_ps() * 1.02;
+    Histogram h(0.0, hi, bins);
+    for (const auto& p : paths_) h.add(p.sta_delay_ps);
+    return h;
+}
+
+}  // namespace focs::timing

@@ -1,0 +1,78 @@
+// Synthetic post-layout netlist: endpoints and timing paths.
+//
+// Substitutes the paper's placed-and-routed mor1kx netlist + SDF. The
+// generator materializes, per pipeline stage and per instruction family, a
+// group of combinational paths ending in flip-flops or SRAM macro pins,
+// with static (STA) delays drawn below the calibrated per-group ceilings.
+// This provides:
+//   - static timing analysis (T_static, near-critical path counts, the
+//     Fig. 3 timing-profile histograms),
+//   - the endpoint population used by the gate-level-style event log that
+//     feeds dynamic timing analysis (including per-endpoint setup times and
+//     clock skew, which the paper's DTA explicitly accounts for).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "sim/cycle_record.hpp"
+#include "timing/design_config.hpp"
+#include "timing/timing_params.hpp"
+
+namespace focs::timing {
+
+/// A sequential element (flip-flop or SRAM macro pin) capturing data.
+struct Endpoint {
+    int id = 0;
+    std::string name;            ///< e.g. "ex/alu_result_reg[7]" or "dmem/macro_addr[3]"
+    sim::Stage stage = sim::Stage::kAdr;
+    double setup_ps = 0;
+    double skew_ps = 0;          ///< clock arrival offset at this endpoint
+    bool is_sram_macro = false;
+};
+
+/// One combinational path, attributed to exactly one stage by its endpoint.
+struct TimingPath {
+    int id = 0;
+    int endpoint_id = 0;
+    sim::Stage stage = sim::Stage::kAdr;
+    int occupancy_class = 0;     ///< which instruction family excites it
+    bool redirect_path = false;  ///< ADR path excited by target application
+    double sta_delay_ps = 0;     ///< STA arrival incl. setup, at config voltage
+};
+
+class SyntheticNetlist {
+public:
+    /// Generates the netlist for one design variant/voltage.
+    static SyntheticNetlist generate(const DesignConfig& config);
+
+    const DesignConfig& config() const { return config_; }
+    const std::vector<Endpoint>& endpoints() const { return endpoints_; }
+    const std::vector<TimingPath>& paths() const { return paths_; }
+
+    const Endpoint& endpoint(int id) const { return endpoints_.at(static_cast<std::size_t>(id)); }
+
+    /// Endpoints belonging to `stage`.
+    std::vector<int> endpoints_of_stage(sim::Stage stage) const;
+
+    /// Static timing analysis: the minimum safe clock period (max STA
+    /// arrival over all paths). Matches timing_params().static_period_ps
+    /// scaled to the configured voltage.
+    double static_period_ps() const;
+
+    /// Number of paths within `range_ps` of the critical path (the
+    /// "timing wall" metric of paper Fig. 3).
+    int near_critical_count(double range_ps) const;
+
+    /// Histogram of STA path delays (paper Fig. 3).
+    Histogram path_delay_histogram(int bins = 40) const;
+
+private:
+    DesignConfig config_;
+    std::vector<Endpoint> endpoints_;
+    std::vector<TimingPath> paths_;
+};
+
+}  // namespace focs::timing

@@ -1,0 +1,199 @@
+#include "timing/timing_params.hpp"
+
+#include "common/error.hpp"
+
+namespace focs::timing {
+
+namespace {
+
+using isa::TimingFamily;
+using sim::Stage;
+
+constexpr int stage_index(Stage s) { return static_cast<int>(s); }
+constexpr int family_index(TimingFamily f) { return static_cast<int>(f); }
+
+/// Mutable builder for one variant's tables.
+struct Builder {
+    TimingParams params;
+
+    void set(Stage stage, int occupancy_class, DelayBand band) {
+        params.bands[static_cast<std::size_t>(stage_index(stage))]
+                    [static_cast<std::size_t>(occupancy_class)] = band;
+    }
+    void set(Stage stage, TimingFamily family, DelayBand band) {
+        set(stage, family_index(family), band);
+    }
+    /// Applies `band` to every family class (not bubble/held) of a stage.
+    void set_all_families(Stage stage, DelayBand band) {
+        for (int f = 0; f < isa::kTimingFamilyCount; ++f) set(stage, f, band);
+    }
+    void set_redirect(TimingFamily family, DelayBand band) {
+        params.adr_redirect[static_cast<std::size_t>(family_index(family))] = band;
+    }
+};
+
+/// Critical-range-optimized design at 0.70 V. EX anchors for the families
+/// listed in Table II are the paper's exact values; the rest are
+/// interpolated per functional unit (rationale in the comment per line).
+TimingParams build_optimized() {
+    Builder b;
+    b.params.static_period_ps = 2026.0;  // Sec. IV-A
+    b.params.area_factor = 1.09;         // Sec. III-A: 5-13% penalty band
+    b.params.power_factor = 1.08;
+
+    // ---- EX: the dominating stage (93% of limiting paths, Fig. 6) -------
+    b.set(Stage::kEx, TimingFamily::kAdd, {1467, 260, 1560});      // Table II
+    b.set(Stage::kEx, TimingFamily::kLogicAnd, {1482, 220, 1570}); // Table II
+    b.set(Stage::kEx, TimingFamily::kLogicOr, {1474, 220, 1565});  // between and/xor
+    b.set(Stage::kEx, TimingFamily::kLogicXor, {1514, 220, 1600}); // Table II
+    b.set(Stage::kEx, TimingFamily::kShift, {1270, 230, 1360});    // Table II (l.sll(i))
+    b.set(Stage::kEx, TimingFamily::kMul, {1899, 300, 2026});      // Table II; THE critical path
+    b.set(Stage::kEx, TimingFamily::kDiv, {1310, 180, 1400});      // serial step ~ adder class
+    b.set(Stage::kEx, TimingFamily::kCompare, {1445, 230, 1530});  // subtractor + flag logic
+    b.set(Stage::kEx, TimingFamily::kBranch, {1470, 200, 1550});   // Table II (l.bf)
+    b.set(Stage::kEx, TimingFamily::kJump, {1050, 130, 1150});      // link-address adder only
+    b.set(Stage::kEx, TimingFamily::kLoad, {1391, 180, 1470});     // Table II (l.lwz)
+    b.set(Stage::kEx, TimingFamily::kStore, {1370, 180, 1450});    // slightly below lwz (Table I)
+    b.set(Stage::kEx, TimingFamily::kMovhi, {1180, 160, 1280});    // immediate mux path
+    b.set(Stage::kEx, TimingFamily::kNop, {905, 100, 1000});       // Table I factor 0.78 anchor
+    b.set(Stage::kEx, kBubbleClass, {1350, 200, 0});
+    b.set(Stage::kEx, kHeldClass, {540, 60, 0});
+
+    // ---- ADR: instruction SRAM address paths -----------------------------
+    b.set_all_families(Stage::kAdr, {890, 110, 1240});  // sequential +4 fetch
+    b.set(Stage::kAdr, kBubbleClass, {600, 80, 0});
+    b.set(Stage::kAdr, kHeldClass, {500, 60, 0});
+    // Redirect (target application through the address mux), attributed to
+    // the redirecting control-transfer instruction; l.j worst case is
+    // Table II's 1172 ps ADR entry.
+    for (int f = 0; f < isa::kTimingFamilyCount; ++f) {
+        b.params.adr_redirect[static_cast<std::size_t>(f)] = {1145, 120, 1240};
+    }
+    b.set_redirect(TimingFamily::kJump, {1172, 150, 1240});   // Table II (l.j)
+    b.set_redirect(TimingFamily::kBranch, {1145, 120, 1240});
+
+    // ---- FE: instruction word distribution / pre-decode -------------------
+    b.set_all_families(Stage::kFe, {850, 130, 1020});
+    b.set(Stage::kFe, kBubbleClass, {800, 100, 0});
+    b.set(Stage::kFe, kHeldClass, {520, 60, 0});
+
+    // ---- DC: decode + register file read ----------------------------------
+    b.set_all_families(Stage::kDc, {920, 140, 1150});
+    b.set(Stage::kDc, TimingFamily::kMul, {950, 140, 1180});  // mul operand shield regs
+    b.set(Stage::kDc, kBubbleClass, {900, 120, 0});
+    b.set(Stage::kDc, kHeldClass, {520, 60, 0});
+
+    // ---- CTRL: data SRAM return, align/extend, flag/branch bookkeeping ----
+    b.set_all_families(Stage::kCtrl, {880, 130, 1100});
+    b.set(Stage::kCtrl, TimingFamily::kLoad, {1020, 130, 1260});    // dmem data + align/ext
+    b.set(Stage::kCtrl, TimingFamily::kMul, {1050, 150, 1180});     // result staging
+    b.set(Stage::kCtrl, TimingFamily::kStore, {940, 130, 1080});
+    b.set(Stage::kCtrl, TimingFamily::kCompare, {960, 140, 1090});  // flag distribution
+    b.set(Stage::kCtrl, TimingFamily::kBranch, {960, 140, 1090});
+    b.set(Stage::kCtrl, kBubbleClass, {600, 80, 0});
+    b.set(Stage::kCtrl, kHeldClass, {500, 60, 0});
+
+    // ---- WB: register file write port -------------------------------------
+    b.set_all_families(Stage::kWb, {680, 110, 800});
+    b.set(Stage::kWb, TimingFamily::kNop, {560, 90, 700});
+    b.set(Stage::kWb, TimingFamily::kStore, {560, 90, 700});
+    b.set(Stage::kWb, TimingFamily::kCompare, {590, 90, 710});
+    b.set(Stage::kWb, kBubbleClass, {500, 70, 0});
+    b.set(Stage::kWb, kHeldClass, {450, 60, 0});
+
+    return b.params;
+}
+
+/// Conventional design at 0.70 V: 9% shorter static period but a timing
+/// wall — per-family dynamic maxima cluster near the static limit. Anchors
+/// are optimized_anchor / factor using Table I factors where published.
+TimingParams build_conventional() {
+    Builder b;
+    b.params.static_period_ps = 1859.0;  // 2026 / 1.09 (Sec. III-A)
+    b.params.area_factor = 1.0;
+    b.params.power_factor = 1.0;
+
+    b.set(Stage::kEx, TimingFamily::kAdd, {1595, 140, 1680});      // 1467/0.92 (Table I)
+    b.set(Stage::kEx, TimingFamily::kLogicAnd, {1647, 160, 1730}); // /0.90
+    b.set(Stage::kEx, TimingFamily::kLogicOr, {1638, 160, 1720});
+    b.set(Stage::kEx, TimingFamily::kLogicXor, {1646, 160, 1730});
+    b.set(Stage::kEx, TimingFamily::kShift, {1588, 180, 1680});    // /0.80
+    b.set(Stage::kEx, TimingFamily::kMul, {1726, 280, 1859});      // 1899/1.10 (Table I)
+    b.set(Stage::kEx, TimingFamily::kDiv, {1541, 180, 1630});
+    b.set(Stage::kEx, TimingFamily::kCompare, {1700, 200, 1790});
+    b.set(Stage::kEx, TimingFamily::kBranch, {1850, 180, 1855});   // 1470/0.78, wall-limited
+    b.set(Stage::kEx, TimingFamily::kJump, {1231, 150, 1330});
+    b.set(Stage::kEx, TimingFamily::kLoad, {1636, 170, 1720});     // 1391/0.85 (Table I)
+    b.set(Stage::kEx, TimingFamily::kStore, {1612, 170, 1700});    // 1370/0.85 (Table I)
+    b.set(Stage::kEx, TimingFamily::kMovhi, {1400, 160, 1500});
+    b.set(Stage::kEx, TimingFamily::kNop, {1160, 130, 1260});      // 905/0.78 (Table I)
+    b.set(Stage::kEx, kBubbleClass, {900, 100, 0});
+    b.set(Stage::kEx, kHeldClass, {650, 60, 0});
+
+    b.set_all_families(Stage::kAdr, {1250, 140, 1450});
+    b.set(Stage::kAdr, kBubbleClass, {700, 80, 0});
+    b.set(Stage::kAdr, kHeldClass, {560, 60, 0});
+    for (int f = 0; f < isa::kTimingFamilyCount; ++f) {
+        b.params.adr_redirect[static_cast<std::size_t>(f)] = {1550, 150, 1700};
+    }
+    b.set_redirect(TimingFamily::kJump, {1584, 160, 1700});  // 1172/0.74 (Table I)
+    b.set_redirect(TimingFamily::kBranch, {1550, 150, 1700});
+
+    b.set_all_families(Stage::kFe, {1100, 160, 1300});
+    b.set(Stage::kFe, kBubbleClass, {700, 80, 0});
+    b.set(Stage::kFe, kHeldClass, {560, 60, 0});
+
+    b.set_all_families(Stage::kDc, {1300, 180, 1450});
+    b.set(Stage::kDc, kBubbleClass, {720, 80, 0});
+    b.set(Stage::kDc, kHeldClass, {560, 60, 0});
+
+    b.set_all_families(Stage::kCtrl, {1150, 150, 1300});
+    b.set(Stage::kCtrl, TimingFamily::kLoad, {1450, 170, 1550});
+    b.set(Stage::kCtrl, TimingFamily::kMul, {1300, 150, 1400});
+    b.set(Stage::kCtrl, kBubbleClass, {680, 80, 0});
+    b.set(Stage::kCtrl, kHeldClass, {540, 60, 0});
+
+    b.set_all_families(Stage::kWb, {880, 120, 1000});
+    b.set(Stage::kWb, kBubbleClass, {600, 70, 0});
+    b.set(Stage::kWb, kHeldClass, {500, 60, 0});
+
+    return b.params;
+}
+
+void validate(const TimingParams& p) {
+    for (const auto& stage_bands : p.bands) {
+        for (const auto& band : stage_bands) {
+            check(band.anchor_ps > 0, "delay band not initialized");
+            check(band.spread_ps >= 0 && band.spread_ps < band.anchor_ps,
+                  "delay spread must be within the anchor");
+            check(band.sta_ps == 0 || band.sta_ps >= band.anchor_ps,
+                  "STA ceiling below dynamic anchor");
+            check(band.sta_ps <= p.static_period_ps, "path group exceeds static period");
+        }
+    }
+    // Redirect bands exist only for real instruction families (a redirect
+    // source is never a bubble/held slot); those must be fully consistent.
+    for (int f = 0; f < isa::kTimingFamilyCount; ++f) {
+        const auto& band = p.adr_redirect[static_cast<std::size_t>(f)];
+        check(band.anchor_ps > 0 && band.sta_ps <= p.static_period_ps,
+              "redirect band inconsistent");
+    }
+}
+
+}  // namespace
+
+const TimingParams& timing_params(DesignVariant variant) {
+    static const TimingParams optimized = [] {
+        TimingParams p = build_optimized();
+        validate(p);
+        return p;
+    }();
+    static const TimingParams conventional = [] {
+        TimingParams p = build_conventional();
+        validate(p);
+        return p;
+    }();
+    return variant == DesignVariant::kCriticalRangeOptimized ? optimized : conventional;
+}
+
+}  // namespace focs::timing

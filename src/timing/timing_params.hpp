@@ -1,0 +1,75 @@
+// Calibration tables of the synthetic timing model.
+//
+// Every anchor in this file is taken from, or interpolated between, numbers
+// published in the paper (DATE'15, Tables I/II and Sec. IV) for the 28 nm
+// FDSOI mor1kx core at 0.70 V with critical-range optimization:
+//   - T_static = 2026 ps (494 MHz)                     [Sec. IV-A, Fig. 5]
+//   - EX worst dynamic delays: l.add(i) 1467, l.and(i) 1482, l.bf 1470,
+//     l.j 1172 (ADR), l.lwz 1391, l.mul 1899, l.sll(i) 1270, l.xor 1514
+//                                                      [Table II]
+//   - conventional/optimized max-delay factors: l.add(i) 0.92, l.bf 0.78,
+//     l.j 0.74, l.lwz 0.85, l.mul 1.10, l.nop 0.78, l.sw 0.85   [Table I]
+//   - conventional static period: 2026/1.09 = 1859 ps  [Sec. III-A, +9%]
+//   - l.mul EX delay spread ~300 ps (data dependent)   [Fig. 7]
+// Families not listed in the paper are interpolated from their functional
+// unit (documented per entry below).
+#pragma once
+
+#include <array>
+
+#include "isa/opcode.hpp"
+#include "sim/cycle_record.hpp"
+#include "timing/design_config.hpp"
+
+namespace focs::timing {
+
+/// Number of per-stage occupancy classes: one per timing family plus
+/// bubble (squashed/empty slot) and held (stalled slot, no transitions).
+inline constexpr int kOccupancyClasses = isa::kTimingFamilyCount + 2;
+inline constexpr int kBubbleClass = isa::kTimingFamilyCount;
+inline constexpr int kHeldClass = isa::kTimingFamilyCount + 1;
+
+/// Per-(stage, class) delay behaviour of the synthetic design:
+/// dynamic arrival(t) = anchor_ps - spread_ps * mix(jitter, data_factor),
+/// and the path group's static (STA) ceiling is sta_ps >= anchor_ps.
+struct DelayBand {
+    double anchor_ps = 0;  ///< worst achievable dynamic arrival (incl. setup)
+    double spread_ps = 0;  ///< width of the data/jitter dependent variation
+    double sta_ps = 0;     ///< static timing ceiling of the path group
+};
+
+/// Full per-stage delay band tables for one design variant at 0.70 V.
+struct TimingParams {
+    /// [stage][class] delay bands.
+    std::array<std::array<DelayBand, kOccupancyClasses>, sim::kStageCount> bands;
+
+    /// Extra ADR-stage band excited when the fetch address mux applies a
+    /// branch/jump target (attributed to the redirecting instruction; see
+    /// DESIGN.md "ADR attribution"). Indexed by occupancy class of the
+    /// redirect source.
+    std::array<DelayBand, kOccupancyClasses> adr_redirect;
+
+    /// Static period of the design as found by STA (max over all bands'
+    /// sta_ps). 2026 ps optimized / 1859 ps conventional at 0.70 V.
+    double static_period_ps = 0;
+
+    /// Relative area and power cost versus the conventional variant
+    /// (paper: 5-13% depending on library/voltage; we use 9%/8%).
+    double area_factor = 1.0;
+    double power_factor = 1.0;
+};
+
+/// Returns the calibrated tables for one design variant (at 0.70 V; voltage
+/// scaling is applied on top by the cell library).
+const TimingParams& timing_params(DesignVariant variant);
+
+/// Fraction of the delay variation driven by operand values (the rest is
+/// cycle-level pseudo-random jitter standing in for wire/state effects).
+inline constexpr double kDataMixWeight = 0.45;
+
+/// Guard added by the characterization flow on top of the observed maxima
+/// when populating the delay LUT (covers the residual tail of the jitter
+/// distribution; see DESIGN.md "LUT guard band").
+inline constexpr double kLutGuardPs = 25.0;
+
+}  // namespace focs::timing

@@ -1,0 +1,46 @@
+// Workload kernels.
+//
+// The paper evaluates with CoreMark and BEEBS compiled by the OpenRISC GCC
+// toolchain. This repository substitutes hand-written OR1K assembly kernels
+// that mirror those workload classes (sorting, CRC, FIR, matrix algebra,
+// graph search, string processing, state machines, ...) — see DESIGN.md.
+// Every kernel is self-checking: it computes a checksum, reports it via
+// l.nop 0x2, compares against a host-computed reference embedded at
+// generation time, and exits with r3 == 0 only on success.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "asm/program.hpp"
+
+namespace focs::workloads {
+
+struct Kernel {
+    std::string name;
+    std::string description;
+    std::string source;  ///< OR1K assembly accepted by focs::assembler
+};
+
+/// The benchmark suite evaluated in paper Fig. 8 (CoreMark-like composite
+/// plus BEEBS-style kernels).
+const std::vector<Kernel>& benchmark_suite();
+
+/// The characterization suite of paper Fig. 2: directed per-instruction
+/// kernels plus seeded semi-random test programs. Covers every opcode of
+/// the ISA subset with worst-case-exciting operand patterns.
+const std::vector<Kernel>& characterization_suite();
+
+/// Finds a kernel by name in either suite; throws focs::Error if unknown.
+const Kernel& find_kernel(const std::string& name);
+
+/// Assembles every kernel of a suite.
+std::vector<std::pair<std::string, assembler::Program>> assemble_suite(
+    const std::vector<Kernel>& kernels);
+
+/// Assembles every kernel into the bare Program list (characterization
+/// flow input).
+std::vector<assembler::Program> assemble_programs(const std::vector<Kernel>& kernels);
+
+}  // namespace focs::workloads

@@ -1,0 +1,216 @@
+// CoreMark-like composite kernel: linked-list processing + matrix
+// multiply-accumulate + CRC of the partial results (the three workload
+// classes CoreMark combines).
+#include <array>
+#include <cstdint>
+
+#include "workloads/kernel_util.hpp"
+#include "workloads/kernels.hpp"
+
+namespace focs::workloads {
+
+namespace {
+constexpr int kNodes = 24;
+constexpr int kDim = 8;
+constexpr std::uint32_t kSeedList = 0xc03e0001u;
+constexpr std::uint32_t kSeedMatA = 0xc03e000au;
+constexpr std::uint32_t kSeedMatB = 0xc03e000bu;
+}  // namespace
+
+Kernel kernel_coremark_mini() {
+    // ---- Host reference ----------------------------------------------------
+    std::array<std::uint32_t, kNodes> values{};
+    std::uint32_t x = kSeedList;
+    for (auto& v : values) {
+        x = lcg_next(x);
+        v = x & 0xffffu;
+    }
+    std::uint32_t lsum = 0;
+    for (const auto v : values) lsum += v;
+    std::uint32_t wsum = 0;
+    for (int k = 0; k < kNodes; ++k) {
+        wsum += values[static_cast<std::size_t>(kNodes - 1 - k)] * static_cast<std::uint32_t>(k + 1);
+    }
+    std::array<std::uint32_t, kDim * kDim> a{};
+    std::array<std::uint32_t, kDim * kDim> b{};
+    x = kSeedMatA;
+    for (auto& e : a) {
+        x = lcg_next(x);
+        e = x & 0xfu;
+    }
+    x = kSeedMatB;
+    for (auto& e : b) {
+        x = lcg_next(x);
+        e = x & 0xfu;
+    }
+    std::uint32_t msum = 0;
+    for (int i = 0; i < kDim; ++i) {
+        for (int j = 0; j < kDim; ++j) {
+            std::uint32_t acc = 0;
+            for (int k = 0; k < kDim; ++k) {
+                acc += a[static_cast<std::size_t>(i * kDim + k)] *
+                       b[static_cast<std::size_t>(k * kDim + j)];
+            }
+            msum += acc;
+        }
+    }
+    std::uint32_t crc = 0;
+    for (const std::uint32_t w : {lsum, wsum, msum}) {
+        crc ^= w;
+        for (int bit = 0; bit < 32; ++bit) {
+            crc = (crc & 1u) != 0 ? (crc >> 1) ^ 0xa001a001u : crc >> 1;
+        }
+    }
+    const std::uint32_t expected = crc;
+
+    // ---- Guest -------------------------------------------------------------
+    std::string s;
+    s += "; coremark_mini: list processing + matrix MAC + CRC (CoreMark classes)\n";
+    s += ".text\n_start:\n";
+    // Build the linked list (node: [value, next]).
+    s += "  l.li r25, nodes\n";
+    s += "  l.mov r26, r25\n";
+    s += load_imm("r10", kSeedList);
+    s += format("  l.addi r11, r0, %d\n", kNodes);
+    s += load_imm("r12", 1664525u);
+    s += load_imm("r13", 1013904223u);
+    s += "build:\n";
+    s += "  l.mul r10, r10, r12\n";
+    s += "  l.add r10, r10, r13\n";
+    s += "  l.andi r14, r10, 0xffff\n";
+    s += "  l.sw 0(r26), r14\n";
+    s += "  l.addi r16, r26, 8\n";
+    s += "  l.sw 4(r26), r16\n";
+    s += "  l.mov r26, r16\n";
+    s += "  l.addi r11, r11, -1\n";
+    s += "  l.sfgts r11, r0\n";
+    s += "  l.bf build\n";
+    s += "  l.nop\n";
+    s += "  l.sw -4(r26), r0         ; terminate the list\n";
+    // Forward traversal.
+    s += "  l.mov r26, r25\n";
+    s += "  l.addi r18, r0, 0        ; lsum\n";
+    s += "trav1:\n";
+    s += "  l.sfeq r26, r0\n";
+    s += "  l.bf trav1_done\n";
+    s += "  l.nop\n";
+    s += "  l.lwz r14, 0(r26)\n";
+    s += "  l.add r18, r18, r14\n";
+    s += "  l.j trav1\n";
+    s += "  l.lwz r26, 4(r26)        ; cur = cur->next (delay slot)\n";
+    s += "trav1_done:\n";
+    // In-place reversal.
+    s += "  l.addi r27, r0, 0        ; prev\n";
+    s += "  l.mov r26, r25\n";
+    s += "rev:\n";
+    s += "  l.sfeq r26, r0\n";
+    s += "  l.bf rev_done\n";
+    s += "  l.nop\n";
+    s += "  l.lwz r16, 4(r26)\n";
+    s += "  l.sw 4(r26), r27\n";
+    s += "  l.mov r27, r26\n";
+    s += "  l.j rev\n";
+    s += "  l.mov r26, r16           ; cur = next (delay slot)\n";
+    s += "rev_done:\n";
+    // Weighted traversal of the reversed list.
+    s += "  l.addi r19, r0, 1        ; idx\n";
+    s += "  l.addi r20, r0, 0        ; wsum\n";
+    s += "trav2:\n";
+    s += "  l.sfeq r27, r0\n";
+    s += "  l.bf trav2_done\n";
+    s += "  l.nop\n";
+    s += "  l.lwz r14, 0(r27)\n";
+    s += "  l.mul r14, r14, r19\n";
+    s += "  l.add r20, r20, r14\n";
+    s += "  l.addi r19, r19, 1\n";
+    s += "  l.j trav2\n";
+    s += "  l.lwz r27, 4(r27)        ; (delay slot)\n";
+    s += "trav2_done:\n";
+    // Matrix fill + multiply.
+    for (const auto& [label, loop, seed] :
+         {std::tuple{"mat_a", "fill_a", kSeedMatA}, std::tuple{"mat_b", "fill_b", kSeedMatB}}) {
+        s += format("  l.li r26, %s\n", label);
+        s += load_imm("r10", seed);
+        s += format("  l.addi r11, r0, %d\n", kDim * kDim);
+        s += format("%s:\n", loop);
+        s += "  l.mul r10, r10, r12\n";
+        s += "  l.add r10, r10, r13\n";
+        s += "  l.andi r14, r10, 0xf\n";
+        s += "  l.sw 0(r26), r14\n";
+        s += "  l.addi r26, r26, 4\n";
+        s += "  l.addi r11, r11, -1\n";
+        s += "  l.sfgts r11, r0\n";
+        s += format("  l.bf %s\n", loop);
+        s += "  l.nop\n";
+    }
+    s += "  l.addi r21, r0, 0        ; msum\n";
+    s += "  l.addi r22, r0, 0        ; i\n";
+    s += "cm_i:\n";
+    s += "  l.addi r23, r0, 0        ; j\n";
+    s += "cm_j:\n";
+    s += "  l.addi r24, r0, 0        ; k\n";
+    s += "  l.addi r17, r0, 0        ; acc\n";
+    s += format("  l.muli r14, r22, %d\n", 4 * kDim);
+    s += "  l.li r26, mat_a\n";
+    s += "  l.add r26, r26, r14\n";
+    s += "  l.slli r14, r23, 2\n";
+    s += "  l.li r27, mat_b\n";
+    s += "  l.add r27, r27, r14\n";
+    s += "cm_k:\n";
+    s += "  l.lwz r14, 0(r26)\n";
+    s += "  l.lwz r16, 0(r27)\n";
+    s += "  l.mul r14, r14, r16\n";
+    s += "  l.add r17, r17, r14\n";
+    s += "  l.addi r26, r26, 4\n";
+    s += format("  l.addi r27, r27, %d\n", 4 * kDim);
+    s += "  l.addi r24, r24, 1\n";
+    s += format("  l.sfltsi r24, %d\n", kDim);
+    s += "  l.bf cm_k\n";
+    s += "  l.nop\n";
+    s += "  l.add r21, r21, r17\n";
+    s += "  l.addi r23, r23, 1\n";
+    s += format("  l.sfltsi r23, %d\n", kDim);
+    s += "  l.bf cm_j\n";
+    s += "  l.nop\n";
+    s += "  l.addi r22, r22, 1\n";
+    s += format("  l.sfltsi r22, %d\n", kDim);
+    s += "  l.bf cm_i\n";
+    s += "  l.nop\n";
+    // CRC over {lsum (r18), wsum (r20), msum (r21)}.
+    s += "  l.li r26, scratch\n";
+    s += "  l.sw 0(r26), r18\n";
+    s += "  l.sw 4(r26), r20\n";
+    s += "  l.sw 8(r26), r21\n";
+    s += "  l.addi r15, r0, 0        ; crc\n";
+    s += "  l.addi r11, r0, 3\n";
+    s += load_imm("r16", 0xa001a001u);
+    s += "crcw:\n";
+    s += "  l.lwz r14, 0(r26)\n";
+    s += "  l.xor r15, r15, r14\n";
+    s += "  l.addi r17, r0, 32\n";
+    s += "crcb:\n";
+    s += "  l.andi r14, r15, 1\n";
+    s += "  l.srli r15, r15, 1\n";
+    s += "  l.sfne r14, r0\n";
+    s += "  l.bnf crcskip\n";
+    s += "  l.nop\n";
+    s += "  l.xor r15, r15, r16\n";
+    s += "crcskip:\n";
+    s += "  l.addi r17, r17, -1\n";
+    s += "  l.sfgts r17, r0\n";
+    s += "  l.bf crcb\n";
+    s += "  l.nop\n";
+    s += "  l.addi r26, r26, 4\n";
+    s += "  l.addi r11, r11, -1\n";
+    s += "  l.sfgts r11, r0\n";
+    s += "  l.bf crcw\n";
+    s += "  l.nop\n";
+    s += check_and_exit("r15", expected);
+    s += format(".data\nnodes: .space %d\nmat_a: .space %d\nmat_b: .space %d\nscratch: .space 12\n",
+                8 * kNodes, 4 * kDim * kDim, 4 * kDim * kDim);
+    return {"coremark_mini",
+            "CoreMark-class composite: linked list + matrix MAC + CRC",
+            std::move(s)};
+}
+
+}  // namespace focs::workloads

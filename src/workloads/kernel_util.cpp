@@ -1,0 +1,48 @@
+#include "workloads/kernel_util.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace focs::workloads {
+
+std::string format(const char* fmt, ...) {
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    check(needed >= 0, "format: encoding error");
+    std::vector<char> buffer(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buffer.data(), buffer.size(), fmt, args_copy);
+    va_end(args_copy);
+    return std::string(buffer.data(), static_cast<std::size_t>(needed));
+}
+
+std::string load_imm(const char* reg, std::uint32_t value) {
+    return format("  l.li %s, 0x%08x\n", reg, value);
+}
+
+std::string check_and_exit(const char* reg, std::uint32_t expected) {
+    std::string out;
+    out += format("  l.mov r3, %s          ; publish the checksum\n", reg);
+    out += "  l.nop 0x2               ; report\n";
+    out += load_imm("r30", expected);
+    out += format("  l.sfeq %s, r30\n", reg);
+    out += "  l.bf self_check_pass\n";
+    out += "  l.nop\n";
+    out += "  l.addi r3, r0, 1        ; FAIL\n";
+    out += "  l.j self_check_done\n";
+    out += "  l.nop\n";
+    out += "self_check_pass:\n";
+    out += "  l.addi r3, r0, 0        ; PASS\n";
+    out += "self_check_done:\n";
+    out += "  l.nop 0x1               ; exit\n";
+    out += "  l.nop\n  l.nop\n  l.nop\n  l.nop\n";
+    return out;
+}
+
+}  // namespace focs::workloads

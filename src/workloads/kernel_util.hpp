@@ -1,0 +1,30 @@
+// Shared helpers for kernel authoring.
+//
+// Kernels embed host-computed reference checksums into their assembly text;
+// the guest recomputes the value and self-checks. The shared epilogue
+// implements the compare-report-exit sequence, including the mandatory
+// l.nop padding after the exit nop (instructions behind the exit are still
+// fetched and executed by the pipeline before the exit retires).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace focs::workloads {
+
+/// printf-style formatting into std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// The LCG shared by host reference models and guest kernels for data
+/// generation (Numerical Recipes constants; cheap to emit as OR1K code).
+constexpr std::uint32_t lcg_next(std::uint32_t x) { return x * 1664525u + 1013904223u; }
+
+/// Standard self-check epilogue. Expects the computed checksum in `reg`
+/// (any register except r3/r9). Reports the checksum, compares with
+/// `expected`, and exits with r3 = 0 (pass) or 1 (fail).
+std::string check_and_exit(const char* reg, std::uint32_t expected);
+
+/// Emits "l.li reg, value" (2 instructions).
+std::string load_imm(const char* reg, std::uint32_t value);
+
+}  // namespace focs::workloads

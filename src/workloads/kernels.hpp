@@ -1,0 +1,38 @@
+// Internal: individual kernel constructors (each computes its reference
+// checksum host-side and embeds it into the generated assembly).
+#pragma once
+
+#include "workloads/kernel.hpp"
+
+namespace focs::workloads {
+
+// BEEBS-style / CoreMark-style benchmark kernels (Fig. 8 suite).
+Kernel kernel_crc32();
+Kernel kernel_fibcall();
+Kernel kernel_prime();
+Kernel kernel_isqrt();
+Kernel kernel_bubblesort();
+Kernel kernel_insertsort();
+Kernel kernel_bsearch();
+Kernel kernel_fir();
+Kernel kernel_edn();
+Kernel kernel_matmult();
+Kernel kernel_dijkstra();
+Kernel kernel_levenshtein();
+Kernel kernel_fsm();
+Kernel kernel_coremark_mini();
+Kernel kernel_strsearch();
+Kernel kernel_bitcount();
+Kernel kernel_shellsort();
+Kernel kernel_fixmath();
+Kernel kernel_qsort();
+
+// Directed characterization kernels (per functional unit).
+Kernel char_alu();
+Kernel char_mul_div();
+Kernel char_shift();
+Kernel char_memory();
+Kernel char_compare_branch();
+Kernel char_jump();
+
+}  // namespace focs::workloads

@@ -1,0 +1,228 @@
+// Basic BEEBS-style kernels: crc32, fibcall, prime, isqrt.
+#include <cstdint>
+
+#include "workloads/kernel_util.hpp"
+#include "workloads/kernels.hpp"
+
+namespace focs::workloads {
+
+namespace {
+constexpr std::uint32_t kCrcSeed = 0x12345678u;
+constexpr std::uint32_t kCrcPoly = 0xedb88320u;
+constexpr int kCrcWords = 64;
+}  // namespace
+
+Kernel kernel_crc32() {
+    // Host reference: CRC-32 (reflected polynomial) over kCrcWords LCG words.
+    std::uint32_t x = kCrcSeed;
+    std::uint32_t crc = 0xffffffffu;
+    for (int i = 0; i < kCrcWords; ++i) {
+        x = lcg_next(x);
+        crc ^= x;
+        for (int b = 0; b < 32; ++b) crc = (crc & 1u) != 0 ? (crc >> 1) ^ kCrcPoly : crc >> 1;
+    }
+    crc ^= 0xffffffffu;
+
+    std::string s;
+    s += "; crc32: bitwise CRC-32 over an LCG-generated buffer (BEEBS crc32)\n";
+    s += ".text\n_start:\n";
+    s += "  l.li r26, buf\n";
+    s += load_imm("r10", kCrcSeed);
+    s += format("  l.addi r11, r0, %d\n", kCrcWords);
+    s += load_imm("r12", 1664525u);
+    s += load_imm("r13", 1013904223u);
+    s += "fill:\n";
+    s += "  l.mul r10, r10, r12\n";
+    s += "  l.add r10, r10, r13\n";
+    s += "  l.sw 0(r26), r10\n";
+    s += "  l.addi r26, r26, 4\n";
+    s += "  l.addi r11, r11, -1\n";
+    s += "  l.sfgts r11, r0\n";
+    s += "  l.bf fill\n";
+    s += "  l.nop\n";
+    s += "  l.li r26, buf\n";
+    s += load_imm("r14", 0xffffffffu);
+    s += load_imm("r15", kCrcPoly);
+    s += format("  l.addi r11, r0, %d\n", kCrcWords);
+    s += "crc_word:\n";
+    s += "  l.lwz r16, 0(r26)\n";
+    s += "  l.xor r14, r14, r16\n";
+    s += "  l.addi r17, r0, 32\n";
+    s += "crc_bit:\n";
+    s += "  l.andi r18, r14, 1\n";
+    s += "  l.srli r14, r14, 1\n";
+    s += "  l.sfne r18, r0\n";
+    s += "  l.bnf crc_skip\n";
+    s += "  l.nop\n";
+    s += "  l.xor r14, r14, r15\n";
+    s += "crc_skip:\n";
+    s += "  l.addi r17, r17, -1\n";
+    s += "  l.sfgts r17, r0\n";
+    s += "  l.bf crc_bit\n";
+    s += "  l.nop\n";
+    s += "  l.addi r26, r26, 4\n";
+    s += "  l.addi r11, r11, -1\n";
+    s += "  l.sfgts r11, r0\n";
+    s += "  l.bf crc_word\n";
+    s += "  l.nop\n";
+    s += "  l.xori r14, r14, -1\n";
+    s += check_and_exit("r14", crc);
+    s += ".data\nbuf: .space 256\n";
+    return {"crc32", "bitwise CRC-32 over 256 bytes (BEEBS crc32 class)", std::move(s)};
+}
+
+Kernel kernel_fibcall() {
+    // 60 restarts of a 31-step iterative Fibonacci with varying seeds.
+    std::uint32_t sum = 0;
+    for (std::uint32_t r = 1; r <= 60; ++r) {
+        std::uint32_t a = r;
+        std::uint32_t b = 1;
+        for (int i = 0; i < 31; ++i) {
+            const std::uint32_t t = a + b;
+            a = b;
+            b = t;
+        }
+        sum += b;
+    }
+
+    std::string s;
+    s += "; fibcall: iterative Fibonacci sweeps (BEEBS fibcall class)\n";
+    s += ".text\n_start:\n";
+    s += "  l.addi r10, r0, 1        ; r = round\n";
+    s += "  l.addi r18, r0, 0        ; sum\n";
+    s += "outer:\n";
+    s += "  l.mov r11, r10           ; a = r\n";
+    s += "  l.addi r12, r0, 1        ; b = 1\n";
+    s += "  l.addi r13, r0, 31       ; i\n";
+    s += "inner:\n";
+    s += "  l.add r14, r11, r12      ; t = a + b\n";
+    s += "  l.mov r11, r12\n";
+    s += "  l.mov r12, r14\n";
+    s += "  l.addi r13, r13, -1\n";
+    s += "  l.sfgts r13, r0\n";
+    s += "  l.bf inner\n";
+    s += "  l.nop\n";
+    s += "  l.add r18, r18, r12\n";
+    s += "  l.addi r10, r10, 1\n";
+    s += "  l.sflesi r10, 60\n";
+    s += "  l.bf outer\n";
+    s += "  l.nop\n";
+    s += check_and_exit("r18", sum);
+    return {"fibcall", "iterative Fibonacci sweeps (BEEBS fibcall class)", std::move(s)};
+}
+
+Kernel kernel_prime() {
+    // Trial division prime count below 400 (exercises the serial divider).
+    std::uint32_t count = 1;  // 2 is prime
+    for (std::uint32_t n = 3; n < 400; n += 2) {
+        bool prime = true;
+        for (std::uint32_t d = 3; d * d <= n; d += 2) {
+            if (n % d == 0) {
+                prime = false;
+                break;
+            }
+        }
+        if (prime) ++count;
+    }
+
+    std::string s;
+    s += "; prime: trial-division prime counting (BEEBS prime class)\n";
+    s += ".text\n_start:\n";
+    s += "  l.addi r18, r0, 1        ; count (2 is prime)\n";
+    s += "  l.addi r10, r0, 3        ; n\n";
+    s += "next_n:\n";
+    s += "  l.addi r11, r0, 3        ; d\n";
+    s += "trial:\n";
+    s += "  l.mul r12, r11, r11      ; d*d\n";
+    s += "  l.sfgtu r12, r10\n";
+    s += "  l.bf is_prime            ; d*d > n: no divisor found\n";
+    s += "  l.nop\n";
+    s += "  l.divu r13, r10, r11     ; q = n / d\n";
+    s += "  l.mul r14, r13, r11\n";
+    s += "  l.sub r14, r10, r14      ; r = n - q*d\n";
+    s += "  l.sfeq r14, r0\n";
+    s += "  l.bf not_prime\n";
+    s += "  l.nop\n";
+    s += "  l.j trial\n";
+    s += "  l.addi r11, r11, 2       ; d += 2 (delay slot)\n";
+    s += "is_prime:\n";
+    s += "  l.addi r18, r18, 1\n";
+    s += "not_prime:\n";
+    s += "  l.addi r10, r10, 2\n";
+    s += "  l.sfltui r10, 400\n";
+    s += "  l.bf next_n\n";
+    s += "  l.nop\n";
+    s += check_and_exit("r18", count);
+    return {"prime", "trial-division prime counting below 400 (divider-heavy)", std::move(s)};
+}
+
+Kernel kernel_isqrt() {
+    // Bitwise integer square root of 96 LCG values (shift/compare heavy).
+    std::uint32_t x = 0xcafe1234u;
+    std::uint32_t sum = 0;
+    for (int i = 0; i < 96; ++i) {
+        x = lcg_next(x);
+        std::uint32_t v = x;
+        std::uint32_t res = 0;
+        std::uint32_t bit = 1u << 30;
+        while (bit > v) bit >>= 2;
+        while (bit != 0) {
+            if (v >= res + bit) {
+                v -= res + bit;
+                res = (res >> 1) + bit;
+            } else {
+                res >>= 1;
+            }
+            bit >>= 2;
+        }
+        sum += res;
+    }
+
+    std::string s;
+    s += "; isqrt: bitwise integer square roots (BEEBS sqrt class)\n";
+    s += ".text\n_start:\n";
+    s += load_imm("r10", 0xcafe1234u);
+    s += "  l.addi r11, r0, 96       ; count\n";
+    s += "  l.addi r18, r0, 0        ; sum\n";
+    s += load_imm("r12", 1664525u);
+    s += load_imm("r13", 1013904223u);
+    s += "next_value:\n";
+    s += "  l.mul r10, r10, r12\n";
+    s += "  l.add r10, r10, r13\n";
+    s += "  l.mov r14, r10           ; v\n";
+    s += "  l.addi r15, r0, 0        ; res\n";
+    s += load_imm("r16", 1u << 30);
+    s += "find_bit:\n";
+    s += "  l.sfgtu r16, r14\n";
+    s += "  l.bnf bit_loop\n";
+    s += "  l.nop\n";
+    s += "  l.j find_bit\n";
+    s += "  l.srli r16, r16, 2       ; bit >>= 2 (delay slot)\n";
+    s += "bit_loop:\n";
+    s += "  l.sfeq r16, r0\n";
+    s += "  l.bf value_done\n";
+    s += "  l.nop\n";
+    s += "  l.add r17, r15, r16      ; res + bit\n";
+    s += "  l.sfgeu r14, r17\n";
+    s += "  l.bnf no_sub\n";
+    s += "  l.nop\n";
+    s += "  l.sub r14, r14, r17\n";
+    s += "  l.srli r15, r15, 1\n";
+    s += "  l.j bit_next\n";
+    s += "  l.add r15, r15, r16      ; res = (res>>1) + bit (delay slot)\n";
+    s += "no_sub:\n";
+    s += "  l.srli r15, r15, 1\n";
+    s += "bit_next:\n";
+    s += "  l.j bit_loop\n";
+    s += "  l.srli r16, r16, 2       ; bit >>= 2 (delay slot)\n";
+    s += "value_done:\n";
+    s += "  l.add r18, r18, r15\n";
+    s += "  l.addi r11, r11, -1\n";
+    s += "  l.sfgts r11, r0\n";
+    s += "  l.bf next_value\n";
+    s += "  l.nop\n";
+    s += check_and_exit("r18", sum);
+    return {"isqrt", "bitwise integer square roots of 96 values", std::move(s)};
+}
+
+}  // namespace focs::workloads

@@ -1,0 +1,224 @@
+// Directed characterization kernels (paper Fig. 2: hand-written kernels).
+//
+// Each kernel hammers one functional-unit family with operand patterns
+// chosen to excite the family's worst dynamic paths (full-length carry
+// chains, all-bits toggles, maximal operand widths, dense address bits),
+// repeated enough times that the dynamic-timing-analysis extraction sees a
+// stable per-instruction maximum. Characterization kernels exit 0
+// unconditionally; functional correctness of each opcode is covered by the
+// unit tests and the self-checking benchmark kernels.
+#include <cstdint>
+
+#include "workloads/kernel_util.hpp"
+#include "workloads/kernels.hpp"
+
+namespace focs::workloads {
+
+namespace {
+
+constexpr int kDefaultRounds = 48;
+
+std::string prologue(const char* comment, int rounds = kDefaultRounds) {
+    std::string s;
+    s += format("; %s\n", comment);
+    s += ".text\n_start:\n";
+    s += format("  l.addi r20, r0, %d   ; rounds\n", rounds);
+    s += "round:\n";
+    return s;
+}
+
+std::string epilogue() {
+    std::string s;
+    s += "  l.addi r20, r20, -1\n";
+    s += "  l.sfgts r20, r0\n";
+    s += "  l.bf round\n";
+    s += "  l.nop\n";
+    s += "  l.addi r3, r0, 0\n";
+    s += "  l.nop 0x1\n";
+    s += "  l.nop\n  l.nop\n  l.nop\n  l.nop\n";
+    return s;
+}
+
+}  // namespace
+
+Kernel char_alu() {
+    std::string s = prologue("char_alu: adder carry chains and full logic toggles");
+    // Full-length carry propagation: 0xffffffff + 1 and variants.
+    s += load_imm("r10", 0xffffffffu);
+    s += "  l.addi r11, r0, 1\n";
+    s += "  l.add r12, r10, r11      ; 32-bit carry chain\n";
+    s += "  l.add r12, r11, r10\n";
+    s += load_imm("r13", 0x7fffffffu);
+    s += "  l.addi r12, r13, 1       ; carry into the sign bit\n";
+    s += load_imm("r14", 0x55555555u);
+    s += load_imm("r15", 0xaaaaaaabu);
+    s += "  l.add r12, r14, r15      ; alternating generate/propagate\n";
+    s += "  l.sub r12, r0, r11       ; borrow chain through all bits\n";
+    s += "  l.sub r12, r14, r15\n";
+    s += "  l.addi r12, r10, 1       ; immediate form, full carry\n";
+    // Logic with a ^ b == 0xffffffff (maximum toggle factor).
+    s += "  l.xor r12, r10, r0\n";
+    s += "  l.xor r12, r14, r15\n";
+    s += "  l.and r12, r10, r14\n";
+    s += "  l.and r12, r10, r10\n";
+    s += "  l.or  r12, r0, r10\n";
+    s += "  l.or  r12, r14, r15\n";
+    s += "  l.andi r12, r10, 0xffff\n";
+    s += "  l.ori  r12, r0, 0xffff\n";
+    s += "  l.xori r12, r10, -1\n";
+    s += "  l.movhi r12, 0xffff\n";
+    s += "  l.movhi r12, 0x0000\n";
+    // Extension / conditional-move unit (full-width operands).
+    s += "  l.exths r12, r10\n";
+    s += "  l.extbs r12, r10\n";
+    s += "  l.exthz r12, r10\n";
+    s += "  l.extbz r12, r10\n";
+    s += "  l.extws r12, r10\n";
+    s += "  l.extwz r12, r10\n";
+    s += "  l.sfeq r10, r10\n";
+    s += "  l.cmov r12, r10, r14\n";
+    s += "  l.sfne r10, r10\n";
+    s += "  l.cmov r12, r14, r10\n";
+    s += epilogue();
+    return {"char_alu", "directed adder/logic worst-case excitation", std::move(s)};
+}
+
+Kernel char_mul_div() {
+    std::string s = prologue("char_mul_div: maximal-width multiplier/divider operands");
+    s += load_imm("r10", 0xffffffffu);
+    s += load_imm("r11", 0xfffffffbu);
+    s += load_imm("r12", 0x80000001u);
+    s += "  l.mul r13, r10, r11      ; full 32x32 partial-product array\n";
+    s += "  l.mul r13, r12, r10\n";
+    s += "  l.mul r13, r13, r11\n";
+    s += "  l.muli r13, r10, 0x7fff\n";
+    s += "  l.muli r13, r12, -3\n";
+    s += "  l.addi r14, r0, 7\n";
+    s += "  l.divu r13, r10, r14     ; long serial division\n";
+    s += "  l.div  r13, r12, r14\n";
+    s += "  l.mul r13, r13, r13\n";
+    s += "  l.mulu r13, r10, r11     ; unsigned full-width product\n";
+    s += "  l.mulu r13, r12, r12\n";
+    s += epilogue();
+    return {"char_mul_div", "directed multiplier/divider worst-case excitation", std::move(s)};
+}
+
+Kernel char_shift() {
+    std::string s = prologue("char_shift: full-width shifts and rotates, all shifter modes");
+    s += load_imm("r10", 0xffffffffu);
+    s += load_imm("r11", 0x80000001u);
+    s += "  l.addi r12, r0, 31\n";
+    s += "  l.sll r13, r10, r12      ; max shift amount\n";
+    s += "  l.srl r13, r10, r12\n";
+    s += "  l.sra r13, r11, r12\n";
+    s += "  l.ror r13, r11, r12\n";
+    s += "  l.slli r13, r10, 31\n";
+    s += "  l.srli r13, r10, 31\n";
+    s += "  l.srai r13, r11, 31\n";
+    s += "  l.rori r13, r11, 17\n";
+    s += "  l.slli r13, r11, 1\n";
+    s += "  l.srli r13, r11, 1\n";
+    s += "  l.ff1 r13, r11           ; priority encoders\n";
+    s += "  l.fl1 r13, r11\n";
+    s += "  l.ff1 r13, r0\n";
+    s += "  l.fl1 r13, r10\n";
+    s += epilogue();
+    return {"char_shift", "directed barrel-shifter worst-case excitation", std::move(s)};
+}
+
+Kernel char_memory() {
+    std::string s = prologue("char_memory: all access widths at dense-bit addresses");
+    s += "  l.li r26, buf            ; buf ends 0x10000 below the dmem top\n";
+    s += load_imm("r10", 0xa5a5f00fu);
+    // Word accesses at offsets with many set address bits.
+    s += "  l.sw 0x7ffc(r26), r10\n";
+    s += "  l.lwz r11, 0x7ffc(r26)\n";
+    s += "  l.sw 0x7bbc(r26), r11\n";
+    s += "  l.lwz r11, 0x7bbc(r26)\n";
+    // Half accesses (zero and sign extending).
+    s += "  l.sh 0x7ffe(r26), r10\n";
+    s += "  l.lhz r12, 0x7ffe(r26)\n";
+    s += "  l.lhs r12, 0x7ffe(r26)\n";
+    // Byte accesses at the all-ones offset.
+    s += "  l.sb 0x7fff(r26), r10\n";
+    s += "  l.lbz r12, 0x7fff(r26)\n";
+    s += "  l.lbs r12, 0x7fff(r26)\n";
+    // Back-to-back load-use chains (forwarding + stall coverage).
+    s += "  l.lwz r13, 0x7ffc(r26)\n";
+    s += "  l.add r14, r13, r13\n";
+    s += "  l.sw 0(r26), r14\n";
+    s += epilogue();
+    s += ".data\nbuf: .space 0x8000\n";
+    return {"char_memory", "directed SRAM access worst-case excitation", std::move(s)};
+}
+
+Kernel char_compare_branch() {
+    std::string s = prologue("char_compare_branch: every set-flag condition, taken + untaken", 10);
+    // Register forms first (full borrow chains through the comparator),
+    // then immediate forms; each compare feeds a branch so both the taken
+    // and the fall-through flag paths are exercised.
+    s += load_imm("r10", 0xffffffffu);
+    s += load_imm("r11", 0x80000000u);
+    s += "  l.addi r12, r0, 1\n";
+    const char* reg_ops[] = {"l.sfeq", "l.sfne", "l.sfgtu", "l.sfgeu", "l.sfltu",
+                             "l.sfleu", "l.sfgts", "l.sfges", "l.sflts", "l.sfles"};
+    int label = 0;
+    for (const char* op : reg_ops) {
+        s += format("  %s r10, r12\n", op);
+        s += format("  l.bf cb_%d\n", label);
+        s += "  l.nop\n";
+        s += format("cb_%d:\n", label);
+        ++label;
+        s += format("  %s r11, r10\n", op);
+        s += format("  l.bnf cb_%d\n", label);
+        s += "  l.nop\n";
+        s += format("cb_%d:\n", label);
+        ++label;
+    }
+    const char* imm_ops[] = {"l.sfeqi", "l.sfnei", "l.sfgtui", "l.sfgeui", "l.sfltui",
+                             "l.sfleui", "l.sfgtsi", "l.sfgesi", "l.sfltsi", "l.sflesi"};
+    for (const char* op : imm_ops) {
+        s += format("  %s r10, -1\n", op);
+        s += format("  l.bf cb_%d\n", label);
+        s += "  l.nop\n";
+        s += format("cb_%d:\n", label);
+        ++label;
+        s += format("  %s r11, 0x7fff\n", op);
+        s += format("  l.bnf cb_%d\n", label);
+        s += "  l.nop\n";
+        s += format("cb_%d:\n", label);
+        ++label;
+    }
+    s += epilogue();
+    return {"char_compare_branch", "directed comparator/branch excitation, all 20 conditions",
+            std::move(s)};
+}
+
+Kernel char_jump() {
+    std::string s = prologue("char_jump: immediate jumps, calls and register jumps", 16);
+    s += "  l.j hop1\n";
+    s += "  l.nop\n";
+    s += "hop_back:\n";
+    s += "  l.jal leaf               ; call (writes r9)\n";
+    s += "  l.nop\n";
+    s += "  l.li r16, leaf\n";
+    s += "  l.jalr r16               ; register call\n";
+    s += "  l.nop\n";
+    s += "  l.j hop_done\n";
+    s += "  l.nop\n";
+    s += "hop1:\n";
+    s += "  l.j hop2\n";
+    s += "  l.nop\n";
+    s += "hop2:\n";
+    s += "  l.j hop_back\n";
+    s += "  l.nop\n";
+    s += "leaf:\n";
+    s += "  l.jr r9                  ; return\n";
+    s += "  l.nop\n";
+    s += "hop_done:\n";
+    s += epilogue();
+    return {"char_jump", "directed jump/call/return excitation (fetch address paths)",
+            std::move(s)};
+}
+
+}  // namespace focs::workloads

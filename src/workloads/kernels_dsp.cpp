@@ -1,0 +1,199 @@
+// DSP-style kernels: fir, edn, matmult (multiplier-heavy workloads).
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernel_util.hpp"
+#include "workloads/kernels.hpp"
+
+namespace focs::workloads {
+
+namespace {
+
+std::vector<std::uint32_t> lcg_fill(std::uint32_t seed, int count, std::uint32_t mask) {
+    std::vector<std::uint32_t> v(static_cast<std::size_t>(count));
+    std::uint32_t x = seed;
+    for (auto& e : v) {
+        x = lcg_next(x);
+        e = x & mask;
+    }
+    return v;
+}
+
+/// Fill loop writing `count` masked LCG words at `label`, with a unique
+/// loop-label prefix so a kernel can fill several arrays.
+std::string emit_fill_at(const char* label, const char* loop, std::uint32_t seed, int count,
+                         std::uint32_t mask) {
+    std::string s;
+    s += format("  l.li r26, %s\n", label);
+    s += load_imm("r10", seed);
+    s += format("  l.addi r11, r0, %d\n", count);
+    s += load_imm("r12", 1664525u);
+    s += load_imm("r13", 1013904223u);
+    s += load_imm("r15", mask);
+    s += format("%s:\n", loop);
+    s += "  l.mul r10, r10, r12\n";
+    s += "  l.add r10, r10, r13\n";
+    s += "  l.and r14, r10, r15\n";
+    s += "  l.sw 0(r26), r14\n";
+    s += "  l.addi r26, r26, 4\n";
+    s += "  l.addi r11, r11, -1\n";
+    s += "  l.sfgts r11, r0\n";
+    s += format("  l.bf %s\n", loop);
+    s += "  l.nop\n";
+    return s;
+}
+
+}  // namespace
+
+Kernel kernel_fir() {
+    constexpr int kTaps = 16;
+    constexpr int kSamples = 144;
+    const auto h = lcg_fill(0xf117001u, kTaps, 0x3ffu);
+    const auto xs = lcg_fill(0x5a5a5a5au, kSamples, 0xfffu);
+    std::uint32_t expected = 0;
+    for (int n = kTaps - 1; n < kSamples; ++n) {
+        std::uint32_t acc = 0;
+        for (int k = 0; k < kTaps; ++k) {
+            acc += h[static_cast<std::size_t>(k)] * xs[static_cast<std::size_t>(n - k)];
+        }
+        expected += acc >> 6;
+    }
+
+    std::string s;
+    s += "; fir: 16-tap FIR filter over 144 samples (BEEBS fir class)\n";
+    s += ".text\n_start:\n";
+    s += emit_fill_at("taps", "fill_h", 0xf117001u, kTaps, 0x3ffu);
+    s += emit_fill_at("samples", "fill_x", 0x5a5a5a5au, kSamples, 0xfffu);
+    s += format("  l.addi r20, r0, %d   ; n\n", kTaps - 1);
+    s += "  l.addi r18, r0, 0        ; checksum\n";
+    s += "fir_n:\n";
+    s += "  l.addi r21, r0, 0        ; k\n";
+    s += "  l.addi r22, r0, 0        ; acc\n";
+    s += "  l.li r26, taps\n";
+    s += "  l.li r27, samples\n";
+    s += "  l.slli r14, r20, 2\n";
+    s += "  l.add r27, r27, r14      ; &x[n]\n";
+    s += "fir_k:\n";
+    s += "  l.lwz r14, 0(r26)        ; h[k]\n";
+    s += "  l.lwz r16, 0(r27)        ; x[n-k]\n";
+    s += "  l.mul r14, r14, r16\n";
+    s += "  l.add r22, r22, r14\n";
+    s += "  l.addi r26, r26, 4\n";
+    s += "  l.addi r27, r27, -4\n";
+    s += "  l.addi r21, r21, 1\n";
+    s += format("  l.sfltsi r21, %d\n", kTaps);
+    s += "  l.bf fir_k\n";
+    s += "  l.nop\n";
+    s += "  l.srli r22, r22, 6\n";
+    s += "  l.add r18, r18, r22\n";
+    s += "  l.addi r20, r20, 1\n";
+    s += format("  l.sfltsi r20, %d\n", kSamples);
+    s += "  l.bf fir_n\n";
+    s += "  l.nop\n";
+    s += check_and_exit("r18", expected);
+    s += format(".data\ntaps: .space %d\nsamples: .space %d\n", 4 * kTaps, 4 * kSamples);
+    return {"fir", "16-tap FIR filter over 144 samples", std::move(s)};
+}
+
+Kernel kernel_edn() {
+    constexpr int kLen = 96;
+    const auto a = lcg_fill(0xeda0001u, kLen, 0xfffu);  // see note below
+    const auto b = lcg_fill(0x0dd5eedu, kLen, 0xfffu);
+    // Dot product plus a scaled multiply-accumulate pass (BEEBS edn spirit).
+    std::uint32_t dot = 0;
+    std::uint32_t scaled = 0;
+    for (int i = 0; i < kLen; ++i) {
+        dot += a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+        scaled += (a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)]) >> 4;
+    }
+    const std::uint32_t expected = dot ^ scaled;
+
+    std::string s;
+    s += "; edn: vector dot product + scaled MAC pass (BEEBS edn class)\n";
+    s += ".text\n_start:\n";
+    s += emit_fill_at("vec_a", "fill_a", 0xeda0001u, kLen, 0xfffu);
+    s += emit_fill_at("vec_b", "fill_b", 0x0dd5eedu, kLen, 0xfffu);
+    s += "  l.li r26, vec_a\n";
+    s += "  l.li r27, vec_b\n";
+    s += format("  l.addi r11, r0, %d\n", kLen);
+    s += "  l.addi r18, r0, 0        ; dot\n";
+    s += "  l.addi r19, r0, 0        ; scaled\n";
+    s += "edn_loop:\n";
+    s += "  l.lwz r14, 0(r26)\n";
+    s += "  l.lwz r16, 0(r27)\n";
+    s += "  l.mul r14, r14, r16\n";
+    s += "  l.add r18, r18, r14\n";
+    s += "  l.srli r14, r14, 4\n";
+    s += "  l.add r19, r19, r14\n";
+    s += "  l.addi r26, r26, 4\n";
+    s += "  l.addi r27, r27, 4\n";
+    s += "  l.addi r11, r11, -1\n";
+    s += "  l.sfgts r11, r0\n";
+    s += "  l.bf edn_loop\n";
+    s += "  l.nop\n";
+    s += "  l.xor r18, r18, r19\n";
+    s += check_and_exit("r18", expected);
+    s += format(".data\nvec_a: .space %d\nvec_b: .space %d\n", 4 * kLen, 4 * kLen);
+    return {"edn", "vector dot product and scaled MAC over 96-element vectors", std::move(s)};
+}
+
+Kernel kernel_matmult() {
+    constexpr int kN = 12;
+    const auto a = lcg_fill(0x3a7a0001u, kN * kN, 0xffu);
+    const auto b = lcg_fill(0x3a7b0002u, kN * kN, 0xffu);
+    std::uint32_t expected = 0;
+    for (int i = 0; i < kN; ++i) {
+        for (int j = 0; j < kN; ++j) {
+            std::uint32_t acc = 0;
+            for (int k = 0; k < kN; ++k) {
+                acc += a[static_cast<std::size_t>(i * kN + k)] *
+                       b[static_cast<std::size_t>(k * kN + j)];
+            }
+            expected += acc;
+        }
+    }
+
+    std::string s;
+    s += "; matmult: 12x12 integer matrix multiply (BEEBS matmult class)\n";
+    s += ".text\n_start:\n";
+    s += emit_fill_at("mat_a", "fill_a", 0x3a7a0001u, kN * kN, 0xffu);
+    s += emit_fill_at("mat_b", "fill_b", 0x3a7b0002u, kN * kN, 0xffu);
+    s += "  l.addi r20, r0, 0        ; i\n";
+    s += "  l.addi r18, r0, 0        ; checksum\n";
+    s += "mm_i:\n";
+    s += "  l.addi r21, r0, 0        ; j\n";
+    s += "mm_j:\n";
+    s += "  l.addi r22, r0, 0        ; k\n";
+    s += "  l.addi r23, r0, 0        ; acc\n";
+    s += format("  l.muli r14, r20, %d\n", 4 * kN);
+    s += "  l.li r26, mat_a\n";
+    s += "  l.add r26, r26, r14      ; &a[i][0]\n";
+    s += "  l.slli r14, r21, 2\n";
+    s += "  l.li r27, mat_b\n";
+    s += "  l.add r27, r27, r14      ; &b[0][j]\n";
+    s += "mm_k:\n";
+    s += "  l.lwz r14, 0(r26)\n";
+    s += "  l.lwz r16, 0(r27)\n";
+    s += "  l.mul r14, r14, r16\n";
+    s += "  l.add r23, r23, r14\n";
+    s += "  l.addi r26, r26, 4\n";
+    s += format("  l.addi r27, r27, %d\n", 4 * kN);
+    s += "  l.addi r22, r22, 1\n";
+    s += format("  l.sfltsi r22, %d\n", kN);
+    s += "  l.bf mm_k\n";
+    s += "  l.nop\n";
+    s += "  l.add r18, r18, r23\n";
+    s += "  l.addi r21, r21, 1\n";
+    s += format("  l.sfltsi r21, %d\n", kN);
+    s += "  l.bf mm_j\n";
+    s += "  l.nop\n";
+    s += "  l.addi r20, r20, 1\n";
+    s += format("  l.sfltsi r20, %d\n", kN);
+    s += "  l.bf mm_i\n";
+    s += "  l.nop\n";
+    s += check_and_exit("r18", expected);
+    s += format(".data\nmat_a: .space %d\nmat_b: .space %d\n", 4 * kN * kN, 4 * kN * kN);
+    return {"matmult", "12x12 integer matrix multiplication", std::move(s)};
+}
+
+}  // namespace focs::workloads

@@ -1,0 +1,509 @@
+// Additional BEEBS-class kernels: strsearch, bitcount, shellsort, fixmath.
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernel_util.hpp"
+#include "workloads/kernels.hpp"
+
+namespace focs::workloads {
+
+Kernel kernel_strsearch() {
+    constexpr int kTextLen = 256;
+    constexpr int kPatLen = 4;
+    constexpr int kPatPos = 100;
+    constexpr std::uint32_t kSeed = 0x57a5ea1cu;
+
+    // Host reference: naive substring search, count matches + first index.
+    std::array<std::uint8_t, kTextLen> text{};
+    std::uint32_t x = kSeed;
+    for (auto& c : text) {
+        x = lcg_next(x);
+        c = static_cast<std::uint8_t>('a' + (x & 3u));  // 4-letter alphabet
+    }
+    std::array<std::uint8_t, kPatLen> pattern{};
+    for (int j = 0; j < kPatLen; ++j) {
+        pattern[static_cast<std::size_t>(j)] = text[static_cast<std::size_t>(kPatPos + j)];
+    }
+    std::uint32_t count = 0;
+    std::uint32_t first = 0xffffffffu;
+    for (int i = 0; i + kPatLen <= kTextLen; ++i) {
+        bool match = true;
+        for (int j = 0; j < kPatLen; ++j) {
+            if (text[static_cast<std::size_t>(i + j)] != pattern[static_cast<std::size_t>(j)]) {
+                match = false;
+                break;
+            }
+        }
+        if (match) {
+            ++count;
+            if (first == 0xffffffffu) first = static_cast<std::uint32_t>(i);
+        }
+    }
+    const std::uint32_t expected = count * 0x10001u + first;
+
+    std::string s;
+    s += "; strsearch: naive substring search over a 256-byte text\n";
+    s += ".text\n_start:\n";
+    // Fill text.
+    s += "  l.li r26, text\n";
+    s += load_imm("r10", kSeed);
+    s += format("  l.addi r11, r0, %d\n", kTextLen);
+    s += load_imm("r12", 1664525u);
+    s += load_imm("r13", 1013904223u);
+    s += "fill_t:\n";
+    s += "  l.mul r10, r10, r12\n";
+    s += "  l.add r10, r10, r13\n";
+    s += "  l.andi r14, r10, 3\n";
+    s += format("  l.addi r14, r14, %d\n", 'a');
+    s += "  l.sb 0(r26), r14\n";
+    s += "  l.addi r11, r11, -1\n";
+    s += "  l.sfgts r11, r0\n";
+    s += "  l.bf fill_t\n";
+    s += "  l.addi r26, r26, 1       ; pointer bump (delay slot)\n";
+    // Copy the pattern out of the text.
+    s += "  l.li r26, text\n";
+    s += "  l.li r27, pat\n";
+    s += format("  l.addi r11, r0, %d\n", kPatLen);
+    s += format("  l.addi r26, r26, %d\n", kPatPos);
+    s += "copy_p:\n";
+    s += "  l.lbz r14, 0(r26)\n";
+    s += "  l.sb 0(r27), r14\n";
+    s += "  l.addi r26, r26, 1\n";
+    s += "  l.addi r27, r27, 1\n";
+    s += "  l.addi r11, r11, -1\n";
+    s += "  l.sfgts r11, r0\n";
+    s += "  l.bf copy_p\n";
+    s += "  l.nop\n";
+    // Search.
+    s += "  l.addi r20, r0, 0        ; i\n";
+    s += "  l.addi r21, r0, 0        ; count\n";
+    s += "  l.addi r22, r0, -1       ; first\n";
+    s += "search_i:\n";
+    s += "  l.li r26, text\n";
+    s += "  l.add r26, r26, r20\n";
+    s += "  l.li r27, pat\n";
+    s += "  l.addi r23, r0, 0        ; j\n";
+    s += "cmp_j:\n";
+    s += "  l.lbz r14, 0(r26)\n";
+    s += "  l.lbz r16, 0(r27)\n";
+    s += "  l.sfne r14, r16\n";
+    s += "  l.bf no_match\n";
+    s += "  l.nop\n";
+    s += "  l.addi r26, r26, 1\n";
+    s += "  l.addi r27, r27, 1\n";
+    s += "  l.addi r23, r23, 1\n";
+    s += format("  l.sfltsi r23, %d\n", kPatLen);
+    s += "  l.bf cmp_j\n";
+    s += "  l.nop\n";
+    s += "  l.addi r21, r21, 1       ; match\n";
+    s += "  l.sflts r22, r0\n";
+    s += "  l.bnf no_match\n";
+    s += "  l.nop\n";
+    s += "  l.mov r22, r20           ; first = i\n";
+    s += "no_match:\n";
+    s += "  l.addi r20, r20, 1\n";
+    s += format("  l.sflesi r20, %d\n", kTextLen - kPatLen);
+    s += "  l.bf search_i\n";
+    s += "  l.nop\n";
+    // checksum = count * 0x10001 + first
+    s += load_imm("r16", 0x10001u);
+    s += "  l.mul r18, r21, r16\n";
+    s += "  l.add r18, r18, r22\n";
+    s += check_and_exit("r18", expected);
+    s += format(".data\ntext: .space %d\npat: .space %d\n", kTextLen, kPatLen);
+    return {"strsearch", "naive substring search, 4-letter alphabet", std::move(s)};
+}
+
+Kernel kernel_bitcount() {
+    constexpr int kWords = 128;
+    constexpr std::uint32_t kSeed = 0xb17c0047u;
+
+    // Host reference: Kernighan loop + nibble table, combined.
+    std::uint32_t x = kSeed;
+    std::uint32_t sum_kernighan = 0;
+    std::uint32_t sum_table = 0;
+    for (int i = 0; i < kWords; ++i) {
+        x = lcg_next(x);
+        std::uint32_t v = x;
+        while (v != 0) {
+            v &= v - 1;
+            ++sum_kernighan;
+        }
+        for (std::uint32_t w = x; w != 0; w >>= 4) {
+            sum_table += std::uint32_t{static_cast<std::uint32_t>(__builtin_popcount(w & 0xfu))};
+        }
+    }
+    const std::uint32_t expected = sum_kernighan * 3u + sum_table;
+
+    std::string s;
+    s += "; bitcount: population counts, Kernighan loop + nibble table (BEEBS bitcnt)\n";
+    s += ".text\n_start:\n";
+    // Build the 16-entry nibble popcount table.
+    s += "  l.li r26, nibble_tab\n";
+    s += "  l.addi r10, r0, 0        ; n\n";
+    s += "tab_loop:\n";
+    s += "  l.mov r14, r10\n";
+    s += "  l.addi r15, r0, 0\n";
+    s += "tab_inner:\n";
+    s += "  l.sfeq r14, r0\n";
+    s += "  l.bf tab_store\n";
+    s += "  l.nop\n";
+    s += "  l.addi r16, r14, -1\n";
+    s += "  l.and r14, r14, r16\n";
+    s += "  l.j tab_inner\n";
+    s += "  l.addi r15, r15, 1       ; ++bits (delay slot)\n";
+    s += "tab_store:\n";
+    s += "  l.sw 0(r26), r15\n";
+    s += "  l.addi r26, r26, 4\n";
+    s += "  l.addi r10, r10, 1\n";
+    s += "  l.sfltsi r10, 16\n";
+    s += "  l.bf tab_loop\n";
+    s += "  l.nop\n";
+    // Main loop over LCG words.
+    s += load_imm("r10", kSeed);
+    s += format("  l.addi r11, r0, %d\n", kWords);
+    s += load_imm("r12", 1664525u);
+    s += load_imm("r13", 1013904223u);
+    s += "  l.addi r18, r0, 0        ; sum_kernighan\n";
+    s += "  l.addi r19, r0, 0        ; sum_table\n";
+    s += "word_loop:\n";
+    s += "  l.mul r10, r10, r12\n";
+    s += "  l.add r10, r10, r13\n";
+    // Kernighan.
+    s += "  l.mov r14, r10\n";
+    s += "kern:\n";
+    s += "  l.sfeq r14, r0\n";
+    s += "  l.bf kern_done\n";
+    s += "  l.nop\n";
+    s += "  l.addi r16, r14, -1\n";
+    s += "  l.and r14, r14, r16\n";
+    s += "  l.j kern\n";
+    s += "  l.addi r18, r18, 1       ; (delay slot)\n";
+    s += "kern_done:\n";
+    // Nibble table.
+    s += "  l.mov r14, r10\n";
+    s += "  l.li r26, nibble_tab\n";
+    s += "nib:\n";
+    s += "  l.sfeq r14, r0\n";
+    s += "  l.bf nib_done\n";
+    s += "  l.nop\n";
+    s += "  l.andi r16, r14, 0xf\n";
+    s += "  l.slli r16, r16, 2\n";
+    s += "  l.add r16, r26, r16\n";
+    s += "  l.lwz r16, 0(r16)\n";
+    s += "  l.add r19, r19, r16\n";
+    s += "  l.j nib\n";
+    s += "  l.srli r14, r14, 4       ; (delay slot)\n";
+    s += "nib_done:\n";
+    s += "  l.addi r11, r11, -1\n";
+    s += "  l.sfgts r11, r0\n";
+    s += "  l.bf word_loop\n";
+    s += "  l.nop\n";
+    s += "  l.muli r18, r18, 3\n";
+    s += "  l.add r18, r18, r19\n";
+    s += check_and_exit("r18", expected);
+    s += ".data\nnibble_tab: .space 64\n";
+    return {"bitcount", "population counts via Kernighan loop and nibble table", std::move(s)};
+}
+
+Kernel kernel_shellsort() {
+    constexpr int kCount = 96;
+    constexpr std::uint32_t kSeed = 0x5e115047u;
+
+    std::vector<std::uint32_t> values(kCount);
+    std::uint32_t x = kSeed;
+    for (auto& v : values) {
+        x = lcg_next(x);
+        v = x & 0x3ffffu;
+    }
+    std::sort(values.begin(), values.end());
+    std::uint32_t expected = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        expected += values[i] * static_cast<std::uint32_t>(i + 1);
+    }
+
+    std::string s;
+    s += "; shellsort: gap sequence {40, 13, 4, 1} over 96 values\n";
+    s += ".text\n_start:\n";
+    s += "  l.li r26, buf\n";
+    s += load_imm("r10", kSeed);
+    s += format("  l.addi r11, r0, %d\n", kCount);
+    s += load_imm("r12", 1664525u);
+    s += load_imm("r13", 1013904223u);
+    s += load_imm("r15", 0x3ffffu);
+    s += "fill:\n";
+    s += "  l.mul r10, r10, r12\n";
+    s += "  l.add r10, r10, r13\n";
+    s += "  l.and r14, r10, r15\n";
+    s += "  l.sw 0(r26), r14\n";
+    s += "  l.addi r11, r11, -1\n";
+    s += "  l.sfgts r11, r0\n";
+    s += "  l.bf fill\n";
+    s += "  l.addi r26, r26, 4       ; (delay slot)\n";
+    // Gaps live in a small table.
+    s += "  l.li r28, gaps\n";
+    s += "gap_loop:\n";
+    s += "  l.lwz r20, 0(r28)        ; gap\n";
+    s += "  l.sfeq r20, r0\n";
+    s += "  l.bf sorted\n";
+    s += "  l.addi r28, r28, 4       ; advance gap pointer (delay slot)\n";
+    // for i = gap..count-1: insertion with stride gap.
+    s += "  l.mov r21, r20           ; i = gap\n";
+    s += "sh_outer:\n";
+    s += "  l.li r26, buf\n";
+    s += "  l.slli r14, r21, 2\n";
+    s += "  l.add r26, r26, r14      ; &a[i]\n";
+    s += "  l.lwz r22, 0(r26)        ; key\n";
+    s += "  l.mov r23, r21           ; j = i\n";
+    s += "sh_inner:\n";
+    s += "  l.sflts r23, r20\n";
+    s += "  l.bf sh_place            ; j < gap\n";
+    s += "  l.nop\n";
+    s += "  l.li r26, buf\n";
+    s += "  l.sub r14, r23, r20      ; j - gap\n";
+    s += "  l.slli r14, r14, 2\n";
+    s += "  l.add r16, r26, r14\n";
+    s += "  l.lwz r17, 0(r16)        ; a[j-gap]\n";
+    s += "  l.sfgtu r17, r22\n";
+    s += "  l.bnf sh_place\n";
+    s += "  l.nop\n";
+    s += "  l.slli r14, r20, 2\n";
+    s += "  l.add r14, r16, r14      ; &a[j]\n";
+    s += "  l.sw 0(r14), r17         ; a[j] = a[j-gap]\n";
+    s += "  l.j sh_inner\n";
+    s += "  l.sub r23, r23, r20      ; j -= gap (delay slot)\n";
+    s += "sh_place:\n";
+    s += "  l.li r26, buf\n";
+    s += "  l.slli r14, r23, 2\n";
+    s += "  l.add r14, r26, r14\n";
+    s += "  l.sw 0(r14), r22         ; a[j] = key\n";
+    s += "  l.addi r21, r21, 1\n";
+    s += format("  l.sfltsi r21, %d\n", kCount);
+    s += "  l.bf sh_outer\n";
+    s += "  l.nop\n";
+    s += "  l.j gap_loop\n";
+    s += "  l.nop\n";
+    s += "sorted:\n";
+    // Weighted checksum with in-guest sortedness check.
+    s += "  l.li r26, buf\n";
+    s += "  l.addi r18, r0, 0\n";
+    s += "  l.addi r19, r0, 1\n";
+    s += format("  l.addi r11, r0, %d\n", kCount);
+    s += "  l.addi r20, r0, 0        ; previous\n";
+    s += "chk:\n";
+    s += "  l.lwz r14, 0(r26)\n";
+    s += "  l.sfgtu r20, r14\n";
+    s += "  l.bf order_fail\n";
+    s += "  l.nop\n";
+    s += "  l.mov r20, r14\n";
+    s += "  l.mul r16, r14, r19\n";
+    s += "  l.add r18, r18, r16\n";
+    s += "  l.addi r26, r26, 4\n";
+    s += "  l.addi r19, r19, 1\n";
+    s += "  l.addi r11, r11, -1\n";
+    s += "  l.sfgts r11, r0\n";
+    s += "  l.bf chk\n";
+    s += "  l.nop\n";
+    s += "  l.j chk_done\n";
+    s += "  l.nop\n";
+    s += "order_fail:\n";
+    s += "  l.addi r18, r0, -1\n";
+    s += "chk_done:\n";
+    s += check_and_exit("r18", expected);
+    s += format(".data\nbuf: .space %d\ngaps: .word 40, 13, 4, 1, 0\n", 4 * kCount);
+    return {"shellsort", "shell sort with gap table over 96 values", std::move(s)};
+}
+
+Kernel kernel_fixmath() {
+    constexpr int kInputs = 64;
+    constexpr std::uint32_t kSeed = 0xf17ed0c5u;
+    // Q16 fixed-point polynomial c3*x^3 + c2*x^2 + c1*x + c0 via Horner.
+    constexpr std::int32_t kC3 = 0x0000'2182;   // ~0.1309
+    constexpr std::int32_t kC2 = -0x0000'51ec;  // ~-0.3200
+    constexpr std::int32_t kC1 = 0x0001'0c4f;   // ~1.0481
+    constexpr std::int32_t kC0 = 0x0000'0a3d;   // ~0.0400
+
+    auto qmul = [](std::int32_t a, std::int32_t b) {
+        // Q16 multiply keeping the low 32 bits of the product before the
+        // arithmetic shift — exactly what the guest's l.mul + l.srai does.
+        const auto product = static_cast<std::int32_t>(static_cast<std::uint32_t>(a) *
+                                                       static_cast<std::uint32_t>(b));
+        return product >> 16;
+    };
+    std::uint32_t x = kSeed;
+    std::uint32_t expected = 0;
+    for (int i = 0; i < kInputs; ++i) {
+        x = lcg_next(x);
+        const auto input = static_cast<std::int32_t>(x & 0x1ffffu);  // [0, 2) in Q16
+        std::int32_t acc = kC3;
+        acc = qmul(acc, input) + kC2;
+        acc = qmul(acc, input) + kC1;
+        acc = qmul(acc, input) + kC0;
+        expected += static_cast<std::uint32_t>(acc);
+    }
+
+    std::string s;
+    s += "; fixmath: Q16 fixed-point Horner polynomial (BEEBS qurt/cubic class)\n";
+    s += ".text\n_start:\n";
+    s += load_imm("r10", kSeed);
+    s += format("  l.addi r11, r0, %d\n", kInputs);
+    s += load_imm("r12", 1664525u);
+    s += load_imm("r13", 1013904223u);
+    s += "  l.addi r18, r0, 0        ; checksum\n";
+    s += load_imm("r20", static_cast<std::uint32_t>(kC3));
+    s += load_imm("r21", static_cast<std::uint32_t>(kC2));
+    s += load_imm("r22", static_cast<std::uint32_t>(kC1));
+    s += load_imm("r23", static_cast<std::uint32_t>(kC0));
+    s += "poly:\n";
+    s += "  l.mul r10, r10, r12\n";
+    s += "  l.add r10, r10, r13\n";
+    s += load_imm("r15", 0x1ffffu);
+    s += "  l.and r14, r10, r15      ; input in Q16 [0, 2)\n";
+    s += "  l.mov r16, r20           ; acc = c3\n";
+    s += "  l.mul r16, r16, r14\n";
+    s += "  l.srai r16, r16, 16\n";
+    s += "  l.add r16, r16, r21      ; acc = acc*x + c2\n";
+    s += "  l.mul r16, r16, r14\n";
+    s += "  l.srai r16, r16, 16\n";
+    s += "  l.add r16, r16, r22      ; acc = acc*x + c1\n";
+    s += "  l.mul r16, r16, r14\n";
+    s += "  l.srai r16, r16, 16\n";
+    s += "  l.add r16, r16, r23      ; acc = acc*x + c0\n";
+    s += "  l.add r18, r18, r16\n";
+    s += "  l.addi r11, r11, -1\n";
+    s += "  l.sfgts r11, r0\n";
+    s += "  l.bf poly\n";
+    s += "  l.nop\n";
+    s += check_and_exit("r18", expected);
+    return {"fixmath", "Q16 fixed-point Horner polynomial over 64 inputs", std::move(s)};
+}
+
+Kernel kernel_qsort() {
+    constexpr int kCount = 80;
+    constexpr std::uint32_t kSeed = 0x950471e5u;
+
+    std::vector<std::uint32_t> values(kCount);
+    std::uint32_t x = kSeed;
+    for (auto& v : values) {
+        x = lcg_next(x);
+        v = x & 0xfffffu;
+    }
+    std::sort(values.begin(), values.end());
+    std::uint32_t expected = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        expected += values[i] * static_cast<std::uint32_t>(i + 1);
+    }
+
+    std::string s;
+    s += "; qsort: iterative Lomuto quicksort with an explicit stack (BEEBS qsort)\n";
+    s += ".text\n_start:\n";
+    s += "  l.li r26, buf\n";
+    s += load_imm("r10", kSeed);
+    s += format("  l.addi r11, r0, %d\n", kCount);
+    s += load_imm("r12", 1664525u);
+    s += load_imm("r13", 1013904223u);
+    s += load_imm("r15", 0xfffffu);
+    s += "fill:\n";
+    s += "  l.mul r10, r10, r12\n";
+    s += "  l.add r10, r10, r13\n";
+    s += "  l.and r14, r10, r15\n";
+    s += "  l.sw 0(r26), r14\n";
+    s += "  l.addi r11, r11, -1\n";
+    s += "  l.sfgts r11, r0\n";
+    s += "  l.bf fill\n";
+    s += "  l.addi r26, r26, 4       ; (delay slot)\n";
+    // Push the initial range (0, count-1).
+    s += "  l.li r25, qstack\n";
+    s += "  l.sw 0(r25), r0\n";
+    s += format("  l.addi r14, r0, %d\n", kCount - 1);
+    s += "  l.sw 4(r25), r14\n";
+    s += "  l.addi r25, r25, 8\n";
+    s += "  l.li r26, buf\n";
+    s += "qloop:\n";
+    s += "  l.li r14, qstack\n";
+    s += "  l.sfgtu r25, r14         ; stack non-empty?\n";
+    s += "  l.bnf qdone\n";
+    s += "  l.nop\n";
+    s += "  l.addi r25, r25, -8\n";
+    s += "  l.lwz r20, 0(r25)        ; lo\n";
+    s += "  l.lwz r21, 4(r25)        ; hi\n";
+    s += "  l.sfges r20, r21\n";
+    s += "  l.bf qloop               ; trivial range\n";
+    s += "  l.nop\n";
+    s += "  l.slli r14, r21, 2\n";
+    s += "  l.add r14, r26, r14\n";
+    s += "  l.lwz r22, 0(r14)        ; pivot = a[hi]\n";
+    s += "  l.addi r23, r20, -1      ; i = lo - 1\n";
+    s += "  l.mov r24, r20           ; j = lo\n";
+    s += "part:\n";
+    s += "  l.sfges r24, r21         ; j >= hi: partition done\n";
+    s += "  l.bf part_done\n";
+    s += "  l.nop\n";
+    s += "  l.slli r14, r24, 2\n";
+    s += "  l.add r14, r26, r14\n";
+    s += "  l.lwz r16, 0(r14)        ; a[j]\n";
+    s += "  l.sfgtu r16, r22\n";
+    s += "  l.bf part_next\n";
+    s += "  l.nop\n";
+    s += "  l.addi r23, r23, 1       ; ++i\n";
+    s += "  l.slli r15, r23, 2\n";
+    s += "  l.add r15, r26, r15\n";
+    s += "  l.lwz r17, 0(r15)\n";
+    s += "  l.sw 0(r15), r16         ; swap a[i] <-> a[j]\n";
+    s += "  l.sw 0(r14), r17\n";
+    s += "part_next:\n";
+    s += "  l.j part\n";
+    s += "  l.addi r24, r24, 1       ; ++j (delay slot)\n";
+    s += "part_done:\n";
+    s += "  l.addi r23, r23, 1       ; p = i + 1\n";
+    s += "  l.slli r15, r23, 2\n";
+    s += "  l.add r15, r26, r15\n";
+    s += "  l.lwz r17, 0(r15)\n";
+    s += "  l.slli r14, r21, 2\n";
+    s += "  l.add r14, r26, r14\n";
+    s += "  l.lwz r16, 0(r14)\n";
+    s += "  l.sw 0(r15), r16         ; swap a[p] <-> a[hi]\n";
+    s += "  l.sw 0(r14), r17\n";
+    s += "  l.sw 0(r25), r20         ; push (lo, p-1)\n";
+    s += "  l.addi r14, r23, -1\n";
+    s += "  l.sw 4(r25), r14\n";
+    s += "  l.addi r25, r25, 8\n";
+    s += "  l.addi r14, r23, 1       ; push (p+1, hi)\n";
+    s += "  l.sw 0(r25), r14\n";
+    s += "  l.sw 4(r25), r21\n";
+    s += "  l.j qloop\n";
+    s += "  l.addi r25, r25, 8       ; (delay slot)\n";
+    s += "qdone:\n";
+    // Weighted checksum + in-guest order check.
+    s += "  l.li r26, buf\n";
+    s += "  l.addi r18, r0, 0\n";
+    s += "  l.addi r19, r0, 1\n";
+    s += format("  l.addi r11, r0, %d\n", kCount);
+    s += "  l.addi r20, r0, 0\n";
+    s += "chk:\n";
+    s += "  l.lwz r14, 0(r26)\n";
+    s += "  l.sfgtu r20, r14\n";
+    s += "  l.bf order_fail\n";
+    s += "  l.nop\n";
+    s += "  l.mov r20, r14\n";
+    s += "  l.mul r16, r14, r19\n";
+    s += "  l.add r18, r18, r16\n";
+    s += "  l.addi r26, r26, 4\n";
+    s += "  l.addi r19, r19, 1\n";
+    s += "  l.addi r11, r11, -1\n";
+    s += "  l.sfgts r11, r0\n";
+    s += "  l.bf chk\n";
+    s += "  l.nop\n";
+    s += "  l.j chk_done\n";
+    s += "  l.nop\n";
+    s += "order_fail:\n";
+    s += "  l.addi r18, r0, -1\n";
+    s += "chk_done:\n";
+    s += check_and_exit("r18", expected);
+    s += format(".data\nbuf: .space %d\nqstack: .space %d\n", 4 * kCount, 8 * 2 * kCount);
+    return {"qsort", "iterative Lomuto quicksort with an explicit stack", std::move(s)};
+}
+
+}  // namespace focs::workloads

@@ -1,0 +1,383 @@
+// Graph / string / state-machine kernels: dijkstra, levenshtein, fsm.
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernel_util.hpp"
+#include "workloads/kernels.hpp"
+
+namespace focs::workloads {
+
+Kernel kernel_dijkstra() {
+    constexpr int kV = 12;
+    constexpr std::uint32_t kSeed = 0xd13c57a1u;
+    constexpr std::uint32_t kInf = 0x7fffffffu;
+
+    // Host reference (identical traversal and tie-breaking).
+    std::array<std::array<std::uint32_t, kV>, kV> w{};
+    std::uint32_t x = kSeed;
+    for (int i = 0; i < kV; ++i) {
+        for (int j = 0; j < kV; ++j) {
+            x = lcg_next(x);
+            w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = (x & 0x3fu) + 1u;
+        }
+    }
+    for (int i = 0; i < kV; ++i) w[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 0;
+    std::array<std::uint32_t, kV> dist{};
+    std::array<std::uint32_t, kV> visited{};
+    dist.fill(kInf);
+    dist[0] = 0;
+    for (int round = 0; round < kV; ++round) {
+        std::uint32_t best = kInf;
+        int u = -1;
+        for (int v = 0; v < kV; ++v) {
+            if (visited[static_cast<std::size_t>(v)] == 0 &&
+                dist[static_cast<std::size_t>(v)] < best) {
+                best = dist[static_cast<std::size_t>(v)];
+                u = v;
+            }
+        }
+        if (u < 0) break;
+        visited[static_cast<std::size_t>(u)] = 1;
+        for (int v = 0; v < kV; ++v) {
+            if (visited[static_cast<std::size_t>(v)] != 0) continue;
+            const std::uint32_t nd = dist[static_cast<std::size_t>(u)] +
+                                     w[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)];
+            if (nd < dist[static_cast<std::size_t>(v)]) dist[static_cast<std::size_t>(v)] = nd;
+        }
+    }
+    std::uint32_t expected = 0;
+    for (int v = 0; v < kV; ++v) expected += dist[static_cast<std::size_t>(v)];
+
+    std::string s;
+    s += "; dijkstra: single-source shortest paths, O(V^2) (BEEBS dijkstra class)\n";
+    s += ".text\n_start:\n";
+    // Fill weight matrix.
+    s += "  l.li r25, wmat\n";
+    s += "  l.mov r26, r25\n";
+    s += load_imm("r10", kSeed);
+    s += format("  l.addi r11, r0, %d\n", kV * kV);
+    s += load_imm("r12", 1664525u);
+    s += load_imm("r13", 1013904223u);
+    s += "fill_w:\n";
+    s += "  l.mul r10, r10, r12\n";
+    s += "  l.add r10, r10, r13\n";
+    s += "  l.andi r14, r10, 0x3f\n";
+    s += "  l.addi r14, r14, 1\n";
+    s += "  l.sw 0(r26), r14\n";
+    s += "  l.addi r26, r26, 4\n";
+    s += "  l.addi r11, r11, -1\n";
+    s += "  l.sfgts r11, r0\n";
+    s += "  l.bf fill_w\n";
+    s += "  l.nop\n";
+    // Zero the diagonal: w[i][i] at offset i*(4*kV+4).
+    s += "  l.mov r26, r25\n";
+    s += format("  l.addi r11, r0, %d\n", kV);
+    s += "zero_diag:\n";
+    s += "  l.sw 0(r26), r0\n";
+    s += format("  l.addi r26, r26, %d\n", 4 * kV + 4);
+    s += "  l.addi r11, r11, -1\n";
+    s += "  l.sfgts r11, r0\n";
+    s += "  l.bf zero_diag\n";
+    s += "  l.nop\n";
+    // dist[] = INF except dist[0] = 0; visited[] = 0.
+    s += "  l.li r26, dist\n";
+    s += "  l.li r27, visited\n";
+    s += load_imm("r15", kInf);
+    s += format("  l.addi r11, r0, %d\n", kV);
+    s += "init_d:\n";
+    s += "  l.sw 0(r26), r15\n";
+    s += "  l.sw 0(r27), r0\n";
+    s += "  l.addi r26, r26, 4\n";
+    s += "  l.addi r27, r27, 4\n";
+    s += "  l.addi r11, r11, -1\n";
+    s += "  l.sfgts r11, r0\n";
+    s += "  l.bf init_d\n";
+    s += "  l.nop\n";
+    s += "  l.li r26, dist\n";
+    s += "  l.sw 0(r26), r0          ; dist[0] = 0\n";
+    // Main loop: kV rounds.
+    s += format("  l.addi r20, r0, %d   ; rounds\n", kV);
+    s += "round:\n";
+    // Find unvisited minimum.
+    s += "  l.addi r21, r0, 0        ; v\n";
+    s += load_imm("r22", kInf);
+    s += "  l.addi r23, r0, -1       ; u = -1\n";
+    s += "scan:\n";
+    s += "  l.li r27, visited\n";
+    s += "  l.slli r14, r21, 2\n";
+    s += "  l.add r16, r27, r14\n";
+    s += "  l.lwz r16, 0(r16)\n";
+    s += "  l.sfne r16, r0\n";
+    s += "  l.bf scan_next\n";
+    s += "  l.nop\n";
+    s += "  l.li r26, dist\n";
+    s += "  l.add r16, r26, r14\n";
+    s += "  l.lwz r16, 0(r16)        ; dist[v]\n";
+    s += "  l.sfltu r16, r22\n";
+    s += "  l.bnf scan_next\n";
+    s += "  l.nop\n";
+    s += "  l.mov r22, r16           ; best = dist[v]\n";
+    s += "  l.mov r23, r21           ; u = v\n";
+    s += "scan_next:\n";
+    s += "  l.addi r21, r21, 1\n";
+    s += format("  l.sfltsi r21, %d\n", kV);
+    s += "  l.bf scan\n";
+    s += "  l.nop\n";
+    s += "  l.sflts r23, r0\n";
+    s += "  l.bf done_rounds         ; no reachable unvisited node\n";
+    s += "  l.nop\n";
+    // visited[u] = 1.
+    s += "  l.li r27, visited\n";
+    s += "  l.slli r14, r23, 2\n";
+    s += "  l.add r14, r27, r14\n";
+    s += "  l.addi r16, r0, 1\n";
+    s += "  l.sw 0(r14), r16\n";
+    // Relax neighbours: r24 = &w[u][0], r17 = dist[u].
+    s += "  l.li r26, dist\n";
+    s += "  l.slli r14, r23, 2\n";
+    s += "  l.add r14, r26, r14\n";
+    s += "  l.lwz r17, 0(r14)        ; dist[u]\n";
+    s += format("  l.muli r14, r23, %d\n", 4 * kV);
+    s += "  l.add r24, r25, r14      ; &w[u][0]\n";
+    s += "  l.addi r21, r0, 0        ; v\n";
+    s += "relax:\n";
+    s += "  l.li r27, visited\n";
+    s += "  l.slli r14, r21, 2\n";
+    s += "  l.add r16, r27, r14\n";
+    s += "  l.lwz r16, 0(r16)\n";
+    s += "  l.sfne r16, r0\n";
+    s += "  l.bf relax_next\n";
+    s += "  l.nop\n";
+    s += "  l.lwz r16, 0(r24)        ; w[u][v]\n";
+    s += "  l.add r16, r17, r16      ; nd\n";
+    s += "  l.li r26, dist\n";
+    s += "  l.add r14, r26, r14\n";
+    s += "  l.lwz r15, 0(r14)        ; dist[v]\n";
+    s += "  l.sfltu r16, r15\n";
+    s += "  l.bnf relax_next\n";
+    s += "  l.nop\n";
+    s += "  l.sw 0(r14), r16\n";
+    s += "relax_next:\n";
+    s += "  l.addi r24, r24, 4\n";
+    s += "  l.addi r21, r21, 1\n";
+    s += format("  l.sfltsi r21, %d\n", kV);
+    s += "  l.bf relax\n";
+    s += "  l.nop\n";
+    s += "  l.addi r20, r20, -1\n";
+    s += "  l.sfgts r20, r0\n";
+    s += "  l.bf round\n";
+    s += "  l.nop\n";
+    s += "done_rounds:\n";
+    // checksum = sum dist[].
+    s += "  l.li r26, dist\n";
+    s += "  l.addi r18, r0, 0\n";
+    s += format("  l.addi r11, r0, %d\n", kV);
+    s += "sum_d:\n";
+    s += "  l.lwz r14, 0(r26)\n";
+    s += "  l.add r18, r18, r14\n";
+    s += "  l.addi r26, r26, 4\n";
+    s += "  l.addi r11, r11, -1\n";
+    s += "  l.sfgts r11, r0\n";
+    s += "  l.bf sum_d\n";
+    s += "  l.nop\n";
+    s += check_and_exit("r18", expected);
+    s += format(".data\nwmat: .space %d\ndist: .space %d\nvisited: .space %d\n", 4 * kV * kV,
+                4 * kV, 4 * kV);
+    return {"dijkstra", "O(V^2) Dijkstra over a dense 12-node graph", std::move(s)};
+}
+
+Kernel kernel_levenshtein() {
+    constexpr int kM = 12;  // |s|
+    constexpr int kN = 16;  // |t|
+    constexpr std::uint32_t kSeed = 0x7e7e1234u;
+
+    // Host reference.
+    std::array<std::uint8_t, kM> sa{};
+    std::array<std::uint8_t, kN> ta{};
+    std::uint32_t x = kSeed;
+    for (auto& c : sa) {
+        x = lcg_next(x);
+        c = static_cast<std::uint8_t>('a' + (x & 7u));
+    }
+    for (auto& c : ta) {
+        x = lcg_next(x);
+        c = static_cast<std::uint8_t>('a' + (x & 7u));
+    }
+    std::vector<std::uint32_t> prev(kN + 1), curr(kN + 1);
+    for (int j = 0; j <= kN; ++j) prev[static_cast<std::size_t>(j)] = static_cast<std::uint32_t>(j);
+    for (int i = 1; i <= kM; ++i) {
+        curr[0] = static_cast<std::uint32_t>(i);
+        for (int j = 1; j <= kN; ++j) {
+            const std::uint32_t cost = sa[static_cast<std::size_t>(i - 1)] ==
+                                               ta[static_cast<std::size_t>(j - 1)]
+                                           ? 0u
+                                           : 1u;
+            std::uint32_t best = prev[static_cast<std::size_t>(j)] + 1u;
+            const std::uint32_t left = curr[static_cast<std::size_t>(j - 1)] + 1u;
+            if (left < best) best = left;
+            const std::uint32_t diag = prev[static_cast<std::size_t>(j - 1)] + cost;
+            if (diag < best) best = diag;
+            curr[static_cast<std::size_t>(j)] = best;
+        }
+        std::swap(prev, curr);
+    }
+    const std::uint32_t expected = prev[kN];
+
+    std::string s;
+    s += "; levenshtein: edit distance DP with byte loads/stores\n";
+    s += ".text\n_start:\n";
+    // Fill strings as bytes (exercises l.sb / l.lbz).
+    s += "  l.li r26, str_s\n";
+    s += load_imm("r10", kSeed);
+    s += format("  l.addi r11, r0, %d\n", kM + kN);
+    s += load_imm("r12", 1664525u);
+    s += load_imm("r13", 1013904223u);
+    s += "fill_str:\n";
+    s += "  l.mul r10, r10, r12\n";
+    s += "  l.add r10, r10, r13\n";
+    s += "  l.andi r14, r10, 7\n";
+    s += format("  l.addi r14, r14, %d   ; 'a'\n", 'a');
+    s += "  l.sb 0(r26), r14\n";
+    s += "  l.addi r26, r26, 1\n";
+    s += "  l.addi r11, r11, -1\n";
+    s += "  l.sfgts r11, r0\n";
+    s += "  l.bf fill_str\n";
+    s += "  l.nop\n";
+    // prev[j] = j.
+    s += "  l.li r26, row_prev\n";
+    s += "  l.addi r14, r0, 0\n";
+    s += "init_prev:\n";
+    s += "  l.sw 0(r26), r14\n";
+    s += "  l.addi r26, r26, 4\n";
+    s += "  l.addi r14, r14, 1\n";
+    s += format("  l.sflesi r14, %d\n", kN);
+    s += "  l.bf init_prev\n";
+    s += "  l.nop\n";
+    s += "  l.li r26, row_prev        ; prev pointer\n";
+    s += "  l.li r27, row_curr        ; curr pointer\n";
+    s += "  l.addi r20, r0, 1         ; i\n";
+    s += "lev_i:\n";
+    s += "  l.sw 0(r27), r20          ; curr[0] = i\n";
+    s += "  l.li r24, str_s\n";
+    s += "  l.add r14, r24, r20\n";
+    s += "  l.lbz r22, -1(r14)        ; sc = s[i-1]\n";
+    s += "  l.addi r21, r0, 1         ; j\n";
+    s += "lev_j:\n";
+    s += "  l.li r24, str_t\n";
+    s += "  l.add r14, r24, r21\n";
+    s += "  l.lbz r23, -1(r14)        ; tc = t[j-1]\n";
+    s += "  l.slli r14, r21, 2\n";
+    s += "  l.add r15, r26, r14\n";
+    s += "  l.lwz r16, 0(r15)         ; prev[j]\n";
+    s += "  l.lwz r17, -4(r15)        ; prev[j-1]\n";
+    s += "  l.add r15, r27, r14\n";
+    s += "  l.lwz r19, -4(r15)        ; curr[j-1]\n";
+    s += "  l.addi r16, r16, 1        ; up = prev[j]+1\n";
+    s += "  l.addi r19, r19, 1        ; left = curr[j-1]+1\n";
+    s += "  l.sfeq r22, r23\n";
+    s += "  l.bf lev_same\n";
+    s += "  l.nop\n";
+    s += "  l.addi r17, r17, 1        ; diag = prev[j-1]+cost\n";
+    s += "lev_same:\n";
+    s += "  l.sfltu r19, r16          ; left < up?\n";
+    s += "  l.bnf lev_m1\n";
+    s += "  l.nop\n";
+    s += "  l.mov r16, r19\n";
+    s += "lev_m1:\n";
+    s += "  l.sfltu r17, r16          ; diag < best?\n";
+    s += "  l.bnf lev_m2\n";
+    s += "  l.nop\n";
+    s += "  l.mov r16, r17\n";
+    s += "lev_m2:\n";
+    s += "  l.sw 0(r15), r16          ; curr[j] = best\n";
+    s += "  l.addi r21, r21, 1\n";
+    s += format("  l.sflesi r21, %d\n", kN);
+    s += "  l.bf lev_j\n";
+    s += "  l.nop\n";
+    s += "  l.mov r14, r26            ; swap prev/curr pointers\n";
+    s += "  l.mov r26, r27\n";
+    s += "  l.mov r27, r14\n";
+    s += "  l.addi r20, r20, 1\n";
+    s += format("  l.sflesi r20, %d\n", kM);
+    s += "  l.bf lev_i\n";
+    s += "  l.nop\n";
+    s += format("  l.lwz r18, %d(r26)   ; distance = prev[N]\n", 4 * kN);
+    s += check_and_exit("r18", expected);
+    s += format(".data\nstr_s: .space %d\nstr_t: .space %d\n.align 4\nrow_prev: .space %d\n"
+                "row_curr: .space %d\n",
+                kM, kN, 4 * (kN + 1), 4 * (kN + 1));
+    return {"levenshtein", "edit-distance dynamic programming (byte memory ops)", std::move(s)};
+}
+
+Kernel kernel_fsm() {
+    constexpr int kSteps = 256;
+    constexpr std::uint32_t kSeed = 0xf5a10001u;
+
+    // Host reference.
+    std::uint32_t x = kSeed;
+    std::uint32_t h = 0;
+    std::uint32_t state = 0;
+    for (int i = 0; i < kSteps; ++i) {
+        x = lcg_next(x);
+        const std::uint32_t sym = x & 3u;
+        h = h * 31u + (7u * state + sym);
+        state = (sym + 2u * state) & 3u;
+    }
+    const std::uint32_t expected = h;
+
+    std::string s;
+    s += "; fsm: table-driven state machine with computed jumps (l.jr)\n";
+    s += ".text\n_start:\n";
+    s += load_imm("r10", kSeed);
+    s += format("  l.addi r11, r0, %d   ; steps\n", kSteps);
+    s += "  l.addi r18, r0, 0        ; h\n";
+    s += "  l.addi r20, r0, 0        ; state\n";
+    s += load_imm("r12", 1664525u);
+    s += load_imm("r13", 1013904223u);
+    s += "fsm_loop:\n";
+    s += "  l.sfgts r11, r0\n";
+    s += "  l.bnf fsm_done\n";
+    s += "  l.nop\n";
+    s += "  l.mul r10, r10, r12\n";
+    s += "  l.add r10, r10, r13\n";
+    s += "  l.andi r21, r10, 3       ; sym\n";
+    s += "  l.li r26, jumptab\n";
+    s += "  l.slli r14, r20, 2\n";
+    s += "  l.add r14, r26, r14\n";
+    s += "  l.lwz r16, 0(r14)\n";
+    s += "  l.jr r16\n";
+    s += "  l.addi r11, r11, -1      ; --steps (delay slot)\n";
+    s += "state0:\n";
+    s += "  l.muli r18, r18, 31\n";
+    s += "  l.add r18, r18, r21\n";
+    s += "  l.j fsm_loop\n";
+    s += "  l.andi r20, r21, 3       ; next = sym (delay slot)\n";
+    s += "state1:\n";
+    s += "  l.muli r18, r18, 31\n";
+    s += "  l.addi r14, r21, 7\n";
+    s += "  l.add r18, r18, r14\n";
+    s += "  l.addi r14, r21, 2\n";
+    s += "  l.j fsm_loop\n";
+    s += "  l.andi r20, r14, 3       ; next = (sym+2)&3 (delay slot)\n";
+    s += "state2:\n";
+    s += "  l.muli r18, r18, 31\n";
+    s += "  l.addi r14, r21, 14\n";
+    s += "  l.add r18, r18, r14\n";
+    s += "  l.addi r14, r21, 4\n";
+    s += "  l.j fsm_loop\n";
+    s += "  l.andi r20, r14, 3       ; next = (sym+4)&3 (delay slot)\n";
+    s += "state3:\n";
+    s += "  l.muli r18, r18, 31\n";
+    s += "  l.addi r14, r21, 21\n";
+    s += "  l.add r18, r18, r14\n";
+    s += "  l.addi r14, r21, 6\n";
+    s += "  l.j fsm_loop\n";
+    s += "  l.andi r20, r14, 3       ; next = (sym+6)&3 (delay slot)\n";
+    s += "fsm_done:\n";
+    s += check_and_exit("r18", expected);
+    s += ".data\njumptab: .word state0, state1, state2, state3\n";
+    return {"fsm", "table-driven 4-state machine, 256 steps, computed jumps", std::move(s)};
+}
+
+}  // namespace focs::workloads

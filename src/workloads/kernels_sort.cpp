@@ -1,0 +1,265 @@
+// Sorting/searching kernels: bubblesort, insertsort, bsearch.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernel_util.hpp"
+#include "workloads/kernels.hpp"
+
+namespace focs::workloads {
+
+namespace {
+
+std::vector<std::uint32_t> lcg_values(std::uint32_t seed, int count, std::uint32_t mask) {
+    std::vector<std::uint32_t> v(static_cast<std::size_t>(count));
+    std::uint32_t x = seed;
+    for (auto& e : v) {
+        x = lcg_next(x);
+        e = x & mask;
+    }
+    return v;
+}
+
+/// Weighted checksum Sum a[i]*(i+1) of a sorted array.
+std::uint32_t weighted_checksum(std::vector<std::uint32_t> v) {
+    std::sort(v.begin(), v.end());
+    std::uint32_t sum = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        sum += v[i] * static_cast<std::uint32_t>(i + 1);
+    }
+    return sum;
+}
+
+/// Emits the shared LCG fill loop: `count` words at label buf, masked.
+std::string emit_fill(std::uint32_t seed, int count, std::uint32_t mask) {
+    std::string s;
+    s += "  l.li r26, buf\n";
+    s += load_imm("r10", seed);
+    s += format("  l.addi r11, r0, %d\n", count);
+    s += load_imm("r12", 1664525u);
+    s += load_imm("r13", 1013904223u);
+    s += load_imm("r15", mask);
+    s += "fill:\n";
+    s += "  l.mul r10, r10, r12\n";
+    s += "  l.add r10, r10, r13\n";
+    s += "  l.and r14, r10, r15\n";
+    s += "  l.sw 0(r26), r14\n";
+    s += "  l.addi r26, r26, 4\n";
+    s += "  l.addi r11, r11, -1\n";
+    s += "  l.sfgts r11, r0\n";
+    s += "  l.bf fill\n";
+    s += "  l.nop\n";
+    return s;
+}
+
+/// Emits the weighted-checksum loop over `count` sorted words at buf,
+/// leaving the sum in r18. Also verifies ascending order: jumps to
+/// `order_fail` (which must set r18 to a poison value) on any inversion.
+std::string emit_weighted_checksum(int count) {
+    std::string s;
+    s += "  l.li r26, buf\n";
+    s += "  l.addi r18, r0, 0        ; checksum\n";
+    s += "  l.addi r19, r0, 1        ; index+1\n";
+    s += format("  l.addi r11, r0, %d\n", count);
+    s += "  l.addi r20, r0, 0        ; previous value\n";
+    s += "chk:\n";
+    s += "  l.lwz r14, 0(r26)\n";
+    s += "  l.sfgtu r20, r14         ; previous > current: not sorted\n";
+    s += "  l.bf order_fail\n";
+    s += "  l.nop\n";
+    s += "  l.mov r20, r14\n";
+    s += "  l.mul r16, r14, r19\n";
+    s += "  l.add r18, r18, r16\n";
+    s += "  l.addi r26, r26, 4\n";
+    s += "  l.addi r19, r19, 1\n";
+    s += "  l.addi r11, r11, -1\n";
+    s += "  l.sfgts r11, r0\n";
+    s += "  l.bf chk\n";
+    s += "  l.nop\n";
+    s += "  l.j chk_done\n";
+    s += "  l.nop\n";
+    s += "order_fail:\n";
+    s += "  l.addi r18, r0, -1       ; poison: order violated\n";
+    s += "chk_done:\n";
+    return s;
+}
+
+}  // namespace
+
+Kernel kernel_bubblesort() {
+    constexpr int kCount = 64;
+    constexpr std::uint32_t kSeed = 0xb0b51234u;
+    const std::uint32_t expected = weighted_checksum(lcg_values(kSeed, kCount, 0xffffu));
+
+    std::string s;
+    s += "; bubblesort: in-place bubble sort + sortedness check (BEEBS bubblesort)\n";
+    s += ".text\n_start:\n";
+    s += emit_fill(kSeed, kCount, 0xffffu);
+    // for i = count-1 .. 1: for j = 0 .. i-1: swap if a[j] > a[j+1]
+    s += format("  l.addi r21, r0, %d   ; i\n", kCount - 1);
+    s += "outer:\n";
+    s += "  l.li r26, buf\n";
+    s += "  l.addi r22, r0, 0        ; j\n";
+    s += "inner:\n";
+    s += "  l.lwz r14, 0(r26)\n";
+    s += "  l.lwz r16, 4(r26)\n";
+    s += "  l.sfgtu r14, r16\n";
+    s += "  l.bnf no_swap\n";
+    s += "  l.nop\n";
+    s += "  l.sw 0(r26), r16\n";
+    s += "  l.sw 4(r26), r14\n";
+    s += "no_swap:\n";
+    s += "  l.addi r26, r26, 4\n";
+    s += "  l.addi r22, r22, 1\n";
+    s += "  l.sflts r22, r21\n";
+    s += "  l.bf inner\n";
+    s += "  l.nop\n";
+    s += "  l.addi r21, r21, -1\n";
+    s += "  l.sfgts r21, r0\n";
+    s += "  l.bf outer\n";
+    s += "  l.nop\n";
+    s += emit_weighted_checksum(kCount);
+    s += check_and_exit("r18", expected);
+    s += format(".data\nbuf: .space %d\n", 4 * kCount);
+    return {"bubblesort", "bubble sort of 64 16-bit values with order check", std::move(s)};
+}
+
+Kernel kernel_insertsort() {
+    constexpr int kCount = 48;
+    constexpr std::uint32_t seed = 0x15e77001u;
+    const std::uint32_t expected = weighted_checksum(lcg_values(seed, kCount, 0xfffffu));
+
+    std::string s;
+    s += "; insertsort: insertion sort (BEEBS insertsort)\n";
+    s += ".text\n_start:\n";
+    s += emit_fill(seed, kCount, 0xfffffu);
+    // for i = 1 .. count-1: key = a[i]; j = i-1; while j >= 0 && a[j] > key:
+    //   a[j+1] = a[j]; --j;  a[j+1] = key
+    s += "  l.addi r21, r0, 1        ; i\n";
+    s += "ins_outer:\n";
+    s += "  l.li r26, buf\n";
+    s += "  l.slli r14, r21, 2\n";
+    s += "  l.add r26, r26, r14      ; &a[i]\n";
+    s += "  l.lwz r22, 0(r26)        ; key\n";
+    s += "  l.addi r27, r26, -4      ; &a[j]\n";
+    s += "  l.addi r23, r21, -1      ; j\n";
+    s += "ins_inner:\n";
+    s += "  l.sflts r23, r0\n";
+    s += "  l.bf ins_place\n";
+    s += "  l.nop\n";
+    s += "  l.lwz r14, 0(r27)\n";
+    s += "  l.sfgtu r14, r22\n";
+    s += "  l.bnf ins_place\n";
+    s += "  l.nop\n";
+    s += "  l.sw 4(r27), r14         ; a[j+1] = a[j]\n";
+    s += "  l.addi r27, r27, -4\n";
+    s += "  l.j ins_inner\n";
+    s += "  l.addi r23, r23, -1      ; --j (delay slot)\n";
+    s += "ins_place:\n";
+    s += "  l.sw 4(r27), r22         ; a[j+1] = key\n";
+    s += "  l.addi r21, r21, 1\n";
+    s += format("  l.sfltsi r21, %d\n", kCount);
+    s += "  l.bf ins_outer\n";
+    s += "  l.nop\n";
+    s += emit_weighted_checksum(kCount);
+    s += check_and_exit("r18", expected);
+    s += format(".data\nbuf: .space %d\n", 4 * kCount);
+    return {"insertsort", "insertion sort of 48 20-bit values with order check", std::move(s)};
+}
+
+Kernel kernel_bsearch() {
+    constexpr int kCount = 128;
+    constexpr int kQueries = 200;
+    // Sorted table a[i] = 7*i + 3; queries from the LCG; accumulate found
+    // index or ~0 for misses.
+    std::uint32_t expected = 0;
+    std::uint32_t x = 0x5ea4c4u;
+    for (int q = 0; q < kQueries; ++q) {
+        x = lcg_next(x);
+        const std::uint32_t key = x % (7u * kCount + 10u);
+        std::int32_t lo = 0;
+        std::int32_t hi = kCount - 1;
+        std::uint32_t found = 0xffffffffu;
+        while (lo <= hi) {
+            const std::int32_t mid = (lo + hi) / 2;
+            const std::uint32_t v = 7u * static_cast<std::uint32_t>(mid) + 3u;
+            if (v == key) {
+                found = static_cast<std::uint32_t>(mid);
+                break;
+            }
+            if (v < key) {
+                lo = mid + 1;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        expected += found;
+    }
+
+    std::string s;
+    s += "; bsearch: binary search over a sorted table (branch heavy)\n";
+    s += ".text\n_start:\n";
+    // Build table a[i] = 7*i + 3.
+    s += "  l.li r26, buf\n";
+    s += "  l.addi r10, r0, 0        ; i\n";
+    s += "tab:\n";
+    s += "  l.muli r14, r10, 7\n";
+    s += "  l.addi r14, r14, 3\n";
+    s += "  l.sw 0(r26), r14\n";
+    s += "  l.addi r26, r26, 4\n";
+    s += "  l.addi r10, r10, 1\n";
+    s += format("  l.sfltsi r10, %d\n", kCount);
+    s += "  l.bf tab\n";
+    s += "  l.nop\n";
+    // Query loop.
+    s += load_imm("r10", 0x5ea4c4u);
+    s += format("  l.addi r11, r0, %d   ; queries\n", kQueries);
+    s += "  l.addi r18, r0, 0        ; checksum\n";
+    s += load_imm("r12", 1664525u);
+    s += load_imm("r13", 1013904223u);
+    s += format("  l.addi r24, r0, %d   ; modulus\n", 7 * kCount + 10);
+    s += "query:\n";
+    s += "  l.mul r10, r10, r12\n";
+    s += "  l.add r10, r10, r13\n";
+    s += "  l.divu r14, r10, r24\n";
+    s += "  l.mul r14, r14, r24\n";
+    s += "  l.sub r22, r10, r14      ; key = x %% mod\n";
+    s += "  l.addi r15, r0, 0        ; lo\n";
+    s += format("  l.addi r16, r0, %d   ; hi\n", kCount - 1);
+    s += "  l.addi r23, r0, -1       ; found = ~0\n";
+    s += "bs_loop:\n";
+    s += "  l.sfgts r15, r16\n";
+    s += "  l.bf bs_done\n";
+    s += "  l.nop\n";
+    s += "  l.add r17, r15, r16\n";
+    s += "  l.srai r17, r17, 1       ; mid\n";
+    s += "  l.li r26, buf\n";
+    s += "  l.slli r14, r17, 2\n";
+    s += "  l.add r14, r26, r14\n";
+    s += "  l.lwz r14, 0(r14)        ; v = a[mid]\n";
+    s += "  l.sfeq r14, r22\n";
+    s += "  l.bnf bs_cmp\n";
+    s += "  l.nop\n";
+    s += "  l.j bs_done\n";
+    s += "  l.mov r23, r17           ; found = mid (delay slot)\n";
+    s += "bs_cmp:\n";
+    s += "  l.sfltu r14, r22\n";
+    s += "  l.bnf bs_upper\n";
+    s += "  l.nop\n";
+    s += "  l.j bs_loop\n";
+    s += "  l.addi r15, r17, 1       ; lo = mid+1 (delay slot)\n";
+    s += "bs_upper:\n";
+    s += "  l.j bs_loop\n";
+    s += "  l.addi r16, r17, -1      ; hi = mid-1 (delay slot)\n";
+    s += "bs_done:\n";
+    s += "  l.add r18, r18, r23\n";
+    s += "  l.addi r11, r11, -1\n";
+    s += "  l.sfgts r11, r0\n";
+    s += "  l.bf query\n";
+    s += "  l.nop\n";
+    s += check_and_exit("r18", expected);
+    s += format(".data\nbuf: .space %d\n", 4 * kCount);
+    return {"bsearch", "200 binary searches over a 128-entry table", std::move(s)};
+}
+
+}  // namespace focs::workloads

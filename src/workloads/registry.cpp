@@ -1,0 +1,91 @@
+#include "workloads/kernel.hpp"
+
+#include "asm/assembler.hpp"
+#include "common/error.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/testgen.hpp"
+
+namespace focs::workloads {
+
+const std::vector<Kernel>& benchmark_suite() {
+    static const std::vector<Kernel> suite = [] {
+        std::vector<Kernel> kernels;
+        kernels.push_back(kernel_coremark_mini());
+        kernels.push_back(kernel_crc32());
+        kernels.push_back(kernel_fibcall());
+        kernels.push_back(kernel_prime());
+        kernels.push_back(kernel_isqrt());
+        kernels.push_back(kernel_bubblesort());
+        kernels.push_back(kernel_insertsort());
+        kernels.push_back(kernel_bsearch());
+        kernels.push_back(kernel_fir());
+        kernels.push_back(kernel_edn());
+        kernels.push_back(kernel_matmult());
+        kernels.push_back(kernel_dijkstra());
+        kernels.push_back(kernel_levenshtein());
+        kernels.push_back(kernel_fsm());
+        kernels.push_back(kernel_strsearch());
+        kernels.push_back(kernel_bitcount());
+        kernels.push_back(kernel_shellsort());
+        kernels.push_back(kernel_fixmath());
+        kernels.push_back(kernel_qsort());
+        return kernels;
+    }();
+    return suite;
+}
+
+const std::vector<Kernel>& characterization_suite() {
+    static const std::vector<Kernel> suite = [] {
+        std::vector<Kernel> kernels;
+        kernels.push_back(char_alu());
+        kernels.push_back(char_mul_div());
+        kernels.push_back(char_shift());
+        kernels.push_back(char_memory());
+        kernels.push_back(char_compare_branch());
+        kernels.push_back(char_jump());
+        for (const std::uint64_t seed : {0xa1ULL, 0xb2ULL, 0xc3ULL, 0xd4ULL, 0xe5ULL, 0xf6ULL}) {
+            TestGenConfig config;
+            config.seed = seed;
+            config.instruction_count = 2200;
+            config.weight_branch = 7;
+            config.weight_jump = 3;
+            config.weight_mul = 10;
+            config.weight_shift = 8;
+            config.weight_movhi = 4;
+            kernels.push_back(generate_random_kernel(config));
+        }
+        return kernels;
+    }();
+    return suite;
+}
+
+const Kernel& find_kernel(const std::string& name) {
+    for (const auto& k : benchmark_suite()) {
+        if (k.name == name) return k;
+    }
+    for (const auto& k : characterization_suite()) {
+        if (k.name == name) return k;
+    }
+    throw Error("unknown kernel: " + name);
+}
+
+std::vector<std::pair<std::string, assembler::Program>> assemble_suite(
+    const std::vector<Kernel>& kernels) {
+    std::vector<std::pair<std::string, assembler::Program>> out;
+    out.reserve(kernels.size());
+    for (const auto& k : kernels) {
+        out.emplace_back(k.name, assembler::assemble(k.source));
+    }
+    return out;
+}
+
+std::vector<assembler::Program> assemble_programs(const std::vector<Kernel>& kernels) {
+    std::vector<assembler::Program> out;
+    out.reserve(kernels.size());
+    for (const auto& k : kernels) {
+        out.push_back(assembler::assemble(k.source));
+    }
+    return out;
+}
+
+}  // namespace focs::workloads

@@ -1,0 +1,199 @@
+#include "workloads/testgen.hpp"
+
+#include <array>
+#include <string>
+
+#include "common/rng.hpp"
+#include "workloads/kernel_util.hpp"
+
+namespace focs::workloads {
+
+namespace {
+
+/// Working registers the generator may write. r24 is reserved for jalr
+/// targets, r25 holds a non-zero divisor, r26 the scratch-buffer base.
+constexpr std::array<int, 10> kPool = {10, 11, 12, 13, 14, 15, 16, 17, 18, 19};
+
+class Generator {
+public:
+    explicit Generator(const TestGenConfig& config) : config_(config), rng_(config.seed) {}
+
+    Kernel run() {
+        emit_header();
+        const int total = config_.weight_alu + config_.weight_mul + config_.weight_div +
+                          config_.weight_shift + config_.weight_memory + config_.weight_branch +
+                          config_.weight_jump + config_.weight_movhi;
+        while (emitted_ < config_.instruction_count) {
+            int pick = static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(total)));
+            if ((pick -= config_.weight_alu) < 0) emit_alu();
+            else if ((pick -= config_.weight_mul) < 0) emit_mul();
+            else if ((pick -= config_.weight_div) < 0) emit_div();
+            else if ((pick -= config_.weight_shift) < 0) emit_shift();
+            else if ((pick -= config_.weight_memory) < 0) emit_memory();
+            else if ((pick -= config_.weight_branch) < 0) emit_branch();
+            else if ((pick -= config_.weight_jump) < 0) emit_jump();
+            else emit_movhi();
+        }
+        emit_footer();
+        Kernel kernel;
+        kernel.name = format("testgen_%llu", static_cast<unsigned long long>(config_.seed));
+        kernel.description =
+            format("semi-random characterization program (seed %llu, ~%d instructions)",
+                   static_cast<unsigned long long>(config_.seed), config_.instruction_count);
+        kernel.source = std::move(source_);
+        return kernel;
+    }
+
+private:
+    const char* reg() {
+        return reg_name(kPool[static_cast<std::size_t>(rng_.next_below(kPool.size()))]);
+    }
+
+    static const char* reg_name(int index) {
+        static const char* names[] = {"r10", "r11", "r12", "r13", "r14",
+                                      "r15", "r16", "r17", "r18", "r19"};
+        return names[index - 10];
+    }
+
+    void line(const std::string& text) {
+        source_ += text;
+        source_ += '\n';
+        ++emitted_;
+    }
+
+    void emit_header() {
+        source_ += format("; semi-random characterization program, seed %llu\n",
+                          static_cast<unsigned long long>(config_.seed));
+        source_ += ".text\n_start:\n";
+        source_ += "  l.li r26, scratch\n";
+        source_ += "  l.addi r25, r0, 7        ; non-zero divisor\n";
+        // Seed the working registers with random values.
+        for (const int r : kPool) {
+            source_ += format("  l.li %s, 0x%08x\n", reg_name(r), rng_.next_u32());
+        }
+        emitted_ = 12 + 10;
+    }
+
+    void emit_footer() {
+        source_ += "  l.addi r3, r0, 0\n";
+        source_ += "  l.nop 0x1\n";
+        source_ += "  l.nop\n  l.nop\n  l.nop\n  l.nop\n";
+        source_ += format(".data\nscratch: .space %d\n", kScratchBytes);
+    }
+
+    void emit_alu() {
+        static const char* ops3[] = {"l.add", "l.sub", "l.and", "l.or", "l.xor"};
+        static const char* opsi[] = {"l.addi", "l.andi", "l.ori", "l.xori"};
+        if (rng_.next_bool(0.6)) {
+            line(format("  %s %s, %s, %s", ops3[rng_.next_below(5)], reg(), reg(), reg()));
+        } else {
+            const std::size_t op = rng_.next_below(4);
+            const bool unsigned_imm = op == 1 || op == 2;  // andi/ori
+            const std::int64_t imm = unsigned_imm ? rng_.next_range(0, 0xffff)
+                                                  : rng_.next_range(-32768, 32767);
+            line(format("  %s %s, %s, %lld", opsi[op], reg(), reg(),
+                        static_cast<long long>(imm)));
+        }
+    }
+
+    void emit_mul() {
+        if (rng_.next_bool(0.7)) {
+            line(format("  l.mul %s, %s, %s", reg(), reg(), reg()));
+        } else {
+            line(format("  l.muli %s, %s, %lld", reg(), reg(),
+                        static_cast<long long>(rng_.next_range(-32768, 32767))));
+        }
+    }
+
+    void emit_div() {
+        line(format("  %s %s, %s, r25", rng_.next_bool(0.5) ? "l.div" : "l.divu", reg(), reg()));
+    }
+
+    void emit_shift() {
+        static const char* ops3[] = {"l.sll", "l.srl", "l.sra", "l.ror"};
+        static const char* opsi[] = {"l.slli", "l.srli", "l.srai", "l.rori"};
+        if (rng_.next_bool(0.5)) {
+            line(format("  %s %s, %s, %s", ops3[rng_.next_below(4)], reg(), reg(), reg()));
+        } else {
+            line(format("  %s %s, %s, %lld", opsi[rng_.next_below(4)], reg(), reg(),
+                        static_cast<long long>(rng_.next_range(0, 31))));
+        }
+    }
+
+    void emit_memory() {
+        static const char* loads[] = {"l.lwz", "l.lhz", "l.lhs", "l.lbz", "l.lbs"};
+        static const char* stores[] = {"l.sw", "l.sh", "l.sb"};
+        if (rng_.next_bool(0.5)) {
+            const std::size_t op = rng_.next_below(5);
+            const int align = op == 0 ? 4 : op <= 2 ? 2 : 1;
+            const std::int64_t offset = rng_.next_range(0, (kScratchBytes - 4) / align) * align;
+            line(format("  %s %s, %lld(r26)", loads[op], reg(), static_cast<long long>(offset)));
+        } else {
+            const std::size_t op = rng_.next_below(3);
+            const int align = op == 0 ? 4 : op == 1 ? 2 : 1;
+            const std::int64_t offset = rng_.next_range(0, (kScratchBytes - 4) / align) * align;
+            line(format("  %s %lld(r26), %s", stores[op], static_cast<long long>(offset), reg()));
+        }
+    }
+
+    void emit_branch() {
+        static const char* compares[] = {"l.sfeq",  "l.sfne",  "l.sfgtu", "l.sfgeu", "l.sfltu",
+                                         "l.sfleu", "l.sfgts", "l.sfges", "l.sflts", "l.sfles"};
+        static const char* compares_i[] = {"l.sfeqi",  "l.sfnei",  "l.sfgtui", "l.sfgeui",
+                                           "l.sfltui", "l.sfleui", "l.sfgtsi", "l.sfgesi",
+                                           "l.sfltsi", "l.sflesi"};
+        if (rng_.next_bool(0.5)) {
+            line(format("  %s %s, %s", compares[rng_.next_below(10)], reg(), reg()));
+        } else {
+            line(format("  %s %s, %lld", compares_i[rng_.next_below(10)], reg(),
+                        static_cast<long long>(rng_.next_range(-32768, 32767))));
+        }
+        const int label = next_label_++;
+        line(format("  %s tg_%d", rng_.next_bool(0.5) ? "l.bf" : "l.bnf", label));
+        line("  l.nop");
+        // A short block that executes only on fall-through.
+        const int skip = static_cast<int>(rng_.next_below(3));
+        for (int i = 0; i < skip; ++i) emit_alu();
+        source_ += format("tg_%d:\n", label);
+    }
+
+    void emit_jump() {
+        const int label = next_label_++;
+        const double kind = rng_.next_double();
+        if (kind < 0.6) {
+            line(format("  l.j tg_%d", label));
+            line("  l.nop");
+        } else if (kind < 0.85) {
+            line(format("  l.jal tg_%d", label));  // clobbers r9, unused here
+            line("  l.nop");
+        } else {
+            source_ += format("  l.li r24, tg_%d\n", label);
+            emitted_ += 2;
+            line("  l.jalr r24");
+            line("  l.nop");
+        }
+        source_ += format("tg_%d:\n", label);
+    }
+
+    void emit_movhi() {
+        line(format("  l.movhi %s, 0x%04x", reg(),
+                    static_cast<unsigned>(rng_.next_below(0x10000))));
+    }
+
+    static constexpr int kScratchBytes = 4096;
+
+    TestGenConfig config_;
+    Rng rng_;
+    std::string source_;
+    int emitted_ = 0;
+    int next_label_ = 0;
+};
+
+}  // namespace
+
+Kernel generate_random_kernel(const TestGenConfig& config) {
+    Generator generator(config);
+    return generator.run();
+}
+
+}  // namespace focs::workloads

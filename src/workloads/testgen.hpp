@@ -1,0 +1,33 @@
+// Directed semi-random test generation (the Python tool of paper Fig. 2).
+//
+// Generates seeded straight-line OR1K programs with a configurable mix of
+// ALU, multiplier/divider, shifter, memory, compare/branch and jump
+// instructions. Used to pad characterization coverage beyond the directed
+// kernels, exactly as the paper pads its characterization benchmark with
+// "directed semi-random test-cases".
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/kernel.hpp"
+
+namespace focs::workloads {
+
+struct TestGenConfig {
+    std::uint64_t seed = 1;
+    int instruction_count = 1200;  ///< approximate generated body length
+    // Relative mix weights (need not sum to anything particular).
+    int weight_alu = 40;
+    int weight_mul = 6;
+    int weight_div = 1;
+    int weight_shift = 10;
+    int weight_memory = 20;
+    int weight_branch = 12;
+    int weight_jump = 5;
+    int weight_movhi = 6;
+};
+
+/// Generates one self-terminating random program (always exits 0).
+Kernel generate_random_kernel(const TestGenConfig& config);
+
+}  // namespace focs::workloads

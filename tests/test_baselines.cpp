@@ -1,0 +1,189 @@
+// Tests for the related-work baseline policies and the mix-statistics
+// module, plus cross-voltage safety sweeps.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "asm/assembler.hpp"
+#include "core/dca_engine.hpp"
+#include "core/flows.hpp"
+#include "common/error.hpp"
+#include "core/controller_cost.hpp"
+#include "core/mix_stats.hpp"
+#include "isa/isa_info.hpp"
+#include "timing/cell_library.hpp"
+#include "workloads/kernel.hpp"
+
+namespace focs::core {
+namespace {
+
+const CharacterizationResult& characterization() {
+    static const CharacterizationResult result = [] {
+        const CharacterizationFlow flow(timing::DesignConfig{});
+        return flow.run(workloads::assemble_programs(workloads::characterization_suite()));
+    }();
+    return result;
+}
+
+const assembler::Program& program_of(const char* name) {
+    static auto* cache = new std::map<std::string, assembler::Program>();
+    auto it = cache->find(name);
+    if (it == cache->end()) {
+        it = cache->emplace(name, assembler::assemble(workloads::find_kernel(name).source)).first;
+    }
+    return it->second;
+}
+
+// ---- Dual-cycle (CRISTA-style) baseline -------------------------------------
+
+TEST(DualCycle, SafeOnWholeSuite) {
+    DcaEngine engine({});
+    for (const auto& [name, program] : workloads::assemble_suite(workloads::benchmark_suite())) {
+        DualCyclePolicy policy(characterization().table);
+        const auto r = engine.run(program, policy);
+        EXPECT_EQ(r.timing_violations, 0u) << name;
+        EXPECT_EQ(r.guest.exit_code, 0u) << name;
+    }
+}
+
+TEST(DualCycle, FastPeriodCoversHalfStatic) {
+    DualCyclePolicy policy(characterization().table);
+    EXPECT_GE(policy.fast_period_ps(), 0.5 * characterization().table.static_period_ps());
+}
+
+TEST(DualCycle, LandsBetweenStaticAndLut) {
+    DcaEngine engine({});
+    DualCyclePolicy dual(characterization().table);
+    InstructionLutPolicy lut(characterization().table);
+    const double t_dual = engine.run(program_of("bsearch"), dual).avg_period_ps;
+    const double t_lut = engine.run(program_of("bsearch"), lut).avg_period_ps;
+    const double t_static = engine.calculator().static_period_ps();
+    EXPECT_LT(t_dual, t_static);
+    EXPECT_GT(t_dual, t_lut);
+}
+
+TEST(DualCycle, StretchesOnMultiplies) {
+    DcaEngine engine({});
+    DualCyclePolicy policy(characterization().table);
+    // fir (multiplier heavy) must pay more double-cycles than bsearch.
+    const double fir = engine.run(program_of("fir"), policy).avg_period_ps;
+    DualCyclePolicy policy2(characterization().table);
+    const double bsearch = engine.run(program_of("bsearch"), policy2).avg_period_ps;
+    EXPECT_GT(fir, bsearch + 30.0);
+}
+
+// ---- Mix statistics -----------------------------------------------------------
+
+TEST(MixStats, SharesSumToOne) {
+    const MixReport report = collect_mix(program_of("matmult"));
+    std::uint64_t ex_total = 0;
+    for (const auto c : report.ex_cycles) ex_total += c;
+    EXPECT_EQ(ex_total, report.total_cycles);
+    std::uint64_t retired = 0;
+    for (const auto c : report.retired) retired += c;
+    EXPECT_EQ(retired, report.total_instructions);
+}
+
+TEST(MixStats, MatmultIsMultiplierHeavy) {
+    const MixReport report = collect_mix(program_of("matmult"));
+    const auto mul = static_cast<std::size_t>(isa::Opcode::kMul);
+    EXPECT_GT(report.ex_cycles[mul], report.total_cycles / 20);  // > 5% of cycles
+    EXPECT_GT(report.ipc, 0.6);
+}
+
+TEST(MixStats, ReportRendersWithAndWithoutLut) {
+    const MixReport report = collect_mix(program_of("fsm"));
+    const std::string plain = report.to_string();
+    EXPECT_NE(plain.find("l.jr"), std::string::npos);
+    EXPECT_NE(plain.find("IPC"), std::string::npos);
+    const std::string with_lut = report.to_string(&characterization().table);
+    EXPECT_NE(with_lut.find("EX LUT [ps]"), std::string::npos);
+}
+
+TEST(MixStats, RedirectCyclesTrackTakenBranches) {
+    // fibcall: one taken branch per 31-step inner loop + outer loop.
+    const MixReport report = collect_mix(program_of("fibcall"));
+    EXPECT_GT(report.redirect_cycles, 60u);
+    EXPECT_LT(report.redirect_cycles, report.total_cycles / 5);
+}
+
+// ---- Controller hardware cost ----------------------------------------------------
+
+TEST(ControllerCost, ScalesWithResolutionAndStages) {
+    const auto& table = characterization().table;
+    ControllerCostConfig coarse;
+    coarse.resolution_bits = 3;
+    ControllerCostConfig fine;
+    fine.resolution_bits = 7;
+    const auto c = ControllerCostModel(coarse).estimate(table, 494.0, 6000.0);
+    const auto f = ControllerCostModel(fine).estimate(table, 494.0, 6000.0);
+    EXPECT_GT(f.total_lut_bits, c.total_lut_bits);
+    EXPECT_GT(f.dynamic_uw, c.dynamic_uw);
+
+    ControllerCostConfig ex_only;
+    ex_only.monitored_stages = 1;
+    const auto e = ControllerCostModel(ex_only).estimate(table, 494.0, 6000.0);
+    const auto full = ControllerCostModel().estimate(table, 494.0, 6000.0);
+    EXPECT_LT(e.total_lut_bits, full.total_lut_bits);
+    EXPECT_LT(e.dynamic_uw, full.dynamic_uw);
+}
+
+TEST(ControllerCost, OverheadIsSmallFractionOfCore) {
+    // The technique only makes sense if the controller costs a few percent
+    // of the core at most; with the default parameters it does.
+    const auto cost = ControllerCostModel().estimate(characterization().table, 494.0, 6000.0);
+    EXPECT_GT(cost.overhead_fraction, 0.001);
+    EXPECT_LT(cost.overhead_fraction, 0.05);
+    EXPECT_EQ(cost.total_uw, cost.dynamic_uw + cost.standing_uw);
+}
+
+TEST(ControllerCost, EnergyScalesWithVoltageSquared) {
+    const auto& table = characterization().table;
+    const ControllerCostModel model;
+    const auto high = model.estimate(table, 494.0, 6000.0, 0.70);
+    const auto low = model.estimate(table, 494.0, 6000.0, 0.63);
+    EXPECT_NEAR(low.dynamic_uw / high.dynamic_uw, (0.63 * 0.63) / (0.70 * 0.70), 1e-9);
+}
+
+TEST(ControllerCost, RejectsBadConfig) {
+    ControllerCostConfig bad;
+    bad.resolution_bits = 0;
+    EXPECT_THROW(ControllerCostModel{bad}, Error);
+    bad.resolution_bits = 5;
+    bad.monitored_stages = 9;
+    EXPECT_THROW(ControllerCostModel{bad}, Error);
+}
+
+// ---- Cross-voltage property sweep -----------------------------------------------
+
+class VoltageSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(VoltageSweep, CharacterizeAndEvaluateStaysSafe) {
+    // Characterize *at* the operating voltage (per-point libraries, as the
+    // paper does) and evaluate there: safety and the relative speedup must
+    // hold at every characterized operating point.
+    timing::DesignConfig design;
+    design.voltage_v = GetParam();
+    const CharacterizationFlow flow(design);
+    const auto result = flow.run(workloads::assemble_programs(
+        {workloads::find_kernel("char_alu"), workloads::find_kernel("char_mul_div"),
+         workloads::find_kernel("char_shift"), workloads::find_kernel("char_memory"),
+         workloads::find_kernel("char_compare_branch"), workloads::find_kernel("char_jump"),
+         workloads::find_kernel("testgen_161"), workloads::find_kernel("testgen_178")}));
+    DcaEngine engine(design);
+    InstructionLutPolicy policy(result.table);
+    const auto run = engine.run(program_of("crc32"), policy);
+    EXPECT_EQ(run.timing_violations, 0u) << GetParam();
+    EXPECT_GT(run.speedup_vs_static, 1.25) << GetParam();
+    // Absolute frequency scales with voltage; relative speedup does not.
+    EXPECT_NEAR(run.static_period_ps,
+                2026.0 * timing::CellLibrary::fdsoi28().delay_scale(GetParam()), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, VoltageSweep, ::testing::Values(0.60, 0.65, 0.70, 0.75, 0.80),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                             return "v" + std::to_string(static_cast<int>(info.param * 100));
+                         });
+
+}  // namespace
+}  // namespace focs::core

@@ -1,0 +1,90 @@
+// Clock generator tests: request/grant contracts of all CG models.
+#include <gtest/gtest.h>
+
+#include "clock/clock_generator.hpp"
+#include "common/error.hpp"
+
+namespace focs::clocking {
+namespace {
+
+TEST(Ideal, GrantsExactly) {
+    IdealClockGenerator cg;
+    EXPECT_DOUBLE_EQ(cg.grant_period_ps(1234.5), 1234.5);
+}
+
+TEST(Quantized, CeilsToNextTap) {
+    QuantizedClockGenerator cg(1000.0, 2000.0, 11);  // taps every 100 ps
+    EXPECT_DOUBLE_EQ(cg.grant_period_ps(1000.0), 1000.0);
+    EXPECT_DOUBLE_EQ(cg.grant_period_ps(1001.0), 1100.0);
+    EXPECT_DOUBLE_EQ(cg.grant_period_ps(1399.9), 1400.0);
+    EXPECT_DOUBLE_EQ(cg.grant_period_ps(555.0), 1000.0);  // below range: slowest-safe tap
+}
+
+TEST(Quantized, BeyondSlowestTapStretches) {
+    QuantizedClockGenerator cg(1000.0, 2000.0, 3);
+    EXPECT_DOUBLE_EQ(cg.grant_period_ps(2500.0), 2500.0);
+}
+
+TEST(Quantized, NeverUnsafe) {
+    QuantizedClockGenerator cg = QuantizedClockGenerator::for_static_period(2026.0, 16);
+    for (double request = 900.0; request < 2300.0; request += 13.7) {
+        EXPECT_GE(cg.grant_period_ps(request), request);
+    }
+}
+
+TEST(Quantized, SingleTapDegeneratesToStatic) {
+    QuantizedClockGenerator cg = QuantizedClockGenerator::for_static_period(2026.0, 1);
+    EXPECT_DOUBLE_EQ(cg.grant_period_ps(1100.0), 2026.0);
+}
+
+TEST(Quantized, MoreTapsNeverWorse) {
+    QuantizedClockGenerator coarse = QuantizedClockGenerator::for_static_period(2026.0, 4);
+    QuantizedClockGenerator fine = QuantizedClockGenerator::for_static_period(2026.0, 64);
+    for (double request = 1013.0; request <= 2026.0; request += 7.0) {
+        EXPECT_LE(fine.grant_period_ps(request), coarse.grant_period_ps(request));
+    }
+}
+
+TEST(Quantized, RejectsBadConfig) {
+    EXPECT_THROW(QuantizedClockGenerator(0.0, 100.0, 4), Error);
+    EXPECT_THROW(QuantizedClockGenerator(200.0, 100.0, 4), Error);
+    EXPECT_THROW(QuantizedClockGenerator(100.0, 200.0, 0), Error);
+}
+
+TEST(PllBank, SlowingDownIsImmediate) {
+    PllBankClockGenerator cg({1000.0, 1500.0, 2000.0}, /*min_dwell_cycles=*/4);
+    EXPECT_DOUBLE_EQ(cg.grant_period_ps(900.0), 1000.0);
+    // Request slower: granted immediately.
+    EXPECT_DOUBLE_EQ(cg.grant_period_ps(1800.0), 2000.0);
+}
+
+TEST(PllBank, SpeedingUpWaitsForDwell) {
+    PllBankClockGenerator cg({1000.0, 2000.0}, /*min_dwell_cycles=*/3);
+    EXPECT_DOUBLE_EQ(cg.grant_period_ps(2000.0), 2000.0);  // start slow, dwell=1
+    EXPECT_DOUBLE_EQ(cg.grant_period_ps(1000.0), 2000.0);  // dwell 2: still slow
+    EXPECT_DOUBLE_EQ(cg.grant_period_ps(1000.0), 2000.0);  // dwell 3: still slow
+    EXPECT_DOUBLE_EQ(cg.grant_period_ps(1000.0), 1000.0);  // dwell satisfied
+}
+
+TEST(PllBank, AlwaysSafeDuringDwell) {
+    PllBankClockGenerator cg({1000.0, 1400.0, 2000.0}, 5);
+    for (double request : {2000.0, 1000.0, 1200.0, 1900.0, 1000.0, 1000.0, 1000.0}) {
+        EXPECT_GE(cg.grant_period_ps(request), request);
+    }
+}
+
+TEST(PllBank, ResetRestoresInitialState) {
+    PllBankClockGenerator cg({1000.0, 2000.0}, 8);
+    (void)cg.grant_period_ps(2000.0);
+    cg.reset();
+    EXPECT_DOUBLE_EQ(cg.grant_period_ps(1000.0), 1000.0);  // fresh start picks fast source
+}
+
+TEST(Names, AreDescriptive) {
+    EXPECT_EQ(IdealClockGenerator().name(), "ideal");
+    EXPECT_NE(QuantizedClockGenerator(1, 2, 4).name().find("4-taps"), std::string::npos);
+    EXPECT_NE(PllBankClockGenerator({1.0}, 0).name().find("1-sources"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace focs::clocking

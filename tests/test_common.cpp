@@ -1,0 +1,155 @@
+// Tests for shared utilities: stats, histogram, strings, rng, tables, units.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace focs {
+namespace {
+
+TEST(Units, PeriodFrequencyInverse) {
+    EXPECT_NEAR(mhz_from_period_ps(2026.0), 493.58, 0.01);
+    EXPECT_NEAR(period_ps_from_mhz(494.0), 2024.29, 0.01);
+    EXPECT_NEAR(period_ps_from_mhz(mhz_from_period_ps(1337.0)), 1337.0, 1e-9);
+}
+
+TEST(Units, EnergyConversion) {
+    // 1000 uW for 1 ns = 1 pJ.
+    EXPECT_NEAR(pj_from_uw_ps(1000.0, 1000.0), 1.0, 1e-12);
+}
+
+TEST(RunningStats, Moments) {
+    RunningStats s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+    RunningStats a, b, all;
+    for (int i = 0; i < 100; ++i) {
+        const double x = i * 0.37;
+        (i % 2 == 0 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Histogram, BinningAndStats) {
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+    EXPECT_EQ(h.total(), 10u);
+    for (int b = 0; b < 10; ++b) EXPECT_EQ(h.count(b), 1u);
+    EXPECT_NEAR(h.stats().mean(), 5.0, 1e-12);
+    EXPECT_NEAR(h.quantile(0.5), 5.0, 0.51);
+}
+
+TEST(Histogram, OutOfRangeClamped) {
+    Histogram h(0.0, 10.0, 5);
+    h.add(-100.0);
+    h.add(100.0);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(Histogram, MergeRequiresIdenticalBinning) {
+    Histogram a(0.0, 10.0, 5);
+    Histogram b(0.0, 10.0, 6);
+    EXPECT_THROW(a.merge(b), Error);
+}
+
+TEST(Histogram, RenderContainsSummary) {
+    Histogram h(0.0, 100.0, 4);
+    h.add(10);
+    h.add(90);
+    const std::string text = h.render_ascii(20);
+    EXPECT_NE(text.find("n=2"), std::string::npos);
+    EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, RangesRespected) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.next_range(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+        const double d = rng.next_double(1.0, 2.0);
+        EXPECT_GE(d, 1.0);
+        EXPECT_LT(d, 2.0);
+    }
+}
+
+TEST(Rng, HashUnitDoubleIsUniformish) {
+    RunningStats s;
+    for (std::uint64_t i = 0; i < 10000; ++i) s.add(hash_unit_double(i));
+    EXPECT_NEAR(s.mean(), 0.5, 0.02);
+    EXPECT_GE(s.min(), 0.0);
+    EXPECT_LT(s.max(), 1.0);
+}
+
+TEST(Strings, TrimSplit) {
+    EXPECT_EQ(trim("  a b  "), "a b");
+    EXPECT_EQ(trim(""), "");
+    const auto parts = split("a, b ,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[1], "b");
+    const auto words = split_whitespace("  x\ty  z ");
+    ASSERT_EQ(words.size(), 3u);
+    EXPECT_EQ(words[2], "z");
+}
+
+TEST(Strings, ParseInt) {
+    EXPECT_EQ(parse_int("42"), 42);
+    EXPECT_EQ(parse_int("-17"), -17);
+    EXPECT_EQ(parse_int("0x1f"), 31);
+    EXPECT_EQ(parse_int("0b101"), 5);
+    EXPECT_EQ(parse_int("0xFFFFFFFF"), 0xffffffffLL);
+    EXPECT_FALSE(parse_int("").has_value());
+    EXPECT_FALSE(parse_int("12x").has_value());
+    EXPECT_FALSE(parse_int("0x").has_value());
+}
+
+TEST(TextTable, RendersAligned) {
+    TextTable t({"Name", "Value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "22222"});
+    const std::string text = t.to_string();
+    EXPECT_NE(text.find("| alpha | 1     |"), std::string::npos);
+    EXPECT_NE(text.find("| b     | 22222 |"), std::string::npos);
+}
+
+TEST(TextTable, ArityEnforced) {
+    TextTable t({"A", "B"});
+    EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Check, ThrowsWithLocation) {
+    try {
+        check(false, "boom");
+        FAIL();
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("test_common.cpp"), std::string::npos);
+    }
+}
+
+}  // namespace
+}  // namespace focs

@@ -1,0 +1,200 @@
+// Core DCA tests: policy contracts, the engine's time accounting and the
+// central safety property — a predictive policy must never grant a period
+// below a cycle's actual requirement.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "asm/assembler.hpp"
+#include "clock/clock_generator.hpp"
+#include "core/dca_engine.hpp"
+#include "core/flows.hpp"
+#include "core/policies.hpp"
+#include "isa/isa_info.hpp"
+#include "workloads/kernel.hpp"
+
+namespace focs::core {
+namespace {
+
+/// Shared characterization result (built once; characterization over the
+/// full suite takes a moment).
+const CharacterizationResult& characterization() {
+    static const CharacterizationResult result = [] {
+        const CharacterizationFlow flow(timing::DesignConfig{});
+        return flow.run(workloads::assemble_programs(workloads::characterization_suite()));
+    }();
+    return result;
+}
+
+const assembler::Program& program_of(const char* name) {
+    static std::map<std::string, assembler::Program>* cache =
+        new std::map<std::string, assembler::Program>();
+    auto it = cache->find(name);
+    if (it == cache->end()) {
+        it = cache->emplace(name, assembler::assemble(workloads::find_kernel(name).source)).first;
+    }
+    return it->second;
+}
+
+TEST(Policies, StaticRequestsConstantPeriod) {
+    DcaEngine engine({});
+    StaticClockPolicy policy(engine.calculator().static_period_ps());
+    const DcaRunResult r = engine.run(program_of("fibcall"), policy);
+    EXPECT_DOUBLE_EQ(r.avg_period_ps, engine.calculator().static_period_ps());
+    EXPECT_DOUBLE_EQ(r.speedup_vs_static, 1.0);
+    EXPECT_EQ(r.timing_violations, 0u);
+}
+
+TEST(Policies, GenieNeverViolatesAndIsFastest) {
+    DcaEngine engine({});
+    GenieOraclePolicy genie;
+    InstructionLutPolicy lut(characterization().table);
+    const DcaRunResult genie_run = engine.run(program_of("crc32"), genie);
+    const DcaRunResult lut_run = engine.run(program_of("crc32"), lut);
+    EXPECT_EQ(genie_run.timing_violations, 0u);
+    EXPECT_EQ(lut_run.timing_violations, 0u);
+    EXPECT_LE(genie_run.avg_period_ps, lut_run.avg_period_ps);
+}
+
+TEST(Policies, OrderingAcrossTheLadder) {
+    // genie <= instruction-lut <= ex-only <= static, and two-class within
+    // [instruction-lut, static], for every benchmark checked.
+    DcaEngine engine({});
+    const auto& table = characterization().table;
+    for (const char* name : {"bubblesort", "matmult", "fsm"}) {
+        GenieOraclePolicy genie;
+        InstructionLutPolicy lut(table);
+        ExOnlyPolicy ex_only(table);
+        TwoClassPolicy two_class(table);
+        StaticClockPolicy static_policy(engine.calculator().static_period_ps());
+        const double t_genie = engine.run(program_of(name), genie).avg_period_ps;
+        const double t_lut = engine.run(program_of(name), lut).avg_period_ps;
+        const double t_ex = engine.run(program_of(name), ex_only).avg_period_ps;
+        const double t_two = engine.run(program_of(name), two_class).avg_period_ps;
+        const double t_static = engine.run(program_of(name), static_policy).avg_period_ps;
+        EXPECT_LE(t_genie, t_lut + 1e-9) << name;
+        EXPECT_LE(t_lut, t_ex + 1e-9) << name;
+        EXPECT_LE(t_ex, t_static + 1e-9) << name;
+        EXPECT_LE(t_lut, t_two + 1e-9) << name;
+        EXPECT_LE(t_two, t_static + 1e-9) << name;
+    }
+}
+
+TEST(Policies, SafetyAcrossWholeSuiteAndPolicies) {
+    // THE core guarantee of the paper's approach: predictive adjustment
+    // without timing-error detection requires zero violations, always.
+    DcaEngine engine({});
+    const auto& table = characterization().table;
+    for (const auto& [name, program] : workloads::assemble_suite(workloads::benchmark_suite())) {
+        for (const PolicyKind kind : {PolicyKind::kInstructionLut, PolicyKind::kExOnly,
+                                      PolicyKind::kTwoClass, PolicyKind::kStatic}) {
+            const auto policy = make_policy(kind, table, engine.calculator().static_period_ps());
+            const DcaRunResult r = engine.run(program, *policy);
+            EXPECT_EQ(r.timing_violations, 0u)
+                << name << " under " << policy->name() << " worst " << r.worst_violation_ps;
+            EXPECT_EQ(r.guest.exit_code, 0u) << name;
+        }
+    }
+}
+
+TEST(Policies, LutWithMarginIsSlowerButSafe) {
+    DcaEngine engine({});
+    InstructionLutPolicy no_margin(characterization().table, 0.0);
+    InstructionLutPolicy margin(characterization().table, 100.0);
+    const double plain = engine.run(program_of("edn"), no_margin).avg_period_ps;
+    const double padded = engine.run(program_of("edn"), margin).avg_period_ps;
+    EXPECT_NEAR(padded, plain + 100.0, 1.0);
+}
+
+TEST(Policies, ExOnlyFloorCoversNonExStages) {
+    const ExOnlyPolicy policy(characterization().table);
+    // The floor must cover the worst non-EX entry: the l.j ADR path.
+    EXPECT_GE(policy.floor_ps(),
+              characterization().table.lookup(static_cast<dta::OccKey>(isa::Opcode::kJ),
+                                              sim::Stage::kAdr));
+}
+
+TEST(Policies, TwoClassTreatsMulAsSlow) {
+    DcaEngine engine({});
+    TwoClassPolicy policy(characterization().table);
+    // fir is multiplier-heavy: two-class must be much slower than the LUT.
+    InstructionLutPolicy lut(characterization().table);
+    const double t_two = engine.run(program_of("fir"), policy).avg_period_ps;
+    const double t_lut = engine.run(program_of("fir"), lut).avg_period_ps;
+    EXPECT_GT(t_two, t_lut + 50.0);
+}
+
+TEST(Engine, TimeAccountingIsConsistent) {
+    DcaEngine engine({});
+    GenieOraclePolicy genie;
+    const DcaRunResult r = engine.run(program_of("prime"), genie);
+    EXPECT_NEAR(r.avg_period_ps * static_cast<double>(r.cycles), r.total_time_ps, 1e-3);
+    EXPECT_NEAR(r.eff_freq_mhz, 1e6 / r.avg_period_ps, 1e-6);
+    EXPECT_EQ(r.cycles, r.guest.cycles);
+}
+
+TEST(Engine, QuantizedGeneratorDegradesGracefully) {
+    DcaEngine engine({});
+    const auto& table = characterization().table;
+    const double static_ps = engine.calculator().static_period_ps();
+    double previous = 1e18;
+    for (const int taps : {2, 4, 8, 32, 128}) {
+        InstructionLutPolicy policy(table);
+        clocking::QuantizedClockGenerator cg =
+            clocking::QuantizedClockGenerator::for_static_period(static_ps, taps);
+        const DcaRunResult r = engine.run(program_of("crc32"), policy, cg);
+        EXPECT_EQ(r.timing_violations, 0u) << taps << " taps";
+        EXPECT_LE(r.avg_period_ps, previous + 1e-9) << taps << " taps";
+        previous = r.avg_period_ps;
+    }
+    // Many taps approach the ideal generator.
+    InstructionLutPolicy policy(table);
+    const double ideal = engine.run(program_of("crc32"), policy).avg_period_ps;
+    EXPECT_NEAR(previous, ideal, 0.02 * ideal);
+}
+
+TEST(Engine, PllBankIsSafeDespiteDwell) {
+    DcaEngine engine({});
+    InstructionLutPolicy policy(characterization().table);
+    clocking::PllBankClockGenerator cg({1300.0, 1500.0, 1700.0, 2026.0}, 8);
+    const DcaRunResult r = engine.run(program_of("dijkstra"), policy, cg);
+    EXPECT_EQ(r.timing_violations, 0u);
+    EXPECT_GE(r.speedup_vs_static, 1.0);
+}
+
+TEST(Flows, EvaluationSuiteAggregates) {
+    const EvaluationFlow flow(timing::DesignConfig{}, characterization().table);
+    const auto suite = workloads::assemble_suite(
+        {workloads::find_kernel("fibcall"), workloads::find_kernel("fsm")});
+    const SuiteResult result = flow.run_suite(suite, PolicyKind::kInstructionLut);
+    ASSERT_EQ(result.rows.size(), 2u);
+    EXPECT_EQ(result.total_violations, 0u);
+    EXPECT_NEAR(result.mean_speedup,
+                (result.rows[0].result.speedup_vs_static + result.rows[1].result.speedup_vs_static) / 2,
+                1e-9);
+}
+
+TEST(Flows, CharacterizationProducesCompleteTable) {
+    const auto& result = characterization();
+    EXPECT_GT(result.cycles, 10000u);
+    EXPECT_GT(result.genie_speedup, 1.2);
+    // Every opcode must be characterized in the EX stage (coverage test for
+    // the characterization suite + extraction pipeline).
+    for (int i = 0; i < isa::kOpcodeCount; ++i) {
+        EXPECT_TRUE(result.table.characterized(static_cast<dta::OccKey>(i), sim::Stage::kEx))
+            << isa::mnemonic(static_cast<isa::Opcode>(i));
+    }
+}
+
+TEST(Flows, MakePolicyFactoryCoversAllKinds) {
+    const auto& table = characterization().table;
+    for (const PolicyKind kind : {PolicyKind::kStatic, PolicyKind::kGenie,
+                                  PolicyKind::kInstructionLut, PolicyKind::kExOnly,
+                                  PolicyKind::kTwoClass}) {
+        EXPECT_NE(make_policy(kind, table, 2026.0), nullptr);
+    }
+}
+
+}  // namespace
+}  // namespace focs::core

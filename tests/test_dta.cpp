@@ -1,0 +1,288 @@
+// Dynamic timing analysis tests: delay table, event log round trips, the
+// gate-level-simulation observer, and analyzer recovery of the reference
+// per-cycle delays (including clock skew and setup handling).
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "common/error.hpp"
+#include "dta/analyzer.hpp"
+#include "dta/delay_table.hpp"
+#include "dta/event_log.hpp"
+#include "dta/gatesim.hpp"
+#include "sim/machine.hpp"
+#include "timing/delay_model.hpp"
+#include "timing/netlist.hpp"
+#include "workloads/kernel.hpp"
+
+namespace focs::dta {
+namespace {
+
+using sim::Stage;
+
+// ---- DelayTable -------------------------------------------------------------
+
+TEST(DelayTable, FallbackToStatic) {
+    DelayTable table(2026.0);
+    EXPECT_FALSE(table.characterized(0, Stage::kEx));
+    EXPECT_DOUBLE_EQ(table.lookup(0, Stage::kEx), 2026.0);
+    table.set(0, Stage::kEx, 1467.0);
+    EXPECT_TRUE(table.characterized(0, Stage::kEx));
+    EXPECT_DOUBLE_EQ(table.lookup(0, Stage::kEx), 1467.0);
+}
+
+TEST(DelayTable, CyclePeriodIsMaxOverStages) {
+    DelayTable table(2026.0);
+    std::array<OccKey, sim::kStageCount> keys{};
+    keys.fill(static_cast<OccKey>(isa::Opcode::kAdd));
+    for (int s = 0; s < sim::kStageCount; ++s) {
+        table.set(static_cast<OccKey>(isa::Opcode::kAdd), static_cast<Stage>(s),
+                  800.0 + 100.0 * s);
+    }
+    EXPECT_DOUBLE_EQ(table.cycle_period_ps(keys), 800.0 + 100.0 * (sim::kStageCount - 1));
+}
+
+TEST(DelayTable, SerializeRoundTrip) {
+    DelayTable table(2026.0);
+    table.set(static_cast<OccKey>(isa::Opcode::kMul), Stage::kEx, 1899.25);
+    table.set(kKeyBubble, Stage::kAdr, 612.5);
+    const DelayTable copy = DelayTable::deserialize(table.serialize());
+    EXPECT_DOUBLE_EQ(copy.static_period_ps(), 2026.0);
+    EXPECT_NEAR(copy.lookup(static_cast<OccKey>(isa::Opcode::kMul), Stage::kEx), 1899.25, 1e-3);
+    EXPECT_NEAR(copy.lookup(kKeyBubble, Stage::kAdr), 612.5, 1e-3);
+    EXPECT_FALSE(copy.characterized(kKeyHeld, Stage::kWb));
+}
+
+TEST(DelayTable, DeserializeRejectsGarbage) {
+    EXPECT_THROW(DelayTable::deserialize("not a table\n"), ParseError);
+    EXPECT_THROW(DelayTable::deserialize("delay_table v1 static_ps=2026\n999 0 100\n"),
+                 ParseError);
+}
+
+TEST(Keys, BubbleHeldAndRedirectAttribution) {
+    sim::StageView bubble;
+    EXPECT_EQ(key_of(bubble), kKeyBubble);
+    sim::StageView add;
+    add.valid = true;
+    add.inst.opcode = isa::Opcode::kAdd;
+    EXPECT_EQ(key_of(add), static_cast<OccKey>(isa::Opcode::kAdd));
+    add.held = true;
+    EXPECT_EQ(key_of(add), kKeyHeld);
+
+    sim::CycleRecord record;
+    record.stages[static_cast<std::size_t>(Stage::kAdr)] = bubble;
+    record.fetch_redirect = true;
+    record.redirect_source = isa::Opcode::kJ;
+    const auto keys = attribution_keys(record);
+    EXPECT_EQ(keys[static_cast<std::size_t>(Stage::kAdr)], static_cast<OccKey>(isa::Opcode::kJ));
+}
+
+TEST(Keys, Names) {
+    EXPECT_EQ(key_name(kKeyBubble), "<bubble>");
+    EXPECT_EQ(key_name(kKeyHeld), "<held>");
+    EXPECT_EQ(key_name(static_cast<OccKey>(isa::Opcode::kMul)), "l.mul");
+}
+
+// ---- Event log / trace round trips ------------------------------------------
+
+TEST(EventLog, SerializeRoundTrip) {
+    EventLog log;
+    log.add({3, 14, 1234.5, 2532.5});
+    log.add({4, 2, 999.25, 2500.0});
+    const EventLog copy = EventLog::deserialize(log.serialize());
+    ASSERT_EQ(copy.size(), 2u);
+    EXPECT_EQ(copy.events()[0].cycle, 3u);
+    EXPECT_EQ(copy.events()[1].endpoint_id, 2);
+    EXPECT_NEAR(copy.events()[0].data_arrival_ps, 1234.5, 1e-3);
+}
+
+TEST(OccupancyTraceIo, SerializeRoundTrip) {
+    OccupancyTrace trace;
+    TraceEntry entry;
+    entry.cycle = 9;
+    entry.keys = {1, 2, 3, kKeyBubble, kKeyHeld, 0};
+    trace.add(entry);
+    const OccupancyTrace copy = OccupancyTrace::deserialize(trace.serialize());
+    ASSERT_EQ(copy.size(), 1u);
+    EXPECT_EQ(copy.entries()[0].keys[3], kKeyBubble);
+}
+
+TEST(EventLog, DeserializeRejectsGarbage) {
+    EXPECT_THROW(EventLog::deserialize("bogus\n"), ParseError);
+    EXPECT_THROW(OccupancyTrace::deserialize("occupancy_trace v1\n1 2 3\n"), ParseError);
+}
+
+// ---- Gate-level simulation + analyzer -----------------------------------------
+
+struct FlowArtifacts {
+    EventLog log;
+    OccupancyTrace trace;
+    std::vector<std::array<double, sim::kStageCount>> reference;
+    double static_period_ps = 0;
+};
+
+FlowArtifacts run_gatesim(const std::string& kernel_name) {
+    const timing::DesignConfig design;
+    static const auto netlist = timing::SyntheticNetlist::generate({});
+    const timing::DelayCalculator calculator(design);
+    sim::Machine machine;
+    machine.load(assembler::assemble(workloads::find_kernel(kernel_name).source));
+    GateLevelSimulation gatesim(netlist, calculator);
+    machine.run(&gatesim);
+    return {gatesim.event_log(), gatesim.trace(), gatesim.reference_delays(),
+            calculator.static_period_ps()};
+}
+
+TEST(Analyzer, RecoversReferenceDelaysExactly) {
+    const auto artifacts = run_gatesim("crc32");
+    AnalyzerConfig config;
+    config.static_period_ps = artifacts.static_period_ps;
+    DynamicTimingAnalysis analysis(PipelineSpec::from_netlist(timing::SyntheticNetlist::generate({})),
+                                   config);
+    analysis.analyze(artifacts.log, artifacts.trace);
+    ASSERT_EQ(analysis.cycles(), artifacts.reference.size());
+    // The analyzer reconstructs per-stage delays from raw endpoint events
+    // (arrival + setup - skew); they must match the model's ground truth.
+    for (std::size_t c = 0; c < artifacts.reference.size(); c += 7) {
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            EXPECT_NEAR(analysis.cycle_stage_delays()[c][static_cast<std::size_t>(s)],
+                        artifacts.reference[c][static_cast<std::size_t>(s)], 1e-6)
+                << "cycle " << c << " stage " << s;
+        }
+    }
+}
+
+TEST(Analyzer, LutDominatesEveryObservation) {
+    const auto artifacts = run_gatesim("fir");
+    AnalyzerConfig config;
+    config.static_period_ps = artifacts.static_period_ps;
+    DynamicTimingAnalysis analysis(PipelineSpec::from_netlist(timing::SyntheticNetlist::generate({})),
+                                   config);
+    analysis.analyze(artifacts.log, artifacts.trace);
+    const DelayTable table = analysis.build_delay_table();
+    for (std::size_t c = 0; c < artifacts.reference.size(); ++c) {
+        const auto& entry = artifacts.trace.entries()[c];
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            const double lut = table.lookup(entry.keys[static_cast<std::size_t>(s)],
+                                            static_cast<Stage>(s));
+            EXPECT_GE(lut + 1e-9, artifacts.reference[c][static_cast<std::size_t>(s)])
+                << "cycle " << c << " stage " << s;
+        }
+    }
+}
+
+TEST(Analyzer, EntriesNeverExceedStatic) {
+    const auto artifacts = run_gatesim("char_mul_div");
+    AnalyzerConfig config;
+    config.static_period_ps = artifacts.static_period_ps;
+    DynamicTimingAnalysis analysis(PipelineSpec::from_netlist(timing::SyntheticNetlist::generate({})),
+                                   config);
+    analysis.analyze(artifacts.log, artifacts.trace);
+    const DelayTable table = analysis.build_delay_table();
+    for (OccKey key = 0; key < kKeyCount; ++key) {
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            EXPECT_LE(table.lookup(key, static_cast<Stage>(s)), config.static_period_ps + 1e-9);
+        }
+    }
+}
+
+TEST(Analyzer, MinOccurrencesFallsBackToStatic) {
+    const auto artifacts = run_gatesim("fibcall");
+    AnalyzerConfig config;
+    config.static_period_ps = artifacts.static_period_ps;
+    config.min_occurrences = 1 << 30;  // nothing qualifies
+    DynamicTimingAnalysis analysis(PipelineSpec::from_netlist(timing::SyntheticNetlist::generate({})),
+                                   config);
+    analysis.analyze(artifacts.log, artifacts.trace);
+    const DelayTable table = analysis.build_delay_table();
+    for (OccKey key = 0; key < kKeyCount; ++key) {
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            EXPECT_FALSE(table.characterized(key, static_cast<Stage>(s)));
+        }
+    }
+}
+
+TEST(Analyzer, GenieMeanBelowStatic) {
+    const auto artifacts = run_gatesim("bubblesort");
+    AnalyzerConfig config;
+    config.static_period_ps = artifacts.static_period_ps;
+    DynamicTimingAnalysis analysis(PipelineSpec::from_netlist(timing::SyntheticNetlist::generate({})),
+                                   config);
+    analysis.analyze(artifacts.log, artifacts.trace);
+    EXPECT_GT(analysis.genie_mean_period_ps(), 0.0);
+    EXPECT_LT(analysis.genie_mean_period_ps(), config.static_period_ps);
+    // The histogram of per-cycle maxima agrees with the mean accessor.
+    EXPECT_NEAR(analysis.genie_histogram().stats().mean(), analysis.genie_mean_period_ps(), 1e-6);
+}
+
+TEST(Analyzer, LimitingStageCountsSumToCycles) {
+    const auto artifacts = run_gatesim("matmult");
+    AnalyzerConfig config;
+    config.static_period_ps = artifacts.static_period_ps;
+    DynamicTimingAnalysis analysis(PipelineSpec::from_netlist(timing::SyntheticNetlist::generate({})),
+                                   config);
+    analysis.analyze(artifacts.log, artifacts.trace);
+    std::uint64_t total = 0;
+    for (const auto count : analysis.limiting_stage_counts()) total += count;
+    EXPECT_EQ(total, analysis.cycles());
+}
+
+TEST(Analyzer, OfflineFileFlowMatchesInMemory) {
+    // The paper's flow is offline: the gate-level simulator writes the
+    // event log to disk (TSSI), the DTA tool reads it back. Serializing the
+    // log and trace through text and re-analyzing must produce a
+    // byte-identical LUT.
+    const auto artifacts = run_gatesim("fsm");
+    AnalyzerConfig config;
+    config.static_period_ps = artifacts.static_period_ps;
+    const auto spec = PipelineSpec::from_netlist(timing::SyntheticNetlist::generate({}));
+
+    DynamicTimingAnalysis direct(spec, config);
+    direct.analyze(artifacts.log, artifacts.trace);
+
+    const EventLog reloaded_log = EventLog::deserialize(artifacts.log.serialize());
+    const OccupancyTrace reloaded_trace =
+        OccupancyTrace::deserialize(artifacts.trace.serialize());
+    DynamicTimingAnalysis offline(spec, config);
+    offline.analyze(reloaded_log, reloaded_trace);
+
+    EXPECT_EQ(direct.build_delay_table().serialize(), offline.build_delay_table().serialize());
+    EXPECT_NEAR(direct.genie_mean_period_ps(), offline.genie_mean_period_ps(), 1e-3);
+}
+
+TEST(Analyzer, StageHistogramsMatchPerCycleData) {
+    const auto artifacts = run_gatesim("bsearch");
+    AnalyzerConfig config;
+    config.static_period_ps = artifacts.static_period_ps;
+    DynamicTimingAnalysis analysis(PipelineSpec::from_netlist(timing::SyntheticNetlist::generate({})),
+                                   config);
+    analysis.analyze(artifacts.log, artifacts.trace);
+    for (int s = 0; s < sim::kStageCount; ++s) {
+        const auto stage = static_cast<Stage>(s);
+        const Histogram h = analysis.stage_histogram(stage);
+        EXPECT_EQ(h.total(), analysis.cycles()) << s;
+        // The EX stage must carry by far the largest mean (paper Fig. 6).
+        if (stage != Stage::kEx) {
+            EXPECT_LT(h.stats().mean(),
+                      analysis.stage_histogram(Stage::kEx).stats().mean())
+                << s;
+        }
+    }
+}
+
+TEST(Analyzer, MulHistogramShowsExSpread) {
+    const auto artifacts = run_gatesim("fir");  // multiplier heavy
+    AnalyzerConfig config;
+    config.static_period_ps = artifacts.static_period_ps;
+    DynamicTimingAnalysis analysis(PipelineSpec::from_netlist(timing::SyntheticNetlist::generate({})),
+                                   config);
+    analysis.analyze(artifacts.log, artifacts.trace);
+    const auto mul_key = static_cast<OccKey>(isa::Opcode::kMul);
+    const auto& ex_stats = analysis.stats(mul_key, Stage::kEx);
+    ASSERT_GT(ex_stats.occurrences, 100u);
+    // EX delays for l.mul sit far above its other stages (paper Fig. 7).
+    EXPECT_GT(ex_stats.stats.mean(), analysis.stats(mul_key, Stage::kFe).stats.mean() + 400.0);
+    EXPECT_GT(ex_stats.stats.mean(), analysis.stats(mul_key, Stage::kWb).stats.mean() + 400.0);
+}
+
+}  // namespace
+}  // namespace focs::dta

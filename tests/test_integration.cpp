@@ -1,0 +1,230 @@
+// End-to-end reproduction tests: run the full methodology and assert that
+// every headline metric of the paper is reproduced in *shape* (who wins,
+// by roughly what factor, where the crossovers fall). Exact picoseconds are
+// not expected — the substrate is a synthetic netlist — but each asserted
+// band brackets the paper's published value.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "asm/assembler.hpp"
+#include "core/flows.hpp"
+#include "dta/delay_table.hpp"
+#include "isa/isa_info.hpp"
+#include "power/power_model.hpp"
+#include "power/vf_scaling.hpp"
+#include "workloads/kernel.hpp"
+
+namespace focs::core {
+namespace {
+
+const CharacterizationResult& characterization() {
+    static const CharacterizationResult result = [] {
+        const CharacterizationFlow flow(timing::DesignConfig{});
+        return flow.run(workloads::assemble_programs(workloads::characterization_suite()));
+    }();
+    return result;
+}
+
+const SuiteResult& suite_under(PolicyKind kind) {
+    static auto* cache = new std::map<PolicyKind, SuiteResult>();
+    const auto it = cache->find(kind);
+    if (it != cache->end()) return it->second;
+    const EvaluationFlow flow(timing::DesignConfig{}, characterization().table);
+    return cache->emplace(kind, flow.run_suite(
+                                    workloads::assemble_suite(workloads::benchmark_suite()), kind))
+        .first->second;
+}
+
+// ---- Sec. IV-A: dynamic timing analysis of the core -------------------------
+
+TEST(PaperSecIVA, StaticTimingLimit) {
+    // 2026 ps / 494 MHz at 0.70 V.
+    EXPECT_DOUBLE_EQ(characterization().static_period_ps, 2026.0);
+}
+
+TEST(PaperSecIVA, GenieBound) {
+    // Paper: mean 1334 ps, theoretical speedup ~50%.
+    EXPECT_GT(characterization().genie_mean_period_ps, 1200.0);
+    EXPECT_LT(characterization().genie_mean_period_ps, 1400.0);
+    EXPECT_GT(characterization().genie_speedup, 1.40);
+    EXPECT_LT(characterization().genie_speedup, 1.70);
+}
+
+TEST(PaperFig6, LimitingStageShares) {
+    const auto counts = characterization().analysis->limiting_stage_counts();
+    const double total = static_cast<double>(characterization().cycles);
+    const auto share = [&](sim::Stage s) {
+        return 100.0 * static_cast<double>(counts[static_cast<std::size_t>(s)]) / total;
+    };
+    // Paper: EX 93%, ADR 7%, rest < 1%.
+    EXPECT_GT(share(sim::Stage::kEx), 85.0);
+    EXPECT_LT(share(sim::Stage::kEx), 97.0);
+    EXPECT_GT(share(sim::Stage::kAdr), 1.5);
+    EXPECT_LT(share(sim::Stage::kAdr), 12.0);
+    EXPECT_LT(share(sim::Stage::kFe), 1.0);
+    EXPECT_LT(share(sim::Stage::kWb), 1.0);
+    EXPECT_LT(share(sim::Stage::kDc) + share(sim::Stage::kCtrl), 6.0);
+}
+
+TEST(PaperTableII, ExtractedWorstCases) {
+    const auto& table = characterization().table;
+    const auto entry = [&](isa::Opcode op, sim::Stage stage) {
+        return table.lookup(static_cast<dta::OccKey>(op), stage);
+    };
+    const double guard = timing::kLutGuardPs;
+    // Entries are observed maxima + guard; anchors are the paper's values.
+    EXPECT_NEAR(entry(isa::Opcode::kAdd, sim::Stage::kEx), 1467.0 + guard, 15.0);
+    EXPECT_NEAR(entry(isa::Opcode::kAnd, sim::Stage::kEx), 1482.0 + guard, 15.0);
+    EXPECT_NEAR(entry(isa::Opcode::kXor, sim::Stage::kEx), 1514.0 + guard, 15.0);
+    EXPECT_NEAR(entry(isa::Opcode::kMul, sim::Stage::kEx), 1899.0 + guard, 15.0);
+    // Loads/branches cannot excite their absolute worst path dynamically
+    // (word-aligned addresses cap address-bit density; the flag path is
+    // data-invariant) so their observed maxima sit ~1-2% under the anchor,
+    // just like l.mul never reaches its 2026 ps STA path.
+    EXPECT_NEAR(entry(isa::Opcode::kLwz, sim::Stage::kEx), 1391.0 + guard, 45.0);
+    EXPECT_NEAR(entry(isa::Opcode::kSll, sim::Stage::kEx), 1270.0 + guard, 15.0);
+    EXPECT_NEAR(entry(isa::Opcode::kBf, sim::Stage::kEx), 1470.0 + guard, 45.0);
+    // l.j's worst case lives in the ADR stage (instruction memory address).
+    EXPECT_NEAR(entry(isa::Opcode::kJ, sim::Stage::kAdr), 1172.0 + guard, 40.0);
+    // And for l.j the ADR entry must dominate its own EX entry.
+    EXPECT_GT(entry(isa::Opcode::kJ, sim::Stage::kAdr), entry(isa::Opcode::kJ, sim::Stage::kEx));
+}
+
+TEST(PaperFig7, MulPerStageShape) {
+    const auto& analysis = *characterization().analysis;
+    const auto key = static_cast<dta::OccKey>(isa::Opcode::kMul);
+    const auto& ex = analysis.stats(key, sim::Stage::kEx);
+    // EX is close to the static maximum with ~300 ps data-dependent spread;
+    // every other stage is far lower.
+    EXPECT_NEAR(ex.max_ps, 1899.0, 10.0);
+    EXPECT_NEAR(ex.max_ps - ex.stats.min(), 300.0, 80.0);
+    for (const auto stage : {sim::Stage::kAdr, sim::Stage::kFe, sim::Stage::kDc,
+                             sim::Stage::kCtrl, sim::Stage::kWb}) {
+        EXPECT_LT(analysis.stats(key, stage).max_ps, 0.75 * ex.max_ps)
+            << sim::stage_name(stage);
+    }
+}
+
+// ---- Sec. IV-B: performance and power ---------------------------------------
+
+TEST(PaperFig8, SpeedupPerBenchmarkAndAverage) {
+    const auto& conventional = suite_under(PolicyKind::kStatic);
+    const auto& dca = suite_under(PolicyKind::kInstructionLut);
+    const auto& genie = suite_under(PolicyKind::kGenie);
+
+    EXPECT_NEAR(conventional.mean_eff_freq_mhz, 494.0, 1.0);
+    // Paper: 680 MHz / +38% on average; brackets include our leaner
+    // hand-written kernels (see EXPERIMENTS.md).
+    EXPECT_GT(dca.mean_speedup, 1.30);
+    EXPECT_LT(dca.mean_speedup, 1.55);
+    EXPECT_GT(dca.mean_eff_freq_mhz, 640.0);
+    EXPECT_LT(dca.mean_eff_freq_mhz, 770.0);
+    // Genie bound: ~1.5x, and strictly above the realizable policy.
+    EXPECT_GT(genie.mean_speedup, dca.mean_speedup);
+    for (std::size_t i = 0; i < dca.rows.size(); ++i) {
+        EXPECT_GT(dca.rows[i].result.speedup_vs_static, 1.25) << dca.rows[i].benchmark;
+        EXPECT_LT(dca.rows[i].result.speedup_vs_static, 1.70) << dca.rows[i].benchmark;
+        EXPECT_GE(genie.rows[i].result.speedup_vs_static + 1e-9,
+                  dca.rows[i].result.speedup_vs_static)
+            << dca.rows[i].benchmark;
+    }
+    EXPECT_EQ(dca.total_violations + genie.total_violations + conventional.total_violations, 0u);
+}
+
+TEST(PaperSecIVB, GiveUpVersusGenieIsModest) {
+    // Paper: instruction-granularity prediction gives up ~12% vs the genie.
+    const double dca = suite_under(PolicyKind::kInstructionLut).mean_speedup;
+    const double genie = suite_under(PolicyKind::kGenie).mean_speedup;
+    const double give_up = (genie - dca) / genie;
+    EXPECT_GT(give_up, 0.02);
+    EXPECT_LT(give_up, 0.20);
+}
+
+TEST(PaperSecIVB, VoltageScalingResult) {
+    const double speedup = suite_under(PolicyKind::kInstructionLut).mean_speedup;
+    const power::PowerModel model(timing::DesignVariant::kCriticalRangeOptimized);
+    const power::VoltageFrequencyScaler scaler(model);
+    const auto iso = scaler.iso_throughput(494.0, speedup, 0.70);
+    // Paper: -70 mV, 13.7 -> 11.0 uW/MHz, "24%" efficiency gain.
+    EXPECT_GT(iso.voltage_reduction_mv, 50.0);
+    EXPECT_LT(iso.voltage_reduction_mv, 110.0);
+    EXPECT_NEAR(iso.baseline_power.uw_per_mhz, 13.7, 0.15);
+    EXPECT_GT(iso.scaled_power.uw_per_mhz, 9.8);
+    EXPECT_LT(iso.scaled_power.uw_per_mhz, 11.8);
+    EXPECT_GT(iso.efficiency_gain, 0.15);
+    EXPECT_LT(iso.efficiency_gain, 0.35);
+}
+
+// ---- Cross-cutting properties -------------------------------------------------
+
+TEST(Reproducibility, CharacterizationIsDeterministic) {
+    const CharacterizationFlow flow(timing::DesignConfig{});
+    const auto again =
+        flow.run(workloads::assemble_programs(workloads::characterization_suite()));
+    EXPECT_EQ(again.table.serialize(), characterization().table.serialize());
+    EXPECT_DOUBLE_EQ(again.genie_mean_period_ps, characterization().genie_mean_period_ps);
+}
+
+TEST(Reproducibility, EvaluationIsDeterministic) {
+    const EvaluationFlow flow(timing::DesignConfig{}, characterization().table);
+    const auto program = assembler::assemble(workloads::find_kernel("fsm").source);
+    const auto a = flow.run_one(program, PolicyKind::kInstructionLut);
+    const auto b = flow.run_one(program, PolicyKind::kInstructionLut);
+    EXPECT_DOUBLE_EQ(a.total_time_ps, b.total_time_ps);
+}
+
+TEST(PaperTableI, CriticalRangeFactors) {
+    timing::DesignConfig conventional;
+    conventional.variant = timing::DesignVariant::kConventional;
+    const CharacterizationFlow conv_flow(conventional);
+    const auto conv =
+        conv_flow.run(workloads::assemble_programs(workloads::characterization_suite()));
+    EXPECT_DOUBLE_EQ(conv.static_period_ps, 1859.0);  // 2026 / 1.09
+
+    const auto max_of = [](const CharacterizationResult& r, isa::Opcode op) {
+        double best = 0;
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            best = std::max(best, r.analysis
+                                      ->stats(static_cast<dta::OccKey>(op),
+                                              static_cast<sim::Stage>(s))
+                                      .max_ps);
+        }
+        return best;
+    };
+    const auto factor = [&](isa::Opcode op) {
+        return max_of(characterization(), op) / max_of(conv, op);
+    };
+    EXPECT_NEAR(factor(isa::Opcode::kAdd), 0.92, 0.04);   // Table I
+    EXPECT_NEAR(factor(isa::Opcode::kLwz), 0.85, 0.04);   // Table I
+    EXPECT_NEAR(factor(isa::Opcode::kMul), 1.10, 0.04);   // Table I
+    EXPECT_NEAR(factor(isa::Opcode::kJ), 0.74, 0.05);     // Table I
+    EXPECT_NEAR(factor(isa::Opcode::kSw), 0.85, 0.04);    // Table I
+    // The conventional design under DCA gains far less: its timing wall
+    // leaves little per-instruction headroom (the paper's motivation for
+    // the critical-range implementation step).
+    const EvaluationFlow conv_eval(conventional, conv.table);
+    const EvaluationFlow opt_eval(timing::DesignConfig{}, characterization().table);
+    const auto program = assembler::assemble(workloads::find_kernel("crc32").source);
+    const double conv_speedup =
+        conv_eval.run_one(program, PolicyKind::kInstructionLut).speedup_vs_static;
+    const double opt_speedup =
+        opt_eval.run_one(program, PolicyKind::kInstructionLut).speedup_vs_static;
+    EXPECT_GT(opt_speedup, conv_speedup + 0.15);
+}
+
+TEST(PaperClaim, IpcCloseToOne) {
+    // Sec. III-A: the tuned core achieves close to 1 instruction/cycle.
+    const auto& rows = suite_under(PolicyKind::kStatic).rows;
+    double worst = 1.0;
+    double sum = 0;
+    for (const auto& row : rows) {
+        worst = std::min(worst, row.result.guest.ipc());
+        sum += row.result.guest.ipc();
+    }
+    EXPECT_GT(sum / static_cast<double>(rows.size()), 0.75);
+    EXPECT_GT(worst, 0.25);  // `prime` stalls on the 32-cycle serial divider
+}
+
+}  // namespace
+}  // namespace focs::core

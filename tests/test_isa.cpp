@@ -1,0 +1,162 @@
+// ISA tests: encode/decode round trips for the whole subset, field
+// handling, immediate extension semantics, and disassembly.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoding.hpp"
+#include "isa/isa_info.hpp"
+
+namespace focs::isa {
+namespace {
+
+std::vector<Opcode> all_opcodes() {
+    std::vector<Opcode> ops;
+    for (int i = 0; i < kOpcodeCount; ++i) ops.push_back(static_cast<Opcode>(i));
+    return ops;
+}
+
+/// Builds a representative instruction with non-trivial field values.
+Instruction sample(Opcode op) {
+    const auto& meta = info(op);
+    Instruction inst;
+    inst.opcode = op;
+    if (meta.writes_rd) inst.rd = 21;
+    if (op == Opcode::kJal || op == Opcode::kJalr) inst.rd = 9;  // architectural link register
+    if (meta.reads_ra) inst.ra = 13;
+    if (meta.reads_rb) inst.rb = 7;
+    if (meta.has_immediate) {
+        switch (op) {
+            case Opcode::kAndi:
+            case Opcode::kOri:
+            case Opcode::kMovhi:
+            case Opcode::kNop: inst.imm = 0xbeef; break;
+            case Opcode::kSlli:
+            case Opcode::kSrli:
+            case Opcode::kSrai:
+            case Opcode::kRori: inst.imm = 19; break;
+            case Opcode::kJ:
+            case Opcode::kJal:
+            case Opcode::kBf:
+            case Opcode::kBnf: inst.imm = -12345; break;
+            default: inst.imm = -17; break;
+        }
+    }
+    return inst;
+}
+
+class OpcodeRoundTrip : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(OpcodeRoundTrip, EncodeDecodeIdentity) {
+    const Instruction original = sample(GetParam());
+    const std::uint32_t word = encode(original);
+    const Instruction decoded = decode(word);
+    EXPECT_EQ(decoded, original) << "opcode " << mnemonic(GetParam());
+}
+
+TEST_P(OpcodeRoundTrip, MnemonicLookupInverse) {
+    const Opcode op = GetParam();
+    const auto found = opcode_from_mnemonic(mnemonic(op));
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, op);
+}
+
+TEST_P(OpcodeRoundTrip, TimingFamilyIsDefined) {
+    EXPECT_LT(static_cast<int>(timing_family(GetParam())), kTimingFamilyCount);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, OpcodeRoundTrip, ::testing::ValuesIn(all_opcodes()),
+                         [](const ::testing::TestParamInfo<Opcode>& info_param) {
+                             std::string name{mnemonic(info_param.param)};
+                             for (char& c : name) {
+                                 if (c == '.') c = '_';
+                             }
+                             return name;
+                         });
+
+TEST(Encoding, KnownWords) {
+    // Hand-checked encodings against the OpenRISC 1000 manual.
+    EXPECT_EQ(encode({Opcode::kNop, 0, 0, 0, 0}), 0x15000000u);
+    EXPECT_EQ(encode({Opcode::kNop, 0, 0, 0, 1}), 0x15000001u);
+    // l.addi r3, r3, -1 -> 0x9c63ffff
+    EXPECT_EQ(encode({Opcode::kAddi, 3, 3, 0, -1}), 0x9c63ffffu);
+    // l.add r4, r5, r6 -> 0xe0853000
+    EXPECT_EQ(encode({Opcode::kAdd, 4, 5, 6, 0}), 0xe0853000u);
+    // l.j 0 -> 0x00000000
+    EXPECT_EQ(encode({Opcode::kJ, 0, 0, 0, 0}), 0x00000000u);
+    // l.jr r9 -> 0x44004800
+    EXPECT_EQ(encode({Opcode::kJr, 0, 0, 9, 0}), 0x44004800u);
+    // l.movhi r5, 0x1234 -> 0x18a01234
+    EXPECT_EQ(encode({Opcode::kMovhi, 5, 0, 0, 0x1234}), 0x18a01234u);
+    // l.sw -4(r1), r2 -> store imm split: 0xd7e117fc
+    EXPECT_EQ(encode({Opcode::kSw, 0, 1, 2, -4}), 0xd7e117fcu);
+    // l.mul r3, r4, r5 -> 0xe0642b06
+    EXPECT_EQ(encode({Opcode::kMul, 3, 4, 5, 0}), 0xe0642b06u);
+}
+
+TEST(Encoding, StoreImmediateSplitRoundTrip) {
+    for (const std::int32_t imm : {-32768, -4, -1, 0, 1, 2047, 2048, 32767}) {
+        const Instruction inst{Opcode::kSw, 0, 2, 3, imm};
+        EXPECT_EQ(decode(encode(inst)), inst) << imm;
+    }
+}
+
+TEST(Encoding, JumpOffsetRange) {
+    EXPECT_NO_THROW(encode({Opcode::kJ, 0, 0, 0, (1 << 25) - 1}));
+    EXPECT_NO_THROW(encode({Opcode::kJ, 0, 0, 0, -(1 << 25)}));
+    EXPECT_THROW(encode({Opcode::kJ, 0, 0, 0, 1 << 25}), Error);
+}
+
+TEST(Encoding, RegisterRangeChecked) {
+    Instruction bad{Opcode::kAdd, 32, 0, 0, 0};
+    EXPECT_THROW(encode(bad), Error);
+}
+
+TEST(Decoding, UnknownWordsAreInvalid) {
+    EXPECT_EQ(decode(0xffffffffu).opcode, Opcode::kInvalid);   // 0x3f major
+    EXPECT_EQ(decode(0xe0000001u).opcode, Opcode::kInvalid);   // ALU op3=1 (addc unsupported)
+    EXPECT_EQ(decode(0x18010000u).opcode, Opcode::kInvalid);   // l.macrc bit set
+    EXPECT_EQ(decode(0x14000000u).opcode, Opcode::kInvalid);   // 0x05 major, bits24=00
+}
+
+TEST(Decoding, ImmediateExtension) {
+    // andi/ori zero-extend.
+    EXPECT_EQ(decode(encode({Opcode::kAndi, 1, 2, 0, 0xffff})).imm, 0xffff);
+    // addi/xori sign-extend.
+    EXPECT_EQ(decode(0x9c63ffffu).imm, -1);
+    const Instruction xori = decode(encode({Opcode::kXori, 1, 2, 0, -1}));
+    EXPECT_EQ(xori.imm, -1);
+    // Branch offsets sign-extend over 26 bits.
+    EXPECT_EQ(decode(encode({Opcode::kBf, 0, 0, 0, -1})).imm, -1);
+}
+
+TEST(Decoding, JalSetsLinkRegister) {
+    EXPECT_EQ(decode(encode({Opcode::kJal, 9, 0, 0, 64})).rd, 9);
+    EXPECT_EQ(decode(encode({Opcode::kJalr, 9, 0, 5, 0})).rd, 9);
+}
+
+TEST(Disasm, Format) {
+    EXPECT_EQ(disassemble({Opcode::kAddi, 3, 3, 0, -1}), "l.addi r3,r3,-1");
+    EXPECT_EQ(disassemble({Opcode::kAdd, 4, 5, 6, 0}), "l.add r4,r5,r6");
+    EXPECT_EQ(disassemble({Opcode::kLwz, 4, 2, 0, 8}), "l.lwz r4,8(r2)");
+    EXPECT_EQ(disassemble({Opcode::kSw, 0, 2, 5, -4}), "l.sw -4(r2),r5");
+    EXPECT_EQ(disassemble({Opcode::kBf, 0, 0, 0, 4}, 0x100), "l.bf 0x110");
+    EXPECT_EQ(disassemble({Opcode::kNop, 0, 0, 0, 1}), "l.nop 0x1");
+    EXPECT_EQ(disassemble({Opcode::kSfeqi, 0, 7, 0, -3}), "l.sfeqi r7,-3");
+    EXPECT_EQ(disassemble({Opcode::kJr, 0, 0, 9, 0}), "l.jr r9");
+}
+
+TEST(IsaInfo, Properties) {
+    EXPECT_TRUE(info(Opcode::kLwz).is_load);
+    EXPECT_TRUE(info(Opcode::kSw).is_store);
+    EXPECT_TRUE(info(Opcode::kBf).reads_flag);
+    EXPECT_TRUE(info(Opcode::kSfgtu).sets_flag);
+    EXPECT_TRUE(is_control_transfer(Opcode::kJ));
+    EXPECT_TRUE(is_control_transfer(Opcode::kBnf));
+    EXPECT_FALSE(is_control_transfer(Opcode::kAdd));
+    EXPECT_FALSE(info(Opcode::kSw).writes_rd);
+    EXPECT_TRUE(info(Opcode::kJal).writes_rd);
+}
+
+}  // namespace
+}  // namespace focs::isa

@@ -1,0 +1,97 @@
+// Power model and voltage-frequency scaling tests (paper Sec. IV-B
+// calibration: 13.7 uW/MHz at 0.70 V / 494 MHz; -70 mV at iso-throughput
+// for a 1.376x speedup; ~24% energy-efficiency gain).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "power/power_model.hpp"
+#include "power/vf_scaling.hpp"
+
+namespace focs::power {
+namespace {
+
+using timing::DesignVariant;
+
+TEST(PowerModel, PaperCalibrationAtNominal) {
+    const PowerModel model(DesignVariant::kCriticalRangeOptimized);
+    const PowerBreakdown p = model.at(0.70, 494.0);
+    EXPECT_NEAR(p.uw_per_mhz, 13.7, 0.1);
+}
+
+TEST(PowerModel, LeakageIsSmallFraction) {
+    const PowerModel model(DesignVariant::kCriticalRangeOptimized);
+    const PowerBreakdown p = model.at(0.70, 494.0);
+    EXPECT_LT(p.leakage_uw / p.total_uw, 0.02);
+    EXPECT_NEAR(p.total_uw, p.dynamic_uw + p.leakage_uw, 1e-9);
+}
+
+TEST(PowerModel, MonotoneInVoltageAndFrequency) {
+    const PowerModel model(DesignVariant::kCriticalRangeOptimized);
+    EXPECT_LT(model.at(0.60, 400.0).total_uw, model.at(0.70, 400.0).total_uw);
+    EXPECT_LT(model.at(0.70, 300.0).total_uw, model.at(0.70, 500.0).total_uw);
+}
+
+TEST(PowerModel, CriticalRangeVariantCostsPower) {
+    const PowerModel opt(DesignVariant::kCriticalRangeOptimized);
+    const PowerModel conv(DesignVariant::kConventional);
+    const double ratio = opt.at(0.70, 494.0).total_uw / conv.at(0.70, 494.0).total_uw;
+    EXPECT_NEAR(ratio, 1.08, 0.001);  // paper: 5-13% penalty band
+}
+
+TEST(PowerModel, RejectsNonPositiveFrequency) {
+    const PowerModel model(DesignVariant::kCriticalRangeOptimized);
+    EXPECT_THROW(model.at(0.7, 0.0), Error);
+}
+
+TEST(VfScaler, SolvesPaperOperatingPoint) {
+    const PowerModel model(DesignVariant::kCriticalRangeOptimized);
+    const VoltageFrequencyScaler scaler(model);
+    // 1.376x speedup at 0.70 V -> iso-throughput at ~0.63 V (paper: -70 mV).
+    const double v = scaler.solve_voltage_for_frequency(494.0 * 1.376, 0.70, 494.0);
+    EXPECT_NEAR(v, 0.63, 0.005);
+}
+
+TEST(VfScaler, IsoThroughputMatchesPaperNumbers) {
+    const PowerModel model(DesignVariant::kCriticalRangeOptimized);
+    const VoltageFrequencyScaler scaler(model);
+    const IsoThroughputResult r = scaler.iso_throughput(494.0, 1.376, 0.70);
+    EXPECT_NEAR(r.voltage_reduction_mv, 70.0, 6.0);
+    EXPECT_NEAR(r.baseline_power.uw_per_mhz, 13.7, 0.1);
+    EXPECT_NEAR(r.scaled_power.uw_per_mhz, 11.0, 0.25);
+    // 13.7 / 11.0 - 1 = 24.5% efficiency gain (the paper's "24%").
+    EXPECT_NEAR(r.efficiency_gain, 0.245, 0.03);
+    EXPECT_GT(r.power_reduction, 0.15);
+}
+
+TEST(VfScaler, NoSpeedupMeansNoScaling) {
+    const PowerModel model(DesignVariant::kCriticalRangeOptimized);
+    const VoltageFrequencyScaler scaler(model);
+    const IsoThroughputResult r = scaler.iso_throughput(494.0, 1.0, 0.70);
+    EXPECT_NEAR(r.scaled_voltage_v, 0.70, 0.002);
+    EXPECT_NEAR(r.efficiency_gain, 0.0, 0.01);
+}
+
+TEST(VfScaler, LargerSpeedupScalesLower) {
+    const PowerModel model(DesignVariant::kCriticalRangeOptimized);
+    const VoltageFrequencyScaler scaler(model);
+    const auto small = scaler.iso_throughput(494.0, 1.2, 0.70);
+    const auto large = scaler.iso_throughput(494.0, 1.5, 0.70);
+    EXPECT_LT(large.scaled_voltage_v, small.scaled_voltage_v);
+    EXPECT_GT(large.efficiency_gain, small.efficiency_gain);
+}
+
+TEST(VfScaler, UnreachableTargetThrows) {
+    const PowerModel model(DesignVariant::kCriticalRangeOptimized);
+    const VoltageFrequencyScaler scaler(model);
+    // Demanding 10x the achievable frequency cannot be solved upward.
+    EXPECT_THROW(scaler.solve_voltage_for_frequency(494.0, 0.70, 4940.0), Error);
+}
+
+TEST(VfScaler, SubSpeedupRejected) {
+    const PowerModel model(DesignVariant::kCriticalRangeOptimized);
+    const VoltageFrequencyScaler scaler(model);
+    EXPECT_THROW(scaler.iso_throughput(494.0, 0.9, 0.70), Error);
+}
+
+}  // namespace
+}  // namespace focs::power

@@ -1,0 +1,305 @@
+// Timing substrate tests: calibration tables, cell library, synthetic
+// netlist STA, and the dynamic delay calculator.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "isa/encoding.hpp"
+#include "timing/cell_library.hpp"
+#include "timing/delay_model.hpp"
+#include "timing/netlist.hpp"
+#include "timing/timing_params.hpp"
+
+namespace focs::timing {
+namespace {
+
+using isa::Opcode;
+using sim::CycleRecord;
+using sim::Stage;
+using sim::StageView;
+
+StageView view_of(Opcode op, std::uint32_t a = 0, std::uint32_t b = 0, std::uint32_t pc = 0x100) {
+    StageView v;
+    v.valid = true;
+    v.inst.opcode = op;
+    v.pc = pc;
+    v.operand_a = a;
+    v.operand_b = b;
+    return v;
+}
+
+CycleRecord record_with_ex(Opcode op, std::uint32_t a, std::uint32_t b, std::uint64_t cycle) {
+    CycleRecord r;
+    r.cycle = cycle;
+    for (auto& s : r.stages) s = StageView{};  // bubbles
+    r.stages[static_cast<std::size_t>(Stage::kEx)] = view_of(op, a, b);
+    r.stages[static_cast<std::size_t>(Stage::kAdr)] = view_of(Opcode::kAddi);
+    return r;
+}
+
+// ---- Calibration tables -----------------------------------------------------
+
+TEST(TimingParams, StaticPeriodsMatchPaper) {
+    EXPECT_DOUBLE_EQ(timing_params(DesignVariant::kCriticalRangeOptimized).static_period_ps,
+                     2026.0);
+    EXPECT_DOUBLE_EQ(timing_params(DesignVariant::kConventional).static_period_ps, 1859.0);
+    // Paper Sec. III-A: critical-range constraints cost +9% static period.
+    EXPECT_NEAR(2026.0 / 1859.0, 1.09, 0.001);
+}
+
+TEST(TimingParams, TableIIAnchors) {
+    const auto& p = timing_params(DesignVariant::kCriticalRangeOptimized);
+    const auto ex = [&](isa::TimingFamily f) {
+        return p.bands[static_cast<std::size_t>(Stage::kEx)][static_cast<int>(f)].anchor_ps;
+    };
+    EXPECT_DOUBLE_EQ(ex(isa::TimingFamily::kAdd), 1467.0);
+    EXPECT_DOUBLE_EQ(ex(isa::TimingFamily::kLogicAnd), 1482.0);
+    EXPECT_DOUBLE_EQ(ex(isa::TimingFamily::kBranch), 1470.0);
+    EXPECT_DOUBLE_EQ(ex(isa::TimingFamily::kLoad), 1391.0);
+    EXPECT_DOUBLE_EQ(ex(isa::TimingFamily::kMul), 1899.0);
+    EXPECT_DOUBLE_EQ(ex(isa::TimingFamily::kShift), 1270.0);
+    EXPECT_DOUBLE_EQ(ex(isa::TimingFamily::kLogicXor), 1514.0);
+    EXPECT_DOUBLE_EQ(
+        p.adr_redirect[static_cast<int>(isa::TimingFamily::kJump)].anchor_ps, 1172.0);
+}
+
+TEST(TimingParams, MulOwnsTheCriticalPath) {
+    const auto& p = timing_params(DesignVariant::kCriticalRangeOptimized);
+    EXPECT_DOUBLE_EQ(
+        p.bands[static_cast<std::size_t>(Stage::kEx)][static_cast<int>(isa::TimingFamily::kMul)]
+            .sta_ps,
+        p.static_period_ps);
+}
+
+TEST(TimingParams, ConventionalHasTimingWall) {
+    // Most conventional EX anchors sit close to the conventional static
+    // period; the optimized ones are spread far below theirs.
+    const auto& conv = timing_params(DesignVariant::kConventional);
+    const auto& opt = timing_params(DesignVariant::kCriticalRangeOptimized);
+    int conv_near = 0;
+    int opt_near = 0;
+    for (int f = 0; f < isa::kTimingFamilyCount; ++f) {
+        if (conv.bands[static_cast<std::size_t>(Stage::kEx)][static_cast<std::size_t>(f)].anchor_ps >=
+            0.8 * conv.static_period_ps) {
+            ++conv_near;
+        }
+        if (opt.bands[static_cast<std::size_t>(Stage::kEx)][static_cast<std::size_t>(f)].anchor_ps >=
+            0.8 * opt.static_period_ps) {
+            ++opt_near;
+        }
+    }
+    EXPECT_GT(conv_near, opt_near + 4);
+}
+
+TEST(TimingParams, TableIFactorsReproduced) {
+    const auto& conv = timing_params(DesignVariant::kConventional);
+    const auto& opt = timing_params(DesignVariant::kCriticalRangeOptimized);
+    const auto factor = [&](isa::TimingFamily f) {
+        return opt.bands[static_cast<std::size_t>(Stage::kEx)][static_cast<int>(f)].anchor_ps /
+               conv.bands[static_cast<std::size_t>(Stage::kEx)][static_cast<int>(f)].anchor_ps;
+    };
+    EXPECT_NEAR(factor(isa::TimingFamily::kAdd), 0.92, 0.01);     // Table I l.add(i)
+    EXPECT_NEAR(factor(isa::TimingFamily::kLoad), 0.85, 0.01);    // Table I l.lwz
+    EXPECT_NEAR(factor(isa::TimingFamily::kMul), 1.10, 0.01);     // Table I l.mul
+    EXPECT_NEAR(factor(isa::TimingFamily::kNop), 0.78, 0.01);     // Table I l.nop
+    EXPECT_NEAR(factor(isa::TimingFamily::kStore), 0.85, 0.01);   // Table I l.sw
+}
+
+// ---- Cell library -----------------------------------------------------------
+
+TEST(CellLibrary, NominalPointIsUnity) {
+    EXPECT_NEAR(CellLibrary::fdsoi28().delay_scale(0.70), 1.0, 1e-9);
+}
+
+TEST(CellLibrary, PaperIsoThroughputPoint) {
+    // delay_scale(0.63) = 1.376 puts the iso-throughput voltage 70 mV down.
+    EXPECT_NEAR(CellLibrary::fdsoi28().delay_scale(0.63), 1.376, 0.002);
+}
+
+TEST(CellLibrary, DelayMonotoneDecreasingInVoltage) {
+    const auto& lib = CellLibrary::fdsoi28();
+    double prev = lib.delay_scale(0.50);
+    for (double v = 0.51; v <= 0.90; v += 0.01) {
+        const double s = lib.delay_scale(v);
+        EXPECT_LT(s, prev) << "at " << v;
+        prev = s;
+    }
+}
+
+TEST(CellLibrary, PowerQuadraticInVoltage) {
+    const auto& lib = CellLibrary::fdsoi28();
+    const double p70 = lib.dynamic_uw_per_mhz(0.70);
+    const double p63 = lib.dynamic_uw_per_mhz(0.63);
+    EXPECT_NEAR(p63 / p70, (0.63 * 0.63) / (0.70 * 0.70), 0.01);
+}
+
+TEST(CellLibrary, RejectsBadTables) {
+    EXPECT_THROW(CellLibrary({{0.7, 1.0, 1.0, 1.0}}), Error);  // single point
+    EXPECT_THROW(CellLibrary({{0.7, 1, 1, 1}, {0.6, 1, 1, 1}}), Error);  // descending
+}
+
+// ---- Synthetic netlist / STA --------------------------------------------------
+
+TEST(Netlist, StaMatchesCalibration) {
+    DesignConfig config;
+    const auto netlist = SyntheticNetlist::generate(config);
+    EXPECT_NEAR(netlist.static_period_ps(), 2026.0, 1e-6);
+    config.variant = DesignVariant::kConventional;
+    EXPECT_NEAR(SyntheticNetlist::generate(config).static_period_ps(), 1859.0, 1e-6);
+}
+
+TEST(Netlist, StaScalesWithVoltage) {
+    DesignConfig config;
+    config.voltage_v = 0.63;
+    const auto netlist = SyntheticNetlist::generate(config);
+    EXPECT_NEAR(netlist.static_period_ps(), 2026.0 * 1.376, 3.0);
+}
+
+TEST(Netlist, EveryStageHasEndpoints) {
+    const auto netlist = SyntheticNetlist::generate({});
+    for (int s = 0; s < sim::kStageCount; ++s) {
+        EXPECT_FALSE(netlist.endpoints_of_stage(static_cast<Stage>(s)).empty());
+    }
+}
+
+TEST(Netlist, TimingWallVisibleInNearCriticalCount) {
+    DesignConfig opt;
+    DesignConfig conv;
+    conv.variant = DesignVariant::kConventional;
+    const auto opt_netlist = SyntheticNetlist::generate(opt);
+    const auto conv_netlist = SyntheticNetlist::generate(conv);
+    // Fraction of paths within 15% of the critical path (Fig. 3 wall).
+    const double opt_frac =
+        static_cast<double>(opt_netlist.near_critical_count(0.15 * opt_netlist.static_period_ps())) /
+        static_cast<double>(opt_netlist.paths().size());
+    const double conv_frac =
+        static_cast<double>(
+            conv_netlist.near_critical_count(0.15 * conv_netlist.static_period_ps())) /
+        static_cast<double>(conv_netlist.paths().size());
+    EXPECT_GT(conv_frac, 2.0 * opt_frac);
+}
+
+TEST(Netlist, DeterministicForSeed) {
+    DesignConfig config;
+    const auto a = SyntheticNetlist::generate(config);
+    const auto b = SyntheticNetlist::generate(config);
+    ASSERT_EQ(a.paths().size(), b.paths().size());
+    for (std::size_t i = 0; i < a.paths().size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.paths()[i].sta_delay_ps, b.paths()[i].sta_delay_ps);
+    }
+}
+
+TEST(Netlist, HistogramCoversAllPaths) {
+    const auto netlist = SyntheticNetlist::generate({});
+    EXPECT_EQ(netlist.path_delay_histogram().total(), netlist.paths().size());
+}
+
+// ---- Delay calculator ---------------------------------------------------------
+
+TEST(DelayCalculator, Deterministic) {
+    const DelayCalculator calc({});
+    const auto r = record_with_ex(Opcode::kAdd, 123, 456, 10);
+    const auto a = calc.evaluate(r);
+    const auto b = calc.evaluate(r);
+    EXPECT_DOUBLE_EQ(a.required_period_ps, b.required_period_ps);
+}
+
+TEST(DelayCalculator, NeverExceedsStatic) {
+    const DelayCalculator calc({});
+    for (std::uint64_t c = 0; c < 3000; ++c) {
+        const auto delays =
+            calc.evaluate(record_with_ex(Opcode::kMul, 0xffffffffu, 0xffffffffu, c));
+        EXPECT_LE(delays.required_period_ps, calc.static_period_ps());
+    }
+}
+
+TEST(DelayCalculator, WorstCaseOperandsApproachAnchor) {
+    const DelayCalculator calc({});
+    double worst = 0;
+    for (std::uint64_t c = 0; c < 4000; ++c) {
+        // Full-length carry chain: data_factor = 0.
+        const auto delays = calc.evaluate(record_with_ex(Opcode::kAdd, 0xffffffffu, 1u, c));
+        worst = std::max(worst, delays.stage_ps[static_cast<std::size_t>(Stage::kEx)]);
+    }
+    EXPECT_LE(worst, 1467.0);
+    EXPECT_GT(worst, 1467.0 - 5.0);  // jitter tail reaches the anchor
+}
+
+TEST(DelayCalculator, EasyOperandsAreFaster) {
+    const DelayCalculator calc({});
+    RunningStats hard;
+    RunningStats easy;
+    for (std::uint64_t c = 0; c < 500; ++c) {
+        hard.add(calc.evaluate(record_with_ex(Opcode::kAdd, 0xffffffffu, 1u, c))
+                     .stage_ps[static_cast<std::size_t>(Stage::kEx)]);
+        easy.add(calc.evaluate(record_with_ex(Opcode::kAdd, 1u, 1u, c))
+                     .stage_ps[static_cast<std::size_t>(Stage::kEx)]);
+    }
+    EXPECT_GT(hard.mean(), easy.mean() + 50.0);
+}
+
+TEST(DelayCalculator, MulIsSlowerThanShift) {
+    const DelayCalculator calc({});
+    RunningStats mul;
+    RunningStats shift;
+    for (std::uint64_t c = 0; c < 500; ++c) {
+        mul.add(calc.evaluate(record_with_ex(Opcode::kMul, 0x12345678u, 0x9abcdef0u, c))
+                    .required_period_ps);
+        shift.add(calc.evaluate(record_with_ex(Opcode::kSlli, 0x12345678u, 7u, c))
+                      .required_period_ps);
+    }
+    EXPECT_GT(mul.mean(), shift.mean() + 300.0);
+}
+
+TEST(DelayCalculator, VoltageScalingAppliesUniformly) {
+    DesignConfig low;
+    low.voltage_v = 0.60;
+    const DelayCalculator nominal({});
+    const DelayCalculator scaled(low);
+    const auto r = record_with_ex(Opcode::kXor, 0xf0f0f0f0u, 0x0f0f0f0fu, 42);
+    const double ratio =
+        scaled.evaluate(r).required_period_ps / nominal.evaluate(r).required_period_ps;
+    EXPECT_NEAR(ratio, CellLibrary::fdsoi28().delay_scale(0.60), 1e-6);
+}
+
+TEST(DelayCalculator, RedirectCyclesChargeTheJump) {
+    const DelayCalculator calc({});
+    CycleRecord r = record_with_ex(Opcode::kNop, 0, 0, 7);
+    r.fetch_redirect = true;
+    r.redirect_source = Opcode::kJ;
+    const auto with_redirect = calc.evaluate(r);
+    r.fetch_redirect = false;
+    const auto without = calc.evaluate(r);
+    EXPECT_GT(with_redirect.stage_ps[static_cast<std::size_t>(Stage::kAdr)],
+              without.stage_ps[static_cast<std::size_t>(Stage::kAdr)]);
+}
+
+// ---- Occupancy classification ----------------------------------------------
+
+TEST(OccupancyClass, BubbleAndHeld) {
+    StageView bubble;
+    EXPECT_EQ(occupancy_class(bubble), kBubbleClass);
+    StageView held = view_of(Opcode::kAdd);
+    held.held = true;
+    EXPECT_EQ(occupancy_class(held), kHeldClass);
+    StageView div_held = view_of(Opcode::kDiv);
+    div_held.held = true;
+    EXPECT_EQ(occupancy_class(div_held), static_cast<int>(isa::TimingFamily::kDiv));
+}
+
+TEST(OccupancyClass, AdrAttribution) {
+    CycleRecord r = record_with_ex(Opcode::kAdd, 1, 2, 3);
+    EXPECT_EQ(adr_occupancy_class(r), static_cast<int>(isa::TimingFamily::kAdd));
+    r.fetch_redirect = true;
+    r.redirect_source = Opcode::kBf;
+    EXPECT_EQ(adr_occupancy_class(r), static_cast<int>(isa::TimingFamily::kBranch));
+}
+
+TEST(OccupancyClass, Names) {
+    EXPECT_EQ(occupancy_class_name(kBubbleClass), "bubble");
+    EXPECT_EQ(occupancy_class_name(kHeldClass), "held");
+    EXPECT_EQ(occupancy_class_name(static_cast<int>(isa::TimingFamily::kMul)), "mul");
+}
+
+}  // namespace
+}  // namespace focs::timing

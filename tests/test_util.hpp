@@ -1,0 +1,36 @@
+// Shared helpers for tests: assemble-and-run convenience wrappers.
+#pragma once
+
+#include <string>
+
+#include "asm/assembler.hpp"
+#include "sim/machine.hpp"
+
+namespace focs::test {
+
+struct RunOutcome {
+    sim::RunResult result;
+    std::array<std::uint32_t, 32> registers{};
+    bool flag = false;
+};
+
+/// Assembles `source`, runs it to completion and captures final state.
+inline RunOutcome run_asm(const std::string& source, sim::MachineConfig config = {}) {
+    sim::Machine machine(config);
+    machine.load(assembler::assemble(source));
+    RunOutcome outcome;
+    outcome.result = machine.run();
+    for (int r = 0; r < 32; ++r) {
+        outcome.registers[static_cast<std::size_t>(r)] =
+            machine.pipeline().registers().read(static_cast<std::uint8_t>(r));
+    }
+    outcome.flag = machine.pipeline().flag();
+    return outcome;
+}
+
+/// Standard epilogue (exit 0 + pipeline-drain padding).
+inline const char* exit_seq() {
+    return "  l.nop 0x1\n  l.nop\n  l.nop\n  l.nop\n  l.nop\n";
+}
+
+}  // namespace focs::test

@@ -1,0 +1,143 @@
+// Workload tests: every benchmark kernel assembles, runs to completion and
+// passes its embedded self-check; characterization kernels terminate
+// cleanly; the semi-random generator is deterministic and covers the ISA.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "asm/assembler.hpp"
+#include "common/error.hpp"
+#include "isa/encoding.hpp"
+#include "isa/isa_info.hpp"
+#include "sim/machine.hpp"
+#include "workloads/kernel.hpp"
+#include "workloads/testgen.hpp"
+
+namespace focs::workloads {
+namespace {
+
+sim::RunResult run_kernel(const Kernel& kernel) {
+    sim::Machine machine;
+    machine.load(assembler::assemble(kernel.source));
+    return machine.run();
+}
+
+class BenchmarkKernel : public ::testing::TestWithParam<int> {};
+
+TEST_P(BenchmarkKernel, SelfCheckPasses) {
+    const Kernel& kernel = benchmark_suite()[static_cast<std::size_t>(GetParam())];
+    const sim::RunResult result = run_kernel(kernel);
+    EXPECT_EQ(result.exit_code, 0u) << kernel.name << " failed its self-check";
+    ASSERT_FALSE(result.reports.empty()) << kernel.name << " reported no checksum";
+    EXPECT_GT(result.instructions, 100u) << kernel.name << " is trivially short";
+}
+
+std::vector<int> benchmark_indices() {
+    std::vector<int> v(benchmark_suite().size());
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int>(i);
+    return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, BenchmarkKernel, ::testing::ValuesIn(benchmark_indices()),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                             return benchmark_suite()[static_cast<std::size_t>(info.param)].name;
+                         });
+
+class CharacterizationKernel : public ::testing::TestWithParam<int> {};
+
+TEST_P(CharacterizationKernel, RunsToCompletion) {
+    const Kernel& kernel = characterization_suite()[static_cast<std::size_t>(GetParam())];
+    const sim::RunResult result = run_kernel(kernel);
+    EXPECT_EQ(result.exit_code, 0u) << kernel.name;
+    EXPECT_GT(result.instructions, 50u) << kernel.name;
+}
+
+std::vector<int> characterization_indices() {
+    std::vector<int> v(characterization_suite().size());
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int>(i);
+    return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, CharacterizationKernel,
+                         ::testing::ValuesIn(characterization_indices()),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                             return characterization_suite()[static_cast<std::size_t>(info.param)]
+                                 .name;
+                         });
+
+TEST(Registry, FindKernelByName) {
+    EXPECT_EQ(find_kernel("crc32").name, "crc32");
+    EXPECT_EQ(find_kernel("char_alu").name, "char_alu");
+    EXPECT_THROW(find_kernel("no_such_kernel"), Error);
+}
+
+TEST(Registry, SuiteSizes) {
+    EXPECT_GE(benchmark_suite().size(), 14u);
+    EXPECT_GE(characterization_suite().size(), 10u);
+}
+
+TEST(Registry, NamesAreUnique) {
+    std::set<std::string> names;
+    for (const auto& k : benchmark_suite()) EXPECT_TRUE(names.insert(k.name).second) << k.name;
+    for (const auto& k : characterization_suite()) {
+        EXPECT_TRUE(names.insert(k.name).second) << k.name;
+    }
+}
+
+TEST(TestGen, DeterministicForSameSeed) {
+    TestGenConfig config;
+    config.seed = 99;
+    const Kernel a = generate_random_kernel(config);
+    const Kernel b = generate_random_kernel(config);
+    EXPECT_EQ(a.source, b.source);
+}
+
+TEST(TestGen, DifferentSeedsDiffer) {
+    TestGenConfig a_config, b_config;
+    a_config.seed = 1;
+    b_config.seed = 2;
+    EXPECT_NE(generate_random_kernel(a_config).source, generate_random_kernel(b_config).source);
+}
+
+TEST(TestGen, GeneratedProgramsRun) {
+    for (const std::uint64_t seed : {7ULL, 8ULL, 9ULL}) {
+        TestGenConfig config;
+        config.seed = seed;
+        config.instruction_count = 600;
+        const Kernel kernel = generate_random_kernel(config);
+        const sim::RunResult result = run_kernel(kernel);
+        EXPECT_EQ(result.exit_code, 0u) << "seed " << seed;
+        EXPECT_GT(result.instructions, 400u);
+    }
+}
+
+TEST(TestGen, RespectsInstructionBudget) {
+    TestGenConfig config;
+    config.seed = 5;
+    config.instruction_count = 300;
+    const Kernel kernel = generate_random_kernel(config);
+    const auto program = assembler::assemble(kernel.source);
+    const std::size_t words = program.listing().size();
+    EXPECT_GE(words, 300u);
+    EXPECT_LE(words, 450u);  // budget plus header/footer/expansion slack
+}
+
+/// The characterization suite must cover every opcode of the subset so the
+/// delay LUT has no uncharacterized rows (paper: instructions without
+/// enough occurrences fall back to the static limit).
+TEST(Coverage, CharacterizationSuiteCoversAllOpcodes) {
+    std::set<isa::Opcode> seen;
+    for (const auto& kernel : characterization_suite()) {
+        const auto program = assembler::assemble(kernel.source);
+        for (const auto& entry : program.listing()) {
+            seen.insert(isa::decode(entry.word).opcode);
+        }
+    }
+    for (int i = 0; i < isa::kOpcodeCount; ++i) {
+        const auto op = static_cast<isa::Opcode>(i);
+        EXPECT_TRUE(seen.count(op) == 1) << "uncovered opcode: " << isa::mnemonic(op);
+    }
+}
+
+}  // namespace
+}  // namespace focs::workloads

@@ -1,0 +1,250 @@
+// focs — command-line driver for the library.
+//
+//   focs kernels                                list bundled kernels
+//   focs asm <file.s|kernel:NAME>               assemble, print listing + symbols
+//   focs run <file.s|kernel:NAME> [--trace N]   run on the cycle-accurate core
+//   focs characterize [-o lut.txt] [--conventional] [--voltage V]
+//                                               build the delay LUT (paper Fig. 2)
+//   focs evaluate <file.s|kernel:NAME> [--lut lut.txt] [--policy P] [--taps N]
+//                                               delay-annotated run; P in
+//                                               static|two-class|ex-only|lut|genie
+//   focs suite [--lut lut.txt] [--policy P]     run the whole Fig. 8 suite
+//
+// Programs are read from a file path, or from the bundled workloads with
+// the "kernel:" prefix (e.g. kernel:crc32).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "asm/assembler.hpp"
+#include "clock/clock_generator.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "common/table.hpp"
+#include "core/dca_engine.hpp"
+#include "core/flows.hpp"
+#include "core/mix_stats.hpp"
+#include "sim/machine.hpp"
+#include "sim/trace_printer.hpp"
+#include "workloads/kernel.hpp"
+
+namespace {
+
+using namespace focs;
+
+[[noreturn]] void usage() {
+    std::fprintf(stderr,
+                 "usage: focs <command> [args]\n"
+                 "  kernels\n"
+                 "  asm <file.s|kernel:NAME>\n"
+                 "  run <file.s|kernel:NAME> [--trace N]\n"
+                 "  characterize [-o lut.txt] [--conventional] [--voltage V]\n"
+                 "  evaluate <file.s|kernel:NAME> [--lut lut.txt] [--policy P] [--taps N]\n"
+                 "  suite [--lut lut.txt] [--policy P]\n"
+                 "  stats <file.s|kernel:NAME> [--lut lut.txt]\n");
+    std::exit(2);
+}
+
+std::string load_source(const std::string& spec) {
+    if (spec.rfind("kernel:", 0) == 0) {
+        return workloads::find_kernel(spec.substr(7)).source;
+    }
+    std::ifstream in(spec);
+    if (!in) throw Error("cannot open " + spec);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/// Simple flag scanner: returns the value following `name`, if present.
+std::optional<std::string> flag_value(const std::vector<std::string>& args, const char* name) {
+    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+        if (args[i] == name) return args[i + 1];
+    }
+    return std::nullopt;
+}
+
+bool flag_present(const std::vector<std::string>& args, const char* name) {
+    for (const auto& a : args) {
+        if (a == name) return true;
+    }
+    return false;
+}
+
+core::PolicyKind parse_policy(const std::string& name) {
+    if (name == "static") return core::PolicyKind::kStatic;
+    if (name == "two-class") return core::PolicyKind::kTwoClass;
+    if (name == "ex-only") return core::PolicyKind::kExOnly;
+    if (name == "lut") return core::PolicyKind::kInstructionLut;
+    if (name == "genie") return core::PolicyKind::kGenie;
+    throw Error("unknown policy '" + name + "' (static|two-class|ex-only|lut|genie)");
+}
+
+dta::DelayTable load_or_build_table(const std::vector<std::string>& args,
+                                    const timing::DesignConfig& design) {
+    if (const auto path = flag_value(args, "--lut")) {
+        std::ifstream in(*path);
+        if (!in) throw Error("cannot open " + *path);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        return dta::DelayTable::deserialize(buffer.str());
+    }
+    std::fprintf(stderr, "(no --lut given: characterizing from scratch)\n");
+    const core::CharacterizationFlow flow(design);
+    return flow.run(workloads::assemble_programs(workloads::characterization_suite())).table;
+}
+
+int cmd_kernels() {
+    TextTable table({"Name", "Suite", "Description"});
+    for (const auto& k : workloads::benchmark_suite()) {
+        table.add_row({k.name, "benchmark", k.description});
+    }
+    for (const auto& k : workloads::characterization_suite()) {
+        table.add_row({k.name, "characterization", k.description});
+    }
+    std::printf("%s", table.to_string().c_str());
+    return 0;
+}
+
+int cmd_asm(const std::vector<std::string>& args) {
+    if (args.empty()) usage();
+    const auto program = assembler::assemble(load_source(args[0]));
+    std::printf("%s\nsymbols:\n", program.listing_text().c_str());
+    for (const auto& [name, value] : program.symbols()) {
+        std::printf("  %-24s 0x%08x\n", name.c_str(), value);
+    }
+    std::printf("entry: 0x%08x, image bytes: %zu\n", program.entry(), program.bytes().size());
+    return 0;
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+    if (args.empty()) usage();
+    const auto program = assembler::assemble(load_source(args[0]));
+    sim::Machine machine;
+    machine.load(program);
+    std::uint64_t trace_cycles = 0;
+    if (const auto n = flag_value(args, "--trace")) trace_cycles = std::stoull(*n);
+    sim::TracePrinter tracer(trace_cycles);
+    const sim::RunResult result = machine.run(trace_cycles > 0 ? &tracer : nullptr);
+    if (trace_cycles > 0) std::printf("%s\n", tracer.text().c_str());
+    std::printf("exit code: %u\ncycles: %llu\ninstructions: %llu (IPC %.3f)\n",
+                result.exit_code, static_cast<unsigned long long>(result.cycles),
+                static_cast<unsigned long long>(result.instructions), result.ipc());
+    for (const auto value : result.reports) std::printf("report: 0x%08x (%u)\n", value, value);
+    return result.exit_code == 0 ? 0 : 1;
+}
+
+int cmd_characterize(const std::vector<std::string>& args) {
+    timing::DesignConfig design;
+    if (flag_present(args, "--conventional")) {
+        design.variant = timing::DesignVariant::kConventional;
+    }
+    if (const auto v = flag_value(args, "--voltage")) design.voltage_v = std::stod(*v);
+
+    const core::CharacterizationFlow flow(design);
+    const auto result =
+        flow.run(workloads::assemble_programs(workloads::characterization_suite()));
+    std::printf("characterized %llu cycles at %.2f V\n",
+                static_cast<unsigned long long>(result.cycles), design.voltage_v);
+    std::printf("T_static: %.1f ps (%.1f MHz)\n", result.static_period_ps,
+                focs::mhz_from_period_ps(result.static_period_ps));
+    std::printf("genie mean period: %.1f ps (bound %.3fx)\n", result.genie_mean_period_ps,
+                result.genie_speedup);
+
+    if (const auto path = flag_value(args, "-o")) {
+        std::ofstream out(*path);
+        if (!out) throw Error("cannot write " + *path);
+        out << result.table.serialize();
+        std::printf("delay LUT written to %s\n", path->c_str());
+    }
+    return 0;
+}
+
+int cmd_evaluate(const std::vector<std::string>& args) {
+    if (args.empty()) usage();
+    timing::DesignConfig design;
+    if (const auto v = flag_value(args, "--voltage")) design.voltage_v = std::stod(*v);
+    const auto program = assembler::assemble(load_source(args[0]));
+    const dta::DelayTable table = load_or_build_table(args, design);
+    const auto kind = parse_policy(flag_value(args, "--policy").value_or("lut"));
+
+    core::DcaEngine engine(design);
+    const auto policy = core::make_policy(kind, table, engine.calculator().static_period_ps());
+    core::DcaRunResult result;
+    if (const auto taps = flag_value(args, "--taps")) {
+        clocking::QuantizedClockGenerator cg = clocking::QuantizedClockGenerator::
+            for_static_period(engine.calculator().static_period_ps(), std::stoi(*taps));
+        result = engine.run(program, *policy, cg);
+    } else {
+        result = engine.run(program, *policy);
+    }
+    std::printf("policy: %s, clock generator: %s\n", result.policy.c_str(),
+                result.clock_generator.c_str());
+    std::printf("cycles: %llu, avg period: %.1f ps, effective clock: %.1f MHz\n",
+                static_cast<unsigned long long>(result.cycles), result.avg_period_ps,
+                result.eff_freq_mhz);
+    std::printf("speedup vs static (%.0f ps): %.3fx\n", result.static_period_ps,
+                result.speedup_vs_static);
+    std::printf("timing violations: %llu\nguest exit code: %u\n",
+                static_cast<unsigned long long>(result.timing_violations),
+                result.guest.exit_code);
+    return result.guest.exit_code == 0 ? 0 : 1;
+}
+
+int cmd_stats(const std::vector<std::string>& args) {
+    if (args.empty()) usage();
+    const auto program = assembler::assemble(load_source(args[0]));
+    const core::MixReport report = core::collect_mix(program);
+    if (flag_value(args, "--lut")) {
+        const dta::DelayTable table = load_or_build_table(args, timing::DesignConfig{});
+        std::printf("%s", report.to_string(&table).c_str());
+    } else {
+        std::printf("%s", report.to_string().c_str());
+    }
+    return 0;
+}
+
+int cmd_suite(const std::vector<std::string>& args) {
+    timing::DesignConfig design;
+    const dta::DelayTable table = load_or_build_table(args, design);
+    const auto kind = parse_policy(flag_value(args, "--policy").value_or("lut"));
+    const core::EvaluationFlow flow(design, table);
+    const auto result =
+        flow.run_suite(workloads::assemble_suite(workloads::benchmark_suite()), kind);
+    TextTable out({"Benchmark", "Cycles", "Eff. clock [MHz]", "Speedup", "Violations"});
+    for (const auto& row : result.rows) {
+        out.add_row({row.benchmark, std::to_string(row.result.cycles),
+                     TextTable::num(row.result.eff_freq_mhz, 1),
+                     TextTable::num(row.result.speedup_vs_static, 3),
+                     std::to_string(row.result.timing_violations)});
+    }
+    std::printf("%s", out.to_string().c_str());
+    std::printf("average: %.1f MHz, %.3fx\n", result.mean_eff_freq_mhz, result.mean_speedup);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) usage();
+    const std::string command = argv[1];
+    std::vector<std::string> args;
+    for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+    try {
+        if (command == "kernels") return cmd_kernels();
+        if (command == "asm") return cmd_asm(args);
+        if (command == "run") return cmd_run(args);
+        if (command == "characterize") return cmd_characterize(args);
+        if (command == "evaluate") return cmd_evaluate(args);
+        if (command == "suite") return cmd_suite(args);
+        if (command == "stats") return cmd_stats(args);
+        usage();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "focs: %s\n", e.what());
+        return 1;
+    }
+}
