@@ -6,10 +6,13 @@
 // pipeline, the DCA-annotated engine, and the full characterization flow.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "asm/assembler.hpp"
 #include "core/dca_engine.hpp"
 #include "core/flows.hpp"
 #include "dta/gatesim.hpp"
+#include "runtime/sweep_engine.hpp"
 #include "sim/machine.hpp"
 #include "timing/netlist.hpp"
 #include "workloads/kernel.hpp"
@@ -95,6 +98,32 @@ void BM_DelayCalculatorEvaluate(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_DelayCalculatorEvaluate);
+
+// Serial-vs-parallel scaling of the sweep runtime: the same three-policy
+// suite grid, executed with 1/2/4 worker threads. The shared ArtifactCache
+// is pre-warmed so iterations measure pure evaluation throughput, not the
+// (once-per-process) characterization.
+void BM_SweepEngineScaling(benchmark::State& state) {
+    static const auto cache = std::make_shared<runtime::ArtifactCache>();
+    runtime::SweepSpec spec;
+    spec.policies = {core::PolicyKind::kStatic, core::PolicyKind::kInstructionLut,
+                     core::PolicyKind::kGenie};
+    const runtime::SweepEngine engine(static_cast<int>(state.range(0)), cache);
+    engine.run(spec);  // warm programs + delay table (untimed)
+    std::uint64_t cells = 0;
+    for (auto _ : state) {
+        const auto result = engine.run(spec);
+        cells += result.cells.size();
+        benchmark::DoNotOptimize(result.mean_speedup);
+    }
+    state.counters["cells/s"] =
+        benchmark::Counter(static_cast<double>(cells), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SweepEngineScaling)
+    ->RangeMultiplier(2)
+    ->Range(1, 4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -71,12 +71,19 @@ double EvaluationFlow::static_period_ps() const {
     return timing::DelayCalculator(design_).static_period_ps();
 }
 
-DcaRunResult EvaluationFlow::run_one(const assembler::Program& program, PolicyKind kind,
-                                     clocking::ClockGenerator* generator) const {
-    DcaEngine engine(design_, machine_config_);
-    const auto policy = make_policy(kind, *table_, engine.calculator().static_period_ps());
+DcaRunResult evaluate_cell(const timing::DesignConfig& design, const dta::DelayTable& table,
+                           const assembler::Program& program, PolicyKind kind,
+                           clocking::ClockGenerator* generator,
+                           const sim::MachineConfig& machine_config) {
+    DcaEngine engine(design, machine_config);
+    const auto policy = make_policy(kind, table, engine.calculator().static_period_ps());
     if (generator != nullptr) return engine.run(program, *policy, *generator);
     return engine.run(program, *policy);
+}
+
+DcaRunResult EvaluationFlow::run_one(const assembler::Program& program, PolicyKind kind,
+                                     clocking::ClockGenerator* generator) const {
+    return evaluate_cell(design_, *table_, program, kind, generator, machine_config_);
 }
 
 SuiteResult EvaluationFlow::run_suite(

@@ -69,6 +69,16 @@ struct SuiteResult {
     std::uint64_t total_violations = 0;
 };
 
+/// Evaluates one sweep cell: `program` under `kind` against a prepared
+/// delay table, optionally through a concrete clock generator. This is the
+/// unit of work the runtime's SweepEngine schedules onto worker threads —
+/// it constructs all mutable state (engine, policy) locally, so concurrent
+/// calls sharing `table` and `program` (both read-only here) are safe.
+DcaRunResult evaluate_cell(const timing::DesignConfig& design, const dta::DelayTable& table,
+                           const assembler::Program& program, PolicyKind kind,
+                           clocking::ClockGenerator* generator = nullptr,
+                           const sim::MachineConfig& machine_config = {});
+
 class EvaluationFlow {
 public:
     EvaluationFlow(const timing::DesignConfig& design, const dta::DelayTable& table,

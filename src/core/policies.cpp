@@ -152,4 +152,25 @@ std::unique_ptr<ClockPolicy> make_policy(PolicyKind kind, const DelayTable& tabl
     return nullptr;
 }
 
+std::string policy_kind_name(PolicyKind kind) {
+    switch (kind) {
+        case PolicyKind::kStatic: return "static";
+        case PolicyKind::kGenie: return "genie";
+        case PolicyKind::kInstructionLut: return "lut";
+        case PolicyKind::kExOnly: return "ex-only";
+        case PolicyKind::kTwoClass: return "two-class";
+    }
+    check(false, "unknown policy kind");
+    return {};
+}
+
+PolicyKind parse_policy_kind(const std::string& name) {
+    if (name == "static") return PolicyKind::kStatic;
+    if (name == "two-class") return PolicyKind::kTwoClass;
+    if (name == "ex-only") return PolicyKind::kExOnly;
+    if (name == "lut") return PolicyKind::kInstructionLut;
+    if (name == "genie") return PolicyKind::kGenie;
+    throw Error("unknown policy '" + name + "' (static|two-class|ex-only|lut|genie)");
+}
+
 }  // namespace focs::core

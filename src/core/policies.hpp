@@ -142,4 +142,9 @@ enum class PolicyKind { kStatic, kGenie, kInstructionLut, kExOnly, kTwoClass };
 std::unique_ptr<ClockPolicy> make_policy(PolicyKind kind, const dta::DelayTable& table,
                                          double static_period_ps);
 
+/// Stable short name of a kind ("static"|"two-class"|"ex-only"|"lut"|"genie");
+/// inverse of parse_policy_kind. Used by the CLI and the sweep runtime.
+std::string policy_kind_name(PolicyKind kind);
+PolicyKind parse_policy_kind(const std::string& name);
+
 }  // namespace focs::core

@@ -1,0 +1,100 @@
+#include "runtime/artifact_cache.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <utility>
+
+#include "asm/assembler.hpp"
+#include "core/flows.hpp"
+#include "workloads/kernel.hpp"
+
+namespace focs::runtime {
+
+namespace {
+
+/// Runs `build` and publishes its value (or exception) through `promise`.
+template <typename T, typename Build>
+void fulfil(std::promise<T>& promise, Build&& build) {
+    try {
+        promise.set_value(build());
+    } catch (...) {
+        promise.set_exception(std::current_exception());
+    }
+}
+
+}  // namespace
+
+std::string ArtifactCache::design_key(const timing::DesignConfig& design,
+                                      const dta::AnalyzerConfig& analyzer_config) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "v%d:%.6f:%llu:g%.6f:m%d",
+                  static_cast<int>(design.variant), design.voltage_v,
+                  static_cast<unsigned long long>(design.seed), analyzer_config.lut_guard_ps,
+                  analyzer_config.min_occurrences);
+    return buf;
+}
+
+std::shared_future<assembler::Program> ArtifactCache::program(const std::string& kernel) {
+    std::promise<assembler::Program> promise;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (const auto it = programs_.find(kernel); it != programs_.end()) {
+            cache_hits_.fetch_add(1);
+            return it->second;
+        }
+        programs_.emplace(kernel, promise.get_future().share());
+    }
+    // This thread won the build; assemble outside the lock.
+    fulfil(promise, [&] { return assembler::assemble(workloads::find_kernel(kernel).source); });
+    std::lock_guard<std::mutex> lock(mutex_);
+    return programs_.at(kernel);
+}
+
+std::shared_future<std::vector<assembler::Program>> ArtifactCache::characterization_programs() {
+    std::promise<std::vector<assembler::Program>> promise;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (characterization_programs_started_) return characterization_programs_;
+        characterization_programs_ = promise.get_future().share();
+        characterization_programs_started_ = true;
+    }
+    fulfil(promise,
+           [] { return workloads::assemble_programs(workloads::characterization_suite()); });
+    std::lock_guard<std::mutex> lock(mutex_);
+    return characterization_programs_;
+}
+
+std::shared_future<dta::DelayTable> ArtifactCache::delay_table(
+    const timing::DesignConfig& design, const dta::AnalyzerConfig& analyzer_config) {
+    const std::string key = design_key(design, analyzer_config);
+    std::promise<dta::DelayTable> promise;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (const auto it = tables_.find(key); it != tables_.end()) {
+            cache_hits_.fetch_add(1);
+            return it->second;
+        }
+        tables_.emplace(key, promise.get_future().share());
+    }
+    const auto programs = characterization_programs();
+    fulfil(promise, [&] {
+        const core::CharacterizationFlow flow(design, analyzer_config);
+        dta::DelayTable table = flow.run(programs.get()).table;
+        characterizations_built_.fetch_add(1);
+        return table;
+    });
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tables_.at(key);
+}
+
+void ArtifactCache::put_delay_table(const timing::DesignConfig& design,
+                                    const dta::AnalyzerConfig& analyzer_config,
+                                    dta::DelayTable table) {
+    const std::string key = design_key(design, analyzer_config);
+    std::promise<dta::DelayTable> promise;
+    promise.set_value(std::move(table));
+    std::lock_guard<std::mutex> lock(mutex_);
+    tables_.insert_or_assign(key, promise.get_future().share());
+}
+
+}  // namespace focs::runtime

@@ -1,0 +1,71 @@
+// Shared-artifact cache for the sweep runtime.
+//
+// A sweep grid re-uses two expensive artifacts across many cells: assembled
+// Programs (one per kernel, shared by every policy/generator/voltage cell)
+// and the characterization DelayTable (one per design operating point,
+// shared by every cell at that point). The cache computes each artifact
+// exactly once behind a std::shared_future: the first requester becomes the
+// builder, every concurrent requester blocks on the same future, and later
+// requesters get the cached value immediately. All artifacts are immutable
+// after construction, so sharing references across worker threads is safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "dta/analyzer.hpp"
+#include "dta/delay_table.hpp"
+#include "timing/design_config.hpp"
+
+namespace focs::runtime {
+
+class ArtifactCache {
+public:
+    /// Assembled program of a bundled kernel (benchmark or characterization
+    /// suite). Throws focs::Error through the future on unknown kernels.
+    std::shared_future<assembler::Program> program(const std::string& kernel);
+
+    /// Characterization delay table of one operating point. Runs the full
+    /// gate-level characterization flow on first request; `analyzer_config`
+    /// participates in the cache key, so different guard bands are distinct
+    /// artifacts.
+    std::shared_future<dta::DelayTable> delay_table(const timing::DesignConfig& design,
+                                                    const dta::AnalyzerConfig& analyzer_config);
+
+    /// Pre-seeds the table cache (e.g. a LUT loaded from disk with --lut),
+    /// so the sweep skips characterization for this operating point.
+    void put_delay_table(const timing::DesignConfig& design,
+                         const dta::AnalyzerConfig& analyzer_config, dta::DelayTable table);
+
+    /// Number of characterization flows actually executed (not pre-seeded,
+    /// not cache hits). The determinism test asserts this is exactly the
+    /// number of distinct operating points in a sweep.
+    std::uint64_t characterizations_built() const { return characterizations_built_.load(); }
+
+    /// Total requests answered from an already-present entry.
+    std::uint64_t cache_hits() const { return cache_hits_.load(); }
+
+    static std::string design_key(const timing::DesignConfig& design,
+                                  const dta::AnalyzerConfig& analyzer_config);
+
+private:
+    /// Assembled characterization suite, shared by every operating point's
+    /// characterization run (assembly is voltage-independent).
+    std::shared_future<std::vector<assembler::Program>> characterization_programs();
+
+    std::mutex mutex_;
+    std::map<std::string, std::shared_future<assembler::Program>> programs_;
+    std::map<std::string, std::shared_future<dta::DelayTable>> tables_;
+    std::shared_future<std::vector<assembler::Program>> characterization_programs_;
+    bool characterization_programs_started_ = false;
+    std::atomic<std::uint64_t> characterizations_built_{0};
+    std::atomic<std::uint64_t> cache_hits_{0};
+};
+
+}  // namespace focs::runtime

@@ -1,0 +1,339 @@
+#include "runtime/result_io.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace focs::runtime {
+
+namespace {
+
+// ---------------------------------------------------------------- writing
+
+std::string json_number(double value) {
+    // JSON has no inf/nan; silently clamping would hide bugs, so fail.
+    check(std::isfinite(value), "non-finite value in sweep result");
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    return buf;
+}
+
+std::string json_string(const std::string& value) {
+    std::string out = "\"";
+    for (const char c : value) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+void append_cell(std::string& out, const SweepCell& cell) {
+    const core::DcaRunResult& r = cell.result;
+    out += "    {";
+    out += "\"kernel\": " + json_string(cell.kernel);
+    out += ", \"policy\": " + json_string(cell.policy);
+    out += ", \"generator\": " + json_string(cell.generator);
+    out += ", \"voltage_v\": " + json_number(cell.voltage_v);
+    out += ", \"engine_policy\": " + json_string(r.policy);
+    out += ", \"engine_generator\": " + json_string(r.clock_generator);
+    out += ", \"cycles\": " + std::to_string(r.cycles);
+    out += ", \"total_time_ps\": " + json_number(r.total_time_ps);
+    out += ", \"avg_period_ps\": " + json_number(r.avg_period_ps);
+    out += ", \"eff_freq_mhz\": " + json_number(r.eff_freq_mhz);
+    out += ", \"static_period_ps\": " + json_number(r.static_period_ps);
+    out += ", \"speedup_vs_static\": " + json_number(r.speedup_vs_static);
+    out += ", \"timing_violations\": " + std::to_string(r.timing_violations);
+    out += ", \"worst_violation_ps\": " + json_number(r.worst_violation_ps);
+    out += ", \"guest\": {\"exit_code\": " + std::to_string(r.guest.exit_code);
+    out += ", \"cycles\": " + std::to_string(r.guest.cycles);
+    out += ", \"instructions\": " + std::to_string(r.guest.instructions);
+    out += ", \"reports\": [";
+    for (std::size_t i = 0; i < r.guest.reports.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += std::to_string(r.guest.reports[i]);
+    }
+    out += "]}}";
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+struct Value {
+    std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data;
+
+    double number() const {
+        check(std::holds_alternative<double>(data), "JSON: expected number");
+        return std::get<double>(data);
+    }
+    const std::string& string() const {
+        check(std::holds_alternative<std::string>(data), "JSON: expected string");
+        return std::get<std::string>(data);
+    }
+    const Array& array() const {
+        check(std::holds_alternative<Array>(data), "JSON: expected array");
+        return std::get<Array>(data);
+    }
+    const Object& object() const {
+        check(std::holds_alternative<Object>(data), "JSON: expected object");
+        return std::get<Object>(data);
+    }
+};
+
+class Parser {
+public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    Value parse_document() {
+        const Value value = parse_value();
+        skip_whitespace();
+        check(pos_ == text_.size(), "JSON: trailing characters at offset " + std::to_string(pos_));
+        return value;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const {
+        throw Error("JSON parse error at offset " + std::to_string(pos_) + ": " + what);
+    }
+
+    void skip_whitespace() {
+        while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        skip_whitespace();
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume_literal(const char* literal) {
+        const std::size_t len = std::string(literal).size();
+        if (text_.compare(pos_, len, literal) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    Value parse_value() {
+        const char c = peek();
+        if (c == '{') return parse_object();
+        if (c == '[') return parse_array();
+        if (c == '"') return Value{parse_string()};
+        if (consume_literal("true")) return Value{true};
+        if (consume_literal("false")) return Value{false};
+        if (consume_literal("null")) return Value{nullptr};
+        return parse_number();
+    }
+
+    Value parse_object() {
+        expect('{');
+        Object object;
+        if (peek() == '}') {
+            ++pos_;
+            return Value{std::move(object)};
+        }
+        while (true) {
+            std::string key = parse_string_token();
+            expect(':');
+            object.emplace(std::move(key), parse_value());
+            const char c = peek();
+            ++pos_;
+            if (c == '}') return Value{std::move(object)};
+            if (c != ',') fail("expected ',' or '}' in object");
+        }
+    }
+
+    Value parse_array() {
+        expect('[');
+        Array array;
+        if (peek() == ']') {
+            ++pos_;
+            return Value{std::move(array)};
+        }
+        while (true) {
+            array.push_back(parse_value());
+            const char c = peek();
+            ++pos_;
+            if (c == ']') return Value{std::move(array)};
+            if (c != ',') fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string parse_string() { return parse_string_token(); }
+
+    std::string parse_string_token() {
+        if (peek() != '"') fail("expected string");
+        ++pos_;
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+                    long code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_ + static_cast<std::size_t>(i)];
+                        if (!std::isxdigit(static_cast<unsigned char>(h))) {
+                            fail("non-hex digit in \\u escape");
+                        }
+                        code = code * 16 + (h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+                    }
+                    pos_ += 4;
+                    // to_json only emits \u for the control range; anything
+                    // larger would need UTF-8 encoding we don't produce.
+                    if (code >= 0x20) fail("unsupported \\u escape beyond control range");
+                    out += static_cast<char>(code);
+                    break;
+                }
+                default: fail("unknown escape");
+            }
+        }
+    }
+
+    Value parse_number() {
+        skip_whitespace();
+        const char* begin = text_.c_str() + pos_;
+        char* end = nullptr;
+        const double value = std::strtod(begin, &end);
+        if (end == begin) fail("expected value");
+        pos_ += static_cast<std::size_t>(end - begin);
+        return Value{value};
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+std::uint64_t as_u64(const Value& value) { return static_cast<std::uint64_t>(value.number()); }
+
+const Value& field(const Object& object, const char* key) {
+    const auto it = object.find(key);
+    check(it != object.end(), std::string("JSON: missing field '") + key + "'");
+    return it->second;
+}
+
+}  // namespace
+
+std::string to_json(const SweepResult& result, bool include_timing) {
+    std::string out = "{\n";
+    out += "  \"schema\": \"focs-sweep-v1\",\n";
+    if (include_timing) {
+        out += "  \"jobs\": " + std::to_string(result.jobs) + ",\n";
+        out += "  \"wall_ms\": " + json_number(result.wall_ms) + ",\n";
+        out += "  \"characterizations\": " + std::to_string(result.characterizations) + ",\n";
+        out += "  \"cache_hits\": " + std::to_string(result.cache_hits) + ",\n";
+    }
+    out += "  \"mean_eff_freq_mhz\": " + json_number(result.mean_eff_freq_mhz) + ",\n";
+    out += "  \"mean_speedup\": " + json_number(result.mean_speedup) + ",\n";
+    out += "  \"total_violations\": " + std::to_string(result.total_violations) + ",\n";
+    out += "  \"cells\": [\n";
+    for (std::size_t i = 0; i < result.cells.size(); ++i) {
+        append_cell(out, result.cells[i]);
+        if (i + 1 < result.cells.size()) out += ',';
+        out += '\n';
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+SweepResult from_json(const std::string& text) {
+    const Value document = Parser(text).parse_document();
+    const Object& root = document.object();
+    check(field(root, "schema").string() == "focs-sweep-v1",
+          "unknown sweep result schema '" + field(root, "schema").string() + "'");
+
+    SweepResult result;
+    if (const auto it = root.find("jobs"); it != root.end()) {
+        result.jobs = static_cast<int>(it->second.number());
+    }
+    if (const auto it = root.find("wall_ms"); it != root.end()) {
+        result.wall_ms = it->second.number();
+    }
+    if (const auto it = root.find("characterizations"); it != root.end()) {
+        result.characterizations = as_u64(it->second);
+    }
+    if (const auto it = root.find("cache_hits"); it != root.end()) {
+        result.cache_hits = as_u64(it->second);
+    }
+    result.mean_eff_freq_mhz = field(root, "mean_eff_freq_mhz").number();
+    result.mean_speedup = field(root, "mean_speedup").number();
+    result.total_violations = as_u64(field(root, "total_violations"));
+
+    for (const Value& entry : field(root, "cells").array()) {
+        const Object& o = entry.object();
+        SweepCell cell;
+        cell.kernel = field(o, "kernel").string();
+        cell.policy = field(o, "policy").string();
+        cell.generator = field(o, "generator").string();
+        cell.voltage_v = field(o, "voltage_v").number();
+        core::DcaRunResult& r = cell.result;
+        r.policy = field(o, "engine_policy").string();
+        r.clock_generator = field(o, "engine_generator").string();
+        r.cycles = as_u64(field(o, "cycles"));
+        r.total_time_ps = field(o, "total_time_ps").number();
+        r.avg_period_ps = field(o, "avg_period_ps").number();
+        r.eff_freq_mhz = field(o, "eff_freq_mhz").number();
+        r.static_period_ps = field(o, "static_period_ps").number();
+        r.speedup_vs_static = field(o, "speedup_vs_static").number();
+        r.timing_violations = as_u64(field(o, "timing_violations"));
+        r.worst_violation_ps = field(o, "worst_violation_ps").number();
+        const Object& guest = field(o, "guest").object();
+        r.guest.exit_code = static_cast<std::uint32_t>(as_u64(field(guest, "exit_code")));
+        r.guest.cycles = as_u64(field(guest, "cycles"));
+        r.guest.instructions = as_u64(field(guest, "instructions"));
+        for (const Value& report : field(guest, "reports").array()) {
+            r.guest.reports.push_back(static_cast<std::uint32_t>(as_u64(report)));
+        }
+        result.cells.push_back(std::move(cell));
+    }
+    return result;
+}
+
+}  // namespace focs::runtime

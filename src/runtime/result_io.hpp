@@ -1,0 +1,28 @@
+// JSON serialization of sweep results.
+//
+// The bench trajectory (policy search, training corpora à la the unified
+// DFS learning platform, cross-run comparisons) consumes sweep output as
+// data, not as pretty-printed tables — so results are written as a stable,
+// dependency-free JSON document. Formatting is deterministic (fixed key
+// order, "%.17g" doubles, i.e. shortest round-trippable form), which makes
+// byte-comparison of two runs a valid determinism check. from_json parses
+// exactly the documents to_json emits (plus whitespace), enough for
+// lossless round-trips and for downstream tools to re-load result sets.
+#pragma once
+
+#include <string>
+
+#include "runtime/sweep_engine.hpp"
+
+namespace focs::runtime {
+
+/// Serializes a sweep result. `include_timing` controls the run-dependent
+/// header fields (wall_ms, jobs, cache counters); switch it off to obtain a
+/// canonical byte-comparable document of the cells alone.
+std::string to_json(const SweepResult& result, bool include_timing = true);
+
+/// Parses a document produced by to_json. Throws focs::Error on malformed
+/// input. Timing header fields absent from the document are left zero.
+SweepResult from_json(const std::string& text);
+
+}  // namespace focs::runtime

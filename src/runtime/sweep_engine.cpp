@@ -1,0 +1,146 @@
+#include "runtime/sweep_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "timing/delay_model.hpp"
+
+namespace focs::runtime {
+
+namespace {
+
+/// One expanded grid cell awaiting execution.
+struct SweepJob {
+    std::string kernel;
+    core::PolicyKind policy;
+    const GeneratorSpec* generator = nullptr;
+    timing::DesignConfig design;
+};
+
+}  // namespace
+
+SweepEngine::SweepEngine(int jobs, std::shared_ptr<ArtifactCache> cache)
+    : jobs_(jobs), cache_(std::move(cache)) {
+    if (!cache_) cache_ = std::make_shared<ArtifactCache>();
+}
+
+dta::AnalyzerConfig SweepEngine::analyzer_config_for(const SweepSpec& spec) {
+    dta::AnalyzerConfig config;
+    if (spec.lut_guard_ps >= 0) config.lut_guard_ps = spec.lut_guard_ps;
+    if (spec.min_occurrences >= 0) config.min_occurrences = spec.min_occurrences;
+    return config;
+}
+
+SweepResult SweepEngine::run(const SweepSpec& raw_spec) const {
+    const auto start = std::chrono::steady_clock::now();
+    const SweepSpec spec = raw_spec.resolved();
+    check(!spec.kernels.empty(), "sweep has no kernels");
+
+    const dta::AnalyzerConfig analyzer_config = analyzer_config_for(spec);
+    const std::uint64_t tables_before = cache_->characterizations_built();
+    const std::uint64_t hits_before = cache_->cache_hits();
+
+    // Expand the grid in deterministic declaration order: voltage-major so
+    // one operating point's cells are adjacent, then kernel, policy,
+    // generator.
+    std::vector<SweepJob> jobs_list;
+    jobs_list.reserve(spec.cell_count());
+    for (const double voltage : spec.voltages_v) {
+        for (const auto& kernel : spec.kernels) {
+            for (const auto policy : spec.policies) {
+                for (const auto& generator : spec.generators) {
+                    jobs_list.push_back(
+                        SweepJob{kernel, policy, &generator, spec.design_for(voltage)});
+                }
+            }
+        }
+    }
+
+    // Jobs precedence: explicit engine argument (e.g. a --jobs flag) beats
+    // the spec's `jobs =` line, which beats hardware concurrency. The pool
+    // never exceeds the number of cells.
+    int worker_count = jobs_ > 0 ? jobs_ : spec.jobs;
+    if (worker_count <= 0) worker_count = static_cast<int>(std::thread::hardware_concurrency());
+    if (worker_count <= 0) worker_count = 1;
+    worker_count = std::max(1, std::min<int>(worker_count, static_cast<int>(jobs_list.size())));
+
+    SweepResult result;
+    result.cells.resize(jobs_list.size());
+    result.jobs = worker_count;
+
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    const auto worker = [&] {
+        while (!failed.load(std::memory_order_relaxed)) {
+            const std::size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (index >= jobs_list.size()) return;
+            const SweepJob& job = jobs_list[index];
+            try {
+                // Shared artifacts: built once, then served from the cache.
+                auto program_future = cache_->program(job.kernel);
+                auto table_future = cache_->delay_table(job.design, analyzer_config);
+                const assembler::Program& program = program_future.get();
+                const dta::DelayTable& table = table_future.get();
+
+                // Private mutable state: engine, policy and generator are
+                // constructed per job inside evaluate_cell / here.
+                const double static_period_ps =
+                    timing::DelayCalculator(job.design).static_period_ps();
+                const auto generator = job.generator->instantiate(static_period_ps);
+                core::DcaRunResult run = core::evaluate_cell(
+                    job.design, table, program, job.policy,
+                    job.generator->kind == GeneratorSpec::Kind::kIdeal ? nullptr
+                                                                       : generator.get());
+
+                SweepCell& cell = result.cells[index];
+                cell.kernel = job.kernel;
+                cell.policy = core::policy_kind_name(job.policy);
+                cell.generator = job.generator->label();
+                cell.voltage_v = job.design.voltage_v;
+                cell.result = std::move(run);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error) first_error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    if (worker_count <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(worker_count));
+        for (int i = 0; i < worker_count; ++i) pool.emplace_back(worker);
+        for (auto& thread : pool) thread.join();
+    }
+    if (first_error) std::rethrow_exception(first_error);
+
+    for (const auto& cell : result.cells) {
+        result.mean_eff_freq_mhz += cell.result.eff_freq_mhz;
+        result.mean_speedup += cell.result.speedup_vs_static;
+        result.total_violations += cell.result.timing_violations;
+    }
+    if (!result.cells.empty()) {
+        result.mean_eff_freq_mhz /= static_cast<double>(result.cells.size());
+        result.mean_speedup /= static_cast<double>(result.cells.size());
+    }
+    result.characterizations = cache_->characterizations_built() - tables_before;
+    result.cache_hits = cache_->cache_hits() - hits_before;
+    result.wall_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                               start)
+                         .count();
+    return result;
+}
+
+}  // namespace focs::runtime

@@ -1,0 +1,74 @@
+// Thread-pooled batch evaluation engine.
+//
+// Expands a SweepSpec into one job per (voltage, kernel, policy, generator)
+// grid cell and executes the jobs on a pool of worker threads. Workers pull
+// jobs from a shared atomic cursor (cheap work stealing: whoever is free
+// takes the next cell), instantiate all mutable simulator state privately
+// (DcaEngine, policy, clock generator — the sim is mutable, so nothing is
+// shared except read-only artifacts), and obtain shared artifacts from an
+// ArtifactCache, where assembled programs and the characterization
+// DelayTable are computed exactly once behind shared_futures. Results land
+// in a pre-sized vector slot per cell, so aggregation order is the spec's
+// declaration order and a --jobs 8 run is byte-identical to --jobs 1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/flows.hpp"
+#include "runtime/artifact_cache.hpp"
+#include "runtime/sweep_spec.hpp"
+
+namespace focs::runtime {
+
+/// One evaluated grid cell, labelled by its axis coordinates.
+struct SweepCell {
+    std::string kernel;
+    std::string policy;     ///< PolicyKind short name
+    std::string generator;  ///< GeneratorSpec label
+    double voltage_v = 0;
+    core::DcaRunResult result;
+};
+
+struct SweepResult {
+    std::vector<SweepCell> cells;  ///< in spec declaration order
+    int jobs = 0;                  ///< worker threads actually used
+    double wall_ms = 0;
+    std::uint64_t characterizations = 0;  ///< delay tables built this sweep
+    std::uint64_t cache_hits = 0;
+
+    /// Mean over all cells (matches SuiteResult semantics when the sweep is
+    /// a single-policy suite).
+    double mean_eff_freq_mhz = 0;
+    double mean_speedup = 0;
+    std::uint64_t total_violations = 0;
+};
+
+class SweepEngine {
+public:
+    /// `jobs` > 0 forces the pool size; 0 defers to the spec's `jobs` knob
+    /// and then to std::thread::hardware_concurrency(). `cache` may be
+    /// shared across sweeps (a serving scenario: repeated requests reuse
+    /// programs and tables); by default each engine owns a fresh one.
+    explicit SweepEngine(int jobs = 0, std::shared_ptr<ArtifactCache> cache = nullptr);
+
+    /// Executes the sweep. Deterministic: the returned cell order and every
+    /// per-cell result are independent of the job count and of thread
+    /// scheduling.
+    SweepResult run(const SweepSpec& spec) const;
+
+    int jobs() const { return jobs_; }
+    const std::shared_ptr<ArtifactCache>& cache() const { return cache_; }
+
+    /// Analyzer config a spec's knobs resolve to (shared with the CLI so a
+    /// pre-seeded --lut table lands under the same cache key).
+    static dta::AnalyzerConfig analyzer_config_for(const SweepSpec& spec);
+
+private:
+    int jobs_;
+    std::shared_ptr<ArtifactCache> cache_;
+};
+
+}  // namespace focs::runtime

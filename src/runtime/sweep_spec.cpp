@@ -1,0 +1,216 @@
+#include "runtime/sweep_spec.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "workloads/kernel.hpp"
+
+namespace focs::runtime {
+
+namespace {
+
+std::string format_double(double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    return buf;
+}
+
+double parse_double(const std::string& text) {
+    try {
+        std::size_t pos = 0;
+        const double value = std::stod(text, &pos);
+        check(pos == text.size(), "trailing characters in number '" + text + "'");
+        return value;
+    } catch (const std::invalid_argument&) {
+        throw Error("malformed number '" + text + "' in sweep spec");
+    } catch (const std::out_of_range&) {
+        throw Error("number out of range '" + text + "' in sweep spec");
+    }
+}
+
+std::vector<std::string> split_list(const std::string& value) {
+    std::vector<std::string> items;
+    for (const auto& piece : split(value, ',')) {
+        if (!piece.empty()) items.push_back(piece);
+    }
+    return items;
+}
+
+}  // namespace
+
+std::string GeneratorSpec::label() const {
+    switch (kind) {
+        case Kind::kIdeal: return "ideal";
+        case Kind::kQuantized: return "taps:" + std::to_string(num_taps);
+        case Kind::kPllBank: {
+            std::string label = "pll:";
+            for (std::size_t i = 0; i < periods_ps.size(); ++i) {
+                if (i > 0) label += '/';
+                label += format_double(periods_ps[i]);
+            }
+            label += ':' + std::to_string(min_dwell_cycles);
+            return label;
+        }
+    }
+    check(false, "unknown generator kind");
+    return {};
+}
+
+GeneratorSpec GeneratorSpec::parse(const std::string& text) {
+    GeneratorSpec spec;
+    if (text == "ideal") return spec;
+    if (starts_with(text, "taps:")) {
+        spec.kind = Kind::kQuantized;
+        const auto taps = parse_int(text.substr(5));
+        check(taps.has_value() && *taps >= 2, "generator '" + text + "': need taps:N with N >= 2");
+        spec.num_taps = static_cast<int>(*taps);
+        return spec;
+    }
+    if (starts_with(text, "pll:")) {
+        const auto parts = split(text.substr(4), ':');
+        check(parts.size() == 2, "generator '" + text + "': want pll:P1/P2/...:DWELL");
+        spec.kind = Kind::kPllBank;
+        for (const auto& period : split(parts[0], '/')) {
+            spec.periods_ps.push_back(parse_double(period));
+        }
+        check(!spec.periods_ps.empty(), "generator '" + text + "': no PLL periods");
+        const auto dwell = parse_int(parts[1]);
+        check(dwell.has_value() && *dwell >= 0, "generator '" + text + "': bad dwell");
+        spec.min_dwell_cycles = static_cast<int>(*dwell);
+        return spec;
+    }
+    throw Error("unknown generator '" + text + "' (ideal|taps:N|pll:P1/P2/...:DWELL)");
+}
+
+std::unique_ptr<clocking::ClockGenerator> GeneratorSpec::instantiate(
+    double static_period_ps) const {
+    switch (kind) {
+        case Kind::kIdeal: return std::make_unique<clocking::IdealClockGenerator>();
+        case Kind::kQuantized:
+            return std::make_unique<clocking::QuantizedClockGenerator>(
+                clocking::QuantizedClockGenerator::for_static_period(static_period_ps,
+                                                                     num_taps));
+        case Kind::kPllBank:
+            return std::make_unique<clocking::PllBankClockGenerator>(periods_ps,
+                                                                     min_dwell_cycles);
+    }
+    check(false, "unknown generator kind");
+    return nullptr;
+}
+
+SweepSpec SweepSpec::resolved() const {
+    SweepSpec out = *this;
+    if (out.kernels.empty()) {
+        for (const auto& kernel : workloads::benchmark_suite()) out.kernels.push_back(kernel.name);
+    }
+    if (out.policies.empty()) out.policies.push_back(core::PolicyKind::kInstructionLut);
+    if (out.generators.empty()) out.generators.push_back(GeneratorSpec{});
+    if (out.voltages_v.empty()) out.voltages_v.push_back(timing::DesignConfig{}.voltage_v);
+    return out;
+}
+
+std::size_t SweepSpec::cell_count() const {
+    const SweepSpec spec = resolved();
+    return spec.kernels.size() * spec.policies.size() * spec.generators.size() *
+           spec.voltages_v.size();
+}
+
+timing::DesignConfig SweepSpec::design_for(double voltage_v) const {
+    timing::DesignConfig design;
+    design.variant = variant;
+    design.voltage_v = voltage_v;
+    return design;
+}
+
+SweepSpec SweepSpec::parse(const std::string& text) {
+    SweepSpec spec;
+    int line_no = 0;
+    for (const auto& raw_line : split(text, '\n')) {
+        ++line_no;
+        std::string line = raw_line;
+        if (const auto hash = line.find('#'); hash != std::string::npos) {
+            line = line.substr(0, hash);
+        }
+        line = std::string(trim(line));
+        if (line.empty()) continue;
+        const auto eq = line.find('=');
+        check(eq != std::string::npos,
+              "sweep spec line " + std::to_string(line_no) + ": expected 'key = value'");
+        const std::string key = std::string(trim(line.substr(0, eq)));
+        const std::string value = std::string(trim(line.substr(eq + 1)));
+        if (key == "kernels") {
+            spec.kernels = split_list(value);
+        } else if (key == "policies") {
+            for (const auto& name : split_list(value)) {
+                spec.policies.push_back(core::parse_policy_kind(name));
+            }
+        } else if (key == "generators") {
+            for (const auto& label : split_list(value)) {
+                spec.generators.push_back(GeneratorSpec::parse(label));
+            }
+        } else if (key == "voltages") {
+            for (const auto& voltage : split_list(value)) {
+                spec.voltages_v.push_back(parse_double(voltage));
+            }
+        } else if (key == "variant") {
+            if (value == "conventional") {
+                spec.variant = timing::DesignVariant::kConventional;
+            } else if (value == "critical-range") {
+                spec.variant = timing::DesignVariant::kCriticalRangeOptimized;
+            } else {
+                throw Error("unknown variant '" + value + "' (conventional|critical-range)");
+            }
+        } else if (key == "guard_ps") {
+            spec.lut_guard_ps = parse_double(value);
+        } else if (key == "min_occurrences") {
+            const auto n = parse_int(value);
+            check(n.has_value() && *n >= 0, "bad min_occurrences '" + value + "'");
+            spec.min_occurrences = static_cast<int>(*n);
+        } else if (key == "jobs") {
+            const auto n = parse_int(value);
+            check(n.has_value() && *n >= 0, "bad jobs '" + value + "'");
+            spec.jobs = static_cast<int>(*n);
+        } else {
+            throw Error("unknown sweep spec key '" + key + "'");
+        }
+    }
+    return spec;
+}
+
+std::string SweepSpec::serialize() const {
+    std::string out;
+    const auto join = [](const std::vector<std::string>& items) {
+        std::string joined;
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            if (i > 0) joined += ", ";
+            joined += items[i];
+        }
+        return joined;
+    };
+    if (!kernels.empty()) out += "kernels = " + join(kernels) + "\n";
+    if (!policies.empty()) {
+        std::vector<std::string> names;
+        for (const auto kind : policies) names.push_back(core::policy_kind_name(kind));
+        out += "policies = " + join(names) + "\n";
+    }
+    if (!generators.empty()) {
+        std::vector<std::string> labels;
+        for (const auto& generator : generators) labels.push_back(generator.label());
+        out += "generators = " + join(labels) + "\n";
+    }
+    if (!voltages_v.empty()) {
+        std::vector<std::string> values;
+        for (const auto voltage : voltages_v) values.push_back(format_double(voltage));
+        out += "voltages = " + join(values) + "\n";
+    }
+    out += std::string("variant = ") +
+           (variant == timing::DesignVariant::kConventional ? "conventional" : "critical-range") +
+           "\n";
+    if (lut_guard_ps >= 0) out += "guard_ps = " + format_double(lut_guard_ps) + "\n";
+    if (min_occurrences >= 0) out += "min_occurrences = " + std::to_string(min_occurrences) + "\n";
+    if (jobs > 0) out += "jobs = " + std::to_string(jobs) + "\n";
+    return out;
+}
+
+}  // namespace focs::runtime

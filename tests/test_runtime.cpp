@@ -1,0 +1,180 @@
+// Sweep runtime tests: parallel determinism (the central contract — a
+// --jobs N run must be byte-identical to a serial run of the same spec),
+// exactly-once artifact construction, JSON round-trips, and spec parsing.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "runtime/artifact_cache.hpp"
+#include "runtime/result_io.hpp"
+#include "runtime/sweep_engine.hpp"
+#include "runtime/sweep_spec.hpp"
+
+namespace focs::runtime {
+namespace {
+
+/// Small but multi-axis spec: 3 kernels x 2 policies x 2 generators, one
+/// voltage; 12 cells, enough to keep 4 workers busy concurrently.
+SweepSpec small_spec() {
+    SweepSpec spec;
+    spec.kernels = {"crc32", "fibcall", "bitcount"};
+    spec.policies = {core::PolicyKind::kInstructionLut, core::PolicyKind::kStatic};
+    spec.generators = {GeneratorSpec::parse("ideal"), GeneratorSpec::parse("taps:8")};
+    return spec;
+}
+
+TEST(SweepEngine, ParallelRunIsByteIdenticalToSerial) {
+    const SweepEngine serial(1);
+    const SweepEngine parallel(4);
+    SweepResult a = serial.run(small_spec());
+    SweepResult b = parallel.run(small_spec());
+    EXPECT_EQ(a.jobs, 1);
+    EXPECT_EQ(b.jobs, 4);
+    ASSERT_EQ(a.cells.size(), b.cells.size());
+    // The canonical document excludes run-dependent timing fields; on equal
+    // specs it must match byte for byte regardless of the job count.
+    EXPECT_EQ(to_json(a, /*include_timing=*/false), to_json(b, /*include_timing=*/false));
+}
+
+TEST(SweepEngine, CharacterizesEachOperatingPointExactlyOnce) {
+    auto cache = std::make_shared<ArtifactCache>();
+    const SweepEngine engine(4, cache);
+    SweepSpec spec = small_spec();
+    spec.voltages_v = {0.70, 0.80};
+
+    const SweepResult result = engine.run(spec);
+    EXPECT_EQ(result.cells.size(), 24u);
+    // Two voltages -> two delay tables, each built once despite 12 cells
+    // racing for it.
+    EXPECT_EQ(result.characterizations, 2u);
+    EXPECT_EQ(cache->characterizations_built(), 2u);
+
+    // A second sweep over the same grid is served entirely from the cache.
+    const SweepResult again = engine.run(spec);
+    EXPECT_EQ(again.characterizations, 0u);
+    EXPECT_EQ(to_json(result, false), to_json(again, false));
+}
+
+TEST(SweepEngine, CellsArriveInSpecDeclarationOrder) {
+    const SweepEngine engine(4);
+    const SweepResult result = engine.run(small_spec());
+    ASSERT_EQ(result.cells.size(), 12u);
+    // kernel-major, then policy, then generator.
+    EXPECT_EQ(result.cells[0].kernel, "crc32");
+    EXPECT_EQ(result.cells[0].policy, "lut");
+    EXPECT_EQ(result.cells[0].generator, "ideal");
+    EXPECT_EQ(result.cells[1].generator, "taps:8");
+    EXPECT_EQ(result.cells[2].policy, "static");
+    EXPECT_EQ(result.cells[4].kernel, "fibcall");
+    EXPECT_EQ(result.cells[8].kernel, "bitcount");
+    for (const auto& cell : result.cells) {
+        EXPECT_EQ(cell.result.guest.exit_code, 0u) << cell.kernel;
+        EXPECT_EQ(cell.result.timing_violations, 0u) << cell.kernel;
+        EXPECT_GT(cell.result.eff_freq_mhz, 0.0) << cell.kernel;
+    }
+}
+
+TEST(SweepEngine, PreseededTableSkipsCharacterization) {
+    auto cache = std::make_shared<ArtifactCache>();
+    const SweepEngine engine(2, cache);
+    SweepSpec spec = small_spec();
+
+    // Seed the (single) operating point with a trivial table; the sweep must
+    // not characterize at all and must use the seeded fallback everywhere.
+    cache->put_delay_table(spec.design_for(timing::DesignConfig{}.voltage_v),
+                           SweepEngine::analyzer_config_for(spec),
+                           dta::DelayTable(1000.0));
+    const SweepResult result = engine.run(spec);
+    EXPECT_EQ(result.characterizations, 0u);
+    EXPECT_EQ(cache->characterizations_built(), 0u);
+}
+
+TEST(ResultIo, JsonRoundTripIsLossless) {
+    const SweepEngine engine(2);
+    SweepSpec spec = small_spec();
+    spec.kernels = {"crc32"};
+    const SweepResult result = engine.run(spec);
+
+    const std::string json = to_json(result);
+    const SweepResult parsed = from_json(json);
+    EXPECT_EQ(parsed.jobs, result.jobs);
+    EXPECT_EQ(parsed.characterizations, result.characterizations);
+    ASSERT_EQ(parsed.cells.size(), result.cells.size());
+    for (std::size_t i = 0; i < parsed.cells.size(); ++i) {
+        EXPECT_EQ(parsed.cells[i].kernel, result.cells[i].kernel);
+        EXPECT_EQ(parsed.cells[i].result.cycles, result.cells[i].result.cycles);
+        EXPECT_EQ(parsed.cells[i].result.guest.reports, result.cells[i].result.guest.reports);
+    }
+    // Re-serializing the parsed document reproduces it byte for byte ("%.17g"
+    // doubles survive the round trip).
+    EXPECT_EQ(to_json(parsed), json);
+}
+
+TEST(ResultIo, RejectsMalformedDocuments) {
+    EXPECT_THROW(from_json(""), Error);
+    EXPECT_THROW(from_json("{"), Error);
+    EXPECT_THROW(from_json("{\"schema\": \"bogus\"}"), Error);
+    EXPECT_THROW(from_json("{\"schema\": \"focs-sweep-v1\"}"), Error);  // missing fields
+    EXPECT_THROW(from_json("{\"schema\": \"\\uZZZZ\"}"), Error);        // non-hex \u escape
+    EXPECT_THROW(from_json("{\"schema\": \"\\u20ac\"}"), Error);  // beyond control range
+}
+
+TEST(SweepSpec, ParseSerializeRoundTrip) {
+    const char* text =
+        "# Fig. 8 style sweep\n"
+        "kernels = crc32, fibcall\n"
+        "policies = static, lut, genie\n"
+        "generators = ideal, taps:8, pll:1300/1500:4\n"
+        "voltages = 0.7, 0.8\n"
+        "variant = conventional\n"
+        "guard_ps = 30\n"
+        "min_occurrences = 5\n"
+        "jobs = 3\n";
+    const SweepSpec spec = SweepSpec::parse(text);
+    EXPECT_EQ(spec.kernels.size(), 2u);
+    EXPECT_EQ(spec.policies.size(), 3u);
+    ASSERT_EQ(spec.generators.size(), 3u);
+    EXPECT_EQ(spec.generators[2].label(), "pll:1300/1500:4");
+    EXPECT_EQ(spec.voltages_v.size(), 2u);
+    EXPECT_EQ(spec.variant, timing::DesignVariant::kConventional);
+    EXPECT_DOUBLE_EQ(spec.lut_guard_ps, 30.0);
+    EXPECT_EQ(spec.min_occurrences, 5);
+    EXPECT_EQ(spec.jobs, 3);
+    EXPECT_EQ(spec.cell_count(), 2u * 3u * 3u * 2u);
+
+    // serialize -> parse -> serialize is a fixed point.
+    const std::string serialized = spec.serialize();
+    EXPECT_EQ(SweepSpec::parse(serialized).serialize(), serialized);
+}
+
+TEST(SweepSpec, RejectsBadInput) {
+    EXPECT_THROW(SweepSpec::parse("nonsense\n"), Error);
+    EXPECT_THROW(SweepSpec::parse("policies = warp-drive\n"), Error);
+    EXPECT_THROW(SweepSpec::parse("generators = taps:1\n"), Error);
+    EXPECT_THROW(GeneratorSpec::parse("pll:"), Error);
+    EXPECT_THROW(SweepSpec::parse("jobs = -2\n"), Error);
+}
+
+TEST(SweepSpec, ResolvedFillsDefaults) {
+    const SweepSpec resolved = SweepSpec{}.resolved();
+    EXPECT_FALSE(resolved.kernels.empty());
+    ASSERT_EQ(resolved.policies.size(), 1u);
+    EXPECT_EQ(resolved.policies[0], core::PolicyKind::kInstructionLut);
+    ASSERT_EQ(resolved.generators.size(), 1u);
+    EXPECT_EQ(resolved.generators[0].label(), "ideal");
+    ASSERT_EQ(resolved.voltages_v.size(), 1u);
+    EXPECT_DOUBLE_EQ(resolved.voltages_v[0], timing::DesignConfig{}.voltage_v);
+}
+
+TEST(ArtifactCache, ProgramsAreSharedAndCounted) {
+    ArtifactCache cache;
+    const auto first = cache.program("crc32");
+    const auto second = cache.program("crc32");
+    EXPECT_EQ(&first.get(), &second.get());  // same shared state
+    EXPECT_EQ(cache.cache_hits(), 1u);
+    EXPECT_THROW(cache.program("no-such-kernel").get(), Error);
+}
+
+}  // namespace
+}  // namespace focs::runtime

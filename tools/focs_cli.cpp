@@ -8,7 +8,12 @@
 //   focs evaluate <file.s|kernel:NAME> [--lut lut.txt] [--policy P] [--taps N]
 //                                               delay-annotated run; P in
 //                                               static|two-class|ex-only|lut|genie
-//   focs suite [--lut lut.txt] [--policy P]     run the whole Fig. 8 suite
+//   focs suite [--lut lut.txt] [--policy P] [--jobs N]
+//                                               run the whole Fig. 8 suite
+//   focs sweep <spec.sweep> [--jobs N] [-o results.json]
+//                                               batch-evaluate a (kernel x
+//                                               policy x generator x voltage)
+//                                               grid on the parallel runtime
 //
 // Programs are read from a file path, or from the bundled workloads with
 // the "kernel:" prefix (e.g. kernel:crc32).
@@ -23,11 +28,15 @@
 #include "asm/assembler.hpp"
 #include "clock/clock_generator.hpp"
 #include "common/error.hpp"
+#include "common/strings.hpp"
 #include "common/units.hpp"
 #include "common/table.hpp"
 #include "core/dca_engine.hpp"
 #include "core/flows.hpp"
 #include "core/mix_stats.hpp"
+#include "runtime/result_io.hpp"
+#include "runtime/sweep_engine.hpp"
+#include "runtime/sweep_spec.hpp"
 #include "sim/machine.hpp"
 #include "sim/trace_printer.hpp"
 #include "workloads/kernel.hpp"
@@ -44,7 +53,8 @@ using namespace focs;
                  "  run <file.s|kernel:NAME> [--trace N]\n"
                  "  characterize [-o lut.txt] [--conventional] [--voltage V]\n"
                  "  evaluate <file.s|kernel:NAME> [--lut lut.txt] [--policy P] [--taps N]\n"
-                 "  suite [--lut lut.txt] [--policy P]\n"
+                 "  suite [--lut lut.txt] [--policy P] [--jobs N]\n"
+                 "  sweep <spec.sweep> [--jobs N] [-o results.json]\n"
                  "  stats <file.s|kernel:NAME> [--lut lut.txt]\n");
     std::exit(2);
 }
@@ -75,13 +85,13 @@ bool flag_present(const std::vector<std::string>& args, const char* name) {
     return false;
 }
 
-core::PolicyKind parse_policy(const std::string& name) {
-    if (name == "static") return core::PolicyKind::kStatic;
-    if (name == "two-class") return core::PolicyKind::kTwoClass;
-    if (name == "ex-only") return core::PolicyKind::kExOnly;
-    if (name == "lut") return core::PolicyKind::kInstructionLut;
-    if (name == "genie") return core::PolicyKind::kGenie;
-    throw Error("unknown policy '" + name + "' (static|two-class|ex-only|lut|genie)");
+int parse_jobs(const std::vector<std::string>& args) {
+    if (const auto n = flag_value(args, "--jobs")) {
+        const auto jobs = parse_int(*n);
+        if (!jobs || *jobs < 1 || *jobs > 4096) throw Error("--jobs wants an integer in [1, 4096]");
+        return static_cast<int>(*jobs);
+    }
+    return 0;
 }
 
 dta::DelayTable load_or_build_table(const std::vector<std::string>& args,
@@ -170,7 +180,7 @@ int cmd_evaluate(const std::vector<std::string>& args) {
     if (const auto v = flag_value(args, "--voltage")) design.voltage_v = std::stod(*v);
     const auto program = assembler::assemble(load_source(args[0]));
     const dta::DelayTable table = load_or_build_table(args, design);
-    const auto kind = parse_policy(flag_value(args, "--policy").value_or("lut"));
+    const auto kind = core::parse_policy_kind(flag_value(args, "--policy").value_or("lut"));
 
     core::DcaEngine engine(design);
     const auto policy = core::make_policy(kind, table, engine.calculator().static_period_ps());
@@ -209,21 +219,66 @@ int cmd_stats(const std::vector<std::string>& args) {
 }
 
 int cmd_suite(const std::vector<std::string>& args) {
-    timing::DesignConfig design;
-    const dta::DelayTable table = load_or_build_table(args, design);
-    const auto kind = parse_policy(flag_value(args, "--policy").value_or("lut"));
-    const core::EvaluationFlow flow(design, table);
-    const auto result =
-        flow.run_suite(workloads::assemble_suite(workloads::benchmark_suite()), kind);
+    // The whole Fig. 8 suite is a one-policy sweep; running it through the
+    // runtime gives --jobs parallelism with identical (spec-ordered) rows.
+    runtime::SweepSpec spec;
+    spec.policies.push_back(core::parse_policy_kind(flag_value(args, "--policy").value_or("lut")));
+
+    const runtime::SweepEngine engine(parse_jobs(args));
+    if (flag_value(args, "--lut")) {
+        engine.cache()->put_delay_table(spec.design_for(timing::DesignConfig{}.voltage_v),
+                                        runtime::SweepEngine::analyzer_config_for(spec),
+                                        load_or_build_table(args, timing::DesignConfig{}));
+    }
+    const auto result = engine.run(spec);
+
     TextTable out({"Benchmark", "Cycles", "Eff. clock [MHz]", "Speedup", "Violations"});
-    for (const auto& row : result.rows) {
-        out.add_row({row.benchmark, std::to_string(row.result.cycles),
-                     TextTable::num(row.result.eff_freq_mhz, 1),
-                     TextTable::num(row.result.speedup_vs_static, 3),
-                     std::to_string(row.result.timing_violations)});
+    for (const auto& cell : result.cells) {
+        out.add_row({cell.kernel, std::to_string(cell.result.cycles),
+                     TextTable::num(cell.result.eff_freq_mhz, 1),
+                     TextTable::num(cell.result.speedup_vs_static, 3),
+                     std::to_string(cell.result.timing_violations)});
     }
     std::printf("%s", out.to_string().c_str());
     std::printf("average: %.1f MHz, %.3fx\n", result.mean_eff_freq_mhz, result.mean_speedup);
+    std::printf("(%d jobs, %.0f ms, %llu characterization%s)\n", result.jobs, result.wall_ms,
+                static_cast<unsigned long long>(result.characterizations),
+                result.characterizations == 1 ? "" : "s");
+    return 0;
+}
+
+int cmd_sweep(const std::vector<std::string>& args) {
+    if (args.empty()) usage();
+    std::ifstream in(args[0]);
+    if (!in) throw Error("cannot open " + args[0]);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const runtime::SweepSpec spec = runtime::SweepSpec::parse(buffer.str());
+
+    const runtime::SweepEngine engine(parse_jobs(args));
+    const auto result = engine.run(spec);
+
+    TextTable out({"Kernel", "Policy", "Generator", "V [V]", "Eff. clock [MHz]", "Speedup",
+                   "Violations"});
+    for (const auto& cell : result.cells) {
+        out.add_row({cell.kernel, cell.policy, cell.generator, TextTable::num(cell.voltage_v, 2),
+                     TextTable::num(cell.result.eff_freq_mhz, 1),
+                     TextTable::num(cell.result.speedup_vs_static, 3),
+                     std::to_string(cell.result.timing_violations)});
+    }
+    std::printf("%s", out.to_string().c_str());
+    std::printf("%zu cells, %d jobs, %.0f ms wall, %llu characterization%s, %llu cache hits\n",
+                result.cells.size(), result.jobs, result.wall_ms,
+                static_cast<unsigned long long>(result.characterizations),
+                result.characterizations == 1 ? "" : "s",
+                static_cast<unsigned long long>(result.cache_hits));
+
+    if (const auto path = flag_value(args, "-o")) {
+        std::ofstream json_out(*path);
+        if (!json_out) throw Error("cannot write " + *path);
+        json_out << runtime::to_json(result);
+        std::printf("results written to %s\n", path->c_str());
+    }
     return 0;
 }
 
@@ -241,6 +296,7 @@ int main(int argc, char** argv) {
         if (command == "characterize") return cmd_characterize(args);
         if (command == "evaluate") return cmd_evaluate(args);
         if (command == "suite") return cmd_suite(args);
+        if (command == "sweep") return cmd_sweep(args);
         if (command == "stats") return cmd_stats(args);
         usage();
     } catch (const std::exception& e) {

@@ -1,0 +1,6 @@
+#!/usr/bin/env sh
+# Tier-1 verification: configure, build everything, run the test suite.
+# This is the exact line CI and the repo roadmap gate on.
+set -eu
+cd "$(dirname "$0")/.."
+cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
