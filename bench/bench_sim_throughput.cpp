@@ -3,15 +3,31 @@
 // The paper stresses that the custom delay-annotated ISS enables "rapid
 // evaluation ... for any complex benchmark"; these benchmarks document the
 // throughput of this reproduction's equivalents: the bare cycle-accurate
-// pipeline, the DCA-annotated engine, and the full characterization flow.
+// pipeline, the DCA-annotated engine, and the full characterization flow in
+// both its streaming (single-pass, allocation-free) and materialized
+// (offline event log) modes.
+//
+// Besides the google-benchmark suite, the binary emits a machine-readable
+// BENCH_sim_throughput.json artifact (path override: FOCS_BENCH_JSON env
+// var) with cycles/sec and peak-RSS figures for both characterization modes
+// and the evaluation hot loop, next to the pre-PR baseline those numbers
+// are tracked against. CI uploads it so the perf trajectory is diffable
+// across commits.
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <string>
 
 #include "asm/assembler.hpp"
 #include "core/dca_engine.hpp"
 #include "core/flows.hpp"
 #include "dta/gatesim.hpp"
+#include "runtime/result_io.hpp"
 #include "runtime/sweep_engine.hpp"
 #include "sim/machine.hpp"
 #include "timing/netlist.hpp"
@@ -25,6 +41,12 @@ const assembler::Program& coremark_program() {
     static const assembler::Program program =
         assembler::assemble(workloads::find_kernel("coremark_mini").source);
     return program;
+}
+
+const std::vector<assembler::Program>& characterization_programs() {
+    static const std::vector<assembler::Program> programs =
+        workloads::assemble_programs(workloads::characterization_suite());
+    return programs;
 }
 
 void BM_PipelineCycles(benchmark::State& state) {
@@ -56,6 +78,24 @@ void BM_DcaEngineCycles(benchmark::State& state) {
 }
 BENCHMARK(BM_DcaEngineCycles)->Unit(benchmark::kMillisecond);
 
+// The full evaluation unit the sweep runtime schedules: delay-annotated run
+// under the per-instruction LUT policy (the paper's proposal).
+void BM_EvaluateCellLut(benchmark::State& state) {
+    const timing::DesignConfig design;
+    static const dta::DelayTable table =
+        core::CharacterizationFlow(design).run(characterization_programs()).table;
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        const auto result = core::evaluate_cell(design, table, coremark_program(),
+                                                core::PolicyKind::kInstructionLut);
+        cycles += result.cycles;
+        benchmark::DoNotOptimize(result.speedup_vs_static);
+    }
+    state.counters["cycles/s"] = benchmark::Counter(static_cast<double>(cycles),
+                                                    benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EvaluateCellLut)->Unit(benchmark::kMillisecond);
+
 void BM_GateLevelEventEmission(benchmark::State& state) {
     const timing::DesignConfig design;
     const auto netlist = timing::SyntheticNetlist::generate(design);
@@ -73,6 +113,40 @@ void BM_GateLevelEventEmission(benchmark::State& state) {
                                                     benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_GateLevelEventEmission)->Unit(benchmark::kMillisecond);
+
+// Full characterization flow over the whole suite, one timer tick per flow
+// run: streaming (single-pass EventSink ingestion) vs. materialized (merged
+// event log, then offline analysis). Both produce byte-identical LUTs; the
+// streaming mode is the sweep runtime's default.
+void BM_CharacterizationStreaming(benchmark::State& state) {
+    const timing::DesignConfig design;
+    const core::CharacterizationFlow flow(design);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        const auto result =
+            flow.run(characterization_programs(), core::CharacterizationMode::kStreaming);
+        cycles += result.cycles;
+        benchmark::DoNotOptimize(result.genie_mean_period_ps);
+    }
+    state.counters["cycles/s"] = benchmark::Counter(static_cast<double>(cycles),
+                                                    benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CharacterizationStreaming)->Unit(benchmark::kMillisecond);
+
+void BM_CharacterizationMaterialized(benchmark::State& state) {
+    const timing::DesignConfig design;
+    const core::CharacterizationFlow flow(design);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        const auto result =
+            flow.run(characterization_programs(), core::CharacterizationMode::kMaterialized);
+        cycles += result.cycles;
+        benchmark::DoNotOptimize(result.genie_mean_period_ps);
+    }
+    state.counters["cycles/s"] = benchmark::Counter(static_cast<double>(cycles),
+                                                    benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CharacterizationMaterialized)->Unit(benchmark::kMillisecond);
 
 void BM_Assembler(benchmark::State& state) {
     const auto& kernel = workloads::find_kernel("coremark_mini");
@@ -125,6 +199,148 @@ BENCHMARK(BM_SweepEngineScaling)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// ------------------------------------------------------------- JSON artifact
+
+/// Resident-set high-water mark of this process, KiB.
+long peak_rss_kb() {
+    rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    return usage.ru_maxrss;
+}
+
+struct TimedRun {
+    double cycles_per_s = 0;
+    std::uint64_t cycles = 0;
+};
+
+template <typename Fn>
+TimedRun timed_cycles(int reps, Fn&& run) {
+    run();  // warm-up (untimed)
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t cycles = 0;
+    for (int i = 0; i < reps; ++i) cycles += run();
+    const double seconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+    return {seconds > 0 ? static_cast<double>(cycles) / seconds : 0, cycles};
+}
+
+/// Pre-PR throughput of the seed implementation (materialized-only
+/// characterization, per-fetch decode, checked per-stage LUT lookups),
+/// measured on the CI-class dev host this repository is benchmarked on.
+/// These anchor the speedup fields below; on a different host compare the
+/// measured absolute numbers against its own recorded history instead.
+constexpr double kBaselineCharacterizationCyclesPerS = 236379.0;
+constexpr double kBaselineEvaluationCyclesPerS = 3780784.0;
+
+void emit_artifact() {
+    using runtime::json_number;
+    using runtime::json_string;
+
+    const timing::DesignConfig design;
+    const core::CharacterizationFlow flow(design);
+    const auto& programs = characterization_programs();
+
+    // Peak-RSS protocol: measure the streaming mode first (1x, then 4x the
+    // program list) so the monotonic high-water mark can prove that
+    // streaming peak memory does not scale with cycle count; only then run
+    // the materialized mode, whose event log dwarfs both.
+    std::vector<assembler::Program> programs_4x;
+    programs_4x.reserve(programs.size() * 4);
+    for (int i = 0; i < 4; ++i) {
+        programs_4x.insert(programs_4x.end(), programs.begin(), programs.end());
+    }
+
+    const long rss_start_kb = peak_rss_kb();
+    dta::DelayTable table;  // captured from the timed runs for the eval bench
+    const TimedRun streaming = timed_cycles(3, [&] {
+        auto result = flow.run(programs, core::CharacterizationMode::kStreaming);
+        table = std::move(result.table);
+        return result.cycles;
+    });
+    const long rss_streaming_kb = peak_rss_kb();
+    const TimedRun streaming_4x = timed_cycles(1, [&] {
+        return flow.run(programs_4x, core::CharacterizationMode::kStreaming).cycles;
+    });
+    const long rss_streaming_4x_kb = peak_rss_kb();
+    const TimedRun materialized = timed_cycles(3, [&] {
+        return flow.run(programs, core::CharacterizationMode::kMaterialized).cycles;
+    });
+    const long rss_materialized_kb = peak_rss_kb();
+
+    const TimedRun evaluation = timed_cycles(200, [&] {
+        return core::evaluate_cell(design, table, coremark_program(),
+                                   core::PolicyKind::kInstructionLut)
+            .cycles;
+    });
+
+    std::string out = "{\n";
+    out += "  \"schema\": " + json_string("focs-bench-sim-throughput-v1") + ",\n";
+    out += "  \"baseline\": {\n";
+    out += "    \"note\": " +
+           json_string("pre-PR seed implementation, commit edd42a9, measured on the repo's dev "
+                       "host; the speedup fields below are only meaningful on comparable "
+                       "hardware — on other hosts (e.g. CI runners) track the absolute "
+                       "cycles/s against that host's own artifact history") +
+           ",\n";
+    out += "    \"characterization_cycles_per_s\": " +
+           json_number(kBaselineCharacterizationCyclesPerS) + ",\n";
+    out += "    \"evaluation_cycles_per_s\": " + json_number(kBaselineEvaluationCyclesPerS) +
+           "\n  },\n";
+    out += "  \"characterization\": {\n";
+    out += "    \"suite_cycles\": " + std::to_string(streaming.cycles / 3) + ",\n";
+    out += "    \"streaming_cycles_per_s\": " + json_number(streaming.cycles_per_s) + ",\n";
+    out += "    \"streaming_4x_cycles_per_s\": " + json_number(streaming_4x.cycles_per_s) + ",\n";
+    out += "    \"materialized_cycles_per_s\": " + json_number(materialized.cycles_per_s) + ",\n";
+    out += "    \"streaming_speedup_vs_baseline\": " +
+           json_number(streaming.cycles_per_s / kBaselineCharacterizationCyclesPerS) + "\n  },\n";
+    out += "  \"evaluation\": {\n";
+    out += "    \"lut_cycles_per_s\": " + json_number(evaluation.cycles_per_s) + ",\n";
+    out += "    \"lut_speedup_vs_baseline\": " +
+           json_number(evaluation.cycles_per_s / kBaselineEvaluationCyclesPerS) + "\n  },\n";
+    out += "  \"peak_rss\": {\n";
+    out += "    \"note\": " +
+           json_string("deltas of the process high-water mark; streaming stays bounded under "
+                       "4x the cycles (only capped sample buffers fill further), while the "
+                       "materialized event log scales with cycle count") +
+           ",\n";
+    out += "    \"streaming_delta_kb\": " + std::to_string(rss_streaming_kb - rss_start_kb) +
+           ",\n";
+    out += "    \"streaming_4x_cycles_extra_delta_kb\": " +
+           std::to_string(rss_streaming_4x_kb - rss_streaming_kb) + ",\n";
+    out += "    \"materialized_extra_delta_kb\": " +
+           std::to_string(rss_materialized_kb - rss_streaming_4x_kb) + "\n  }\n";
+    out += "}\n";
+
+    const char* env_path = std::getenv("FOCS_BENCH_JSON");
+    const std::string path = env_path != nullptr ? env_path : "BENCH_sim_throughput.json";
+    std::ofstream file(path);
+    if (!file) {
+        // Still print the document so the numbers aren't lost; the
+        // benchmark suite should run regardless.
+        std::fprintf(stderr, "cannot write %s; artifact follows on stdout\n", path.c_str());
+        std::printf("%s", out.c_str());
+        return;
+    }
+    file << out;
+    std::printf("\nwrote %s:\n%s", path.c_str(), out.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    // Purely informational invocations should not pay the artifact's
+    // multi-run measurement protocol.
+    bool list_only = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("--benchmark_list_tests", 0) == 0) list_only = true;
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    // The artifact runs first: its peak-RSS protocol needs a clean process
+    // high-water mark, which the benchmark suite (with its materialized
+    // characterization runs) would otherwise pollute.
+    if (!list_only) emit_artifact();
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

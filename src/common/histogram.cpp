@@ -29,6 +29,18 @@ void Histogram::merge(const Histogram& other) {
     stats_.merge(other.stats_);
 }
 
+Histogram Histogram::coarsened(int new_bins) const {
+    check(new_bins > 0 && bins() % new_bins == 0,
+          "coarsened bin count must divide the histogram's bin count");
+    Histogram out(lo_, hi_, new_bins);
+    const std::size_t group = counts_.size() / static_cast<std::size_t>(new_bins);
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        out.counts_[i / group] += counts_[i];
+    }
+    out.stats_ = stats_;
+    return out;
+}
+
 double Histogram::quantile(double q) const {
     if (total() == 0) return lo_;
     q = std::clamp(q, 0.0, 1.0);

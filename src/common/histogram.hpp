@@ -23,6 +23,13 @@ public:
     /// Merges a histogram with identical binning.
     void merge(const Histogram& other);
 
+    /// Returns a copy with `bins` coarser bins (`bins` must divide bins()).
+    /// Counts are summed groupwise; the summary statistics carry over
+    /// unchanged since they describe the underlying samples, not the bins.
+    /// Lets a fine-grained accumulator (e.g. the streaming analyzer's
+    /// figure histograms) serve figure queries at any coarser resolution.
+    Histogram coarsened(int bins) const;
+
     double lo() const { return lo_; }
     double hi() const { return hi_; }
     int bins() const { return static_cast<int>(counts_.size()); }

@@ -18,40 +18,55 @@ CharacterizationFlow::CharacterizationFlow(const timing::DesignConfig& design,
     }
 }
 
-CharacterizationResult CharacterizationFlow::run(
-    const std::vector<assembler::Program>& programs) const {
-    check(!programs.empty(), "characterization needs at least one program");
+namespace {
 
-    // Gate-level-style simulation of every program; cycles are concatenated
-    // into one global timeline before analysis.
-    dta::EventLog merged_log;
-    dta::OccupancyTrace merged_trace;
-    std::uint64_t cycle_offset = 0;
-    for (const auto& program : programs) {
-        sim::Machine machine(machine_config_);
-        machine.load(program);
-        dta::GateLevelSimulation gatesim(netlist_, calculator_);
-        const sim::RunResult run = machine.run(&gatesim);
-        if (run.exit_code != 0) {
-            throw GuestError("characterization program failed self-check (exit code " +
-                             std::to_string(run.exit_code) + ")");
-        }
-        for (dta::EndpointEvent event : gatesim.event_log().events()) {
-            event.cycle += cycle_offset;
-            merged_log.add(event);
-        }
-        for (dta::TraceEntry entry : gatesim.trace().entries()) {
-            entry.cycle += cycle_offset;
-            merged_trace.add(entry);
-        }
-        cycle_offset += gatesim.trace().size();
+void check_self_check(const sim::RunResult& run) {
+    if (run.exit_code != 0) {
+        throw GuestError("characterization program failed self-check (exit code " +
+                         std::to_string(run.exit_code) + ")");
     }
+}
+
+}  // namespace
+
+CharacterizationResult CharacterizationFlow::run(const std::vector<assembler::Program>& programs,
+                                                 CharacterizationMode mode) const {
+    check(!programs.empty(), "characterization needs at least one program");
 
     auto analysis = std::make_shared<dta::DynamicTimingAnalysis>(
         dta::PipelineSpec::from_netlist(netlist_), analyzer_config_);
-    analysis->analyze(merged_log, merged_trace);
 
     CharacterizationResult result;
+    if (mode == CharacterizationMode::kStreaming) {
+        // Single pass: one streaming analyzer consumes every program's cycle
+        // stream back to back. Per-program cycle numbering is irrelevant to
+        // the accumulators, so no merged timeline is needed.
+        for (const auto& program : programs) {
+            sim::Machine machine(machine_config_);
+            machine.load(program);
+            dta::GateLevelSimulation gatesim(netlist_, calculator_, *analysis);
+            check_self_check(machine.run(&gatesim));
+        }
+    } else {
+        // Gate-level-style simulation of every program; cycles are
+        // concatenated into one global timeline before analysis.
+        auto merged_log = std::make_shared<dta::EventLog>();
+        auto merged_trace = std::make_shared<dta::OccupancyTrace>();
+        std::uint64_t cycle_offset = 0;
+        for (const auto& program : programs) {
+            sim::Machine machine(machine_config_);
+            machine.load(program);
+            dta::GateLevelSimulation gatesim(netlist_, calculator_);
+            check_self_check(machine.run(&gatesim));
+            merged_log->append_shifted(gatesim.event_log(), cycle_offset);
+            merged_trace->append_shifted(gatesim.trace(), cycle_offset);
+            cycle_offset += gatesim.trace().size();
+        }
+        analysis->analyze(*merged_log, *merged_trace);
+        result.event_log = std::move(merged_log);
+        result.trace = std::move(merged_trace);
+    }
+
     result.table = analysis->build_delay_table();
     result.static_period_ps = analyzer_config_.static_period_ps;
     result.genie_mean_period_ps = analysis->genie_mean_period_ps();

@@ -23,6 +23,20 @@
 
 namespace focs::core {
 
+/// How the characterization flow ingests the gate-level event stream.
+enum class CharacterizationMode {
+    /// Single-pass: every cycle's events are folded into the analyzer as
+    /// they are produced. No event log is materialized, so peak memory is
+    /// independent of the cycle count. Produces delay tables byte-identical
+    /// to the materialized path. This is the default (and what the sweep
+    /// runtime uses).
+    kStreaming,
+    /// Materializes the merged EventLog/OccupancyTrace before analysis.
+    /// Opt-in for offline serialization of the logs and for golden tests;
+    /// also retains the analyzer's per-cycle delay vector.
+    kMaterialized,
+};
+
 struct CharacterizationResult {
     dta::DelayTable table;
     double static_period_ps = 0;
@@ -32,6 +46,10 @@ struct CharacterizationResult {
     /// Full analysis object for figure-level queries (histograms, per-
     /// instruction stats).
     std::shared_ptr<dta::DynamicTimingAnalysis> analysis;
+    /// Merged gate-level artifacts for offline dumps; populated only in
+    /// CharacterizationMode::kMaterialized.
+    std::shared_ptr<const dta::EventLog> event_log;
+    std::shared_ptr<const dta::OccupancyTrace> trace;
 };
 
 class CharacterizationFlow {
@@ -43,7 +61,11 @@ public:
     /// Runs every program through the gate-level-style flow and merges all
     /// cycles into one analysis (the paper's characterization benchmark of
     /// ~14k cycles is a concatenation of kernels and semi-random tests).
-    CharacterizationResult run(const std::vector<assembler::Program>& programs) const;
+    /// Both modes produce byte-identical delay tables; see
+    /// CharacterizationMode for the trade-off.
+    CharacterizationResult run(
+        const std::vector<assembler::Program>& programs,
+        CharacterizationMode mode = CharacterizationMode::kStreaming) const;
 
     const timing::SyntheticNetlist& netlist() const { return netlist_; }
     const timing::DelayCalculator& calculator() const { return calculator_; }

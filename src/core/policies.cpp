@@ -31,8 +31,9 @@ InstructionLutPolicy::InstructionLutPolicy(const DelayTable& table, double margi
 }
 
 double InstructionLutPolicy::requested_period_ps(const PolicyContext& context) {
-    const auto keys = dta::attribution_keys(context.record);
-    return table_->cycle_period_ps(keys) + margin_ps_;
+    // Fused attribution + lookup: this runs once per simulated cycle and is
+    // the per-cycle cost the paper's controller would pay in hardware.
+    return table_->cycle_period_ps(context.record) + margin_ps_;
 }
 
 ExOnlyPolicy::ExOnlyPolicy(const DelayTable& table) : table_(&table) {
@@ -129,8 +130,7 @@ ApproximateLutPolicy::ApproximateLutPolicy(const DelayTable& table, double scale
 }
 
 double ApproximateLutPolicy::requested_period_ps(const PolicyContext& context) {
-    const auto keys = dta::attribution_keys(context.record);
-    return table_->cycle_period_ps(keys) * scale_;
+    return table_->cycle_period_ps(context.record) * scale_;
 }
 
 std::string ApproximateLutPolicy::name() const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace focs::dta {
 
@@ -24,10 +25,55 @@ DynamicTimingAnalysis::DynamicTimingAnalysis(PipelineSpec spec, AnalyzerConfig c
     check(config_.static_period_ps > 0, "analyzer needs the static period as fallback");
 }
 
+double DynamicTimingAnalysis::accumulate_cycle(
+    const std::array<OccKey, sim::kStageCount>& keys,
+    const std::array<double, sim::kStageCount>& delays) {
+    int limiting = 0;
+    for (int s = 1; s < sim::kStageCount; ++s) {
+        if (delays[static_cast<std::size_t>(s)] > delays[static_cast<std::size_t>(limiting)]) {
+            limiting = s;
+        }
+    }
+    ++limiting_counts_[static_cast<std::size_t>(limiting)];
+
+    for (int s = 0; s < sim::kStageCount; ++s) {
+        const OccKey key = keys[static_cast<std::size_t>(s)];
+        const double delay = delays[static_cast<std::size_t>(s)];
+        auto& ks = key_stats_[static_cast<std::size_t>(key)][static_cast<std::size_t>(s)];
+        ++ks.occurrences;
+        ks.max_ps = std::max(ks.max_ps, delay);
+        ks.stats.add(delay);
+        auto& samples = key_samples_[static_cast<std::size_t>(key)][static_cast<std::size_t>(s)];
+        const auto cap = static_cast<std::size_t>(config_.sample_cap);
+        if (config_.sample_cap <= 0 || samples.size() < cap) {
+            samples.push_back(static_cast<float>(delay));
+        } else {
+            // Deterministic reservoir sampling: each of the ks.occurrences
+            // observations ends up in the retained set with equal
+            // probability, so capped histograms stay representative of the
+            // whole run instead of its first cap cycles. Hash-derived
+            // indices keep reruns (and the streaming vs. materialized
+            // paths, which see the same sequence) bit-identical.
+            const std::uint64_t slot = splitmix64(
+                (static_cast<std::uint64_t>(key) << 40) ^
+                (static_cast<std::uint64_t>(s) << 32) ^ ks.occurrences);
+            if (const std::uint64_t r = slot % ks.occurrences; r < cap) {
+                samples[static_cast<std::size_t>(r)] = static_cast<float>(delay);
+            }
+        }
+    }
+    return delays[static_cast<std::size_t>(limiting)];
+}
+
 void DynamicTimingAnalysis::analyze(const EventLog& log, const OccupancyTrace& trace) {
+    check(!streaming_, "cannot mix materialized analysis with streaming ingestion");
+    // One-shot: a second analyze() would reset the per-cycle state but keep
+    // accumulating key statistics, leaving the instance inconsistent.
+    check(cycles_ == 0, "analyze() may only be called once per instance");
     const std::uint64_t cycles = trace.size();
     cycle_delays_.assign(cycles, {});
     limiting_counts_ = {};
+    cycles_ = cycles;
 
     // Phase 1 (per-endpoint slack -> per-stage grouping -> per-cycle maxima).
     // The paper identifies, per endpoint and cycle, the last data event and
@@ -51,29 +97,49 @@ void DynamicTimingAnalysis::analyze(const EventLog& log, const OccupancyTrace& t
     // Phase 2: limiting-stage attribution and per-instruction extraction.
     for (const auto& entry : trace.entries()) {
         check(entry.cycle < cycles, "trace cycle out of range");
-        const auto& delays = cycle_delays_[entry.cycle];
-        int limiting = 0;
-        for (int s = 1; s < sim::kStageCount; ++s) {
-            if (delays[static_cast<std::size_t>(s)] > delays[static_cast<std::size_t>(limiting)]) {
-                limiting = s;
-            }
-        }
-        ++limiting_counts_[static_cast<std::size_t>(limiting)];
-
-        for (int s = 0; s < sim::kStageCount; ++s) {
-            const OccKey key = entry.keys[static_cast<std::size_t>(s)];
-            const double delay = delays[static_cast<std::size_t>(s)];
-            auto& ks = key_stats_[static_cast<std::size_t>(key)][static_cast<std::size_t>(s)];
-            ++ks.occurrences;
-            ks.max_ps = std::max(ks.max_ps, delay);
-            ks.stats.add(delay);
-            key_samples_[static_cast<std::size_t>(key)][static_cast<std::size_t>(s)].push_back(
-                static_cast<float>(delay));
-        }
+        accumulate_cycle(entry.keys, cycle_delays_[entry.cycle]);
     }
 }
 
+void DynamicTimingAnalysis::consume_cycle(const TraceEntry& entry,
+                                          std::span<const EndpointEvent> events) {
+    check(cycle_delays_.empty(), "cannot mix streaming ingestion with materialized analysis");
+    if (!streaming_) {
+        streaming_ = true;
+        // Constant-size figure accumulators replacing the per-cycle delay
+        // vector of the materialized mode.
+        const double hi = config_.static_period_ps * 1.02;
+        figure_hists_.reserve(1 + sim::kStageCount);
+        for (int i = 0; i < 1 + sim::kStageCount; ++i) {
+            figure_hists_.emplace_back(0.0, hi, kStreamingFigureBins);
+        }
+    }
+
+    // Same slack recovery as analyze() phase 1, folded into a stack-local
+    // per-stage array instead of the materialized per-cycle vector.
+    std::array<double, sim::kStageCount> delays{};
+    for (const auto& event : events) {
+        const auto id = static_cast<std::size_t>(event.endpoint_id);
+        check(id < spec_.endpoints.size(), "event stream references an unknown endpoint");
+        const auto& info = spec_.endpoints[id];
+        const double required = event.data_arrival_ps + info.setup_ps - info.skew_ps;
+        const double slack = event.clock_edge_ps - event.data_arrival_ps - info.setup_ps;
+        check(slack >= 0, "gate-level simulation clock violated an endpoint");
+        auto& stage_delay = delays[static_cast<std::size_t>(info.stage)];
+        stage_delay = std::max(stage_delay, required);
+    }
+
+    const double worst = accumulate_cycle(entry.keys, delays);
+    genie_stats_.add(worst);
+    figure_hists_[0].add(worst);
+    for (int s = 0; s < sim::kStageCount; ++s) {
+        figure_hists_[static_cast<std::size_t>(1 + s)].add(delays[static_cast<std::size_t>(s)]);
+    }
+    ++cycles_;
+}
+
 Histogram DynamicTimingAnalysis::genie_histogram(int bins) const {
+    if (streaming_) return figure_hists_[0].coarsened(bins);
     Histogram h(0.0, config_.static_period_ps * 1.02, bins);
     for (const auto& delays : cycle_delays_) {
         h.add(*std::max_element(delays.begin(), delays.end()));
@@ -82,6 +148,9 @@ Histogram DynamicTimingAnalysis::genie_histogram(int bins) const {
 }
 
 Histogram DynamicTimingAnalysis::stage_histogram(sim::Stage stage, int bins) const {
+    if (streaming_) {
+        return figure_hists_[1 + static_cast<std::size_t>(stage)].coarsened(bins);
+    }
     Histogram h(0.0, config_.static_period_ps * 1.02, bins);
     for (const auto& delays : cycle_delays_) {
         h.add(delays[static_cast<std::size_t>(stage)]);
@@ -90,6 +159,7 @@ Histogram DynamicTimingAnalysis::stage_histogram(sim::Stage stage, int bins) con
 }
 
 double DynamicTimingAnalysis::genie_mean_period_ps() const {
+    if (streaming_) return genie_stats_.mean();
     RunningStats stats;
     for (const auto& delays : cycle_delays_) {
         stats.add(*std::max_element(delays.begin(), delays.end()));

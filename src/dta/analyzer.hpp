@@ -7,6 +7,15 @@
 // specification, takes per-stage maxima, attributes them to the occupying
 // instructions, and finally extracts per-(instruction, stage) worst-case
 // delays that populate the delay LUT.
+//
+// Two ingestion modes share the same extraction arithmetic:
+//  - analyze(log, trace): offline analysis of a materialized event log
+//    (events in any order), retaining per-cycle delays for figure queries.
+//  - consume_cycle(...): incremental streaming mode (EventSink). Events are
+//    folded into the per-(key, stage) worst-delay accumulators as they
+//    arrive, cycle by cycle; nothing is materialized, so peak memory is
+//    independent of the number of cycles. Produces delay tables
+//    byte-identical to the materialized path over the same cycle stream.
 #pragma once
 
 #include <array>
@@ -38,7 +47,17 @@ struct AnalyzerConfig {
     double static_period_ps = 0;  ///< STA fallback / report ceiling
     double lut_guard_ps = 25.0;   ///< guard added on observed maxima
     int min_occurrences = 10;     ///< below: fall back to the static limit
+    /// Raw samples retained per (key, stage) for histogram rendering; keeps
+    /// sample memory bounded for arbitrarily long runs. Beyond the cap a
+    /// deterministic reservoir keeps the retained set representative of the
+    /// whole run. 0 = unlimited.
+    int sample_cap = 8192;
 };
+
+/// Fixed resolution of the streaming-mode figure accumulators. Figure
+/// queries (genie_histogram, stage_histogram) serve any bin count that
+/// divides this (covers the 32/40/50-bin figures of the benches).
+inline constexpr int kStreamingFigureBins = 1600;
 
 /// Aggregated delay statistics of one (instruction key, stage) pair.
 struct KeyStageStats {
@@ -47,23 +66,33 @@ struct KeyStageStats {
     RunningStats stats;
 };
 
-class DynamicTimingAnalysis {
+class DynamicTimingAnalysis final : public EventSink {
 public:
     DynamicTimingAnalysis(PipelineSpec spec, AnalyzerConfig config);
 
-    /// Runs the analysis. Events may arrive in any order; the trace must
-    /// contain every cycle referenced by an event.
+    /// Runs the offline analysis. Events may arrive in any order; the trace
+    /// must contain every cycle referenced by an event. Cannot be combined
+    /// with streaming ingestion on the same instance.
     void analyze(const EventLog& log, const OccupancyTrace& trace);
 
+    /// Streaming ingestion (EventSink): folds one cycle's endpoint events
+    /// and occupancy into the accumulators. Call once per cycle, in cycle
+    /// order; chain multiple programs by simply continuing to call it.
+    void consume_cycle(const TraceEntry& entry,
+                       std::span<const EndpointEvent> events) override;
+
     // ---- Per-cycle results (paper Figs. 5/6) -------------------------------
-    /// Recovered per-cycle per-stage maximum dynamic delays.
+    /// Recovered per-cycle per-stage maximum dynamic delays. Materialized
+    /// mode only: empty after streaming ingestion (nothing is retained).
     const std::vector<std::array<double, sim::kStageCount>>& cycle_stage_delays() const {
         return cycle_delays_;
     }
-    /// Histogram of per-cycle maxima over all stages (Fig. 5).
+    /// Histogram of per-cycle maxima over all stages (Fig. 5). In streaming
+    /// mode `bins` must divide kStreamingFigureBins.
     Histogram genie_histogram(int bins = 50) const;
     /// Histogram of one stage's per-cycle maximum delays (the "dynamic
     /// slack distributions ... at pipeline stage granularity" of Sec. II-B).
+    /// In streaming mode `bins` must divide kStreamingFigureBins.
     Histogram stage_histogram(sim::Stage stage, int bins = 50) const;
     /// Mean of the per-cycle maxima: the genie-aided average clock period.
     double genie_mean_period_ps() const;
@@ -71,7 +100,7 @@ public:
     std::array<std::uint64_t, sim::kStageCount> limiting_stage_counts() const {
         return limiting_counts_;
     }
-    std::uint64_t cycles() const { return static_cast<std::uint64_t>(cycle_delays_.size()); }
+    std::uint64_t cycles() const { return cycles_; }
 
     // ---- Per-instruction results (Table II, Fig. 7) ------------------------
     const KeyStageStats& stats(OccKey key, sim::Stage stage) const;
@@ -83,14 +112,27 @@ public:
     DelayTable build_delay_table() const;
 
 private:
+    /// Shared extraction step of both modes: limiting-stage attribution and
+    /// per-(key, stage) statistics for one cycle. Returns the cycle's worst
+    /// stage delay (the genie period of that cycle).
+    double accumulate_cycle(const std::array<OccKey, sim::kStageCount>& keys,
+                            const std::array<double, sim::kStageCount>& delays);
+
     PipelineSpec spec_;
     AnalyzerConfig config_;
+    std::uint64_t cycles_ = 0;
+    bool streaming_ = false;
     std::vector<std::array<double, sim::kStageCount>> cycle_delays_;
     std::array<std::uint64_t, sim::kStageCount> limiting_counts_{};
     std::array<std::array<KeyStageStats, sim::kStageCount>, kKeyCount> key_stats_{};
-    // Raw samples per (key, stage) for histogram rendering; bounded by
-    // sample_cap to keep memory proportional to the characterization run.
+    // Raw samples per (key, stage) for histogram rendering; reservoir-
+    // bounded by config_.sample_cap to keep memory independent of the run
+    // length while remaining representative of the whole run.
     std::array<std::array<std::vector<float>, sim::kStageCount>, kKeyCount> key_samples_;
+    // Streaming-mode figure accumulators (fixed binning, constant memory):
+    // [0] = genie (per-cycle maxima), [1 + stage] = per-stage delays.
+    std::vector<Histogram> figure_hists_;
+    RunningStats genie_stats_;
 };
 
 }  // namespace focs::dta

@@ -43,6 +43,7 @@ std::string_view key_name(OccKey key) {
 
 DelayTable::DelayTable(double static_period_ps) : static_period_ps_(static_period_ps) {
     check(static_period_ps >= 0, "negative static period");
+    for (auto& row : effective_) row.fill(static_period_ps_);
 }
 
 void DelayTable::set(OccKey key, Stage stage, double delay_ps) {
@@ -50,6 +51,7 @@ void DelayTable::set(OccKey key, Stage stage, double delay_ps) {
     check(delay_ps > 0, "delay table entry must be positive");
     delays_[static_cast<std::size_t>(key)][static_cast<std::size_t>(stage)] = delay_ps;
     present_[static_cast<std::size_t>(key)][static_cast<std::size_t>(stage)] = true;
+    effective_[static_cast<std::size_t>(key)][static_cast<std::size_t>(stage)] = delay_ps;
 }
 
 bool DelayTable::characterized(OccKey key, Stage stage) const {
@@ -67,6 +69,20 @@ double DelayTable::cycle_period_ps(const std::array<OccKey, sim::kStageCount>& k
     double period = 0;
     for (int s = 0; s < sim::kStageCount; ++s) {
         const double d = lookup(keys[static_cast<std::size_t>(s)], static_cast<Stage>(s));
+        if (d > period) period = d;
+    }
+    return period;
+}
+
+double DelayTable::cycle_period_ps(const sim::CycleRecord& record) const {
+    const bool adr_redirect =
+        record.fetch_redirect && record.redirect_source != isa::Opcode::kInvalid;
+    double period = 0;
+    for (int s = 0; s < sim::kStageCount; ++s) {
+        const OccKey key = s == static_cast<int>(Stage::kAdr) && adr_redirect
+                               ? static_cast<OccKey>(record.redirect_source)
+                               : key_of(record.stages[static_cast<std::size_t>(s)]);
+        const double d = effective_[static_cast<std::size_t>(key)][static_cast<std::size_t>(s)];
         if (d > period) period = d;
     }
     return period;

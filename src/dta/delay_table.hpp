@@ -57,6 +57,13 @@ public:
     /// (paper eq. 2).
     double cycle_period_ps(const std::array<OccKey, sim::kStageCount>& keys) const;
 
+    /// Fused attribution + lookup fast path for the per-cycle policy hot
+    /// loop: equivalent to cycle_period_ps(attribution_keys(record)) but
+    /// derives each stage's key inline and reads the fallback-resolved
+    /// entry directly (no intermediate key array, no per-stage range
+    /// checks — keys produced by attribution are in range by construction).
+    double cycle_period_ps(const sim::CycleRecord& record) const;
+
     /// Copy with every entry (and the static fallback) multiplied by
     /// `factor`. This is the paper's proposed "(online-)updating of the
     /// used delay prediction table": rescaling by the cell library's delay
@@ -71,6 +78,10 @@ private:
     double static_period_ps_;
     std::array<std::array<double, sim::kStageCount>, kKeyCount> delays_{};
     std::array<std::array<bool, sim::kStageCount>, kKeyCount> present_{};
+    /// Fallback-resolved view of the table: the characterized delay where
+    /// present, the static period otherwise. Maintained by set() so the
+    /// per-cycle hot path is a plain load per stage.
+    std::array<std::array<double, sim::kStageCount>, kKeyCount> effective_{};
 };
 
 }  // namespace focs::dta

@@ -1,5 +1,6 @@
 #include "dta/event_log.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -8,16 +9,35 @@
 
 namespace focs::dta {
 
+void EventLog::append_shifted(const EventLog& other, std::uint64_t cycle_offset) {
+    // Geometric growth, not an exact-fit reserve: repeated appends (one per
+    // characterization program) would otherwise reallocate and copy the
+    // whole log every time — quadratic in the number of programs.
+    const std::size_t needed = events_.size() + other.events_.size();
+    if (events_.capacity() < needed) {
+        events_.reserve(std::max(needed, events_.capacity() * 2));
+    }
+    for (EndpointEvent event : other.events_) {
+        event.cycle += cycle_offset;
+        events_.push_back(event);
+    }
+}
+
 std::string EventLog::serialize() const {
     std::string out = "event_log v1\n";
+    // A line is two "%.17g" doubles plus cycle and endpoint id: ~60 bytes on
+    // average. Reserving up front avoids repeated growth copies of a
+    // multi-megabyte log.
+    out.reserve(out.size() + events_.size() * 64);
     char line[128];
     for (const auto& e : events_) {
         // %.17g keeps doubles bit-exact through the text round trip, so an
         // offline analysis of dumped logs reproduces the in-memory LUT.
-        std::snprintf(line, sizeof line, "%llu %d %.17g %.17g\n",
-                      static_cast<unsigned long long>(e.cycle), e.endpoint_id, e.data_arrival_ps,
-                      e.clock_edge_ps);
-        out += line;
+        const int len =
+            std::snprintf(line, sizeof line, "%llu %d %.17g %.17g\n",
+                          static_cast<unsigned long long>(e.cycle), e.endpoint_id,
+                          e.data_arrival_ps, e.clock_edge_ps);
+        out.append(line, static_cast<std::size_t>(len));
     }
     return out;
 }
@@ -47,14 +67,26 @@ EventLog EventLog::deserialize(const std::string& text) {
     return log;
 }
 
+void OccupancyTrace::append_shifted(const OccupancyTrace& other, std::uint64_t cycle_offset) {
+    const std::size_t needed = entries_.size() + other.entries_.size();
+    if (entries_.capacity() < needed) {
+        entries_.reserve(std::max(needed, entries_.capacity() * 2));
+    }
+    for (TraceEntry entry : other.entries_) {
+        entry.cycle += cycle_offset;
+        entries_.push_back(entry);
+    }
+}
+
 std::string OccupancyTrace::serialize() const {
     std::string out = "occupancy_trace v1\n";
+    out.reserve(out.size() + entries_.size() * 28);
     char line[96];
     for (const auto& t : entries_) {
-        std::snprintf(line, sizeof line, "%llu %d %d %d %d %d %d\n",
-                      static_cast<unsigned long long>(t.cycle), t.keys[0], t.keys[1], t.keys[2],
-                      t.keys[3], t.keys[4], t.keys[5]);
-        out += line;
+        const int len = std::snprintf(line, sizeof line, "%llu %d %d %d %d %d %d\n",
+                                      static_cast<unsigned long long>(t.cycle), t.keys[0],
+                                      t.keys[1], t.keys[2], t.keys[3], t.keys[4], t.keys[5]);
+        out.append(line, static_cast<std::size_t>(len));
     }
     return out;
 }

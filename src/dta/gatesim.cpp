@@ -11,23 +11,32 @@ GateLevelSimulation::GateLevelSimulation(const timing::SyntheticNetlist& netlist
     : netlist_(netlist), calculator_(calculator) {
     check(sim_period_factor >= 1.0, "gate-sim clock must be at or below the STA frequency");
     sim_period_ps_ = calculator.static_period_ps() * sim_period_factor;
+    std::size_t total_endpoints = 0;
     for (int s = 0; s < sim::kStageCount; ++s) {
         stage_endpoints_[static_cast<std::size_t>(s)] =
             netlist.endpoints_of_stage(static_cast<sim::Stage>(s));
         check(!stage_endpoints_[static_cast<std::size_t>(s)].empty(),
               "netlist has a stage without endpoints");
+        total_endpoints += stage_endpoints_[static_cast<std::size_t>(s)].size();
     }
+    cycle_events_.reserve(total_endpoints);
+}
+
+GateLevelSimulation::GateLevelSimulation(const timing::SyntheticNetlist& netlist,
+                                         const timing::DelayCalculator& calculator,
+                                         EventSink& sink, double sim_period_factor)
+    : GateLevelSimulation(netlist, calculator, sim_period_factor) {
+    sink_ = &sink;
 }
 
 void GateLevelSimulation::on_cycle(const sim::CycleRecord& record) {
     const timing::CycleDelays delays = calculator_.evaluate(record);
-    reference_delays_.push_back(delays.stage_ps);
 
     TraceEntry trace_entry;
     trace_entry.cycle = record.cycle;
     trace_entry.keys = attribution_keys(record);
-    trace_.add(trace_entry);
 
+    cycle_events_.clear();
     for (int s = 0; s < sim::kStageCount; ++s) {
         const auto& endpoints = stage_endpoints_[static_cast<std::size_t>(s)];
         const double required = delays.stage_ps[static_cast<std::size_t>(s)];
@@ -50,9 +59,18 @@ void GateLevelSimulation::on_cycle(const sim::CycleRecord& record) {
             // deadline; the clock edge at this endpoint is skewed.
             event.data_arrival_ps = endpoint_required + endpoint.skew_ps - endpoint.setup_ps;
             event.clock_edge_ps = sim_period_ps_ + endpoint.skew_ps;
-            event_log_.add(event);
+            cycle_events_.push_back(event);
         }
     }
+    ++cycles_observed_;
+
+    if (sink_ != nullptr) {
+        sink_->consume_cycle(trace_entry, cycle_events_);
+        return;
+    }
+    reference_delays_.push_back(delays.stage_ps);
+    trace_.add(trace_entry);
+    event_log_.append(cycle_events_);
 }
 
 }  // namespace focs::dta

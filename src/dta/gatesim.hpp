@@ -5,6 +5,15 @@
 // the paper obtains from SDF-annotated ModelSim runs, plus the aligned
 // occupancy trace. The pipeline runs at a deliberately relaxed simulation
 // clock (paper: "at a low clock frequency") so every arrival is observable.
+//
+// Two output modes:
+//  - materialized (default): events and trace accumulate in an EventLog /
+//    OccupancyTrace for offline analysis, serialization and golden tests;
+//    also records the ground-truth per-cycle reference delays.
+//  - streaming: construct with an EventSink; each cycle's events are built
+//    in a reused scratch buffer and handed to the sink immediately, so the
+//    observer allocates nothing per cycle and peak memory is independent of
+//    the number of simulated cycles.
 #pragma once
 
 #include <array>
@@ -19,21 +28,30 @@ namespace focs::dta {
 
 class GateLevelSimulation : public sim::PipelineObserver {
 public:
-    /// `netlist` and `calculator` must outlive the observer.
-    /// `sim_period_factor` sets the relaxed gate-sim clock as a multiple of
-    /// the design's static period.
+    /// Materialized mode. `netlist` and `calculator` must outlive the
+    /// observer. `sim_period_factor` sets the relaxed gate-sim clock as a
+    /// multiple of the design's static period.
     GateLevelSimulation(const timing::SyntheticNetlist& netlist,
                         const timing::DelayCalculator& calculator,
                         double sim_period_factor = 1.25);
 
+    /// Streaming mode: every cycle is forwarded to `sink` instead of being
+    /// materialized. `sink` must outlive the observer.
+    GateLevelSimulation(const timing::SyntheticNetlist& netlist,
+                        const timing::DelayCalculator& calculator, EventSink& sink,
+                        double sim_period_factor = 1.25);
+
     void on_cycle(const sim::CycleRecord& record) override;
 
+    /// Materialized-mode accessors (empty in streaming mode).
     const EventLog& event_log() const { return event_log_; }
     const OccupancyTrace& trace() const { return trace_; }
     double sim_period_ps() const { return sim_period_ps_; }
+    std::uint64_t cycles_observed() const { return cycles_observed_; }
 
     /// Ground-truth per-cycle stage delays (used by tests to verify that
-    /// the analyzer recovers them exactly from the event log).
+    /// the analyzer recovers them exactly from the event log). Materialized
+    /// mode only.
     const std::vector<std::array<double, sim::kStageCount>>& reference_delays() const {
         return reference_delays_;
     }
@@ -41,8 +59,11 @@ public:
 private:
     const timing::SyntheticNetlist& netlist_;
     const timing::DelayCalculator& calculator_;
+    EventSink* sink_ = nullptr;
     double sim_period_ps_;
     std::array<std::vector<int>, sim::kStageCount> stage_endpoints_;
+    std::vector<EndpointEvent> cycle_events_;  ///< per-cycle scratch, reused
+    std::uint64_t cycles_observed_ = 0;
     EventLog event_log_;
     OccupancyTrace trace_;
     std::vector<std::array<double, sim::kStageCount>> reference_delays_;

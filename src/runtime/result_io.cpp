@@ -13,13 +13,11 @@
 
 namespace focs::runtime {
 
-namespace {
-
 // ---------------------------------------------------------------- writing
 
 std::string json_number(double value) {
     // JSON has no inf/nan; silently clamping would hide bugs, so fail.
-    check(std::isfinite(value), "non-finite value in sweep result");
+    check(std::isfinite(value), "non-finite value in JSON document");
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.17g", value);
     return buf;
@@ -47,6 +45,8 @@ std::string json_string(const std::string& value) {
     out += '"';
     return out;
 }
+
+namespace {
 
 void append_cell(std::string& out, const SweepCell& cell) {
     const core::DcaRunResult& r = cell.result;

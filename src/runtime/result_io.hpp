@@ -16,6 +16,14 @@
 
 namespace focs::runtime {
 
+/// Deterministic JSON scalar formatting shared by every artifact emitter
+/// (sweep results, bench reports): "%.17g" doubles (shortest round-
+/// trippable form) and fully escaped strings. Throws focs::Error on
+/// non-finite numbers — JSON has no inf/nan, and silently clamping would
+/// hide bugs.
+std::string json_number(double value);
+std::string json_string(const std::string& value);
+
 /// Serializes a sweep result. `include_timing` controls the run-dependent
 /// header fields (wall_ms, jobs, cache counters); switch it off to obtain a
 /// canonical byte-comparable document of the cells alone.

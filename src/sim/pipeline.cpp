@@ -30,6 +30,8 @@ std::uint32_t rotate_right(std::uint32_t value, unsigned amount) {
 Pipeline::Pipeline(Sram& imem, Sram& dmem, PipelineConfig config)
     : imem_(imem), dmem_(dmem), config_(config) {
     check(config_.div_latency >= 1, "divider latency must be at least 1 cycle");
+    decode_cache_.resize(imem_.size() / 4);
+    decoded_.assign(imem_.size() / 4, 0);
 }
 
 void Pipeline::reset(std::uint32_t entry) {
@@ -42,10 +44,11 @@ void Pipeline::reset(std::uint32_t entry) {
     reports_.clear();
     cycle_ = 0;
     retired_ = 0;
+    decoded_.assign(decoded_.size(), 0);  // imem may have been rewritten
     adr_ = make_fetch_slot(entry, false, Opcode::kInvalid);
 }
 
-Pipeline::Slot Pipeline::make_fetch_slot(std::uint32_t pc, bool redirect, Opcode source) const {
+Pipeline::Slot Pipeline::make_fetch_slot(std::uint32_t pc, bool redirect, Opcode source) {
     Slot slot;
     slot.valid = true;
     slot.pc = pc;
@@ -53,9 +56,17 @@ Pipeline::Slot Pipeline::make_fetch_slot(std::uint32_t pc, bool redirect, Opcode
     slot.redirect_source = source;
     // Decode eagerly for trace attribution; wrong-path fetches past the end
     // of the program image decode to kInvalid and are harmless unless they
-    // reach EX.
-    slot.inst = imem_.contains(pc, 4) && pc % 4 == 0 ? isa::decode(imem_.read_u32(pc))
-                                                     : isa::Instruction{};
+    // reach EX. Loops hit the decode cache after the first iteration.
+    if (pc % 4 == 0 && imem_.contains(pc, 4)) {
+        const std::size_t idx = (pc - imem_.base()) / 4;
+        if (!decoded_[idx]) {
+            decode_cache_[idx] = isa::decode(imem_.read_u32(pc));
+            decoded_[idx] = 1;
+        }
+        slot.inst = decode_cache_[idx];
+    } else {
+        slot.inst = isa::Instruction{};
+    }
     return slot;
 }
 
@@ -235,16 +246,22 @@ void Pipeline::execute(Slot& s) {
     }
 }
 
-StageView Pipeline::view_of(const Slot& slot) const {
-    StageView view;
-    view.valid = slot.valid;
+void Pipeline::fill_view(StageView& view, const Slot& slot) {
+    if (!slot.valid) {
+        // Invalid slots are always default-constructed bubbles (only the
+        // held flag is ever touched afterwards), so a value-init view plus
+        // the held flag reproduces the full copy without reading the slot.
+        view = StageView{};
+        view.held = slot.held;
+        return;
+    }
+    view.valid = true;
     view.held = slot.held;
     view.inst = slot.inst;
     view.pc = slot.pc;
     view.operand_a = slot.a;
     view.operand_b = slot.b;
     view.result = slot.result;
-    return view;
 }
 
 bool Pipeline::step(CycleRecord& record) {
@@ -325,22 +342,23 @@ bool Pipeline::step(CycleRecord& record) {
     }
 
     // ---- Record this cycle ------------------------------------------------
-    record = CycleRecord{};
+    // Every field is assigned explicitly (no full re-zeroing of the record,
+    // which callers reuse across cycles) and invalid slots take the cheap
+    // bubble path in fill_view.
     record.cycle = cycle_;
-    record.stages[static_cast<std::size_t>(Stage::kAdr)] = view_of(adr_);
-    record.stages[static_cast<std::size_t>(Stage::kFe)] = view_of(fe_);
-    record.stages[static_cast<std::size_t>(Stage::kDc)] = view_of(dc_);
-    record.stages[static_cast<std::size_t>(Stage::kEx)] = view_of(ex_);
-    record.stages[static_cast<std::size_t>(Stage::kCtrl)] = view_of(ctrl_);
-    record.stages[static_cast<std::size_t>(Stage::kWb)] = view_of(wb_);
+    fill_view(record.stages[static_cast<std::size_t>(Stage::kAdr)], adr_);
+    fill_view(record.stages[static_cast<std::size_t>(Stage::kFe)], fe_);
+    fill_view(record.stages[static_cast<std::size_t>(Stage::kDc)], dc_);
+    fill_view(record.stages[static_cast<std::size_t>(Stage::kEx)], ex_);
+    fill_view(record.stages[static_cast<std::size_t>(Stage::kCtrl)], ctrl_);
+    fill_view(record.stages[static_cast<std::size_t>(Stage::kWb)], wb_);
     record.fetch_redirect = adr_.valid && adr_.fetched_by_redirect && !adr_.held;
     record.redirect_source = adr_.redirect_source;
     record.fetch_addr = adr_.pc;
-    if (ex_is_new && (ex_.is_load || ex_.is_store)) {
-        record.dmem_access = true;
-        record.dmem_write = ex_.is_store;
-        record.dmem_addr = ex_.mem_addr;
-    }
+    const bool dmem_access = ex_is_new && (ex_.is_load || ex_.is_store);
+    record.dmem_access = dmem_access;
+    record.dmem_write = dmem_access && ex_.is_store;
+    record.dmem_addr = dmem_access ? ex_.mem_addr : 0;
 
     // ---- Latch update (end of cycle) --------------------------------------
     check(!(redirect && front_stall), "redirect cannot coincide with a front-end stall");

@@ -80,18 +80,25 @@ private:
         bool held = false;  ///< repeat occupancy due to an upstream stall
     };
 
-    Slot make_fetch_slot(std::uint32_t pc, bool redirect, isa::Opcode source) const;
+    Slot make_fetch_slot(std::uint32_t pc, bool redirect, isa::Opcode source);
     std::uint32_t forward_reg(std::uint8_t reg) const;
     bool forward_flag() const;
     void execute(Slot& slot);
     void commit_wb();
     void ctrl_memory_access();
-    StageView view_of(const Slot& slot) const;
+    static void fill_view(StageView& view, const Slot& slot);
 
     Sram& imem_;
     Sram& dmem_;
     PipelineConfig config_;
     RegisterFile regfile_;
+
+    // Lazy decode cache over the instruction SRAM: every imem word is
+    // decoded at most once per reset() instead of once per fetch. Valid
+    // because the guest cannot write imem mid-run (stores only reach dmem)
+    // and Machine::load always resets after (re)writing the image.
+    std::vector<isa::Instruction> decode_cache_;
+    std::vector<std::uint8_t> decoded_;
 
     Slot adr_, fe_, dc_, ex_, ctrl_, wb_;
     bool flag_ = false;

@@ -97,6 +97,16 @@ DelayCalculator::DelayCalculator(const DesignConfig& config, const CellLibrary& 
     : config_(config), params_(&timing_params(config.variant)) {
     voltage_scale_ = library.delay_scale(config.voltage_v);
     static_period_ps_ = params_->static_period_ps * voltage_scale_;
+    for (int s = 0; s < sim::kStageCount; ++s) {
+        for (int c = 0; c < kOccupancyClasses; ++c) {
+            band_lut_[static_cast<std::size_t>(s)][static_cast<std::size_t>(c)] =
+                &params_->bands[static_cast<std::size_t>(s)][static_cast<std::size_t>(c)];
+        }
+    }
+    for (int c = 0; c < kOccupancyClasses; ++c) {
+        band_lut_[sim::kStageCount][static_cast<std::size_t>(c)] =
+            &params_->adr_redirect[static_cast<std::size_t>(c)];
+    }
 }
 
 double DelayCalculator::band_delay(const DelayBand& band, const StageView& view, Stage stage,
@@ -119,16 +129,21 @@ double DelayCalculator::band_delay(const DelayBand& band, const StageView& view,
 CycleDelays DelayCalculator::evaluate(const sim::CycleRecord& record) const {
     CycleDelays out;
     double worst = 0;
+    // Hoisted once per cycle instead of per stage; when it holds, the ADR
+    // stage resolves to the redirect band row of the cache.
+    const bool adr_redirect =
+        record.fetch_redirect && record.redirect_source != Opcode::kInvalid;
     for (int s = 0; s < sim::kStageCount; ++s) {
         const auto stage = static_cast<Stage>(s);
         const StageView& view = record.stages[static_cast<std::size_t>(s)];
         const DelayBand* band;
-        if (stage == Stage::kAdr && record.fetch_redirect &&
-            record.redirect_source != Opcode::kInvalid) {
-            band = &params_->adr_redirect[static_cast<std::size_t>(adr_occupancy_class(record))];
+        if (s == static_cast<int>(Stage::kAdr) && adr_redirect) {
+            const auto cls =
+                static_cast<std::size_t>(isa::timing_family(record.redirect_source));
+            band = band_lut_[sim::kStageCount][cls];
         } else {
-            const int cls = occupancy_class(view);
-            band = &params_->bands[static_cast<std::size_t>(s)][static_cast<std::size_t>(cls)];
+            const auto cls = static_cast<std::size_t>(occupancy_class(view));
+            band = band_lut_[static_cast<std::size_t>(s)][cls];
         }
         const double delay = band_delay(*band, view, stage, record.cycle);
         out.stage_ps[static_cast<std::size_t>(s)] = delay;

@@ -68,6 +68,10 @@ private:
     const TimingParams* params_;
     double voltage_scale_;
     double static_period_ps_;
+    /// Flattened (stage, occupancy class) -> band resolution, built once at
+    /// construction so the per-cycle evaluate() loop is a single indexed
+    /// load. Row kStageCount holds the ADR redirect bands.
+    std::array<std::array<const DelayBand*, kOccupancyClasses>, sim::kStageCount + 1> band_lut_{};
 };
 
 }  // namespace focs::timing

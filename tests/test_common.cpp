@@ -71,6 +71,19 @@ TEST(Histogram, MergeRequiresIdenticalBinning) {
     EXPECT_THROW(a.merge(b), Error);
 }
 
+TEST(Histogram, CoarsenedSumsGroupsAndKeepsStats) {
+    Histogram fine(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i) fine.add(0.5 + i);
+    const Histogram coarse = fine.coarsened(5);
+    EXPECT_EQ(coarse.bins(), 5);
+    EXPECT_EQ(coarse.total(), fine.total());
+    for (int b = 0; b < 5; ++b) EXPECT_EQ(coarse.count(b), 2u) << b;
+    // Summary statistics describe the underlying samples, not the bins.
+    EXPECT_DOUBLE_EQ(coarse.stats().mean(), fine.stats().mean());
+    EXPECT_THROW(fine.coarsened(3), Error);   // 3 does not divide 10
+    EXPECT_THROW(fine.coarsened(0), Error);
+}
+
 TEST(Histogram, RenderContainsSummary) {
     Histogram h(0.0, 100.0, 4);
     h.add(10);

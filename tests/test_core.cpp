@@ -187,6 +187,33 @@ TEST(Flows, CharacterizationProducesCompleteTable) {
     }
 }
 
+TEST(Flows, StreamingMatchesMaterializedAcrossKernelsAndVoltages) {
+    // The acceptance bar of the streaming characterization path: for every
+    // operating point, the single-pass streaming flow and the materialized
+    // merged-log flow must serialize byte-identical delay tables.
+    const std::vector<assembler::Program> programs = workloads::assemble_programs(
+        {workloads::find_kernel("crc32"), workloads::find_kernel("fir"),
+         workloads::find_kernel("bubblesort"), workloads::find_kernel("fsm")});
+    for (const double voltage : {0.70, 0.80}) {
+        timing::DesignConfig design;
+        design.voltage_v = voltage;
+        const CharacterizationFlow flow(design);
+        const auto streaming = flow.run(programs, CharacterizationMode::kStreaming);
+        const auto materialized = flow.run(programs, CharacterizationMode::kMaterialized);
+        EXPECT_EQ(streaming.table.serialize(), materialized.table.serialize()) << voltage;
+        EXPECT_EQ(streaming.cycles, materialized.cycles) << voltage;
+        EXPECT_DOUBLE_EQ(streaming.genie_mean_period_ps, materialized.genie_mean_period_ps)
+            << voltage;
+        // Only the materialized mode exposes the merged gate-level log for
+        // offline dumps; its text round trip re-derives the same LUT.
+        EXPECT_EQ(streaming.event_log, nullptr);
+        ASSERT_NE(materialized.event_log, nullptr);
+        ASSERT_NE(materialized.trace, nullptr);
+        EXPECT_EQ(materialized.event_log->size(),
+                  materialized.trace->size() * flow.netlist().endpoints().size());
+    }
+}
+
 TEST(Flows, MakePolicyFactoryCoversAllKinds) {
     const auto& table = characterization().table;
     for (const PolicyKind kind : {PolicyKind::kStatic, PolicyKind::kGenie,

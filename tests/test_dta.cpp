@@ -249,6 +249,100 @@ TEST(Analyzer, OfflineFileFlowMatchesInMemory) {
     EXPECT_NEAR(direct.genie_mean_period_ps(), offline.genie_mean_period_ps(), 1e-3);
 }
 
+// ---- Streaming (EventSink) ingestion ----------------------------------------
+
+/// Runs one kernel through a streaming gate-sim into `analysis`.
+void run_gatesim_streaming(const std::string& kernel_name, DynamicTimingAnalysis& analysis) {
+    const timing::DesignConfig design;
+    static const auto netlist = timing::SyntheticNetlist::generate({});
+    const timing::DelayCalculator calculator(design);
+    sim::Machine machine;
+    machine.load(assembler::assemble(workloads::find_kernel(kernel_name).source));
+    GateLevelSimulation gatesim(netlist, calculator, analysis);
+    machine.run(&gatesim);
+    // Streaming mode materializes nothing in the observer.
+    EXPECT_EQ(gatesim.event_log().size(), 0u);
+    EXPECT_EQ(gatesim.trace().size(), 0u);
+    EXPECT_TRUE(gatesim.reference_delays().empty());
+    EXPECT_GT(gatesim.cycles_observed(), 0u);
+}
+
+TEST(StreamingAnalyzer, ByteIdenticalTableAndStatsVsMaterialized) {
+    AnalyzerConfig config;
+    config.static_period_ps = timing::DelayCalculator({}).static_period_ps();
+    const auto spec = PipelineSpec::from_netlist(timing::SyntheticNetlist::generate({}));
+
+    // Chain three kernels through ONE streaming analyzer...
+    DynamicTimingAnalysis streaming(spec, config);
+    for (const char* kernel : {"crc32", "fir", "bubblesort"}) {
+        run_gatesim_streaming(kernel, streaming);
+    }
+
+    // ...and compare against a materialized merged-log analysis of the same
+    // concatenated cycle stream.
+    EventLog merged_log;
+    OccupancyTrace merged_trace;
+    std::uint64_t offset = 0;
+    for (const char* kernel : {"crc32", "fir", "bubblesort"}) {
+        const auto artifacts = run_gatesim(kernel);
+        merged_log.append_shifted(artifacts.log, offset);
+        merged_trace.append_shifted(artifacts.trace, offset);
+        offset += artifacts.trace.size();
+    }
+    DynamicTimingAnalysis materialized(spec, config);
+    materialized.analyze(merged_log, merged_trace);
+
+    EXPECT_EQ(streaming.cycles(), materialized.cycles());
+    EXPECT_EQ(streaming.build_delay_table().serialize(),
+              materialized.build_delay_table().serialize());
+    EXPECT_DOUBLE_EQ(streaming.genie_mean_period_ps(), materialized.genie_mean_period_ps());
+    EXPECT_EQ(streaming.limiting_stage_counts(), materialized.limiting_stage_counts());
+    for (OccKey key = 0; key < kKeyCount; ++key) {
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            const auto& a = streaming.stats(key, static_cast<Stage>(s));
+            const auto& b = materialized.stats(key, static_cast<Stage>(s));
+            ASSERT_EQ(a.occurrences, b.occurrences);
+            ASSERT_DOUBLE_EQ(a.max_ps, b.max_ps);
+        }
+    }
+    // Streaming keeps no per-cycle vector; its figure accumulators still
+    // agree with the exact statistics.
+    EXPECT_TRUE(streaming.cycle_stage_delays().empty());
+    const Histogram genie = streaming.genie_histogram(40);
+    EXPECT_EQ(genie.total(), streaming.cycles());
+    EXPECT_NEAR(genie.stats().mean(), streaming.genie_mean_period_ps(), 1e-9);
+}
+
+TEST(StreamingAnalyzer, RejectsMixingModes) {
+    AnalyzerConfig config;
+    config.static_period_ps = timing::DelayCalculator({}).static_period_ps();
+    const auto spec = PipelineSpec::from_netlist(timing::SyntheticNetlist::generate({}));
+    const auto artifacts = run_gatesim("fibcall");
+
+    DynamicTimingAnalysis streamed(spec, config);
+    run_gatesim_streaming("fibcall", streamed);
+    EXPECT_THROW(streamed.analyze(artifacts.log, artifacts.trace), Error);
+
+    DynamicTimingAnalysis analyzed(spec, config);
+    analyzed.analyze(artifacts.log, artifacts.trace);
+    TraceEntry entry;
+    EXPECT_THROW(analyzed.consume_cycle(entry, {}), Error);
+}
+
+TEST(Analyzer, SampleCapBoundsHistogramMemory) {
+    const auto artifacts = run_gatesim("crc32");
+    AnalyzerConfig config;
+    config.static_period_ps = artifacts.static_period_ps;
+    config.sample_cap = 16;
+    DynamicTimingAnalysis analysis(PipelineSpec::from_netlist(timing::SyntheticNetlist::generate({})),
+                                   config);
+    analysis.analyze(artifacts.log, artifacts.trace);
+    // Stats see every occurrence; the raw-sample histogram is truncated to
+    // the cap (bubble slots occur in thousands of cycles).
+    EXPECT_GT(analysis.stats(kKeyBubble, Stage::kEx).occurrences, 16u);
+    EXPECT_EQ(analysis.key_stage_histogram(kKeyBubble, Stage::kEx).total(), 16u);
+}
+
 TEST(Analyzer, StageHistogramsMatchPerCycleData) {
     const auto artifacts = run_gatesim("bsearch");
     AnalyzerConfig config;

@@ -6,10 +6,12 @@
 #include <memory>
 
 #include "common/error.hpp"
+#include "core/flows.hpp"
 #include "runtime/artifact_cache.hpp"
 #include "runtime/result_io.hpp"
 #include "runtime/sweep_engine.hpp"
 #include "runtime/sweep_spec.hpp"
+#include "workloads/kernel.hpp"
 
 namespace focs::runtime {
 namespace {
@@ -165,6 +167,25 @@ TEST(SweepSpec, ResolvedFillsDefaults) {
     EXPECT_EQ(resolved.generators[0].label(), "ideal");
     ASSERT_EQ(resolved.voltages_v.size(), 1u);
     EXPECT_DOUBLE_EQ(resolved.voltages_v[0], timing::DesignConfig{}.voltage_v);
+}
+
+TEST(ArtifactCache, DelayTableMatchesStreamingFlowByteForByte) {
+    // The sweep runtime characterizes through the cache, which uses the
+    // streaming flow; a directly-run streaming AND a materialized flow must
+    // serialize the exact same table, so parallel sweeps built on the
+    // streaming path stay byte-identical to any offline reference.
+    ArtifactCache cache;
+    const timing::DesignConfig design;
+    const dta::AnalyzerConfig analyzer_config =
+        SweepEngine::analyzer_config_for(SweepSpec{}.resolved());
+    const dta::DelayTable cached = cache.delay_table(design, analyzer_config).get();
+
+    const core::CharacterizationFlow flow(design, analyzer_config);
+    const auto programs = workloads::assemble_programs(workloads::characterization_suite());
+    const auto streaming = flow.run(programs, core::CharacterizationMode::kStreaming);
+    const auto materialized = flow.run(programs, core::CharacterizationMode::kMaterialized);
+    EXPECT_EQ(cached.serialize(), streaming.table.serialize());
+    EXPECT_EQ(cached.serialize(), materialized.table.serialize());
 }
 
 TEST(ArtifactCache, ProgramsAreSharedAndCounted) {
