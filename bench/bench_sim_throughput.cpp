@@ -16,6 +16,8 @@
 #include <benchmark/benchmark.h>
 #include <sys/resource.h>
 
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -148,6 +150,29 @@ void BM_CharacterizationMaterialized(benchmark::State& state) {
 }
 BENCHMARK(BM_CharacterizationMaterialized)->Unit(benchmark::kMillisecond);
 
+// Batched characterization (the default mode): SoA endpoint kernel over
+// distilled cycle batches, with `Arg` endpoint-kernel worker threads (1 =
+// serial inline kernel). Byte-identical delay tables at every thread count.
+void BM_CharacterizationBatched(benchmark::State& state) {
+    const timing::DesignConfig design;
+    const core::CharacterizationFlow flow(design);
+    core::CharacterizationOptions options;
+    options.threads = static_cast<int>(state.range(0));
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        const auto result = flow.run(characterization_programs(), options);
+        cycles += result.cycles;
+        benchmark::DoNotOptimize(result.genie_mean_period_ps);
+    }
+    state.counters["cycles/s"] = benchmark::Counter(static_cast<double>(cycles),
+                                                    benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CharacterizationBatched)
+    ->RangeMultiplier(2)
+    ->Range(1, 8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_Assembler(benchmark::State& state) {
     const auto& kernel = workloads::find_kernel("coremark_mini");
     for (auto _ : state) {
@@ -267,6 +292,19 @@ void emit_artifact() {
     });
     const long rss_materialized_kb = peak_rss_kb();
 
+    // Batched engine scaling series (after the RSS protocol above so the
+    // slot rings don't disturb the streaming high-water marks). threads=1
+    // is the serial inline kernel — the acceptance figure tracked per push.
+    constexpr int kBatchedThreadSeries[] = {1, 2, 4, 8};
+    std::array<TimedRun, 4> batched{};
+    for (std::size_t i = 0; i < batched.size(); ++i) {
+        core::CharacterizationOptions options;
+        options.threads = kBatchedThreadSeries[i];
+        batched[i] = timed_cycles(3, [&] { return flow.run(programs, options).cycles; });
+    }
+    double batched_best = 0;
+    for (const TimedRun& run : batched) batched_best = std::max(batched_best, run.cycles_per_s);
+
     const TimedRun evaluation = timed_cycles(200, [&] {
         return core::evaluate_cell(design, table, coremark_program(),
                                    core::PolicyKind::kInstructionLut)
@@ -274,7 +312,7 @@ void emit_artifact() {
     });
 
     std::string out = "{\n";
-    out += "  \"schema\": " + json_string("focs-bench-sim-throughput-v1") + ",\n";
+    out += "  \"schema\": " + json_string("focs-bench-sim-throughput-v2") + ",\n";
     out += "  \"baseline\": {\n";
     out += "    \"note\": " +
            json_string("pre-PR seed implementation, commit edd42a9, measured on the repo's dev "
@@ -292,7 +330,17 @@ void emit_artifact() {
     out += "    \"streaming_4x_cycles_per_s\": " + json_number(streaming_4x.cycles_per_s) + ",\n";
     out += "    \"materialized_cycles_per_s\": " + json_number(materialized.cycles_per_s) + ",\n";
     out += "    \"streaming_speedup_vs_baseline\": " +
-           json_number(streaming.cycles_per_s / kBaselineCharacterizationCyclesPerS) + "\n  },\n";
+           json_number(streaming.cycles_per_s / kBaselineCharacterizationCyclesPerS) + ",\n";
+    out += "    \"characterization_batched_cycles_per_s\": {\n";
+    for (std::size_t i = 0; i < batched.size(); ++i) {
+        out += "      \"threads_" + std::to_string(kBatchedThreadSeries[i]) +
+               "\": " + json_number(batched[i].cycles_per_s) + (i + 1 < batched.size() ? ",\n" : "\n");
+    }
+    out += "    },\n";
+    out += "    \"batched_speedup_vs_streaming\": " +
+           json_number(batched_best / streaming.cycles_per_s) + ",\n";
+    out += "    \"batched_speedup_vs_baseline\": " +
+           json_number(batched_best / kBaselineCharacterizationCyclesPerS) + "\n  },\n";
     out += "  \"evaluation\": {\n";
     out += "    \"lut_cycles_per_s\": " + json_number(evaluation.cycles_per_s) + ",\n";
     out += "    \"lut_speedup_vs_baseline\": " +

@@ -7,13 +7,14 @@
 //   - a slice of the extracted per-instruction delay LUT (Table II flavour),
 //   - the serialized LUT, ready to be stored and reloaded.
 //
-// The default (and recommended) mode is STREAMING: GateLevelSimulation
-// feeds every cycle's endpoint events straight into the analyzer through
-// the EventSink interface, so nothing is materialized and peak memory is
-// independent of how many cycles are characterized. The MATERIALIZED mode
-// additionally retains the merged event log / occupancy trace — the
-// offline-dump form of the paper's TSSI flow — at O(cycles) memory; both
-// modes produce byte-identical delay tables.
+// The default (and recommended) mode is BATCHED: the pipeline distills
+// each cycle into batch slots and a structure-of-arrays endpoint kernel
+// folds whole blocks straight into the analyzer — optionally on worker
+// threads (CharacterizationOptions::threads) behind a bounded ring buffer.
+// The STREAMING mode is the per-cycle EventSink reference path; the
+// MATERIALIZED mode additionally retains the merged event log / occupancy
+// trace — the offline-dump form of the paper's TSSI flow — at O(cycles)
+// memory. All three produce byte-identical delay tables.
 //
 // Build & run:  ./build/examples/characterize_core
 #include <cstdio>
@@ -30,15 +31,17 @@ int main() {
     const core::CharacterizationFlow flow(design);
     const auto programs = workloads::assemble_programs(workloads::characterization_suite());
 
-    // Streaming, single-pass characterization (the default mode).
-    const auto result = flow.run(programs, core::CharacterizationMode::kStreaming);
+    // Batched single-pass characterization (the default mode): serial
+    // inline endpoint kernel, 1024-cycle slots.
+    const auto result = flow.run(programs);
 
     std::printf("characterization: %llu cycles, %zu endpoints, T_static %.0f ps\n\n",
                 static_cast<unsigned long long>(result.cycles),
                 flow.netlist().endpoints().size(), result.static_period_ps);
 
-    // Figure queries work in streaming mode too: histograms accumulate
-    // incrementally at a fixed fine resolution and are served coarsened.
+    // Figure queries work in the single-pass modes too: histograms
+    // accumulate incrementally at a fixed fine resolution and are served
+    // coarsened.
     std::printf("per-cycle worst dynamic delay (genie view):\n%s\n",
                 result.analysis->genie_histogram(32).render_ascii(52).c_str());
 
@@ -66,10 +69,25 @@ int main() {
                 serialized.size(),
                 reloaded.lookup(static_cast<dta::OccKey>(isa::Opcode::kMul), sim::Stage::kEx));
 
+    // Intra-flow pipeline parallelism: the same batch API with endpoint-
+    // kernel worker threads. Deterministic — the LUT stays byte-identical
+    // at any thread count and batch size.
+    core::CharacterizationOptions parallel;
+    parallel.threads = 4;
+    parallel.batch_cycles = 512;
+    const auto threaded = flow.run(programs, parallel);
+    std::printf("\n4-thread batched re-run: LUT byte-identical: %s\n",
+                threaded.table.serialize() == serialized ? "yes" : "NO");
+
+    // Streaming mode: the per-cycle EventSink reference path.
+    const auto streaming = flow.run(programs, core::CharacterizationMode::kStreaming);
+    std::printf("streaming re-run: LUT byte-identical: %s\n",
+                streaming.table.serialize() == serialized ? "yes" : "NO");
+
     // Materialized mode: identical LUT, but the merged gate-level event log
     // is retained for offline dumps (the paper's TSSI event-log flow).
     const auto offline = flow.run(programs, core::CharacterizationMode::kMaterialized);
-    std::printf("\nmaterialized re-run: LUT byte-identical: %s; event log %zu events (%zu bytes "
+    std::printf("materialized re-run: LUT byte-identical: %s; event log %zu events (%zu bytes "
                 "serialized)\n",
                 offline.table.serialize() == serialized ? "yes" : "NO",
                 offline.event_log->size(), offline.event_log->serialize().size());

@@ -13,10 +13,14 @@ Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
     check(hi > lo, "histogram range must be non-empty");
     counts_.assign(static_cast<std::size_t>(bins), 0);
     width_ = (hi - lo) / bins;
+    inv_width_ = 1.0 / width_;
 }
 
 void Histogram::add(double x, std::uint64_t weight) {
-    auto bin = static_cast<std::int64_t>(std::floor((x - lo_) / width_));
+    // Reciprocal multiply instead of a divide: add() runs several times per
+    // cycle in the streaming/batched characterization fold (figure
+    // accumulators), where the divide latency dominates the bin math.
+    auto bin = static_cast<std::int64_t>(std::floor((x - lo_) * inv_width_));
     bin = std::clamp<std::int64_t>(bin, 0, static_cast<std::int64_t>(counts_.size()) - 1);
     counts_[static_cast<std::size_t>(bin)] += weight;
     for (std::uint64_t i = 0; i < weight; ++i) stats_.add(x);

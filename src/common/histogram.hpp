@@ -55,6 +55,7 @@ private:
     double lo_;
     double hi_;
     double width_;
+    double inv_width_;  ///< 1 / width, hoisting the divide out of add()
     std::vector<std::uint64_t> counts_;
     RunningStats stats_;
 };

@@ -1,6 +1,7 @@
 #include "core/flows.hpp"
 
 #include "common/error.hpp"
+#include "dta/batch_engine.hpp"
 #include "dta/gatesim.hpp"
 
 namespace focs::core {
@@ -30,14 +31,29 @@ void check_self_check(const sim::RunResult& run) {
 }  // namespace
 
 CharacterizationResult CharacterizationFlow::run(const std::vector<assembler::Program>& programs,
-                                                 CharacterizationMode mode) const {
+                                                 const CharacterizationOptions& options) const {
     check(!programs.empty(), "characterization needs at least one program");
 
     auto analysis = std::make_shared<dta::DynamicTimingAnalysis>(
         dta::PipelineSpec::from_netlist(netlist_), analyzer_config_);
 
     CharacterizationResult result;
-    if (mode == CharacterizationMode::kStreaming) {
+    if (options.mode == CharacterizationMode::kBatched) {
+        // One batch engine consumes every program's cycle stream back to
+        // back: the pipeline produces distilled cycle batches, the SoA
+        // endpoint kernel (optionally on options.threads workers) reduces
+        // them, and the in-order merger folds blocks into the analyzer.
+        dta::BatchOptions batch_options;
+        batch_options.threads = options.threads;
+        batch_options.batch_cycles = options.batch_cycles;
+        dta::BatchCharacterizationEngine engine(netlist_, calculator_, *analysis, batch_options);
+        for (const auto& program : programs) {
+            sim::Machine machine(machine_config_);
+            machine.load(program);
+            check_self_check(machine.run(&engine));
+        }
+        engine.finish();
+    } else if (options.mode == CharacterizationMode::kStreaming) {
         // Single pass: one streaming analyzer consumes every program's cycle
         // stream back to back. Per-program cycle numbering is irrelevant to
         // the accumulators, so no merged timeline is needed.

@@ -25,16 +25,34 @@ namespace focs::core {
 
 /// How the characterization flow ingests the gate-level event stream.
 enum class CharacterizationMode {
-    /// Single-pass: every cycle's events are folded into the analyzer as
-    /// they are produced. No event log is materialized, so peak memory is
-    /// independent of the cycle count. Produces delay tables byte-identical
-    /// to the materialized path. This is the default (and what the sweep
-    /// runtime uses).
+    /// Batched single-pass: cycles are distilled into batch slots and the
+    /// SoA endpoint kernel folds whole blocks straight into the analyzer
+    /// (optionally on worker threads — see CharacterizationOptions). No
+    /// events are materialized; delay tables, figure histograms and
+    /// statistics are byte-identical to the other modes. This is the
+    /// default (and what the sweep runtime uses).
+    kBatched,
+    /// Per-cycle single-pass: every cycle's endpoint events are built in a
+    /// scratch buffer and folded into the analyzer through the EventSink
+    /// interface. Kept as the reference implementation of the event-level
+    /// protocol (and for comparison benchmarks).
     kStreaming,
     /// Materializes the merged EventLog/OccupancyTrace before analysis.
     /// Opt-in for offline serialization of the logs and for golden tests;
     /// also retains the analyzer's per-cycle delay vector.
     kMaterialized,
+};
+
+/// Knobs of the characterization run. All combinations produce identical
+/// results; they only trade wall-clock time and memory.
+struct CharacterizationOptions {
+    CharacterizationMode mode = CharacterizationMode::kBatched;
+    /// Endpoint-kernel worker threads (kBatched only): <= 1 runs the batch
+    /// kernel inline, N > 1 adds intra-flow pipeline parallelism (N kernel
+    /// workers + one merger behind a bounded slot ring).
+    int threads = 1;
+    /// Cycles per batch slot (kBatched only).
+    int batch_cycles = 1024;
 };
 
 struct CharacterizationResult {
@@ -61,11 +79,18 @@ public:
     /// Runs every program through the gate-level-style flow and merges all
     /// cycles into one analysis (the paper's characterization benchmark of
     /// ~14k cycles is a concatenation of kernels and semi-random tests).
-    /// Both modes produce byte-identical delay tables; see
-    /// CharacterizationMode for the trade-off.
-    CharacterizationResult run(
-        const std::vector<assembler::Program>& programs,
-        CharacterizationMode mode = CharacterizationMode::kStreaming) const;
+    /// All modes produce byte-identical delay tables; see
+    /// CharacterizationMode / CharacterizationOptions for the trade-offs.
+    CharacterizationResult run(const std::vector<assembler::Program>& programs,
+                               const CharacterizationOptions& options = {}) const;
+
+    /// Mode-only convenience overload (default thread/batch knobs).
+    CharacterizationResult run(const std::vector<assembler::Program>& programs,
+                               CharacterizationMode mode) const {
+        CharacterizationOptions options;
+        options.mode = mode;
+        return run(programs, options);
+    }
 
     const timing::SyntheticNetlist& netlist() const { return netlist_; }
     const timing::DelayCalculator& calculator() const { return calculator_; }

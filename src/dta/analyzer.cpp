@@ -52,12 +52,18 @@ double DynamicTimingAnalysis::accumulate_cycle(
             // observations ends up in the retained set with equal
             // probability, so capped histograms stay representative of the
             // whole run instead of its first cap cycles. Hash-derived
-            // indices keep reruns (and the streaming vs. materialized
-            // paths, which see the same sequence) bit-identical.
+            // indices keep reruns (and the streaming, batched and
+            // materialized paths, which see the same sequence)
+            // bit-identical. The hash is mapped into [0, occurrences) with
+            // a fixed-point multiply (Lemire reduction) — a 64-bit modulo
+            // here costs a hardware divide per stage per cycle in the
+            // characterization hot loop.
             const std::uint64_t slot = splitmix64(
                 (static_cast<std::uint64_t>(key) << 40) ^
                 (static_cast<std::uint64_t>(s) << 32) ^ ks.occurrences);
-            if (const std::uint64_t r = slot % ks.occurrences; r < cap) {
+            const auto r = static_cast<std::uint64_t>(
+                (static_cast<unsigned __int128>(slot) * ks.occurrences) >> 64);
+            if (r < cap) {
                 samples[static_cast<std::size_t>(r)] = static_cast<float>(delay);
             }
         }
@@ -101,19 +107,34 @@ void DynamicTimingAnalysis::analyze(const EventLog& log, const OccupancyTrace& t
     }
 }
 
+void DynamicTimingAnalysis::ensure_streaming() {
+    check(cycle_delays_.empty(), "cannot mix streaming ingestion with materialized analysis");
+    if (streaming_) return;
+    streaming_ = true;
+    // Constant-size figure accumulators replacing the per-cycle delay
+    // vector of the materialized mode.
+    const double hi = config_.static_period_ps * 1.02;
+    figure_hists_.reserve(1 + sim::kStageCount);
+    for (int i = 0; i < 1 + sim::kStageCount; ++i) {
+        figure_hists_.emplace_back(0.0, hi, kStreamingFigureBins);
+    }
+}
+
+void DynamicTimingAnalysis::fold_cycle_delays(
+    const std::array<OccKey, sim::kStageCount>& keys,
+    const std::array<double, sim::kStageCount>& delays) {
+    const double worst = accumulate_cycle(keys, delays);
+    genie_stats_.add(worst);
+    figure_hists_[0].add(worst);
+    for (int s = 0; s < sim::kStageCount; ++s) {
+        figure_hists_[static_cast<std::size_t>(1 + s)].add(delays[static_cast<std::size_t>(s)]);
+    }
+    ++cycles_;
+}
+
 void DynamicTimingAnalysis::consume_cycle(const TraceEntry& entry,
                                           std::span<const EndpointEvent> events) {
-    check(cycle_delays_.empty(), "cannot mix streaming ingestion with materialized analysis");
-    if (!streaming_) {
-        streaming_ = true;
-        // Constant-size figure accumulators replacing the per-cycle delay
-        // vector of the materialized mode.
-        const double hi = config_.static_period_ps * 1.02;
-        figure_hists_.reserve(1 + sim::kStageCount);
-        for (int i = 0; i < 1 + sim::kStageCount; ++i) {
-            figure_hists_.emplace_back(0.0, hi, kStreamingFigureBins);
-        }
-    }
+    ensure_streaming();
 
     // Same slack recovery as analyze() phase 1, folded into a stack-local
     // per-stage array instead of the materialized per-cycle vector.
@@ -129,13 +150,15 @@ void DynamicTimingAnalysis::consume_cycle(const TraceEntry& entry,
         stage_delay = std::max(stage_delay, required);
     }
 
-    const double worst = accumulate_cycle(entry.keys, delays);
-    genie_stats_.add(worst);
-    figure_hists_[0].add(worst);
-    for (int s = 0; s < sim::kStageCount; ++s) {
-        figure_hists_[static_cast<std::size_t>(1 + s)].add(delays[static_cast<std::size_t>(s)]);
-    }
-    ++cycles_;
+    fold_cycle_delays(entry.keys, delays);
+}
+
+void DynamicTimingAnalysis::consume_batch(std::span<const FoldedCycle> batch) {
+    ensure_streaming();
+    // The endpoint kernel already reduced each cycle's events to per-stage
+    // maxima with the exact slack arithmetic of consume_cycle, so the fold
+    // is a straight block replay of the shared extraction step.
+    for (const FoldedCycle& cycle : batch) fold_cycle_delays(cycle.keys, cycle.stage_ps);
 }
 
 Histogram DynamicTimingAnalysis::genie_histogram(int bins) const {

@@ -81,6 +81,13 @@ public:
     void consume_cycle(const TraceEntry& entry,
                        std::span<const EndpointEvent> events) override;
 
+    /// Batched streaming ingestion: folds a block of cycles whose endpoint
+    /// events were already reduced to per-stage maxima by the batch
+    /// endpoint kernel (BatchCharacterizationEngine). Cycles must arrive in
+    /// order across calls; produces accumulator states byte-identical to
+    /// consume_cycle over the same per-cycle event streams.
+    void consume_batch(std::span<const FoldedCycle> batch);
+
     // ---- Per-cycle results (paper Figs. 5/6) -------------------------------
     /// Recovered per-cycle per-stage maximum dynamic delays. Materialized
     /// mode only: empty after streaming ingestion (nothing is retained).
@@ -117,6 +124,15 @@ private:
     /// stage delay (the genie period of that cycle).
     double accumulate_cycle(const std::array<OccKey, sim::kStageCount>& keys,
                             const std::array<double, sim::kStageCount>& delays);
+
+    /// Enters streaming mode on first use (allocates the fixed-resolution
+    /// figure accumulators) and rejects mixing with analyze().
+    void ensure_streaming();
+
+    /// Streaming fold of one cycle whose per-stage delays are already
+    /// reduced; shared by consume_cycle and consume_batch.
+    void fold_cycle_delays(const std::array<OccKey, sim::kStageCount>& keys,
+                           const std::array<double, sim::kStageCount>& delays);
 
     PipelineSpec spec_;
     AnalyzerConfig config_;

@@ -32,6 +32,17 @@ struct TraceEntry {
     std::array<OccKey, sim::kStageCount> keys{};
 };
 
+/// One cycle of a characterization batch after the endpoint kernel reduced
+/// the per-endpoint events to per-stage maxima: the occupancy attribution
+/// plus the worst recovered data-arrival requirement of every stage. Blocks
+/// of these are folded straight into the DynamicTimingAnalysis accumulators
+/// (consume_batch) without materializing any EndpointEvent.
+struct FoldedCycle {
+    std::uint64_t cycle = 0;
+    std::array<OccKey, sim::kStageCount> keys{};
+    std::array<double, sim::kStageCount> stage_ps{};
+};
+
 /// Per-cycle consumer of the gate-level endpoint event stream: the streaming
 /// counterpart of a materialized (EventLog, OccupancyTrace) pair. A producer
 /// (GateLevelSimulation) invokes consume_cycle exactly once per simulated

@@ -8,18 +8,13 @@ namespace focs::dta {
 GateLevelSimulation::GateLevelSimulation(const timing::SyntheticNetlist& netlist,
                                          const timing::DelayCalculator& calculator,
                                          double sim_period_factor)
-    : netlist_(netlist), calculator_(calculator) {
+    : soa_(netlist.endpoint_soa()), calculator_(calculator) {
     check(sim_period_factor >= 1.0, "gate-sim clock must be at or below the STA frequency");
     sim_period_ps_ = calculator.static_period_ps() * sim_period_factor;
-    std::size_t total_endpoints = 0;
     for (int s = 0; s < sim::kStageCount; ++s) {
-        stage_endpoints_[static_cast<std::size_t>(s)] =
-            netlist.endpoints_of_stage(static_cast<sim::Stage>(s));
-        check(!stage_endpoints_[static_cast<std::size_t>(s)].empty(),
-              "netlist has a stage without endpoints");
-        total_endpoints += stage_endpoints_[static_cast<std::size_t>(s)].size();
+        check(soa_.stage_size(s) > 0, "netlist has a stage without endpoints");
     }
-    cycle_events_.reserve(total_endpoints);
+    cycle_events_.reserve(soa_.size());
 }
 
 GateLevelSimulation::GateLevelSimulation(const timing::SyntheticNetlist& netlist,
@@ -38,27 +33,27 @@ void GateLevelSimulation::on_cycle(const sim::CycleRecord& record) {
 
     cycle_events_.clear();
     for (int s = 0; s < sim::kStageCount; ++s) {
-        const auto& endpoints = stage_endpoints_[static_cast<std::size_t>(s)];
+        const std::size_t begin = soa_.stage_begin[static_cast<std::size_t>(s)];
+        const std::size_t end = soa_.stage_begin[static_cast<std::size_t>(s) + 1];
         const double required = delays.stage_ps[static_cast<std::size_t>(s)];
         // One endpoint carries the stage's worst arrival this cycle; the
         // others settle earlier. The pick rotates pseudo-randomly, like the
         // shifting worst endpoint of a real design.
         const std::size_t worst_pick = static_cast<std::size_t>(
-            splitmix64(record.cycle * 31 + static_cast<std::uint64_t>(s)) % endpoints.size());
-        for (std::size_t i = 0; i < endpoints.size(); ++i) {
-            const timing::Endpoint& endpoint = netlist_.endpoint(endpoints[i]);
+            splitmix64(record.cycle * 31 + static_cast<std::uint64_t>(s)) % (end - begin));
+        for (std::size_t i = begin; i < end; ++i) {
             const double endpoint_required =
-                i == worst_pick
+                i - begin == worst_pick
                     ? required
                     : required * (0.45 + 0.5 * hash_unit_double(splitmix64(
-                                                   record.cycle * 131 + endpoint.id * 7919ULL)));
+                                                   record.cycle * 131 + soa_.jitter_key[i])));
             EndpointEvent event;
             event.cycle = record.cycle;
-            event.endpoint_id = endpoint.id;
+            event.endpoint_id = soa_.id[i];
             // The data pin settles `setup` before the "virtual" capture
             // deadline; the clock edge at this endpoint is skewed.
-            event.data_arrival_ps = endpoint_required + endpoint.skew_ps - endpoint.setup_ps;
-            event.clock_edge_ps = sim_period_ps_ + endpoint.skew_ps;
+            event.data_arrival_ps = endpoint_required + soa_.skew_ps[i] - soa_.setup_ps[i];
+            event.clock_edge_ps = sim_period_ps_ + soa_.skew_ps[i];
             cycle_events_.push_back(event);
         }
     }

@@ -57,11 +57,13 @@ public:
     }
 
 private:
-    const timing::SyntheticNetlist& netlist_;
+    /// Stage-major SoA endpoint view (contiguous skew/setup/hash-key loads;
+    /// the per-endpoint jitter-hash constants are precomputed here instead
+    /// of being rederived per endpoint per cycle).
+    const timing::EndpointSoA& soa_;
     const timing::DelayCalculator& calculator_;
     EventSink* sink_ = nullptr;
     double sim_period_ps_;
-    std::array<std::vector<int>, sim::kStageCount> stage_endpoints_;
     std::vector<EndpointEvent> cycle_events_;  ///< per-cycle scratch, reused
     std::uint64_t cycles_observed_ = 0;
     EventLog event_log_;

@@ -65,7 +65,8 @@ std::shared_future<std::vector<assembler::Program>> ArtifactCache::characterizat
 }
 
 std::shared_future<dta::DelayTable> ArtifactCache::delay_table(
-    const timing::DesignConfig& design, const dta::AnalyzerConfig& analyzer_config) {
+    const timing::DesignConfig& design, const dta::AnalyzerConfig& analyzer_config,
+    int flow_threads) {
     const std::string key = design_key(design, analyzer_config);
     std::promise<dta::DelayTable> promise;
     {
@@ -79,7 +80,9 @@ std::shared_future<dta::DelayTable> ArtifactCache::delay_table(
     const auto programs = characterization_programs();
     fulfil(promise, [&] {
         const core::CharacterizationFlow flow(design, analyzer_config);
-        dta::DelayTable table = flow.run(programs.get()).table;
+        core::CharacterizationOptions options;
+        options.threads = flow_threads;
+        dta::DelayTable table = flow.run(programs.get(), options).table;
         characterizations_built_.fetch_add(1);
         return table;
     });

@@ -34,9 +34,14 @@ public:
     /// Characterization delay table of one operating point. Runs the full
     /// gate-level characterization flow on first request; `analyzer_config`
     /// participates in the cache key, so different guard bands are distinct
-    /// artifacts.
+    /// artifacts. `flow_threads` sets the batched characterization engine's
+    /// intra-flow worker count for a build triggered by this request (it
+    /// does not affect the artifact — every thread count produces the same
+    /// table — so it is not part of the cache key); sweeps pass > 1 when
+    /// grid-level parallelism would otherwise sit idle behind the build.
     std::shared_future<dta::DelayTable> delay_table(const timing::DesignConfig& design,
-                                                    const dta::AnalyzerConfig& analyzer_config);
+                                                    const dta::AnalyzerConfig& analyzer_config,
+                                                    int flow_threads = 1);
 
     /// Pre-seeds the table cache (e.g. a LUT loaded from disk with --lut),
     /// so the sweep skips characterization for this operating point.

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <exception>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <utility>
 
@@ -70,6 +71,20 @@ SweepResult SweepEngine::run(const SweepSpec& raw_spec) const {
     if (worker_count <= 0) worker_count = 1;
     worker_count = std::max(1, std::min<int>(worker_count, static_cast<int>(jobs_list.size())));
 
+    // Intra-flow pipeline parallelism for the characterization artifacts:
+    // when the grid needs few distinct delay tables, most workers block on
+    // the builders' shared_futures with nothing to steal — so hand the
+    // idle parallelism to the batched characterization engine instead. One
+    // operating point and 8 workers means the single characterization flow
+    // runs its endpoint kernel on 8 threads; with as many distinct points
+    // as workers, each flow stays serial and grid parallelism wins.
+    std::set<std::string> operating_points;
+    for (const SweepJob& job : jobs_list) {
+        operating_points.insert(ArtifactCache::design_key(job.design, analyzer_config));
+    }
+    const int flow_threads = std::clamp(
+        worker_count / std::max<int>(1, static_cast<int>(operating_points.size())), 1, 8);
+
     SweepResult result;
     result.cells.resize(jobs_list.size());
     result.jobs = worker_count;
@@ -87,7 +102,7 @@ SweepResult SweepEngine::run(const SweepSpec& raw_spec) const {
             try {
                 // Shared artifacts: built once, then served from the cache.
                 auto program_future = cache_->program(job.kernel);
-                auto table_future = cache_->delay_table(job.design, analyzer_config);
+                auto table_future = cache_->delay_table(job.design, analyzer_config, flow_threads);
                 const assembler::Program& program = program_future.get();
                 const dta::DelayTable& table = table_future.get();
 

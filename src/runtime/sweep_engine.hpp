@@ -7,9 +7,12 @@
 // (DcaEngine, policy, clock generator — the sim is mutable, so nothing is
 // shared except read-only artifacts), and obtain shared artifacts from an
 // ArtifactCache, where assembled programs and the characterization
-// DelayTable are computed exactly once behind shared_futures. Results land
-// in a pre-sized vector slot per cell, so aggregation order is the spec's
-// declaration order and a --jobs 8 run is byte-identical to --jobs 1.
+// DelayTable are computed exactly once behind shared_futures. When the
+// grid needs fewer distinct delay tables than there are workers, the
+// would-be-idle parallelism is handed to the batched characterization
+// engine as intra-flow worker threads. Results land in a pre-sized vector
+// slot per cell, so aggregation order is the spec's declaration order and
+// a --jobs 8 run is byte-identical to --jobs 1.
 #pragma once
 
 #include <cstdint>

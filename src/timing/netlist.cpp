@@ -33,6 +33,11 @@ constexpr EndpointPlan kEndpointPlan[] = {
 /// Number of synthetic paths per (stage, class) group.
 constexpr int kPathsPerGroup = 8;
 
+/// Multiplier decorrelating per-endpoint jitter streams (historically
+/// applied per endpoint per cycle in the gate-sim hot loop; now baked into
+/// the SoA's precomputed jitter keys).
+constexpr std::uint64_t kJitterKeyStride = 7919ULL;
+
 }  // namespace
 
 SyntheticNetlist SyntheticNetlist::generate(const DesignConfig& config) {
@@ -62,10 +67,15 @@ SyntheticNetlist SyntheticNetlist::generate(const DesignConfig& config) {
         }
     }
 
+    // The endpoint population is final: build the per-stage lists and the
+    // SoA view once, before the path generator (and later every flow)
+    // starts querying them.
+    netlist.build_endpoint_caches();
+
     // --- Paths per (stage, family) group ------------------------------------
     auto add_group = [&](Stage stage, int occupancy_class, const DelayBand& band, bool redirect) {
         if (band.sta_ps <= 0) return;  // bubble/held classes own no physical paths
-        const auto stage_endpoints = netlist.endpoints_of_stage(stage);
+        const auto& stage_endpoints = netlist.endpoints_of_stage(stage);
         for (int i = 0; i < kPathsPerGroup; ++i) {
             TimingPath p;
             p.id = static_cast<int>(netlist.paths_.size());
@@ -103,12 +113,27 @@ SyntheticNetlist SyntheticNetlist::generate(const DesignConfig& config) {
     return netlist;
 }
 
-std::vector<int> SyntheticNetlist::endpoints_of_stage(Stage stage) const {
-    std::vector<int> ids;
+void SyntheticNetlist::build_endpoint_caches() {
+    for (auto& ids : stage_endpoints_) ids.clear();
     for (const auto& e : endpoints_) {
-        if (e.stage == stage) ids.push_back(e.id);
+        stage_endpoints_[static_cast<std::size_t>(e.stage)].push_back(e.id);
     }
-    return ids;
+    soa_ = {};
+    soa_.skew_ps.reserve(endpoints_.size());
+    soa_.setup_ps.reserve(endpoints_.size());
+    soa_.jitter_key.reserve(endpoints_.size());
+    soa_.id.reserve(endpoints_.size());
+    for (int s = 0; s < sim::kStageCount; ++s) {
+        soa_.stage_begin[static_cast<std::size_t>(s)] = soa_.id.size();
+        for (const int id : stage_endpoints_[static_cast<std::size_t>(s)]) {
+            const Endpoint& e = endpoints_[static_cast<std::size_t>(id)];
+            soa_.skew_ps.push_back(e.skew_ps);
+            soa_.setup_ps.push_back(e.setup_ps);
+            soa_.jitter_key.push_back(static_cast<std::uint64_t>(e.id) * kJitterKeyStride);
+            soa_.id.push_back(static_cast<std::int32_t>(e.id));
+        }
+    }
+    soa_.stage_begin[sim::kStageCount] = soa_.id.size();
 }
 
 double SyntheticNetlist::static_period_ps() const {

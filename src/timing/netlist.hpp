@@ -12,6 +12,8 @@
 //     clock skew, which the paper's DTA explicitly accounts for).
 #pragma once
 
+#include <array>
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -43,6 +45,29 @@ struct TimingPath {
     double sta_delay_ps = 0;     ///< STA arrival incl. setup, at config voltage
 };
 
+/// Structure-of-arrays view over the endpoint population, ordered
+/// stage-major (every stage's endpoints occupy one contiguous slice). This
+/// is the layout the per-cycle characterization hot paths iterate: the
+/// timing constants of a whole stage load as contiguous doubles instead of
+/// pointer-chasing Endpoint structs, and the per-endpoint jitter hash
+/// constant is precomputed once instead of per endpoint per cycle.
+struct EndpointSoA {
+    std::vector<double> skew_ps;
+    std::vector<double> setup_ps;
+    /// Per-endpoint constant term of the cycle-jitter hash (id * 7919).
+    std::vector<std::uint64_t> jitter_key;
+    /// Original endpoint id of each slot (event-log emission).
+    std::vector<std::int32_t> id;
+    /// Slice of stage `s` is [stage_begin[s], stage_begin[s + 1]).
+    std::array<std::size_t, sim::kStageCount + 1> stage_begin{};
+
+    std::size_t size() const { return skew_ps.size(); }
+    std::size_t stage_size(int stage) const {
+        return stage_begin[static_cast<std::size_t>(stage) + 1] -
+               stage_begin[static_cast<std::size_t>(stage)];
+    }
+};
+
 class SyntheticNetlist {
 public:
     /// Generates the netlist for one design variant/voltage.
@@ -52,10 +77,23 @@ public:
     const std::vector<Endpoint>& endpoints() const { return endpoints_; }
     const std::vector<TimingPath>& paths() const { return paths_; }
 
-    const Endpoint& endpoint(int id) const { return endpoints_.at(static_cast<std::size_t>(id)); }
+    /// Endpoint by id. Ids handed out by this netlist are dense [0, n), so
+    /// the per-event hot paths index directly; the bounds assert documents
+    /// the contract without a release-mode branch per event.
+    const Endpoint& endpoint(int id) const {
+        assert(id >= 0 && static_cast<std::size_t>(id) < endpoints_.size());
+        return endpoints_[static_cast<std::size_t>(id)];
+    }
 
-    /// Endpoints belonging to `stage`.
-    std::vector<int> endpoints_of_stage(sim::Stage stage) const;
+    /// Endpoints belonging to `stage`. Built once during generation; the
+    /// per-flow consumers (gate-sim construction, path generation) used to
+    /// re-scan the whole endpoint list on every call.
+    const std::vector<int>& endpoints_of_stage(sim::Stage stage) const {
+        return stage_endpoints_[static_cast<std::size_t>(stage)];
+    }
+
+    /// Stage-major SoA view of the endpoints (batched characterization).
+    const EndpointSoA& endpoint_soa() const { return soa_; }
 
     /// Static timing analysis: the minimum safe clock period (max STA
     /// arrival over all paths). Matches timing_params().static_period_ps
@@ -70,9 +108,13 @@ public:
     Histogram path_delay_histogram(int bins = 40) const;
 
 private:
+    void build_endpoint_caches();
+
     DesignConfig config_;
     std::vector<Endpoint> endpoints_;
     std::vector<TimingPath> paths_;
+    std::array<std::vector<int>, sim::kStageCount> stage_endpoints_;
+    EndpointSoA soa_;
 };
 
 }  // namespace focs::timing

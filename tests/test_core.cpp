@@ -211,6 +211,20 @@ TEST(Flows, StreamingMatchesMaterializedAcrossKernelsAndVoltages) {
         ASSERT_NE(materialized.trace, nullptr);
         EXPECT_EQ(materialized.event_log->size(),
                   materialized.trace->size() * flow.netlist().endpoints().size());
+
+        // The batched engine (the default mode) must agree too, serial and
+        // with intra-flow worker threads.
+        for (const int threads : {1, 4}) {
+            CharacterizationOptions options;
+            options.threads = threads;
+            options.batch_cycles = 311;  // odd boundary on purpose
+            const auto batched = flow.run(programs, options);
+            EXPECT_EQ(batched.table.serialize(), streaming.table.serialize())
+                << voltage << " threads " << threads;
+            EXPECT_EQ(batched.cycles, streaming.cycles);
+            EXPECT_DOUBLE_EQ(batched.genie_mean_period_ps, streaming.genie_mean_period_ps);
+            EXPECT_EQ(batched.event_log, nullptr);
+        }
     }
 }
 

@@ -6,6 +6,7 @@
 #include "asm/assembler.hpp"
 #include "common/error.hpp"
 #include "dta/analyzer.hpp"
+#include "dta/batch_engine.hpp"
 #include "dta/delay_table.hpp"
 #include "dta/event_log.hpp"
 #include "dta/gatesim.hpp"
@@ -327,6 +328,106 @@ TEST(StreamingAnalyzer, RejectsMixingModes) {
     analyzed.analyze(artifacts.log, artifacts.trace);
     TraceEntry entry;
     EXPECT_THROW(analyzed.consume_cycle(entry, {}), Error);
+}
+
+// ---- Batched characterization engine ----------------------------------------
+
+/// Runs `kernels` through ONE batched engine (threads/batch from `options`)
+/// chained over all programs, exactly like CharacterizationFlow does.
+void run_batched(const std::vector<const char*>& kernels, DynamicTimingAnalysis& analysis,
+                 BatchOptions options) {
+    const timing::DesignConfig design;
+    static const auto netlist = timing::SyntheticNetlist::generate({});
+    const timing::DelayCalculator calculator(design);
+    BatchCharacterizationEngine engine(netlist, calculator, analysis, options);
+    for (const char* kernel : kernels) {
+        sim::Machine machine;
+        machine.load(assembler::assemble(workloads::find_kernel(kernel).source));
+        machine.run(&engine);
+    }
+    engine.finish();
+    EXPECT_EQ(engine.cycles_observed(), analysis.cycles());
+}
+
+void expect_identical_histograms(const Histogram& a, const Histogram& b) {
+    ASSERT_EQ(a.bins(), b.bins());
+    ASSERT_DOUBLE_EQ(a.lo(), b.lo());
+    ASSERT_DOUBLE_EQ(a.hi(), b.hi());
+    for (int bin = 0; bin < a.bins(); ++bin) ASSERT_EQ(a.count(bin), b.count(bin)) << bin;
+    ASSERT_EQ(a.total(), b.total());
+    ASSERT_DOUBLE_EQ(a.stats().mean(), b.stats().mean());
+    ASSERT_DOUBLE_EQ(a.stats().min(), b.stats().min());
+    ASSERT_DOUBLE_EQ(a.stats().max(), b.stats().max());
+}
+
+TEST(BatchedCharacterization, ByteIdenticalAcrossWorkersAndBatchBoundaries) {
+    AnalyzerConfig config;
+    config.static_period_ps = timing::DelayCalculator({}).static_period_ps();
+    const auto spec = PipelineSpec::from_netlist(timing::SyntheticNetlist::generate({}));
+    const std::vector<const char*> kernels = {"crc32", "fir", "bubblesort"};
+
+    // Serial streaming reference: the per-cycle EventSink path.
+    DynamicTimingAnalysis streaming(spec, config);
+    for (const char* kernel : kernels) run_gatesim_streaming(kernel, streaming);
+    const std::string reference_table = streaming.build_delay_table().serialize();
+
+    // Worker counts around the shard edges (1 = inline serial kernel, 8 >
+    // stages) and batch sizes hitting odd block boundaries: every cycle its
+    // own slot, non-divisor slot sizes, and one slot larger than the whole
+    // run (flush-only path).
+    const BatchOptions configs[] = {
+        {.threads = 1, .batch_cycles = 1},      {.threads = 1, .batch_cycles = 7},
+        {.threads = 1, .batch_cycles = 1024},   {.threads = 2, .batch_cycles = 64},
+        {.threads = 2, .batch_cycles = 100000}, {.threads = 8, .batch_cycles = 257},
+    };
+    for (const BatchOptions& options : configs) {
+        SCOPED_TRACE(std::to_string(options.threads) + " workers, batch " +
+                     std::to_string(options.batch_cycles));
+        DynamicTimingAnalysis batched(spec, config);
+        run_batched(kernels, batched, options);
+
+        EXPECT_EQ(batched.cycles(), streaming.cycles());
+        EXPECT_EQ(batched.build_delay_table().serialize(), reference_table);
+        EXPECT_DOUBLE_EQ(batched.genie_mean_period_ps(), streaming.genie_mean_period_ps());
+        EXPECT_EQ(batched.limiting_stage_counts(), streaming.limiting_stage_counts());
+        expect_identical_histograms(batched.genie_histogram(40), streaming.genie_histogram(40));
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            const auto stage = static_cast<Stage>(s);
+            expect_identical_histograms(batched.stage_histogram(stage, 50),
+                                        streaming.stage_histogram(stage, 50));
+        }
+        for (OccKey key = 0; key < kKeyCount; ++key) {
+            for (int s = 0; s < sim::kStageCount; ++s) {
+                const auto stage = static_cast<Stage>(s);
+                const auto& a = batched.stats(key, stage);
+                const auto& b = streaming.stats(key, stage);
+                ASSERT_EQ(a.occurrences, b.occurrences);
+                ASSERT_DOUBLE_EQ(a.max_ps, b.max_ps);
+                // The deterministic reservoir retains identical samples, so
+                // even the per-(instruction, stage) histograms match.
+                if (a.occurrences > 0) {
+                    expect_identical_histograms(batched.key_stage_histogram(key, stage),
+                                                streaming.key_stage_histogram(key, stage));
+                }
+            }
+        }
+    }
+}
+
+TEST(BatchedCharacterization, RejectsUseAfterFinish) {
+    AnalyzerConfig config;
+    config.static_period_ps = timing::DelayCalculator({}).static_period_ps();
+    DynamicTimingAnalysis analysis(PipelineSpec::from_netlist(timing::SyntheticNetlist::generate({})),
+                                   config);
+    run_batched({"fibcall"}, analysis, {.threads = 2, .batch_cycles = 32});
+
+    const timing::DesignConfig design;
+    static const auto netlist = timing::SyntheticNetlist::generate({});
+    const timing::DelayCalculator calculator(design);
+    BatchCharacterizationEngine engine(netlist, calculator, analysis, {});
+    engine.finish();
+    EXPECT_THROW(engine.on_cycle(sim::CycleRecord{}), Error);
+    engine.finish();  // idempotent
 }
 
 TEST(Analyzer, SampleCapBoundsHistogramMemory) {

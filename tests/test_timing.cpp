@@ -162,6 +162,38 @@ TEST(Netlist, EveryStageHasEndpoints) {
     }
 }
 
+TEST(Netlist, CachedStageListsAndSoaMatchEndpoints) {
+    const auto netlist = SyntheticNetlist::generate({});
+    const auto& soa = netlist.endpoint_soa();
+    ASSERT_EQ(soa.size(), netlist.endpoints().size());
+    ASSERT_EQ(soa.stage_begin[0], 0u);
+    ASSERT_EQ(soa.stage_begin[sim::kStageCount], soa.size());
+
+    std::size_t soa_index = 0;
+    for (int s = 0; s < sim::kStageCount; ++s) {
+        const auto stage = static_cast<Stage>(s);
+        // The cached per-stage list equals a fresh scan of the endpoints.
+        std::vector<int> scanned;
+        for (const auto& e : netlist.endpoints()) {
+            if (e.stage == stage) scanned.push_back(e.id);
+        }
+        EXPECT_EQ(netlist.endpoints_of_stage(stage), scanned);
+
+        // The SoA slice of the stage mirrors the same endpoints, in the
+        // same order, with the jitter-hash constant precomputed.
+        ASSERT_EQ(soa.stage_begin[static_cast<std::size_t>(s)], soa_index);
+        ASSERT_EQ(soa.stage_size(s), scanned.size());
+        for (const int id : scanned) {
+            const Endpoint& e = netlist.endpoint(id);
+            EXPECT_EQ(soa.id[soa_index], id);
+            EXPECT_DOUBLE_EQ(soa.skew_ps[soa_index], e.skew_ps);
+            EXPECT_DOUBLE_EQ(soa.setup_ps[soa_index], e.setup_ps);
+            EXPECT_EQ(soa.jitter_key[soa_index], static_cast<std::uint64_t>(id) * 7919ULL);
+            ++soa_index;
+        }
+    }
+}
+
 TEST(Netlist, TimingWallVisibleInNearCriticalCount) {
     DesignConfig opt;
     DesignConfig conv;

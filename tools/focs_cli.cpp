@@ -3,8 +3,11 @@
 //   focs kernels                                list bundled kernels
 //   focs asm <file.s|kernel:NAME>               assemble, print listing + symbols
 //   focs run <file.s|kernel:NAME> [--trace N]   run on the cycle-accurate core
-//   focs characterize [-o lut.txt] [--conventional] [--voltage V]
+//   focs characterize [-o lut.txt] [--conventional] [--voltage V] [--jobs N]
+//                     [--batch N] [--streaming|--materialized]
 //                                               build the delay LUT (paper Fig. 2)
+//                                               batched engine by default; --jobs
+//                                               adds endpoint-kernel workers
 //   focs evaluate <file.s|kernel:NAME> [--lut lut.txt] [--policy P] [--taps N]
 //                                               delay-annotated run; P in
 //                                               static|two-class|ex-only|lut|genie
@@ -51,7 +54,8 @@ using namespace focs;
                  "  kernels\n"
                  "  asm <file.s|kernel:NAME>\n"
                  "  run <file.s|kernel:NAME> [--trace N]\n"
-                 "  characterize [-o lut.txt] [--conventional] [--voltage V]\n"
+                 "  characterize [-o lut.txt] [--conventional] [--voltage V] [--jobs N]\n"
+                 "               [--batch N] [--streaming|--materialized]\n"
                  "  evaluate <file.s|kernel:NAME> [--lut lut.txt] [--policy P] [--taps N]\n"
                  "  suite [--lut lut.txt] [--policy P] [--jobs N]\n"
                  "  sweep <spec.sweep> [--jobs N] [-o results.json]\n"
@@ -155,11 +159,38 @@ int cmd_characterize(const std::vector<std::string>& args) {
     }
     if (const auto v = flag_value(args, "--voltage")) design.voltage_v = std::stod(*v);
 
+    // Batched engine by default; --jobs N adds intra-flow endpoint-kernel
+    // workers, --batch sizes the ring slots, --streaming/--materialized
+    // select the per-cycle reference paths. Every combination produces a
+    // byte-identical LUT.
+    core::CharacterizationOptions options;
+    options.threads = std::max(1, parse_jobs(args));
+    if (options.threads > 256) {
+        throw Error("characterize --jobs wants an integer in [1, 256]");
+    }
+    if (const auto batch = flag_value(args, "--batch")) {
+        const auto cycles = parse_int(*batch);
+        if (!cycles || *cycles < 1 || *cycles > (1 << 24)) {
+            throw Error("--batch wants a cycle count in [1, 16777216]");
+        }
+        options.batch_cycles = static_cast<int>(*cycles);
+    }
+    if (flag_present(args, "--streaming")) options.mode = core::CharacterizationMode::kStreaming;
+    if (flag_present(args, "--materialized")) {
+        options.mode = core::CharacterizationMode::kMaterialized;
+    }
+
     const core::CharacterizationFlow flow(design);
     const auto result =
-        flow.run(workloads::assemble_programs(workloads::characterization_suite()));
-    std::printf("characterized %llu cycles at %.2f V\n",
-                static_cast<unsigned long long>(result.cycles), design.voltage_v);
+        flow.run(workloads::assemble_programs(workloads::characterization_suite()), options);
+    std::printf("characterized %llu cycles at %.2f V (%s%s)\n",
+                static_cast<unsigned long long>(result.cycles), design.voltage_v,
+                options.mode == core::CharacterizationMode::kBatched        ? "batched"
+                : options.mode == core::CharacterizationMode::kStreaming    ? "streaming"
+                                                                            : "materialized",
+                options.mode == core::CharacterizationMode::kBatched && options.threads > 1
+                    ? (", " + std::to_string(options.threads) + " threads").c_str()
+                    : "");
     std::printf("T_static: %.1f ps (%.1f MHz)\n", result.static_period_ps,
                 focs::mhz_from_period_ps(result.static_period_ps));
     std::printf("genie mean period: %.1f ps (bound %.3fx)\n", result.genie_mean_period_ps,
