@@ -9,10 +9,11 @@
 //
 // Besides the google-benchmark suite, the binary emits a machine-readable
 // BENCH_sim_throughput.json artifact (path override: FOCS_BENCH_JSON env
-// var) with cycles/sec and peak-RSS figures for both characterization modes
-// and the evaluation hot loop, next to the pre-PR baseline those numbers
-// are tracked against. CI uploads it so the perf trajectory is diffable
-// across commits.
+// var) with cycles/sec and peak-RSS figures for both characterization
+// modes, the evaluation hot loop (live and trace-replay), and a sweep
+// wall-clock comparison of the two evaluation modes at 1/2/4/8 workers,
+// next to the pre-PR baseline those numbers are tracked against. CI
+// uploads it so the perf trajectory is diffable across commits.
 #include <benchmark/benchmark.h>
 #include <sys/resource.h>
 
@@ -28,11 +29,14 @@
 #include "asm/assembler.hpp"
 #include "core/dca_engine.hpp"
 #include "core/flows.hpp"
+#include "core/replay_engine.hpp"
 #include "dta/gatesim.hpp"
 #include "runtime/result_io.hpp"
 #include "runtime/sweep_engine.hpp"
 #include "sim/machine.hpp"
+#include "sim/trace_recorder.hpp"
 #include "timing/netlist.hpp"
+#include "timing/trace_delays.hpp"
 #include "workloads/kernel.hpp"
 
 namespace {
@@ -97,6 +101,28 @@ void BM_EvaluateCellLut(benchmark::State& state) {
                                                     benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_EvaluateCellLut)->Unit(benchmark::kMillisecond);
+
+// The replay-mode unit: the same cell as BM_EvaluateCellLut, scored by the
+// devirtualized SoA kernel over a pre-recorded trace instead of stepping
+// the pipeline (byte-identical result).
+void BM_ReplayCellLut(benchmark::State& state) {
+    const timing::DesignConfig design;
+    static const dta::DelayTable table =
+        core::CharacterizationFlow(design).run(characterization_programs()).table;
+    static const sim::PipelineTrace trace = sim::record_trace(coremark_program());
+    static const timing::TraceDelays delays =
+        timing::compute_trace_delays(timing::DelayCalculator(design), trace.records);
+    const core::ReplayEvaluationEngine engine(trace, delays, table);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        const auto result = engine.run(core::PolicyKind::kInstructionLut);
+        cycles += result.cycles;
+        benchmark::DoNotOptimize(result.speedup_vs_static);
+    }
+    state.counters["cycles/s"] = benchmark::Counter(static_cast<double>(cycles),
+                                                    benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReplayCellLut)->Unit(benchmark::kMillisecond);
 
 void BM_GateLevelEventEmission(benchmark::State& state) {
     const timing::DesignConfig design;
@@ -201,13 +227,16 @@ BENCHMARK(BM_DelayCalculatorEvaluate);
 // Serial-vs-parallel scaling of the sweep runtime: the same three-policy
 // suite grid, executed with 1/2/4 worker threads. The shared ArtifactCache
 // is pre-warmed so iterations measure pure evaluation throughput, not the
-// (once-per-process) characterization.
+// (once-per-process) characterization. Pinned to live mode so the cells/s
+// series stays comparable with its pre-replay history (the replay-vs-live
+// comparison lives in the JSON artifact's "sweep" section).
 void BM_SweepEngineScaling(benchmark::State& state) {
     static const auto cache = std::make_shared<runtime::ArtifactCache>();
     runtime::SweepSpec spec;
     spec.policies = {core::PolicyKind::kStatic, core::PolicyKind::kInstructionLut,
                      core::PolicyKind::kGenie};
-    const runtime::SweepEngine engine(static_cast<int>(state.range(0)), cache);
+    const runtime::SweepEngine engine(static_cast<int>(state.range(0)), cache,
+                                      runtime::EvalMode::kLive);
     engine.run(spec);  // warm programs + delay table (untimed)
     std::uint64_t cells = 0;
     for (auto _ : state) {
@@ -311,8 +340,56 @@ void emit_artifact() {
             .cycles;
     });
 
+    // Replay-mode evaluation of the same cell: one recorded trace + cached
+    // required periods, scored by the devirtualized SoA LUT kernel.
+    const sim::PipelineTrace trace = sim::record_trace(coremark_program());
+    const timing::TraceDelays trace_delays =
+        timing::compute_trace_delays(timing::DelayCalculator(design), trace.records);
+    const core::ReplayEvaluationEngine replay_engine(trace, trace_delays, table);
+    const TimedRun replay = timed_cycles(200, [&] {
+        return replay_engine.run(core::PolicyKind::kInstructionLut).cycles;
+    });
+
+    // Sweep wall-clock, same grid in both modes at 1/2/4/8 workers: the
+    // full benchmark suite x all five policies x {ideal, taps:8}. Each run
+    // gets a fresh cache pre-seeded with the delay table, so the wall-clock
+    // compares pure evaluation (live: one guest simulation per cell;
+    // replay: one per kernel + trace recording + kernels), not the shared
+    // characterization. min-of-2 per point to damp scheduler noise.
+    runtime::SweepSpec sweep_spec;
+    sweep_spec.policies = {core::PolicyKind::kStatic, core::PolicyKind::kTwoClass,
+                           core::PolicyKind::kExOnly, core::PolicyKind::kInstructionLut,
+                           core::PolicyKind::kGenie};
+    sweep_spec.generators = {runtime::GeneratorSpec::parse("ideal"),
+                             runtime::GeneratorSpec::parse("taps:8")};
+    const dta::AnalyzerConfig sweep_analyzer = runtime::SweepEngine::analyzer_config_for(sweep_spec);
+    const timing::DesignConfig sweep_design =
+        sweep_spec.design_for(timing::DesignConfig{}.voltage_v);
+    constexpr int kSweepJobSeries[] = {1, 2, 4, 8};
+    std::array<double, 4> sweep_live_ms{};
+    std::array<double, 4> sweep_replay_ms{};
+    std::size_t sweep_cells = 0;
+    std::uint64_t sweep_guests_replay = 0;
+    for (std::size_t i = 0; i < sweep_live_ms.size(); ++i) {
+        for (const bool is_replay : {false, true}) {
+            double best_ms = 0;
+            for (int rep = 0; rep < 2; ++rep) {
+                auto cache = std::make_shared<runtime::ArtifactCache>();
+                cache->put_delay_table(sweep_design, sweep_analyzer, table);
+                const runtime::SweepEngine engine(
+                    kSweepJobSeries[i], cache,
+                    is_replay ? runtime::EvalMode::kReplay : runtime::EvalMode::kLive);
+                const auto result = engine.run(sweep_spec);
+                sweep_cells = result.cells.size();
+                if (is_replay) sweep_guests_replay = result.guest_simulations;
+                if (rep == 0 || result.wall_ms < best_ms) best_ms = result.wall_ms;
+            }
+            (is_replay ? sweep_replay_ms : sweep_live_ms)[i] = best_ms;
+        }
+    }
+
     std::string out = "{\n";
-    out += "  \"schema\": " + json_string("focs-bench-sim-throughput-v2") + ",\n";
+    out += "  \"schema\": " + json_string("focs-bench-sim-throughput-v3") + ",\n";
     out += "  \"baseline\": {\n";
     out += "    \"note\": " +
            json_string("pre-PR seed implementation, commit edd42a9, measured on the repo's dev "
@@ -344,7 +421,44 @@ void emit_artifact() {
     out += "  \"evaluation\": {\n";
     out += "    \"lut_cycles_per_s\": " + json_number(evaluation.cycles_per_s) + ",\n";
     out += "    \"lut_speedup_vs_baseline\": " +
-           json_number(evaluation.cycles_per_s / kBaselineEvaluationCyclesPerS) + "\n  },\n";
+           json_number(evaluation.cycles_per_s / kBaselineEvaluationCyclesPerS) + ",\n";
+    out += "    \"replay_lut_cycles_per_s\": " + json_number(replay.cycles_per_s) + ",\n";
+    out += "    \"replay_speedup_vs_live\": " +
+           json_number(replay.cycles_per_s / evaluation.cycles_per_s) + ",\n";
+    out += "    \"replay_speedup_vs_baseline\": " +
+           json_number(replay.cycles_per_s / kBaselineEvaluationCyclesPerS) + "\n  },\n";
+    out += "  \"sweep\": {\n";
+    out += "    \"note\": " +
+           json_string("same grid (benchmark suite x 5 policies x {ideal, taps:8}, one "
+                       "voltage) in both evaluation modes, delay table pre-seeded, fresh "
+                       "cache per run, min of 2 runs; replay records one trace per kernel "
+                       "and replays every cell from it, live simulates every cell") +
+           ",\n";
+    out += "    \"grid_cells\": " + std::to_string(sweep_cells) + ",\n";
+    out += "    \"replay_guest_simulations\": " + std::to_string(sweep_guests_replay) + ",\n";
+    out += "    \"live_guest_simulations\": " + std::to_string(sweep_cells) + ",\n";
+    out += "    \"live_wall_ms\": {\n";
+    for (std::size_t i = 0; i < sweep_live_ms.size(); ++i) {
+        out += "      \"jobs_" + std::to_string(kSweepJobSeries[i]) +
+               "\": " + json_number(sweep_live_ms[i]) +
+               (i + 1 < sweep_live_ms.size() ? ",\n" : "\n");
+    }
+    out += "    },\n";
+    out += "    \"replay_wall_ms\": {\n";
+    for (std::size_t i = 0; i < sweep_replay_ms.size(); ++i) {
+        out += "      \"jobs_" + std::to_string(kSweepJobSeries[i]) +
+               "\": " + json_number(sweep_replay_ms[i]) +
+               (i + 1 < sweep_replay_ms.size() ? ",\n" : "\n");
+    }
+    out += "    },\n";
+    out += "    \"replay_sweep_speedup\": {\n";
+    for (std::size_t i = 0; i < sweep_replay_ms.size(); ++i) {
+        const double speedup =
+            sweep_replay_ms[i] > 0 ? sweep_live_ms[i] / sweep_replay_ms[i] : 0;
+        out += "      \"jobs_" + std::to_string(kSweepJobSeries[i]) +
+               "\": " + json_number(speedup) + (i + 1 < sweep_replay_ms.size() ? ",\n" : "\n");
+    }
+    out += "    }\n  },\n";
     out += "  \"peak_rss\": {\n";
     out += "    \"note\": " +
            json_string("deltas of the process high-water mark; streaming stays bounded under "

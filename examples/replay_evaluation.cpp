@@ -1,0 +1,60 @@
+// Record once, replay many: score many clocking schemes against one
+// recorded pipeline trace without re-simulating the guest.
+//
+//   1. Record the canonical trace of a kernel (one cycle-accurate run).
+//   2. Compute the per-cycle required-period ground truth once for the
+//      operating point (shared by every scheme replayed at that voltage).
+//   3. Replay every bundled policy — and a custom ClockPolicy through the
+//      generic fallback — against the same trace; each result is
+//      byte-identical to a live DcaEngine::run of that cell.
+//
+// Build & run:  ./build/example_replay_evaluation
+#include <cstdio>
+
+#include "asm/assembler.hpp"
+#include "core/dca_engine.hpp"
+#include "core/flows.hpp"
+#include "core/replay_engine.hpp"
+#include "sim/trace_recorder.hpp"
+#include "timing/trace_delays.hpp"
+#include "workloads/kernel.hpp"
+
+int main() {
+    using namespace focs;
+
+    // Characterize the design once (the paper's Fig. 2 left half).
+    const timing::DesignConfig design;
+    const core::CharacterizationFlow flow(design);
+    const dta::DelayTable table =
+        flow.run(workloads::assemble_programs(workloads::characterization_suite())).table;
+
+    // -- 1. One guest simulation ---------------------------------------------
+    const auto program = assembler::assemble(workloads::find_kernel("matmult").source);
+    const sim::PipelineTrace trace = sim::record_trace(program);
+    std::printf("recorded matmult: %llu cycles, exit code %u\n",
+                static_cast<unsigned long long>(trace.cycles()), trace.guest.exit_code);
+
+    // -- 2. Required-period ground truth for this operating point ------------
+    const timing::DelayCalculator calculator(design);
+    const timing::TraceDelays delays = timing::compute_trace_delays(calculator, trace.records);
+
+    // -- 3. Replay the whole policy batch over the shared trace --------------
+    const core::ReplayEvaluationEngine engine(trace, delays, table);
+    std::printf("\n%-16s %10s %9s %10s\n", "policy", "MHz", "speedup", "violations");
+    for (const auto kind :
+         {core::PolicyKind::kStatic, core::PolicyKind::kTwoClass, core::PolicyKind::kExOnly,
+          core::PolicyKind::kInstructionLut, core::PolicyKind::kGenie}) {
+        const core::DcaRunResult r = engine.run(kind);
+        std::printf("%-16s %10.1f %8.3fx %10llu\n", r.policy.c_str(), r.eff_freq_mhz,
+                    r.speedup_vs_static, static_cast<unsigned long long>(r.timing_violations));
+    }
+
+    // Custom policies replay through the generic virtual fallback.
+    core::ApproximateLutPolicy approx(table, 0.92);
+    core::DcaEngine dca(design);
+    const core::DcaRunResult r = dca.replay(trace, approx);
+    std::printf("%-16s %10.1f %8.3fx %10llu   (custom, generic fallback)\n", r.policy.c_str(),
+                r.eff_freq_mhz, r.speedup_vs_static,
+                static_cast<unsigned long long>(r.timing_violations));
+    return 0;
+}

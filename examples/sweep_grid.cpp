@@ -5,8 +5,12 @@
 //      clock-generator models and supply voltages to cross.
 //   2. Hand it to the SweepEngine: the grid expands into independent jobs,
 //      a thread pool executes them, and shared artifacts (assembled
-//      programs, the characterization delay LUT of each voltage point) are
-//      built exactly once behind shared_futures.
+//      programs, the characterization delay LUT of each voltage point, and
+//      — in the default replay mode — one recorded pipeline trace per
+//      kernel plus its per-voltage required-period arrays) are built
+//      exactly once behind shared_futures. Every policy x generator x
+//      voltage cell over a kernel replays that one trace instead of
+//      re-simulating the guest.
 //   3. Read the deterministically ordered results, and serialize them to
 //      JSON for downstream analysis (plotting, policy search, training
 //      corpora).
@@ -33,7 +37,9 @@ int main() {
     std::printf("spec:\n%s\n", spec.serialize().c_str());
 
     // -- 2. Execute on all cores ---------------------------------------------
-    const runtime::SweepEngine engine;  // jobs = hardware concurrency
+    // Record-once / replay-many is the default; pass EvalMode::kLive for
+    // the full per-cell simulation (byte-identical results either way).
+    const runtime::SweepEngine engine(0, nullptr, runtime::EvalMode::kReplay);
     const runtime::SweepResult result = engine.run(spec);
 
     // -- 3. Inspect the cells (declaration order, independent of jobs) -------
@@ -45,10 +51,11 @@ int main() {
                     cell.result.eff_freq_mhz, cell.result.speedup_vs_static);
     }
     std::printf(
-        "\n%zu cells on %d jobs in %.0f ms; %llu characterizations (one per voltage), "
-        "%llu cache hits, %llu violations\n",
-        result.cells.size(), result.jobs, result.wall_ms,
+        "\n%zu cells (%s mode) on %d jobs in %.0f ms; %llu characterizations (one per "
+        "voltage), %llu guest simulations (one per kernel), %llu cache hits, %llu violations\n",
+        result.cells.size(), result.mode.c_str(), result.jobs, result.wall_ms,
         static_cast<unsigned long long>(result.characterizations),
+        static_cast<unsigned long long>(result.guest_simulations),
         static_cast<unsigned long long>(result.cache_hits),
         static_cast<unsigned long long>(result.total_violations));
 

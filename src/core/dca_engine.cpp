@@ -23,8 +23,8 @@ public:
         total_time_ps_ += granted;
         ++cycles_;
         // Safety: the granted period must cover the actual requirement of
-        // every excited path this cycle (1 fs tolerance for rounding).
-        if (granted + 1e-3 < actual.required_period_ps) {
+        // every excited path this cycle.
+        if (granted + kViolationTolerancePs < actual.required_period_ps) {
             ++violations_;
             worst_violation_ps_ =
                 std::max(worst_violation_ps_, actual.required_period_ps - granted);
@@ -60,19 +60,9 @@ DcaRunResult DcaEngine::run(const assembler::Program& program, ClockPolicy& poli
     DcaObserver observer(calculator_, policy, generator);
     const sim::RunResult guest = machine.run(&observer);
 
-    DcaRunResult result;
-    result.policy = policy.name();
-    result.clock_generator = generator.name();
-    result.cycles = observer.cycles();
-    result.total_time_ps = observer.total_time_ps();
-    result.avg_period_ps =
-        result.cycles > 0 ? result.total_time_ps / static_cast<double>(result.cycles) : 0;
-    result.eff_freq_mhz = result.avg_period_ps > 0 ? mhz_from_period_ps(result.avg_period_ps) : 0;
-    result.static_period_ps = calculator_.static_period_ps();
-    result.speedup_vs_static =
-        result.avg_period_ps > 0 ? result.static_period_ps / result.avg_period_ps : 0;
-    result.timing_violations = observer.violations();
-    result.worst_violation_ps = observer.worst_violation_ps();
+    DcaRunResult result = finish_run(policy.name(), generator.name(), observer.cycles(),
+                                     observer.total_time_ps(), calculator_.static_period_ps(),
+                                     observer.violations(), observer.worst_violation_ps());
     result.guest = guest;
     return result;
 }
@@ -80,6 +70,49 @@ DcaRunResult DcaEngine::run(const assembler::Program& program, ClockPolicy& poli
 DcaRunResult DcaEngine::run(const assembler::Program& program, ClockPolicy& policy) {
     clocking::IdealClockGenerator ideal;
     return run(program, policy, ideal);
+}
+
+DcaRunResult DcaEngine::replay(const sim::PipelineTrace& trace, ClockPolicy& policy,
+                               clocking::ClockGenerator& generator) const {
+    policy.reset();
+    generator.reset();
+    // Same per-cycle protocol as DcaObserver::on_cycle, fed from the
+    // recorded records instead of a stepping pipeline. The actual timing
+    // requirement is re-evaluated here because an arbitrary policy may read
+    // any CycleDelays field; the bundled kinds go through the replay
+    // engine's cached flat arrays instead.
+    DcaObserver observer(calculator_, policy, generator);
+    for (const sim::CycleRecord& record : trace.records) observer.on_cycle(record);
+
+    DcaRunResult result = finish_run(policy.name(), generator.name(), observer.cycles(),
+                                     observer.total_time_ps(), calculator_.static_period_ps(),
+                                     observer.violations(), observer.worst_violation_ps());
+    result.guest = trace.guest;
+    return result;
+}
+
+DcaRunResult DcaEngine::replay(const sim::PipelineTrace& trace, ClockPolicy& policy) const {
+    clocking::IdealClockGenerator ideal;
+    return replay(trace, policy, ideal);
+}
+
+DcaRunResult finish_run(std::string policy, std::string generator, std::uint64_t cycles,
+                        double total_time_ps, double static_period_ps,
+                        std::uint64_t timing_violations, double worst_violation_ps) {
+    DcaRunResult result;
+    result.policy = std::move(policy);
+    result.clock_generator = std::move(generator);
+    result.cycles = cycles;
+    result.total_time_ps = total_time_ps;
+    result.avg_period_ps =
+        result.cycles > 0 ? result.total_time_ps / static_cast<double>(result.cycles) : 0;
+    result.eff_freq_mhz = result.avg_period_ps > 0 ? mhz_from_period_ps(result.avg_period_ps) : 0;
+    result.static_period_ps = static_period_ps;
+    result.speedup_vs_static =
+        result.avg_period_ps > 0 ? result.static_period_ps / result.avg_period_ps : 0;
+    result.timing_violations = timing_violations;
+    result.worst_violation_ps = worst_violation_ps;
+    return result;
 }
 
 }  // namespace focs::core

@@ -15,9 +15,16 @@
 #include "clock/clock_generator.hpp"
 #include "core/policies.hpp"
 #include "sim/machine.hpp"
+#include "sim/trace_recorder.hpp"
 #include "timing/delay_model.hpp"
 
 namespace focs::core {
+
+/// Safety-check tolerance (1 fs, absorbs rounding): a granted period this
+/// close below the actual requirement is not a violation. Shared by the
+/// live engine and the replay kernels — the replay==live byte-identity
+/// contract depends on both using the same value.
+inline constexpr double kViolationTolerancePs = 1e-3;
 
 struct DcaRunResult {
     std::string policy;
@@ -45,6 +52,18 @@ public:
     /// Convenience overload with an ideal (continuously tunable) generator.
     DcaRunResult run(const assembler::Program& program, ClockPolicy& policy);
 
+    /// Replays a recorded trace under `policy` without stepping the machine:
+    /// walks the trace's cycle records through the same per-cycle protocol
+    /// as run() (evaluate actual requirement, request, grant, integrate,
+    /// check safety) and produces a byte-identical DcaRunResult. This is
+    /// the generic path for arbitrary ClockPolicy objects; the bundled
+    /// PolicyKinds have devirtualized SoA kernels in ReplayEvaluationEngine.
+    DcaRunResult replay(const sim::PipelineTrace& trace, ClockPolicy& policy,
+                        clocking::ClockGenerator& generator) const;
+
+    /// Replay overload with an ideal (continuously tunable) generator.
+    DcaRunResult replay(const sim::PipelineTrace& trace, ClockPolicy& policy) const;
+
     const timing::DelayCalculator& calculator() const { return calculator_; }
 
 private:
@@ -52,5 +71,13 @@ private:
     sim::MachineConfig machine_config_;
     timing::DelayCalculator calculator_;
 };
+
+/// Derives the ratio fields of a DcaRunResult from the accumulated raw
+/// figures — the single definition shared by the live engine and the
+/// replay kernels, so both assemble results identically (guest metadata is
+/// filled by the caller).
+DcaRunResult finish_run(std::string policy, std::string generator, std::uint64_t cycles,
+                        double total_time_ps, double static_period_ps,
+                        std::uint64_t timing_violations, double worst_violation_ps);
 
 }  // namespace focs::core

@@ -1,0 +1,171 @@
+#include "core/replay_engine.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace focs::core {
+
+using dta::OccKey;
+using sim::Stage;
+
+ReplayEvaluationEngine::ReplayEvaluationEngine(const sim::PipelineTrace& trace,
+                                               const timing::TraceDelays& delays,
+                                               const dta::DelayTable& table,
+                                               ReplayOptions options)
+    : trace_(&trace), delays_(&delays), table_(&table), options_(options) {
+    check(options_.block_cycles >= 1, "replay block size must be >= 1");
+    check(delays.cycles() == trace.cycles(),
+          "trace delays were computed from a different trace (cycle count mismatch)");
+}
+
+/// Shared block loop: `fill(begin, end, out)` writes the requested period
+/// of cycles [begin, end) into out[0..end-begin); the sequential pass then
+/// applies the (stateful) clock generator and the safety check in exactly
+/// the live engine's per-cycle order, so the integrated time and violation
+/// figures are bit-identical at every block size.
+template <typename FillBlock>
+DcaRunResult ReplayEvaluationEngine::replay_blocks(const ClockPolicy& policy,
+                                                   clocking::ClockGenerator* generator,
+                                                   FillBlock&& fill) const {
+    const std::vector<double>& required = delays_->required_period_ps;
+    const std::size_t cycles = trace_->records.size();
+    const std::size_t block = static_cast<std::size_t>(options_.block_cycles);
+    std::vector<double> requested(std::min<std::size_t>(block, std::max<std::size_t>(cycles, 1)));
+
+    if (generator != nullptr) generator->reset();
+    double total_time_ps = 0;
+    std::uint64_t violations = 0;
+    double worst_violation_ps = 0;
+    for (std::size_t begin = 0; begin < cycles; begin += block) {
+        const std::size_t end = std::min(cycles, begin + block);
+        fill(begin, end, requested.data());
+        for (std::size_t c = begin; c < end; ++c) {
+            const double request = requested[c - begin];
+            const double granted =
+                generator != nullptr ? generator->grant_period_ps(request) : request;
+            total_time_ps += granted;
+            if (granted + kViolationTolerancePs < required[c]) {
+                ++violations;
+                worst_violation_ps = std::max(worst_violation_ps, required[c] - granted);
+            }
+        }
+    }
+
+    DcaRunResult result = finish_run(
+        policy.name(),
+        generator != nullptr ? generator->name() : clocking::IdealClockGenerator().name(),
+        cycles, total_time_ps, delays_->static_period_ps, violations, worst_violation_ps);
+    result.guest = trace_->guest;
+    return result;
+}
+
+DcaRunResult ReplayEvaluationEngine::run(PolicyKind kind,
+                                         clocking::ClockGenerator* generator) const {
+    // The policy object supplies the exact name string and the derived
+    // constants (ex-only floor, two-class fast period) of the live path;
+    // its virtual request hook is never called — the kernels below are the
+    // devirtualized equivalents over the trace's SoA rows.
+    const auto policy = make_policy(kind, *table_, delays_->static_period_ps);
+    const dta::DelayTable& table = *table_;
+    const auto& keys = trace_->stage_keys;
+
+    switch (kind) {
+        case PolicyKind::kStatic: {
+            const double period = delays_->static_period_ps;
+            return replay_blocks(*policy, generator,
+                                 [&](std::size_t begin, std::size_t end, double* out) {
+                                     std::fill(out, out + (end - begin), period);
+                                 });
+        }
+        case PolicyKind::kGenie: {
+            const std::vector<double>& required = delays_->required_period_ps;
+            return replay_blocks(*policy, generator,
+                                 [&](std::size_t begin, std::size_t end, double* out) {
+                                     std::copy(required.begin() + static_cast<std::ptrdiff_t>(begin),
+                                               required.begin() + static_cast<std::ptrdiff_t>(end),
+                                               out);
+                                 });
+        }
+        case PolicyKind::kInstructionLut: {
+            // Stage-major SoA max (paper eq. 2): one pass per stage over the
+            // block's key row, maxing the fallback-resolved entries in place.
+            return replay_blocks(
+                *policy, generator, [&](std::size_t begin, std::size_t end, double* out) {
+                    const std::size_t count = end - begin;
+                    std::fill(out, out + count, 0.0);
+                    for (int s = 0; s < sim::kStageCount; ++s) {
+                        const OccKey* row = keys[static_cast<std::size_t>(s)].data() + begin;
+                        for (std::size_t i = 0; i < count; ++i) {
+                            const double d = table.effective(row[i], static_cast<Stage>(s));
+                            if (d > out[i]) out[i] = d;
+                        }
+                    }
+                });
+        }
+        case PolicyKind::kExOnly: {
+            const auto* ex_only = dynamic_cast<const ExOnlyPolicy*>(policy.get());
+            check(ex_only != nullptr, "ex-only policy kind produced an unexpected policy type");
+            const double floor = ex_only->floor_ps();
+            const OccKey* ex_row = keys[static_cast<std::size_t>(Stage::kEx)].data();
+            return replay_blocks(*policy, generator,
+                                 [&](std::size_t begin, std::size_t end, double* out) {
+                                     for (std::size_t c = begin; c < end; ++c) {
+                                         out[c - begin] = std::max(
+                                             table.effective(ex_row[c], Stage::kEx), floor);
+                                     }
+                                 });
+        }
+        case PolicyKind::kTwoClass: {
+            const auto* two_class = dynamic_cast<const TwoClassPolicy*>(policy.get());
+            check(two_class != nullptr, "two-class policy kind produced an unexpected type");
+            const double fast = two_class->fast_period_ps();
+            const double fallback = table.static_period_ps();
+            // Per-(key, stage) "forces the static fallback" bitmap, hoisted
+            // out of the cycle loop: slow class or uncharacterized entry.
+            std::array<std::array<bool, sim::kStageCount>, dta::kKeyCount> slow{};
+            for (OccKey key = 0; key < dta::kKeyCount; ++key) {
+                for (int s = 0; s < sim::kStageCount; ++s) {
+                    slow[static_cast<std::size_t>(key)][static_cast<std::size_t>(s)] =
+                        TwoClassPolicy::is_slow_key(key) ||
+                        !table.characterized(key, static_cast<Stage>(s));
+                }
+            }
+            // Block-sized scratch, reused across blocks (same pattern as the
+            // requested-period buffer in replay_blocks).
+            std::vector<char> any_slow(static_cast<std::size_t>(options_.block_cycles));
+            return replay_blocks(
+                *policy, generator, [&](std::size_t begin, std::size_t end, double* out) {
+                    const std::size_t count = end - begin;
+                    // Stage-major OR-reduction of the slow bits, then one
+                    // select pass.
+                    std::fill(any_slow.begin(), any_slow.begin() + static_cast<std::ptrdiff_t>(count), 0);
+                    for (int s = 0; s < sim::kStageCount; ++s) {
+                        const OccKey* row = keys[static_cast<std::size_t>(s)].data() + begin;
+                        for (std::size_t i = 0; i < count; ++i) {
+                            any_slow[i] |= static_cast<char>(
+                                slow[static_cast<std::size_t>(row[i])]
+                                    [static_cast<std::size_t>(s)]);
+                        }
+                    }
+                    for (std::size_t i = 0; i < count; ++i) {
+                        out[i] = any_slow[i] != 0 ? fallback : fast;
+                    }
+                });
+        }
+    }
+    check(false, "unknown policy kind");
+    return {};
+}
+
+std::vector<DcaRunResult> ReplayEvaluationEngine::run_batch(
+    const std::vector<ReplayRequest>& requests) const {
+    std::vector<DcaRunResult> results;
+    results.reserve(requests.size());
+    for (const ReplayRequest& request : requests) {
+        results.push_back(run(request.kind, request.generator));
+    }
+    return results;
+}
+
+}  // namespace focs::core

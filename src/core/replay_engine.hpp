@@ -1,0 +1,66 @@
+// Batched policy-replay engine over recorded pipeline traces.
+//
+// Scores clocking schemes against one canonical PipelineTrace without
+// re-simulating the guest. The per-cycle requested period of every bundled
+// PolicyKind is a pure function of the trace's stage-major occupancy-key
+// rows and the delay table, so each kind gets a devirtualized kernel that
+// fills whole trace blocks of requests with plain indexed loads (no
+// virtual dispatch, no CycleRecord reconstruction); the grant/integrate/
+// safety-check pass then walks the block sequentially (clock generators
+// are stateful). Custom ClockPolicy objects fall back to the generic
+// DcaEngine::replay walk. Every path produces DcaRunResults byte-identical
+// to a live DcaEngine::run of the same cell at any block size.
+#pragma once
+
+#include <vector>
+
+#include "core/dca_engine.hpp"
+#include "core/policies.hpp"
+#include "dta/delay_table.hpp"
+#include "sim/trace_recorder.hpp"
+#include "timing/trace_delays.hpp"
+
+namespace focs::core {
+
+struct ReplayOptions {
+    /// Cycles per request block. Any value >= 1 produces identical results;
+    /// the default keeps the request buffer L1/L2-resident.
+    int block_cycles = 4096;
+};
+
+/// One (policy, generator) cell of a replay batch. A null generator means
+/// the ideal (continuously tunable) clock generator.
+struct ReplayRequest {
+    PolicyKind kind = PolicyKind::kInstructionLut;
+    clocking::ClockGenerator* generator = nullptr;
+};
+
+class ReplayEvaluationEngine {
+public:
+    /// `trace`, `delays` and `table` are borrowed read-only and must
+    /// outlive the engine; `delays` must have been computed from `trace` at
+    /// the operating point `table` was characterized for.
+    ReplayEvaluationEngine(const sim::PipelineTrace& trace, const timing::TraceDelays& delays,
+                           const dta::DelayTable& table, ReplayOptions options = {});
+
+    /// Replays one bundled policy kind through its devirtualized kernel.
+    DcaRunResult run(PolicyKind kind, clocking::ClockGenerator* generator = nullptr) const;
+
+    /// Replays a whole policy x generator batch over the shared trace.
+    std::vector<DcaRunResult> run_batch(const std::vector<ReplayRequest>& requests) const;
+
+    const sim::PipelineTrace& trace() const { return *trace_; }
+    const timing::TraceDelays& delays() const { return *delays_; }
+
+private:
+    template <typename FillBlock>
+    DcaRunResult replay_blocks(const ClockPolicy& policy, clocking::ClockGenerator* generator,
+                               FillBlock&& fill) const;
+
+    const sim::PipelineTrace* trace_;
+    const timing::TraceDelays* delays_;
+    const dta::DelayTable* table_;
+    ReplayOptions options_;
+};
+
+}  // namespace focs::core

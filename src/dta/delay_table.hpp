@@ -64,6 +64,13 @@ public:
     /// checks — keys produced by attribution are in range by construction).
     double cycle_period_ps(const sim::CycleRecord& record) const;
 
+    /// Unchecked fallback-resolved read for the replay engine's SoA policy
+    /// kernels: identical to lookup(), but a single indexed load. `key`
+    /// must come from attribution (in range by construction).
+    double effective(OccKey key, sim::Stage stage) const {
+        return effective_[static_cast<std::size_t>(key)][static_cast<std::size_t>(stage)];
+    }
+
     /// Copy with every entry (and the static fallback) multiplied by
     /// `factor`. This is the paper's proposed "(online-)updating of the
     /// used delay prediction table": rescaling by the cell library's delay

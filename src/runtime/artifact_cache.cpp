@@ -34,6 +34,16 @@ std::string ArtifactCache::design_key(const timing::DesignConfig& design,
     return buf;
 }
 
+std::string ArtifactCache::trace_key(const std::string& kernel,
+                                     const sim::MachineConfig& machine_config) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, ":i%u:d%u:%u:w%llu:l%d", machine_config.imem_size,
+                  machine_config.dmem_base, machine_config.dmem_size,
+                  static_cast<unsigned long long>(machine_config.max_cycles),
+                  machine_config.pipeline.div_latency);
+    return kernel + buf;
+}
+
 std::shared_future<assembler::Program> ArtifactCache::program(const std::string& kernel) {
     std::promise<assembler::Program> promise;
     {
@@ -88,6 +98,56 @@ std::shared_future<dta::DelayTable> ArtifactCache::delay_table(
     });
     std::lock_guard<std::mutex> lock(mutex_);
     return tables_.at(key);
+}
+
+std::shared_future<sim::PipelineTrace> ArtifactCache::trace(
+    const std::string& kernel, const sim::MachineConfig& machine_config) {
+    const std::string key = trace_key(kernel, machine_config);
+    std::promise<sim::PipelineTrace> promise;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (const auto it = traces_.find(key); it != traces_.end()) {
+            cache_hits_.fetch_add(1);
+            return it->second;
+        }
+        traces_.emplace(key, promise.get_future().share());
+    }
+    const auto program = this->program(kernel);
+    fulfil(promise, [&] {
+        sim::PipelineTrace trace = sim::record_trace(program.get(), machine_config);
+        traces_recorded_.fetch_add(1);
+        return trace;
+    });
+    std::lock_guard<std::mutex> lock(mutex_);
+    return traces_.at(key);
+}
+
+std::shared_future<timing::TraceDelays> ArtifactCache::trace_delays(
+    const std::string& kernel, const timing::DesignConfig& design,
+    const sim::MachineConfig& machine_config) {
+    char design_part[96];
+    std::snprintf(design_part, sizeof design_part, "@v%d:%.6f:%llu",
+                  static_cast<int>(design.variant), design.voltage_v,
+                  static_cast<unsigned long long>(design.seed));
+    const std::string key = trace_key(kernel, machine_config) + design_part;
+    std::promise<timing::TraceDelays> promise;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (const auto it = trace_delays_.find(key); it != trace_delays_.end()) {
+            cache_hits_.fetch_add(1);
+            return it->second;
+        }
+        trace_delays_.emplace(key, promise.get_future().share());
+    }
+    const auto trace = this->trace(kernel, machine_config);
+    fulfil(promise, [&] {
+        const timing::DelayCalculator calculator(design);
+        timing::TraceDelays delays = timing::compute_trace_delays(calculator, trace.get().records);
+        trace_delays_computed_.fetch_add(1);
+        return delays;
+    });
+    std::lock_guard<std::mutex> lock(mutex_);
+    return trace_delays_.at(key);
 }
 
 void ArtifactCache::put_delay_table(const timing::DesignConfig& design,

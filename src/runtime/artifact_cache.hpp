@@ -1,13 +1,17 @@
 // Shared-artifact cache for the sweep runtime.
 //
-// A sweep grid re-uses two expensive artifacts across many cells: assembled
-// Programs (one per kernel, shared by every policy/generator/voltage cell)
-// and the characterization DelayTable (one per design operating point,
-// shared by every cell at that point). The cache computes each artifact
-// exactly once behind a std::shared_future: the first requester becomes the
-// builder, every concurrent requester blocks on the same future, and later
-// requesters get the cached value immediately. All artifacts are immutable
-// after construction, so sharing references across worker threads is safe.
+// A sweep grid re-uses four expensive artifacts across many cells:
+// assembled Programs (one per kernel, shared by every policy/generator/
+// voltage cell), the characterization DelayTable (one per design operating
+// point, shared by every cell at that point), recorded PipelineTraces (one
+// guest simulation per (kernel, machine config), shared by every clocking
+// scheme replayed over it), and TraceDelays (the per-cycle required-period
+// ground truth, one per (trace, operating point)). The cache computes each
+// artifact exactly once behind a std::shared_future: the first requester
+// becomes the builder, every concurrent requester blocks on the same
+// future, and later requesters get the cached value immediately. All
+// artifacts are immutable after construction, so sharing references across
+// worker threads is safe.
 #pragma once
 
 #include <atomic>
@@ -21,7 +25,9 @@
 #include "asm/program.hpp"
 #include "dta/analyzer.hpp"
 #include "dta/delay_table.hpp"
+#include "sim/trace_recorder.hpp"
 #include "timing/design_config.hpp"
+#include "timing/trace_delays.hpp"
 
 namespace focs::runtime {
 
@@ -48,6 +54,19 @@ public:
     void put_delay_table(const timing::DesignConfig& design,
                          const dta::AnalyzerConfig& analyzer_config, dta::DelayTable table);
 
+    /// Canonical recorded run of one (kernel, machine config): the guest is
+    /// simulated exactly once, then every clocking scheme replays the
+    /// trace. Recording triggers the kernel's program artifact on demand.
+    std::shared_future<sim::PipelineTrace> trace(const std::string& kernel,
+                                                 const sim::MachineConfig& machine_config = {});
+
+    /// Required-period ground truth of one (trace, operating point) pair,
+    /// computed once from the cached trace and shared read-only by every
+    /// replay cell at that point.
+    std::shared_future<timing::TraceDelays> trace_delays(
+        const std::string& kernel, const timing::DesignConfig& design,
+        const sim::MachineConfig& machine_config = {});
+
     /// Number of characterization flows actually executed (not pre-seeded,
     /// not cache hits). The determinism test asserts this is exactly the
     /// number of distinct operating points in a sweep.
@@ -56,8 +75,19 @@ public:
     /// Total requests answered from an already-present entry.
     std::uint64_t cache_hits() const { return cache_hits_.load(); }
 
+    /// Guest simulations actually recorded as traces (not cache hits). A
+    /// replay sweep's exactly-once contract is asserted on this counter:
+    /// one per distinct (kernel, machine config), independent of how many
+    /// policy/generator/voltage cells consume the trace.
+    std::uint64_t traces_recorded() const { return traces_recorded_.load(); }
+
+    /// Per-(trace, operating point) required-period computations executed.
+    std::uint64_t trace_delays_computed() const { return trace_delays_computed_.load(); }
+
     static std::string design_key(const timing::DesignConfig& design,
                                   const dta::AnalyzerConfig& analyzer_config);
+    static std::string trace_key(const std::string& kernel,
+                                 const sim::MachineConfig& machine_config);
 
 private:
     /// Assembled characterization suite, shared by every operating point's
@@ -67,10 +97,14 @@ private:
     std::mutex mutex_;
     std::map<std::string, std::shared_future<assembler::Program>> programs_;
     std::map<std::string, std::shared_future<dta::DelayTable>> tables_;
+    std::map<std::string, std::shared_future<sim::PipelineTrace>> traces_;
+    std::map<std::string, std::shared_future<timing::TraceDelays>> trace_delays_;
     std::shared_future<std::vector<assembler::Program>> characterization_programs_;
     bool characterization_programs_started_ = false;
     std::atomic<std::uint64_t> characterizations_built_{0};
     std::atomic<std::uint64_t> cache_hits_{0};
+    std::atomic<std::uint64_t> traces_recorded_{0};
+    std::atomic<std::uint64_t> trace_delays_computed_{0};
 };
 
 }  // namespace focs::runtime

@@ -263,12 +263,20 @@ const Value& field(const Object& object, const char* key) {
 
 std::string to_json(const SweepResult& result, bool include_timing) {
     std::string out = "{\n";
-    out += "  \"schema\": \"focs-sweep-v1\",\n";
+    out += "  \"schema\": \"focs-sweep-v2\",\n";
+    // The spec stamp is canonical (grid-derived, not run-dependent): two
+    // runs of the same spec carry the same stamp regardless of job count or
+    // evaluation mode, so cached results.json files stay traceable AND the
+    // replay-vs-live byte-diff stays valid.
+    out += "  \"spec\": " + json_string(result.spec_text) + ",\n";
+    out += "  \"spec_hash\": " + json_string(result.spec_hash) + ",\n";
     if (include_timing) {
         out += "  \"jobs\": " + std::to_string(result.jobs) + ",\n";
+        out += "  \"mode\": " + json_string(result.mode) + ",\n";
         out += "  \"wall_ms\": " + json_number(result.wall_ms) + ",\n";
         out += "  \"characterizations\": " + std::to_string(result.characterizations) + ",\n";
         out += "  \"cache_hits\": " + std::to_string(result.cache_hits) + ",\n";
+        out += "  \"guest_simulations\": " + std::to_string(result.guest_simulations) + ",\n";
     }
     out += "  \"mean_eff_freq_mhz\": " + json_number(result.mean_eff_freq_mhz) + ",\n";
     out += "  \"mean_speedup\": " + json_number(result.mean_speedup) + ",\n";
@@ -286,12 +294,23 @@ std::string to_json(const SweepResult& result, bool include_timing) {
 SweepResult from_json(const std::string& text) {
     const Value document = Parser(text).parse_document();
     const Object& root = document.object();
-    check(field(root, "schema").string() == "focs-sweep-v1",
-          "unknown sweep result schema '" + field(root, "schema").string() + "'");
+    const std::string& schema = field(root, "schema").string();
+    // v1: pre-replay documents without the spec stamp; still readable.
+    check(schema == "focs-sweep-v2" || schema == "focs-sweep-v1",
+          "unknown sweep result schema '" + schema + "'");
 
     SweepResult result;
+    if (const auto it = root.find("spec"); it != root.end()) {
+        result.spec_text = it->second.string();
+    }
+    if (const auto it = root.find("spec_hash"); it != root.end()) {
+        result.spec_hash = it->second.string();
+    }
     if (const auto it = root.find("jobs"); it != root.end()) {
         result.jobs = static_cast<int>(it->second.number());
+    }
+    if (const auto it = root.find("mode"); it != root.end()) {
+        result.mode = it->second.string();
     }
     if (const auto it = root.find("wall_ms"); it != root.end()) {
         result.wall_ms = it->second.number();
@@ -301,6 +320,9 @@ SweepResult from_json(const std::string& text) {
     }
     if (const auto it = root.find("cache_hits"); it != root.end()) {
         result.cache_hits = as_u64(it->second);
+    }
+    if (const auto it = root.find("guest_simulations"); it != root.end()) {
+        result.guest_simulations = as_u64(it->second);
     }
     result.mean_eff_freq_mhz = field(root, "mean_eff_freq_mhz").number();
     result.mean_speedup = field(root, "mean_speedup").number();

@@ -24,13 +24,17 @@ namespace focs::runtime {
 std::string json_number(double value);
 std::string json_string(const std::string& value);
 
-/// Serializes a sweep result. `include_timing` controls the run-dependent
-/// header fields (wall_ms, jobs, cache counters); switch it off to obtain a
-/// canonical byte-comparable document of the cells alone.
+/// Serializes a sweep result (schema "focs-sweep-v2"): the originating
+/// spec text and its stable hash are always stamped into the header so
+/// cached results.json files stay traceable. `include_timing` controls the
+/// run-dependent header fields (wall_ms, jobs, mode, cache counters);
+/// switch it off to obtain a canonical byte-comparable document — equal
+/// for any job count and for replay vs. live evaluation of the same spec.
 std::string to_json(const SweepResult& result, bool include_timing = true);
 
-/// Parses a document produced by to_json. Throws focs::Error on malformed
-/// input. Timing header fields absent from the document are left zero.
+/// Parses a document produced by to_json (v2, or the pre-replay v1 without
+/// the spec stamp). Throws focs::Error on malformed input. Header fields
+/// absent from the document are left zero/empty.
 SweepResult from_json(const std::string& text);
 
 }  // namespace focs::runtime

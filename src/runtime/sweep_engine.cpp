@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <exception>
 #include <mutex>
 #include <set>
@@ -10,6 +11,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "core/replay_engine.hpp"
 #include "timing/delay_model.hpp"
 
 namespace focs::runtime {
@@ -26,8 +28,34 @@ struct SweepJob {
 
 }  // namespace
 
-SweepEngine::SweepEngine(int jobs, std::shared_ptr<ArtifactCache> cache)
-    : jobs_(jobs), cache_(std::move(cache)) {
+std::string eval_mode_name(EvalMode mode) {
+    switch (mode) {
+        case EvalMode::kReplay: return "replay";
+        case EvalMode::kLive: return "live";
+    }
+    check(false, "unknown eval mode");
+    return {};
+}
+
+EvalMode parse_eval_mode(const std::string& name) {
+    if (name == "replay") return EvalMode::kReplay;
+    if (name == "live") return EvalMode::kLive;
+    throw Error("unknown evaluation mode '" + name + "' (replay|live)");
+}
+
+std::string stable_text_hash(const std::string& text) {
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x00000100000001b3ull;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "fnv1a:%016llx", static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+SweepEngine::SweepEngine(int jobs, std::shared_ptr<ArtifactCache> cache, EvalMode mode)
+    : jobs_(jobs), cache_(std::move(cache)), mode_(mode) {
     if (!cache_) cache_ = std::make_shared<ArtifactCache>();
 }
 
@@ -46,6 +74,7 @@ SweepResult SweepEngine::run(const SweepSpec& raw_spec) const {
     const dta::AnalyzerConfig analyzer_config = analyzer_config_for(spec);
     const std::uint64_t tables_before = cache_->characterizations_built();
     const std::uint64_t hits_before = cache_->cache_hits();
+    const std::uint64_t traces_before = cache_->traces_recorded();
 
     // Expand the grid in deterministic declaration order: voltage-major so
     // one operating point's cells are adjacent, then kernel, policy,
@@ -88,6 +117,9 @@ SweepResult SweepEngine::run(const SweepSpec& raw_spec) const {
     SweepResult result;
     result.cells.resize(jobs_list.size());
     result.jobs = worker_count;
+    result.mode = eval_mode_name(mode_);
+    result.spec_text = spec.serialize();
+    result.spec_hash = stable_text_hash(result.spec_text);
 
     std::atomic<std::size_t> cursor{0};
     std::atomic<bool> failed{false};
@@ -101,20 +133,41 @@ SweepResult SweepEngine::run(const SweepSpec& raw_spec) const {
             const SweepJob& job = jobs_list[index];
             try {
                 // Shared artifacts: built once, then served from the cache.
-                auto program_future = cache_->program(job.kernel);
                 auto table_future = cache_->delay_table(job.design, analyzer_config, flow_threads);
-                const assembler::Program& program = program_future.get();
-                const dta::DelayTable& table = table_future.get();
 
-                // Private mutable state: engine, policy and generator are
-                // constructed per job inside evaluate_cell / here.
-                const double static_period_ps =
-                    timing::DelayCalculator(job.design).static_period_ps();
-                const auto generator = job.generator->instantiate(static_period_ps);
-                core::DcaRunResult run = core::evaluate_cell(
-                    job.design, table, program, job.policy,
-                    job.generator->kind == GeneratorSpec::Kind::kIdeal ? nullptr
-                                                                       : generator.get());
+                core::DcaRunResult run;
+                if (mode_ == EvalMode::kReplay) {
+                    // Record-once / replay-many: the trace is one guest
+                    // simulation per (kernel, machine config), the required-
+                    // period array one delay-model pass per (trace, voltage);
+                    // this cell only pays the devirtualized policy kernel.
+                    auto trace_future = cache_->trace(job.kernel);
+                    auto delays_future = cache_->trace_delays(job.kernel, job.design);
+                    const sim::PipelineTrace& trace = trace_future.get();
+                    const timing::TraceDelays& delays = delays_future.get();
+                    const dta::DelayTable& table = table_future.get();
+
+                    const auto generator = job.generator->instantiate(delays.static_period_ps);
+                    const core::ReplayEvaluationEngine replay(trace, delays, table);
+                    run = replay.run(job.policy,
+                                     job.generator->kind == GeneratorSpec::Kind::kIdeal
+                                         ? nullptr
+                                         : generator.get());
+                } else {
+                    auto program_future = cache_->program(job.kernel);
+                    const assembler::Program& program = program_future.get();
+                    const dta::DelayTable& table = table_future.get();
+
+                    // Private mutable state: engine, policy and generator
+                    // are constructed per job inside evaluate_cell / here.
+                    const double static_period_ps =
+                        timing::DelayCalculator(job.design).static_period_ps();
+                    const auto generator = job.generator->instantiate(static_period_ps);
+                    run = core::evaluate_cell(
+                        job.design, table, program, job.policy,
+                        job.generator->kind == GeneratorSpec::Kind::kIdeal ? nullptr
+                                                                           : generator.get());
+                }
 
                 SweepCell& cell = result.cells[index];
                 cell.kernel = job.kernel;
@@ -152,6 +205,9 @@ SweepResult SweepEngine::run(const SweepSpec& raw_spec) const {
     }
     result.characterizations = cache_->characterizations_built() - tables_before;
     result.cache_hits = cache_->cache_hits() - hits_before;
+    result.guest_simulations = mode_ == EvalMode::kReplay
+                                   ? cache_->traces_recorded() - traces_before
+                                   : static_cast<std::uint64_t>(result.cells.size());
     result.wall_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                                start)
                          .count();

@@ -4,15 +4,25 @@
 // grid cell and executes the jobs on a pool of worker threads. Workers pull
 // jobs from a shared atomic cursor (cheap work stealing: whoever is free
 // takes the next cell), instantiate all mutable simulator state privately
-// (DcaEngine, policy, clock generator — the sim is mutable, so nothing is
-// shared except read-only artifacts), and obtain shared artifacts from an
-// ArtifactCache, where assembled programs and the characterization
-// DelayTable are computed exactly once behind shared_futures. When the
-// grid needs fewer distinct delay tables than there are workers, the
-// would-be-idle parallelism is handed to the batched characterization
-// engine as intra-flow worker threads. Results land in a pre-sized vector
-// slot per cell, so aggregation order is the spec's declaration order and
-// a --jobs 8 run is byte-identical to --jobs 1.
+// (policy, clock generator — mutable, so nothing is shared except read-only
+// artifacts), and obtain shared artifacts from an ArtifactCache, where
+// assembled programs, the characterization DelayTable, recorded traces and
+// their required-period arrays are computed exactly once behind
+// shared_futures. When the grid needs fewer distinct delay tables than
+// there are workers, the would-be-idle parallelism is handed to the batched
+// characterization engine as intra-flow worker threads. Results land in a
+// pre-sized vector slot per cell, so aggregation order is the spec's
+// declaration order and a --jobs 8 run is byte-identical to --jobs 1.
+//
+// Two execution modes produce byte-identical cells:
+//  - kReplay (default): record-once / replay-many. Each (kernel, machine
+//    config) is simulated exactly once into a cached PipelineTrace; every
+//    policy x generator x voltage cell over that kernel is then scored by
+//    the batched SoA ReplayEvaluationEngine against the cached per-voltage
+//    required-period arrays. A P-policy x G-generator column costs one
+//    guest simulation instead of P*G.
+//  - kLive: the reference path; every cell steps the full delay-annotated
+//    cycle-accurate pipeline (DcaEngine::run).
 #pragma once
 
 #include <cstdint>
@@ -26,6 +36,14 @@
 
 namespace focs::runtime {
 
+/// How the engine evaluates grid cells. Both modes produce byte-identical
+/// results; kReplay simulates each guest exactly once.
+enum class EvalMode { kReplay, kLive };
+
+/// Stable mode name ("replay"|"live"), inverse of parse_eval_mode.
+std::string eval_mode_name(EvalMode mode);
+EvalMode parse_eval_mode(const std::string& name);
+
 /// One evaluated grid cell, labelled by its axis coordinates.
 struct SweepCell {
     std::string kernel;
@@ -38,9 +56,20 @@ struct SweepCell {
 struct SweepResult {
     std::vector<SweepCell> cells;  ///< in spec declaration order
     int jobs = 0;                  ///< worker threads actually used
+    std::string mode;              ///< eval_mode_name of the executing engine
     double wall_ms = 0;
     std::uint64_t characterizations = 0;  ///< delay tables built this sweep
     std::uint64_t cache_hits = 0;
+    /// Guest simulations this sweep paid for its cells: traces recorded in
+    /// replay mode (exactly one per (kernel, machine config) on a cold
+    /// cache), one per cell in live mode. Characterization guest runs are
+    /// tracked separately via `characterizations`.
+    std::uint64_t guest_simulations = 0;
+    /// Resolved spec the cells were produced from, and a stable hash of it,
+    /// stamped into JSON artifacts so cached results.json files stay
+    /// traceable to their originating grid.
+    std::string spec_text;
+    std::string spec_hash;
 
     /// Mean over all cells (matches SuiteResult semantics when the sweep is
     /// a single-policy suite).
@@ -54,15 +83,19 @@ public:
     /// `jobs` > 0 forces the pool size; 0 defers to the spec's `jobs` knob
     /// and then to std::thread::hardware_concurrency(). `cache` may be
     /// shared across sweeps (a serving scenario: repeated requests reuse
-    /// programs and tables); by default each engine owns a fresh one.
-    explicit SweepEngine(int jobs = 0, std::shared_ptr<ArtifactCache> cache = nullptr);
+    /// programs, tables and traces); by default each engine owns a fresh
+    /// one. `mode` selects replay (default) or live evaluation — the spec
+    /// declares the grid only, so the same spec can be executed either way.
+    explicit SweepEngine(int jobs = 0, std::shared_ptr<ArtifactCache> cache = nullptr,
+                         EvalMode mode = EvalMode::kReplay);
 
     /// Executes the sweep. Deterministic: the returned cell order and every
-    /// per-cell result are independent of the job count and of thread
-    /// scheduling.
+    /// per-cell result are independent of the job count, of thread
+    /// scheduling, and of the evaluation mode.
     SweepResult run(const SweepSpec& spec) const;
 
     int jobs() const { return jobs_; }
+    EvalMode mode() const { return mode_; }
     const std::shared_ptr<ArtifactCache>& cache() const { return cache_; }
 
     /// Analyzer config a spec's knobs resolve to (shared with the CLI so a
@@ -72,6 +105,11 @@ public:
 private:
     int jobs_;
     std::shared_ptr<ArtifactCache> cache_;
+    EvalMode mode_;
 };
+
+/// FNV-1a 64-bit hash of `text`, formatted "fnv1a:%016x" — the spec stamp
+/// in sweep JSON artifacts (dependency-free, stable across platforms).
+std::string stable_text_hash(const std::string& text);
 
 }  // namespace focs::runtime

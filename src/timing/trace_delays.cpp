@@ -1,0 +1,16 @@
+#include "timing/trace_delays.hpp"
+
+namespace focs::timing {
+
+TraceDelays compute_trace_delays(const DelayCalculator& calculator,
+                                 const std::vector<sim::CycleRecord>& records) {
+    TraceDelays delays;
+    delays.static_period_ps = calculator.static_period_ps();
+    delays.required_period_ps.reserve(records.size());
+    for (const sim::CycleRecord& record : records) {
+        delays.required_period_ps.push_back(calculator.evaluate(record).required_period_ps);
+    }
+    return delays;
+}
+
+}  // namespace focs::timing

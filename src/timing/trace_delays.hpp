@@ -1,0 +1,37 @@
+// Required-period ground truth of a recorded trace at one operating point.
+//
+// The DCA engine's safety checker and the genie oracle both consume the
+// per-cycle minimum safe clock period. Live evaluation derives it inside
+// every run (DelayCalculator::evaluate per cycle per cell); for replay the
+// requirement is a pure function of (trace, voltage), so it is computed
+// exactly once per (trace, operating point) as a flat array and shared
+// read-only by every policy/generator cell replayed over that trace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cycle_record.hpp"
+#include "timing/delay_model.hpp"
+
+namespace focs::timing {
+
+/// Flat per-cycle timing requirements of one (trace, operating point) pair.
+/// Immutable after computation; safe to share across replay workers.
+struct TraceDelays {
+    /// STA period of the operating point (the static-policy request and the
+    /// uncharacterized-LUT fallback).
+    double static_period_ps = 0;
+    /// required_period_ps[c]: minimum safe clock period of trace cycle c —
+    /// bit-identical to DelayCalculator::evaluate(records[c]) on the same
+    /// design, so replayed violation counts match live runs exactly.
+    std::vector<double> required_period_ps;
+
+    std::uint64_t cycles() const { return static_cast<std::uint64_t>(required_period_ps.size()); }
+};
+
+/// Evaluates the delay model over every recorded cycle once.
+TraceDelays compute_trace_delays(const DelayCalculator& calculator,
+                                 const std::vector<sim::CycleRecord>& records);
+
+}  // namespace focs::timing

@@ -1,0 +1,216 @@
+// Record/replay correctness: a replayed evaluation must be byte-identical
+// to a live DcaEngine::run of the same cell — for every bundled PolicyKind,
+// every clock-generator family, at every replay block size (including odd
+// boundaries), and through the generic virtual-policy fallback.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "asm/assembler.hpp"
+#include "clock/clock_generator.hpp"
+#include "common/error.hpp"
+#include "core/dca_engine.hpp"
+#include "core/flows.hpp"
+#include "core/policies.hpp"
+#include "core/replay_engine.hpp"
+#include "sim/trace_recorder.hpp"
+#include "timing/trace_delays.hpp"
+#include "workloads/kernel.hpp"
+
+namespace focs::core {
+namespace {
+
+constexpr PolicyKind kAllKinds[] = {PolicyKind::kStatic, PolicyKind::kGenie,
+                                    PolicyKind::kInstructionLut, PolicyKind::kExOnly,
+                                    PolicyKind::kTwoClass};
+
+/// Shared fixture artifacts: one characterized table and one recorded trace
+/// (crc32 exercises redirects, loads and held cycles), built once.
+struct ReplayFixture {
+    timing::DesignConfig design;
+    dta::DelayTable table;
+    assembler::Program program;
+    sim::PipelineTrace trace;
+    timing::TraceDelays delays;
+
+    ReplayFixture()
+        : table(CharacterizationFlow(design)
+                    .run(workloads::assemble_programs(workloads::characterization_suite()))
+                    .table),
+          program(assembler::assemble(workloads::find_kernel("crc32").source)),
+          trace(sim::record_trace(program)),
+          delays(timing::compute_trace_delays(timing::DelayCalculator(design), trace.records)) {}
+};
+
+const ReplayFixture& fixture() {
+    static const ReplayFixture f;
+    return f;
+}
+
+/// Exact (bitwise) equality of every DcaRunResult field — the replay
+/// contract is byte-identity, so no tolerances anywhere.
+void expect_identical(const DcaRunResult& live, const DcaRunResult& replayed) {
+    EXPECT_EQ(live.policy, replayed.policy);
+    EXPECT_EQ(live.clock_generator, replayed.clock_generator);
+    EXPECT_EQ(live.cycles, replayed.cycles);
+    EXPECT_EQ(live.total_time_ps, replayed.total_time_ps);
+    EXPECT_EQ(live.avg_period_ps, replayed.avg_period_ps);
+    EXPECT_EQ(live.eff_freq_mhz, replayed.eff_freq_mhz);
+    EXPECT_EQ(live.static_period_ps, replayed.static_period_ps);
+    EXPECT_EQ(live.speedup_vs_static, replayed.speedup_vs_static);
+    EXPECT_EQ(live.timing_violations, replayed.timing_violations);
+    EXPECT_EQ(live.worst_violation_ps, replayed.worst_violation_ps);
+    EXPECT_EQ(live.guest.exit_code, replayed.guest.exit_code);
+    EXPECT_EQ(live.guest.cycles, replayed.guest.cycles);
+    EXPECT_EQ(live.guest.instructions, replayed.guest.instructions);
+    EXPECT_EQ(live.guest.reports, replayed.guest.reports);
+}
+
+std::unique_ptr<clocking::ClockGenerator> make_generator(int which, double static_period_ps) {
+    switch (which) {
+        case 1:
+            return std::make_unique<clocking::QuantizedClockGenerator>(
+                clocking::QuantizedClockGenerator::for_static_period(static_period_ps, 8));
+        case 2:
+            return std::make_unique<clocking::PllBankClockGenerator>(
+                std::vector<double>{0.6 * static_period_ps, 0.8 * static_period_ps,
+                                    static_period_ps},
+                4);
+        default: return nullptr;  // ideal
+    }
+}
+
+TEST(Replay, MatchesLiveForEveryPolicyAndGenerator) {
+    const ReplayFixture& f = fixture();
+    const ReplayEvaluationEngine engine(f.trace, f.delays, f.table);
+    for (const PolicyKind kind : kAllKinds) {
+        for (int which = 0; which < 3; ++which) {
+            SCOPED_TRACE(policy_kind_name(kind) + "/generator" + std::to_string(which));
+            auto live_generator = make_generator(which, f.delays.static_period_ps);
+            const DcaRunResult live =
+                evaluate_cell(f.design, f.table, f.program, kind, live_generator.get());
+            auto replay_generator = make_generator(which, f.delays.static_period_ps);
+            const DcaRunResult replayed = engine.run(kind, replay_generator.get());
+            expect_identical(live, replayed);
+        }
+    }
+}
+
+TEST(Replay, BlockBoundariesDoNotChangeResults) {
+    const ReplayFixture& f = fixture();
+    // Odd block sizes, a single-cycle block, and one block spanning the
+    // whole trace must all reproduce the default's bytes (the stateful PLL
+    // generator is the sharpest detector of a boundary bug).
+    const ReplayEvaluationEngine reference(f.trace, f.delays, f.table);
+    for (const int block : {1, 3, 7, 1023, 1 << 20}) {
+        ReplayOptions options;
+        options.block_cycles = block;
+        const ReplayEvaluationEngine engine(f.trace, f.delays, f.table, options);
+        for (const PolicyKind kind : kAllKinds) {
+            SCOPED_TRACE("block=" + std::to_string(block) + " " + policy_kind_name(kind));
+            auto generator_a = make_generator(2, f.delays.static_period_ps);
+            auto generator_b = make_generator(2, f.delays.static_period_ps);
+            expect_identical(reference.run(kind, generator_a.get()),
+                             engine.run(kind, generator_b.get()));
+        }
+    }
+}
+
+TEST(Replay, GenericFallbackMatchesLiveForCustomPolicy) {
+    const ReplayFixture& f = fixture();
+    // A policy outside the PolicyKind enum exercises DcaEngine::replay, the
+    // virtual-dispatch fallback over the recorded CycleRecords.
+    ApproximateLutPolicy live_policy(f.table, 0.9);
+    ApproximateLutPolicy replay_policy(f.table, 0.9);
+    DcaEngine engine(f.design);
+    const DcaRunResult live = engine.run(f.program, live_policy);
+    const DcaRunResult replayed = engine.replay(f.trace, replay_policy);
+    expect_identical(live, replayed);
+    // The 0.9 scale must actually provoke violations, or this proves less
+    // than it claims about the violation accounting.
+    EXPECT_GT(live.timing_violations, 0u);
+}
+
+TEST(Replay, GenericFallbackMatchesDevirtualizedKernels) {
+    const ReplayFixture& f = fixture();
+    const ReplayEvaluationEngine engine(f.trace, f.delays, f.table);
+    DcaEngine dca(f.design);
+    for (const PolicyKind kind : kAllKinds) {
+        SCOPED_TRACE(policy_kind_name(kind));
+        const auto policy = make_policy(kind, f.table, f.delays.static_period_ps);
+        auto generator_a = make_generator(1, f.delays.static_period_ps);
+        auto generator_b = make_generator(1, f.delays.static_period_ps);
+        expect_identical(dca.replay(f.trace, *policy, *generator_a),
+                         engine.run(kind, generator_b.get()));
+    }
+}
+
+TEST(Replay, RunBatchSharesOneTrace) {
+    const ReplayFixture& f = fixture();
+    const ReplayEvaluationEngine engine(f.trace, f.delays, f.table);
+    auto taps = make_generator(1, f.delays.static_period_ps);
+    const std::vector<ReplayRequest> requests = {
+        {PolicyKind::kStatic, nullptr},
+        {PolicyKind::kInstructionLut, nullptr},
+        {PolicyKind::kInstructionLut, taps.get()},
+        {PolicyKind::kGenie, nullptr},
+    };
+    const auto results = engine.run_batch(requests);
+    ASSERT_EQ(results.size(), requests.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        auto generator = make_generator(requests[i].generator != nullptr ? 1 : 0,
+                                        f.delays.static_period_ps);
+        expect_identical(
+            evaluate_cell(f.design, f.table, f.program, requests[i].kind, generator.get()),
+            results[i]);
+    }
+}
+
+TEST(TraceRecorder, CapturesGuestMetadataAndKeys) {
+    const ReplayFixture& f = fixture();
+    sim::Machine machine;
+    machine.load(f.program);
+    const sim::RunResult direct = machine.run();
+    EXPECT_EQ(f.trace.guest.exit_code, direct.exit_code);
+    EXPECT_EQ(f.trace.guest.cycles, direct.cycles);
+    EXPECT_EQ(f.trace.guest.instructions, direct.instructions);
+    EXPECT_EQ(f.trace.guest.reports, direct.reports);
+    EXPECT_EQ(f.trace.cycles(), direct.cycles);
+
+    // The stage-major SoA rows are exactly attribution_keys of each record.
+    ASSERT_EQ(f.trace.records.size(), f.trace.stage_keys[0].size());
+    for (std::size_t c = 0; c < f.trace.records.size(); c += 97) {
+        const auto keys = dta::attribution_keys(f.trace.records[c]);
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            EXPECT_EQ(f.trace.stage_keys[static_cast<std::size_t>(s)][c],
+                      keys[static_cast<std::size_t>(s)])
+                << "cycle " << c << " stage " << s;
+        }
+    }
+}
+
+TEST(TraceDelays, MatchesPerCycleEvaluation) {
+    const ReplayFixture& f = fixture();
+    const timing::DelayCalculator calculator(f.design);
+    ASSERT_EQ(f.delays.cycles(), f.trace.cycles());
+    EXPECT_EQ(f.delays.static_period_ps, calculator.static_period_ps());
+    for (std::size_t c = 0; c < f.trace.records.size(); c += 131) {
+        EXPECT_EQ(f.delays.required_period_ps[c],
+                  calculator.evaluate(f.trace.records[c]).required_period_ps)
+            << "cycle " << c;
+    }
+}
+
+TEST(Replay, RejectsMismatchedDelays) {
+    const ReplayFixture& f = fixture();
+    timing::TraceDelays truncated = f.delays;
+    truncated.required_period_ps.pop_back();
+    EXPECT_THROW(ReplayEvaluationEngine(f.trace, truncated, f.table), Error);
+    ReplayOptions options;
+    options.block_cycles = 0;
+    EXPECT_THROW(ReplayEvaluationEngine(f.trace, f.delays, f.table, options), Error);
+}
+
+}  // namespace
+}  // namespace focs::core

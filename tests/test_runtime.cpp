@@ -39,6 +39,61 @@ TEST(SweepEngine, ParallelRunIsByteIdenticalToSerial) {
     EXPECT_EQ(to_json(a, /*include_timing=*/false), to_json(b, /*include_timing=*/false));
 }
 
+TEST(SweepEngine, ReplayIsByteIdenticalToLiveAtEveryJobCount) {
+    // The central record/replay contract at the sweep level: the same grid
+    // evaluated live and via cached traces produces identical canonical
+    // documents, for 1/2/8 workers (8 > cell-per-kernel count, so workers
+    // race for shared trace futures under TSan).
+    SweepSpec spec = small_spec();
+    spec.policies = {core::PolicyKind::kInstructionLut, core::PolicyKind::kStatic,
+                     core::PolicyKind::kGenie, core::PolicyKind::kExOnly,
+                     core::PolicyKind::kTwoClass};
+    const SweepResult live = SweepEngine(2, nullptr, EvalMode::kLive).run(spec);
+    EXPECT_EQ(live.mode, "live");
+    EXPECT_EQ(live.guest_simulations, live.cells.size());
+    const std::string live_json = to_json(live, /*include_timing=*/false);
+    for (const int jobs : {1, 2, 8}) {
+        const SweepResult replayed = SweepEngine(jobs, nullptr, EvalMode::kReplay).run(spec);
+        EXPECT_EQ(replayed.mode, "replay");
+        // Exactly one guest simulation per kernel, regardless of the
+        // 10 policy x generator cells stacked on each.
+        EXPECT_EQ(replayed.guest_simulations, spec.kernels.size()) << jobs << " jobs";
+        EXPECT_EQ(to_json(replayed, /*include_timing=*/false), live_json) << jobs << " jobs";
+    }
+}
+
+TEST(SweepEngine, ReplayReusesTracesAcrossSweeps) {
+    auto cache = std::make_shared<ArtifactCache>();
+    const SweepEngine engine(4, cache, EvalMode::kReplay);
+    const SweepResult first = engine.run(small_spec());
+    EXPECT_EQ(first.guest_simulations, 3u);
+    EXPECT_EQ(cache->traces_recorded(), 3u);
+    EXPECT_EQ(cache->trace_delays_computed(), 3u);  // one voltage point
+    // A warm cache serves traces and delays without any new guest runs.
+    const SweepResult again = engine.run(small_spec());
+    EXPECT_EQ(again.guest_simulations, 0u);
+    EXPECT_EQ(cache->traces_recorded(), 3u);
+    EXPECT_EQ(to_json(first, false), to_json(again, false));
+}
+
+TEST(SweepEngine, StampsSpecTextAndHash) {
+    const SweepEngine engine(1);
+    const SweepSpec spec = small_spec();
+    const SweepResult result = engine.run(spec);
+    EXPECT_EQ(result.spec_text, spec.resolved().serialize());
+    EXPECT_EQ(result.spec_hash, stable_text_hash(result.spec_text));
+    EXPECT_EQ(result.spec_hash.rfind("fnv1a:", 0), 0u);
+    // The stamp survives the JSON round trip (both document flavours).
+    const SweepResult parsed = from_json(to_json(result));
+    EXPECT_EQ(parsed.spec_text, result.spec_text);
+    EXPECT_EQ(parsed.spec_hash, result.spec_hash);
+    EXPECT_EQ(parsed.mode, result.mode);
+    EXPECT_EQ(parsed.guest_simulations, result.guest_simulations);
+    const SweepResult canonical = from_json(to_json(result, /*include_timing=*/false));
+    EXPECT_EQ(canonical.spec_hash, result.spec_hash);
+    EXPECT_TRUE(canonical.mode.empty());
+}
+
 TEST(SweepEngine, CharacterizesEachOperatingPointExactlyOnce) {
     auto cache = std::make_shared<ArtifactCache>();
     const SweepEngine engine(4, cache);

@@ -11,12 +11,20 @@
 //   focs evaluate <file.s|kernel:NAME> [--lut lut.txt] [--policy P] [--taps N]
 //                                               delay-annotated run; P in
 //                                               static|two-class|ex-only|lut|genie
-//   focs suite [--lut lut.txt] [--policy P] [--jobs N]
+//   focs suite [--lut lut.txt] [--policy P] [--jobs N] [--replay|--live]
 //                                               run the whole Fig. 8 suite
-//   focs sweep <spec.sweep> [--jobs N] [-o results.json]
-//                                               batch-evaluate a (kernel x
+//   focs sweep <spec.sweep> [--jobs N] [--replay|--live] [-o results.json]
+//              [--canonical]                    batch-evaluate a (kernel x
 //                                               policy x generator x voltage)
-//                                               grid on the parallel runtime
+//                                               grid on the parallel runtime.
+//                                               --replay (default) records one
+//                                               pipeline trace per kernel and
+//                                               replays every policy/generator
+//                                               cell against it; --live runs
+//                                               the full simulation per cell.
+//                                               Both are byte-identical;
+//                                               --canonical writes the
+//                                               run-independent JSON document
 //
 // Programs are read from a file path, or from the bundled workloads with
 // the "kernel:" prefix (e.g. kernel:crc32).
@@ -57,8 +65,13 @@ using namespace focs;
                  "  characterize [-o lut.txt] [--conventional] [--voltage V] [--jobs N]\n"
                  "               [--batch N] [--streaming|--materialized]\n"
                  "  evaluate <file.s|kernel:NAME> [--lut lut.txt] [--policy P] [--taps N]\n"
-                 "  suite [--lut lut.txt] [--policy P] [--jobs N]\n"
-                 "  sweep <spec.sweep> [--jobs N] [-o results.json]\n"
+                 "  suite [--lut lut.txt] [--policy P] [--jobs N] [--replay|--live]\n"
+                 "  sweep <spec.sweep> [--jobs N] [--replay|--live] [-o results.json]\n"
+                 "        [--canonical]\n"
+                 "      --replay (default): simulate each kernel once, replay every\n"
+                 "                          policy/generator cell from the cached trace\n"
+                 "      --live:             full per-cell simulation (reference path)\n"
+                 "      --canonical:        write -o JSON without run-dependent fields\n"
                  "  stats <file.s|kernel:NAME> [--lut lut.txt]\n");
     std::exit(2);
 }
@@ -96,6 +109,13 @@ int parse_jobs(const std::vector<std::string>& args) {
         return static_cast<int>(*jobs);
     }
     return 0;
+}
+
+runtime::EvalMode parse_eval_mode_flags(const std::vector<std::string>& args) {
+    const bool replay = flag_present(args, "--replay");
+    const bool live = flag_present(args, "--live");
+    if (replay && live) throw Error("--replay and --live are mutually exclusive");
+    return live ? runtime::EvalMode::kLive : runtime::EvalMode::kReplay;
 }
 
 dta::DelayTable load_or_build_table(const std::vector<std::string>& args,
@@ -255,7 +275,7 @@ int cmd_suite(const std::vector<std::string>& args) {
     runtime::SweepSpec spec;
     spec.policies.push_back(core::parse_policy_kind(flag_value(args, "--policy").value_or("lut")));
 
-    const runtime::SweepEngine engine(parse_jobs(args));
+    const runtime::SweepEngine engine(parse_jobs(args), nullptr, parse_eval_mode_flags(args));
     if (flag_value(args, "--lut")) {
         engine.cache()->put_delay_table(spec.design_for(timing::DesignConfig{}.voltage_v),
                                         runtime::SweepEngine::analyzer_config_for(spec),
@@ -272,9 +292,12 @@ int cmd_suite(const std::vector<std::string>& args) {
     }
     std::printf("%s", out.to_string().c_str());
     std::printf("average: %.1f MHz, %.3fx\n", result.mean_eff_freq_mhz, result.mean_speedup);
-    std::printf("(%d jobs, %.0f ms, %llu characterization%s)\n", result.jobs, result.wall_ms,
+    std::printf("(%s mode, %d jobs, %.0f ms, %llu characterization%s, %llu guest simulation%s)\n",
+                result.mode.c_str(), result.jobs, result.wall_ms,
                 static_cast<unsigned long long>(result.characterizations),
-                result.characterizations == 1 ? "" : "s");
+                result.characterizations == 1 ? "" : "s",
+                static_cast<unsigned long long>(result.guest_simulations),
+                result.guest_simulations == 1 ? "" : "s");
     return 0;
 }
 
@@ -286,7 +309,7 @@ int cmd_sweep(const std::vector<std::string>& args) {
     buffer << in.rdbuf();
     const runtime::SweepSpec spec = runtime::SweepSpec::parse(buffer.str());
 
-    const runtime::SweepEngine engine(parse_jobs(args));
+    const runtime::SweepEngine engine(parse_jobs(args), nullptr, parse_eval_mode_flags(args));
     const auto result = engine.run(spec);
 
     TextTable out({"Kernel", "Policy", "Generator", "V [V]", "Eff. clock [MHz]", "Speedup",
@@ -298,16 +321,19 @@ int cmd_sweep(const std::vector<std::string>& args) {
                      std::to_string(cell.result.timing_violations)});
     }
     std::printf("%s", out.to_string().c_str());
-    std::printf("%zu cells, %d jobs, %.0f ms wall, %llu characterization%s, %llu cache hits\n",
-                result.cells.size(), result.jobs, result.wall_ms,
+    std::printf("%zu cells, %s mode, %d jobs, %.0f ms wall, %llu characterization%s, "
+                "%llu guest simulation%s, %llu cache hits\n",
+                result.cells.size(), result.mode.c_str(), result.jobs, result.wall_ms,
                 static_cast<unsigned long long>(result.characterizations),
                 result.characterizations == 1 ? "" : "s",
+                static_cast<unsigned long long>(result.guest_simulations),
+                result.guest_simulations == 1 ? "" : "s",
                 static_cast<unsigned long long>(result.cache_hits));
 
     if (const auto path = flag_value(args, "-o")) {
         std::ofstream json_out(*path);
         if (!json_out) throw Error("cannot write " + *path);
-        json_out << runtime::to_json(result);
+        json_out << runtime::to_json(result, /*include_timing=*/!flag_present(args, "--canonical"));
         std::printf("results written to %s\n", path->c_str());
     }
     return 0;
