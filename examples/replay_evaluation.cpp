@@ -2,14 +2,17 @@
 // recorded pipeline trace without re-simulating the guest.
 //
 //   1. Record the canonical trace of a kernel (one cycle-accurate run).
-//   2. Compute the per-cycle required-period ground truth once for the
-//      operating point (shared by every scheme replayed at that voltage).
-//   3. Replay every bundled policy — and a custom ClockPolicy through the
-//      generic fallback — against the same trace; each result is
-//      byte-identical to a live DcaEngine::run of that cell.
+//   2. Compute the *voltage-free* unit delay array once per trace (one
+//      fused stage-major pass); every operating point is a ScaledTraceDelays
+//      view — the shared array plus one delay-scale scalar.
+//   3. Replay every bundled policy — including the promoted approx-lut and
+//      dual-cycle kinds, and a custom ClockPolicy through the generic
+//      fallback — against the same trace; each result is byte-identical to
+//      a live DcaEngine::run of that cell.
 //
 // Build & run:  ./build/example_replay_evaluation
 #include <cstdio>
+#include <memory>
 
 #include "asm/assembler.hpp"
 #include "core/dca_engine.hpp"
@@ -34,25 +37,37 @@ int main() {
     std::printf("recorded matmult: %llu cycles, exit code %u\n",
                 static_cast<unsigned long long>(trace.cycles()), trace.guest.exit_code);
 
-    // -- 2. Required-period ground truth for this operating point ------------
-    const timing::DelayCalculator calculator(design);
-    const timing::TraceDelays delays = timing::compute_trace_delays(calculator, trace.records);
+    // -- 2. One voltage-free delay pass, views for every operating point -----
+    const auto unit = std::make_shared<const timing::UnitTraceDelays>(
+        timing::compute_unit_trace_delays(timing::DelayCalculator(design), trace.records));
+    const timing::ScaledTraceDelays delays =
+        timing::scale_trace_delays(unit, timing::DelayCalculator(design));
+    // The same unit array serves any other voltage as a one-scalar view:
+    timing::DesignConfig undervolted = design;
+    undervolted.voltage_v = 0.60;
+    const timing::ScaledTraceDelays delays_060 =
+        timing::scale_trace_delays(unit, timing::DelayCalculator(undervolted));
+    std::printf("unit pass: %llu cycles; views at %.2f V (scale %.3f) and %.2f V (scale %.3f)\n",
+                static_cast<unsigned long long>(unit->cycles()), design.voltage_v,
+                delays.delay_scale, undervolted.voltage_v, delays_060.delay_scale);
 
     // -- 3. Replay the whole policy batch over the shared trace --------------
     const core::ReplayEvaluationEngine engine(trace, delays, table);
     std::printf("\n%-16s %10s %9s %10s\n", "policy", "MHz", "speedup", "violations");
     for (const auto kind :
-         {core::PolicyKind::kStatic, core::PolicyKind::kTwoClass, core::PolicyKind::kExOnly,
-          core::PolicyKind::kInstructionLut, core::PolicyKind::kGenie}) {
+         {core::PolicyKind::kStatic, core::PolicyKind::kTwoClass, core::PolicyKind::kDualCycle,
+          core::PolicyKind::kExOnly, core::PolicyKind::kInstructionLut,
+          core::PolicyKind::kApproxLut, core::PolicyKind::kGenie}) {
         const core::DcaRunResult r = engine.run(kind);
         std::printf("%-16s %10.1f %8.3fx %10llu\n", r.policy.c_str(), r.eff_freq_mhz,
                     r.speedup_vs_static, static_cast<unsigned long long>(r.timing_violations));
     }
 
-    // Custom policies replay through the generic virtual fallback.
+    // Custom policies replay through the generic fallback — also against
+    // the shared ground truth (no delay-model pass per cell).
     core::ApproximateLutPolicy approx(table, 0.92);
     core::DcaEngine dca(design);
-    const core::DcaRunResult r = dca.replay(trace, approx);
+    const core::DcaRunResult r = dca.replay(trace, delays, approx);
     std::printf("%-16s %10.1f %8.3fx %10llu   (custom, generic fallback)\n", r.policy.c_str(),
                 r.eff_freq_mhz, r.speedup_vs_static,
                 static_cast<unsigned long long>(r.timing_violations));

@@ -17,6 +17,7 @@
 #include "sim/machine.hpp"
 #include "sim/trace_recorder.hpp"
 #include "timing/delay_model.hpp"
+#include "timing/trace_delays.hpp"
 
 namespace focs::core {
 
@@ -63,6 +64,25 @@ public:
 
     /// Replay overload with an ideal (continuously tunable) generator.
     DcaRunResult replay(const sim::PipelineTrace& trace, ClockPolicy& policy) const;
+
+    /// Generic replay against precomputed shared ground truth: the per-
+    /// cycle requirement is one multiply of the voltage-free unit array
+    /// instead of a full delay-model pass per replayed cell — the same
+    /// record-once/derive-many move the devirtualized kernels use, for
+    /// arbitrary ClockPolicy objects. The PolicyContext handed to the
+    /// policy carries the requirement and limiting stage of each cycle but
+    /// zeroed per-stage arrivals (PolicyContext::actual is reserved for the
+    /// genie bound; predictive policies must not read it). Byte-identical
+    /// to the evaluating overloads for every policy honouring that
+    /// contract. `delays` must view unit delays of `trace` at this engine's
+    /// operating point.
+    DcaRunResult replay(const sim::PipelineTrace& trace,
+                        const timing::ScaledTraceDelays& delays, ClockPolicy& policy,
+                        clocking::ClockGenerator& generator) const;
+
+    /// Shared-ground-truth replay with an ideal generator.
+    DcaRunResult replay(const sim::PipelineTrace& trace,
+                        const timing::ScaledTraceDelays& delays, ClockPolicy& policy) const;
 
     const timing::DelayCalculator& calculator() const { return calculator_; }
 

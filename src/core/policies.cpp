@@ -147,6 +147,9 @@ std::unique_ptr<ClockPolicy> make_policy(PolicyKind kind, const DelayTable& tabl
         case PolicyKind::kInstructionLut: return std::make_unique<InstructionLutPolicy>(table);
         case PolicyKind::kExOnly: return std::make_unique<ExOnlyPolicy>(table);
         case PolicyKind::kTwoClass: return std::make_unique<TwoClassPolicy>(table);
+        case PolicyKind::kApproxLut:
+            return std::make_unique<ApproximateLutPolicy>(table, kApproxLutKindScale);
+        case PolicyKind::kDualCycle: return std::make_unique<DualCyclePolicy>(table);
     }
     check(false, "unknown policy kind");
     return nullptr;
@@ -159,6 +162,8 @@ std::string policy_kind_name(PolicyKind kind) {
         case PolicyKind::kInstructionLut: return "lut";
         case PolicyKind::kExOnly: return "ex-only";
         case PolicyKind::kTwoClass: return "two-class";
+        case PolicyKind::kApproxLut: return "approx-lut";
+        case PolicyKind::kDualCycle: return "dual-cycle";
     }
     check(false, "unknown policy kind");
     return {};
@@ -170,7 +175,10 @@ PolicyKind parse_policy_kind(const std::string& name) {
     if (name == "ex-only") return PolicyKind::kExOnly;
     if (name == "lut") return PolicyKind::kInstructionLut;
     if (name == "genie") return PolicyKind::kGenie;
-    throw Error("unknown policy '" + name + "' (static|two-class|ex-only|lut|genie)");
+    if (name == "approx-lut") return PolicyKind::kApproxLut;
+    if (name == "dual-cycle") return PolicyKind::kDualCycle;
+    throw Error("unknown policy '" + name +
+                "' (static|two-class|ex-only|lut|genie|approx-lut|dual-cycle)");
 }
 
 }  // namespace focs::core

@@ -136,14 +136,31 @@ private:
     double fast_period_ps_;
 };
 
-/// Factory enum used by the evaluation flow and benches.
-enum class PolicyKind { kStatic, kGenie, kInstructionLut, kExOnly, kTwoClass };
+/// Factory enum used by the evaluation flow, the sweep axis and benches.
+/// kApproxLut and kDualCycle are the promoted forms of the approximate /
+/// dual-cycle baselines, so sweeps can grid over them with devirtualized
+/// replay kernels instead of the generic fallback.
+enum class PolicyKind {
+    kStatic,
+    kGenie,
+    kInstructionLut,
+    kExOnly,
+    kTwoClass,
+    kApproxLut,
+    kDualCycle,
+};
+
+/// Period compression of the promoted approx-lut PolicyKind (the paper's
+/// Sec. IV-A approximate-operation trade-off at one canonical grid point;
+/// other scales remain available via ApproximateLutPolicy directly).
+inline constexpr double kApproxLutKindScale = 0.9;
 
 std::unique_ptr<ClockPolicy> make_policy(PolicyKind kind, const dta::DelayTable& table,
                                          double static_period_ps);
 
-/// Stable short name of a kind ("static"|"two-class"|"ex-only"|"lut"|"genie");
-/// inverse of parse_policy_kind. Used by the CLI and the sweep runtime.
+/// Stable short name of a kind ("static"|"two-class"|"ex-only"|"lut"|
+/// "genie"|"approx-lut"|"dual-cycle"); inverse of parse_policy_kind. Used
+/// by the CLI and the sweep runtime.
 std::string policy_kind_name(PolicyKind kind);
 PolicyKind parse_policy_kind(const std::string& name);
 

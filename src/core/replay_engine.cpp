@@ -1,6 +1,8 @@
 #include "core/replay_engine.hpp"
 
 #include <algorithm>
+#include <array>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -10,12 +12,13 @@ using dta::OccKey;
 using sim::Stage;
 
 ReplayEvaluationEngine::ReplayEvaluationEngine(const sim::PipelineTrace& trace,
-                                               const timing::TraceDelays& delays,
+                                               timing::ScaledTraceDelays delays,
                                                const dta::DelayTable& table,
                                                ReplayOptions options)
-    : trace_(&trace), delays_(&delays), table_(&table), options_(options) {
+    : trace_(&trace), delays_(std::move(delays)), table_(&table), options_(options) {
     check(options_.block_cycles >= 1, "replay block size must be >= 1");
-    check(delays.cycles() == trace.cycles(),
+    check(delays_.unit != nullptr, "replay engine needs a unit trace-delay artifact");
+    check(delays_.cycles() == trace.cycles(),
           "trace delays were computed from a different trace (cycle count mismatch)");
 }
 
@@ -23,12 +26,17 @@ ReplayEvaluationEngine::ReplayEvaluationEngine(const sim::PipelineTrace& trace,
 /// of cycles [begin, end) into out[0..end-begin); the sequential pass then
 /// applies the (stateful) clock generator and the safety check in exactly
 /// the live engine's per-cycle order, so the integrated time and violation
-/// figures are bit-identical at every block size.
+/// figures are bit-identical at every block size. The required period is
+/// derived inline from the voltage-free unit array and the operating
+/// point's scale — the same fl(unit * scale) double the live calculator
+/// produces (positive-constant multiplication is monotone under IEEE
+/// rounding, so it commutes with the per-stage max).
 template <typename FillBlock>
 DcaRunResult ReplayEvaluationEngine::replay_blocks(const ClockPolicy& policy,
                                                    clocking::ClockGenerator* generator,
                                                    FillBlock&& fill) const {
-    const std::vector<double>& required = delays_->required_period_ps;
+    const double* unit = delays_.unit->unit_required_period_ps.data();
+    const double scale = delays_.delay_scale;
     const std::size_t cycles = trace_->records.size();
     const std::size_t block = static_cast<std::size_t>(options_.block_cycles);
     std::vector<double> requested(std::min<std::size_t>(block, std::max<std::size_t>(cycles, 1)));
@@ -45,9 +53,10 @@ DcaRunResult ReplayEvaluationEngine::replay_blocks(const ClockPolicy& policy,
             const double granted =
                 generator != nullptr ? generator->grant_period_ps(request) : request;
             total_time_ps += granted;
-            if (granted + kViolationTolerancePs < required[c]) {
+            const double required = unit[c] * scale;
+            if (granted + kViolationTolerancePs < required) {
                 ++violations;
-                worst_violation_ps = std::max(worst_violation_ps, required[c] - granted);
+                worst_violation_ps = std::max(worst_violation_ps, required - granted);
             }
         }
     }
@@ -55,52 +64,110 @@ DcaRunResult ReplayEvaluationEngine::replay_blocks(const ClockPolicy& policy,
     DcaRunResult result = finish_run(
         policy.name(),
         generator != nullptr ? generator->name() : clocking::IdealClockGenerator().name(),
-        cycles, total_time_ps, delays_->static_period_ps, violations, worst_violation_ps);
+        cycles, total_time_ps, delays_.static_period_ps, violations, worst_violation_ps);
     result.guest = trace_->guest;
     return result;
+}
+
+DcaRunResult ReplayEvaluationEngine::replay_class_select(const ClockPolicy& policy,
+                                                         clocking::ClockGenerator* generator,
+                                                         double fast_period_ps,
+                                                         double slow_period_ps) const {
+    const dta::DelayTable& table = *table_;
+    const auto& keys = trace_->stage_keys;
+    // Per-(key, stage) "forces the slow period" bitmap, hoisted out of the
+    // cycle loop: critical class or uncharacterized entry.
+    std::array<std::array<bool, sim::kStageCount>, dta::kKeyCount> slow{};
+    for (OccKey key = 0; key < dta::kKeyCount; ++key) {
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            slow[static_cast<std::size_t>(key)][static_cast<std::size_t>(s)] =
+                TwoClassPolicy::is_slow_key(key) ||
+                !table.characterized(key, static_cast<Stage>(s));
+        }
+    }
+    // Block-sized scratch, reused across blocks (same size clamp as the
+    // requested-period buffer in replay_blocks).
+    std::vector<char> any_slow(std::min<std::size_t>(
+        static_cast<std::size_t>(options_.block_cycles),
+        std::max<std::size_t>(trace_->records.size(), 1)));
+    return replay_blocks(
+        policy, generator, [&](std::size_t begin, std::size_t end, double* out) {
+            const std::size_t count = end - begin;
+            // Stage-major OR-reduction of the slow bits, then one select
+            // pass.
+            std::fill(any_slow.begin(), any_slow.begin() + static_cast<std::ptrdiff_t>(count), 0);
+            for (int s = 0; s < sim::kStageCount; ++s) {
+                const OccKey* row = keys[static_cast<std::size_t>(s)].data() + begin;
+                for (std::size_t i = 0; i < count; ++i) {
+                    any_slow[i] |= static_cast<char>(
+                        slow[static_cast<std::size_t>(row[i])]
+                            [static_cast<std::size_t>(s)]);
+                }
+            }
+            for (std::size_t i = 0; i < count; ++i) {
+                out[i] = any_slow[i] != 0 ? slow_period_ps : fast_period_ps;
+            }
+        });
 }
 
 DcaRunResult ReplayEvaluationEngine::run(PolicyKind kind,
                                          clocking::ClockGenerator* generator) const {
     // The policy object supplies the exact name string and the derived
-    // constants (ex-only floor, two-class fast period) of the live path;
-    // its virtual request hook is never called — the kernels below are the
-    // devirtualized equivalents over the trace's SoA rows.
-    const auto policy = make_policy(kind, *table_, delays_->static_period_ps);
+    // constants (ex-only floor, class fast periods, approx scale) of the
+    // live path; its virtual request hook is never called — the kernels
+    // below are the devirtualized equivalents over the trace's SoA rows.
+    const auto policy = make_policy(kind, *table_, delays_.static_period_ps);
     const dta::DelayTable& table = *table_;
     const auto& keys = trace_->stage_keys;
 
+    // Stage-major SoA max (paper eq. 2): one pass per stage over the
+    // block's key row, maxing the fallback-resolved entries in place.
+    // Shared by the lut kernel and (with a trailing compression multiply)
+    // the approx-lut kernel.
+    const auto fill_lut_max = [&](std::size_t begin, std::size_t end, double* out) {
+        const std::size_t count = end - begin;
+        std::fill(out, out + count, 0.0);
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            const OccKey* row = keys[static_cast<std::size_t>(s)].data() + begin;
+            for (std::size_t i = 0; i < count; ++i) {
+                const double d = table.effective(row[i], static_cast<Stage>(s));
+                if (d > out[i]) out[i] = d;
+            }
+        }
+    };
+
     switch (kind) {
         case PolicyKind::kStatic: {
-            const double period = delays_->static_period_ps;
+            const double period = delays_.static_period_ps;
             return replay_blocks(*policy, generator,
                                  [&](std::size_t begin, std::size_t end, double* out) {
                                      std::fill(out, out + (end - begin), period);
                                  });
         }
         case PolicyKind::kGenie: {
-            const std::vector<double>& required = delays_->required_period_ps;
+            // The oracle requests exactly the cycle requirement: the unit
+            // row scaled to the operating point.
+            const double* unit = delays_.unit->unit_required_period_ps.data();
+            const double scale = delays_.delay_scale;
             return replay_blocks(*policy, generator,
                                  [&](std::size_t begin, std::size_t end, double* out) {
-                                     std::copy(required.begin() + static_cast<std::ptrdiff_t>(begin),
-                                               required.begin() + static_cast<std::ptrdiff_t>(end),
-                                               out);
+                                     for (std::size_t c = begin; c < end; ++c) {
+                                         out[c - begin] = unit[c] * scale;
+                                     }
                                  });
         }
-        case PolicyKind::kInstructionLut: {
-            // Stage-major SoA max (paper eq. 2): one pass per stage over the
-            // block's key row, maxing the fallback-resolved entries in place.
+        case PolicyKind::kInstructionLut:
+            return replay_blocks(*policy, generator, fill_lut_max);
+        case PolicyKind::kApproxLut: {
+            const auto* approx = dynamic_cast<const ApproximateLutPolicy*>(policy.get());
+            check(approx != nullptr, "approx-lut policy kind produced an unexpected type");
+            const double approx_scale = approx->scale();
+            // The LUT max pass, then one compression multiply per cycle —
+            // the same fl order as the live cycle_period_ps(record) * scale.
             return replay_blocks(
                 *policy, generator, [&](std::size_t begin, std::size_t end, double* out) {
-                    const std::size_t count = end - begin;
-                    std::fill(out, out + count, 0.0);
-                    for (int s = 0; s < sim::kStageCount; ++s) {
-                        const OccKey* row = keys[static_cast<std::size_t>(s)].data() + begin;
-                        for (std::size_t i = 0; i < count; ++i) {
-                            const double d = table.effective(row[i], static_cast<Stage>(s));
-                            if (d > out[i]) out[i] = d;
-                        }
-                    }
+                    fill_lut_max(begin, end, out);
+                    for (std::size_t i = 0; i < end - begin; ++i) out[i] *= approx_scale;
                 });
         }
         case PolicyKind::kExOnly: {
@@ -119,39 +186,14 @@ DcaRunResult ReplayEvaluationEngine::run(PolicyKind kind,
         case PolicyKind::kTwoClass: {
             const auto* two_class = dynamic_cast<const TwoClassPolicy*>(policy.get());
             check(two_class != nullptr, "two-class policy kind produced an unexpected type");
-            const double fast = two_class->fast_period_ps();
-            const double fallback = table.static_period_ps();
-            // Per-(key, stage) "forces the static fallback" bitmap, hoisted
-            // out of the cycle loop: slow class or uncharacterized entry.
-            std::array<std::array<bool, sim::kStageCount>, dta::kKeyCount> slow{};
-            for (OccKey key = 0; key < dta::kKeyCount; ++key) {
-                for (int s = 0; s < sim::kStageCount; ++s) {
-                    slow[static_cast<std::size_t>(key)][static_cast<std::size_t>(s)] =
-                        TwoClassPolicy::is_slow_key(key) ||
-                        !table.characterized(key, static_cast<Stage>(s));
-                }
-            }
-            // Block-sized scratch, reused across blocks (same pattern as the
-            // requested-period buffer in replay_blocks).
-            std::vector<char> any_slow(static_cast<std::size_t>(options_.block_cycles));
-            return replay_blocks(
-                *policy, generator, [&](std::size_t begin, std::size_t end, double* out) {
-                    const std::size_t count = end - begin;
-                    // Stage-major OR-reduction of the slow bits, then one
-                    // select pass.
-                    std::fill(any_slow.begin(), any_slow.begin() + static_cast<std::ptrdiff_t>(count), 0);
-                    for (int s = 0; s < sim::kStageCount; ++s) {
-                        const OccKey* row = keys[static_cast<std::size_t>(s)].data() + begin;
-                        for (std::size_t i = 0; i < count; ++i) {
-                            any_slow[i] |= static_cast<char>(
-                                slow[static_cast<std::size_t>(row[i])]
-                                    [static_cast<std::size_t>(s)]);
-                        }
-                    }
-                    for (std::size_t i = 0; i < count; ++i) {
-                        out[i] = any_slow[i] != 0 ? fallback : fast;
-                    }
-                });
+            return replay_class_select(*policy, generator, two_class->fast_period_ps(),
+                                       table.static_period_ps());
+        }
+        case PolicyKind::kDualCycle: {
+            const auto* dual = dynamic_cast<const DualCyclePolicy*>(policy.get());
+            check(dual != nullptr, "dual-cycle policy kind produced an unexpected type");
+            const double fast = dual->fast_period_ps();
+            return replay_class_select(*policy, generator, fast, 2.0 * fast);
         }
     }
     check(false, "unknown policy kind");

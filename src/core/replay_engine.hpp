@@ -7,9 +7,13 @@
 // fills whole trace blocks of requests with plain indexed loads (no
 // virtual dispatch, no CycleRecord reconstruction); the grant/integrate/
 // safety-check pass then walks the block sequentially (clock generators
-// are stateful). Custom ClockPolicy objects fall back to the generic
-// DcaEngine::replay walk. Every path produces DcaRunResults byte-identical
-// to a live DcaEngine::run of the same cell at any block size.
+// are stateful). The required-period ground truth is consumed as a
+// ScaledTraceDelays view — the trace's voltage-free unit array plus the
+// operating point's delay scale — so every voltage point of a sweep shares
+// one resident array and the safety check is one multiply per cycle.
+// Custom ClockPolicy objects fall back to the generic DcaEngine::replay
+// walk. Every path produces DcaRunResults byte-identical to a live
+// DcaEngine::run of the same cell at any block size.
 #pragma once
 
 #include <vector>
@@ -37,10 +41,11 @@ struct ReplayRequest {
 
 class ReplayEvaluationEngine {
 public:
-    /// `trace`, `delays` and `table` are borrowed read-only and must
-    /// outlive the engine; `delays` must have been computed from `trace` at
-    /// the operating point `table` was characterized for.
-    ReplayEvaluationEngine(const sim::PipelineTrace& trace, const timing::TraceDelays& delays,
+    /// `trace` and `table` are borrowed read-only and must outlive the
+    /// engine; `delays` (held by value — it shares the unit array) must
+    /// view unit delays computed from `trace` with the design variant and
+    /// voltage `table` was characterized for.
+    ReplayEvaluationEngine(const sim::PipelineTrace& trace, timing::ScaledTraceDelays delays,
                            const dta::DelayTable& table, ReplayOptions options = {});
 
     /// Replays one bundled policy kind through its devirtualized kernel.
@@ -50,15 +55,22 @@ public:
     std::vector<DcaRunResult> run_batch(const std::vector<ReplayRequest>& requests) const;
 
     const sim::PipelineTrace& trace() const { return *trace_; }
-    const timing::TraceDelays& delays() const { return *delays_; }
+    const timing::ScaledTraceDelays& delays() const { return delays_; }
 
 private:
     template <typename FillBlock>
     DcaRunResult replay_blocks(const ClockPolicy& policy, clocking::ClockGenerator* generator,
                                FillBlock&& fill) const;
 
+    /// Shared kernel of the two-class family (two-class, dual-cycle): one
+    /// critical/uncharacterized bitmap hoisted out of the cycle loop, then a
+    /// stage-major OR-reduction and a two-way period select per block.
+    DcaRunResult replay_class_select(const ClockPolicy& policy,
+                                     clocking::ClockGenerator* generator, double fast_period_ps,
+                                     double slow_period_ps) const;
+
     const sim::PipelineTrace* trace_;
-    const timing::TraceDelays* delays_;
+    timing::ScaledTraceDelays delays_;
     const dta::DelayTable* table_;
     ReplayOptions options_;
 };

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <utility>
 
 #include "asm/assembler.hpp"
@@ -122,32 +123,37 @@ std::shared_future<sim::PipelineTrace> ArtifactCache::trace(
     return traces_.at(key);
 }
 
-std::shared_future<timing::TraceDelays> ArtifactCache::trace_delays(
-    const std::string& kernel, const timing::DesignConfig& design,
-    const sim::MachineConfig& machine_config) {
-    char design_part[96];
-    std::snprintf(design_part, sizeof design_part, "@v%d:%.6f:%llu",
-                  static_cast<int>(design.variant), design.voltage_v,
+std::shared_future<std::shared_ptr<const timing::UnitTraceDelays>>
+ArtifactCache::unit_trace_delays(const std::string& kernel, const timing::DesignConfig& design,
+                                 const sim::MachineConfig& machine_config) {
+    // Voltage-free key: the unit pass depends on the trace, the variant's
+    // calibration bands and the jitter seed only, so every voltage point of
+    // a sweep resolves to the same entry.
+    char design_part[64];
+    std::snprintf(design_part, sizeof design_part, "@u%d:%llu",
+                  static_cast<int>(design.variant),
                   static_cast<unsigned long long>(design.seed));
     const std::string key = trace_key(kernel, machine_config) + design_part;
-    std::promise<timing::TraceDelays> promise;
+    std::promise<std::shared_ptr<const timing::UnitTraceDelays>> promise;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        if (const auto it = trace_delays_.find(key); it != trace_delays_.end()) {
+        if (const auto it = unit_delays_.find(key); it != unit_delays_.end()) {
             cache_hits_.fetch_add(1);
+            unit_delay_reuses_.fetch_add(1);
             return it->second;
         }
-        trace_delays_.emplace(key, promise.get_future().share());
+        unit_delays_.emplace(key, promise.get_future().share());
     }
     const auto trace = this->trace(kernel, machine_config);
-    fulfil(promise, [&] {
+    fulfil(promise, [&]() -> std::shared_ptr<const timing::UnitTraceDelays> {
         const timing::DelayCalculator calculator(design);
-        timing::TraceDelays delays = timing::compute_trace_delays(calculator, trace.get().records);
-        trace_delays_computed_.fetch_add(1);
-        return delays;
+        auto unit = std::make_shared<const timing::UnitTraceDelays>(
+            timing::compute_unit_trace_delays(calculator, trace.get().records));
+        unit_delay_passes_.fetch_add(1);
+        return unit;
     });
     std::lock_guard<std::mutex> lock(mutex_);
-    return trace_delays_.at(key);
+    return unit_delays_.at(key);
 }
 
 void ArtifactCache::put_delay_table(const timing::DesignConfig& design,

@@ -5,19 +5,21 @@
 // voltage cell), the characterization DelayTable (one per design operating
 // point, shared by every cell at that point), recorded PipelineTraces (one
 // guest simulation per (kernel, machine config), shared by every clocking
-// scheme replayed over it), and TraceDelays (the per-cycle required-period
-// ground truth, one per (trace, operating point)). The cache computes each
-// artifact exactly once behind a std::shared_future: the first requester
-// becomes the builder, every concurrent requester blocks on the same
-// future, and later requesters get the cached value immediately. All
-// artifacts are immutable after construction, so sharing references across
-// worker threads is safe.
+// scheme replayed over it), and UnitTraceDelays (the voltage-free per-cycle
+// required-period ground truth, one per (trace, design variant) — the
+// *entire voltage axis* of a sweep derives its ScaledTraceDelays views from
+// this one array). The cache computes each artifact exactly once behind a
+// std::shared_future: the first requester becomes the builder, every
+// concurrent requester blocks on the same future, and later requesters get
+// the cached value immediately. All artifacts are immutable after
+// construction, so sharing references across worker threads is safe.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <future>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -60,10 +62,13 @@ public:
     std::shared_future<sim::PipelineTrace> trace(const std::string& kernel,
                                                  const sim::MachineConfig& machine_config = {});
 
-    /// Required-period ground truth of one (trace, operating point) pair,
-    /// computed once from the cached trace and shared read-only by every
-    /// replay cell at that point.
-    std::shared_future<timing::TraceDelays> trace_delays(
+    /// Voltage-free required-period ground truth of one trace: one fused
+    /// unit pass per (kernel, design variant, seed, machine config),
+    /// keyed *without* the voltage — every operating point on the voltage
+    /// axis derives its ScaledTraceDelays view from this shared array
+    /// (timing::scale_trace_delays), so a V-point grid pays one delay-model
+    /// pass instead of V. `design.voltage_v` is ignored.
+    std::shared_future<std::shared_ptr<const timing::UnitTraceDelays>> unit_trace_delays(
         const std::string& kernel, const timing::DesignConfig& design,
         const sim::MachineConfig& machine_config = {});
 
@@ -81,8 +86,15 @@ public:
     /// policy/generator/voltage cells consume the trace.
     std::uint64_t traces_recorded() const { return traces_recorded_.load(); }
 
-    /// Per-(trace, operating point) required-period computations executed.
-    std::uint64_t trace_delays_computed() const { return trace_delays_computed_.load(); }
+    /// Fused unit delay passes executed (not cache hits): exactly one per
+    /// distinct (kernel, design variant, seed, machine config), independent
+    /// of how many voltage points consume the array.
+    std::uint64_t unit_delay_passes() const { return unit_delay_passes_.load(); }
+
+    /// Requests for a unit delay artifact answered from an already-present
+    /// entry — the per-voltage (and per-cell) reuse count of the shared
+    /// arrays.
+    std::uint64_t unit_delay_reuses() const { return unit_delay_reuses_.load(); }
 
     static std::string design_key(const timing::DesignConfig& design,
                                   const dta::AnalyzerConfig& analyzer_config);
@@ -98,13 +110,15 @@ private:
     std::map<std::string, std::shared_future<assembler::Program>> programs_;
     std::map<std::string, std::shared_future<dta::DelayTable>> tables_;
     std::map<std::string, std::shared_future<sim::PipelineTrace>> traces_;
-    std::map<std::string, std::shared_future<timing::TraceDelays>> trace_delays_;
+    std::map<std::string, std::shared_future<std::shared_ptr<const timing::UnitTraceDelays>>>
+        unit_delays_;
     std::shared_future<std::vector<assembler::Program>> characterization_programs_;
     bool characterization_programs_started_ = false;
     std::atomic<std::uint64_t> characterizations_built_{0};
     std::atomic<std::uint64_t> cache_hits_{0};
     std::atomic<std::uint64_t> traces_recorded_{0};
-    std::atomic<std::uint64_t> trace_delays_computed_{0};
+    std::atomic<std::uint64_t> unit_delay_passes_{0};
+    std::atomic<std::uint64_t> unit_delay_reuses_{0};
 };
 
 }  // namespace focs::runtime

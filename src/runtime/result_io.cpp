@@ -263,7 +263,7 @@ const Value& field(const Object& object, const char* key) {
 
 std::string to_json(const SweepResult& result, bool include_timing) {
     std::string out = "{\n";
-    out += "  \"schema\": \"focs-sweep-v2\",\n";
+    out += "  \"schema\": \"focs-sweep-v3\",\n";
     // The spec stamp is canonical (grid-derived, not run-dependent): two
     // runs of the same spec carry the same stamp regardless of job count or
     // evaluation mode, so cached results.json files stay traceable AND the
@@ -277,6 +277,8 @@ std::string to_json(const SweepResult& result, bool include_timing) {
         out += "  \"characterizations\": " + std::to_string(result.characterizations) + ",\n";
         out += "  \"cache_hits\": " + std::to_string(result.cache_hits) + ",\n";
         out += "  \"guest_simulations\": " + std::to_string(result.guest_simulations) + ",\n";
+        out += "  \"unit_delay_passes\": " + std::to_string(result.unit_delay_passes) + ",\n";
+        out += "  \"unit_delay_reuses\": " + std::to_string(result.unit_delay_reuses) + ",\n";
     }
     out += "  \"mean_eff_freq_mhz\": " + json_number(result.mean_eff_freq_mhz) + ",\n";
     out += "  \"mean_speedup\": " + json_number(result.mean_speedup) + ",\n";
@@ -295,8 +297,9 @@ SweepResult from_json(const std::string& text) {
     const Value document = Parser(text).parse_document();
     const Object& root = document.object();
     const std::string& schema = field(root, "schema").string();
-    // v1: pre-replay documents without the spec stamp; still readable.
-    check(schema == "focs-sweep-v2" || schema == "focs-sweep-v1",
+    // v2: pre-unit-delays documents without the voltage-axis counters;
+    // v1: pre-replay documents without the spec stamp. Both still readable.
+    check(schema == "focs-sweep-v3" || schema == "focs-sweep-v2" || schema == "focs-sweep-v1",
           "unknown sweep result schema '" + schema + "'");
 
     SweepResult result;
@@ -323,6 +326,12 @@ SweepResult from_json(const std::string& text) {
     }
     if (const auto it = root.find("guest_simulations"); it != root.end()) {
         result.guest_simulations = as_u64(it->second);
+    }
+    if (const auto it = root.find("unit_delay_passes"); it != root.end()) {
+        result.unit_delay_passes = as_u64(it->second);
+    }
+    if (const auto it = root.find("unit_delay_reuses"); it != root.end()) {
+        result.unit_delay_reuses = as_u64(it->second);
     }
     result.mean_eff_freq_mhz = field(root, "mean_eff_freq_mhz").number();
     result.mean_speedup = field(root, "mean_speedup").number();

@@ -75,6 +75,8 @@ SweepResult SweepEngine::run(const SweepSpec& raw_spec) const {
     const std::uint64_t tables_before = cache_->characterizations_built();
     const std::uint64_t hits_before = cache_->cache_hits();
     const std::uint64_t traces_before = cache_->traces_recorded();
+    const std::uint64_t unit_passes_before = cache_->unit_delay_passes();
+    const std::uint64_t unit_reuses_before = cache_->unit_delay_reuses();
 
     // Expand the grid in deterministic declaration order: voltage-major so
     // one operating point's cells are adjacent, then kernel, policy,
@@ -138,14 +140,19 @@ SweepResult SweepEngine::run(const SweepSpec& raw_spec) const {
                 core::DcaRunResult run;
                 if (mode_ == EvalMode::kReplay) {
                     // Record-once / replay-many: the trace is one guest
-                    // simulation per (kernel, machine config), the required-
-                    // period array one delay-model pass per (trace, voltage);
-                    // this cell only pays the devirtualized policy kernel.
+                    // simulation per (kernel, machine config), the unit
+                    // delay array one fused pass per (kernel, variant) —
+                    // voltage-free, so every operating point of the grid
+                    // derives a ScaledTraceDelays view (one scalar) from
+                    // the same cache-hot array and this cell only pays the
+                    // devirtualized policy kernel.
                     auto trace_future = cache_->trace(job.kernel);
-                    auto delays_future = cache_->trace_delays(job.kernel, job.design);
+                    auto unit_future = cache_->unit_trace_delays(job.kernel, job.design);
                     const sim::PipelineTrace& trace = trace_future.get();
-                    const timing::TraceDelays& delays = delays_future.get();
                     const dta::DelayTable& table = table_future.get();
+                    const timing::DelayCalculator calculator(job.design);
+                    const timing::ScaledTraceDelays delays =
+                        timing::scale_trace_delays(unit_future.get(), calculator);
 
                     const auto generator = job.generator->instantiate(delays.static_period_ps);
                     const core::ReplayEvaluationEngine replay(trace, delays, table);
@@ -208,6 +215,8 @@ SweepResult SweepEngine::run(const SweepSpec& raw_spec) const {
     result.guest_simulations = mode_ == EvalMode::kReplay
                                    ? cache_->traces_recorded() - traces_before
                                    : static_cast<std::uint64_t>(result.cells.size());
+    result.unit_delay_passes = cache_->unit_delay_passes() - unit_passes_before;
+    result.unit_delay_reuses = cache_->unit_delay_reuses() - unit_reuses_before;
     result.wall_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                                start)
                          .count();

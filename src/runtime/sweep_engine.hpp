@@ -7,7 +7,7 @@
 // (policy, clock generator — mutable, so nothing is shared except read-only
 // artifacts), and obtain shared artifacts from an ArtifactCache, where
 // assembled programs, the characterization DelayTable, recorded traces and
-// their required-period arrays are computed exactly once behind
+// their voltage-free unit delay arrays are computed exactly once behind
 // shared_futures. When the grid needs fewer distinct delay tables than
 // there are workers, the would-be-idle parallelism is handed to the batched
 // characterization engine as intra-flow worker threads. Results land in a
@@ -16,11 +16,13 @@
 //
 // Two execution modes produce byte-identical cells:
 //  - kReplay (default): record-once / replay-many. Each (kernel, machine
-//    config) is simulated exactly once into a cached PipelineTrace; every
+//    config) is simulated exactly once into a cached PipelineTrace and its
+//    voltage-free unit delay array is computed in one fused pass; every
 //    policy x generator x voltage cell over that kernel is then scored by
-//    the batched SoA ReplayEvaluationEngine against the cached per-voltage
-//    required-period arrays. A P-policy x G-generator column costs one
-//    guest simulation instead of P*G.
+//    the batched SoA ReplayEvaluationEngine against a ScaledTraceDelays
+//    view (the shared unit array plus the point's delay scale). A P-policy
+//    x G-generator x V-voltage column costs one guest simulation and one
+//    delay-model pass instead of P*G (and P*G*V delay passes).
 //  - kLive: the reference path; every cell steps the full delay-annotated
 //    cycle-accurate pipeline (DcaEngine::run).
 #pragma once
@@ -65,6 +67,14 @@ struct SweepResult {
     /// cache), one per cell in live mode. Characterization guest runs are
     /// tracked separately via `characterizations`.
     std::uint64_t guest_simulations = 0;
+    /// Fused voltage-free delay-model passes this sweep executed: exactly
+    /// one per (kernel, design variant) on a cold cache in replay mode,
+    /// independent of the voltage-axis width. 0 in live mode.
+    std::uint64_t unit_delay_passes = 0;
+    /// Replay cells served a ScaledTraceDelays view from an already-present
+    /// unit array (the per-voltage/per-cell reuse count of the shared
+    /// ground truth).
+    std::uint64_t unit_delay_reuses = 0;
     /// Resolved spec the cells were produced from, and a stable hash of it,
     /// stamped into JSON artifacts so cached results.json files stay
     /// traceable to their originating grid.

@@ -9,7 +9,11 @@
 // wire/state effects, and `data_factor` models operand-dependent path
 // excitation (carry-chain length for the adder, operand widths for the
 // multiplier, toggle counts for logic ops, ...). All values scale with the
-// operating voltage via the cell library.
+// operating voltage via the cell library — and *only* via a single
+// multiplicative `delay_scale(v)`: the unscaled ("unit") requirement of a
+// cycle is a pure function of (variant, seed, cycle record), so it can be
+// computed once per trace and retargeted to any voltage by one multiply
+// (see timing/trace_delays).
 #pragma once
 
 #include <array>
@@ -47,14 +51,41 @@ std::string_view occupancy_class_name(int occupancy_class);
 
 class DelayCalculator {
 public:
+    /// Extra band_lut_ row holding the ADR redirect bands.
+    static constexpr int kAdrRedirectRow = sim::kStageCount;
+
     explicit DelayCalculator(const DesignConfig& config,
                              const CellLibrary& library = CellLibrary::fdsoi28());
 
     /// Computes the actual per-stage timing requirements for one cycle.
     CycleDelays evaluate(const sim::CycleRecord& record) const;
 
+    /// Voltage-free flavour of evaluate(): the same per-stage requirements
+    /// before the operating point's delay_scale multiplier. Because scaling
+    /// by a positive constant is monotone under IEEE rounding,
+    /// fl(evaluate_unit().required_period_ps * voltage_scale()) is
+    /// bit-identical to evaluate().required_period_ps — the property the
+    /// voltage-invariant trace-delay artifact is built on.
+    CycleDelays evaluate_unit(const sim::CycleRecord& record) const;
+
+    /// Unscaled delay of one band for one (stage, cycle) slot: one
+    /// splitmix64 jitter draw mixed with the operand excitation. Exposed for
+    /// the fused stage-major unit kernel in timing/trace_delays.
+    double unit_band_delay(const DelayBand& band, const sim::StageView& view, sim::Stage stage,
+                           std::uint64_t cycle) const;
+
+    /// Band resolved for (row, occupancy class); `row` is a stage index or
+    /// kAdrRedirectRow.
+    const DelayBand& band(int row, int occupancy_class) const {
+        return *band_lut_[static_cast<std::size_t>(row)][static_cast<std::size_t>(occupancy_class)];
+    }
+
     /// The static (STA) clock period of this design at its voltage.
     double static_period_ps() const { return static_period_ps_; }
+
+    /// The static period before voltage scaling (the calibration tables'
+    /// 0.70 V reference value).
+    double unit_static_period_ps() const { return params_->static_period_ps; }
 
     const DesignConfig& config() const { return config_; }
     const TimingParams& params() const { return *params_; }
@@ -73,5 +104,11 @@ private:
     /// load. Row kStageCount holds the ADR redirect bands.
     std::array<std::array<const DelayBand*, kOccupancyClasses>, sim::kStageCount + 1> band_lut_{};
 };
+
+/// Operand-driven excitation factor in [0, 1]; 0 excites the family's worst
+/// path. Only the EX stage sees real operand values; other stages use a
+/// neutral 0.5. Shared by the per-cycle calculator and the stage-major unit
+/// trace kernel.
+double data_factor(const sim::StageView& view, sim::Stage stage);
 
 }  // namespace focs::timing

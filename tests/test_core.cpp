@@ -87,8 +87,11 @@ TEST(Policies, SafetyAcrossWholeSuiteAndPolicies) {
     DcaEngine engine({});
     const auto& table = characterization().table;
     for (const auto& [name, program] : workloads::assemble_suite(workloads::benchmark_suite())) {
+        // approx-lut is deliberately excluded: it trades violations for
+        // speed by design (its accounting parity is covered in test_replay).
         for (const PolicyKind kind : {PolicyKind::kInstructionLut, PolicyKind::kExOnly,
-                                      PolicyKind::kTwoClass, PolicyKind::kStatic}) {
+                                      PolicyKind::kTwoClass, PolicyKind::kStatic,
+                                      PolicyKind::kDualCycle}) {
             const auto policy = make_policy(kind, table, engine.calculator().static_period_ps());
             const DcaRunResult r = engine.run(program, *policy);
             EXPECT_EQ(r.timing_violations, 0u)
@@ -230,10 +233,13 @@ TEST(Flows, StreamingMatchesMaterializedAcrossKernelsAndVoltages) {
 
 TEST(Flows, MakePolicyFactoryCoversAllKinds) {
     const auto& table = characterization().table;
-    for (const PolicyKind kind : {PolicyKind::kStatic, PolicyKind::kGenie,
-                                  PolicyKind::kInstructionLut, PolicyKind::kExOnly,
-                                  PolicyKind::kTwoClass}) {
-        EXPECT_NE(make_policy(kind, table, 2026.0), nullptr);
+    for (const PolicyKind kind :
+         {PolicyKind::kStatic, PolicyKind::kGenie, PolicyKind::kInstructionLut,
+          PolicyKind::kExOnly, PolicyKind::kTwoClass, PolicyKind::kApproxLut,
+          PolicyKind::kDualCycle}) {
+        const auto policy = make_policy(kind, table, 2026.0);
+        ASSERT_NE(policy, nullptr);
+        EXPECT_EQ(parse_policy_kind(policy_kind_name(kind)), kind);
     }
 }
 

@@ -1,9 +1,13 @@
 // Record/replay correctness: a replayed evaluation must be byte-identical
 // to a live DcaEngine::run of the same cell — for every bundled PolicyKind,
 // every clock-generator family, at every replay block size (including odd
-// boundaries), and through the generic virtual-policy fallback.
+// boundaries), and through the generic virtual-policy fallback. The
+// voltage-invariance contract is tested explicitly: one fused unit delay
+// pass per trace must serve every operating point bit-identically to the
+// per-voltage reference pass.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -21,18 +25,22 @@
 namespace focs::core {
 namespace {
 
-constexpr PolicyKind kAllKinds[] = {PolicyKind::kStatic, PolicyKind::kGenie,
+constexpr PolicyKind kAllKinds[] = {PolicyKind::kStatic,    PolicyKind::kGenie,
                                     PolicyKind::kInstructionLut, PolicyKind::kExOnly,
-                                    PolicyKind::kTwoClass};
+                                    PolicyKind::kTwoClass,  PolicyKind::kApproxLut,
+                                    PolicyKind::kDualCycle};
 
 /// Shared fixture artifacts: one characterized table and one recorded trace
-/// (crc32 exercises redirects, loads and held cycles), built once.
+/// (crc32 exercises redirects, loads and held cycles), built once. The
+/// required-period ground truth is the voltage-free unit array plus the
+/// design point's ScaledTraceDelays view.
 struct ReplayFixture {
     timing::DesignConfig design;
     dta::DelayTable table;
     assembler::Program program;
     sim::PipelineTrace trace;
-    timing::TraceDelays delays;
+    std::shared_ptr<const timing::UnitTraceDelays> unit;
+    timing::ScaledTraceDelays delays;
 
     ReplayFixture()
         : table(CharacterizationFlow(design)
@@ -40,7 +48,10 @@ struct ReplayFixture {
                     .table),
           program(assembler::assemble(workloads::find_kernel("crc32").source)),
           trace(sim::record_trace(program)),
-          delays(timing::compute_trace_delays(timing::DelayCalculator(design), trace.records)) {}
+          unit(std::make_shared<const timing::UnitTraceDelays>(
+              timing::compute_unit_trace_delays(timing::DelayCalculator(design),
+                                                trace.records))),
+          delays(timing::scale_trace_delays(unit, timing::DelayCalculator(design))) {}
 };
 
 const ReplayFixture& fixture() {
@@ -97,6 +108,17 @@ TEST(Replay, MatchesLiveForEveryPolicyAndGenerator) {
     }
 }
 
+TEST(Replay, ApproxLutKindProvokesViolationsLikeLive) {
+    // The promoted approx-lut kind deliberately under-clocks; its replayed
+    // violation accounting must match the live run *and* be non-trivial, or
+    // the parity above proves less than it claims.
+    const ReplayFixture& f = fixture();
+    const ReplayEvaluationEngine engine(f.trace, f.delays, f.table);
+    const DcaRunResult replayed = engine.run(PolicyKind::kApproxLut);
+    EXPECT_GT(replayed.timing_violations, 0u);
+    EXPECT_EQ(replayed.policy, "approx-lut/0.90");
+}
+
 TEST(Replay, BlockBoundariesDoNotChangeResults) {
     const ReplayFixture& f = fixture();
     // Odd block sizes, a single-cycle block, and one block spanning the
@@ -119,17 +141,39 @@ TEST(Replay, BlockBoundariesDoNotChangeResults) {
 
 TEST(Replay, GenericFallbackMatchesLiveForCustomPolicy) {
     const ReplayFixture& f = fixture();
-    // A policy outside the PolicyKind enum exercises DcaEngine::replay, the
-    // virtual-dispatch fallback over the recorded CycleRecords.
-    ApproximateLutPolicy live_policy(f.table, 0.9);
-    ApproximateLutPolicy replay_policy(f.table, 0.9);
+    // A policy instance outside the promoted grid points (a non-default
+    // approx scale) exercises DcaEngine::replay, the virtual-dispatch
+    // fallback over the recorded CycleRecords.
+    ApproximateLutPolicy live_policy(f.table, 0.92);
+    ApproximateLutPolicy replay_policy(f.table, 0.92);
     DcaEngine engine(f.design);
     const DcaRunResult live = engine.run(f.program, live_policy);
     const DcaRunResult replayed = engine.replay(f.trace, replay_policy);
     expect_identical(live, replayed);
-    // The 0.9 scale must actually provoke violations, or this proves less
+    // The 0.92 scale must actually provoke violations, or this proves less
     // than it claims about the violation accounting.
     EXPECT_GT(live.timing_violations, 0u);
+}
+
+TEST(Replay, SharedGroundTruthFallbackMatchesEvaluatingFallback) {
+    // The ScaledTraceDelays overload of DcaEngine::replay derives the per-
+    // cycle requirement from the shared unit array instead of re-running
+    // the delay model; for policies honouring the PolicyContext contract
+    // (actual is the genie's channel) it must reproduce the evaluating
+    // fallback's bytes.
+    const ReplayFixture& f = fixture();
+    DcaEngine engine(f.design);
+    ApproximateLutPolicy evaluating(f.table, 0.92);
+    ApproximateLutPolicy shared(f.table, 0.92);
+    expect_identical(engine.replay(f.trace, evaluating),
+                     engine.replay(f.trace, f.delays, shared));
+
+    GenieOraclePolicy genie_a;
+    GenieOraclePolicy genie_b;
+    auto generator_a = make_generator(2, f.delays.static_period_ps);
+    auto generator_b = make_generator(2, f.delays.static_period_ps);
+    expect_identical(engine.replay(f.trace, genie_a, *generator_a),
+                     engine.replay(f.trace, f.delays, genie_b, *generator_b));
 }
 
 TEST(Replay, GenericFallbackMatchesDevirtualizedKernels) {
@@ -154,6 +198,7 @@ TEST(Replay, RunBatchSharesOneTrace) {
         {PolicyKind::kStatic, nullptr},
         {PolicyKind::kInstructionLut, nullptr},
         {PolicyKind::kInstructionLut, taps.get()},
+        {PolicyKind::kDualCycle, nullptr},
         {PolicyKind::kGenie, nullptr},
     };
     const auto results = engine.run_batch(requests);
@@ -190,23 +235,83 @@ TEST(TraceRecorder, CapturesGuestMetadataAndKeys) {
     }
 }
 
-TEST(TraceDelays, MatchesPerCycleEvaluation) {
+TEST(TraceDelays, UnitPassMatchesPerCycleUnitEvaluation) {
+    // The fused stage-major kernel must reproduce the per-cycle
+    // evaluate_unit() exactly — value and limiting-stage attribution.
+    const ReplayFixture& f = fixture();
+    const timing::DelayCalculator calculator(f.design);
+    ASSERT_EQ(f.unit->cycles(), f.trace.cycles());
+    EXPECT_EQ(f.unit->unit_static_period_ps, calculator.unit_static_period_ps());
+    ASSERT_EQ(f.unit->limiting_stage.size(), f.trace.records.size());
+    for (std::size_t c = 0; c < f.trace.records.size(); c += 131) {
+        const timing::CycleDelays reference = calculator.evaluate_unit(f.trace.records[c]);
+        EXPECT_EQ(f.unit->unit_required_period_ps[c], reference.required_period_ps)
+            << "cycle " << c;
+        EXPECT_EQ(f.unit->limiting_stage[c], reference.limiting_stage) << "cycle " << c;
+    }
+}
+
+TEST(TraceDelays, ScaledViewMatchesPerCycleEvaluation) {
     const ReplayFixture& f = fixture();
     const timing::DelayCalculator calculator(f.design);
     ASSERT_EQ(f.delays.cycles(), f.trace.cycles());
     EXPECT_EQ(f.delays.static_period_ps, calculator.static_period_ps());
     for (std::size_t c = 0; c < f.trace.records.size(); c += 131) {
-        EXPECT_EQ(f.delays.required_period_ps[c],
+        EXPECT_EQ(f.delays.required_period_ps(c),
                   calculator.evaluate(f.trace.records[c]).required_period_ps)
             << "cycle " << c;
     }
 }
 
+TEST(TraceDelays, OneUnitPassServesEveryVoltageBitIdentically) {
+    // The tentpole contract: for every benchmark kernel, the single unit
+    // pass scaled to each point of a dense voltage grid must be
+    // byte-identical to the per-voltage reference pass
+    // (compute_trace_delays) — every cycle, every voltage, no tolerances.
+    // Each trace is truncated to a prefix so the dense grid stays fast; the
+    // identity is per-cycle, so a prefix proves the same thing.
+    constexpr double kVoltages[] = {0.50, 0.55, 0.60, 0.65, 0.70,
+                                    0.75, 0.80, 0.85, 0.90, 0.62};
+    constexpr std::size_t kMaxCycles = 3000;
+    for (const auto& kernel : workloads::benchmark_suite()) {
+        SCOPED_TRACE(kernel.name);
+        const auto program = assembler::assemble(kernel.source);
+        const sim::PipelineTrace trace = sim::record_trace(program);
+        const std::vector<sim::CycleRecord> records(
+            trace.records.begin(),
+            trace.records.begin() +
+                static_cast<std::ptrdiff_t>(std::min(kMaxCycles, trace.records.size())));
+        timing::DesignConfig design;
+        const auto unit = std::make_shared<const timing::UnitTraceDelays>(
+            timing::compute_unit_trace_delays(timing::DelayCalculator(design), records));
+        for (const double voltage : kVoltages) {
+            SCOPED_TRACE(voltage);
+            design.voltage_v = voltage;
+            const timing::DelayCalculator calculator(design);
+            const timing::TraceDelays reference =
+                timing::compute_trace_delays(calculator, records);
+            const timing::ScaledTraceDelays scaled =
+                timing::scale_trace_delays(unit, calculator);
+            ASSERT_EQ(scaled.cycles(), reference.cycles());
+            EXPECT_EQ(scaled.static_period_ps, reference.static_period_ps);
+            const timing::TraceDelays materialized = scaled.materialize();
+            // Vector equality is element-exact: one comparison per grid
+            // point instead of a quadratic EXPECT storm.
+            EXPECT_EQ(materialized.required_period_ps, reference.required_period_ps);
+            EXPECT_EQ(materialized.static_period_ps, reference.static_period_ps);
+        }
+    }
+}
+
 TEST(Replay, RejectsMismatchedDelays) {
     const ReplayFixture& f = fixture();
-    timing::TraceDelays truncated = f.delays;
-    truncated.required_period_ps.pop_back();
-    EXPECT_THROW(ReplayEvaluationEngine(f.trace, truncated, f.table), Error);
+    timing::UnitTraceDelays truncated = *f.unit;
+    truncated.unit_required_period_ps.pop_back();
+    timing::ScaledTraceDelays bad = f.delays;
+    bad.unit = std::make_shared<const timing::UnitTraceDelays>(std::move(truncated));
+    EXPECT_THROW(ReplayEvaluationEngine(f.trace, bad, f.table), Error);
+    timing::ScaledTraceDelays null_view;
+    EXPECT_THROW(ReplayEvaluationEngine(f.trace, null_view, f.table), Error);
     ReplayOptions options;
     options.block_cycles = 0;
     EXPECT_THROW(ReplayEvaluationEngine(f.trace, f.delays, f.table, options), Error);

@@ -43,23 +43,59 @@ TEST(SweepEngine, ReplayIsByteIdenticalToLiveAtEveryJobCount) {
     // The central record/replay contract at the sweep level: the same grid
     // evaluated live and via cached traces produces identical canonical
     // documents, for 1/2/8 workers (8 > cell-per-kernel count, so workers
-    // race for shared trace futures under TSan).
+    // race for shared trace futures under TSan). The grid spans every
+    // bundled policy kind — including the promoted approx-lut/dual-cycle
+    // kernels — and two voltage points, so the shared unit delay arrays
+    // are raced and scaled across the voltage axis too.
     SweepSpec spec = small_spec();
     spec.policies = {core::PolicyKind::kInstructionLut, core::PolicyKind::kStatic,
                      core::PolicyKind::kGenie, core::PolicyKind::kExOnly,
-                     core::PolicyKind::kTwoClass};
+                     core::PolicyKind::kTwoClass, core::PolicyKind::kApproxLut,
+                     core::PolicyKind::kDualCycle};
+    spec.voltages_v = {0.65, 0.70};
     const SweepResult live = SweepEngine(2, nullptr, EvalMode::kLive).run(spec);
     EXPECT_EQ(live.mode, "live");
     EXPECT_EQ(live.guest_simulations, live.cells.size());
+    EXPECT_EQ(live.unit_delay_passes, 0u);
     const std::string live_json = to_json(live, /*include_timing=*/false);
     for (const int jobs : {1, 2, 8}) {
         const SweepResult replayed = SweepEngine(jobs, nullptr, EvalMode::kReplay).run(spec);
         EXPECT_EQ(replayed.mode, "replay");
-        // Exactly one guest simulation per kernel, regardless of the
-        // 10 policy x generator cells stacked on each.
+        // Exactly one guest simulation AND one unit delay pass per kernel,
+        // regardless of the 14 policy x generator cells and 2 voltage
+        // points stacked on each.
         EXPECT_EQ(replayed.guest_simulations, spec.kernels.size()) << jobs << " jobs";
+        EXPECT_EQ(replayed.unit_delay_passes, spec.kernels.size()) << jobs << " jobs";
+        EXPECT_EQ(replayed.unit_delay_reuses,
+                  replayed.cells.size() - spec.kernels.size())
+            << jobs << " jobs";
         EXPECT_EQ(to_json(replayed, /*include_timing=*/false), live_json) << jobs << " jobs";
     }
+}
+
+TEST(SweepEngine, DenseVoltageGridPaysOneUnitDelayPassPerKernel) {
+    // The voltage-axis amortization contract on a >= 10-point grid: delay-
+    // model work is one pass per (kernel, variant), not per (kernel,
+    // voltage). The delay table is pre-seeded per point so the test
+    // measures the trace-delay axis, not characterization.
+    SweepSpec spec;
+    spec.kernels = {"crc32", "fibcall"};
+    spec.policies = {core::PolicyKind::kGenie, core::PolicyKind::kStatic};
+    spec.voltages_v = {0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.62};
+    auto cache = std::make_shared<ArtifactCache>();
+    for (const double voltage : spec.voltages_v) {
+        cache->put_delay_table(spec.design_for(voltage), SweepEngine::analyzer_config_for(spec),
+                               dta::DelayTable(5000.0));
+    }
+    const SweepResult result = SweepEngine(4, cache, EvalMode::kReplay).run(spec);
+    EXPECT_EQ(result.cells.size(), 2u * 2u * 10u);
+    EXPECT_EQ(result.characterizations, 0u);
+    EXPECT_EQ(result.guest_simulations, spec.kernels.size());
+    // 10 voltages x 2 policies x 2 kernels = 40 unit-delay requests, but
+    // only one fused pass per kernel; the other 38 are view derivations.
+    EXPECT_EQ(result.unit_delay_passes, spec.kernels.size());
+    EXPECT_EQ(result.unit_delay_reuses, result.cells.size() - spec.kernels.size());
+    EXPECT_EQ(cache->unit_delay_passes(), spec.kernels.size());
 }
 
 TEST(SweepEngine, ReplayReusesTracesAcrossSweeps) {
@@ -68,11 +104,14 @@ TEST(SweepEngine, ReplayReusesTracesAcrossSweeps) {
     const SweepResult first = engine.run(small_spec());
     EXPECT_EQ(first.guest_simulations, 3u);
     EXPECT_EQ(cache->traces_recorded(), 3u);
-    EXPECT_EQ(cache->trace_delays_computed(), 3u);  // one voltage point
-    // A warm cache serves traces and delays without any new guest runs.
+    EXPECT_EQ(cache->unit_delay_passes(), 3u);  // one per kernel, voltage-free
+    // A warm cache serves traces and unit delays without any new guest
+    // runs or delay-model passes.
     const SweepResult again = engine.run(small_spec());
     EXPECT_EQ(again.guest_simulations, 0u);
+    EXPECT_EQ(again.unit_delay_passes, 0u);
     EXPECT_EQ(cache->traces_recorded(), 3u);
+    EXPECT_EQ(cache->unit_delay_passes(), 3u);
     EXPECT_EQ(to_json(first, false), to_json(again, false));
 }
 
@@ -154,9 +193,12 @@ TEST(ResultIo, JsonRoundTripIsLossless) {
     const SweepResult result = engine.run(spec);
 
     const std::string json = to_json(result);
+    EXPECT_NE(json.find("\"focs-sweep-v3\""), std::string::npos);
     const SweepResult parsed = from_json(json);
     EXPECT_EQ(parsed.jobs, result.jobs);
     EXPECT_EQ(parsed.characterizations, result.characterizations);
+    EXPECT_EQ(parsed.unit_delay_passes, result.unit_delay_passes);
+    EXPECT_EQ(parsed.unit_delay_reuses, result.unit_delay_reuses);
     ASSERT_EQ(parsed.cells.size(), result.cells.size());
     for (std::size_t i = 0; i < parsed.cells.size(); ++i) {
         EXPECT_EQ(parsed.cells[i].kernel, result.cells[i].kernel);
@@ -166,6 +208,30 @@ TEST(ResultIo, JsonRoundTripIsLossless) {
     // Re-serializing the parsed document reproduces it byte for byte ("%.17g"
     // doubles survive the round trip).
     EXPECT_EQ(to_json(parsed), json);
+}
+
+TEST(ResultIo, ParsesPreUnitDelayV2Documents) {
+    // A v2 artifact (pre-voltage-axis counters) produced by an older build
+    // must still load; the absent counters stay zero.
+    const SweepEngine engine(1);
+    SweepSpec spec = small_spec();
+    spec.kernels = {"crc32"};
+    const SweepResult result = engine.run(spec);
+    std::string v2 = to_json(result);
+    const auto schema_at = v2.find("focs-sweep-v3");
+    ASSERT_NE(schema_at, std::string::npos);
+    v2.replace(schema_at, 13, "focs-sweep-v2");
+    const auto passes_at = v2.find("  \"unit_delay_passes\"");
+    ASSERT_NE(passes_at, std::string::npos);
+    const auto reuses_end = v2.find('\n', v2.find("\"unit_delay_reuses\""));
+    v2.erase(passes_at, reuses_end + 1 - passes_at);
+
+    const SweepResult parsed = from_json(v2);
+    EXPECT_EQ(parsed.unit_delay_passes, 0u);
+    EXPECT_EQ(parsed.unit_delay_reuses, 0u);
+    EXPECT_EQ(parsed.spec_hash, result.spec_hash);
+    ASSERT_EQ(parsed.cells.size(), result.cells.size());
+    EXPECT_EQ(parsed.cells[0].result.total_time_ps, result.cells[0].result.total_time_ps);
 }
 
 TEST(ResultIo, RejectsMalformedDocuments) {

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Enforce perf thresholds on a fresh BENCH_sim_throughput.json.
+
+Compares a freshly measured artifact against the committed one and fails
+(exit 1) on a regression beyond the tolerance. Two classes of figures:
+
+- Ratio figures (replay vs live, batched vs streaming) are within-host
+  ratios of the same code path: they transfer across machines and are
+  enforced unconditionally.
+- Absolute throughput figures (replay_lut_cycles_per_s, the batched
+  characterization series) and cross-code-path ratios (the voltage-axis
+  amortization) only mean something on comparable hosts. Host
+  comparability is judged by the materialized characterization mode — the
+  legacy reference path no PR optimizes, so its throughput is a pure
+  host-speed proxy. When the fresh host's calibration figure deviates from
+  the committed one by more than --calibration-band, the absolute checks
+  are skipped (reported, not enforced) instead of producing false alarms
+  on slower/faster CI runners.
+
+Usage:
+  check_bench_regression.py --committed BENCH_sim_throughput.json \
+                            --fresh fresh.json [--tolerance 0.25] \
+                            [--calibration-band 0.33]
+"""
+
+import argparse
+import json
+import sys
+
+
+def lookup(doc, dotted):
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node if isinstance(node, (int, float)) else None
+
+
+# Host-independent ratio figures: always enforced. Only ratios of the
+# *same* code path under the same memory-access pattern belong here —
+# those transfer across machines.
+RATIO_FIGURES = [
+    "evaluation.replay_speedup_vs_live",
+    "characterization.batched_speedup_vs_streaming",
+]
+
+# Figures enforced only on comparable hosts: absolute throughputs, plus
+# ratios of differently-bound code paths (the voltage-axis speedup pits a
+# per-cycle pass against a memory-streaming fused pass, so it shifts with
+# the host's cache/bandwidth profile).
+ABSOLUTE_FIGURES = [
+    "evaluation.replay_lut_cycles_per_s",
+    "evaluation.lut_cycles_per_s",
+    "characterization.characterization_batched_cycles_per_s.threads_1",
+    "characterization.streaming_cycles_per_s",
+    "voltage_axis.delay_pass.axis_speedup",
+]
+
+CALIBRATION_FIGURE = "characterization.materialized_cycles_per_s"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--committed", required=True)
+    parser.add_argument("--fresh", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="max fractional regression (default 0.25 = 25%%)")
+    parser.add_argument("--calibration-band", type=float, default=0.33,
+                        help="max fractional host-speed deviation for the "
+                             "absolute checks to apply (default 0.33)")
+    args = parser.parse_args()
+
+    with open(args.committed) as f:
+        committed = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    failures = []
+
+    def check(name, enforced):
+        old = lookup(committed, name)
+        new = lookup(fresh, name)
+        if old is None or new is None or old <= 0:
+            print(f"  skip  {name}: not present in both artifacts")
+            return
+        change = new / old - 1.0
+        regressed = change < -args.tolerance
+        tag = "FAIL" if (regressed and enforced) else ("warn" if regressed else "ok")
+        print(f"  {tag:4}  {name}: {old:.6g} -> {new:.6g} ({change:+.1%})")
+        if regressed and enforced:
+            failures.append(name)
+
+    old_cal = lookup(committed, CALIBRATION_FIGURE)
+    new_cal = lookup(fresh, CALIBRATION_FIGURE)
+    comparable = False
+    if old_cal and new_cal and old_cal > 0:
+        deviation = new_cal / old_cal - 1.0
+        comparable = abs(deviation) <= args.calibration_band
+        print(f"host calibration ({CALIBRATION_FIGURE}): "
+              f"{old_cal:.6g} -> {new_cal:.6g} ({deviation:+.1%}) — "
+              f"{'comparable' if comparable else 'NOT comparable'} hosts")
+    else:
+        print("host calibration figure missing — absolute checks skipped")
+
+    print(f"ratio figures (enforced, tolerance {args.tolerance:.0%}):")
+    for name in RATIO_FIGURES:
+        check(name, enforced=True)
+
+    print(f"absolute figures ({'enforced' if comparable else 'report-only: hosts differ'}):")
+    for name in ABSOLUTE_FIGURES:
+        check(name, enforced=comparable)
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} figure(s) regressed beyond "
+              f"{args.tolerance:.0%}: {', '.join(failures)}")
+        return 1
+    print("\nOK: no tracked figure regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,8 @@
 //                                               adds endpoint-kernel workers
 //   focs evaluate <file.s|kernel:NAME> [--lut lut.txt] [--policy P] [--taps N]
 //                                               delay-annotated run; P in
-//                                               static|two-class|ex-only|lut|genie
+//                                               static|two-class|ex-only|lut|
+//                                               genie|approx-lut|dual-cycle
 //   focs suite [--lut lut.txt] [--policy P] [--jobs N] [--replay|--live]
 //                                               run the whole Fig. 8 suite
 //   focs sweep <spec.sweep> [--jobs N] [--replay|--live] [-o results.json]
@@ -322,12 +323,17 @@ int cmd_sweep(const std::vector<std::string>& args) {
     }
     std::printf("%s", out.to_string().c_str());
     std::printf("%zu cells, %s mode, %d jobs, %.0f ms wall, %llu characterization%s, "
-                "%llu guest simulation%s, %llu cache hits\n",
+                "%llu guest simulation%s, %llu unit delay pass%s (%llu reuse%s), "
+                "%llu cache hits\n",
                 result.cells.size(), result.mode.c_str(), result.jobs, result.wall_ms,
                 static_cast<unsigned long long>(result.characterizations),
                 result.characterizations == 1 ? "" : "s",
                 static_cast<unsigned long long>(result.guest_simulations),
                 result.guest_simulations == 1 ? "" : "s",
+                static_cast<unsigned long long>(result.unit_delay_passes),
+                result.unit_delay_passes == 1 ? "" : "es",
+                static_cast<unsigned long long>(result.unit_delay_reuses),
+                result.unit_delay_reuses == 1 ? "" : "s",
                 static_cast<unsigned long long>(result.cache_hits));
 
     if (const auto path = flag_value(args, "-o")) {
