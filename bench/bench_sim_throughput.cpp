@@ -35,6 +35,8 @@
 #include "core/flows.hpp"
 #include "core/replay_engine.hpp"
 #include "dta/gatesim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
 #include "runtime/result_io.hpp"
 #include "runtime/sweep_engine.hpp"
 #include "sim/machine.hpp"
@@ -129,6 +131,49 @@ void BM_ReplayCellLut(benchmark::State& state) {
                                                     benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ReplayCellLut)->Unit(benchmark::kMillisecond);
+
+// Replay hot-loop instrumentation overhead: 0 = the compiled-out
+// instantiation (kForceOff — the exact code a -DFOCS_OBS_COMPILE_OUT build
+// always runs), 1 = the shipping default (kAuto with the global switches
+// off: one flag check per run), 2 = fully instrumented (kForceOn with the
+// global registry and tracer enabled).
+void BM_ReplayCellLutObs(benchmark::State& state) {
+    const timing::DesignConfig design;
+    static const dta::DelayTable table =
+        core::CharacterizationFlow(design).run(characterization_programs()).table;
+    static const sim::PipelineTrace trace = sim::record_trace(coremark_program());
+    static const auto unit = std::make_shared<const timing::UnitTraceDelays>(
+        timing::compute_unit_trace_delays(timing::DelayCalculator(design), trace.records));
+    core::ReplayOptions options;
+    switch (state.range(0)) {
+        case 0: options.obs = core::ReplayObsMode::kForceOff; break;
+        case 1: options.obs = core::ReplayObsMode::kAuto; break;
+        default: options.obs = core::ReplayObsMode::kForceOn; break;
+    }
+    const bool instrumented = state.range(0) == 2;
+    if (instrumented) {
+        obs::global_metrics().set_enabled(true);
+        obs::global_tracer().set_enabled(true);
+    }
+    const core::ReplayEvaluationEngine engine(
+        trace, timing::scale_trace_delays(unit, timing::DelayCalculator(design)), table,
+        options);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        const auto result = engine.run(core::PolicyKind::kInstructionLut);
+        cycles += result.cycles;
+        benchmark::DoNotOptimize(result.speedup_vs_static);
+    }
+    if (instrumented) {
+        obs::global_metrics().set_enabled(false);
+        obs::global_tracer().set_enabled(false);
+        obs::global_metrics().reset();
+        obs::global_tracer().reset();
+    }
+    state.counters["cycles/s"] = benchmark::Counter(static_cast<double>(cycles),
+                                                    benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReplayCellLutObs)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
 
 void BM_GateLevelEventEmission(benchmark::State& state) {
     const timing::DesignConfig design;
@@ -358,6 +403,40 @@ void emit_artifact() {
         return replay_engine.run(core::PolicyKind::kInstructionLut).cycles;
     });
 
+    // Instrumentation overhead on the replay hot loop: the same cell under
+    // the three ReplayObsMode resolutions. kForceOff is the exact
+    // instantiation a -DFOCS_OBS_COMPILE_OUT build always takes; kAuto
+    // with the global switches off is the shipping default (one relaxed
+    // flag check per run, then the uninstrumented instantiation); kForceOn
+    // with the global registry + tracer enabled is the fully instrumented
+    // path. Best-of-3 passes so the disabled/compiled-out ratio — enforced
+    // as a >= 0.97 floor by tools/check_bench_regression.py — measures the
+    // code path, not scheduler noise. (In a compiled-out build all three
+    // series run the same loop by construction.)
+    const auto best_replay_rate = [&](core::ReplayObsMode mode) {
+        core::ReplayOptions options;
+        options.obs = mode;
+        const core::ReplayEvaluationEngine obs_engine(
+            trace, timing::scale_trace_delays(unit_delays, timing::DelayCalculator(design)),
+            table, options);
+        double best = 0;
+        for (int pass = 0; pass < 3; ++pass) {
+            best = std::max(best, timed_cycles(100, [&] {
+                                return obs_engine.run(core::PolicyKind::kInstructionLut).cycles;
+                            }).cycles_per_s);
+        }
+        return best;
+    };
+    const double obs_compiled_out = best_replay_rate(core::ReplayObsMode::kForceOff);
+    const double obs_disabled = best_replay_rate(core::ReplayObsMode::kAuto);
+    obs::global_metrics().set_enabled(true);
+    obs::global_tracer().set_enabled(true);
+    const double obs_enabled = best_replay_rate(core::ReplayObsMode::kForceOn);
+    obs::global_metrics().set_enabled(false);
+    obs::global_tracer().set_enabled(false);
+    obs::global_metrics().reset();
+    obs::global_tracer().reset();
+
     // Voltage-axis amortization, measured two ways. (a) The delay passes
     // themselves: V reference passes (one per operating point, the pre-v4
     // cost) against one fused unit pass serving the same V points as
@@ -465,7 +544,7 @@ void emit_artifact() {
     }
 
     std::string out = "{\n";
-    out += "  \"schema\": " + json_string("focs-bench-sim-throughput-v4") + ",\n";
+    out += "  \"schema\": " + json_string("focs-bench-sim-throughput-v5") + ",\n";
     out += "  \"baseline\": {\n";
     out += "    \"note\": " +
            json_string("pre-PR seed implementation, commit edd42a9, measured on the repo's dev "
@@ -503,6 +582,22 @@ void emit_artifact() {
            json_number(replay.cycles_per_s / evaluation.cycles_per_s) + ",\n";
     out += "    \"replay_speedup_vs_baseline\": " +
            json_number(replay.cycles_per_s / kBaselineEvaluationCyclesPerS) + "\n  },\n";
+    out += "  \"instrumentation\": {\n";
+    out += "    \"note\": " +
+           json_string("replay hot loop under the three ReplayObsMode resolutions, best of 3 "
+                       "passes each: compiled_out is the exact instantiation a "
+                       "-DFOCS_OBS_COMPILE_OUT build runs, disabled is the shipping default "
+                       "(kAuto, global switches off), enabled is kForceOn with the registry "
+                       "and tracer live; the disabled/compiled_out ratio is enforced as a "
+                       "floor so dormant instrumentation can never tax the hot loop") +
+           ",\n";
+    out += "    \"replay_compiled_out_cycles_per_s\": " + json_number(obs_compiled_out) + ",\n";
+    out += "    \"replay_disabled_cycles_per_s\": " + json_number(obs_disabled) + ",\n";
+    out += "    \"replay_enabled_cycles_per_s\": " + json_number(obs_enabled) + ",\n";
+    out += "    \"disabled_vs_compiled_out_ratio\": " +
+           json_number(obs_compiled_out > 0 ? obs_disabled / obs_compiled_out : 0) + ",\n";
+    out += "    \"enabled_vs_compiled_out_ratio\": " +
+           json_number(obs_compiled_out > 0 ? obs_enabled / obs_compiled_out : 0) + "\n  },\n";
     out += "  \"sweep\": {\n";
     out += "    \"note\": " +
            json_string("same grid (benchmark suite x 5 policies x {ideal, taps:8}, one "

@@ -1,0 +1,220 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace focs::json {
+
+std::string number(double value) {
+    check(std::isfinite(value), "non-finite value in JSON document");
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    return buf;
+}
+
+std::string quote(const std::string& value) {
+    std::string out = "\"";
+    for (const char c : value) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+double Value::number() const {
+    check(std::holds_alternative<double>(data), "JSON: expected number");
+    return std::get<double>(data);
+}
+
+const std::string& Value::string() const {
+    check(std::holds_alternative<std::string>(data), "JSON: expected string");
+    return std::get<std::string>(data);
+}
+
+const Array& Value::array() const {
+    check(std::holds_alternative<Array>(data), "JSON: expected array");
+    return std::get<Array>(data);
+}
+
+const Object& Value::object() const {
+    check(std::holds_alternative<Object>(data), "JSON: expected object");
+    return std::get<Object>(data);
+}
+
+const Value& field(const Object& object, const char* key) {
+    const auto it = object.find(key);
+    check(it != object.end(), std::string("JSON: missing field '") + key + "'");
+    return it->second;
+}
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    Value parse_document() {
+        const Value value = parse_value();
+        skip_whitespace();
+        check(pos_ == text_.size(), "JSON: trailing characters at offset " + std::to_string(pos_));
+        return value;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const {
+        throw Error("JSON parse error at offset " + std::to_string(pos_) + ": " + what);
+    }
+
+    void skip_whitespace() {
+        while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        skip_whitespace();
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume_literal(const char* literal) {
+        const std::size_t len = std::string(literal).size();
+        if (text_.compare(pos_, len, literal) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    Value parse_value() {
+        const char c = peek();
+        if (c == '{') return parse_object();
+        if (c == '[') return parse_array();
+        if (c == '"') return Value{parse_string_token()};
+        if (consume_literal("true")) return Value{true};
+        if (consume_literal("false")) return Value{false};
+        if (consume_literal("null")) return Value{nullptr};
+        return parse_number();
+    }
+
+    Value parse_object() {
+        expect('{');
+        Object object;
+        if (peek() == '}') {
+            ++pos_;
+            return Value{std::move(object)};
+        }
+        while (true) {
+            std::string key = parse_string_token();
+            expect(':');
+            object.emplace(std::move(key), parse_value());
+            const char c = peek();
+            ++pos_;
+            if (c == '}') return Value{std::move(object)};
+            if (c != ',') fail("expected ',' or '}' in object");
+        }
+    }
+
+    Value parse_array() {
+        expect('[');
+        Array array;
+        if (peek() == ']') {
+            ++pos_;
+            return Value{std::move(array)};
+        }
+        while (true) {
+            array.push_back(parse_value());
+            const char c = peek();
+            ++pos_;
+            if (c == ']') return Value{std::move(array)};
+            if (c != ',') fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string parse_string_token() {
+        if (peek() != '"') fail("expected string");
+        ++pos_;
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+                    long code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_ + static_cast<std::size_t>(i)];
+                        if (!std::isxdigit(static_cast<unsigned char>(h))) {
+                            fail("non-hex digit in \\u escape");
+                        }
+                        code = code * 16 + (h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+                    }
+                    pos_ += 4;
+                    // quote() only emits \u for the control range; anything
+                    // larger would need UTF-8 encoding we don't produce.
+                    if (code >= 0x20) fail("unsupported \\u escape beyond control range");
+                    out += static_cast<char>(code);
+                    break;
+                }
+                default: fail("unknown escape");
+            }
+        }
+    }
+
+    Value parse_number() {
+        skip_whitespace();
+        const char* begin = text_.c_str() + pos_;
+        char* end = nullptr;
+        const double value = std::strtod(begin, &end);
+        if (end == begin) fail("expected value");
+        pos_ += static_cast<std::size_t>(end - begin);
+        return Value{value};
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(const std::string& text) { return Parser(text).parse_document(); }
+
+}  // namespace focs::json

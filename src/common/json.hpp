@@ -1,0 +1,59 @@
+// Minimal dependency-free JSON: deterministic writers and a strict DOM
+// parser.
+//
+// Every machine-readable artifact this repo emits (sweep results, bench
+// reports, Chrome trace-event files, metrics snapshots) is plain JSON
+// assembled from these two writer helpers, and every consumer (result
+// round-trips, observability tests, tools) reads it back through the same
+// DOM parser — one grammar implementation instead of one per artifact.
+// Formatting is deterministic ("%.17g" doubles, fixed escaping), which
+// keeps byte-comparison of two documents a valid determinism check.
+#pragma once
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace focs::json {
+
+/// "%.17g" (shortest round-trippable) scalar. Throws focs::Error on
+/// non-finite values — JSON has no inf/nan, and silently clamping would
+/// hide bugs.
+std::string number(double value);
+
+/// Fully escaped, quoted string literal.
+std::string quote(const std::string& value);
+
+struct Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+/// One parsed JSON value. The typed accessors throw focs::Error when the
+/// document shape does not match, so consumers read documents with plain
+/// chained calls instead of defensive variant churn.
+struct Value {
+    std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data;
+
+    bool is_object() const { return std::holds_alternative<Object>(data); }
+    bool is_array() const { return std::holds_alternative<Array>(data); }
+    bool is_number() const { return std::holds_alternative<double>(data); }
+    bool is_string() const { return std::holds_alternative<std::string>(data); }
+
+    double number() const;
+    const std::string& string() const;
+    const Array& array() const;
+    const Object& object() const;
+};
+
+/// Parses exactly one JSON document (trailing garbage is an error). Throws
+/// focs::Error with the byte offset on malformed input. Accepts the subset
+/// emitted by this repo's writers plus standard whitespace; \u escapes are
+/// limited to the control range the writers produce.
+Value parse(const std::string& text);
+
+/// Object field access that fails loudly: throws focs::Error naming the
+/// missing key instead of silently defaulting.
+const Value& field(const Object& object, const char* key);
+
+}  // namespace focs::json

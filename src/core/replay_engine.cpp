@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
 
 namespace focs::core {
 
@@ -31,20 +33,34 @@ ReplayEvaluationEngine::ReplayEvaluationEngine(const sim::PipelineTrace& trace,
 /// point's scale — the same fl(unit * scale) double the live calculator
 /// produces (positive-constant multiplication is monotone under IEEE
 /// rounding, so it commutes with the per-stage max).
-template <typename FillBlock>
-DcaRunResult ReplayEvaluationEngine::replay_blocks(const ClockPolicy& policy,
-                                                   clocking::ClockGenerator* generator,
-                                                   FillBlock&& fill) const {
+///
+/// kObs=false is the exact pre-observability loop (no flag checks inside);
+/// kObs=true layers counters, a granted-period histogram and a per-run
+/// span on top. Both instantiations produce identical DcaRunResults — the
+/// instrumentation only ever reads the loop's values.
+template <bool kObs, typename FillBlock>
+DcaRunResult ReplayEvaluationEngine::replay_blocks_impl(const ClockPolicy& policy,
+                                                        clocking::ClockGenerator* generator,
+                                                        FillBlock&& fill) const {
     const double* unit = delays_.unit->unit_required_period_ps.data();
     const double scale = delays_.delay_scale;
     const std::size_t cycles = trace_->records.size();
     const std::size_t block = static_cast<std::size_t>(options_.block_cycles);
     std::vector<double> requested(std::min<std::size_t>(block, std::max<std::size_t>(cycles, 1)));
 
+#ifndef FOCS_OBS_COMPILE_OUT
+    obs::Span span;
+    if constexpr (kObs) {
+        span = obs::global_tracer().span("replay.run");
+        span.arg("policy", policy.name()).arg("cycles", static_cast<std::int64_t>(cycles));
+    }
+#endif
+
     if (generator != nullptr) generator->reset();
     double total_time_ps = 0;
     std::uint64_t violations = 0;
     double worst_violation_ps = 0;
+    [[maybe_unused]] std::uint64_t blocks = 0;
     for (std::size_t begin = 0; begin < cycles; begin += block) {
         const std::size_t end = std::min(cycles, begin + block);
         fill(begin, end, requested.data());
@@ -59,7 +75,34 @@ DcaRunResult ReplayEvaluationEngine::replay_blocks(const ClockPolicy& policy,
                 worst_violation_ps = std::max(worst_violation_ps, required - granted);
             }
         }
+        if constexpr (kObs) ++blocks;
     }
+
+#ifndef FOCS_OBS_COMPILE_OUT
+    if constexpr (kObs) {
+        obs::MetricsRegistry& metrics = obs::global_metrics();
+        static const struct Ids {
+            obs::MetricsRegistry::Id runs, blocks, cycles, violations, avg_period;
+            explicit Ids(obs::MetricsRegistry& m)
+                : runs(m.counter("replay.runs")),
+                  blocks(m.counter("replay.blocks")),
+                  cycles(m.counter("replay.cycles")),
+                  violations(m.counter("replay.violations")),
+                  avg_period(m.histogram("replay.avg_period_ps",
+                                         {100, 150, 200, 300, 400, 500, 700, 1000, 1500, 2000,
+                                          3000, 5000})) {}
+        } ids(metrics);
+        metrics.add(ids.runs);
+        metrics.add(ids.blocks, blocks);
+        metrics.add(ids.cycles, cycles);
+        metrics.add(ids.violations, violations);
+        if (cycles > 0) {
+            metrics.observe(ids.avg_period, total_time_ps / static_cast<double>(cycles));
+        }
+        span.arg("blocks", static_cast<std::int64_t>(blocks))
+            .arg("violations", static_cast<std::int64_t>(violations));
+    }
+#endif
 
     DcaRunResult result = finish_run(
         policy.name(),
@@ -67,6 +110,27 @@ DcaRunResult ReplayEvaluationEngine::replay_blocks(const ClockPolicy& policy,
         cycles, total_time_ps, delays_.static_period_ps, violations, worst_violation_ps);
     result.guest = trace_->guest;
     return result;
+}
+
+template <typename FillBlock>
+DcaRunResult ReplayEvaluationEngine::replay_blocks(const ClockPolicy& policy,
+                                                   clocking::ClockGenerator* generator,
+                                                   FillBlock&& fill) const {
+#ifdef FOCS_OBS_COMPILE_OUT
+    return replay_blocks_impl<false>(policy, generator, std::forward<FillBlock>(fill));
+#else
+    bool instrumented = false;
+    switch (options_.obs) {
+        case ReplayObsMode::kAuto:
+            instrumented = obs::global_metrics().enabled() || obs::global_tracer().enabled();
+            break;
+        case ReplayObsMode::kForceOff: instrumented = false; break;
+        case ReplayObsMode::kForceOn: instrumented = true; break;
+    }
+    return instrumented
+               ? replay_blocks_impl<true>(policy, generator, std::forward<FillBlock>(fill))
+               : replay_blocks_impl<false>(policy, generator, std::forward<FillBlock>(fill));
+#endif
 }
 
 DcaRunResult ReplayEvaluationEngine::replay_class_select(const ClockPolicy& policy,

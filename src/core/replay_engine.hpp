@@ -26,10 +26,30 @@
 
 namespace focs::core {
 
+/// How the replay hot loop resolves its instrumentation. The enabled check
+/// is hoisted out of the cycle loop entirely: the engine selects one of two
+/// template instantiations per run, so the uninstrumented path contains no
+/// flag check and no instrumentation code at all.
+enum class ReplayObsMode {
+    /// Follow the global observability switches (--metrics / --trace-out):
+    /// one branch per run, then the matching instantiation.
+    kAuto,
+    /// Always the uninstrumented instantiation — the exact code a
+    /// -DFOCS_OBS_COMPILE_OUT build always runs. Lets one binary measure
+    /// the compiled-out baseline (bench_sim_throughput's overhead series).
+    kForceOff,
+    /// Always the instrumented instantiation, regardless of the global
+    /// switches (so the bench can measure the enabled path without
+    /// flipping process-global state).
+    kForceOn,
+};
+
 struct ReplayOptions {
     /// Cycles per request block. Any value >= 1 produces identical results;
     /// the default keeps the request buffer L1/L2-resident.
     int block_cycles = 4096;
+    /// Instrumentation of the block loop (never affects results).
+    ReplayObsMode obs = ReplayObsMode::kAuto;
 };
 
 /// One (policy, generator) cell of a replay batch. A null generator means
@@ -58,9 +78,15 @@ public:
     const timing::ScaledTraceDelays& delays() const { return delays_; }
 
 private:
+    /// Dispatches to replay_blocks_impl<true/false> per ReplayObsMode (one
+    /// branch per run; the cycle loop itself is branch-free either way).
     template <typename FillBlock>
     DcaRunResult replay_blocks(const ClockPolicy& policy, clocking::ClockGenerator* generator,
                                FillBlock&& fill) const;
+
+    template <bool kObs, typename FillBlock>
+    DcaRunResult replay_blocks_impl(const ClockPolicy& policy, clocking::ClockGenerator* generator,
+                                    FillBlock&& fill) const;
 
     /// Shared kernel of the two-class family (two-class, dual-cycle): one
     /// critical/uncharacterized bitmap hoisted out of the cycle loop, then a

@@ -8,6 +8,8 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
 
 namespace focs::dta {
 
@@ -20,6 +22,28 @@ std::size_t ring_slots(int threads) { return static_cast<std::size_t>(threads) +
 [[noreturn]] void throw_violated_endpoint() {
     throw Error("gate-level simulation clock violated an endpoint");
 }
+
+#ifndef FOCS_OBS_COMPILE_OUT
+/// Pipeline-stage metrics of the batched engine, on the global registry.
+/// All sites fire per batch / per shard / per stall — never per cycle or
+/// per endpoint — so the disabled cost is one relaxed load at each.
+struct BatchObsIds {
+    obs::MetricsRegistry::Id batches, cycles, producer_stalls, shard_kernels, merges,
+        ring_occupancy;
+    explicit BatchObsIds(obs::MetricsRegistry& m)
+        : batches(m.counter("dta.batches_published")),
+          cycles(m.counter("dta.cycles_batched")),
+          producer_stalls(m.counter("dta.producer_stalls")),
+          shard_kernels(m.counter("dta.shard_kernels")),
+          merges(m.counter("dta.merges")),
+          ring_occupancy(m.gauge("dta.ring_occupancy")) {}
+};
+
+const BatchObsIds& batch_obs_ids() {
+    static const BatchObsIds ids(obs::global_metrics());
+    return ids;
+}
+#endif
 
 }  // namespace
 
@@ -151,6 +175,10 @@ BatchCharacterizationEngine::BatchCharacterizationEngine(
                 shard = slot->next_shard++;
             }
             try {
+                FOCS_OBS_SPAN(span, obs::global_tracer(), "dta.shard_kernel");
+                span.arg("shard", static_cast<std::int64_t>(shard))
+                    .arg("cycles", static_cast<std::int64_t>(slot->count));
+                FOCS_OBS(obs::global_metrics().add(batch_obs_ids().shard_kernels));
                 const std::size_t stride = slot->cycles.size() * sim::kStageCount;
                 run_shard(shards_[static_cast<std::size_t>(shard)], slot->cycles.data(),
                           slot->stage_ps.data(), slot->count,
@@ -186,6 +214,9 @@ BatchCharacterizationEngine::BatchCharacterizationEngine(
                 slot = &impl->ring[impl->merge_seq % impl->ring.size()];
             }
             try {
+                FOCS_OBS_SPAN(span, obs::global_tracer(), "dta.merge");
+                span.arg("cycles", static_cast<std::int64_t>(slot->count));
+                FOCS_OBS(obs::global_metrics().add(batch_obs_ids().merges));
                 // Deterministic shard-order max-merge of the partial per-
                 // stage maxima, then one block fold into the analyzer.
                 const std::size_t stride = slot->cycles.size() * sim::kStageCount;
@@ -305,9 +336,16 @@ void BatchCharacterizationEngine::on_cycle(const sim::CycleRecord& record) {
     Impl::Slot& slot = impl_->ring[impl_->produce_seq % impl_->ring.size()];
     if (!impl_->producer_owns) {
         std::unique_lock<std::mutex> lock(impl_->mutex);
-        impl_->space_cv.wait(lock, [&] {
-            return impl_->error || slot.state == Impl::Slot::State::kFree;
-        });
+        if (!impl_->error && slot.state != Impl::Slot::State::kFree) {
+            // The ring is full: the producer out-ran the kernel/merge
+            // stages. The stall count and span show where a slow sweep's
+            // characterization time actually went.
+            FOCS_OBS(obs::global_metrics().add(batch_obs_ids().producer_stalls));
+            FOCS_OBS_SPAN(stall_span, obs::global_tracer(), "dta.producer_stall");
+            impl_->space_cv.wait(lock, [&] {
+                return impl_->error || slot.state == Impl::Slot::State::kFree;
+            });
+        }
         if (impl_->error) std::rethrow_exception(impl_->error);
         impl_->producer_owns = true;
     }
@@ -320,12 +358,26 @@ void BatchCharacterizationEngine::on_cycle(const sim::CycleRecord& record) {
         slot.state = Impl::Slot::State::kKernel;
         ++impl_->produce_seq;
         impl_->producer_owns = false;
+        FOCS_OBS({
+            obs::MetricsRegistry& metrics = obs::global_metrics();
+            metrics.add(batch_obs_ids().batches);
+            metrics.add(batch_obs_ids().cycles, slot.cycles.size());
+            // Occupancy at publish: slots produced but not yet merged —
+            // the pipeline's high-water backlog.
+            metrics.gauge_max(batch_obs_ids().ring_occupancy,
+                              static_cast<std::int64_t>(impl_->produce_seq - impl_->merge_seq));
+        });
         impl_->work_cv.notify_all();
     }
 }
 
 void BatchCharacterizationEngine::flush_serial() {
     if (serial_count_ == 0) return;
+    FOCS_OBS({
+        obs::MetricsRegistry& metrics = obs::global_metrics();
+        metrics.add(batch_obs_ids().batches);
+        metrics.add(batch_obs_ids().cycles, serial_count_);
+    });
     run_shard(shards_[0], serial_cycles_.data(), serial_stage_ps_.data(), serial_count_,
               serial_partial_.data());
     for (std::size_t c = 0; c < serial_count_; ++c) {

@@ -1,0 +1,324 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace focs::obs {
+
+// ---------------------------------------------------------------- storage
+
+struct MetricsRegistry::HistogramDef {
+    std::string name;
+    std::vector<double> bounds;
+};
+
+struct MetricsRegistry::Shard {
+    std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+    std::array<std::atomic<std::int64_t>, kMaxGauges> gauge_max{};
+    struct Hist {
+        std::array<std::atomic<std::uint64_t>, kMaxHistogramBuckets + 1> buckets{};
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<double> sum{0};
+    };
+    std::array<Hist, kMaxHistograms> histograms{};
+
+    void reset() {
+        for (auto& c : counters) c.store(0, std::memory_order_relaxed);
+        for (auto& g : gauge_max) g.store(0, std::memory_order_relaxed);
+        for (auto& h : histograms) {
+            for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+            h.count.store(0, std::memory_order_relaxed);
+            h.sum.store(0, std::memory_order_relaxed);
+        }
+    }
+};
+
+namespace {
+
+std::uint64_t next_instance_id() {
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry(bool enabled)
+    : enabled_(enabled), instance_id_(next_instance_id()) {}
+
+MetricsRegistry::~MetricsRegistry() {
+    for (auto& slot : shards_) delete slot.load(std::memory_order_acquire);
+    for (auto& def : histogram_defs_) delete def.load(std::memory_order_acquire);
+}
+
+MetricsRegistry::Shard* MetricsRegistry::shard_at(std::size_t slot) const {
+    return shards_[slot].load(std::memory_order_acquire);
+}
+
+MetricsRegistry::Shard& MetricsRegistry::shard_for_thread() {
+    // Each thread caches its slot index per registry *identity* (not
+    // address — a destroyed registry's address may be recycled). The slot
+    // is just an index, so even a stale cache entry can never dangle.
+    struct TlsEntry {
+        std::uint64_t instance = 0;
+        std::uint32_t slot = 0;
+    };
+    thread_local std::array<TlsEntry, 8> tls{};
+    thread_local std::size_t tls_used = 0;
+
+    std::uint32_t slot = kShardCount;  // sentinel: not cached
+    for (std::size_t i = 0; i < tls_used; ++i) {
+        if (tls[i].instance == instance_id_) {
+            slot = tls[i].slot;
+            break;
+        }
+    }
+    if (slot == kShardCount) {
+        slot = next_slot_.fetch_add(1, std::memory_order_relaxed) % kShardCount;
+        if (tls_used < tls.size()) {
+            tls[tls_used++] = {instance_id_, slot};
+        } else {
+            // More live registries than cache entries: evict round-robin.
+            tls[instance_id_ % tls.size()] = {instance_id_, slot};
+        }
+    }
+
+    Shard* shard = shards_[slot].load(std::memory_order_acquire);
+    if (shard == nullptr) {
+        auto fresh = std::make_unique<Shard>();
+        Shard* expected = nullptr;
+        if (shards_[slot].compare_exchange_strong(expected, fresh.get(),
+                                                  std::memory_order_acq_rel)) {
+            shard = fresh.release();
+        } else {
+            shard = expected;  // another thread won; ours is freed
+        }
+    }
+    return *shard;
+}
+
+// ----------------------------------------------------------- registration
+
+MetricsRegistry::Id MetricsRegistry::counter(std::string_view name) {
+    std::lock_guard<std::mutex> lock(names_mutex_);
+    for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+        if (counter_names_[i] == name) return static_cast<Id>(i);
+    }
+    check(counter_names_.size() < kMaxCounters, "metrics registry: counter capacity exhausted");
+    counter_names_.emplace_back(name);
+    return static_cast<Id>(counter_names_.size() - 1);
+}
+
+MetricsRegistry::Id MetricsRegistry::gauge(std::string_view name) {
+    std::lock_guard<std::mutex> lock(names_mutex_);
+    for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+        if (gauge_names_[i] == name) return static_cast<Id>(i);
+    }
+    check(gauge_names_.size() < kMaxGauges, "metrics registry: gauge capacity exhausted");
+    gauge_names_.emplace_back(name);
+    return static_cast<Id>(gauge_names_.size() - 1);
+}
+
+MetricsRegistry::Id MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds) {
+    check(!bounds.empty() && bounds.size() <= kMaxHistogramBuckets,
+          "metrics registry: histogram wants 1.." + std::to_string(kMaxHistogramBuckets) +
+              " bucket bounds");
+    check(std::is_sorted(bounds.begin(), bounds.end()),
+          "metrics registry: histogram bounds must ascend");
+    std::lock_guard<std::mutex> lock(names_mutex_);
+    for (std::uint32_t i = 0; i < histogram_count_; ++i) {
+        const HistogramDef* def = histogram_defs_[i].load(std::memory_order_acquire);
+        if (def->name == name) {
+            check(def->bounds == bounds,
+                  "metrics registry: histogram '" + std::string(name) +
+                      "' re-registered with different bounds");
+            return i;
+        }
+    }
+    check(histogram_count_ < kMaxHistograms, "metrics registry: histogram capacity exhausted");
+    auto def = std::make_unique<HistogramDef>();
+    def->name = std::string(name);
+    def->bounds = std::move(bounds);
+    histogram_defs_[histogram_count_].store(def.release(), std::memory_order_release);
+    return histogram_count_++;
+}
+
+// -------------------------------------------------------------- mutations
+
+void MetricsRegistry::add(Id counter, std::uint64_t delta) {
+    if (!enabled()) return;
+    shard_for_thread().counters[counter].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::gauge_max(Id gauge, std::int64_t value) {
+    if (!enabled()) return;
+    std::atomic<std::int64_t>& slot = shard_for_thread().gauge_max[gauge];
+    std::int64_t seen = slot.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+}
+
+void MetricsRegistry::observe(Id histogram, double value) {
+    if (!enabled()) return;
+    const HistogramDef* def = histogram_defs_[histogram].load(std::memory_order_acquire);
+    const auto& bounds = def->bounds;
+    const std::size_t bucket = static_cast<std::size_t>(
+        std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+    Shard::Hist& hist = shard_for_thread().histograms[histogram];
+    hist.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    hist.count.fetch_add(1, std::memory_order_relaxed);
+    double sum = hist.sum.load(std::memory_order_relaxed);
+    while (!hist.sum.compare_exchange_weak(sum, sum + value, std::memory_order_relaxed)) {
+    }
+}
+
+// -------------------------------------------------------------- snapshots
+
+std::uint64_t MetricsRegistry::counter_value(Id counter) const {
+    std::uint64_t total = 0;
+    for (std::size_t slot = 0; slot < kShardCount; ++slot) {
+        if (const Shard* shard = shard_at(slot)) {
+            total += shard->counters[counter].load(std::memory_order_relaxed);
+        }
+    }
+    return total;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+    MetricsSnapshot snap;
+    std::size_t counters = 0, gauges = 0;
+    std::uint32_t histograms = 0;
+    {
+        std::lock_guard<std::mutex> lock(names_mutex_);
+        counters = counter_names_.size();
+        gauges = gauge_names_.size();
+        histograms = histogram_count_;
+        snap.counters.resize(counters);
+        snap.gauges.resize(gauges);
+        snap.histograms.resize(histograms);
+        for (std::size_t i = 0; i < counters; ++i) snap.counters[i].name = counter_names_[i];
+        for (std::size_t i = 0; i < gauges; ++i) snap.gauges[i].name = gauge_names_[i];
+        for (std::uint32_t i = 0; i < histograms; ++i) {
+            const HistogramDef* def = histogram_defs_[i].load(std::memory_order_acquire);
+            snap.histograms[i].name = def->name;
+            snap.histograms[i].bounds = def->bounds;
+            snap.histograms[i].buckets.assign(def->bounds.size() + 1, 0);
+        }
+    }
+    for (std::size_t slot = 0; slot < kShardCount; ++slot) {
+        const Shard* shard = shard_at(slot);
+        if (shard == nullptr) continue;
+        for (std::size_t i = 0; i < counters; ++i) {
+            snap.counters[i].value += shard->counters[i].load(std::memory_order_relaxed);
+        }
+        for (std::size_t i = 0; i < gauges; ++i) {
+            snap.gauges[i].max = std::max(snap.gauges[i].max,
+                                          shard->gauge_max[i].load(std::memory_order_relaxed));
+        }
+        for (std::uint32_t i = 0; i < histograms; ++i) {
+            MetricsSnapshot::Histogram& out = snap.histograms[i];
+            const Shard::Hist& hist = shard->histograms[i];
+            for (std::size_t b = 0; b < out.buckets.size(); ++b) {
+                out.buckets[b] += hist.buckets[b].load(std::memory_order_relaxed);
+            }
+            out.count += hist.count.load(std::memory_order_relaxed);
+            out.sum += hist.sum.load(std::memory_order_relaxed);
+        }
+    }
+    return snap;
+}
+
+void MetricsRegistry::reset() {
+    for (std::size_t slot = 0; slot < kShardCount; ++slot) {
+        if (Shard* shard = shards_[slot].load(std::memory_order_acquire)) shard->reset();
+    }
+}
+
+// ---------------------------------------------------- snapshot consumers
+
+std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
+    for (const Counter& counter : counters) {
+        if (counter.name == name) return counter.value;
+    }
+    return 0;
+}
+
+const MetricsSnapshot::Histogram* MetricsSnapshot::find_histogram(std::string_view name) const {
+    for (const Histogram& histogram : histograms) {
+        if (histogram.name == name) return &histogram;
+    }
+    return nullptr;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+    counters.insert(counters.end(), other.counters.begin(), other.counters.end());
+    gauges.insert(gauges.end(), other.gauges.begin(), other.gauges.end());
+    histograms.insert(histograms.end(), other.histograms.begin(), other.histograms.end());
+}
+
+std::string MetricsSnapshot::to_json() const {
+    std::string out = "{\"counters\": {";
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += json::quote(counters[i].name) + ": " + std::to_string(counters[i].value);
+    }
+    out += "}, \"gauges\": {";
+    for (std::size_t i = 0; i < gauges.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += json::quote(gauges[i].name) + ": " + std::to_string(gauges[i].max);
+    }
+    out += "}, \"histograms\": {";
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+        const Histogram& h = histograms[i];
+        if (i > 0) out += ", ";
+        out += json::quote(h.name) + ": {\"count\": " + std::to_string(h.count) +
+               ", \"sum\": " + json::number(h.sum) + ", \"bounds\": [";
+        for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+            if (b > 0) out += ", ";
+            out += json::number(h.bounds[b]);
+        }
+        out += "], \"buckets\": [";
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+            if (b > 0) out += ", ";
+            out += std::to_string(h.buckets[b]);
+        }
+        out += "]}";
+    }
+    out += "}}";
+    return out;
+}
+
+std::string MetricsSnapshot::to_table() const {
+    std::string out;
+    char buf[160];
+    for (const Counter& counter : counters) {
+        std::snprintf(buf, sizeof buf, "  %-40s %llu\n", counter.name.c_str(),
+                      static_cast<unsigned long long>(counter.value));
+        out += buf;
+    }
+    for (const Gauge& gauge : gauges) {
+        std::snprintf(buf, sizeof buf, "  %-40s %lld (max)\n", gauge.name.c_str(),
+                      static_cast<long long>(gauge.max));
+        out += buf;
+    }
+    for (const Histogram& histogram : histograms) {
+        const double mean =
+            histogram.count > 0 ? histogram.sum / static_cast<double>(histogram.count) : 0;
+        std::snprintf(buf, sizeof buf, "  %-40s n=%llu mean=%.3f\n", histogram.name.c_str(),
+                      static_cast<unsigned long long>(histogram.count), mean);
+        out += buf;
+    }
+    return out;
+}
+
+MetricsRegistry& global_metrics() {
+    // Leaked on purpose: instrumentation may fire from detached/static
+    // destructors; a never-destroyed registry has no shutdown order issues.
+    static MetricsRegistry* const global = new MetricsRegistry(/*enabled=*/false);
+    return *global;
+}
+
+}  // namespace focs::obs

@@ -1,0 +1,158 @@
+// Metrics registry: lock-free counters, max-watermark gauges and
+// fixed-bucket latency histograms for the sweep runtime.
+//
+// Design constraints, in order:
+//  1. Near-zero cost when disabled: every mutation starts with one relaxed
+//     atomic load of the enabled flag; a FOCS_OBS_COMPILE_OUT build removes
+//     even that (see the macros at the bottom and the hot-loop dispatch in
+//     core/replay_engine.cpp).
+//  2. Exact under concurrency: mutations are relaxed atomic RMWs on sharded
+//     slots, so a snapshot taken after the writers quiesce merges to the
+//     exact totals (asserted under TSan in tests/test_obs.cpp). Snapshots
+//     taken mid-flight are racy-but-valid: they see a consistent prefix of
+//     each shard, never torn values.
+//  3. No thread lifetime hazards: a thread is pinned to one of a fixed pool
+//     of shards (thread-local slot index, assigned round-robin on first
+//     touch), so shard storage never depends on thread exit order and
+//     nothing is unregistered. Beyond kShardCount concurrent threads slots
+//     are shared — still exact, only more contended.
+//
+// Registries are instantiable: the process-global one (global_metrics(),
+// default disabled, switched on by --metrics) serves the generic
+// instrumentation, while the ArtifactCache embeds an always-enabled private
+// registry so its per-artifact-class hit/miss/wait counters are exact
+// regardless of the global flag (sweep results stamp them into JSON).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace focs::obs {
+
+inline constexpr std::size_t kShardCount = 32;
+inline constexpr std::size_t kMaxCounters = 192;
+inline constexpr std::size_t kMaxGauges = 32;
+inline constexpr std::size_t kMaxHistograms = 32;
+/// Upper bucket bounds per histogram (plus one implicit overflow bucket).
+inline constexpr std::size_t kMaxHistogramBuckets = 24;
+
+/// Merged point-in-time view of one registry; plain data, safe to keep
+/// after the registry mutates further.
+struct MetricsSnapshot {
+    struct Counter {
+        std::string name;
+        std::uint64_t value = 0;
+    };
+    struct Gauge {
+        std::string name;
+        std::int64_t max = 0;  ///< high-water mark since construction/reset
+    };
+    struct Histogram {
+        std::string name;
+        std::vector<double> bounds;          ///< ascending upper bucket bounds
+        std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (overflow last)
+        std::uint64_t count = 0;
+        double sum = 0;
+    };
+
+    std::vector<Counter> counters;
+    std::vector<Gauge> gauges;
+    std::vector<Histogram> histograms;
+
+    /// Value of a counter by name; 0 when absent.
+    std::uint64_t counter_value(std::string_view name) const;
+    const Histogram* find_histogram(std::string_view name) const;
+
+    /// Appends another snapshot (e.g. the global registry plus a cache's
+    /// private one) for a combined dump; names are assumed disjoint.
+    void merge(const MetricsSnapshot& other);
+
+    /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with
+    /// deterministic (registration) order inside each section.
+    std::string to_json() const;
+
+    /// Human-readable dump for the CLI's --metrics flag.
+    std::string to_table() const;
+};
+
+class MetricsRegistry {
+public:
+    using Id = std::uint32_t;
+
+    explicit MetricsRegistry(bool enabled = false);
+    ~MetricsRegistry();
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /// Register-or-look-up by name (idempotent; the same name always maps
+    /// to the same id). Throws focs::Error when a fixed capacity is
+    /// exhausted or a histogram is re-registered with different bounds.
+    Id counter(std::string_view name);
+    Id gauge(std::string_view name);
+    Id histogram(std::string_view name, std::vector<double> bounds);
+
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+    void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+
+    /// All mutations are no-ops while disabled.
+    void add(Id counter, std::uint64_t delta = 1);
+    /// Raises the gauge's high-water mark (gauges are max-watermarks; the
+    /// instrumented quantities — ring occupancy, queue depth — want their
+    /// peak, and peaks merge exactly across shards where "last value"
+    /// would not).
+    void gauge_max(Id gauge, std::int64_t value);
+    void observe(Id histogram, double value);
+
+    /// Exact merged counter value (sums shards; cheap, no allocation).
+    std::uint64_t counter_value(Id counter) const;
+
+    MetricsSnapshot snapshot() const;
+
+    /// Zeroes every shard; registrations (names, ids, bounds) survive.
+    void reset();
+
+private:
+    struct Shard;
+    struct HistogramDef;
+
+    Shard& shard_for_thread();
+    Shard* shard_at(std::size_t slot) const;
+
+    std::atomic<bool> enabled_;
+    std::atomic<std::uint32_t> next_slot_{0};
+    std::array<std::atomic<Shard*>, kShardCount> shards_{};
+
+    /// Never-reused registry identity for the thread-local slot cache (an
+    /// address could be recycled by a later registry; this cannot).
+    const std::uint64_t instance_id_;
+
+    mutable std::mutex names_mutex_;
+    std::vector<std::string> counter_names_;
+    std::vector<std::string> gauge_names_;
+    std::array<std::atomic<const HistogramDef*>, kMaxHistograms> histogram_defs_{};
+    std::uint32_t histogram_count_ = 0;
+};
+
+/// The process-global registry: default disabled, flipped on by the CLI's
+/// --metrics flag (or tests). Never destroyed.
+MetricsRegistry& global_metrics();
+
+}  // namespace focs::obs
+
+// Statement wrapper for instrumentation call sites: compiles to nothing in
+// a -DFOCS_OBS_COMPILE_OUT build, so even the enabled-flag checks (and any
+// id-registration statics behind them) vanish from the binary.
+#ifdef FOCS_OBS_COMPILE_OUT
+#define FOCS_OBS(statement) ((void)0)
+#else
+#define FOCS_OBS(statement) \
+    do {                    \
+        statement;          \
+    } while (0)
+#endif

@@ -1,0 +1,189 @@
+#include "obs/span_tracer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/json.hpp"
+
+namespace focs::obs {
+
+namespace {
+
+std::uint64_t next_tracer_instance_id() {
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ Span
+
+Span::Span(SpanTracer* tracer, std::string_view name) : tracer_(tracer) {
+    if (tracer_ == nullptr) return;
+    name_ = std::string(name);
+    start_us_ = tracer_->now_us();
+}
+
+Span::Span(Span&& other) noexcept
+    : tracer_(std::exchange(other.tracer_, nullptr)),
+      name_(std::move(other.name_)),
+      start_us_(other.start_us_),
+      args_(std::move(other.args_)) {}
+
+Span& Span::operator=(Span&& other) noexcept {
+    if (this != &other) {
+        finish();
+        tracer_ = std::exchange(other.tracer_, nullptr);
+        name_ = std::move(other.name_);
+        start_us_ = other.start_us_;
+        args_ = std::move(other.args_);
+    }
+    return *this;
+}
+
+Span& Span::arg(std::string_view key, const std::string& value) {
+    if (tracer_ != nullptr) {
+        args_.push_back(json::quote(std::string(key)) + ": " + json::quote(value));
+    }
+    return *this;
+}
+
+Span& Span::arg(std::string_view key, std::int64_t value) {
+    if (tracer_ != nullptr) {
+        args_.push_back(json::quote(std::string(key)) + ": " + std::to_string(value));
+    }
+    return *this;
+}
+
+Span& Span::arg(std::string_view key, double value) {
+    if (tracer_ != nullptr) {
+        args_.push_back(json::quote(std::string(key)) + ": " + json::number(value));
+    }
+    return *this;
+}
+
+void Span::finish() {
+    if (tracer_ == nullptr) return;
+    SpanTracer* tracer = std::exchange(tracer_, nullptr);
+    SpanEvent event;
+    event.name = std::move(name_);
+    event.start_us = start_us_;
+    event.duration_us = std::max(0.0, tracer->now_us() - start_us_);
+    event.args = std::move(args_);
+    tracer->record(std::move(event));
+}
+
+// ------------------------------------------------------------ SpanTracer
+
+SpanTracer::SpanTracer(bool enabled)
+    : enabled_(enabled),
+      instance_id_(next_tracer_instance_id()),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+double SpanTracer::now_us() const {
+    return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+SpanTracer::ThreadBuf& SpanTracer::buf_for_thread() {
+    // Mirrors MetricsRegistry::shard_for_thread: the cache is keyed by a
+    // never-reused tracer identity, and the buffer is co-owned by the
+    // thread-local shared_ptr and the tracer's list, so neither thread
+    // exit nor (hypothetical) tracer destruction can leave the other side
+    // with a dangling pointer.
+    struct TlsEntry {
+        std::uint64_t instance = 0;
+        std::shared_ptr<ThreadBuf> buf;
+    };
+    thread_local std::vector<TlsEntry> tls;
+
+    for (const TlsEntry& entry : tls) {
+        if (entry.instance == instance_id_) return *entry.buf;
+    }
+    auto buf = std::make_shared<ThreadBuf>();
+    {
+        std::lock_guard<std::mutex> lock(bufs_mutex_);
+        buf->tid = static_cast<std::uint32_t>(bufs_.size());
+        bufs_.push_back(buf);
+    }
+    tls.push_back({instance_id_, buf});
+    return *tls.back().buf;
+}
+
+void SpanTracer::record(SpanEvent event) {
+    ThreadBuf& buf = buf_for_thread();
+    event.tid = buf.tid;
+    std::lock_guard<std::mutex> lock(buf.mutex);
+    buf.events.push_back(std::move(event));
+}
+
+void SpanTracer::instant(std::string_view name) {
+    if (!enabled()) return;
+    SpanEvent event;
+    event.name = std::string(name);
+    event.start_us = now_us();
+    event.instant = true;
+    record(std::move(event));
+}
+
+std::vector<SpanEvent> SpanTracer::snapshot() const {
+    std::vector<std::shared_ptr<ThreadBuf>> bufs;
+    {
+        std::lock_guard<std::mutex> lock(bufs_mutex_);
+        bufs = bufs_;
+    }
+    std::vector<SpanEvent> events;
+    for (const auto& buf : bufs) {
+        std::lock_guard<std::mutex> lock(buf->mutex);
+        events.insert(events.end(), buf->events.begin(), buf->events.end());
+    }
+    return events;
+}
+
+std::string SpanTracer::export_chrome_json(const MetricsSnapshot* metrics) const {
+    const std::vector<SpanEvent> events = snapshot();
+    std::string out = "{\"traceEvents\": [";
+    bool first = true;
+    for (const SpanEvent& event : events) {
+        if (!first) out += ",";
+        first = false;
+        out += "\n  {\"name\": " + json::quote(event.name) +
+               ", \"ph\": " + (event.instant ? "\"i\", \"s\": \"t\"" : std::string("\"X\"")) +
+               ", \"pid\": 1, \"tid\": " + std::to_string(event.tid) +
+               ", \"ts\": " + json::number(event.start_us);
+        if (!event.instant) out += ", \"dur\": " + json::number(event.duration_us);
+        if (!event.args.empty()) {
+            out += ", \"args\": {";
+            for (std::size_t i = 0; i < event.args.size(); ++i) {
+                if (i > 0) out += ", ";
+                out += event.args[i];
+            }
+            out += "}";
+        }
+        out += "}";
+    }
+    out += "\n], \"displayTimeUnit\": \"ms\"";
+    if (metrics != nullptr) out += ",\n\"metrics\": " + metrics->to_json();
+    out += "}\n";
+    return out;
+}
+
+void SpanTracer::reset() {
+    std::vector<std::shared_ptr<ThreadBuf>> bufs;
+    {
+        std::lock_guard<std::mutex> lock(bufs_mutex_);
+        bufs = bufs_;
+    }
+    for (const auto& buf : bufs) {
+        std::lock_guard<std::mutex> lock(buf->mutex);
+        buf->events.clear();
+    }
+    epoch_ = std::chrono::steady_clock::now();
+}
+
+SpanTracer& global_tracer() {
+    static SpanTracer* const global = new SpanTracer(/*enabled=*/false);
+    return *global;
+}
+
+}  // namespace focs::obs

@@ -1,0 +1,154 @@
+// Span tracer: RAII scoped spans recorded into per-thread buffers and
+// exported as Chrome trace-event JSON (open with Perfetto or
+// chrome://tracing).
+//
+// The recording path is designed around the same constraints as the
+// metrics registry (obs/metrics.hpp):
+//  - Disabled is the default and costs one relaxed atomic load per span
+//    construction; FOCS_OBS_SPAN compiles call sites out entirely under
+//    -DFOCS_OBS_COMPILE_OUT.
+//  - Recording appends to a thread-local buffer guarded by a per-buffer
+//    mutex that only the owning thread and the exporter ever take, so
+//    threads never contend with each other — only (briefly) with an
+//    export/snapshot, which is rare and happens after the workload.
+//  - Buffers are owned by shared_ptr from both the thread-local slot and
+//    the tracer's buffer list, so neither thread exit order nor tracer
+//    reuse across sweeps can dangle.
+//
+// Timestamps are microseconds on the steady clock, rebased to the
+// tracer's construction (or last reset) so traces start near t=0.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace focs::obs {
+
+/// One completed span ("ph":"X") or instant event ("ph":"i").
+struct SpanEvent {
+    std::string name;
+    std::uint32_t tid = 0;       ///< small sequential id, stable per thread
+    double start_us = 0;         ///< since tracer construction / reset
+    double duration_us = 0;      ///< 0 and instant=true for instant events
+    bool instant = false;
+    /// Pre-rendered JSON fragments: each entry is `"key": <value>`.
+    std::vector<std::string> args;
+};
+
+class SpanTracer;
+
+/// RAII span: records [construction, destruction) on the owning tracer.
+/// A default-constructed / disabled span is inert and costs nothing
+/// beyond the construction-time enabled check.
+class Span {
+public:
+    Span() = default;
+    Span(SpanTracer* tracer, std::string_view name);
+    Span(Span&& other) noexcept;
+    Span& operator=(Span&& other) noexcept;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { finish(); }
+
+    /// Attach an argument shown in the trace viewer. Chainable; no-ops on
+    /// an inert span.
+    Span& arg(std::string_view key, const std::string& value);
+    Span& arg(std::string_view key, std::int64_t value);
+    Span& arg(std::string_view key, double value);
+
+    /// Ends the span now (idempotent; the destructor calls it too).
+    void finish();
+
+    bool active() const { return tracer_ != nullptr; }
+
+private:
+    SpanTracer* tracer_ = nullptr;
+    std::string name_;
+    double start_us_ = 0;
+    std::vector<std::string> args_;
+};
+
+class SpanTracer {
+public:
+    explicit SpanTracer(bool enabled = false);
+    SpanTracer(const SpanTracer&) = delete;
+    SpanTracer& operator=(const SpanTracer&) = delete;
+
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+    void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+
+    /// Starts a span on this tracer; inert when disabled.
+    Span span(std::string_view name) { return Span(enabled() ? this : nullptr, name); }
+
+    /// Records a zero-duration instant event; no-op when disabled.
+    void instant(std::string_view name);
+
+    /// Microseconds since construction / last reset.
+    double now_us() const;
+
+    /// All recorded events, per-thread order preserved, threads
+    /// concatenated. Same-thread spans close in LIFO order, so for any
+    /// two spans on one thread the intervals either nest or are disjoint
+    /// (asserted in tests).
+    std::vector<SpanEvent> snapshot() const;
+
+    /// Chrome trace-event JSON: {"traceEvents": [...], "metrics": {...}?}.
+    /// When `metrics` is provided its snapshot JSON is embedded so one
+    /// file carries both the timeline and the counters
+    /// (tools/trace_summary.py reads both).
+    std::string export_chrome_json(const MetricsSnapshot* metrics = nullptr) const;
+
+    /// Drops all recorded events and rebases the clock; thread buffers
+    /// and tid assignments survive.
+    void reset();
+
+private:
+    friend class Span;
+
+    struct ThreadBuf {
+        std::uint32_t tid = 0;
+        mutable std::mutex mutex;  ///< owner thread vs. exporter only
+        std::vector<SpanEvent> events;
+    };
+
+    void record(SpanEvent event);
+    ThreadBuf& buf_for_thread();
+
+    std::atomic<bool> enabled_;
+    const std::uint64_t instance_id_;  ///< never-reused; keys the TLS cache
+    std::chrono::steady_clock::time_point epoch_;
+
+    mutable std::mutex bufs_mutex_;  ///< guards the list, not the events
+    std::vector<std::shared_ptr<ThreadBuf>> bufs_;
+};
+
+/// The process-global tracer: default disabled, flipped on by the CLI's
+/// --trace-out flag (or tests). Never destroyed.
+SpanTracer& global_tracer();
+
+}  // namespace focs::obs
+
+// Declares a scoped span variable at a call site; vanishes (along with
+// its arguments' evaluation) in a -DFOCS_OBS_COMPILE_OUT build.
+#ifdef FOCS_OBS_COMPILE_OUT
+namespace focs::obs {
+struct NullSpan {
+    template <typename K, typename V>
+    NullSpan& arg(K&&, V&&) {
+        return *this;
+    }
+    void finish() {}
+};
+}  // namespace focs::obs
+#define FOCS_OBS_SPAN(var, tracer, name) [[maybe_unused]] ::focs::obs::NullSpan var
+#else
+#define FOCS_OBS_SPAN(var, tracer, name) ::focs::obs::Span var = (tracer).span(name)
+#endif

@@ -1,12 +1,15 @@
 #include "runtime/artifact_cache.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <memory>
 #include <utility>
 
 #include "asm/assembler.hpp"
+#include "common/error.hpp"
 #include "core/flows.hpp"
+#include "obs/span_tracer.hpp"
 #include "workloads/kernel.hpp"
 
 namespace focs::runtime {
@@ -23,7 +26,50 @@ void fulfil(std::promise<T>& promise, Build&& build) {
     }
 }
 
+double ms_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/// Build-duration bucket bounds (ms): sub-millisecond program assembly up
+/// to multi-second characterization flows.
+std::vector<double> build_ms_bounds() {
+    return {0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000, 3000, 10000};
+}
+
 }  // namespace
+
+std::string artifact_class_name(ArtifactClass artifact_class) {
+    switch (artifact_class) {
+        case ArtifactClass::kProgram: return "program";
+        case ArtifactClass::kDelayTable: return "delay_table";
+        case ArtifactClass::kTrace: return "trace";
+        case ArtifactClass::kUnitDelays: return "unit_delays";
+    }
+    check(false, "unknown artifact class");
+    return {};
+}
+
+ArtifactCache::ArtifactCache() {
+    for (const ArtifactClass artifact_class :
+         {ArtifactClass::kProgram, ArtifactClass::kDelayTable, ArtifactClass::kTrace,
+          ArtifactClass::kUnitDelays}) {
+        const std::string prefix = "cache." + artifact_class_name(artifact_class) + ".";
+        ClassIds& ids = ids_[static_cast<std::size_t>(artifact_class)];
+        ids.miss = metrics_.counter(prefix + "miss");
+        ids.hit = metrics_.counter(prefix + "hit");
+        ids.wait = metrics_.counter(prefix + "wait");
+        ids.built = metrics_.counter(prefix + "built");
+        ids.build_ms = metrics_.histogram(prefix + "build_ms", build_ms_bounds());
+    }
+}
+
+template <typename T>
+void ArtifactCache::count_found(ArtifactClass artifact_class,
+                                const std::shared_future<T>& future) {
+    const bool ready = future.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+    metrics_.add(ready ? ids(artifact_class).hit : ids(artifact_class).wait);
+}
 
 std::string ArtifactCache::design_key(const timing::DesignConfig& design,
                                       const dta::AnalyzerConfig& analyzer_config) {
@@ -50,13 +96,22 @@ std::shared_future<assembler::Program> ArtifactCache::program(const std::string&
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (const auto it = programs_.find(kernel); it != programs_.end()) {
-            cache_hits_.fetch_add(1);
+            count_found(ArtifactClass::kProgram, it->second);
             return it->second;
         }
         programs_.emplace(kernel, promise.get_future().share());
     }
     // This thread won the build; assemble outside the lock.
-    fulfil(promise, [&] { return assembler::assemble(workloads::find_kernel(kernel).source); });
+    metrics_.add(ids(ArtifactClass::kProgram).miss);
+    const auto start = std::chrono::steady_clock::now();
+    FOCS_OBS_SPAN(span, obs::global_tracer(), "cache.build.program");
+    span.arg("key", kernel);
+    fulfil(promise, [&] {
+        assembler::Program program = assembler::assemble(workloads::find_kernel(kernel).source);
+        metrics_.add(ids(ArtifactClass::kProgram).built);
+        return program;
+    });
+    metrics_.observe(ids(ArtifactClass::kProgram).build_ms, ms_since(start));
     std::lock_guard<std::mutex> lock(mutex_);
     return programs_.at(kernel);
 }
@@ -83,20 +138,25 @@ std::shared_future<dta::DelayTable> ArtifactCache::delay_table(
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (const auto it = tables_.find(key); it != tables_.end()) {
-            cache_hits_.fetch_add(1);
+            count_found(ArtifactClass::kDelayTable, it->second);
             return it->second;
         }
         tables_.emplace(key, promise.get_future().share());
     }
+    metrics_.add(ids(ArtifactClass::kDelayTable).miss);
     const auto programs = characterization_programs();
+    const auto start = std::chrono::steady_clock::now();
+    FOCS_OBS_SPAN(span, obs::global_tracer(), "cache.build.delay_table");
+    span.arg("key", key).arg("flow_threads", static_cast<std::int64_t>(flow_threads));
     fulfil(promise, [&] {
         const core::CharacterizationFlow flow(design, analyzer_config);
         core::CharacterizationOptions options;
         options.threads = flow_threads;
         dta::DelayTable table = flow.run(programs.get(), options).table;
-        characterizations_built_.fetch_add(1);
+        metrics_.add(ids(ArtifactClass::kDelayTable).built);
         return table;
     });
+    metrics_.observe(ids(ArtifactClass::kDelayTable).build_ms, ms_since(start));
     std::lock_guard<std::mutex> lock(mutex_);
     return tables_.at(key);
 }
@@ -108,17 +168,22 @@ std::shared_future<sim::PipelineTrace> ArtifactCache::trace(
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (const auto it = traces_.find(key); it != traces_.end()) {
-            cache_hits_.fetch_add(1);
+            count_found(ArtifactClass::kTrace, it->second);
             return it->second;
         }
         traces_.emplace(key, promise.get_future().share());
     }
+    metrics_.add(ids(ArtifactClass::kTrace).miss);
     const auto program = this->program(kernel);
+    const auto start = std::chrono::steady_clock::now();
+    FOCS_OBS_SPAN(span, obs::global_tracer(), "cache.build.trace");
+    span.arg("key", key);
     fulfil(promise, [&] {
         sim::PipelineTrace trace = sim::record_trace(program.get(), machine_config);
-        traces_recorded_.fetch_add(1);
+        metrics_.add(ids(ArtifactClass::kTrace).built);
         return trace;
     });
+    metrics_.observe(ids(ArtifactClass::kTrace).build_ms, ms_since(start));
     std::lock_guard<std::mutex> lock(mutex_);
     return traces_.at(key);
 }
@@ -138,20 +203,24 @@ ArtifactCache::unit_trace_delays(const std::string& kernel, const timing::Design
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (const auto it = unit_delays_.find(key); it != unit_delays_.end()) {
-            cache_hits_.fetch_add(1);
-            unit_delay_reuses_.fetch_add(1);
+            count_found(ArtifactClass::kUnitDelays, it->second);
             return it->second;
         }
         unit_delays_.emplace(key, promise.get_future().share());
     }
+    metrics_.add(ids(ArtifactClass::kUnitDelays).miss);
     const auto trace = this->trace(kernel, machine_config);
+    const auto start = std::chrono::steady_clock::now();
+    FOCS_OBS_SPAN(span, obs::global_tracer(), "cache.build.unit_delays");
+    span.arg("key", key);
     fulfil(promise, [&]() -> std::shared_ptr<const timing::UnitTraceDelays> {
         const timing::DelayCalculator calculator(design);
         auto unit = std::make_shared<const timing::UnitTraceDelays>(
             timing::compute_unit_trace_delays(calculator, trace.get().records));
-        unit_delay_passes_.fetch_add(1);
+        metrics_.add(ids(ArtifactClass::kUnitDelays).built);
         return unit;
     });
+    metrics_.observe(ids(ArtifactClass::kUnitDelays).build_ms, ms_since(start));
     std::lock_guard<std::mutex> lock(mutex_);
     return unit_delays_.at(key);
 }
@@ -164,6 +233,40 @@ void ArtifactCache::put_delay_table(const timing::DesignConfig& design,
     promise.set_value(std::move(table));
     std::lock_guard<std::mutex> lock(mutex_);
     tables_.insert_or_assign(key, promise.get_future().share());
+}
+
+// ------------------------------------------------------ counter accessors
+
+ArtifactClassCounters ArtifactCache::class_counters(ArtifactClass artifact_class) const {
+    const ClassIds& ids = this->ids(artifact_class);
+    return {metrics_.counter_value(ids.miss), metrics_.counter_value(ids.hit),
+            metrics_.counter_value(ids.wait)};
+}
+
+std::uint64_t ArtifactCache::characterizations_built() const {
+    return metrics_.counter_value(ids(ArtifactClass::kDelayTable).built);
+}
+
+std::uint64_t ArtifactCache::cache_hits() const {
+    std::uint64_t total = 0;
+    for (const ArtifactClass artifact_class :
+         {ArtifactClass::kProgram, ArtifactClass::kDelayTable, ArtifactClass::kTrace,
+          ArtifactClass::kUnitDelays}) {
+        total += class_counters(artifact_class).served();
+    }
+    return total;
+}
+
+std::uint64_t ArtifactCache::traces_recorded() const {
+    return metrics_.counter_value(ids(ArtifactClass::kTrace).built);
+}
+
+std::uint64_t ArtifactCache::unit_delay_passes() const {
+    return metrics_.counter_value(ids(ArtifactClass::kUnitDelays).built);
+}
+
+std::uint64_t ArtifactCache::unit_delay_reuses() const {
+    return class_counters(ArtifactClass::kUnitDelays).served();
 }
 
 }  // namespace focs::runtime

@@ -13,8 +13,20 @@
 // concurrent requester blocks on the same future, and later requesters get
 // the cached value immediately. All artifacts are immutable after
 // construction, so sharing references across worker threads is safe.
+//
+// Every lookup lands in exactly one of three outcomes per artifact class,
+// counted on an embedded (always-enabled, private) metrics registry:
+//  - miss: this requester became the builder and ran the build;
+//  - hit:  the entry was present and its future already ready;
+//  - wait: the entry was present but still being built — the requester
+//          blocks on the builder's shared_future.
+// Misses are deterministic (the exactly-once contract: one per distinct
+// key); the hit/wait split depends on thread scheduling, so consumers
+// assert on misses and on hit+wait sums ("served"). Build durations land
+// in per-class histograms, and builds record spans on the global tracer.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <future>
@@ -27,14 +39,36 @@
 #include "asm/program.hpp"
 #include "dta/analyzer.hpp"
 #include "dta/delay_table.hpp"
+#include "obs/metrics.hpp"
 #include "sim/trace_recorder.hpp"
 #include "timing/design_config.hpp"
 #include "timing/trace_delays.hpp"
 
 namespace focs::runtime {
 
+/// The four artifact classes the cache serves.
+enum class ArtifactClass { kProgram, kDelayTable, kTrace, kUnitDelays };
+
+/// Stable short name ("program"|"delay_table"|"trace"|"unit_delays") used
+/// in metric names and JSON keys.
+std::string artifact_class_name(ArtifactClass artifact_class);
+
+/// Lookup-outcome counters of one artifact class (see the header comment
+/// for the miss/hit/wait taxonomy).
+struct ArtifactClassCounters {
+    std::uint64_t miss = 0;
+    std::uint64_t hit = 0;
+    std::uint64_t wait = 0;
+
+    /// Requests answered without building: hit + wait. Deterministic where
+    /// the individual split is not.
+    std::uint64_t served() const { return hit + wait; }
+};
+
 class ArtifactCache {
 public:
+    ArtifactCache();
+
     /// Assembled program of a bundled kernel (benchmark or characterization
     /// suite). Throws focs::Error through the future on unknown kernels.
     std::shared_future<assembler::Program> program(const std::string& kernel);
@@ -53,6 +87,7 @@ public:
 
     /// Pre-seeds the table cache (e.g. a LUT loaded from disk with --lut),
     /// so the sweep skips characterization for this operating point.
+    /// Counts as neither miss nor hit (nothing was built or requested).
     void put_delay_table(const timing::DesignConfig& design,
                          const dta::AnalyzerConfig& analyzer_config, dta::DelayTable table);
 
@@ -75,26 +110,36 @@ public:
     /// Number of characterization flows actually executed (not pre-seeded,
     /// not cache hits). The determinism test asserts this is exactly the
     /// number of distinct operating points in a sweep.
-    std::uint64_t characterizations_built() const { return characterizations_built_.load(); }
+    std::uint64_t characterizations_built() const;
 
-    /// Total requests answered from an already-present entry.
-    std::uint64_t cache_hits() const { return cache_hits_.load(); }
+    /// Total requests answered from an already-present entry (hit + wait,
+    /// summed over all four artifact classes).
+    std::uint64_t cache_hits() const;
 
     /// Guest simulations actually recorded as traces (not cache hits). A
     /// replay sweep's exactly-once contract is asserted on this counter:
     /// one per distinct (kernel, machine config), independent of how many
     /// policy/generator/voltage cells consume the trace.
-    std::uint64_t traces_recorded() const { return traces_recorded_.load(); }
+    std::uint64_t traces_recorded() const;
 
     /// Fused unit delay passes executed (not cache hits): exactly one per
     /// distinct (kernel, design variant, seed, machine config), independent
     /// of how many voltage points consume the array.
-    std::uint64_t unit_delay_passes() const { return unit_delay_passes_.load(); }
+    std::uint64_t unit_delay_passes() const;
 
     /// Requests for a unit delay artifact answered from an already-present
     /// entry — the per-voltage (and per-cell) reuse count of the shared
     /// arrays.
-    std::uint64_t unit_delay_reuses() const { return unit_delay_reuses_.load(); }
+    std::uint64_t unit_delay_reuses() const;
+
+    /// Current miss/hit/wait totals of one artifact class. Exact once the
+    /// requesting threads have quiesced; sweeps stamp before/after deltas
+    /// into their JSON metrics block.
+    ArtifactClassCounters class_counters(ArtifactClass artifact_class) const;
+
+    /// Point-in-time view of the embedded registry (counters plus build
+    /// duration histograms), e.g. for embedding into a trace export.
+    obs::MetricsSnapshot metrics_snapshot() const { return metrics_.snapshot(); }
 
     static std::string design_key(const timing::DesignConfig& design,
                                   const dta::AnalyzerConfig& analyzer_config);
@@ -106,6 +151,11 @@ private:
     /// characterization run (assembly is voltage-independent).
     std::shared_future<std::vector<assembler::Program>> characterization_programs();
 
+    /// Classifies a found entry as hit (ready) or wait (pending) and bumps
+    /// the class counter accordingly.
+    template <typename T>
+    void count_found(ArtifactClass artifact_class, const std::shared_future<T>& future);
+
     std::mutex mutex_;
     std::map<std::string, std::shared_future<assembler::Program>> programs_;
     std::map<std::string, std::shared_future<dta::DelayTable>> tables_;
@@ -114,11 +164,20 @@ private:
         unit_delays_;
     std::shared_future<std::vector<assembler::Program>> characterization_programs_;
     bool characterization_programs_started_ = false;
-    std::atomic<std::uint64_t> characterizations_built_{0};
-    std::atomic<std::uint64_t> cache_hits_{0};
-    std::atomic<std::uint64_t> traces_recorded_{0};
-    std::atomic<std::uint64_t> unit_delay_passes_{0};
-    std::atomic<std::uint64_t> unit_delay_reuses_{0};
+
+    /// Always-enabled private registry: the cache's counters feed sweep
+    /// result stamps and must be exact regardless of the global --metrics
+    /// flag. The lookup path is lock-dominated, so the relaxed RMWs are
+    /// noise.
+    obs::MetricsRegistry metrics_{/*enabled=*/true};
+    struct ClassIds {
+        obs::MetricsRegistry::Id miss, hit, wait, built, build_ms;
+    };
+    std::array<ClassIds, 4> ids_;
+
+    const ClassIds& ids(ArtifactClass artifact_class) const {
+        return ids_[static_cast<std::size_t>(artifact_class)];
+    }
 };
 
 }  // namespace focs::runtime

@@ -1,54 +1,26 @@
 #include "runtime/result_io.hpp"
 
-#include <cctype>
-#include <cmath>
-#include <cstdio>
-#include <cstdlib>
-#include <map>
-#include <memory>
-#include <variant>
-#include <vector>
+#include <cstdint>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 
 namespace focs::runtime {
 
 // ---------------------------------------------------------------- writing
 
-std::string json_number(double value) {
-    // JSON has no inf/nan; silently clamping would hide bugs, so fail.
-    check(std::isfinite(value), "non-finite value in JSON document");
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.17g", value);
-    return buf;
-}
+std::string json_number(double value) { return json::number(value); }
 
-std::string json_string(const std::string& value) {
-    std::string out = "\"";
-    for (const char c : value) {
-        switch (c) {
-            case '"': out += "\\\""; break;
-            case '\\': out += "\\\\"; break;
-            case '\n': out += "\\n"; break;
-            case '\r': out += "\\r"; break;
-            case '\t': out += "\\t"; break;
-            default:
-                if (static_cast<unsigned char>(c) < 0x20) {
-                    char buf[8];
-                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                    out += buf;
-                } else {
-                    out += c;
-                }
-        }
-    }
-    out += '"';
-    return out;
-}
+std::string json_string(const std::string& value) { return json::quote(value); }
 
 namespace {
 
-void append_cell(std::string& out, const SweepCell& cell) {
+using json::Array;
+using json::Object;
+using json::Value;
+using json::field;
+
+void append_cell(std::string& out, const SweepCell& cell, bool include_timing) {
     const core::DcaRunResult& r = cell.result;
     out += "    {";
     out += "\"kernel\": " + json_string(cell.kernel);
@@ -65,6 +37,13 @@ void append_cell(std::string& out, const SweepCell& cell) {
     out += ", \"speedup_vs_static\": " + json_number(r.speedup_vs_static);
     out += ", \"timing_violations\": " + std::to_string(r.timing_violations);
     out += ", \"worst_violation_ps\": " + json_number(r.worst_violation_ps);
+    if (include_timing) {
+        // Run-dependent, so gated like the timing header: the canonical
+        // (include_timing=false) document stays byte-comparable across job
+        // counts and evaluation modes.
+        out += ", \"wall_ms\": " + json_number(cell.wall_ms);
+        out += ", \"queue_wait_ms\": " + json_number(cell.queue_wait_ms);
+    }
     out += ", \"guest\": {\"exit_code\": " + std::to_string(r.guest.exit_code);
     out += ", \"cycles\": " + std::to_string(r.guest.cycles);
     out += ", \"instructions\": " + std::to_string(r.guest.instructions);
@@ -76,194 +55,40 @@ void append_cell(std::string& out, const SweepCell& cell) {
     out += "]}}";
 }
 
-// ---------------------------------------------------------------- parsing
+std::string class_counters_json(const ArtifactClassCounters& counters) {
+    return "{\"miss\": " + std::to_string(counters.miss) +
+           ", \"hit\": " + std::to_string(counters.hit) +
+           ", \"wait\": " + std::to_string(counters.wait) + "}";
+}
 
-struct Value;
-using Array = std::vector<Value>;
-using Object = std::map<std::string, Value>;
-
-struct Value {
-    std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data;
-
-    double number() const {
-        check(std::holds_alternative<double>(data), "JSON: expected number");
-        return std::get<double>(data);
-    }
-    const std::string& string() const {
-        check(std::holds_alternative<std::string>(data), "JSON: expected string");
-        return std::get<std::string>(data);
-    }
-    const Array& array() const {
-        check(std::holds_alternative<Array>(data), "JSON: expected array");
-        return std::get<Array>(data);
-    }
-    const Object& object() const {
-        check(std::holds_alternative<Object>(data), "JSON: expected object");
-        return std::get<Object>(data);
-    }
-};
-
-class Parser {
-public:
-    explicit Parser(const std::string& text) : text_(text) {}
-
-    Value parse_document() {
-        const Value value = parse_value();
-        skip_whitespace();
-        check(pos_ == text_.size(), "JSON: trailing characters at offset " + std::to_string(pos_));
-        return value;
-    }
-
-private:
-    [[noreturn]] void fail(const std::string& what) const {
-        throw Error("JSON parse error at offset " + std::to_string(pos_) + ": " + what);
-    }
-
-    void skip_whitespace() {
-        while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-            ++pos_;
-        }
-    }
-
-    char peek() {
-        skip_whitespace();
-        if (pos_ >= text_.size()) fail("unexpected end of input");
-        return text_[pos_];
-    }
-
-    void expect(char c) {
-        if (peek() != c) fail(std::string("expected '") + c + "'");
-        ++pos_;
-    }
-
-    bool consume_literal(const char* literal) {
-        const std::size_t len = std::string(literal).size();
-        if (text_.compare(pos_, len, literal) == 0) {
-            pos_ += len;
-            return true;
-        }
-        return false;
-    }
-
-    Value parse_value() {
-        const char c = peek();
-        if (c == '{') return parse_object();
-        if (c == '[') return parse_array();
-        if (c == '"') return Value{parse_string()};
-        if (consume_literal("true")) return Value{true};
-        if (consume_literal("false")) return Value{false};
-        if (consume_literal("null")) return Value{nullptr};
-        return parse_number();
-    }
-
-    Value parse_object() {
-        expect('{');
-        Object object;
-        if (peek() == '}') {
-            ++pos_;
-            return Value{std::move(object)};
-        }
-        while (true) {
-            std::string key = parse_string_token();
-            expect(':');
-            object.emplace(std::move(key), parse_value());
-            const char c = peek();
-            ++pos_;
-            if (c == '}') return Value{std::move(object)};
-            if (c != ',') fail("expected ',' or '}' in object");
-        }
-    }
-
-    Value parse_array() {
-        expect('[');
-        Array array;
-        if (peek() == ']') {
-            ++pos_;
-            return Value{std::move(array)};
-        }
-        while (true) {
-            array.push_back(parse_value());
-            const char c = peek();
-            ++pos_;
-            if (c == ']') return Value{std::move(array)};
-            if (c != ',') fail("expected ',' or ']' in array");
-        }
-    }
-
-    std::string parse_string() { return parse_string_token(); }
-
-    std::string parse_string_token() {
-        if (peek() != '"') fail("expected string");
-        ++pos_;
-        std::string out;
-        while (true) {
-            if (pos_ >= text_.size()) fail("unterminated string");
-            const char c = text_[pos_++];
-            if (c == '"') return out;
-            if (c != '\\') {
-                out += c;
-                continue;
-            }
-            if (pos_ >= text_.size()) fail("unterminated escape");
-            const char e = text_[pos_++];
-            switch (e) {
-                case '"': out += '"'; break;
-                case '\\': out += '\\'; break;
-                case '/': out += '/'; break;
-                case 'n': out += '\n'; break;
-                case 'r': out += '\r'; break;
-                case 't': out += '\t'; break;
-                case 'b': out += '\b'; break;
-                case 'f': out += '\f'; break;
-                case 'u': {
-                    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-                    long code = 0;
-                    for (int i = 0; i < 4; ++i) {
-                        const char h = text_[pos_ + static_cast<std::size_t>(i)];
-                        if (!std::isxdigit(static_cast<unsigned char>(h))) {
-                            fail("non-hex digit in \\u escape");
-                        }
-                        code = code * 16 + (h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
-                    }
-                    pos_ += 4;
-                    // to_json only emits \u for the control range; anything
-                    // larger would need UTF-8 encoding we don't produce.
-                    if (code >= 0x20) fail("unsupported \\u escape beyond control range");
-                    out += static_cast<char>(code);
-                    break;
-                }
-                default: fail("unknown escape");
-            }
-        }
-    }
-
-    Value parse_number() {
-        skip_whitespace();
-        const char* begin = text_.c_str() + pos_;
-        char* end = nullptr;
-        const double value = std::strtod(begin, &end);
-        if (end == begin) fail("expected value");
-        pos_ += static_cast<std::size_t>(end - begin);
-        return Value{value};
-    }
-
-    const std::string& text_;
-    std::size_t pos_ = 0;
-};
+std::string metrics_json(const SweepMetrics& metrics) {
+    std::string out = "{\n";
+    out += "    \"cache\": {";
+    out += "\"program\": " + class_counters_json(metrics.program);
+    out += ", \"delay_table\": " + class_counters_json(metrics.delay_table);
+    out += ", \"trace\": " + class_counters_json(metrics.trace);
+    out += ", \"unit_delays\": " + class_counters_json(metrics.unit_delays);
+    out += "},\n";
+    out += "    \"cell_wall_ms\": {\"p50\": " + json_number(metrics.cell_wall_ms_p50) +
+           ", \"p95\": " + json_number(metrics.cell_wall_ms_p95) +
+           ", \"max\": " + json_number(metrics.cell_wall_ms_max) + "},\n";
+    out += "    \"queue_wait_ms_total\": " + json_number(metrics.queue_wait_ms_total) + "\n";
+    out += "  }";
+    return out;
+}
 
 std::uint64_t as_u64(const Value& value) { return static_cast<std::uint64_t>(value.number()); }
 
-const Value& field(const Object& object, const char* key) {
-    const auto it = object.find(key);
-    check(it != object.end(), std::string("JSON: missing field '") + key + "'");
-    return it->second;
+ArtifactClassCounters parse_class_counters(const Value& value) {
+    const Object& o = value.object();
+    return {as_u64(field(o, "miss")), as_u64(field(o, "hit")), as_u64(field(o, "wait"))};
 }
 
 }  // namespace
 
 std::string to_json(const SweepResult& result, bool include_timing) {
     std::string out = "{\n";
-    out += "  \"schema\": \"focs-sweep-v3\",\n";
+    out += "  \"schema\": \"focs-sweep-v4\",\n";
     // The spec stamp is canonical (grid-derived, not run-dependent): two
     // runs of the same spec carry the same stamp regardless of job count or
     // evaluation mode, so cached results.json files stay traceable AND the
@@ -279,13 +104,14 @@ std::string to_json(const SweepResult& result, bool include_timing) {
         out += "  \"guest_simulations\": " + std::to_string(result.guest_simulations) + ",\n";
         out += "  \"unit_delay_passes\": " + std::to_string(result.unit_delay_passes) + ",\n";
         out += "  \"unit_delay_reuses\": " + std::to_string(result.unit_delay_reuses) + ",\n";
+        out += "  \"metrics\": " + metrics_json(result.metrics) + ",\n";
     }
     out += "  \"mean_eff_freq_mhz\": " + json_number(result.mean_eff_freq_mhz) + ",\n";
     out += "  \"mean_speedup\": " + json_number(result.mean_speedup) + ",\n";
     out += "  \"total_violations\": " + std::to_string(result.total_violations) + ",\n";
     out += "  \"cells\": [\n";
     for (std::size_t i = 0; i < result.cells.size(); ++i) {
-        append_cell(out, result.cells[i]);
+        append_cell(out, result.cells[i], include_timing);
         if (i + 1 < result.cells.size()) out += ',';
         out += '\n';
     }
@@ -294,12 +120,15 @@ std::string to_json(const SweepResult& result, bool include_timing) {
 }
 
 SweepResult from_json(const std::string& text) {
-    const Value document = Parser(text).parse_document();
+    const Value document = json::parse(text);
     const Object& root = document.object();
     const std::string& schema = field(root, "schema").string();
-    // v2: pre-unit-delays documents without the voltage-axis counters;
-    // v1: pre-replay documents without the spec stamp. Both still readable.
-    check(schema == "focs-sweep-v3" || schema == "focs-sweep-v2" || schema == "focs-sweep-v1",
+    // v3: pre-observability documents without the metrics block and
+    // per-cell timing; v2: pre-unit-delays documents without the
+    // voltage-axis counters; v1: pre-replay documents without the spec
+    // stamp. All still readable.
+    check(schema == "focs-sweep-v4" || schema == "focs-sweep-v3" || schema == "focs-sweep-v2" ||
+              schema == "focs-sweep-v1",
           "unknown sweep result schema '" + schema + "'");
 
     SweepResult result;
@@ -333,6 +162,19 @@ SweepResult from_json(const std::string& text) {
     if (const auto it = root.find("unit_delay_reuses"); it != root.end()) {
         result.unit_delay_reuses = as_u64(it->second);
     }
+    if (const auto it = root.find("metrics"); it != root.end()) {
+        const Object& m = it->second.object();
+        const Object& cache = field(m, "cache").object();
+        result.metrics.program = parse_class_counters(field(cache, "program"));
+        result.metrics.delay_table = parse_class_counters(field(cache, "delay_table"));
+        result.metrics.trace = parse_class_counters(field(cache, "trace"));
+        result.metrics.unit_delays = parse_class_counters(field(cache, "unit_delays"));
+        const Object& walls = field(m, "cell_wall_ms").object();
+        result.metrics.cell_wall_ms_p50 = field(walls, "p50").number();
+        result.metrics.cell_wall_ms_p95 = field(walls, "p95").number();
+        result.metrics.cell_wall_ms_max = field(walls, "max").number();
+        result.metrics.queue_wait_ms_total = field(m, "queue_wait_ms_total").number();
+    }
     result.mean_eff_freq_mhz = field(root, "mean_eff_freq_mhz").number();
     result.mean_speedup = field(root, "mean_speedup").number();
     result.total_violations = as_u64(field(root, "total_violations"));
@@ -344,6 +186,12 @@ SweepResult from_json(const std::string& text) {
         cell.policy = field(o, "policy").string();
         cell.generator = field(o, "generator").string();
         cell.voltage_v = field(o, "voltage_v").number();
+        if (const auto it = o.find("wall_ms"); it != o.end()) {
+            cell.wall_ms = it->second.number();
+        }
+        if (const auto it = o.find("queue_wait_ms"); it != o.end()) {
+            cell.queue_wait_ms = it->second.number();
+        }
         core::DcaRunResult& r = cell.result;
         r.policy = field(o, "engine_policy").string();
         r.clock_generator = field(o, "engine_generator").string();

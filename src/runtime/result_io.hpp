@@ -24,20 +24,22 @@ namespace focs::runtime {
 std::string json_number(double value);
 std::string json_string(const std::string& value);
 
-/// Serializes a sweep result (schema "focs-sweep-v3", which adds the
-/// voltage-axis amortization counters unit_delay_passes/unit_delay_reuses
-/// to the timing header): the originating spec text and its stable hash
-/// are always stamped into the header so cached results.json files stay
-/// traceable. `include_timing` controls the run-dependent header fields
-/// (wall_ms, jobs, mode, cache counters); switch it off to obtain a
-/// canonical byte-comparable document — equal for any job count and for
-/// replay vs. live evaluation of the same spec.
+/// Serializes a sweep result (schema "focs-sweep-v4", which adds a
+/// `metrics` object — per-artifact-class cache miss/hit/wait counters and
+/// the per-cell wall-time p50/p95/max — plus per-cell wall_ms /
+/// queue_wait_ms fields to the timing header): the originating spec text
+/// and its stable hash are always stamped into the header so cached
+/// results.json files stay traceable. `include_timing` controls the
+/// run-dependent fields (wall_ms, jobs, mode, cache counters, the metrics
+/// block and the per-cell timing); switch it off to obtain a canonical
+/// byte-comparable document — equal for any job count and for replay vs.
+/// live evaluation of the same spec.
 std::string to_json(const SweepResult& result, bool include_timing = true);
 
-/// Parses a document produced by to_json (v3, the pre-unit-delays v2, or
-/// the pre-replay v1 without the spec stamp). Throws focs::Error on
-/// malformed input. Header fields absent from the document are left
-/// zero/empty.
+/// Parses a document produced by to_json (v4, the pre-observability v3,
+/// the pre-unit-delays v2, or the pre-replay v1 without the spec stamp).
+/// Throws focs::Error on malformed input. Header fields absent from the
+/// document are left zero/empty.
 SweepResult from_json(const std::string& text);
 
 }  // namespace focs::runtime

@@ -1,8 +1,10 @@
 #include "runtime/sweep_engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <exception>
 #include <mutex>
@@ -12,6 +14,7 @@
 
 #include "common/error.hpp"
 #include "core/replay_engine.hpp"
+#include "obs/span_tracer.hpp"
 #include "timing/delay_model.hpp"
 
 namespace focs::runtime {
@@ -25,6 +28,14 @@ struct SweepJob {
     const GeneratorSpec* generator = nullptr;
     timing::DesignConfig design;
 };
+
+/// Nearest-rank percentile of an already-sorted ascending sample vector.
+double nearest_rank(const std::vector<double>& sorted, double percentile) {
+    if (sorted.empty()) return 0;
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(percentile / 100.0 * static_cast<double>(sorted.size())));
+    return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
 
 }  // namespace
 
@@ -77,6 +88,15 @@ SweepResult SweepEngine::run(const SweepSpec& raw_spec) const {
     const std::uint64_t traces_before = cache_->traces_recorded();
     const std::uint64_t unit_passes_before = cache_->unit_delay_passes();
     const std::uint64_t unit_reuses_before = cache_->unit_delay_reuses();
+    // Per-class cache outcomes: capture the embedded registry's totals now
+    // and stamp the delta into the result's metrics block afterwards.
+    const auto classes = {ArtifactClass::kProgram, ArtifactClass::kDelayTable,
+                          ArtifactClass::kTrace, ArtifactClass::kUnitDelays};
+    std::array<ArtifactClassCounters, 4> class_before;
+    for (const ArtifactClass artifact_class : classes) {
+        class_before[static_cast<std::size_t>(artifact_class)] =
+            cache_->class_counters(artifact_class);
+    }
 
     // Expand the grid in deterministic declaration order: voltage-major so
     // one operating point's cells are adjacent, then kernel, policy,
@@ -123,6 +143,11 @@ SweepResult SweepEngine::run(const SweepSpec& raw_spec) const {
     result.spec_text = spec.serialize();
     result.spec_hash = stable_text_hash(result.spec_text);
 
+    FOCS_OBS_SPAN(sweep_span, obs::global_tracer(), "sweep.run");
+    sweep_span.arg("mode", result.mode)
+        .arg("cells", static_cast<std::int64_t>(jobs_list.size()))
+        .arg("jobs", static_cast<std::int64_t>(worker_count));
+
     std::atomic<std::size_t> cursor{0};
     std::atomic<bool> failed{false};
     std::exception_ptr first_error;
@@ -133,7 +158,18 @@ SweepResult SweepEngine::run(const SweepSpec& raw_spec) const {
             const std::size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
             if (index >= jobs_list.size()) return;
             const SweepJob& job = jobs_list[index];
+            // Queue wait: the job was runnable at sweep start; this is how
+            // long it sat before a worker reached it.
+            const auto dequeued = std::chrono::steady_clock::now();
+            const double queue_wait_ms =
+                std::chrono::duration<double, std::milli>(dequeued - start).count();
             try {
+                FOCS_OBS_SPAN(cell_span, obs::global_tracer(), "sweep.cell");
+                cell_span.arg("kernel", job.kernel)
+                    .arg("policy", core::policy_kind_name(job.policy))
+                    .arg("generator", job.generator->label())
+                    .arg("voltage_v", job.design.voltage_v)
+                    .arg("queue_wait_ms", queue_wait_ms);
                 // Shared artifacts: built once, then served from the cache.
                 auto table_future = cache_->delay_table(job.design, analyzer_config, flow_threads);
 
@@ -182,6 +218,12 @@ SweepResult SweepEngine::run(const SweepSpec& raw_spec) const {
                 cell.generator = job.generator->label();
                 cell.voltage_v = job.design.voltage_v;
                 cell.result = std::move(run);
+                cell.queue_wait_ms = queue_wait_ms;
+                cell.wall_ms =
+                    std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                              dequeued)
+                        .count();
+                cell_span.arg("wall_ms", cell.wall_ms);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(error_mutex);
                 if (!first_error) first_error = std::current_exception();
@@ -217,6 +259,30 @@ SweepResult SweepEngine::run(const SweepSpec& raw_spec) const {
                                    : static_cast<std::uint64_t>(result.cells.size());
     result.unit_delay_passes = cache_->unit_delay_passes() - unit_passes_before;
     result.unit_delay_reuses = cache_->unit_delay_reuses() - unit_reuses_before;
+
+    // Metrics block: per-class cache deltas over this sweep plus the exact
+    // per-cell wall-time distribution.
+    const auto class_delta = [&](ArtifactClass artifact_class) {
+        const ArtifactClassCounters now = cache_->class_counters(artifact_class);
+        const ArtifactClassCounters& before =
+            class_before[static_cast<std::size_t>(artifact_class)];
+        return ArtifactClassCounters{now.miss - before.miss, now.hit - before.hit,
+                                     now.wait - before.wait};
+    };
+    result.metrics.program = class_delta(ArtifactClass::kProgram);
+    result.metrics.delay_table = class_delta(ArtifactClass::kDelayTable);
+    result.metrics.trace = class_delta(ArtifactClass::kTrace);
+    result.metrics.unit_delays = class_delta(ArtifactClass::kUnitDelays);
+    std::vector<double> walls;
+    walls.reserve(result.cells.size());
+    for (const auto& cell : result.cells) {
+        walls.push_back(cell.wall_ms);
+        result.metrics.queue_wait_ms_total += cell.queue_wait_ms;
+    }
+    std::sort(walls.begin(), walls.end());
+    result.metrics.cell_wall_ms_p50 = nearest_rank(walls, 50);
+    result.metrics.cell_wall_ms_p95 = nearest_rank(walls, 95);
+    result.metrics.cell_wall_ms_max = walls.empty() ? 0 : walls.back();
     result.wall_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                                start)
                          .count();

@@ -53,6 +53,33 @@ struct SweepCell {
     std::string generator;  ///< GeneratorSpec label
     double voltage_v = 0;
     core::DcaRunResult result;
+    /// Wall time of this cell's evaluation on its worker (artifact waits
+    /// included). Run-dependent: serialized only under include_timing.
+    double wall_ms = 0;
+    /// Time the expanded job sat in the queue before a worker picked it
+    /// up (dequeue time minus sweep start). Run-dependent.
+    double queue_wait_ms = 0;
+};
+
+/// Run-dependent observability block stamped into the focs-sweep-v4 timing
+/// header: per-artifact-class cache outcomes (deltas of the cache's
+/// embedded registry over this sweep) and the per-cell wall-time
+/// distribution. Misses are deterministic (exactly-once builds); the
+/// hit/wait split depends on thread scheduling.
+struct SweepMetrics {
+    ArtifactClassCounters program;
+    ArtifactClassCounters delay_table;
+    ArtifactClassCounters trace;
+    ArtifactClassCounters unit_delays;
+
+    /// Nearest-rank percentiles over the cells' wall_ms (exact, computed
+    /// from the per-cell samples, not from histogram buckets).
+    double cell_wall_ms_p50 = 0;
+    double cell_wall_ms_p95 = 0;
+    double cell_wall_ms_max = 0;
+    /// Sum of every cell's queue_wait_ms — the scheduling overhead the
+    /// pool paid on top of the evaluation work.
+    double queue_wait_ms_total = 0;
 };
 
 struct SweepResult {
@@ -80,6 +107,8 @@ struct SweepResult {
     /// traceable to their originating grid.
     std::string spec_text;
     std::string spec_hash;
+    /// Cache outcome deltas and wall-time distribution for this run.
+    SweepMetrics metrics;
 
     /// Mean over all cells (matches SuiteResult semantics when the sweep is
     /// a single-policy suite).

@@ -1,0 +1,289 @@
+// Observability layer tests: exactness of the sharded metrics registry
+// under concurrency (run under TSan in CI), span-tracer export shape, and
+// the disabled-mode contract (no output, no mutation).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
+
+namespace {
+
+using focs::obs::MetricsRegistry;
+using focs::obs::MetricsSnapshot;
+using focs::obs::Span;
+using focs::obs::SpanEvent;
+using focs::obs::SpanTracer;
+
+TEST(MetricsRegistry, ConcurrentCounterMergesAreExact) {
+    MetricsRegistry registry(/*enabled=*/true);
+    const auto ticks = registry.counter("test.ticks");
+    const auto bulk = registry.counter("test.bulk");
+
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kPerThread = 20000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i) {
+                registry.add(ticks);
+                registry.add(bulk, 3);
+            }
+        });
+    }
+    for (auto& thread : threads) thread.join();
+
+    EXPECT_EQ(registry.counter_value(ticks), kThreads * kPerThread);
+    EXPECT_EQ(registry.counter_value(bulk), kThreads * kPerThread * 3);
+    const MetricsSnapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.counter_value("test.ticks"), kThreads * kPerThread);
+    EXPECT_EQ(snap.counter_value("test.bulk"), kThreads * kPerThread * 3);
+    EXPECT_EQ(snap.counter_value("test.absent"), 0u);
+}
+
+TEST(MetricsRegistry, ConcurrentHistogramMergesAreExact) {
+    MetricsRegistry registry(/*enabled=*/true);
+    const auto hist = registry.histogram("test.latency", {1.0, 10.0, 100.0});
+
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 5000;
+    // Integer-valued observations so the double sum is exact.
+    const double values[] = {0.5, 5.0, 50.0, 500.0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kPerThread; ++i) registry.observe(hist, values[i % 4]);
+        });
+    }
+    for (auto& thread : threads) thread.join();
+
+    const MetricsSnapshot snap = registry.snapshot();
+    const auto* h = snap.find_histogram("test.latency");
+    ASSERT_NE(h, nullptr);
+    ASSERT_EQ(h->bounds.size(), 3u);
+    ASSERT_EQ(h->buckets.size(), 4u);  // three bounds + overflow
+    constexpr std::uint64_t kPerBucket = kThreads * kPerThread / 4;
+    EXPECT_EQ(h->buckets[0], kPerBucket);  // 0.5  <= 1
+    EXPECT_EQ(h->buckets[1], kPerBucket);  // 5    <= 10
+    EXPECT_EQ(h->buckets[2], kPerBucket);  // 50   <= 100
+    EXPECT_EQ(h->buckets[3], kPerBucket);  // 500  -> overflow
+    EXPECT_EQ(h->count, kThreads * static_cast<std::uint64_t>(kPerThread));
+    EXPECT_DOUBLE_EQ(h->sum, kPerBucket * (0.5 + 5.0 + 50.0 + 500.0));
+}
+
+TEST(MetricsRegistry, GaugeKeepsConcurrentHighWaterMark) {
+    MetricsRegistry registry(/*enabled=*/true);
+    const auto depth = registry.gauge("test.depth");
+
+    constexpr int kThreads = 8;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < 10000; ++i) {
+                registry.gauge_max(depth, static_cast<std::int64_t>(t) * 10000 + i);
+            }
+        });
+    }
+    for (auto& thread : threads) thread.join();
+
+    const MetricsSnapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_EQ(snap.gauges[0].name, "test.depth");
+    EXPECT_EQ(snap.gauges[0].max, (kThreads - 1) * 10000 + 9999);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotentAndBoundsChecked) {
+    MetricsRegistry registry(/*enabled=*/true);
+    const auto a = registry.counter("test.same");
+    EXPECT_EQ(registry.counter("test.same"), a);
+    const auto h = registry.histogram("test.hist", {1.0, 2.0});
+    EXPECT_EQ(registry.histogram("test.hist", {1.0, 2.0}), h);
+    EXPECT_THROW(registry.histogram("test.hist", {1.0, 3.0}), focs::Error);
+}
+
+TEST(MetricsRegistry, DisabledRegistryMutatesNothing) {
+    MetricsRegistry registry(/*enabled=*/false);
+    const auto ticks = registry.counter("test.ticks");
+    const auto depth = registry.gauge("test.depth");
+    const auto hist = registry.histogram("test.latency", {1.0});
+
+    registry.add(ticks, 7);
+    registry.gauge_max(depth, 42);
+    registry.observe(hist, 0.5);
+
+    EXPECT_EQ(registry.counter_value(ticks), 0u);
+    const MetricsSnapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.counter_value("test.ticks"), 0u);
+    EXPECT_EQ(snap.gauges[0].max, 0);
+    EXPECT_EQ(snap.find_histogram("test.latency")->count, 0u);
+
+    registry.set_enabled(true);
+    registry.add(ticks, 7);
+    EXPECT_EQ(registry.counter_value(ticks), 7u);
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsRegistrations) {
+    MetricsRegistry registry(/*enabled=*/true);
+    const auto ticks = registry.counter("test.ticks");
+    const auto hist = registry.histogram("test.latency", {1.0});
+    registry.add(ticks, 5);
+    registry.observe(hist, 0.5);
+
+    registry.reset();
+    EXPECT_EQ(registry.counter_value(ticks), 0u);
+    const MetricsSnapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.counter_value("test.ticks"), 0u);
+    EXPECT_EQ(snap.find_histogram("test.latency")->count, 0u);
+    // Same name still maps to the same id after a reset.
+    EXPECT_EQ(registry.counter("test.ticks"), ticks);
+}
+
+TEST(MetricsRegistry, SnapshotJsonParsesAndCarriesValues) {
+    MetricsRegistry registry(/*enabled=*/true);
+    registry.add(registry.counter("test.ticks"), 12);
+    registry.gauge_max(registry.gauge("test.depth"), 4);
+    registry.observe(registry.histogram("test.latency", {1.0, 10.0}), 5.0);
+
+    const auto doc = focs::json::parse(registry.snapshot().to_json());
+    const auto& counters = focs::json::field(doc.object(), "counters").object();
+    EXPECT_DOUBLE_EQ(focs::json::field(counters, "test.ticks").number(), 12.0);
+    const auto& gauges = focs::json::field(doc.object(), "gauges").object();
+    EXPECT_DOUBLE_EQ(focs::json::field(gauges, "test.depth").number(), 4.0);
+    const auto& hists = focs::json::field(doc.object(), "histograms").object();
+    const auto& hist = focs::json::field(hists, "test.latency").object();
+    EXPECT_DOUBLE_EQ(focs::json::field(hist, "count").number(), 1.0);
+    EXPECT_EQ(focs::json::field(hist, "buckets").array().size(), 3u);
+}
+
+TEST(SpanTracer, DisabledTracerEmitsNothing) {
+    SpanTracer tracer(/*enabled=*/false);
+    {
+        Span span = tracer.span("work");
+        EXPECT_FALSE(span.active());
+        span.arg("key", std::int64_t{1});
+    }
+    tracer.instant("marker");
+    EXPECT_TRUE(tracer.snapshot().empty());
+
+    const auto doc = focs::json::parse(tracer.export_chrome_json());
+    EXPECT_TRUE(focs::json::field(doc.object(), "traceEvents").array().empty());
+}
+
+TEST(SpanTracer, ExportIsValidChromeTraceJson) {
+    SpanTracer tracer(/*enabled=*/true);
+    {
+        Span outer = tracer.span("outer");
+        outer.arg("label", std::string("a\"b")).arg("n", std::int64_t{3}).arg("x", 1.5);
+        Span inner = tracer.span("inner");
+    }
+    tracer.instant("marker");
+
+    MetricsRegistry registry(/*enabled=*/true);
+    registry.add(registry.counter("test.ticks"), 2);
+    const MetricsSnapshot metrics = registry.snapshot();
+
+    const std::string json = tracer.export_chrome_json(&metrics);
+    const auto doc = focs::json::parse(json);
+    const auto& events = focs::json::field(doc.object(), "traceEvents").array();
+    ASSERT_EQ(events.size(), 3u);
+    int complete = 0;
+    int instants = 0;
+    for (const auto& event : events) {
+        const auto& obj = event.object();
+        EXPECT_FALSE(focs::json::field(obj, "name").string().empty());
+        EXPECT_GE(focs::json::field(obj, "ts").number(), 0.0);
+        const std::string ph = focs::json::field(obj, "ph").string();
+        if (ph == "X") {
+            ++complete;
+            EXPECT_GE(focs::json::field(obj, "dur").number(), 0.0);
+        } else {
+            ++instants;
+            EXPECT_EQ(ph, "i");
+        }
+    }
+    EXPECT_EQ(complete, 2);
+    EXPECT_EQ(instants, 1);
+    // The metrics snapshot rides along in the same file.
+    const auto& counters =
+        focs::json::field(focs::json::field(doc.object(), "metrics").object(), "counters")
+            .object();
+    EXPECT_DOUBLE_EQ(focs::json::field(counters, "test.ticks").number(), 2.0);
+}
+
+TEST(SpanTracer, SameThreadSpansNestOrAreDisjoint) {
+    SpanTracer tracer(/*enabled=*/true);
+    for (int i = 0; i < 4; ++i) {
+        Span outer = tracer.span("outer");
+        { Span inner = tracer.span("inner"); }
+    }
+
+    const std::vector<SpanEvent> events = tracer.snapshot();
+    ASSERT_EQ(events.size(), 8u);
+    for (const SpanEvent& event : events) {
+        EXPECT_EQ(event.tid, events.front().tid);
+        EXPECT_GE(event.duration_us, 0.0);
+    }
+    // Pairwise: on one thread, span intervals either nest or are disjoint —
+    // partial overlap would mean a malformed (interleaved) close order.
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        for (std::size_t j = i + 1; j < events.size(); ++j) {
+            const double a0 = events[i].start_us, a1 = a0 + events[i].duration_us;
+            const double b0 = events[j].start_us, b1 = b0 + events[j].duration_us;
+            const bool disjoint = a1 <= b0 || b1 <= a0;
+            const bool a_in_b = b0 <= a0 && a1 <= b1;
+            const bool b_in_a = a0 <= b0 && b1 <= a1;
+            EXPECT_TRUE(disjoint || a_in_b || b_in_a)
+                << "spans " << i << " and " << j << " partially overlap";
+        }
+    }
+}
+
+TEST(SpanTracer, ConcurrentSpansLandOnDistinctTids) {
+    SpanTracer tracer(/*enabled=*/true);
+    constexpr int kThreads = 4;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 50; ++i) {
+                Span span = tracer.span("work");
+                span.arg("i", static_cast<std::int64_t>(i));
+            }
+        });
+    }
+    for (auto& thread : threads) thread.join();
+
+    const std::vector<SpanEvent> events = tracer.snapshot();
+    ASSERT_EQ(events.size(), kThreads * 50u);
+    std::vector<std::uint32_t> tids;
+    for (const SpanEvent& event : events) tids.push_back(event.tid);
+    std::sort(tids.begin(), tids.end());
+    tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+    EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(SpanTracer, ResetDropsEventsAndRebasesClock) {
+    SpanTracer tracer(/*enabled=*/true);
+    { Span span = tracer.span("before"); }
+    ASSERT_EQ(tracer.snapshot().size(), 1u);
+
+    tracer.reset();
+    EXPECT_TRUE(tracer.snapshot().empty());
+    { Span span = tracer.span("after"); }
+    const std::vector<SpanEvent> events = tracer.snapshot();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].name, "after");
+    EXPECT_GE(events[0].start_us, 0.0);
+}
+
+}  // namespace

@@ -115,6 +115,39 @@ TEST(SweepEngine, ReplayReusesTracesAcrossSweeps) {
     EXPECT_EQ(to_json(first, false), to_json(again, false));
 }
 
+TEST(SweepEngine, StampsCacheOutcomeMetrics) {
+    auto cache = std::make_shared<ArtifactCache>();
+    const SweepEngine engine(4, cache, EvalMode::kReplay);
+    const SweepResult result = engine.run(small_spec());
+    // Misses are the deterministic exactly-once builds; the hit/wait split
+    // depends on thread scheduling, so the assertions use the served sums.
+    EXPECT_EQ(result.metrics.program.miss, 3u);      // one per kernel (trace builders)
+    EXPECT_EQ(result.metrics.delay_table.miss, 1u);  // one operating point
+    EXPECT_EQ(result.metrics.trace.miss, 3u);
+    EXPECT_EQ(result.metrics.unit_delays.miss, 3u);
+    // 12 cells plus 3 unit-delay builders request the trace; 3 of the 15
+    // requests build, the rest are served from the shared futures.
+    EXPECT_EQ(result.metrics.trace.served(), 12u);
+    EXPECT_EQ(result.metrics.unit_delays.served(), 9u);
+    EXPECT_EQ(result.metrics.delay_table.served(), 11u);
+    EXPECT_EQ(result.metrics.program.served(), 0u);
+    // Wall-time distribution: ordered percentiles over populated samples.
+    EXPECT_GE(result.metrics.cell_wall_ms_p95, result.metrics.cell_wall_ms_p50);
+    EXPECT_GE(result.metrics.cell_wall_ms_max, result.metrics.cell_wall_ms_p95);
+    EXPECT_GT(result.metrics.cell_wall_ms_max, 0.0);
+    EXPECT_GE(result.metrics.queue_wait_ms_total, 0.0);
+    for (const auto& cell : result.cells) EXPECT_GE(cell.wall_ms, 0.0);
+
+    // A warm cache builds nothing: every request is served.
+    const SweepResult again = engine.run(small_spec());
+    EXPECT_EQ(again.metrics.trace.miss, 0u);
+    EXPECT_EQ(again.metrics.unit_delays.miss, 0u);
+    EXPECT_EQ(again.metrics.delay_table.miss, 0u);
+    EXPECT_EQ(again.metrics.trace.served(), 12u);
+    EXPECT_EQ(again.metrics.unit_delays.served(), 12u);
+    EXPECT_EQ(again.metrics.delay_table.served(), 12u);
+}
+
 TEST(SweepEngine, StampsSpecTextAndHash) {
     const SweepEngine engine(1);
     const SweepSpec spec = small_spec();
@@ -193,34 +226,71 @@ TEST(ResultIo, JsonRoundTripIsLossless) {
     const SweepResult result = engine.run(spec);
 
     const std::string json = to_json(result);
-    EXPECT_NE(json.find("\"focs-sweep-v3\""), std::string::npos);
+    EXPECT_NE(json.find("\"focs-sweep-v4\""), std::string::npos);
     const SweepResult parsed = from_json(json);
     EXPECT_EQ(parsed.jobs, result.jobs);
     EXPECT_EQ(parsed.characterizations, result.characterizations);
     EXPECT_EQ(parsed.unit_delay_passes, result.unit_delay_passes);
     EXPECT_EQ(parsed.unit_delay_reuses, result.unit_delay_reuses);
+    // The v4 metrics block survives the round trip.
+    EXPECT_EQ(parsed.metrics.trace.miss, result.metrics.trace.miss);
+    EXPECT_EQ(parsed.metrics.unit_delays.hit, result.metrics.unit_delays.hit);
+    EXPECT_EQ(parsed.metrics.unit_delays.wait, result.metrics.unit_delays.wait);
+    EXPECT_EQ(parsed.metrics.delay_table.miss, result.metrics.delay_table.miss);
+    EXPECT_DOUBLE_EQ(parsed.metrics.cell_wall_ms_p50, result.metrics.cell_wall_ms_p50);
+    EXPECT_DOUBLE_EQ(parsed.metrics.cell_wall_ms_p95, result.metrics.cell_wall_ms_p95);
+    EXPECT_DOUBLE_EQ(parsed.metrics.cell_wall_ms_max, result.metrics.cell_wall_ms_max);
+    EXPECT_DOUBLE_EQ(parsed.metrics.queue_wait_ms_total, result.metrics.queue_wait_ms_total);
     ASSERT_EQ(parsed.cells.size(), result.cells.size());
     for (std::size_t i = 0; i < parsed.cells.size(); ++i) {
         EXPECT_EQ(parsed.cells[i].kernel, result.cells[i].kernel);
         EXPECT_EQ(parsed.cells[i].result.cycles, result.cells[i].result.cycles);
         EXPECT_EQ(parsed.cells[i].result.guest.reports, result.cells[i].result.guest.reports);
+        EXPECT_DOUBLE_EQ(parsed.cells[i].wall_ms, result.cells[i].wall_ms);
+        EXPECT_DOUBLE_EQ(parsed.cells[i].queue_wait_ms, result.cells[i].queue_wait_ms);
     }
     // Re-serializing the parsed document reproduces it byte for byte ("%.17g"
     // doubles survive the round trip).
     EXPECT_EQ(to_json(parsed), json);
 }
 
-TEST(ResultIo, ParsesPreUnitDelayV2Documents) {
-    // A v2 artifact (pre-voltage-axis counters) produced by an older build
-    // must still load; the absent counters stay zero.
+TEST(ResultIo, ParsesOlderSchemaDocuments) {
+    // Artifacts produced by older builds must still load, with the absent
+    // fields left zero: v3 lacks the metrics block and per-cell timing, v2
+    // additionally lacks the voltage-axis counters.
     const SweepEngine engine(1);
     SweepSpec spec = small_spec();
     spec.kernels = {"crc32"};
     const SweepResult result = engine.run(spec);
-    std::string v2 = to_json(result);
-    const auto schema_at = v2.find("focs-sweep-v3");
+
+    // Reconstruct a v3 document from the v4 emission: rename the schema,
+    // drop the metrics block and the per-cell timing fields.
+    std::string v3 = to_json(result);
+    const auto schema_at = v3.find("focs-sweep-v4");
     ASSERT_NE(schema_at, std::string::npos);
-    v2.replace(schema_at, 13, "focs-sweep-v2");
+    v3.replace(schema_at, 13, "focs-sweep-v3");
+    const auto metrics_at = v3.find("  \"metrics\": ");
+    ASSERT_NE(metrics_at, std::string::npos);
+    const auto metrics_end = v3.find("  \"mean_eff_freq_mhz\"", metrics_at);
+    ASSERT_NE(metrics_end, std::string::npos);
+    v3.erase(metrics_at, metrics_end - metrics_at);
+    for (std::size_t at = v3.find(", \"wall_ms\""); at != std::string::npos;
+         at = v3.find(", \"wall_ms\"")) {
+        const auto guest_at = v3.find(", \"guest\"", at);
+        ASSERT_NE(guest_at, std::string::npos);
+        v3.erase(at, guest_at - at);
+    }
+
+    const SweepResult parsed_v3 = from_json(v3);
+    EXPECT_EQ(parsed_v3.metrics.trace.miss, 0u);
+    EXPECT_EQ(parsed_v3.metrics.cell_wall_ms_p95, 0.0);
+    EXPECT_EQ(parsed_v3.cells[0].wall_ms, 0.0);
+    EXPECT_EQ(parsed_v3.unit_delay_passes, result.unit_delay_passes);
+    EXPECT_EQ(parsed_v3.spec_hash, result.spec_hash);
+
+    // And a v2 document on top: no unit-delay counters either.
+    std::string v2 = v3;
+    v2.replace(v2.find("focs-sweep-v3"), 13, "focs-sweep-v2");
     const auto passes_at = v2.find("  \"unit_delay_passes\"");
     ASSERT_NE(passes_at, std::string::npos);
     const auto reuses_end = v2.find('\n', v2.find("\"unit_delay_reuses\""));
@@ -232,6 +302,18 @@ TEST(ResultIo, ParsesPreUnitDelayV2Documents) {
     EXPECT_EQ(parsed.spec_hash, result.spec_hash);
     ASSERT_EQ(parsed.cells.size(), result.cells.size());
     EXPECT_EQ(parsed.cells[0].result.total_time_ps, result.cells[0].result.total_time_ps);
+
+    // v1 on top of that: pre-replay, no spec stamp.
+    std::string v1 = v2;
+    v1.replace(v1.find("focs-sweep-v2"), 13, "focs-sweep-v1");
+    const auto spec_at = v1.find("  \"spec\"");
+    ASSERT_NE(spec_at, std::string::npos);
+    const auto spec_end = v1.find('\n', v1.find("\"spec_hash\""));
+    v1.erase(spec_at, spec_end + 1 - spec_at);
+    const SweepResult parsed_v1 = from_json(v1);
+    EXPECT_TRUE(parsed_v1.spec_hash.empty());
+    ASSERT_EQ(parsed_v1.cells.size(), result.cells.size());
+    EXPECT_EQ(parsed_v1.cells[0].result.cycles, result.cells[0].result.cycles);
 }
 
 TEST(ResultIo, RejectsMalformedDocuments) {

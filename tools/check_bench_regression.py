@@ -59,6 +59,15 @@ ABSOLUTE_FIGURES = [
 
 CALIBRATION_FIGURE = "characterization.materialized_cycles_per_s"
 
+# Absolute floors on the *fresh* artifact alone (no committed comparison):
+# host-independent invariants of the code itself. The dormant
+# observability layer must never tax the replay hot loop — the shipping
+# default (instrumentation compiled in but switched off) has to run at
+# effectively the compiled-out instantiation's speed.
+FLOOR_FIGURES = {
+    "instrumentation.disabled_vs_compiled_out_ratio": 0.97,
+}
+
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
@@ -110,6 +119,17 @@ def main():
     print(f"absolute figures ({'enforced' if comparable else 'report-only: hosts differ'}):")
     for name in ABSOLUTE_FIGURES:
         check(name, enforced=comparable)
+
+    print("floor figures (enforced on the fresh artifact alone):")
+    for name, floor in FLOOR_FIGURES.items():
+        value = lookup(fresh, name)
+        if value is None:
+            print(f"  skip  {name}: not present in the fresh artifact")
+            continue
+        ok = value >= floor
+        print(f"  {'ok' if ok else 'FAIL':4}  {name}: {value:.6g} (floor {floor:g})")
+        if not ok:
+            failures.append(name)
 
     if failures:
         print(f"\nFAIL: {len(failures)} figure(s) regressed beyond "

@@ -5,6 +5,7 @@
 //   focs run <file.s|kernel:NAME> [--trace N]   run on the cycle-accurate core
 //   focs characterize [-o lut.txt] [--conventional] [--voltage V] [--jobs N]
 //                     [--batch N] [--streaming|--materialized]
+//                     [--metrics] [--trace-out trace.json]
 //                                               build the delay LUT (paper Fig. 2)
 //                                               batched engine by default; --jobs
 //                                               adds endpoint-kernel workers
@@ -25,7 +26,13 @@
 //                                               the full simulation per cell.
 //                                               Both are byte-identical;
 //                                               --canonical writes the
-//                                               run-independent JSON document
+//                                               run-independent JSON document.
+//                                               --metrics prints the merged
+//                                               counter/histogram table;
+//                                               --trace-out writes a Chrome
+//                                               trace-event JSON timeline
+//                                               (Perfetto / chrome://tracing)
+//                                               with the metrics embedded
 //
 // Programs are read from a file path, or from the bundled workloads with
 // the "kernel:" prefix (e.g. kernel:crc32).
@@ -46,6 +53,8 @@
 #include "core/dca_engine.hpp"
 #include "core/flows.hpp"
 #include "core/mix_stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
 #include "runtime/result_io.hpp"
 #include "runtime/sweep_engine.hpp"
 #include "runtime/sweep_spec.hpp"
@@ -67,12 +76,16 @@ using namespace focs;
                  "               [--batch N] [--streaming|--materialized]\n"
                  "  evaluate <file.s|kernel:NAME> [--lut lut.txt] [--policy P] [--taps N]\n"
                  "  suite [--lut lut.txt] [--policy P] [--jobs N] [--replay|--live]\n"
+                 "        [--metrics] [--trace-out trace.json]\n"
                  "  sweep <spec.sweep> [--jobs N] [--replay|--live] [-o results.json]\n"
-                 "        [--canonical]\n"
+                 "        [--canonical] [--metrics] [--trace-out trace.json]\n"
                  "      --replay (default): simulate each kernel once, replay every\n"
                  "                          policy/generator cell from the cached trace\n"
                  "      --live:             full per-cell simulation (reference path)\n"
                  "      --canonical:        write -o JSON without run-dependent fields\n"
+                 "      --metrics:          print the merged metrics table after the run\n"
+                 "      --trace-out FILE:   write a Chrome trace-event JSON timeline\n"
+                 "                          (open in Perfetto / chrome://tracing)\n"
                  "  stats <file.s|kernel:NAME> [--lut lut.txt]\n");
     std::exit(2);
 }
@@ -110,6 +123,32 @@ int parse_jobs(const std::vector<std::string>& args) {
         return static_cast<int>(*jobs);
     }
     return 0;
+}
+
+/// Flips the global observability switches per --metrics / --trace-out.
+/// Call before the workload so spans and counters actually record.
+void obs_enable(const std::vector<std::string>& args) {
+    if (flag_present(args, "--metrics")) obs::global_metrics().set_enabled(true);
+    if (flag_value(args, "--trace-out")) obs::global_tracer().set_enabled(true);
+}
+
+/// Emits the observability outputs after the workload: a metrics table on
+/// stdout for --metrics, a Chrome trace-event JSON file (metrics snapshot
+/// embedded) for --trace-out. `cache` contributes its per-artifact-class
+/// counters when the command ran one.
+void obs_emit(const std::vector<std::string>& args, const runtime::ArtifactCache* cache) {
+    const bool metrics_flag = flag_present(args, "--metrics");
+    const auto trace_path = flag_value(args, "--trace-out");
+    if (!metrics_flag && !trace_path) return;
+    obs::MetricsSnapshot snapshot = obs::global_metrics().snapshot();
+    if (cache != nullptr) snapshot.merge(cache->metrics_snapshot());
+    if (metrics_flag) std::printf("metrics:\n%s", snapshot.to_table().c_str());
+    if (trace_path) {
+        std::ofstream out(*trace_path);
+        if (!out) throw Error("cannot write " + *trace_path);
+        out << obs::global_tracer().export_chrome_json(&snapshot);
+        std::printf("trace written to %s\n", trace_path->c_str());
+    }
 }
 
 runtime::EvalMode parse_eval_mode_flags(const std::vector<std::string>& args) {
@@ -174,6 +213,7 @@ int cmd_run(const std::vector<std::string>& args) {
 }
 
 int cmd_characterize(const std::vector<std::string>& args) {
+    obs_enable(args);
     timing::DesignConfig design;
     if (flag_present(args, "--conventional")) {
         design.variant = timing::DesignVariant::kConventional;
@@ -223,6 +263,7 @@ int cmd_characterize(const std::vector<std::string>& args) {
         out << result.table.serialize();
         std::printf("delay LUT written to %s\n", path->c_str());
     }
+    obs_emit(args, nullptr);
     return 0;
 }
 
@@ -271,6 +312,7 @@ int cmd_stats(const std::vector<std::string>& args) {
 }
 
 int cmd_suite(const std::vector<std::string>& args) {
+    obs_enable(args);
     // The whole Fig. 8 suite is a one-policy sweep; running it through the
     // runtime gives --jobs parallelism with identical (spec-ordered) rows.
     runtime::SweepSpec spec;
@@ -299,11 +341,13 @@ int cmd_suite(const std::vector<std::string>& args) {
                 result.characterizations == 1 ? "" : "s",
                 static_cast<unsigned long long>(result.guest_simulations),
                 result.guest_simulations == 1 ? "" : "s");
+    obs_emit(args, engine.cache().get());
     return 0;
 }
 
 int cmd_sweep(const std::vector<std::string>& args) {
     if (args.empty()) usage();
+    obs_enable(args);
     std::ifstream in(args[0]);
     if (!in) throw Error("cannot open " + args[0]);
     std::ostringstream buffer;
@@ -342,6 +386,10 @@ int cmd_sweep(const std::vector<std::string>& args) {
         json_out << runtime::to_json(result, /*include_timing=*/!flag_present(args, "--canonical"));
         std::printf("results written to %s\n", path->c_str());
     }
+    std::printf("cell wall ms: p50 %.2f, p95 %.2f, max %.2f; queue wait total %.1f ms\n",
+                result.metrics.cell_wall_ms_p50, result.metrics.cell_wall_ms_p95,
+                result.metrics.cell_wall_ms_max, result.metrics.queue_wait_ms_total);
+    obs_emit(args, engine.cache().get());
     return 0;
 }
 

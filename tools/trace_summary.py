@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Summarize (and CI-validate) a focs Chrome trace-event file.
+
+Reads the JSON written by `focs ... --trace-out trace.json`, validates its
+shape (every event carries name/ph/tid/ts; complete events a non-negative
+dur; same-thread spans nest or are disjoint), then prints:
+
+- top spans by total *self* time (duration minus time spent in nested
+  child spans on the same thread), with call counts, and
+- per-artifact-class cache outcomes from the embedded metrics snapshot
+  (miss / hit / wait, served = hit + wait, and the hit ratio
+  served / lookups).
+
+Assertion flags make it a CI gate:
+
+  --assert-counter NAME=VALUE   embedded counter must equal VALUE exactly
+  --assert-served CLASS=VALUE   cache.CLASS.hit + cache.CLASS.wait must
+                                equal VALUE (the hit/wait split depends on
+                                thread scheduling; their sum does not)
+
+Any validation failure or unmet assertion exits non-zero.
+
+Usage:
+  trace_summary.py trace.json [--top 15]
+      [--assert-counter cache.trace.miss=2] [--assert-served trace=84]
+"""
+
+import argparse
+import json
+import sys
+
+CACHE_CLASSES = ["program", "delay_table", "trace", "unit_delays"]
+
+
+def fail(message):
+    print(f"trace_summary: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_events(events):
+    """Structural checks; returns the list of complete ("X") events."""
+    complete = []
+    for i, event in enumerate(events):
+        for key in ("name", "ph", "tid", "ts"):
+            if key not in event:
+                fail(f"event #{i} is missing '{key}': {event}")
+        if event["ts"] < 0:
+            fail(f"event #{i} has negative ts: {event}")
+        if event["ph"] == "X":
+            if event.get("dur", -1) < 0:
+                fail(f"complete event #{i} has missing/negative dur: {event}")
+            complete.append(event)
+        elif event["ph"] != "i":
+            fail(f"event #{i} has unexpected phase '{event['ph']}'")
+    return complete
+
+
+def self_times(complete):
+    """Per-name (total self time, count) via a nesting sweep per thread.
+
+    Same-thread spans either nest or are disjoint (RAII close order), so a
+    start-sorted stack sweep attributes each span's duration to itself and
+    subtracts it from its innermost enclosing span. Partial overlap is a
+    malformed trace and fails validation.
+    """
+    totals = {}  # name -> [self_us, count]
+    by_tid = {}
+    for event in complete:
+        by_tid.setdefault(event["tid"], []).append(event)
+    for events in by_tid.values():
+        # Parents sort before their children: earlier start first, and on
+        # ties the longer (enclosing) span first.
+        events.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []  # (end_us, child_time_accumulator index into records)
+        records = []  # mutable [name, dur, child_time]
+        for event in events:
+            start, dur = event["ts"], event["dur"]
+            end = start + dur
+            while stack and start >= stack[-1][0] - 1e-9:
+                stack.pop()
+            if stack:
+                parent_end = stack[-1][0]
+                if end > parent_end + 1e-6:
+                    fail(f"span '{event['name']}' (tid {event['tid']}) "
+                         f"partially overlaps its predecessor")
+                records[stack[-1][1]][2] += dur
+            records.append([event["name"], dur, 0.0])
+            stack.append((end, len(records) - 1))
+        for name, dur, child in records:
+            entry = totals.setdefault(name, [0.0, 0])
+            entry[0] += max(0.0, dur - child)
+            entry[1] += 1
+    return totals
+
+
+def print_top_spans(totals, top):
+    print(f"top spans by self time (of {sum(c for _, c in totals.values())} "
+          f"spans, {len(totals)} distinct names):")
+    print(f"  {'name':<28} {'count':>7} {'self ms':>12} {'avg us':>10}")
+    ranked = sorted(totals.items(), key=lambda kv: kv[1][0], reverse=True)
+    for name, (self_us, count) in ranked[:top]:
+        print(f"  {name:<28} {count:>7} {self_us / 1000.0:>12.3f} "
+              f"{self_us / count:>10.1f}")
+
+
+def print_cache_outcomes(counters):
+    rows = []
+    for cls in CACHE_CLASSES:
+        miss = counters.get(f"cache.{cls}.miss", 0)
+        hit = counters.get(f"cache.{cls}.hit", 0)
+        wait = counters.get(f"cache.{cls}.wait", 0)
+        lookups = miss + hit + wait
+        if lookups:
+            rows.append((cls, miss, hit, wait, hit + wait, lookups))
+    if not rows:
+        print("no cache counters embedded in this trace")
+        return
+    print("cache outcomes (served = hit + wait; ratio = served / lookups):")
+    print(f"  {'class':<14} {'miss':>6} {'hit':>6} {'wait':>6} "
+          f"{'served':>7} {'ratio':>7}")
+    for cls, miss, hit, wait, served, lookups in rows:
+        print(f"  {cls:<14} {miss:>6} {hit:>6} {wait:>6} {served:>7} "
+              f"{served / lookups:>6.1%}")
+
+
+def parse_kv(option, text):
+    if "=" not in text:
+        fail(f"{option} expects NAME=VALUE, got '{text}'")
+    name, _, value = text.partition("=")
+    try:
+        return name, int(value)
+    except ValueError:
+        fail(f"{option} value must be an integer, got '{text}'")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="path to a --trace-out JSON file")
+    parser.add_argument("--top", type=int, default=15,
+                        help="how many span names to list (default 15)")
+    parser.add_argument("--assert-counter", action="append", default=[],
+                        metavar="NAME=VALUE")
+    parser.add_argument("--assert-served", action="append", default=[],
+                        metavar="CLASS=VALUE")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot load {args.trace}: {error}")
+
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        fail("document has no traceEvents array")
+    complete = validate_events(doc["traceEvents"])
+    print(f"{args.trace}: {len(doc['traceEvents'])} events "
+          f"({len(complete)} spans) across "
+          f"{len({e['tid'] for e in doc['traceEvents']})} threads — valid")
+
+    if complete:
+        print()
+        print_top_spans(self_times(complete), args.top)
+
+    counters = (doc.get("metrics") or {}).get("counters") or {}
+    print()
+    print_cache_outcomes(counters)
+
+    failures = []
+    for text in args.assert_counter:
+        name, expected = parse_kv("--assert-counter", text)
+        actual = counters.get(name, 0)
+        status = "ok" if actual == expected else "FAIL"
+        print(f"assert {name} == {expected}: {status} (actual {actual})")
+        if actual != expected:
+            failures.append(name)
+    for text in args.assert_served:
+        cls, expected = parse_kv("--assert-served", text)
+        actual = counters.get(f"cache.{cls}.hit", 0) + \
+            counters.get(f"cache.{cls}.wait", 0)
+        status = "ok" if actual == expected else "FAIL"
+        print(f"assert served({cls}) == {expected}: {status} (actual {actual})")
+        if actual != expected:
+            failures.append(cls)
+    if failures:
+        fail(f"{len(failures)} assertion(s) unmet: {', '.join(failures)}")
+
+
+if __name__ == "__main__":
+    main()
