@@ -4,6 +4,28 @@
 
 namespace focs {
 
+std::string error_code_name(ErrorCode code) {
+    switch (code) {
+        case ErrorCode::kUnknown: return "unknown";
+        case ErrorCode::kArtifactBuild: return "artifact-build";
+        case ErrorCode::kEvaluation: return "evaluation";
+        case ErrorCode::kDeadline: return "deadline";
+        case ErrorCode::kCancelled: return "cancelled";
+        case ErrorCode::kInjected: return "injected";
+    }
+    throw Error("unknown error code " + std::to_string(static_cast<int>(code)));
+}
+
+ErrorCode parse_error_code(const std::string& name) {
+    if (name == "unknown") return ErrorCode::kUnknown;
+    if (name == "artifact-build") return ErrorCode::kArtifactBuild;
+    if (name == "evaluation") return ErrorCode::kEvaluation;
+    if (name == "deadline") return ErrorCode::kDeadline;
+    if (name == "cancelled") return ErrorCode::kCancelled;
+    if (name == "injected") return ErrorCode::kInjected;
+    throw Error("unknown error code name '" + name + "'");
+}
+
 void check(bool condition, const std::string& message, std::source_location loc) {
     if (condition) return;
     throw Error(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) + ": " + message);

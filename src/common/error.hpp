@@ -2,7 +2,11 @@
 //
 // The library reports unrecoverable misuse and malformed inputs via
 // exceptions derived from focs::Error (per the C++ Core Guidelines, errors
-// that cannot be handled locally are thrown, not returned).
+// that cannot be handled locally are thrown, not returned). The fault-
+// tolerant sweep runtime additionally *classifies* errors: every Error
+// carries an ErrorCode so a per-cell failure can be attributed (did the
+// shared artifact build fail, did this cell's evaluation fail, did a
+// deadline expire, was the fault injected?) without string matching.
 #pragma once
 
 #include <source_location>
@@ -11,10 +15,33 @@
 
 namespace focs {
 
+/// Failure classification carried by every focs::Error. The sweep runtime
+/// maps codes onto per-cell statuses (deadline/cancelled -> cancelled,
+/// everything else -> failed) and JSON stamps them for post-mortems.
+enum class ErrorCode {
+    kUnknown = 0,    ///< unclassified (legacy throw sites, invariants)
+    kArtifactBuild,  ///< a shared-artifact build (program/table/trace) failed
+    kEvaluation,     ///< a grid cell's evaluation failed
+    kDeadline,       ///< a deadline expired (CancellationToken)
+    kCancelled,      ///< cancelled by the caller (CancellationToken)
+    kInjected,       ///< deterministic fault injection (FOCS_FAULT)
+};
+
+/// Stable short name ("unknown"|"artifact-build"|"evaluation"|"deadline"|
+/// "cancelled"|"injected"), inverse of parse_error_code.
+std::string error_code_name(ErrorCode code);
+ErrorCode parse_error_code(const std::string& name);
+
 /// Base class of all exceptions thrown by this library.
 class Error : public std::runtime_error {
 public:
-    explicit Error(const std::string& what) : std::runtime_error(what) {}
+    explicit Error(const std::string& what, ErrorCode code = ErrorCode::kUnknown)
+        : std::runtime_error(what), code_(code) {}
+
+    ErrorCode code() const { return code_; }
+
+private:
+    ErrorCode code_ = ErrorCode::kUnknown;
 };
 
 /// Thrown when an input file / assembly source / trace is malformed.
@@ -32,6 +59,15 @@ private:
 
 /// Thrown when a simulated guest program misbehaves (bad access, no exit, ...).
 class GuestError : public Error {
+public:
+    using Error::Error;
+};
+
+/// Thrown when work is abandoned via a CancellationToken: code is
+/// kDeadline when the token's deadline expired, kCancelled when the caller
+/// requested the stop. Runtime layers (sweep workers, the artifact cache)
+/// catch this to mark cells cancelled instead of failed.
+class CancelledError : public Error {
 public:
     using Error::Error;
 };

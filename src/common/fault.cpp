@@ -1,0 +1,165 @@
+#include "common/fault.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace focs::fault {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::uint64_t hash, std::string_view text) {
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x00000100000001b3ull;
+    }
+    return hash;
+}
+
+/// Uniform draw in [0, 1) for one (site, key, attempt, seed) tuple. Pure:
+/// the same tuple always draws the same value, on any thread, in any order.
+double decision_draw(std::string_view site, std::string_view key, std::uint64_t attempt,
+                     std::uint64_t seed) {
+    std::uint64_t hash = fnv1a(0xcbf29ce484222325ull, site);
+    hash = fnv1a(hash * 0x00000100000001b3ull + 0x2f, key);  // '/' separator byte
+    hash ^= splitmix64(seed + 0x9e3779b97f4a7c15ull * (attempt + 1));
+    return static_cast<double>(splitmix64(hash) >> 11) * 0x1.0p-53;
+}
+
+bool site_matches(const std::string& pattern, std::string_view site) {
+    if (!pattern.empty() && pattern.back() == '*') {
+        return site.substr(0, pattern.size() - 1) == std::string_view(pattern).substr(0, pattern.size() - 1);
+    }
+    return site == pattern;
+}
+
+double parse_probability(const std::string& text, const std::string& rule_text) {
+    try {
+        std::size_t pos = 0;
+        const double value = std::stod(text, &pos);
+        check(pos == text.size() && value >= 0 && value <= 1,
+              "fault rule '" + rule_text + "': probability must be in [0, 1]");
+        return value;
+    } catch (const std::invalid_argument&) {
+        throw Error("fault rule '" + rule_text + "': malformed probability '" + text + "'");
+    } catch (const std::out_of_range&) {
+        throw Error("fault rule '" + rule_text + "': probability out of range '" + text + "'");
+    }
+}
+
+FaultRule parse_rule(const std::string& text) {
+    FaultRule rule;
+    const auto parts = split(text, ':');
+    check(!parts.empty() && !parts[0].empty(), "fault rule '" + text + "': missing site name");
+    rule.site = parts[0];
+    bool probability_seen = false;
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        const std::string& part = parts[i];
+        const auto eq = part.find('=');
+        if (eq == std::string::npos) {
+            check(!probability_seen, "fault rule '" + text + "': duplicate probability field");
+            rule.probability = parse_probability(part, text);
+            probability_seen = true;
+            continue;
+        }
+        const std::string name = part.substr(0, eq);
+        const std::string value = part.substr(eq + 1);
+        if (name == "seed") {
+            const auto seed = parse_int(value);
+            check(seed.has_value() && *seed >= 0, "fault rule '" + text + "': bad seed");
+            rule.seed = static_cast<std::uint64_t>(*seed);
+        } else if (name == "max") {
+            const auto max = parse_int(value);
+            check(max.has_value() && *max >= 1, "fault rule '" + text + "': max wants N >= 1");
+            rule.max_fires = static_cast<std::uint64_t>(*max);
+        } else if (name == "delay_ms") {
+            try {
+                std::size_t pos = 0;
+                rule.delay_ms = std::stod(value, &pos);
+                check(pos == value.size() && rule.delay_ms >= 0,
+                      "fault rule '" + text + "': delay_ms wants a non-negative number");
+            } catch (const std::exception&) {
+                throw Error("fault rule '" + text + "': malformed delay_ms '" + value + "'");
+            }
+        } else {
+            throw Error("fault rule '" + text + "': unknown option '" + name +
+                        "' (seed|max|delay_ms)");
+        }
+    }
+    return rule;
+}
+
+}  // namespace
+
+void FaultInjector::configure(const std::string& spec) {
+    std::vector<FaultRule> rules;
+    for (const auto& piece : split(spec, ';')) {
+        const std::string text = std::string(trim(piece));
+        if (text.empty()) continue;
+        rules.push_back(parse_rule(text));
+    }
+    rules_ = std::move(rules);
+    state_count_ = rules_.size();
+    states_ = state_count_ > 0 ? std::make_unique<RuleState[]>(state_count_) : nullptr;
+    for (std::size_t i = 0; i < state_count_; ++i) states_[i].rule = rules_[i];
+    total_fires_.store(0, std::memory_order_relaxed);
+    armed_.store(state_count_ > 0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::would_fire(std::string_view site, std::string_view key,
+                               std::uint64_t attempt) const {
+    for (std::size_t i = 0; i < state_count_; ++i) {
+        const FaultRule& rule = states_[i].rule;
+        if (!site_matches(rule.site, site)) continue;
+        if (decision_draw(site, key, attempt, rule.seed) < rule.probability) return true;
+    }
+    return false;
+}
+
+void FaultInjector::inject(std::string_view site, std::string_view key,
+                           std::uint64_t attempt) const {
+    for (std::size_t i = 0; i < state_count_; ++i) {
+        const RuleState& state = states_[i];
+        const FaultRule& rule = state.rule;
+        if (!site_matches(rule.site, site)) continue;
+        if (decision_draw(site, key, attempt, rule.seed) >= rule.probability) continue;
+        if (rule.max_fires > 0) {
+            // Claim one of the capped fire slots; losers fall through to
+            // later rules. The cap makes "fail exactly the first build"
+            // specs deterministic without hash tuning.
+            if (state.fires.fetch_add(1, std::memory_order_relaxed) >= rule.max_fires) continue;
+        } else {
+            state.fires.fetch_add(1, std::memory_order_relaxed);
+        }
+        total_fires_.fetch_add(1, std::memory_order_relaxed);
+        if (rule.delay_ms > 0) {
+            std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(rule.delay_ms));
+            return;
+        }
+        throw Error("injected fault at " + std::string(site) + " (" + std::string(key) + ")",
+                    ErrorCode::kInjected);
+    }
+}
+
+FaultInjector& global_injector() {
+    static FaultInjector* injector = [] {
+        auto* instance = new FaultInjector();
+        if (const char* spec = std::getenv("FOCS_FAULT"); spec != nullptr && spec[0] != '\0') {
+            instance->configure(spec);
+        }
+        return instance;
+    }();
+    return *injector;
+}
+
+}  // namespace focs::fault

@@ -1,0 +1,126 @@
+// Deterministic, site-keyed fault injection for robustness testing.
+//
+// The fault-tolerant runtime needs failures on demand: an artifact build
+// that throws, a grid cell whose evaluation dies, a slow cell that trips a
+// deadline. FaultInjector provides them *deterministically* — whether a
+// fault fires at an inject point is a pure function of (site, key, attempt)
+// and the rule's seed, so a faulty run is reproducible at any thread count
+// and a retry (attempt + 1) re-draws instead of failing forever.
+//
+// Inject points are named sites with a per-occurrence key:
+//   build.<class>  artifact builds in the ArtifactCache; key = artifact
+//                  key, attempt = cumulative build attempts for that key
+//   eval.cell      sweep cell evaluation; key = kernel/policy/generator/V
+//
+// Rules come from the FOCS_FAULT environment variable or the CLI --fault
+// flag. Grammar (rules joined by ';'):
+//
+//   site[:probability][:seed=N][:max=N][:delay_ms=X]
+//
+//   site         exact site name, or a prefix wildcard "build.*"
+//   probability  fire chance in [0, 1] (default 1 = always)
+//   seed=N       decision-hash seed (default 0)
+//   max=N        fire at most N times across the process (default: no cap)
+//   delay_ms=X   action: sleep X ms instead of throwing (deadline tests)
+//
+// Examples: "build.delay_table:0.3:seed=7" fails ~30% of delay-table build
+// attempts; "build.*:1:max=1" fails exactly the first artifact build;
+// "eval.cell:1:delay_ms=50" makes every cell 50 ms slower.
+//
+// The default action throws focs::Error with ErrorCode::kInjected. Inject
+// points compile out entirely under -DFOCS_FAULT_COMPILE_OUT (see the
+// macros below); a compiled-in but unconfigured injector costs one
+// function-local-static access and one boolean load per site.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace focs::fault {
+
+struct FaultRule {
+    std::string site;        ///< exact name, or "prefix*" wildcard
+    double probability = 1;  ///< fire chance per (site, key, attempt) draw
+    std::uint64_t seed = 0;  ///< decision-hash seed
+    std::uint64_t max_fires = 0;  ///< 0 = unlimited
+    double delay_ms = 0;          ///< > 0: sleep instead of throwing
+};
+
+class FaultInjector {
+public:
+    /// Disarmed injector: every inject point is a no-op.
+    FaultInjector() = default;
+
+    /// Parses `spec` (see the grammar above; empty disarms). Throws
+    /// focs::Error on malformed specs.
+    explicit FaultInjector(const std::string& spec) { configure(spec); }
+
+    FaultInjector(const FaultInjector&) = delete;
+    FaultInjector& operator=(const FaultInjector&) = delete;
+
+    /// Replaces the rule set. NOT safe against concurrent inject() calls:
+    /// configure before spawning workers (the CLI does so in main, tests
+    /// between runs).
+    void configure(const std::string& spec);
+
+    bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+    /// Deterministic decision for one occurrence, without firing: true when
+    /// a rule matches `site` and its (seeded) draw for (site, key, attempt)
+    /// is below the rule's probability. Ignores max_fires.
+    bool would_fire(std::string_view site, std::string_view key, std::uint64_t attempt = 0) const;
+
+    /// Runs the inject point: when a matching rule's draw fires (and its
+    /// max_fires cap is not exhausted), performs the rule's action — throws
+    /// Error("injected fault at <site> (<key>)", ErrorCode::kInjected), or
+    /// sleeps delay_ms for delay rules. Otherwise returns immediately.
+    void inject(std::string_view site, std::string_view key, std::uint64_t attempt = 0) const;
+
+    /// Total faults fired (throws + delays) since configure(), for tests.
+    std::uint64_t fires() const { return total_fires_.load(std::memory_order_relaxed); }
+
+    const std::vector<FaultRule>& rules() const { return rules_; }
+
+private:
+    struct RuleState {
+        FaultRule rule;
+        mutable std::atomic<std::uint64_t> fires{0};
+    };
+
+    std::vector<FaultRule> rules_;  ///< parsed rules, for introspection
+    std::unique_ptr<RuleState[]> states_;
+    std::size_t state_count_ = 0;
+    std::atomic<bool> armed_{false};
+    mutable std::atomic<std::uint64_t> total_fires_{0};
+};
+
+/// The process-global injector, configured from the FOCS_FAULT environment
+/// variable on first access (empty/unset = disarmed); the CLI's --fault
+/// flag re-configures it before running. Never destroyed.
+FaultInjector& global_injector();
+
+}  // namespace focs::fault
+
+// Statement wrappers for inject points: compile to nothing under
+// -DFOCS_FAULT_COMPILE_OUT, and to one armed() load when the injector has
+// no rules. FOCS_FAULT_POINT_AT passes an attempt ordinal so bounded
+// retries re-draw deterministically.
+#ifdef FOCS_FAULT_COMPILE_OUT
+#define FOCS_FAULT_POINT(site, key) ((void)0)
+#define FOCS_FAULT_POINT_AT(site, key, attempt) ((void)0)
+#else
+#define FOCS_FAULT_POINT(site, key)                                     \
+    do {                                                                \
+        const auto& focs_fault_gi = ::focs::fault::global_injector();   \
+        if (focs_fault_gi.armed()) focs_fault_gi.inject((site), (key)); \
+    } while (0)
+#define FOCS_FAULT_POINT_AT(site, key, attempt)                                    \
+    do {                                                                           \
+        const auto& focs_fault_gi = ::focs::fault::global_injector();              \
+        if (focs_fault_gi.armed()) focs_fault_gi.inject((site), (key), (attempt)); \
+    } while (0)
+#endif

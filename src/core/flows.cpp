@@ -46,8 +46,10 @@ CharacterizationResult CharacterizationFlow::run(const std::vector<assembler::Pr
         dta::BatchOptions batch_options;
         batch_options.threads = options.threads;
         batch_options.batch_cycles = options.batch_cycles;
+        batch_options.cancel = options.cancel;
         dta::BatchCharacterizationEngine engine(netlist_, calculator_, *analysis, batch_options);
         for (const auto& program : programs) {
+            if (options.cancel != nullptr) options.cancel->throw_if_cancelled();
             sim::Machine machine(machine_config_);
             machine.load(program);
             check_self_check(machine.run(&engine));
@@ -58,6 +60,7 @@ CharacterizationResult CharacterizationFlow::run(const std::vector<assembler::Pr
         // stream back to back. Per-program cycle numbering is irrelevant to
         // the accumulators, so no merged timeline is needed.
         for (const auto& program : programs) {
+            if (options.cancel != nullptr) options.cancel->throw_if_cancelled();
             sim::Machine machine(machine_config_);
             machine.load(program);
             dta::GateLevelSimulation gatesim(netlist_, calculator_, *analysis);
@@ -70,6 +73,7 @@ CharacterizationResult CharacterizationFlow::run(const std::vector<assembler::Pr
         auto merged_trace = std::make_shared<dta::OccupancyTrace>();
         std::uint64_t cycle_offset = 0;
         for (const auto& program : programs) {
+            if (options.cancel != nullptr) options.cancel->throw_if_cancelled();
             sim::Machine machine(machine_config_);
             machine.load(program);
             dta::GateLevelSimulation gatesim(netlist_, calculator_);

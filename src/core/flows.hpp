@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "asm/program.hpp"
+#include "common/cancel.hpp"
 #include "core/dca_engine.hpp"
 #include "core/policies.hpp"
 #include "dta/analyzer.hpp"
@@ -53,6 +54,10 @@ struct CharacterizationOptions {
     int threads = 1;
     /// Cycles per batch slot (kBatched only).
     int batch_cycles = 1024;
+    /// Optional cooperative cancellation: polled between programs (all
+    /// modes) and at batch-slot boundaries (kBatched); a fired token
+    /// throws CancelledError. nullptr = never cancelled.
+    const CancellationToken* cancel = nullptr;
 };
 
 struct CharacterizationResult {

@@ -62,6 +62,9 @@ DcaRunResult ReplayEvaluationEngine::replay_blocks_impl(const ClockPolicy& polic
     double worst_violation_ps = 0;
     [[maybe_unused]] std::uint64_t blocks = 0;
     for (std::size_t begin = 0; begin < cycles; begin += block) {
+        // Block-boundary cancellation check; the cycle loop below stays
+        // token-free (see the cost note on ReplayOptions::cancel).
+        if (options_.cancel != nullptr) options_.cancel->throw_if_cancelled();
         const std::size_t end = std::min(cycles, begin + block);
         fill(begin, end, requested.data());
         for (std::size_t c = begin; c < end; ++c) {

@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "core/dca_engine.hpp"
 #include "core/policies.hpp"
 #include "dta/delay_table.hpp"
@@ -50,6 +51,10 @@ struct ReplayOptions {
     int block_cycles = 4096;
     /// Instrumentation of the block loop (never affects results).
     ReplayObsMode obs = ReplayObsMode::kAuto;
+    /// Optional cooperative cancellation, polled once per block (never per
+    /// cycle — a dormant token costs one relaxed load per block_cycles): a
+    /// fired token throws CancelledError at the next block boundary.
+    const CancellationToken* cancel = nullptr;
 };
 
 /// One (policy, generator) cell of a replay batch. A null generator means

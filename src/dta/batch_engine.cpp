@@ -325,6 +325,11 @@ void BatchCharacterizationEngine::on_cycle(const sim::CycleRecord& record) {
         throw Error("batched characterization engine already finished");
     }
     if (impl_ == nullptr) {
+        // Slot-boundary cancellation check: one token poll per
+        // batch_cycles cycles, nothing on the per-cycle path.
+        if (serial_count_ == 0 && options_.cancel != nullptr) {
+            options_.cancel->throw_if_cancelled();
+        }
         serial_cycles_[serial_count_] = record.cycle;
         serial_keys_[serial_count_] = attribution_keys(record);
         serial_stage_ps_[serial_count_] = calculator_.evaluate(record).stage_ps;
@@ -335,6 +340,10 @@ void BatchCharacterizationEngine::on_cycle(const sim::CycleRecord& record) {
 
     Impl::Slot& slot = impl_->ring[impl_->produce_seq % impl_->ring.size()];
     if (!impl_->producer_owns) {
+        // Slot-boundary cancellation check (see the serial path). Thrown
+        // here the exception unwinds through machine.run; the engine's
+        // destructor stops and joins the ring threads.
+        if (options_.cancel != nullptr) options_.cancel->throw_if_cancelled();
         std::unique_lock<std::mutex> lock(impl_->mutex);
         if (!impl_->error && slot.state != Impl::Slot::State::kFree) {
             // The ring is full: the producer out-ran the kernel/merge

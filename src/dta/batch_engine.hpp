@@ -34,6 +34,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "dta/analyzer.hpp"
 #include "sim/cycle_record.hpp"
 #include "timing/delay_model.hpp"
@@ -49,6 +50,10 @@ struct BatchOptions {
     /// Cycles per batch slot. Any value >= 1 produces identical results;
     /// the default amortizes slot hand-off without hurting locality.
     int batch_cycles = 1024;
+    /// Optional cooperative cancellation, polled once per batch slot (never
+    /// per cycle): a fired token throws CancelledError out of on_cycle at
+    /// the next slot boundary. nullptr = never cancelled.
+    const CancellationToken* cancel = nullptr;
 };
 
 class BatchCharacterizationEngine final : public sim::PipelineObserver {

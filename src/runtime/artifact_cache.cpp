@@ -8,6 +8,7 @@
 
 #include "asm/assembler.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "core/flows.hpp"
 #include "obs/span_tracer.hpp"
 #include "workloads/kernel.hpp"
@@ -15,16 +16,6 @@
 namespace focs::runtime {
 
 namespace {
-
-/// Runs `build` and publishes its value (or exception) through `promise`.
-template <typename T, typename Build>
-void fulfil(std::promise<T>& promise, Build&& build) {
-    try {
-        promise.set_value(build());
-    } catch (...) {
-        promise.set_exception(std::current_exception());
-    }
-}
 
 double ms_since(std::chrono::steady_clock::time_point start) {
     return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
@@ -50,7 +41,8 @@ std::string artifact_class_name(ArtifactClass artifact_class) {
     return {};
 }
 
-ArtifactCache::ArtifactCache() {
+ArtifactCache::ArtifactCache(int max_build_attempts)
+    : max_build_attempts_(max_build_attempts < 1 ? 1 : max_build_attempts) {
     for (const ArtifactClass artifact_class :
          {ArtifactClass::kProgram, ArtifactClass::kDelayTable, ArtifactClass::kTrace,
           ArtifactClass::kUnitDelays}) {
@@ -61,6 +53,9 @@ ArtifactCache::ArtifactCache() {
         ids.wait = metrics_.counter(prefix + "wait");
         ids.built = metrics_.counter(prefix + "built");
         ids.build_ms = metrics_.histogram(prefix + "build_ms", build_ms_bounds());
+        ids.build_failed = metrics_.counter(prefix + "build_failed");
+        ids.retried = metrics_.counter(prefix + "retried");
+        ids.evicted = metrics_.counter(prefix + "evicted");
     }
 }
 
@@ -69,6 +64,56 @@ void ArtifactCache::count_found(ArtifactClass artifact_class,
                                 const std::shared_future<T>& future) {
     const bool ready = future.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
     metrics_.add(ready ? ids(artifact_class).hit : ids(artifact_class).wait);
+}
+
+std::uint64_t ArtifactCache::next_build_attempt(ArtifactClass artifact_class,
+                                                const std::string& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return build_attempts_[artifact_class_name(artifact_class) + "/" + key]++;
+}
+
+template <typename T, typename Build>
+void ArtifactCache::run_build(ArtifactClass artifact_class, const std::string& key,
+                              std::map<std::string, std::shared_future<T>>& entries,
+                              std::promise<T>& promise, Build&& build) {
+    const ClassIds& ids = this->ids(artifact_class);
+    const std::string name = artifact_class_name(artifact_class);
+    const std::string site = "build." + name;
+    std::exception_ptr failure;
+    for (int attempt = 0; attempt < max_build_attempts_; ++attempt) {
+        if (attempt > 0) metrics_.add(ids.retried);
+        try {
+            FOCS_FAULT_POINT_AT(site, key, next_build_attempt(artifact_class, key));
+            promise.set_value(build());
+            metrics_.add(ids.built);
+            return;
+        } catch (const CancelledError& e) {
+            // Cancellation is terminal by design: the caller asked to stop,
+            // so retrying would only burn the deadline further.
+            metrics_.add(ids.build_failed);
+            failure = std::make_exception_ptr(CancelledError(
+                "artifact build cancelled (" + name + " '" + key + "'): " + e.what(), e.code()));
+            break;
+        } catch (const std::exception& e) {
+            metrics_.add(ids.build_failed);
+            failure = std::make_exception_ptr(
+                Error("artifact build failed (" + name + " '" + key + "'): " + e.what(),
+                      ErrorCode::kArtifactBuild));
+        } catch (...) {
+            metrics_.add(ids.build_failed);
+            failure = std::make_exception_ptr(Error("artifact build failed (" + name + " '" +
+                                                        key + "'): unknown exception",
+                                                    ErrorCode::kArtifactBuild));
+        }
+    }
+    // Terminal failure: publish the classified exception to the waiters
+    // already parked on the shared_future, then evict the entry under the
+    // mutex so the *next* requester of this key re-elects a builder instead
+    // of inheriting the stale exception.
+    promise.set_exception(failure);
+    metrics_.add(ids.evicted);
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries.erase(key);
 }
 
 std::string ArtifactCache::design_key(const timing::DesignConfig& design,
@@ -93,99 +138,104 @@ std::string ArtifactCache::trace_key(const std::string& kernel,
 
 std::shared_future<assembler::Program> ArtifactCache::program(const std::string& kernel) {
     std::promise<assembler::Program> promise;
+    std::shared_future<assembler::Program> future = promise.get_future().share();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (const auto it = programs_.find(kernel); it != programs_.end()) {
             count_found(ArtifactClass::kProgram, it->second);
             return it->second;
         }
-        programs_.emplace(kernel, promise.get_future().share());
+        programs_.emplace(kernel, future);
     }
     // This thread won the build; assemble outside the lock.
     metrics_.add(ids(ArtifactClass::kProgram).miss);
     const auto start = std::chrono::steady_clock::now();
     FOCS_OBS_SPAN(span, obs::global_tracer(), "cache.build.program");
     span.arg("key", kernel);
-    fulfil(promise, [&] {
-        assembler::Program program = assembler::assemble(workloads::find_kernel(kernel).source);
-        metrics_.add(ids(ArtifactClass::kProgram).built);
-        return program;
+    run_build(ArtifactClass::kProgram, kernel, programs_, promise, [&] {
+        return assembler::assemble(workloads::find_kernel(kernel).source);
     });
     metrics_.observe(ids(ArtifactClass::kProgram).build_ms, ms_since(start));
-    std::lock_guard<std::mutex> lock(mutex_);
-    return programs_.at(kernel);
+    return future;
 }
 
 std::shared_future<std::vector<assembler::Program>> ArtifactCache::characterization_programs() {
     std::promise<std::vector<assembler::Program>> promise;
+    std::shared_future<std::vector<assembler::Program>> future = promise.get_future().share();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (characterization_programs_started_) return characterization_programs_;
-        characterization_programs_ = promise.get_future().share();
+        characterization_programs_ = future;
         characterization_programs_started_ = true;
     }
-    fulfil(promise,
-           [] { return workloads::assemble_programs(workloads::characterization_suite()); });
-    std::lock_guard<std::mutex> lock(mutex_);
-    return characterization_programs_;
+    try {
+        promise.set_value(workloads::assemble_programs(workloads::characterization_suite()));
+    } catch (...) {
+        // Publish to current waiters, then clear the slot so a later
+        // delay-table build attempt re-runs the suite assembly.
+        promise.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(mutex_);
+        characterization_programs_started_ = false;
+        characterization_programs_ = {};
+    }
+    return future;
 }
 
 std::shared_future<dta::DelayTable> ArtifactCache::delay_table(
     const timing::DesignConfig& design, const dta::AnalyzerConfig& analyzer_config,
-    int flow_threads) {
+    int flow_threads, const CancellationToken* cancel) {
     const std::string key = design_key(design, analyzer_config);
     std::promise<dta::DelayTable> promise;
+    std::shared_future<dta::DelayTable> future = promise.get_future().share();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (const auto it = tables_.find(key); it != tables_.end()) {
             count_found(ArtifactClass::kDelayTable, it->second);
             return it->second;
         }
-        tables_.emplace(key, promise.get_future().share());
+        tables_.emplace(key, future);
     }
     metrics_.add(ids(ArtifactClass::kDelayTable).miss);
-    const auto programs = characterization_programs();
     const auto start = std::chrono::steady_clock::now();
     FOCS_OBS_SPAN(span, obs::global_tracer(), "cache.build.delay_table");
     span.arg("key", key).arg("flow_threads", static_cast<std::int64_t>(flow_threads));
-    fulfil(promise, [&] {
+    run_build(ArtifactClass::kDelayTable, key, tables_, promise, [&] {
+        // Dependency fetched inside the build so a retry after a failed
+        // suite assembly re-elects that builder too.
+        const auto programs = characterization_programs();
         const core::CharacterizationFlow flow(design, analyzer_config);
         core::CharacterizationOptions options;
         options.threads = flow_threads;
-        dta::DelayTable table = flow.run(programs.get(), options).table;
-        metrics_.add(ids(ArtifactClass::kDelayTable).built);
-        return table;
+        options.cancel = cancel;
+        return flow.run(programs.get(), options).table;
     });
     metrics_.observe(ids(ArtifactClass::kDelayTable).build_ms, ms_since(start));
-    std::lock_guard<std::mutex> lock(mutex_);
-    return tables_.at(key);
+    return future;
 }
 
 std::shared_future<sim::PipelineTrace> ArtifactCache::trace(
     const std::string& kernel, const sim::MachineConfig& machine_config) {
     const std::string key = trace_key(kernel, machine_config);
     std::promise<sim::PipelineTrace> promise;
+    std::shared_future<sim::PipelineTrace> future = promise.get_future().share();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (const auto it = traces_.find(key); it != traces_.end()) {
             count_found(ArtifactClass::kTrace, it->second);
             return it->second;
         }
-        traces_.emplace(key, promise.get_future().share());
+        traces_.emplace(key, future);
     }
     metrics_.add(ids(ArtifactClass::kTrace).miss);
-    const auto program = this->program(kernel);
     const auto start = std::chrono::steady_clock::now();
     FOCS_OBS_SPAN(span, obs::global_tracer(), "cache.build.trace");
     span.arg("key", key);
-    fulfil(promise, [&] {
-        sim::PipelineTrace trace = sim::record_trace(program.get(), machine_config);
-        metrics_.add(ids(ArtifactClass::kTrace).built);
-        return trace;
+    run_build(ArtifactClass::kTrace, key, traces_, promise, [&] {
+        const auto program = this->program(kernel);
+        return sim::record_trace(program.get(), machine_config);
     });
     metrics_.observe(ids(ArtifactClass::kTrace).build_ms, ms_since(start));
-    std::lock_guard<std::mutex> lock(mutex_);
-    return traces_.at(key);
+    return future;
 }
 
 std::shared_future<std::shared_ptr<const timing::UnitTraceDelays>>
@@ -200,29 +250,29 @@ ArtifactCache::unit_trace_delays(const std::string& kernel, const timing::Design
                   static_cast<unsigned long long>(design.seed));
     const std::string key = trace_key(kernel, machine_config) + design_part;
     std::promise<std::shared_ptr<const timing::UnitTraceDelays>> promise;
+    std::shared_future<std::shared_ptr<const timing::UnitTraceDelays>> future =
+        promise.get_future().share();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (const auto it = unit_delays_.find(key); it != unit_delays_.end()) {
             count_found(ArtifactClass::kUnitDelays, it->second);
             return it->second;
         }
-        unit_delays_.emplace(key, promise.get_future().share());
+        unit_delays_.emplace(key, future);
     }
     metrics_.add(ids(ArtifactClass::kUnitDelays).miss);
-    const auto trace = this->trace(kernel, machine_config);
     const auto start = std::chrono::steady_clock::now();
     FOCS_OBS_SPAN(span, obs::global_tracer(), "cache.build.unit_delays");
     span.arg("key", key);
-    fulfil(promise, [&]() -> std::shared_ptr<const timing::UnitTraceDelays> {
-        const timing::DelayCalculator calculator(design);
-        auto unit = std::make_shared<const timing::UnitTraceDelays>(
-            timing::compute_unit_trace_delays(calculator, trace.get().records));
-        metrics_.add(ids(ArtifactClass::kUnitDelays).built);
-        return unit;
-    });
+    run_build(ArtifactClass::kUnitDelays, key, unit_delays_, promise,
+              [&]() -> std::shared_ptr<const timing::UnitTraceDelays> {
+                  const auto trace = this->trace(kernel, machine_config);
+                  const timing::DelayCalculator calculator(design);
+                  return std::make_shared<const timing::UnitTraceDelays>(
+                      timing::compute_unit_trace_delays(calculator, trace.get().records));
+              });
     metrics_.observe(ids(ArtifactClass::kUnitDelays).build_ms, ms_since(start));
-    std::lock_guard<std::mutex> lock(mutex_);
-    return unit_delays_.at(key);
+    return future;
 }
 
 void ArtifactCache::put_delay_table(const timing::DesignConfig& design,
@@ -241,6 +291,12 @@ ArtifactClassCounters ArtifactCache::class_counters(ArtifactClass artifact_class
     const ClassIds& ids = this->ids(artifact_class);
     return {metrics_.counter_value(ids.miss), metrics_.counter_value(ids.hit),
             metrics_.counter_value(ids.wait)};
+}
+
+ArtifactBuildStats ArtifactCache::build_stats(ArtifactClass artifact_class) const {
+    const ClassIds& ids = this->ids(artifact_class);
+    return {metrics_.counter_value(ids.built), metrics_.counter_value(ids.build_failed),
+            metrics_.counter_value(ids.retried), metrics_.counter_value(ids.evicted)};
 }
 
 std::uint64_t ArtifactCache::characterizations_built() const {

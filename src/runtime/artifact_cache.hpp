@@ -24,6 +24,17 @@
 // key); the hit/wait split depends on thread scheduling, so consumers
 // assert on misses and on hit+wait sums ("served"). Build durations land
 // in per-class histograms, and builds record spans on the global tracer.
+//
+// Builder failures do NOT poison the cache. An elected builder retries a
+// failing build in place (bounded by max_build_attempts, deterministic —
+// the fault-injection attempt ordinal is cumulative per key); if every
+// attempt fails, the exception is classified (ErrorCode::kArtifactBuild,
+// or the cancellation code when a CancellationToken fired mid-build),
+// published to the current waiters through the shared_future, and the
+// entry is *evicted* under the mutex — so the next requester of the same
+// key re-elects a builder instead of inheriting a stale exception for the
+// process lifetime. Outcomes land in cache.<class>.build_failed /
+// retried / evicted counters next to the lookup taxonomy above.
 #pragma once
 
 #include <array>
@@ -37,6 +48,7 @@
 #include <vector>
 
 #include "asm/program.hpp"
+#include "common/cancel.hpp"
 #include "dta/analyzer.hpp"
 #include "dta/delay_table.hpp"
 #include "obs/metrics.hpp"
@@ -65,9 +77,23 @@ struct ArtifactClassCounters {
     std::uint64_t served() const { return hit + wait; }
 };
 
+/// Build-outcome counters of one artifact class: `failed` counts failed
+/// build attempts, `retried` in-place re-attempts after a failure,
+/// `evicted` entries removed after a terminal failure (every attempt
+/// exhausted) so later requesters re-elect a builder.
+struct ArtifactBuildStats {
+    std::uint64_t built = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t retried = 0;
+    std::uint64_t evicted = 0;
+};
+
 class ArtifactCache {
 public:
-    ArtifactCache();
+    /// `max_build_attempts` bounds the in-place retry of a failing build
+    /// (>= 1; the default pays one deterministic retry before declaring
+    /// the failure terminal and evicting the entry).
+    explicit ArtifactCache(int max_build_attempts = 2);
 
     /// Assembled program of a bundled kernel (benchmark or characterization
     /// suite). Throws focs::Error through the future on unknown kernels.
@@ -81,9 +107,14 @@ public:
     /// does not affect the artifact — every thread count produces the same
     /// table — so it is not part of the cache key); sweeps pass > 1 when
     /// grid-level parallelism would otherwise sit idle behind the build.
+    /// `cancel` (optional, like flow_threads not part of the key) is
+    /// polled by the characterization flow at batch boundaries: a fired
+    /// token fails the build with the token's cancellation code, which
+    /// evicts the entry — a later request without the token rebuilds.
     std::shared_future<dta::DelayTable> delay_table(const timing::DesignConfig& design,
                                                     const dta::AnalyzerConfig& analyzer_config,
-                                                    int flow_threads = 1);
+                                                    int flow_threads = 1,
+                                                    const CancellationToken* cancel = nullptr);
 
     /// Pre-seeds the table cache (e.g. a LUT loaded from disk with --lut),
     /// so the sweep skips characterization for this operating point.
@@ -137,6 +168,11 @@ public:
     /// into their JSON metrics block.
     ArtifactClassCounters class_counters(ArtifactClass artifact_class) const;
 
+    /// Current built/failed/retried/evicted totals of one artifact class.
+    ArtifactBuildStats build_stats(ArtifactClass artifact_class) const;
+
+    int max_build_attempts() const { return max_build_attempts_; }
+
     /// Point-in-time view of the embedded registry (counters plus build
     /// duration histograms), e.g. for embedding into a trace export.
     obs::MetricsSnapshot metrics_snapshot() const { return metrics_.snapshot(); }
@@ -156,7 +192,24 @@ private:
     template <typename T>
     void count_found(ArtifactClass artifact_class, const std::shared_future<T>& future);
 
+    /// Shared builder-side protocol of all four artifact classes: runs
+    /// `build` with bounded in-place retry and fault-injection attempt
+    /// ordinals, publishes the value (or the classified terminal failure)
+    /// through `promise`, and on terminal failure evicts `key` from
+    /// `entries` under the mutex. Cancellation is never retried.
+    template <typename T, typename Build>
+    void run_build(ArtifactClass artifact_class, const std::string& key,
+                   std::map<std::string, std::shared_future<T>>& entries,
+                   std::promise<T>& promise, Build&& build);
+
+    /// Cumulative build-attempt ordinal of one (class, key): in-place
+    /// retries AND post-eviction re-elections keep counting up, so a
+    /// seeded fault rule's per-attempt draws never repeat for a key.
+    std::uint64_t next_build_attempt(ArtifactClass artifact_class, const std::string& key);
+
     std::mutex mutex_;
+    int max_build_attempts_;
+    std::map<std::string, std::uint64_t> build_attempts_;
     std::map<std::string, std::shared_future<assembler::Program>> programs_;
     std::map<std::string, std::shared_future<dta::DelayTable>> tables_;
     std::map<std::string, std::shared_future<sim::PipelineTrace>> traces_;
@@ -172,6 +225,7 @@ private:
     obs::MetricsRegistry metrics_{/*enabled=*/true};
     struct ClassIds {
         obs::MetricsRegistry::Id miss, hit, wait, built, build_ms;
+        obs::MetricsRegistry::Id build_failed, retried, evicted;
     };
     std::array<ClassIds, 4> ids_;
 

@@ -27,6 +27,13 @@ void append_cell(std::string& out, const SweepCell& cell, bool include_timing) {
     out += ", \"policy\": " + json_string(cell.policy);
     out += ", \"generator\": " + json_string(cell.generator);
     out += ", \"voltage_v\": " + json_number(cell.voltage_v);
+    if (!cell.ok()) {
+        // Failure fields appear only on non-ok cells: an all-ok document
+        // is byte-identical to the v4 layout (modulo the schema string).
+        out += ", \"status\": " + json_string(cell_status_name(cell.status));
+        out += ", \"error_code\": " + json_string(error_code_name(cell.error_code));
+        out += ", \"error\": " + json_string(cell.error);
+    }
     out += ", \"engine_policy\": " + json_string(r.policy);
     out += ", \"engine_generator\": " + json_string(r.clock_generator);
     out += ", \"cycles\": " + std::to_string(r.cycles);
@@ -88,7 +95,7 @@ ArtifactClassCounters parse_class_counters(const Value& value) {
 
 std::string to_json(const SweepResult& result, bool include_timing) {
     std::string out = "{\n";
-    out += "  \"schema\": \"focs-sweep-v4\",\n";
+    out += "  \"schema\": \"focs-sweep-v5\",\n";
     // The spec stamp is canonical (grid-derived, not run-dependent): two
     // runs of the same spec carry the same stamp regardless of job count or
     // evaluation mode, so cached results.json files stay traceable AND the
@@ -105,6 +112,13 @@ std::string to_json(const SweepResult& result, bool include_timing) {
         out += "  \"unit_delay_passes\": " + std::to_string(result.unit_delay_passes) + ",\n";
         out += "  \"unit_delay_reuses\": " + std::to_string(result.unit_delay_reuses) + ",\n";
         out += "  \"metrics\": " + metrics_json(result.metrics) + ",\n";
+    }
+    if (result.cells_failed > 0 || result.cells_cancelled > 0) {
+        // Partial-result header; omitted from fully successful documents so
+        // the canonical all-ok layout matches v4 (schema string aside).
+        out += "  \"cells_ok\": " + std::to_string(result.cells_ok) + ",\n";
+        out += "  \"cells_failed\": " + std::to_string(result.cells_failed) + ",\n";
+        out += "  \"cells_cancelled\": " + std::to_string(result.cells_cancelled) + ",\n";
     }
     out += "  \"mean_eff_freq_mhz\": " + json_number(result.mean_eff_freq_mhz) + ",\n";
     out += "  \"mean_speedup\": " + json_number(result.mean_speedup) + ",\n";
@@ -123,12 +137,13 @@ SweepResult from_json(const std::string& text) {
     const Value document = json::parse(text);
     const Object& root = document.object();
     const std::string& schema = field(root, "schema").string();
-    // v3: pre-observability documents without the metrics block and
-    // per-cell timing; v2: pre-unit-delays documents without the
-    // voltage-axis counters; v1: pre-replay documents without the spec
-    // stamp. All still readable.
-    check(schema == "focs-sweep-v4" || schema == "focs-sweep-v3" || schema == "focs-sweep-v2" ||
-              schema == "focs-sweep-v1",
+    // v4: pre-fault-tolerance documents without cell statuses; v3:
+    // pre-observability documents without the metrics block and per-cell
+    // timing; v2: pre-unit-delays documents without the voltage-axis
+    // counters; v1: pre-replay documents without the spec stamp. All still
+    // readable.
+    check(schema == "focs-sweep-v5" || schema == "focs-sweep-v4" || schema == "focs-sweep-v3" ||
+              schema == "focs-sweep-v2" || schema == "focs-sweep-v1",
           "unknown sweep result schema '" + schema + "'");
 
     SweepResult result;
@@ -186,6 +201,15 @@ SweepResult from_json(const std::string& text) {
         cell.policy = field(o, "policy").string();
         cell.generator = field(o, "generator").string();
         cell.voltage_v = field(o, "voltage_v").number();
+        if (const auto it = o.find("status"); it != o.end()) {
+            cell.status = parse_cell_status(it->second.string());
+        }
+        if (const auto it = o.find("error_code"); it != o.end()) {
+            cell.error_code = parse_error_code(it->second.string());
+        }
+        if (const auto it = o.find("error"); it != o.end()) {
+            cell.error = it->second.string();
+        }
         if (const auto it = o.find("wall_ms"); it != o.end()) {
             cell.wall_ms = it->second.number();
         }
@@ -211,6 +235,26 @@ SweepResult from_json(const std::string& text) {
             r.guest.reports.push_back(static_cast<std::uint32_t>(as_u64(report)));
         }
         result.cells.push_back(std::move(cell));
+    }
+    // Per-status counts: trust the header when stamped (partial-result
+    // documents), otherwise derive from the cells so all-ok v5 documents
+    // and every pre-v5 vintage report cells_ok == cells.size().
+    if (const auto it = root.find("cells_ok"); it != root.end()) {
+        result.cells_ok = as_u64(it->second);
+        if (const auto failed = root.find("cells_failed"); failed != root.end()) {
+            result.cells_failed = as_u64(failed->second);
+        }
+        if (const auto cancelled = root.find("cells_cancelled"); cancelled != root.end()) {
+            result.cells_cancelled = as_u64(cancelled->second);
+        }
+    } else {
+        for (const SweepCell& cell : result.cells) {
+            switch (cell.status) {
+                case CellStatus::kOk: ++result.cells_ok; break;
+                case CellStatus::kFailed: ++result.cells_failed; break;
+                case CellStatus::kCancelled: ++result.cells_cancelled; break;
+            }
+        }
     }
     return result;
 }

@@ -24,22 +24,25 @@ namespace focs::runtime {
 std::string json_number(double value);
 std::string json_string(const std::string& value);
 
-/// Serializes a sweep result (schema "focs-sweep-v4", which adds a
-/// `metrics` object — per-artifact-class cache miss/hit/wait counters and
-/// the per-cell wall-time p50/p95/max — plus per-cell wall_ms /
-/// queue_wait_ms fields to the timing header): the originating spec text
-/// and its stable hash are always stamped into the header so cached
-/// results.json files stay traceable. `include_timing` controls the
-/// run-dependent fields (wall_ms, jobs, mode, cache counters, the metrics
-/// block and the per-cell timing); switch it off to obtain a canonical
-/// byte-comparable document — equal for any job count and for replay vs.
-/// live evaluation of the same spec.
+/// Serializes a sweep result (schema "focs-sweep-v5", which adds the
+/// fault-tolerance vocabulary to v4: header cells_ok / cells_failed /
+/// cells_cancelled counts and per-cell status / error_code / error
+/// fields). Failure fields are emitted only when present — a fully
+/// successful sweep's document differs from v4 solely in the schema
+/// string, so canonical byte-comparison across job counts and evaluation
+/// modes stays valid. The originating spec text and its stable hash are
+/// always stamped into the header so cached results.json files stay
+/// traceable. `include_timing` controls the run-dependent fields
+/// (wall_ms, jobs, mode, cache counters, the metrics block and the
+/// per-cell timing); switch it off to obtain the canonical document.
 std::string to_json(const SweepResult& result, bool include_timing = true);
 
-/// Parses a document produced by to_json (v4, the pre-observability v3,
-/// the pre-unit-delays v2, or the pre-replay v1 without the spec stamp).
-/// Throws focs::Error on malformed input. Header fields absent from the
-/// document are left zero/empty.
+/// Parses a document produced by to_json (v5, the pre-fault-tolerance v4,
+/// the pre-observability v3, the pre-unit-delays v2, or the pre-replay v1
+/// without the spec stamp). Throws focs::Error on malformed input. Header
+/// fields absent from the document are left zero/empty; per-status cell
+/// counts are derived from the cells when the header lacks them, so
+/// documents of every vintage report cells_ok consistently.
 SweepResult from_json(const std::string& text);
 
 }  // namespace focs::runtime

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "core/replay_engine.hpp"
 #include "obs/span_tracer.hpp"
 #include "timing/delay_model.hpp"
@@ -37,6 +38,31 @@ double nearest_rank(const std::vector<double>& sorted, double percentile) {
     return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
 }
 
+/// Grid coordinates of one cell, "kernel/policy/generator@<V>V" — the
+/// fault-injection key of the eval.cell site and the identity stamped into
+/// fail-fast errors and CLI failure summaries.
+std::string cell_key(const SweepCell& cell) {
+    char volts[32];
+    std::snprintf(volts, sizeof volts, "%.6g", cell.voltage_v);
+    return cell.kernel + "/" + cell.policy + "/" + cell.generator + "@" + volts + "V";
+}
+
+/// Classifies a thrown cell failure onto the cell: cancellation codes map
+/// to CellStatus::kCancelled, everything else to kFailed (focs::Error
+/// keeps its code; foreign exceptions read as plain evaluation failures).
+void record_failure(SweepCell& cell, const std::exception& e) {
+    ErrorCode code = ErrorCode::kEvaluation;
+    if (const auto* error = dynamic_cast<const Error*>(&e);
+        error != nullptr && error->code() != ErrorCode::kUnknown) {
+        code = error->code();
+    }
+    cell.error = e.what();
+    cell.error_code = code;
+    cell.status = code == ErrorCode::kDeadline || code == ErrorCode::kCancelled
+                      ? CellStatus::kCancelled
+                      : CellStatus::kFailed;
+}
+
 }  // namespace
 
 std::string eval_mode_name(EvalMode mode) {
@@ -52,6 +78,23 @@ EvalMode parse_eval_mode(const std::string& name) {
     if (name == "replay") return EvalMode::kReplay;
     if (name == "live") return EvalMode::kLive;
     throw Error("unknown evaluation mode '" + name + "' (replay|live)");
+}
+
+std::string cell_status_name(CellStatus status) {
+    switch (status) {
+        case CellStatus::kOk: return "ok";
+        case CellStatus::kFailed: return "failed";
+        case CellStatus::kCancelled: return "cancelled";
+    }
+    check(false, "unknown cell status");
+    return {};
+}
+
+CellStatus parse_cell_status(const std::string& name) {
+    if (name == "ok") return CellStatus::kOk;
+    if (name == "failed") return CellStatus::kFailed;
+    if (name == "cancelled") return CellStatus::kCancelled;
+    throw Error("unknown cell status '" + name + "' (ok|failed|cancelled)");
 }
 
 std::string stable_text_hash(const std::string& text) {
@@ -77,7 +120,7 @@ dta::AnalyzerConfig SweepEngine::analyzer_config_for(const SweepSpec& spec) {
     return config;
 }
 
-SweepResult SweepEngine::run(const SweepSpec& raw_spec) const {
+SweepResult SweepEngine::run(const SweepSpec& raw_spec, const SweepRunOptions& options) const {
     const auto start = std::chrono::steady_clock::now();
     const SweepSpec spec = raw_spec.resolved();
     check(!spec.kernels.empty(), "sweep has no kernels");
@@ -149,29 +192,53 @@ SweepResult SweepEngine::run(const SweepSpec& raw_spec) const {
         .arg("jobs", static_cast<std::int64_t>(worker_count));
 
     std::atomic<std::size_t> cursor{0};
-    std::atomic<bool> failed{false};
+    // Set only in fail-fast mode: sibling workers observe it at their next
+    // cell boundary and stop pulling jobs. Keep-going never sets it — a
+    // failing cell must not starve its siblings (each failure stays on its
+    // own cell).
+    std::atomic<bool> abort_sweep{false};
     std::exception_ptr first_error;
     std::mutex error_mutex;
 
     const auto worker = [&] {
-        while (!failed.load(std::memory_order_relaxed)) {
+        while (!abort_sweep.load(std::memory_order_relaxed)) {
             const std::size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
             if (index >= jobs_list.size()) return;
             const SweepJob& job = jobs_list[index];
+            // Label the cell before evaluating so failed and cancelled
+            // cells still carry their grid coordinates.
+            SweepCell& cell = result.cells[index];
+            cell.kernel = job.kernel;
+            cell.policy = core::policy_kind_name(job.policy);
+            cell.generator = job.generator->label();
+            cell.voltage_v = job.design.voltage_v;
             // Queue wait: the job was runnable at sweep start; this is how
             // long it sat before a worker reached it.
             const auto dequeued = std::chrono::steady_clock::now();
-            const double queue_wait_ms =
+            cell.queue_wait_ms =
                 std::chrono::duration<double, std::milli>(dequeued - start).count();
+            // Cell-boundary cancellation check: once the token fires the
+            // remaining queue drains as cancelled cells without paying for
+            // any further evaluation.
+            if (options.cancel != nullptr && options.cancel->cancelled()) {
+                cell.error_code = options.cancel->reason();
+                cell.error = cell.error_code == ErrorCode::kDeadline
+                                 ? "deadline exceeded before evaluation"
+                                 : "cancelled before evaluation";
+                cell.status = CellStatus::kCancelled;
+                continue;
+            }
             try {
                 FOCS_OBS_SPAN(cell_span, obs::global_tracer(), "sweep.cell");
                 cell_span.arg("kernel", job.kernel)
-                    .arg("policy", core::policy_kind_name(job.policy))
-                    .arg("generator", job.generator->label())
+                    .arg("policy", cell.policy)
+                    .arg("generator", cell.generator)
                     .arg("voltage_v", job.design.voltage_v)
-                    .arg("queue_wait_ms", queue_wait_ms);
+                    .arg("queue_wait_ms", cell.queue_wait_ms);
+                FOCS_FAULT_POINT("eval.cell", cell_key(cell));
                 // Shared artifacts: built once, then served from the cache.
-                auto table_future = cache_->delay_table(job.design, analyzer_config, flow_threads);
+                auto table_future =
+                    cache_->delay_table(job.design, analyzer_config, flow_threads, options.cancel);
 
                 core::DcaRunResult run;
                 if (mode_ == EvalMode::kReplay) {
@@ -191,7 +258,10 @@ SweepResult SweepEngine::run(const SweepSpec& raw_spec) const {
                         timing::scale_trace_delays(unit_future.get(), calculator);
 
                     const auto generator = job.generator->instantiate(delays.static_period_ps);
-                    const core::ReplayEvaluationEngine replay(trace, delays, table);
+                    core::ReplayOptions replay_options;
+                    replay_options.cancel = options.cancel;
+                    const core::ReplayEvaluationEngine replay(trace, delays, table,
+                                                              replay_options);
                     run = replay.run(job.policy,
                                      job.generator->kind == GeneratorSpec::Kind::kIdeal
                                          ? nullptr
@@ -212,23 +282,30 @@ SweepResult SweepEngine::run(const SweepSpec& raw_spec) const {
                                                                            : generator.get());
                 }
 
-                SweepCell& cell = result.cells[index];
-                cell.kernel = job.kernel;
-                cell.policy = core::policy_kind_name(job.policy);
-                cell.generator = job.generator->label();
-                cell.voltage_v = job.design.voltage_v;
                 cell.result = std::move(run);
-                cell.queue_wait_ms = queue_wait_ms;
                 cell.wall_ms =
                     std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                               dequeued)
                         .count();
                 cell_span.arg("wall_ms", cell.wall_ms);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error) first_error = std::current_exception();
-                failed.store(true, std::memory_order_relaxed);
-                return;
+            } catch (const std::exception& e) {
+                record_failure(cell, e);
+                cell.wall_ms =
+                    std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                              dequeued)
+                        .count();
+                if (options.failure_mode == FailureMode::kFailFast) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!first_error) {
+                        // Fail-fast names the failing cell: the whole point
+                        // of aborting early is telling the user where.
+                        first_error = std::make_exception_ptr(Error(
+                            "sweep cell " + cell_key(cell) + " failed: " + cell.error,
+                            cell.error_code));
+                    }
+                    abort_sweep.store(true, std::memory_order_relaxed);
+                    return;
+                }
             }
         }
     };
@@ -243,14 +320,22 @@ SweepResult SweepEngine::run(const SweepSpec& raw_spec) const {
     }
     if (first_error) std::rethrow_exception(first_error);
 
+    // Aggregate over surviving cells only: a failed cell's zeroed result
+    // must not drag the sweep's means toward 0.
     for (const auto& cell : result.cells) {
+        switch (cell.status) {
+            case CellStatus::kOk: ++result.cells_ok; break;
+            case CellStatus::kFailed: ++result.cells_failed; break;
+            case CellStatus::kCancelled: ++result.cells_cancelled; break;
+        }
+        if (!cell.ok()) continue;
         result.mean_eff_freq_mhz += cell.result.eff_freq_mhz;
         result.mean_speedup += cell.result.speedup_vs_static;
         result.total_violations += cell.result.timing_violations;
     }
-    if (!result.cells.empty()) {
-        result.mean_eff_freq_mhz /= static_cast<double>(result.cells.size());
-        result.mean_speedup /= static_cast<double>(result.cells.size());
+    if (result.cells_ok > 0) {
+        result.mean_eff_freq_mhz /= static_cast<double>(result.cells_ok);
+        result.mean_speedup /= static_cast<double>(result.cells_ok);
     }
     result.characterizations = cache_->characterizations_built() - tables_before;
     result.cache_hits = cache_->cache_hits() - hits_before;

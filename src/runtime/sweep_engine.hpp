@@ -25,6 +25,13 @@
 //    delay-model pass instead of P*G (and P*G*V delay passes).
 //  - kLive: the reference path; every cell steps the full delay-annotated
 //    cycle-accurate pipeline (DcaEngine::run).
+//
+// Failures are isolated per cell: by default (FailureMode::kKeepGoing) a
+// throwing cell records its status/error code and every other cell keeps
+// running, with aggregates computed over the survivors; kFailFast aborts
+// the sweep and rethrows the first failure wrapped with the failing cell's
+// grid coordinates. A CancellationToken (deadline or caller-driven) drains
+// the remaining queue as `cancelled` cells and returns partial results.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "core/flows.hpp"
 #include "runtime/artifact_cache.hpp"
 #include "runtime/sweep_spec.hpp"
@@ -46,12 +54,42 @@ enum class EvalMode { kReplay, kLive };
 std::string eval_mode_name(EvalMode mode);
 EvalMode parse_eval_mode(const std::string& name);
 
+/// What the engine does when a cell's evaluation throws.
+enum class FailureMode {
+    /// Default: record the failure on the cell (status, error code, what),
+    /// keep every other cell running, and report partial results. Failed
+    /// cells are excluded from the sweep's aggregate figures.
+    kKeepGoing,
+    /// Abort the sweep on the first failing cell: sibling workers stop at
+    /// their next cell boundary and run() rethrows the failure, wrapped
+    /// with the failing cell's grid coordinates.
+    kFailFast,
+};
+
+/// Outcome of one grid cell.
+enum class CellStatus {
+    kOk,
+    kFailed,     ///< evaluation or artifact build threw
+    kCancelled,  ///< deadline expired / caller cancelled before completion
+};
+
+/// Stable status name ("ok"|"failed"|"cancelled"), inverse of
+/// parse_cell_status.
+std::string cell_status_name(CellStatus status);
+CellStatus parse_cell_status(const std::string& name);
+
 /// One evaluated grid cell, labelled by its axis coordinates.
 struct SweepCell {
     std::string kernel;
     std::string policy;     ///< PolicyKind short name
     std::string generator;  ///< GeneratorSpec label
     double voltage_v = 0;
+    /// Per-cell isolation: failures land here instead of tearing down the
+    /// sweep. `result` is meaningful only when ok(); `error_code`/`error`
+    /// only when not.
+    CellStatus status = CellStatus::kOk;
+    ErrorCode error_code = ErrorCode::kUnknown;
+    std::string error;
     core::DcaRunResult result;
     /// Wall time of this cell's evaluation on its worker (artifact waits
     /// included). Run-dependent: serialized only under include_timing.
@@ -59,9 +97,23 @@ struct SweepCell {
     /// Time the expanded job sat in the queue before a worker picked it
     /// up (dequeue time minus sweep start). Run-dependent.
     double queue_wait_ms = 0;
+
+    bool ok() const { return status == CellStatus::kOk; }
 };
 
-/// Run-dependent observability block stamped into the focs-sweep-v4 timing
+/// Per-run execution knobs of SweepEngine::run (the engine itself stays
+/// reusable across runs with different failure handling).
+struct SweepRunOptions {
+    FailureMode failure_mode = FailureMode::kKeepGoing;
+    /// Optional cooperative cancellation (deadline- or caller-driven),
+    /// polled at cell boundaries and threaded into artifact builds and the
+    /// replay block loop. Cells not finished when the token fires are
+    /// reported with CellStatus::kCancelled; run() still returns normally
+    /// with the partial results.
+    const CancellationToken* cancel = nullptr;
+};
+
+/// Run-dependent observability block stamped into the focs-sweep-v5 timing
 /// header: per-artifact-class cache outcomes (deltas of the cache's
 /// embedded registry over this sweep) and the per-cell wall-time
 /// distribution. Misses are deterministic (exactly-once builds); the
@@ -84,6 +136,11 @@ struct SweepMetrics {
 
 struct SweepResult {
     std::vector<SweepCell> cells;  ///< in spec declaration order
+    /// Per-status cell counts (ok + failed + cancelled == cells.size()).
+    /// Aggregate figures below cover the ok cells only.
+    std::uint64_t cells_ok = 0;
+    std::uint64_t cells_failed = 0;
+    std::uint64_t cells_cancelled = 0;
     int jobs = 0;                  ///< worker threads actually used
     std::string mode;              ///< eval_mode_name of the executing engine
     double wall_ms = 0;
@@ -110,11 +167,13 @@ struct SweepResult {
     /// Cache outcome deltas and wall-time distribution for this run.
     SweepMetrics metrics;
 
-    /// Mean over all cells (matches SuiteResult semantics when the sweep is
-    /// a single-policy suite).
+    /// Mean over the ok cells (matches SuiteResult semantics when the sweep
+    /// is a single-policy suite and everything succeeded).
     double mean_eff_freq_mhz = 0;
     double mean_speedup = 0;
     std::uint64_t total_violations = 0;
+
+    bool complete() const { return cells_failed == 0 && cells_cancelled == 0; }
 };
 
 class SweepEngine {
@@ -130,8 +189,10 @@ public:
 
     /// Executes the sweep. Deterministic: the returned cell order and every
     /// per-cell result are independent of the job count, of thread
-    /// scheduling, and of the evaluation mode.
-    SweepResult run(const SweepSpec& spec) const;
+    /// scheduling, and of the evaluation mode — including each failed
+    /// cell's status and error code under FailureMode::kKeepGoing (only
+    /// *which* cells a fired cancellation token reaches is run-dependent).
+    SweepResult run(const SweepSpec& spec, const SweepRunOptions& options = {}) const;
 
     int jobs() const { return jobs_; }
     EvalMode mode() const { return mode_; }

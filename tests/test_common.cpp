@@ -1,9 +1,14 @@
-// Tests for shared utilities: stats, histogram, strings, rng, tables, units.
+// Tests for shared utilities: stats, histogram, strings, rng, tables,
+// units, error taxonomy, cancellation tokens and fault injection.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <thread>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/histogram.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -162,6 +167,153 @@ TEST(Check, ThrowsWithLocation) {
         EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
         EXPECT_NE(std::string(e.what()).find("test_common.cpp"), std::string::npos);
     }
+}
+
+TEST(ErrorCode, NamesRoundTrip) {
+    for (const ErrorCode code :
+         {ErrorCode::kUnknown, ErrorCode::kArtifactBuild, ErrorCode::kEvaluation,
+          ErrorCode::kDeadline, ErrorCode::kCancelled, ErrorCode::kInjected}) {
+        EXPECT_EQ(parse_error_code(error_code_name(code)), code) << error_code_name(code);
+    }
+    EXPECT_THROW(parse_error_code("not-a-code"), Error);
+}
+
+TEST(ErrorCode, CarriedByErrorAndCancelledError) {
+    const Error plain("plain");
+    EXPECT_EQ(plain.code(), ErrorCode::kUnknown);
+    const Error coded("boom", ErrorCode::kArtifactBuild);
+    EXPECT_EQ(coded.code(), ErrorCode::kArtifactBuild);
+    const CancelledError cancelled("stop", ErrorCode::kDeadline);
+    EXPECT_EQ(cancelled.code(), ErrorCode::kDeadline);
+    // CancelledError stays catchable as the base Error.
+    try {
+        throw CancelledError("stop", ErrorCode::kCancelled);
+    } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::kCancelled);
+    }
+}
+
+TEST(CancellationToken, ExplicitRequestSharedAcrossCopies) {
+    const CancellationToken token;
+    const CancellationToken copy = token;
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_NO_THROW(token.throw_if_cancelled());
+    copy.request_cancel();
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.reason(), ErrorCode::kCancelled);
+    try {
+        token.throw_if_cancelled();
+        FAIL();
+    } catch (const CancelledError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::kCancelled);
+    }
+}
+
+TEST(CancellationToken, DeadlineExpiresAndReportsReason) {
+    const CancellationToken expired = CancellationToken::with_deadline_ms(0);
+    EXPECT_TRUE(expired.cancelled());
+    EXPECT_EQ(expired.reason(), ErrorCode::kDeadline);
+    EXPECT_THROW(expired.throw_if_cancelled(), CancelledError);
+    // A generous deadline has not fired yet; an explicit request wins the
+    // reason tie-break once both hold.
+    const CancellationToken soon = CancellationToken::with_deadline_ms(60000);
+    EXPECT_FALSE(soon.cancelled());
+    soon.request_cancel();
+    EXPECT_EQ(soon.reason(), ErrorCode::kCancelled);
+}
+
+TEST(FaultInjector, DisarmedByDefaultAndAfterEmptySpec) {
+    fault::FaultInjector injector;
+    EXPECT_FALSE(injector.armed());
+    EXPECT_NO_THROW(injector.inject("build.program", "k"));
+    injector.configure("build.*:1");
+    EXPECT_TRUE(injector.armed());
+    injector.configure("");
+    EXPECT_FALSE(injector.armed());
+}
+
+TEST(FaultInjector, DecisionIsDeterministicPerSiteKeyAttemptSeed) {
+    const fault::FaultInjector a("eval.cell:0.5:seed=7");
+    const fault::FaultInjector b("eval.cell:0.5:seed=7");
+    int fired = 0;
+    for (int i = 0; i < 200; ++i) {
+        const std::string key = "cell-" + std::to_string(i);
+        EXPECT_EQ(a.would_fire("eval.cell", key), b.would_fire("eval.cell", key)) << key;
+        if (a.would_fire("eval.cell", key)) ++fired;
+    }
+    // Half-probability rule: the deterministic draw set lands near 50%.
+    EXPECT_GT(fired, 60);
+    EXPECT_LT(fired, 140);
+    // Different attempts and seeds re-draw.
+    const fault::FaultInjector reseeded("eval.cell:0.5:seed=8");
+    bool any_attempt_differs = false;
+    bool any_seed_differs = false;
+    for (int i = 0; i < 50; ++i) {
+        const std::string key = "cell-" + std::to_string(i);
+        any_attempt_differs |=
+            a.would_fire("eval.cell", key, 0) != a.would_fire("eval.cell", key, 1);
+        any_seed_differs |= a.would_fire("eval.cell", key) != reseeded.would_fire("eval.cell", key);
+    }
+    EXPECT_TRUE(any_attempt_differs);
+    EXPECT_TRUE(any_seed_differs);
+}
+
+TEST(FaultInjector, SiteMatchingExactAndPrefixWildcard) {
+    const fault::FaultInjector injector("build.*:1");
+    EXPECT_TRUE(injector.would_fire("build.program", "k"));
+    EXPECT_TRUE(injector.would_fire("build.delay_table", "k"));
+    EXPECT_FALSE(injector.would_fire("eval.cell", "k"));
+    const fault::FaultInjector exact("eval.cell:1");
+    EXPECT_TRUE(exact.would_fire("eval.cell", "k"));
+    EXPECT_FALSE(exact.would_fire("eval.cell2", "k"));
+}
+
+TEST(FaultInjector, MaxFiresCapsDeterministically) {
+    fault::FaultInjector injector("build.delay_table:1:max=2");
+    EXPECT_THROW(injector.inject("build.delay_table", "k", 0), Error);
+    EXPECT_THROW(injector.inject("build.delay_table", "k", 1), Error);
+    EXPECT_NO_THROW(injector.inject("build.delay_table", "k", 2));
+    EXPECT_NO_THROW(injector.inject("build.delay_table", "other", 0));
+    EXPECT_EQ(injector.fires(), 2u);
+    // The thrown fault carries the injected error code and names the site.
+    injector.configure("eval.cell:1");
+    try {
+        injector.inject("eval.cell", "crc32/lut/ideal@0.62V");
+        FAIL();
+    } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::kInjected);
+        EXPECT_NE(std::string(e.what()).find("eval.cell"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("crc32/lut/ideal@0.62V"), std::string::npos);
+    }
+}
+
+TEST(FaultInjector, DelayRuleSleepsInsteadOfThrowing) {
+    fault::FaultInjector injector("eval.cell:1:delay_ms=5");
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_NO_THROW(injector.inject("eval.cell", "k"));
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_GE(elapsed_ms, 4.0);
+    EXPECT_EQ(injector.fires(), 1u);
+}
+
+TEST(FaultInjector, MalformedSpecsRejected) {
+    fault::FaultInjector injector;
+    EXPECT_THROW(injector.configure(":0.5"), Error);               // missing site
+    EXPECT_THROW(injector.configure("site:1.5"), Error);           // probability > 1
+    EXPECT_THROW(injector.configure("site:abc"), Error);           // not a number
+    EXPECT_THROW(injector.configure("site:0.5:0.7"), Error);       // duplicate probability
+    EXPECT_THROW(injector.configure("site:1:seed=-1"), Error);     // negative seed
+    EXPECT_THROW(injector.configure("site:1:max=0"), Error);       // max wants >= 1
+    EXPECT_THROW(injector.configure("site:1:delay_ms=-2"), Error); // negative delay
+    EXPECT_THROW(injector.configure("site:1:bogus=3"), Error);     // unknown option
+    // A failed configure leaves the injector disarmed, not half-armed.
+    EXPECT_FALSE(injector.armed());
+    // Multi-rule specs with blank segments parse.
+    injector.configure(" build.*:0.5:seed=3 ; ; eval.cell:1:max=1 ");
+    EXPECT_TRUE(injector.armed());
+    EXPECT_EQ(injector.rules().size(), 2u);
 }
 
 }  // namespace

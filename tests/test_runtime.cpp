@@ -1,11 +1,17 @@
 // Sweep runtime tests: parallel determinism (the central contract — a
 // --jobs N run must be byte-identical to a serial run of the same spec),
-// exactly-once artifact construction, JSON round-trips, and spec parsing.
+// exactly-once artifact construction, fault tolerance (per-cell isolation,
+// cache poison recovery, deadlines), JSON round-trips, and spec parsing.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
+#include <vector>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "core/flows.hpp"
 #include "runtime/artifact_cache.hpp"
 #include "runtime/result_io.hpp"
@@ -25,6 +31,24 @@ SweepSpec small_spec() {
     spec.generators = {GeneratorSpec::parse("ideal"), GeneratorSpec::parse("taps:8")};
     return spec;
 }
+
+/// Arms the process-global fault injector for one test body and guarantees
+/// it is disarmed again on every exit path (the injector is shared across
+/// every test in this binary).
+struct GlobalFaultGuard {
+    explicit GlobalFaultGuard(const std::string& spec) {
+        fault::global_injector().configure(spec);
+    }
+    ~GlobalFaultGuard() { fault::global_injector().configure(""); }
+};
+
+/// Tests that need the product code's inject points to fire cannot run in
+/// a -DFOCS_FAULT_COMPILE_OUT build (the macros compile to nothing there).
+#ifdef FOCS_FAULT_COMPILE_OUT
+#define FOCS_REQUIRE_FAULT_POINTS() GTEST_SKIP() << "fault inject points compiled out"
+#else
+#define FOCS_REQUIRE_FAULT_POINTS() ((void)0)
+#endif
 
 TEST(SweepEngine, ParallelRunIsByteIdenticalToSerial) {
     const SweepEngine serial(1);
@@ -219,6 +243,105 @@ TEST(SweepEngine, PreseededTableSkipsCharacterization) {
     EXPECT_EQ(cache->characterizations_built(), 0u);
 }
 
+TEST(SweepEngine, KeepGoingIsolatesFailedCellsAcrossJobCounts) {
+    FOCS_REQUIRE_FAULT_POINTS();
+    // Per-cell isolation under injected evaluation faults: failing cells
+    // carry their status and error, every other cell completes, and *which*
+    // cells fail is a pure function of the cell key — so the canonical
+    // document is byte-identical at any job count even on a faulty run.
+    const GlobalFaultGuard guard("eval.cell:0.5:seed=11");
+    const SweepResult serial = SweepEngine(1).run(small_spec());
+    EXPECT_GT(serial.cells_failed, 0u);
+    EXPECT_GT(serial.cells_ok, 0u);
+    EXPECT_EQ(serial.cells_cancelled, 0u);
+    EXPECT_EQ(serial.cells_ok + serial.cells_failed, serial.cells.size());
+    EXPECT_FALSE(serial.complete());
+    double ok_freq_sum = 0;
+    for (const auto& cell : serial.cells) {
+        if (cell.ok()) {
+            ok_freq_sum += cell.result.eff_freq_mhz;
+            EXPECT_TRUE(cell.error.empty());
+            continue;
+        }
+        EXPECT_EQ(cell.status, CellStatus::kFailed);
+        EXPECT_EQ(cell.error_code, ErrorCode::kInjected);
+        EXPECT_NE(cell.error.find("eval.cell"), std::string::npos);
+    }
+    // Aggregates cover the surviving cells only.
+    EXPECT_DOUBLE_EQ(serial.mean_eff_freq_mhz,
+                     ok_freq_sum / static_cast<double>(serial.cells_ok));
+    const SweepResult parallel = SweepEngine(8).run(small_spec());
+    EXPECT_EQ(parallel.cells_failed, serial.cells_failed);
+    EXPECT_EQ(to_json(serial, /*include_timing=*/false),
+              to_json(parallel, /*include_timing=*/false));
+}
+
+TEST(SweepEngine, FailFastNamesTheFailingCell) {
+    FOCS_REQUIRE_FAULT_POINTS();
+    const GlobalFaultGuard guard("eval.cell:1:max=1");
+    SweepRunOptions options;
+    options.failure_mode = FailureMode::kFailFast;
+    try {
+        SweepEngine(1).run(small_spec(), options);
+        FAIL() << "fail-fast sweep did not throw";
+    } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::kInjected);
+        // The rethrown failure names the failing cell's grid coordinates
+        // (first cell in declaration order under one worker).
+        EXPECT_NE(std::string(e.what()).find("sweep cell crc32/lut/ideal@"),
+                  std::string::npos);
+    }
+}
+
+TEST(SweepEngine, ExpiredDeadlineDrainsQueueAsCancelledCells) {
+    const CancellationToken expired = CancellationToken::with_deadline_ms(0);
+    SweepRunOptions options;
+    options.cancel = &expired;
+    const SweepResult result = SweepEngine(2).run(small_spec(), options);
+    EXPECT_EQ(result.cells_cancelled, result.cells.size());
+    EXPECT_EQ(result.cells_ok, 0u);
+    EXPECT_FALSE(result.complete());
+    EXPECT_EQ(result.mean_eff_freq_mhz, 0.0);
+    for (const auto& cell : result.cells) {
+        EXPECT_EQ(cell.status, CellStatus::kCancelled);
+        EXPECT_EQ(cell.error_code, ErrorCode::kDeadline);
+        EXPECT_NE(cell.error.find("deadline"), std::string::npos);
+        EXPECT_FALSE(cell.kernel.empty());  // coordinates survive the drain
+    }
+    // The drained queue paid for no work at all.
+    EXPECT_EQ(result.guest_simulations, 0u);
+    EXPECT_EQ(result.characterizations, 0u);
+
+    // An explicit request reports kCancelled instead of kDeadline.
+    const CancellationToken requested;
+    requested.request_cancel();
+    options.cancel = &requested;
+    const SweepResult stopped = SweepEngine(2).run(small_spec(), options);
+    EXPECT_EQ(stopped.cells_cancelled, stopped.cells.size());
+    EXPECT_EQ(stopped.cells[0].error_code, ErrorCode::kCancelled);
+}
+
+TEST(SweepEngine, MidRunDeadlineReturnsPartialResults) {
+    FOCS_REQUIRE_FAULT_POINTS();
+    // Slow every cell down with a delay fault so a short deadline fires
+    // mid-sweep: the run still returns normally, with each cell either ok,
+    // or cancelled at the boundary. How far the sweep got is timing-
+    // dependent; the status partition is not.
+    const GlobalFaultGuard guard("eval.cell:1:delay_ms=20");
+    const CancellationToken deadline = CancellationToken::with_deadline_ms(5);
+    SweepRunOptions options;
+    options.cancel = &deadline;
+    const SweepResult result = SweepEngine(1).run(small_spec(), options);
+    EXPECT_GE(result.cells_cancelled, 1u);
+    EXPECT_EQ(result.cells_failed, 0u);
+    EXPECT_EQ(result.cells_ok + result.cells_cancelled, result.cells.size());
+    for (const auto& cell : result.cells) {
+        if (!cell.ok()) {
+            EXPECT_EQ(cell.error_code, ErrorCode::kDeadline);
+        }
+    }
+}
+
 TEST(ResultIo, JsonRoundTripIsLossless) {
     const SweepEngine engine(2);
     SweepSpec spec = small_spec();
@@ -226,13 +349,13 @@ TEST(ResultIo, JsonRoundTripIsLossless) {
     const SweepResult result = engine.run(spec);
 
     const std::string json = to_json(result);
-    EXPECT_NE(json.find("\"focs-sweep-v4\""), std::string::npos);
+    EXPECT_NE(json.find("\"focs-sweep-v5\""), std::string::npos);
     const SweepResult parsed = from_json(json);
     EXPECT_EQ(parsed.jobs, result.jobs);
     EXPECT_EQ(parsed.characterizations, result.characterizations);
     EXPECT_EQ(parsed.unit_delay_passes, result.unit_delay_passes);
     EXPECT_EQ(parsed.unit_delay_reuses, result.unit_delay_reuses);
-    // The v4 metrics block survives the round trip.
+    // The metrics block survives the round trip.
     EXPECT_EQ(parsed.metrics.trace.miss, result.metrics.trace.miss);
     EXPECT_EQ(parsed.metrics.unit_delays.hit, result.metrics.unit_delays.hit);
     EXPECT_EQ(parsed.metrics.unit_delays.wait, result.metrics.unit_delays.wait);
@@ -263,9 +386,23 @@ TEST(ResultIo, ParsesOlderSchemaDocuments) {
     spec.kernels = {"crc32"};
     const SweepResult result = engine.run(spec);
 
-    // Reconstruct a v3 document from the v4 emission: rename the schema,
-    // drop the metrics block and the per-cell timing fields.
-    std::string v3 = to_json(result);
+    // Reconstruct a v4 document from the v5 emission: an all-ok sweep's
+    // wire format is identical, only the schema string changed — so the
+    // rename alone produces a faithful v4 artifact.
+    std::string v4 = to_json(result);
+    const auto v5_at = v4.find("focs-sweep-v5");
+    ASSERT_NE(v5_at, std::string::npos);
+    v4.replace(v5_at, 13, "focs-sweep-v4");
+    const SweepResult parsed_v4 = from_json(v4);
+    EXPECT_EQ(parsed_v4.unit_delay_passes, result.unit_delay_passes);
+    // The per-status counts are derived from the cells when the header
+    // (of any pre-v5 vintage) lacks them.
+    EXPECT_EQ(parsed_v4.cells_ok, result.cells.size());
+    EXPECT_EQ(parsed_v4.cells_failed, 0u);
+
+    // Then a v3 document on top: rename the schema, drop the metrics block
+    // and the per-cell timing fields.
+    std::string v3 = v4;
     const auto schema_at = v3.find("focs-sweep-v4");
     ASSERT_NE(schema_at, std::string::npos);
     v3.replace(schema_at, 13, "focs-sweep-v3");
@@ -325,6 +462,74 @@ TEST(ResultIo, RejectsMalformedDocuments) {
     EXPECT_THROW(from_json("{\"schema\": \"\\u20ac\"}"), Error);  // beyond control range
 }
 
+TEST(ResultIo, RejectsTruncatedAndCorruptDocuments) {
+    SweepSpec spec = small_spec();
+    spec.kernels = {"crc32"};
+    const std::string json = to_json(SweepEngine(1).run(spec));
+    // Truncation anywhere — mid-cells or just before the closing brace —
+    // is a hard parse error, never a silently shorter result.
+    EXPECT_THROW(from_json(json.substr(0, json.size() / 2)), Error);
+    EXPECT_THROW(from_json(json.substr(0, json.size() - 2)), Error);
+    EXPECT_THROW(from_json(json + "x"), Error);  // trailing garbage
+}
+
+TEST(ResultIo, V5RoundTripPreservesFailureFields) {
+    FOCS_REQUIRE_FAULT_POINTS();
+    const GlobalFaultGuard guard("eval.cell:0.5:seed=11");
+    const SweepResult result = SweepEngine(2).run(small_spec());
+    ASSERT_GT(result.cells_failed, 0u);
+    ASSERT_GT(result.cells_ok, 0u);
+
+    const std::string json = to_json(result);
+    EXPECT_NE(json.find("\"cells_failed\""), std::string::npos);
+    EXPECT_NE(json.find("\"status\": \"failed\""), std::string::npos);
+    const SweepResult parsed = from_json(json);
+    EXPECT_EQ(parsed.cells_ok, result.cells_ok);
+    EXPECT_EQ(parsed.cells_failed, result.cells_failed);
+    EXPECT_EQ(parsed.cells_cancelled, 0u);
+    ASSERT_EQ(parsed.cells.size(), result.cells.size());
+    for (std::size_t i = 0; i < parsed.cells.size(); ++i) {
+        EXPECT_EQ(parsed.cells[i].status, result.cells[i].status) << i;
+        EXPECT_EQ(parsed.cells[i].error_code, result.cells[i].error_code) << i;
+        EXPECT_EQ(parsed.cells[i].error, result.cells[i].error) << i;
+    }
+    EXPECT_EQ(to_json(parsed), json);  // byte-stable re-serialization
+
+    // The canonical flavour keeps the failure vocabulary too (which cells
+    // fail is deterministic, so it belongs in the canonical document).
+    const SweepResult canonical = from_json(to_json(result, /*include_timing=*/false));
+    EXPECT_EQ(canonical.cells_failed, result.cells_failed);
+
+    // Corrupt enum values are rejected, not zero-filled.
+    std::string bad_code = json;
+    bad_code.replace(bad_code.find("\"injected\""), 10, "\"gremlins\"");
+    EXPECT_THROW(from_json(bad_code), Error);
+    std::string bad_status = json;
+    bad_status.replace(bad_status.find("\"status\": \"failed\""), 18,
+                       "\"status\": \"exploded\"");
+    EXPECT_THROW(from_json(bad_status), Error);
+}
+
+TEST(ResultIo, AllOkDocumentCarriesNoFailureVocabulary) {
+    // A fully successful sweep's document must not mention failures at all:
+    // v5 differs from a v4 emission only in the schema string, keeping
+    // historical byte-comparison workflows valid.
+    const SweepResult result = SweepEngine(2).run(small_spec());
+    ASSERT_TRUE(result.complete());
+    for (const std::string& json :
+         {to_json(result), to_json(result, /*include_timing=*/false)}) {
+        EXPECT_EQ(json.find("\"cells_ok\""), std::string::npos);
+        EXPECT_EQ(json.find("\"cells_failed\""), std::string::npos);
+        EXPECT_EQ(json.find("\"cells_cancelled\""), std::string::npos);
+        EXPECT_EQ(json.find("\"status\""), std::string::npos);
+        EXPECT_EQ(json.find("\"error_code\""), std::string::npos);
+        // Parsing still reports the counts, derived from the cells.
+        const SweepResult parsed = from_json(json);
+        EXPECT_EQ(parsed.cells_ok, result.cells.size());
+        EXPECT_TRUE(parsed.complete());
+    }
+}
+
 TEST(SweepSpec, ParseSerializeRoundTrip) {
     const char* text =
         "# Fig. 8 style sweep\n"
@@ -359,6 +564,11 @@ TEST(SweepSpec, RejectsBadInput) {
     EXPECT_THROW(SweepSpec::parse("generators = taps:1\n"), Error);
     EXPECT_THROW(GeneratorSpec::parse("pll:"), Error);
     EXPECT_THROW(SweepSpec::parse("jobs = -2\n"), Error);
+    EXPECT_THROW(SweepSpec::parse("voltages = 0.7, oops\n"), Error);
+    EXPECT_THROW(SweepSpec::parse("voltages = 0.7 0.8\n"), Error);  // missing comma
+    EXPECT_THROW(SweepSpec::parse("guard_ps = many\n"), Error);
+    EXPECT_THROW(SweepSpec::parse("variant = quantum\n"), Error);
+    EXPECT_THROW(SweepSpec::parse("min_occurrences = -3\n"), Error);
 }
 
 TEST(SweepSpec, ResolvedFillsDefaults) {
@@ -398,6 +608,93 @@ TEST(ArtifactCache, ProgramsAreSharedAndCounted) {
     EXPECT_EQ(&first.get(), &second.get());  // same shared state
     EXPECT_EQ(cache.cache_hits(), 1u);
     EXPECT_THROW(cache.program("no-such-kernel").get(), Error);
+}
+
+TEST(ArtifactCache, RetriesFailedBuildInPlace) {
+    FOCS_REQUIRE_FAULT_POINTS();
+    // One injected failure on the first build attempt: the elected builder
+    // retries in place and succeeds, without eviction or re-election.
+    const GlobalFaultGuard guard("build.program:1:max=1");
+    ArtifactCache cache;
+    EXPECT_NO_THROW(cache.program("crc32").get());
+    const ArtifactBuildStats stats = cache.build_stats(ArtifactClass::kProgram);
+    EXPECT_EQ(stats.built, 1u);
+    EXPECT_EQ(stats.failed, 1u);
+    EXPECT_EQ(stats.retried, 1u);
+    EXPECT_EQ(stats.evicted, 0u);
+    EXPECT_EQ(cache.class_counters(ArtifactClass::kProgram).miss, 1u);
+    // The recovered artifact is served like any healthy one.
+    EXPECT_NO_THROW(cache.program("crc32").get());
+    EXPECT_EQ(cache.build_stats(ArtifactClass::kProgram).built, 1u);
+}
+
+TEST(ArtifactCache, EvictsPoisonedEntryAndReelectsBuilderExactlyOnce) {
+    FOCS_REQUIRE_FAULT_POINTS();
+    // Terminal failure (both in-place attempts fail): the classified error
+    // reaches every waiter through the shared future, the entry is evicted,
+    // and the *next* requester re-elects a builder — exactly one more
+    // election, even with six threads hammering the same key.
+    const GlobalFaultGuard guard("build.delay_table:1:max=2");
+    ArtifactCache cache;  // max_build_attempts = 2
+    const timing::DesignConfig design;
+    const dta::AnalyzerConfig analyzer_config =
+        SweepEngine::analyzer_config_for(SweepSpec{}.resolved());
+    std::atomic<int> failures_seen{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 6; ++t) {
+        threads.emplace_back([&] {
+            for (int tries = 0; tries < 1000; ++tries) {
+                try {
+                    cache.delay_table(design, analyzer_config).get();
+                    return;
+                } catch (const Error& e) {
+                    EXPECT_EQ(e.code(), ErrorCode::kArtifactBuild);
+                    EXPECT_NE(std::string(e.what()).find("artifact build failed"),
+                              std::string::npos);
+                    failures_seen.fetch_add(1, std::memory_order_relaxed);
+                    std::this_thread::yield();
+                }
+            }
+            ADD_FAILURE() << "delay table was never rebuilt after eviction";
+        });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_GE(failures_seen.load(), 1);
+    const ArtifactBuildStats stats = cache.build_stats(ArtifactClass::kDelayTable);
+    EXPECT_EQ(stats.built, 1u);    // the post-eviction election succeeded
+    EXPECT_EQ(stats.failed, 2u);   // attempts 0 and 1 of the first election
+    EXPECT_EQ(stats.retried, 1u);  // one bounded in-place retry
+    EXPECT_EQ(stats.evicted, 1u);  // exactly one poisoned entry removed
+    // Two builder elections in total: the poisoned one and its replacement.
+    EXPECT_EQ(cache.class_counters(ArtifactClass::kDelayTable).miss, 2u);
+    EXPECT_EQ(cache.characterizations_built(), 1u);
+}
+
+TEST(ArtifactCache, CancelledBuildEvictsWithoutRetryAndRebuildsClean) {
+    // A fired CancellationToken fails the build with the cancellation code;
+    // cancellation is terminal (no in-place retry burned), the entry is
+    // evicted, and a later request without the token rebuilds.
+    ArtifactCache cache;
+    const timing::DesignConfig design;
+    const dta::AnalyzerConfig analyzer_config =
+        SweepEngine::analyzer_config_for(SweepSpec{}.resolved());
+    const CancellationToken expired = CancellationToken::with_deadline_ms(0);
+    try {
+        cache.delay_table(design, analyzer_config, 1, &expired).get();
+        FAIL() << "cancelled build did not throw";
+    } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::kDeadline);
+        EXPECT_NE(std::string(e.what()).find("cancelled"), std::string::npos);
+    }
+    ArtifactBuildStats stats = cache.build_stats(ArtifactClass::kDelayTable);
+    EXPECT_EQ(stats.built, 0u);
+    EXPECT_EQ(stats.failed, 1u);
+    EXPECT_EQ(stats.retried, 0u);  // cancellation is never retried
+    EXPECT_EQ(stats.evicted, 1u);
+    EXPECT_NO_THROW(cache.delay_table(design, analyzer_config).get());
+    stats = cache.build_stats(ArtifactClass::kDelayTable);
+    EXPECT_EQ(stats.built, 1u);
+    EXPECT_EQ(cache.characterizations_built(), 1u);
 }
 
 }  // namespace

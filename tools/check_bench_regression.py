@@ -63,9 +63,12 @@ CALIBRATION_FIGURE = "characterization.materialized_cycles_per_s"
 # host-independent invariants of the code itself. The dormant
 # observability layer must never tax the replay hot loop — the shipping
 # default (instrumentation compiled in but switched off) has to run at
-# effectively the compiled-out instantiation's speed.
+# effectively the compiled-out instantiation's speed. The same contract
+# holds for the fault-tolerance machinery: a dormant CancellationToken
+# threaded through the replay engine must be free.
 FLOOR_FIGURES = {
     "instrumentation.disabled_vs_compiled_out_ratio": 0.97,
+    "robustness.dormant_cancel_vs_plain_ratio": 0.97,
 }
 
 

@@ -16,7 +16,8 @@
 //   focs suite [--lut lut.txt] [--policy P] [--jobs N] [--replay|--live]
 //                                               run the whole Fig. 8 suite
 //   focs sweep <spec.sweep> [--jobs N] [--replay|--live] [-o results.json]
-//              [--canonical]                    batch-evaluate a (kernel x
+//              [--canonical] [--fail-fast] [--deadline-ms N] [--fault SPEC]
+//                                               batch-evaluate a (kernel x
 //                                               policy x generator x voltage)
 //                                               grid on the parallel runtime.
 //                                               --replay (default) records one
@@ -34,6 +35,15 @@
 //                                               (Perfetto / chrome://tracing)
 //                                               with the metrics embedded
 //
+// Exit codes: 0 = success (every cell evaluated), 2 = partial results (some
+// sweep cells failed or were cancelled; survivors were still written), 1 =
+// fatal error (bad usage, malformed spec, I/O failure, or --fail-fast
+// abort). Failed cells are isolated per cell by default; --fail-fast
+// restores abort-on-first-failure, --deadline-ms bounds the wall clock and
+// reports unfinished cells as cancelled, and --fault (or the FOCS_FAULT
+// environment variable) arms the deterministic fault injector — see
+// src/common/fault.hpp for the rule grammar.
+//
 // Programs are read from a file path, or from the bundled workloads with
 // the "kernel:" prefix (e.g. kernel:crc32).
 #include <cstdio>
@@ -46,7 +56,9 @@
 
 #include "asm/assembler.hpp"
 #include "clock/clock_generator.hpp"
+#include "common/cancel.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/strings.hpp"
 #include "common/units.hpp"
 #include "common/table.hpp"
@@ -79,6 +91,7 @@ using namespace focs;
                  "        [--metrics] [--trace-out trace.json]\n"
                  "  sweep <spec.sweep> [--jobs N] [--replay|--live] [-o results.json]\n"
                  "        [--canonical] [--metrics] [--trace-out trace.json]\n"
+                 "        [--fail-fast] [--deadline-ms N] [--fault SPEC]\n"
                  "      --replay (default): simulate each kernel once, replay every\n"
                  "                          policy/generator cell from the cached trace\n"
                  "      --live:             full per-cell simulation (reference path)\n"
@@ -86,8 +99,16 @@ using namespace focs;
                  "      --metrics:          print the merged metrics table after the run\n"
                  "      --trace-out FILE:   write a Chrome trace-event JSON timeline\n"
                  "                          (open in Perfetto / chrome://tracing)\n"
-                 "  stats <file.s|kernel:NAME> [--lut lut.txt]\n");
-    std::exit(2);
+                 "      --fail-fast:        abort on the first failing cell (default:\n"
+                 "                          isolate failures per cell, exit 2 on partial)\n"
+                 "      --deadline-ms N:    stop after N ms wall clock; unfinished cells\n"
+                 "                          are reported as cancelled\n"
+                 "      --fault SPEC:       arm the deterministic fault injector, e.g.\n"
+                 "                          'build.delay_table:0.3:seed=7' (FOCS_FAULT\n"
+                 "                          environment variable works too)\n"
+                 "  stats <file.s|kernel:NAME> [--lut lut.txt]\n"
+                 "exit codes: 0 success, 2 partial sweep results, 1 fatal error\n");
+    std::exit(1);
 }
 
 std::string load_source(const std::string& spec) {
@@ -149,6 +170,60 @@ void obs_emit(const std::vector<std::string>& args, const runtime::ArtifactCache
         out << obs::global_tracer().export_chrome_json(&snapshot);
         std::printf("trace written to %s\n", trace_path->c_str());
     }
+}
+
+/// Parses the fault-tolerance flags shared by suite and sweep. `deadline`
+/// (caller-scoped so the token outlives the run) receives the
+/// --deadline-ms token; --fault arms the process-global injector before
+/// any worker spawns.
+runtime::SweepRunOptions parse_run_options(const std::vector<std::string>& args,
+                                           std::optional<CancellationToken>& deadline) {
+    runtime::SweepRunOptions options;
+    if (flag_present(args, "--fail-fast")) {
+        options.failure_mode = runtime::FailureMode::kFailFast;
+    }
+    if (const auto ms = flag_value(args, "--deadline-ms")) {
+        double value = 0;
+        try {
+            std::size_t pos = 0;
+            value = std::stod(*ms, &pos);
+            check(pos == ms->size() && value >= 0, "--deadline-ms wants a non-negative number");
+        } catch (const Error&) {
+            throw;
+        } catch (const std::exception&) {
+            throw Error("--deadline-ms wants a non-negative number");
+        }
+        deadline = CancellationToken::with_deadline_ms(value);
+        options.cancel = &*deadline;
+    }
+    if (const auto spec = flag_value(args, "--fault")) {
+        fault::global_injector().configure(*spec);
+    }
+    return options;
+}
+
+/// The exit-code contract's partial-result path: 0 when every cell
+/// evaluated, otherwise a one-line summary naming the first non-ok cell on
+/// stderr and exit code 2 (survivor cells were still reported/written).
+int finish_partial(const runtime::SweepResult& result) {
+    if (result.complete()) return 0;
+    const runtime::SweepCell* first = nullptr;
+    for (const auto& cell : result.cells) {
+        if (!cell.ok()) {
+            first = &cell;
+            break;
+        }
+    }
+    std::fprintf(stderr,
+                 "focs: partial results: %llu/%zu cells ok, %llu failed, %llu cancelled"
+                 " (first: %s/%s/%s@%gV %s: %s)\n",
+                 static_cast<unsigned long long>(result.cells_ok), result.cells.size(),
+                 static_cast<unsigned long long>(result.cells_failed),
+                 static_cast<unsigned long long>(result.cells_cancelled),
+                 first->kernel.c_str(), first->policy.c_str(), first->generator.c_str(),
+                 first->voltage_v, error_code_name(first->error_code).c_str(),
+                 first->error.c_str());
+    return 2;
 }
 
 runtime::EvalMode parse_eval_mode_flags(const std::vector<std::string>& args) {
@@ -318,16 +393,22 @@ int cmd_suite(const std::vector<std::string>& args) {
     runtime::SweepSpec spec;
     spec.policies.push_back(core::parse_policy_kind(flag_value(args, "--policy").value_or("lut")));
 
+    std::optional<CancellationToken> deadline;
+    const runtime::SweepRunOptions run_options = parse_run_options(args, deadline);
     const runtime::SweepEngine engine(parse_jobs(args), nullptr, parse_eval_mode_flags(args));
     if (flag_value(args, "--lut")) {
         engine.cache()->put_delay_table(spec.design_for(timing::DesignConfig{}.voltage_v),
                                         runtime::SweepEngine::analyzer_config_for(spec),
                                         load_or_build_table(args, timing::DesignConfig{}));
     }
-    const auto result = engine.run(spec);
+    const auto result = engine.run(spec, run_options);
 
     TextTable out({"Benchmark", "Cycles", "Eff. clock [MHz]", "Speedup", "Violations"});
     for (const auto& cell : result.cells) {
+        if (!cell.ok()) {
+            out.add_row({cell.kernel, runtime::cell_status_name(cell.status), "-", "-", "-"});
+            continue;
+        }
         out.add_row({cell.kernel, std::to_string(cell.result.cycles),
                      TextTable::num(cell.result.eff_freq_mhz, 1),
                      TextTable::num(cell.result.speedup_vs_static, 3),
@@ -342,7 +423,7 @@ int cmd_suite(const std::vector<std::string>& args) {
                 static_cast<unsigned long long>(result.guest_simulations),
                 result.guest_simulations == 1 ? "" : "s");
     obs_emit(args, engine.cache().get());
-    return 0;
+    return finish_partial(result);
 }
 
 int cmd_sweep(const std::vector<std::string>& args) {
@@ -354,16 +435,19 @@ int cmd_sweep(const std::vector<std::string>& args) {
     buffer << in.rdbuf();
     const runtime::SweepSpec spec = runtime::SweepSpec::parse(buffer.str());
 
+    std::optional<CancellationToken> deadline;
+    const runtime::SweepRunOptions run_options = parse_run_options(args, deadline);
     const runtime::SweepEngine engine(parse_jobs(args), nullptr, parse_eval_mode_flags(args));
-    const auto result = engine.run(spec);
+    const auto result = engine.run(spec, run_options);
 
-    TextTable out({"Kernel", "Policy", "Generator", "V [V]", "Eff. clock [MHz]", "Speedup",
-                   "Violations"});
+    TextTable out({"Kernel", "Policy", "Generator", "V [V]", "Status", "Eff. clock [MHz]",
+                   "Speedup", "Violations"});
     for (const auto& cell : result.cells) {
         out.add_row({cell.kernel, cell.policy, cell.generator, TextTable::num(cell.voltage_v, 2),
-                     TextTable::num(cell.result.eff_freq_mhz, 1),
-                     TextTable::num(cell.result.speedup_vs_static, 3),
-                     std::to_string(cell.result.timing_violations)});
+                     runtime::cell_status_name(cell.status),
+                     cell.ok() ? TextTable::num(cell.result.eff_freq_mhz, 1) : "-",
+                     cell.ok() ? TextTable::num(cell.result.speedup_vs_static, 3) : "-",
+                     cell.ok() ? std::to_string(cell.result.timing_violations) : "-"});
     }
     std::printf("%s", out.to_string().c_str());
     std::printf("%zu cells, %s mode, %d jobs, %.0f ms wall, %llu characterization%s, "
@@ -390,7 +474,7 @@ int cmd_sweep(const std::vector<std::string>& args) {
                 result.metrics.cell_wall_ms_p50, result.metrics.cell_wall_ms_p95,
                 result.metrics.cell_wall_ms_max, result.metrics.queue_wait_ms_total);
     obs_emit(args, engine.cache().get());
-    return 0;
+    return finish_partial(result);
 }
 
 }  // namespace
