@@ -14,9 +14,11 @@
 // wall-clock comparison of the two evaluation modes at 1/2/4/8 workers,
 // the voltage-axis amortization series (per-voltage delay passes vs
 // one fused unit pass; a 10-voltage replay sweep with its unit-pass
-// counters), and the robustness series (replay hot loop with a dormant
+// counters), the robustness series (replay hot loop with a dormant
 // CancellationToken threaded through, vs plain — the fault-tolerance
-// machinery must be free when nothing fires), next to the pre-PR baseline
+// machinery must be free when nothing fires), and the service series
+// (N concurrent clients against the loopback sweep daemon, cold vs warm —
+// the warm burst must perform zero builds), next to the pre-PR baseline
 // those numbers are tracked against. CI uploads it and enforces
 // regression thresholds against the committed artifact
 // (tools/check_bench_regression.py).
@@ -43,6 +45,8 @@
 #include "obs/span_tracer.hpp"
 #include "runtime/result_io.hpp"
 #include "runtime/sweep_engine.hpp"
+#include "service/client.hpp"
+#include "service/sweep_server.hpp"
 #include "sim/machine.hpp"
 #include "sim/trace_recorder.hpp"
 #include "timing/cell_library.hpp"
@@ -467,6 +471,55 @@ void emit_artifact() {
     dormant_options.cancel = &dormant_token;
     const double robust_dormant = best_replay_rate_with(dormant_options);
 
+    // Service cold-vs-warm loopback series: N clients fire the same spec
+    // at a fresh daemon (cold: every artifact built once behind shared
+    // futures) and then again at the warmed daemon (warm: the shared cache
+    // answers without a single build). Real sockets, real HTTP framing, the
+    // production admission path — the warm/cold gap is the cross-request
+    // amortization the service exists for, and warm_zero_build is the
+    // serving contract check_bench_regression.py enforces as a floor.
+    constexpr int kClientSeries[] = {1, 2, 4, 8};
+    constexpr const char* kServiceSpec =
+        "kernels = crc32, fibcall\npolicies = lut, static\nvoltages = 0.70\n";
+    std::array<double, 4> service_cold_ms{};
+    std::array<double, 4> service_warm_ms{};
+    std::size_t service_cells = 0;
+    std::uint64_t service_warm_builds = 0;
+    bool service_clean = true;
+    for (std::size_t i = 0; i < service_cold_ms.size(); ++i) {
+        service::ServerConfig server_config;
+        server_config.port = 0;
+        server_config.max_inflight = 4;
+        server_config.queue_depth = 64;  // wide window: measure service, not shedding
+        server_config.jobs = 1;
+        service::SweepServer server(server_config);
+        server.start();
+        service::LoadOptions load;
+        load.port = server.port();
+        load.spec_text = kServiceSpec;
+        load.requests = kClientSeries[i];
+        load.concurrency = kClientSeries[i];
+        const auto timed_load = [&](std::array<double, 4>& series) {
+            const auto t0 = std::chrono::steady_clock::now();
+            const service::LoadReport report = service::run_load(load);
+            series[i] = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0).count();
+            if (report.ok != static_cast<std::uint64_t>(load.requests)) service_clean = false;
+            return report;
+        };
+        timed_load(service_cold_ms);
+        const service::LoadReport warm = timed_load(service_warm_ms);
+        for (const std::string& body : warm.bodies) {
+            if (body.empty()) continue;
+            const runtime::SweepResult result = runtime::from_json(body);
+            service_cells = result.cells.size();
+            service_warm_builds += result.characterizations + result.guest_simulations +
+                                   result.unit_delay_passes;
+        }
+        server.request_drain();
+        server.wait();
+    }
+
     // Voltage-axis amortization, measured two ways. (a) The delay passes
     // themselves: V reference passes (one per operating point, the pre-v4
     // cost) against one fused unit pass serving the same V points as
@@ -574,7 +627,7 @@ void emit_artifact() {
     }
 
     std::string out = "{\n";
-    out += "  \"schema\": " + json_string("focs-bench-sim-throughput-v6") + ",\n";
+    out += "  \"schema\": " + json_string("focs-bench-sim-throughput-v7") + ",\n";
     out += "  \"baseline\": {\n";
     out += "    \"note\": " +
            json_string("pre-PR seed implementation, commit edd42a9, measured on the repo's dev "
@@ -674,6 +727,42 @@ void emit_artifact() {
                "\": " + json_number(speedup) + (i + 1 < sweep_replay_ms.size() ? ",\n" : "\n");
     }
     out += "    }\n  },\n";
+    out += "  \"service\": {\n";
+    out += "    \"note\": " +
+           json_string("sweep daemon over loopback HTTP: N clients (released by a start "
+                       "latch) POST the same 4-cell spec to a fresh server (cold: every "
+                       "artifact built exactly once behind shared futures) and again to the "
+                       "warmed server; warm_zero_build == 1 certifies the warm burst "
+                       "performed zero characterizations, guest simulations and unit delay "
+                       "passes — the cross-request amortization contract, enforced as a "
+                       "floor by tools/check_bench_regression.py") +
+           ",\n";
+    out += "    \"spec_cells\": " + std::to_string(service_cells) + ",\n";
+    out += "    \"cold_wall_ms\": {\n";
+    for (std::size_t i = 0; i < service_cold_ms.size(); ++i) {
+        out += "      \"clients_" + std::to_string(kClientSeries[i]) +
+               "\": " + json_number(service_cold_ms[i]) +
+               (i + 1 < service_cold_ms.size() ? ",\n" : "\n");
+    }
+    out += "    },\n";
+    out += "    \"warm_wall_ms\": {\n";
+    for (std::size_t i = 0; i < service_warm_ms.size(); ++i) {
+        out += "      \"clients_" + std::to_string(kClientSeries[i]) +
+               "\": " + json_number(service_warm_ms[i]) +
+               (i + 1 < service_warm_ms.size() ? ",\n" : "\n");
+    }
+    out += "    },\n";
+    out += "    \"warm_speedup\": {\n";
+    for (std::size_t i = 0; i < service_warm_ms.size(); ++i) {
+        const double speedup =
+            service_warm_ms[i] > 0 ? service_cold_ms[i] / service_warm_ms[i] : 0;
+        out += "      \"clients_" + std::to_string(kClientSeries[i]) +
+               "\": " + json_number(speedup) + (i + 1 < service_warm_ms.size() ? ",\n" : "\n");
+    }
+    out += "    },\n";
+    out += "    \"warm_builds\": " + std::to_string(service_warm_builds) + ",\n";
+    out += "    \"warm_zero_build\": " +
+           std::string(service_clean && service_warm_builds == 0 ? "1" : "0") + "\n  },\n";
     out += "  \"voltage_axis\": {\n";
     out += "    \"note\": " +
            json_string("voltage-invariant trace delays: (a) delay passes over the recorded "

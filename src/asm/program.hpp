@@ -67,6 +67,20 @@ public:
     /// Renders the listing as "address: word  disassembly" lines.
     std::string listing_text() const;
 
+    /// Deterministic resident-size estimate for cache byte budgeting: image
+    /// bytes dominate, with flat per-node allowances for the map/listing/
+    /// symbol bookkeeping (platform-independent on purpose, so LRU eviction
+    /// order is reproducible across builds).
+    std::uint64_t estimated_bytes() const {
+        std::uint64_t total = sizeof *this;
+        total += static_cast<std::uint64_t>(bytes_.size()) * 64;  // map node + payload
+        for (const auto& entry : listing_) {
+            total += sizeof(ListingEntry) + entry.disassembly.size();
+        }
+        for (const auto& [name, value] : symbols_) total += 64 + name.size() + sizeof value;
+        return total;
+    }
+
 private:
     std::map<std::uint32_t, std::uint8_t> bytes_;
     std::map<std::string, std::uint32_t> symbols_;

@@ -12,6 +12,7 @@ std::string error_code_name(ErrorCode code) {
         case ErrorCode::kDeadline: return "deadline";
         case ErrorCode::kCancelled: return "cancelled";
         case ErrorCode::kInjected: return "injected";
+        case ErrorCode::kOverloaded: return "overloaded";
     }
     throw Error("unknown error code " + std::to_string(static_cast<int>(code)));
 }
@@ -23,6 +24,7 @@ ErrorCode parse_error_code(const std::string& name) {
     if (name == "deadline") return ErrorCode::kDeadline;
     if (name == "cancelled") return ErrorCode::kCancelled;
     if (name == "injected") return ErrorCode::kInjected;
+    if (name == "overloaded") return ErrorCode::kOverloaded;
     throw Error("unknown error code name '" + name + "'");
 }
 

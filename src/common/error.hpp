@@ -25,10 +25,11 @@ enum class ErrorCode {
     kDeadline,       ///< a deadline expired (CancellationToken)
     kCancelled,      ///< cancelled by the caller (CancellationToken)
     kInjected,       ///< deterministic fault injection (FOCS_FAULT)
+    kOverloaded,     ///< admission queue full (sweep daemon shed the request)
 };
 
 /// Stable short name ("unknown"|"artifact-build"|"evaluation"|"deadline"|
-/// "cancelled"|"injected"), inverse of parse_error_code.
+/// "cancelled"|"injected"|"overloaded"), inverse of parse_error_code.
 std::string error_code_name(ErrorCode code);
 ErrorCode parse_error_code(const std::string& name);
 

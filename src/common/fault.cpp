@@ -1,9 +1,11 @@
 #include "common/fault.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <thread>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
 
@@ -126,8 +128,34 @@ bool FaultInjector::would_fire(std::string_view site, std::string_view key,
     return false;
 }
 
-void FaultInjector::inject(std::string_view site, std::string_view key,
-                           std::uint64_t attempt) const {
+namespace {
+
+/// Sleeps `delay_ms`, observing `cancel` (when non-null) at <= 2 ms
+/// granularity: a firing token throws its CancelledError out of the stall
+/// immediately instead of after the full injected delay, so deadline tests
+/// stay prompt even under multi-second delay rules.
+void cancellable_sleep_ms(double delay_ms, const CancellationToken* cancel) {
+    if (cancel == nullptr) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+        return;
+    }
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double, std::milli>(delay_ms));
+    for (;;) {
+        cancel->throw_if_cancelled();
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= until) return;
+        const auto remaining = until - now;
+        std::this_thread::sleep_for(std::min<std::chrono::steady_clock::duration>(
+            remaining, std::chrono::milliseconds(2)));
+    }
+}
+
+}  // namespace
+
+void FaultInjector::inject(std::string_view site, std::string_view key, std::uint64_t attempt,
+                           const CancellationToken* cancel) const {
     for (std::size_t i = 0; i < state_count_; ++i) {
         const RuleState& state = states_[i];
         const FaultRule& rule = state.rule;
@@ -143,7 +171,7 @@ void FaultInjector::inject(std::string_view site, std::string_view key,
         }
         total_fires_.fetch_add(1, std::memory_order_relaxed);
         if (rule.delay_ms > 0) {
-            std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(rule.delay_ms));
+            cancellable_sleep_ms(rule.delay_ms, cancel);
             return;
         }
         throw Error("injected fault at " + std::string(site) + " (" + std::string(key) + ")",

@@ -40,6 +40,10 @@
 #include <string_view>
 #include <vector>
 
+namespace focs {
+class CancellationToken;
+}
+
 namespace focs::fault {
 
 struct FaultRule {
@@ -78,7 +82,12 @@ public:
     /// max_fires cap is not exhausted), performs the rule's action — throws
     /// Error("injected fault at <site> (<key>)", ErrorCode::kInjected), or
     /// sleeps delay_ms for delay rules. Otherwise returns immediately.
-    void inject(std::string_view site, std::string_view key, std::uint64_t attempt = 0) const;
+    /// Injected delays observe `cancel` (when given): the sleep is chunked
+    /// and a firing token throws its CancelledError mid-stall, so a
+    /// --deadline-ms fires promptly even inside an injected multi-second
+    /// delay instead of after it.
+    void inject(std::string_view site, std::string_view key, std::uint64_t attempt = 0,
+                const CancellationToken* cancel = nullptr) const;
 
     /// Total faults fired (throws + delays) since configure(), for tests.
     std::uint64_t fires() const { return total_fires_.load(std::memory_order_relaxed); }
@@ -108,19 +117,34 @@ FaultInjector& global_injector();
 // Statement wrappers for inject points: compile to nothing under
 // -DFOCS_FAULT_COMPILE_OUT, and to one armed() load when the injector has
 // no rules. FOCS_FAULT_POINT_AT passes an attempt ordinal so bounded
-// retries re-draw deterministically.
+// retries re-draw deterministically; the _CANCEL variants additionally hand
+// the site's CancellationToken (may be null) to injected delay rules so a
+// deadline interrupts the stall.
 #ifdef FOCS_FAULT_COMPILE_OUT
 #define FOCS_FAULT_POINT(site, key) ((void)0)
+#define FOCS_FAULT_POINT_CANCEL(site, key, cancel) ((void)0)
 #define FOCS_FAULT_POINT_AT(site, key, attempt) ((void)0)
+#define FOCS_FAULT_POINT_AT_CANCEL(site, key, attempt, cancel) ((void)0)
 #else
 #define FOCS_FAULT_POINT(site, key)                                     \
     do {                                                                \
         const auto& focs_fault_gi = ::focs::fault::global_injector();   \
         if (focs_fault_gi.armed()) focs_fault_gi.inject((site), (key)); \
     } while (0)
+#define FOCS_FAULT_POINT_CANCEL(site, key, cancel)                               \
+    do {                                                                         \
+        const auto& focs_fault_gi = ::focs::fault::global_injector();            \
+        if (focs_fault_gi.armed()) focs_fault_gi.inject((site), (key), 0, (cancel)); \
+    } while (0)
 #define FOCS_FAULT_POINT_AT(site, key, attempt)                                    \
     do {                                                                           \
         const auto& focs_fault_gi = ::focs::fault::global_injector();              \
         if (focs_fault_gi.armed()) focs_fault_gi.inject((site), (key), (attempt)); \
+    } while (0)
+#define FOCS_FAULT_POINT_AT_CANCEL(site, key, attempt, cancel)        \
+    do {                                                              \
+        const auto& focs_fault_gi = ::focs::fault::global_injector(); \
+        if (focs_fault_gi.armed())                                    \
+            focs_fault_gi.inject((site), (key), (attempt), (cancel)); \
     } while (0)
 #endif

@@ -81,6 +81,10 @@ public:
     std::string serialize() const;
     static DelayTable deserialize(const std::string& text);
 
+    /// Resident size for cache byte budgeting: the table is a fixed-shape
+    /// value type (key x stage arrays), so its footprint is its own size.
+    std::uint64_t estimated_bytes() const { return sizeof *this; }
+
 private:
     double static_period_ps_;
     std::array<std::array<double, sim::kStageCount>, kKeyCount> delays_{};

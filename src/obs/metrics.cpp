@@ -321,4 +321,8 @@ MetricsRegistry& global_metrics() {
     return *global;
 }
 
+std::vector<double> latency_ms_bounds() {
+    return {0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000, 3000, 10000};
+}
+
 }  // namespace focs::obs

@@ -143,6 +143,12 @@ private:
 /// --metrics flag (or tests). Never destroyed.
 MetricsRegistry& global_metrics();
 
+/// Shared latency histogram bounds (ms), sub-millisecond up to tens of
+/// seconds in a 1-3-10 ladder: one shape for every duration histogram
+/// (artifact builds, service requests) so distributions compare across
+/// subsystems without bucket-boundary artifacts.
+std::vector<double> latency_ms_bounds();
+
 }  // namespace focs::obs
 
 // Statement wrapper for instrumentation call sites: compiles to nothing in

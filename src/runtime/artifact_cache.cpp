@@ -22,10 +22,17 @@ double ms_since(std::chrono::steady_clock::time_point start) {
         .count();
 }
 
-/// Build-duration bucket bounds (ms): sub-millisecond program assembly up
-/// to multi-second characterization flows.
-std::vector<double> build_ms_bounds() {
-    return {0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000, 3000, 10000};
+/// Byte-accounting dispatch: every artifact class exposes its own
+/// deterministic estimated_bytes().
+std::uint64_t estimated_bytes_of(const assembler::Program& program) {
+    return program.estimated_bytes();
+}
+std::uint64_t estimated_bytes_of(const dta::DelayTable& table) { return table.estimated_bytes(); }
+std::uint64_t estimated_bytes_of(const sim::PipelineTrace& trace) {
+    return trace.estimated_bytes();
+}
+std::uint64_t estimated_bytes_of(const std::shared_ptr<const timing::UnitTraceDelays>& unit) {
+    return unit == nullptr ? 0 : unit->estimated_bytes();
 }
 
 }  // namespace
@@ -52,10 +59,11 @@ ArtifactCache::ArtifactCache(int max_build_attempts)
         ids.hit = metrics_.counter(prefix + "hit");
         ids.wait = metrics_.counter(prefix + "wait");
         ids.built = metrics_.counter(prefix + "built");
-        ids.build_ms = metrics_.histogram(prefix + "build_ms", build_ms_bounds());
+        ids.build_ms = metrics_.histogram(prefix + "build_ms", obs::latency_ms_bounds());
         ids.build_failed = metrics_.counter(prefix + "build_failed");
         ids.retried = metrics_.counter(prefix + "retried");
         ids.evicted = metrics_.counter(prefix + "evicted");
+        ids.evicted_lru = metrics_.counter(prefix + "evicted_lru");
     }
 }
 
@@ -74,8 +82,8 @@ std::uint64_t ArtifactCache::next_build_attempt(ArtifactClass artifact_class,
 
 template <typename T, typename Build>
 void ArtifactCache::run_build(ArtifactClass artifact_class, const std::string& key,
-                              std::map<std::string, std::shared_future<T>>& entries,
-                              std::promise<T>& promise, Build&& build) {
+                              std::map<std::string, Entry<T>>& entries, std::promise<T>& promise,
+                              Build&& build, [[maybe_unused]] const CancellationToken* cancel) {
     const ClassIds& ids = this->ids(artifact_class);
     const std::string name = artifact_class_name(artifact_class);
     const std::string site = "build." + name;
@@ -83,9 +91,15 @@ void ArtifactCache::run_build(ArtifactClass artifact_class, const std::string& k
     for (int attempt = 0; attempt < max_build_attempts_; ++attempt) {
         if (attempt > 0) metrics_.add(ids.retried);
         try {
-            FOCS_FAULT_POINT_AT(site, key, next_build_attempt(artifact_class, key));
-            promise.set_value(build());
+            FOCS_FAULT_POINT_AT_CANCEL(site, key, next_build_attempt(artifact_class, key),
+                                       cancel);
+            T value = build();
+            const std::uint64_t bytes = estimated_bytes_of(value);
+            // Publish first (waiters unblock), then account: the entry is
+            // pinned until make_resident links it into the LRU list.
+            promise.set_value(std::move(value));
             metrics_.add(ids.built);
+            make_resident(artifact_class, key, entries, bytes);
             return;
         } catch (const CancelledError& e) {
             // Cancellation is terminal by design: the caller asked to stop,
@@ -109,11 +123,85 @@ void ArtifactCache::run_build(ArtifactClass artifact_class, const std::string& k
     // Terminal failure: publish the classified exception to the waiters
     // already parked on the shared_future, then evict the entry under the
     // mutex so the *next* requester of this key re-elects a builder instead
-    // of inheriting the stale exception.
+    // of inheriting the stale exception. Resident entries are left alone:
+    // the slot was replaced (pre-seeded) while this build was failing.
     promise.set_exception(failure);
     metrics_.add(ids.evicted);
     std::lock_guard<std::mutex> lock(mutex_);
-    entries.erase(key);
+    if (const auto it = entries.find(key); it != entries.end() && !it->second.resident) {
+        entries.erase(it);
+    }
+}
+
+template <typename T>
+void ArtifactCache::make_resident(ArtifactClass artifact_class, const std::string& key,
+                                  std::map<std::string, Entry<T>>& entries, std::uint64_t bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries.find(key);
+    if (it == entries.end() || it->second.resident) return;
+    it->second.bytes = bytes;
+    it->second.resident = true;
+    it->second.lru = lru_.insert(lru_.end(), LruNode{artifact_class, key});
+    cached_bytes_ += bytes;
+    evict_over_budget_locked();
+}
+
+template <typename T>
+void ArtifactCache::unlink_locked(Entry<T>& entry) {
+    cached_bytes_ -= entry.bytes;
+    lru_.erase(entry.lru);
+    entry.bytes = 0;
+    entry.resident = false;
+}
+
+void ArtifactCache::evict_over_budget_locked() {
+    if (byte_budget_ == 0) return;
+    const auto evict = [&](auto& entries, const LruNode& victim) {
+        const auto it = entries.find(victim.key);
+        check(it != entries.end(), "LRU node without a matching cache entry");
+        cached_bytes_ -= it->second.bytes;
+        entries.erase(it);
+        lru_.pop_front();
+        metrics_.add(ids(victim.artifact_class).evicted_lru);
+    };
+    // The newest entry (LRU back) is never evicted here: a single artifact
+    // larger than the whole budget stays resident until the next entry
+    // completes and pushes it to the front.
+    while (cached_bytes_ > byte_budget_ && lru_.size() > 1) {
+        const LruNode victim = lru_.front();
+        switch (victim.artifact_class) {
+            case ArtifactClass::kProgram: evict(programs_, victim); break;
+            case ArtifactClass::kDelayTable: evict(tables_, victim); break;
+            case ArtifactClass::kTrace: evict(traces_, victim); break;
+            case ArtifactClass::kUnitDelays: evict(unit_delays_, victim); break;
+        }
+    }
+}
+
+void ArtifactCache::set_byte_budget(std::uint64_t bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    byte_budget_ = bytes;
+    evict_over_budget_locked();
+}
+
+std::uint64_t ArtifactCache::byte_budget() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return byte_budget_;
+}
+
+std::uint64_t ArtifactCache::cached_bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cached_bytes_;
+}
+
+std::uint64_t ArtifactCache::lru_evictions() const {
+    std::uint64_t total = 0;
+    for (const ArtifactClass artifact_class :
+         {ArtifactClass::kProgram, ArtifactClass::kDelayTable, ArtifactClass::kTrace,
+          ArtifactClass::kUnitDelays}) {
+        total += metrics_.counter_value(ids(artifact_class).evicted_lru);
+    }
+    return total;
 }
 
 std::string ArtifactCache::design_key(const timing::DesignConfig& design,
@@ -142,10 +230,11 @@ std::shared_future<assembler::Program> ArtifactCache::program(const std::string&
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (const auto it = programs_.find(kernel); it != programs_.end()) {
-            count_found(ArtifactClass::kProgram, it->second);
-            return it->second;
+            count_found(ArtifactClass::kProgram, it->second.future);
+            if (it->second.resident) lru_.splice(lru_.end(), lru_, it->second.lru);
+            return it->second.future;
         }
-        programs_.emplace(kernel, future);
+        programs_.emplace(kernel, Entry<assembler::Program>{future});
     }
     // This thread won the build; assemble outside the lock.
     metrics_.add(ids(ArtifactClass::kProgram).miss);
@@ -190,25 +279,29 @@ std::shared_future<dta::DelayTable> ArtifactCache::delay_table(
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (const auto it = tables_.find(key); it != tables_.end()) {
-            count_found(ArtifactClass::kDelayTable, it->second);
-            return it->second;
+            count_found(ArtifactClass::kDelayTable, it->second.future);
+            if (it->second.resident) lru_.splice(lru_.end(), lru_, it->second.lru);
+            return it->second.future;
         }
-        tables_.emplace(key, future);
+        tables_.emplace(key, Entry<dta::DelayTable>{future});
     }
     metrics_.add(ids(ArtifactClass::kDelayTable).miss);
     const auto start = std::chrono::steady_clock::now();
     FOCS_OBS_SPAN(span, obs::global_tracer(), "cache.build.delay_table");
     span.arg("key", key).arg("flow_threads", static_cast<std::int64_t>(flow_threads));
-    run_build(ArtifactClass::kDelayTable, key, tables_, promise, [&] {
-        // Dependency fetched inside the build so a retry after a failed
-        // suite assembly re-elects that builder too.
-        const auto programs = characterization_programs();
-        const core::CharacterizationFlow flow(design, analyzer_config);
-        core::CharacterizationOptions options;
-        options.threads = flow_threads;
-        options.cancel = cancel;
-        return flow.run(programs.get(), options).table;
-    });
+    run_build(
+        ArtifactClass::kDelayTable, key, tables_, promise,
+        [&] {
+            // Dependency fetched inside the build so a retry after a failed
+            // suite assembly re-elects that builder too.
+            const auto programs = characterization_programs();
+            const core::CharacterizationFlow flow(design, analyzer_config);
+            core::CharacterizationOptions options;
+            options.threads = flow_threads;
+            options.cancel = cancel;
+            return flow.run(programs.get(), options).table;
+        },
+        cancel);
     metrics_.observe(ids(ArtifactClass::kDelayTable).build_ms, ms_since(start));
     return future;
 }
@@ -221,10 +314,11 @@ std::shared_future<sim::PipelineTrace> ArtifactCache::trace(
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (const auto it = traces_.find(key); it != traces_.end()) {
-            count_found(ArtifactClass::kTrace, it->second);
-            return it->second;
+            count_found(ArtifactClass::kTrace, it->second.future);
+            if (it->second.resident) lru_.splice(lru_.end(), lru_, it->second.lru);
+            return it->second.future;
         }
-        traces_.emplace(key, future);
+        traces_.emplace(key, Entry<sim::PipelineTrace>{future});
     }
     metrics_.add(ids(ArtifactClass::kTrace).miss);
     const auto start = std::chrono::steady_clock::now();
@@ -255,10 +349,12 @@ ArtifactCache::unit_trace_delays(const std::string& kernel, const timing::Design
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (const auto it = unit_delays_.find(key); it != unit_delays_.end()) {
-            count_found(ArtifactClass::kUnitDelays, it->second);
-            return it->second;
+            count_found(ArtifactClass::kUnitDelays, it->second.future);
+            if (it->second.resident) lru_.splice(lru_.end(), lru_, it->second.lru);
+            return it->second.future;
         }
-        unit_delays_.emplace(key, future);
+        unit_delays_.emplace(key,
+                             Entry<std::shared_ptr<const timing::UnitTraceDelays>>{future});
     }
     metrics_.add(ids(ArtifactClass::kUnitDelays).miss);
     const auto start = std::chrono::steady_clock::now();
@@ -280,9 +376,20 @@ void ArtifactCache::put_delay_table(const timing::DesignConfig& design,
                                     dta::DelayTable table) {
     const std::string key = design_key(design, analyzer_config);
     std::promise<dta::DelayTable> promise;
+    const std::uint64_t bytes = table.estimated_bytes();
     promise.set_value(std::move(table));
     std::lock_guard<std::mutex> lock(mutex_);
-    tables_.insert_or_assign(key, promise.get_future().share());
+    if (const auto it = tables_.find(key); it != tables_.end()) {
+        if (it->second.resident) unlink_locked(it->second);
+        tables_.erase(it);
+    }
+    Entry<dta::DelayTable> entry{promise.get_future().share()};
+    entry.bytes = bytes;
+    entry.resident = true;
+    entry.lru = lru_.insert(lru_.end(), LruNode{ArtifactClass::kDelayTable, key});
+    cached_bytes_ += bytes;
+    tables_.emplace(key, std::move(entry));
+    evict_over_budget_locked();
 }
 
 // ------------------------------------------------------ counter accessors
@@ -296,7 +403,8 @@ ArtifactClassCounters ArtifactCache::class_counters(ArtifactClass artifact_class
 ArtifactBuildStats ArtifactCache::build_stats(ArtifactClass artifact_class) const {
     const ClassIds& ids = this->ids(artifact_class);
     return {metrics_.counter_value(ids.built), metrics_.counter_value(ids.build_failed),
-            metrics_.counter_value(ids.retried), metrics_.counter_value(ids.evicted)};
+            metrics_.counter_value(ids.retried), metrics_.counter_value(ids.evicted),
+            metrics_.counter_value(ids.evicted_lru)};
 }
 
 std::uint64_t ArtifactCache::characterizations_built() const {

@@ -35,12 +35,27 @@
 // key re-elects a builder instead of inheriting a stale exception for the
 // process lifetime. Outcomes land in cache.<class>.build_failed /
 // retried / evicted counters next to the lookup taxonomy above.
+//
+// Memory is bounded by an optional byte budget (set_byte_budget; 0 =
+// unbounded, the default). Every completed entry is accounted at its
+// artifact's estimated_bytes() and linked into one global LRU list
+// (lookups touch entries most-recently-used); when the resident total
+// exceeds the budget, least-recently-used entries are evicted until it
+// fits, counted per class in cache.<class>.evicted_lru. In-flight entries
+// (build still running) are pinned — they are not in the LRU list and can
+// never be evicted, preserving the exactly-once builder election. Evicting
+// a ready entry is always safe: consumers hold shared_future copies that
+// keep the value alive, so eviction only drops the *cache's* reference —
+// the next requester of that key re-builds. A single artifact larger than
+// the whole budget is admitted (the build already paid for it) and then
+// evicted as soon as the next entry completes.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -80,12 +95,14 @@ struct ArtifactClassCounters {
 /// Build-outcome counters of one artifact class: `failed` counts failed
 /// build attempts, `retried` in-place re-attempts after a failure,
 /// `evicted` entries removed after a terminal failure (every attempt
-/// exhausted) so later requesters re-elect a builder.
+/// exhausted) so later requesters re-elect a builder, `evicted_lru`
+/// entries dropped by the byte-budget LRU policy.
 struct ArtifactBuildStats {
     std::uint64_t built = 0;
     std::uint64_t failed = 0;
     std::uint64_t retried = 0;
     std::uint64_t evicted = 0;
+    std::uint64_t evicted_lru = 0;
 };
 
 class ArtifactCache {
@@ -173,6 +190,21 @@ public:
 
     int max_build_attempts() const { return max_build_attempts_; }
 
+    /// Arms (or re-arms) the byte budget: when the resident total exceeds
+    /// `bytes`, least-recently-used completed entries are evicted until it
+    /// fits (immediately, and after every build completion). 0 disarms the
+    /// budget (the default — sweeps on a private cache keep everything).
+    void set_byte_budget(std::uint64_t bytes);
+    std::uint64_t byte_budget() const;
+
+    /// Bytes currently accounted to resident (completed, unpinned) entries.
+    /// In-flight builds are pinned at 0 bytes until they complete.
+    std::uint64_t cached_bytes() const;
+
+    /// Total LRU evictions over all four classes (sum of the per-class
+    /// cache.<class>.evicted_lru counters).
+    std::uint64_t lru_evictions() const;
+
     /// Point-in-time view of the embedded registry (counters plus build
     /// duration histograms), e.g. for embedding into a trace export.
     obs::MetricsSnapshot metrics_snapshot() const { return metrics_.snapshot(); }
@@ -183,6 +215,26 @@ public:
                                  const sim::MachineConfig& machine_config);
 
 private:
+    /// One LRU list node: enough identity to erase the entry from its
+    /// class map when evicted.
+    struct LruNode {
+        ArtifactClass artifact_class;
+        std::string key;
+    };
+    using LruList = std::list<LruNode>;
+
+    /// One cached artifact: the shared future every requester receives,
+    /// plus LRU/byte-accounting state. `resident` is false while the build
+    /// is in flight (pinned: not in the LRU list, never evicted) and true
+    /// once the value was published and accounted.
+    template <typename T>
+    struct Entry {
+        std::shared_future<T> future;
+        std::uint64_t bytes = 0;
+        bool resident = false;
+        LruList::iterator lru{};
+    };
+
     /// Assembled characterization suite, shared by every operating point's
     /// characterization run (assembly is voltage-independent).
     std::shared_future<std::vector<assembler::Program>> characterization_programs();
@@ -194,29 +246,52 @@ private:
 
     /// Shared builder-side protocol of all four artifact classes: runs
     /// `build` with bounded in-place retry and fault-injection attempt
-    /// ordinals, publishes the value (or the classified terminal failure)
-    /// through `promise`, and on terminal failure evicts `key` from
-    /// `entries` under the mutex. Cancellation is never retried.
+    /// ordinals (delay rules observe `cancel`), publishes the value (or
+    /// the classified terminal failure) through `promise`; on success the
+    /// entry becomes resident in the LRU accounting, on terminal failure
+    /// `key` is evicted from `entries` under the mutex. Cancellation is
+    /// never retried.
     template <typename T, typename Build>
     void run_build(ArtifactClass artifact_class, const std::string& key,
-                   std::map<std::string, std::shared_future<T>>& entries,
-                   std::promise<T>& promise, Build&& build);
+                   std::map<std::string, Entry<T>>& entries, std::promise<T>& promise,
+                   Build&& build, const CancellationToken* cancel = nullptr);
+
+    /// Marks a just-built entry resident: accounts `bytes`, links the LRU
+    /// node, and evicts over-budget entries. No-op when the entry vanished
+    /// or was replaced (pre-seeded via put_delay_table) meanwhile.
+    template <typename T>
+    void make_resident(ArtifactClass artifact_class, const std::string& key,
+                       std::map<std::string, Entry<T>>& entries, std::uint64_t bytes);
+
+    /// Unlinks + un-accounts a resident entry (mutex held). The entry's
+    /// map node must still be erased by the caller.
+    template <typename T>
+    void unlink_locked(Entry<T>& entry);
+
+    /// Evicts least-recently-used resident entries until the resident
+    /// total fits the budget (mutex held).
+    void evict_over_budget_locked();
 
     /// Cumulative build-attempt ordinal of one (class, key): in-place
     /// retries AND post-eviction re-elections keep counting up, so a
     /// seeded fault rule's per-attempt draws never repeat for a key.
     std::uint64_t next_build_attempt(ArtifactClass artifact_class, const std::string& key);
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     int max_build_attempts_;
     std::map<std::string, std::uint64_t> build_attempts_;
-    std::map<std::string, std::shared_future<assembler::Program>> programs_;
-    std::map<std::string, std::shared_future<dta::DelayTable>> tables_;
-    std::map<std::string, std::shared_future<sim::PipelineTrace>> traces_;
-    std::map<std::string, std::shared_future<std::shared_ptr<const timing::UnitTraceDelays>>>
-        unit_delays_;
+    std::map<std::string, Entry<assembler::Program>> programs_;
+    std::map<std::string, Entry<dta::DelayTable>> tables_;
+    std::map<std::string, Entry<sim::PipelineTrace>> traces_;
+    std::map<std::string, Entry<std::shared_ptr<const timing::UnitTraceDelays>>> unit_delays_;
     std::shared_future<std::vector<assembler::Program>> characterization_programs_;
     bool characterization_programs_started_ = false;
+
+    /// Byte-budget LRU state (all guarded by mutex_): front = least
+    /// recently used. Only resident entries are linked.
+    LruList lru_;
+    std::uint64_t byte_budget_ = 0;  ///< 0 = unbounded
+    std::uint64_t cached_bytes_ = 0;
 
     /// Always-enabled private registry: the cache's counters feed sweep
     /// result stamps and must be exact regardless of the global --metrics
@@ -225,7 +300,7 @@ private:
     obs::MetricsRegistry metrics_{/*enabled=*/true};
     struct ClassIds {
         obs::MetricsRegistry::Id miss, hit, wait, built, build_ms;
-        obs::MetricsRegistry::Id build_failed, retried, evicted;
+        obs::MetricsRegistry::Id build_failed, retried, evicted, evicted_lru;
     };
     std::array<ClassIds, 4> ids_;
 

@@ -235,7 +235,9 @@ SweepResult SweepEngine::run(const SweepSpec& raw_spec, const SweepRunOptions& o
                     .arg("generator", cell.generator)
                     .arg("voltage_v", job.design.voltage_v)
                     .arg("queue_wait_ms", cell.queue_wait_ms);
-                FOCS_FAULT_POINT("eval.cell", cell_key(cell));
+                // The token rides into the inject point so an injected
+                // delay rule cannot stall a cell past its deadline.
+                FOCS_FAULT_POINT_CANCEL("eval.cell", cell_key(cell), options.cancel);
                 // Shared artifacts: built once, then served from the cache.
                 auto table_future =
                     cache_->delay_table(job.design, analyzer_config, flow_threads, options.cancel);

@@ -1,0 +1,171 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+#include "common/error.hpp"
+
+namespace focs::service {
+
+namespace {
+
+int connect_to(const std::string& host, int port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw Error("cannot create client socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        throw Error("bad host address '" + host + "'");
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+        const std::string detail = std::strerror(errno);
+        ::close(fd);
+        throw Error("cannot connect to " + host + ":" + std::to_string(port) + ": " + detail);
+    }
+    return fd;
+}
+
+std::string serialize_request(const HttpRequest& request) {
+    std::string out = request.method + " " + request.target + " HTTP/1.1\r\n";
+    out += "Host: focs\r\n";
+    for (const auto& [name, value] : request.headers) out += name + ": " + value + "\r\n";
+    out += "Content-Length: " + std::to_string(request.body.size()) + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += request.body;
+    return out;
+}
+
+}  // namespace
+
+ClientResponse http_request(int port, const HttpRequest& request, const std::string& host) {
+    const int fd = connect_to(host, port);
+    if (!write_all(fd, serialize_request(request))) {
+        ::close(fd);
+        throw Error("send failed to " + host + ":" + std::to_string(port));
+    }
+    // Connection: close framing — read to EOF.
+    std::string data;
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            ::close(fd);
+            throw Error("recv failed from " + host + ":" + std::to_string(port));
+        }
+        if (n == 0) break;
+        data.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+
+    // Status line: HTTP/1.1 SP CODE SP REASON.
+    const auto line_end = data.find('\n');
+    const auto sp = data.find(' ');
+    if (line_end == std::string::npos || sp == std::string::npos || sp > line_end) {
+        throw Error("malformed response from " + host + ":" + std::to_string(port));
+    }
+    ClientResponse response;
+    response.status = std::atoi(data.c_str() + sp + 1);
+    if (response.status < 100 || response.status > 599) {
+        throw Error("malformed response status from " + host + ":" + std::to_string(port));
+    }
+    auto body = data.find("\r\n\r\n");
+    std::size_t body_start = body == std::string::npos ? 0 : body + 4;
+    if (body == std::string::npos) {
+        body = data.find("\n\n");
+        body_start = body == std::string::npos ? data.size() : body + 2;
+    }
+    response.body = data.substr(body_start);
+    return response;
+}
+
+ClientResponse post_sweep(int port, const std::string& spec_text, double deadline_ms,
+                          bool canonical, const std::string& host) {
+    HttpRequest request;
+    request.method = "POST";
+    request.target = "/sweep";
+    request.body = spec_text;
+    if (deadline_ms > 0) {
+        char buf[48];
+        const int len = std::snprintf(buf, sizeof buf, "%.6g", deadline_ms);
+        request.headers["X-Focs-Deadline-Ms"].assign(buf, len > 0 ? static_cast<std::size_t>(len) : 0);
+    }
+    if (canonical) request.headers["X-Focs-Canonical"] = std::string("1");
+    return http_request(port, request, host);
+}
+
+LoadReport run_load(const LoadOptions& options) {
+    const int total = options.requests < 0 ? 0 : options.requests;
+    const int threads = options.concurrency < 1 ? 1 : options.concurrency;
+    LoadReport report;
+    report.bodies.assign(static_cast<std::size_t>(total), "");
+    report.statuses.assign(static_cast<std::size_t>(total), 0);
+
+    // Start latch: every sender connects only after all threads exist, so
+    // the burst reaches the server as one deterministic admission wave.
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    bool gate_open = false;
+    std::atomic<int> next{0};
+
+    auto sender = [&] {
+        {
+            std::unique_lock<std::mutex> lock(gate_mutex);
+            gate_cv.wait(lock, [&] { return gate_open; });
+        }
+        for (;;) {
+            const int index = next.fetch_add(1);
+            if (index >= total) return;
+            try {
+                const ClientResponse response =
+                    post_sweep(options.port, options.spec_text, options.deadline_ms,
+                               options.canonical, options.host);
+                report.statuses[static_cast<std::size_t>(index)] = response.status;
+                report.bodies[static_cast<std::size_t>(index)] = response.body;
+            } catch (const std::exception&) {
+                // statuses[index] stays 0 = transport error
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) pool.emplace_back(sender);
+    {
+        std::lock_guard<std::mutex> lock(gate_mutex);
+        gate_open = true;
+    }
+    gate_cv.notify_all();
+    for (auto& thread : pool) thread.join();
+
+    for (const int status : report.statuses) {
+        if (status == 200) {
+            ++report.ok;
+        } else if (status == 206) {
+            ++report.partial;
+        } else if (status == 503) {
+            ++report.shed;
+        } else if (status >= 400 && status < 500) {
+            ++report.client_error;
+        } else if (status >= 500) {
+            ++report.server_error;
+        } else {
+            ++report.transport_error;
+        }
+    }
+    return report;
+}
+
+}  // namespace focs::service

@@ -1,0 +1,70 @@
+// Blocking HTTP client + load generator for the sweep daemon.
+//
+// Two layers: http_request() is a one-shot request/response helper over the
+// service's one-request-per-connection protocol (also the test harness's
+// way to poke a server), and run_load() is the deterministic load generator
+// behind `focs client` — N requests fired by C threads that all start
+// together (a latch), so an overload experiment admits or sheds a known
+// number of requests regardless of thread startup jitter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/http.hpp"
+
+namespace focs::service {
+
+/// A fully received response. `status` 0 never occurs — transport failures
+/// throw focs::Error instead.
+struct ClientResponse {
+    int status = 0;
+    std::string body;
+};
+
+/// Sends one request to 127.0.0.1:`port` (or `host`) and reads the full
+/// response (Connection: close framing). Throws focs::Error on connect,
+/// send or malformed-response failures.
+ClientResponse http_request(int port, const HttpRequest& request,
+                            const std::string& host = "127.0.0.1");
+
+/// Convenience wrapper: POST /sweep with `spec_text`; `deadline_ms` > 0
+/// adds X-Focs-Deadline-Ms, `canonical` requests the canonical document.
+ClientResponse post_sweep(int port, const std::string& spec_text, double deadline_ms = 0,
+                          bool canonical = false, const std::string& host = "127.0.0.1");
+
+struct LoadOptions {
+    int port = 0;
+    std::string host = "127.0.0.1";
+    std::string spec_text;
+    int requests = 1;     ///< total requests to send
+    int concurrency = 1;  ///< sender threads (all released simultaneously)
+    double deadline_ms = 0;
+    bool canonical = false;
+};
+
+/// Aggregate outcome of one load run. Per-HTTP-status counts are
+/// deterministic when the server's admission window and the request cost
+/// make them so; transport errors indicate a test-environment problem.
+struct LoadReport {
+    std::uint64_t ok = 0;               ///< 200 complete results
+    std::uint64_t partial = 0;          ///< 206 partial results
+    std::uint64_t shed = 0;             ///< 503 overloaded/draining
+    std::uint64_t client_error = 0;     ///< other 4xx
+    std::uint64_t server_error = 0;     ///< 5xx
+    std::uint64_t transport_error = 0;  ///< no HTTP response at all
+    /// Response bodies in request order (empty string on transport error).
+    std::vector<std::string> bodies;
+    /// HTTP statuses in request order (0 on transport error).
+    std::vector<int> statuses;
+
+    std::uint64_t responses() const { return ok + partial + shed + client_error + server_error; }
+};
+
+/// Fires options.requests POSTs to /sweep from options.concurrency threads
+/// and aggregates the outcomes. Never throws on per-request failures —
+/// they land in transport_error.
+LoadReport run_load(const LoadOptions& options);
+
+}  // namespace focs::service

@@ -1,0 +1,185 @@
+#include "service/http.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace focs::service {
+
+namespace {
+
+std::string to_lower(std::string text) {
+    for (char& c : text) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return text;
+}
+
+std::string trim(const std::string& text) {
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+    return text.substr(begin, end - begin);
+}
+
+/// One recv with EINTR retry; returns bytes read, 0 on orderly close, -1
+/// on error (errno preserved, EAGAIN/EWOULDBLOCK = receive timeout).
+ssize_t recv_some(int fd, char* buffer, std::size_t size) {
+    for (;;) {
+        const ssize_t n = ::recv(fd, buffer, size, 0);
+        if (n >= 0 || errno != EINTR) return n;
+    }
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(const std::string& name) const {
+    const auto it = headers.find(name);
+    return it == headers.end() ? nullptr : &it->second;
+}
+
+std::string status_reason(int status) {
+    switch (status) {
+        case 200: return "OK";
+        case 206: return "Partial Content";
+        case 400: return "Bad Request";
+        case 404: return "Not Found";
+        case 405: return "Method Not Allowed";
+        case 500: return "Internal Server Error";
+        case 503: return "Service Unavailable";
+        default: return "Unknown";
+    }
+}
+
+ReadOutcome read_http_request(int fd, HttpRequest& out, std::string& error) {
+    // Accumulate until the blank line terminating the header block. Bare
+    // "\n" line endings are tolerated alongside "\r\n".
+    std::string data;
+    std::size_t header_end = std::string::npos;
+    std::size_t body_start = 0;
+    char chunk[4096];
+    while (header_end == std::string::npos) {
+        if (data.size() > kMaxHeaderBytes) {
+            error = "header block exceeds " + std::to_string(kMaxHeaderBytes) + " bytes";
+            return ReadOutcome::kTooLarge;
+        }
+        const ssize_t n = recv_some(fd, chunk, sizeof chunk);
+        if (n == 0) {
+            if (data.empty()) {
+                error = "connection closed before a request arrived";
+                return ReadOutcome::kClosed;
+            }
+            error = "connection closed mid-headers";
+            return ReadOutcome::kMalformed;
+        }
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                error = "receive timeout while reading headers";
+                return ReadOutcome::kTimeout;
+            }
+            error = "recv failed while reading headers";
+            return ReadOutcome::kMalformed;
+        }
+        data.append(chunk, static_cast<std::size_t>(n));
+        if (const auto pos = data.find("\r\n\r\n"); pos != std::string::npos) {
+            header_end = pos;
+            body_start = pos + 4;
+        } else if (const auto lf = data.find("\n\n"); lf != std::string::npos) {
+            header_end = lf;
+            body_start = lf + 2;
+        }
+    }
+
+    // Request line: METHOD SP TARGET SP VERSION.
+    std::size_t line_end = data.find('\n');
+    std::string request_line = trim(data.substr(0, line_end));
+    const auto sp1 = request_line.find(' ');
+    const auto sp2 = request_line.rfind(' ');
+    if (sp1 == std::string::npos || sp2 == sp1) {
+        error = "malformed request line: '" + request_line + "'";
+        return ReadOutcome::kMalformed;
+    }
+    out.method = request_line.substr(0, sp1);
+    out.target = trim(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+    out.headers.clear();
+    out.body.clear();
+
+    // Header fields: "name: value" per line until the blank line.
+    std::size_t cursor = line_end + 1;
+    while (cursor <= header_end) {
+        std::size_t eol = data.find('\n', cursor);
+        if (eol == std::string::npos || eol > header_end + 1) eol = header_end + 1;
+        const std::string line = trim(data.substr(cursor, eol - cursor));
+        cursor = eol + 1;
+        if (line.empty()) continue;
+        const auto colon = line.find(':');
+        if (colon == std::string::npos) {
+            error = "malformed header line: '" + line + "'";
+            return ReadOutcome::kMalformed;
+        }
+        out.headers[to_lower(trim(line.substr(0, colon)))] = trim(line.substr(colon + 1));
+    }
+
+    // Body: exactly Content-Length bytes (0 when absent).
+    std::size_t content_length = 0;
+    if (const std::string* value = out.header("content-length")) {
+        char* end = nullptr;
+        const unsigned long long parsed = std::strtoull(value->c_str(), &end, 10);
+        if (end == value->c_str() || *end != '\0') {
+            error = "malformed Content-Length: '" + *value + "'";
+            return ReadOutcome::kMalformed;
+        }
+        content_length = static_cast<std::size_t>(parsed);
+    }
+    if (content_length > kMaxBodyBytes) {
+        error = "body of " + std::to_string(content_length) + " bytes exceeds " +
+                std::to_string(kMaxBodyBytes);
+        return ReadOutcome::kTooLarge;
+    }
+    out.body = data.substr(body_start);
+    while (out.body.size() < content_length) {
+        const ssize_t n = recv_some(fd, chunk, sizeof chunk);
+        if (n == 0) {
+            error = "connection closed mid-body";
+            return ReadOutcome::kMalformed;
+        }
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                error = "receive timeout while reading body";
+                return ReadOutcome::kTimeout;
+            }
+            error = "recv failed while reading body";
+            return ReadOutcome::kMalformed;
+        }
+        out.body.append(chunk, static_cast<std::size_t>(n));
+    }
+    out.body.resize(content_length);  // drop any pipelined surplus
+    return ReadOutcome::kOk;
+}
+
+std::string serialize_response(const HttpResponse& response) {
+    std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                      status_reason(response.status) + "\r\n";
+    for (const auto& [name, value] : response.headers) out += name + ": " + value + "\r\n";
+    out += "Content-Type: application/json\r\n";
+    out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += response.body;
+    return out;
+}
+
+bool write_all(int fd, const std::string& data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+}  // namespace focs::service

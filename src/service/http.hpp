@@ -1,0 +1,71 @@
+// Minimal HTTP/1.1 message layer of the sweep service.
+//
+// Deliberately a subset, sized to what the daemon and its load-generator
+// client actually speak: one request per connection (every response carries
+// "Connection: close"), Content-Length framing only (no chunked encoding),
+// header names case-folded to lowercase. Keeping the wire format HTTP means
+// the daemon is scriptable with curl and the responses are self-describing
+// (status code + JSON body), without pulling a dependency into the tree.
+//
+// Robustness limits are enforced at the parse layer so a misbehaving client
+// cannot wedge the single-threaded acceptor: bounded header block, bounded
+// body, and a socket receive timeout surfaced as ReadOutcome::kTimeout.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace focs::service {
+
+/// Largest accepted request-line + header block, and largest accepted body
+/// (sweep specs are small text files; these bounds are generous).
+inline constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+inline constexpr std::size_t kMaxBodyBytes = 4 * 1024 * 1024;
+
+struct HttpRequest {
+    std::string method;  ///< "GET", "POST", ...
+    std::string target;  ///< origin-form, e.g. "/sweep"
+    std::map<std::string, std::string> headers;  ///< names lowercased
+    std::string body;
+
+    /// Header value by lowercase name, or nullptr when absent.
+    const std::string* header(const std::string& name) const;
+};
+
+struct HttpResponse {
+    int status = 200;
+    /// Extra headers; Content-Length, Content-Type and Connection: close
+    /// are appended by serialize_response.
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+};
+
+/// Reason phrase of the status codes the service emits.
+std::string status_reason(int status);
+
+/// How reading one request off a connection ended.
+enum class ReadOutcome {
+    kOk,
+    kClosed,     ///< peer closed before a complete request arrived
+    kMalformed,  ///< unparsable request line / headers / length
+    kTooLarge,   ///< header block or body over the limits above
+    kTimeout,    ///< socket receive timeout expired mid-request
+};
+
+/// Reads exactly one request (headers + Content-Length body) from `fd`.
+/// Blocking; honours a SO_RCVTIMEO configured by the caller. On anything
+/// but kOk, `error` carries a one-line description.
+ReadOutcome read_http_request(int fd, HttpRequest& out, std::string& error);
+
+/// Serializes status line + headers + body, appending Content-Length,
+/// Content-Type: application/json and Connection: close.
+std::string serialize_response(const HttpResponse& response);
+
+/// Blocking full write (EINTR-retrying); false on error (e.g. EPIPE when
+/// the peer gave up).
+bool write_all(int fd, const std::string& data);
+
+}  // namespace focs::service

@@ -42,6 +42,18 @@ struct PipelineTrace {
     RunResult guest;
 
     std::uint64_t cycles() const { return static_cast<std::uint64_t>(records.size()); }
+
+    /// Resident size for cache byte budgeting: the AoS record array plus
+    /// the stage-major SoA key rows (traces dominate the sweep runtime's
+    /// memory, so this is the figure LRU eviction is sized around).
+    std::uint64_t estimated_bytes() const {
+        std::uint64_t total = sizeof *this;
+        total += static_cast<std::uint64_t>(records.capacity()) * sizeof(CycleRecord);
+        for (const auto& row : stage_keys) {
+            total += static_cast<std::uint64_t>(row.capacity()) * sizeof(dta::OccKey);
+        }
+        return total;
+    }
 };
 
 /// Observer that captures every cycle of a run into a PipelineTrace.

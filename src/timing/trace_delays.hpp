@@ -60,6 +60,14 @@ struct UnitTraceDelays {
     std::uint64_t cycles() const {
         return static_cast<std::uint64_t>(unit_required_period_ps.size());
     }
+
+    /// Resident size for cache byte budgeting: one double plus one stage
+    /// tag per trace cycle.
+    std::uint64_t estimated_bytes() const {
+        return sizeof *this +
+               static_cast<std::uint64_t>(unit_required_period_ps.capacity()) * sizeof(double) +
+               static_cast<std::uint64_t>(limiting_stage.capacity()) * sizeof(sim::Stage);
+    }
 };
 
 /// One operating point's view of a shared UnitTraceDelays: the unit array

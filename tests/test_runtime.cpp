@@ -697,5 +697,166 @@ TEST(ArtifactCache, CancelledBuildEvictsWithoutRetryAndRebuildsClean) {
     EXPECT_EQ(cache.characterizations_built(), 1u);
 }
 
+TEST(ArtifactCacheLru, EvictsLeastRecentlyUsedFirst) {
+    // Three programs built unbounded, then a budget that holds only two:
+    // the least recently *used* entry goes, and a touch (cache hit)
+    // refreshes recency — so after touching the oldest entry, the middle
+    // one is the victim.
+    ArtifactCache cache;
+    cache.program("crc32").get();
+    const std::uint64_t bytes_crc32 = cache.cached_bytes();
+    cache.program("fibcall").get();
+    cache.program("bitcount").get();
+    const std::uint64_t total = cache.cached_bytes();
+    EXPECT_GT(total, bytes_crc32);
+
+    cache.program("crc32").get();  // touch: crc32 becomes most recent
+    cache.set_byte_budget(total - 1);
+    EXPECT_EQ(cache.lru_evictions(), 1u);
+    EXPECT_EQ(cache.build_stats(ArtifactClass::kProgram).evicted_lru, 1u);
+    EXPECT_LE(cache.cached_bytes(), total - 1);
+
+    // crc32 and bitcount survived (hits); fibcall was the victim and
+    // re-elects a builder (a fresh miss).
+    const std::uint64_t misses_before = cache.class_counters(ArtifactClass::kProgram).miss;
+    cache.program("crc32").get();
+    cache.program("bitcount").get();
+    EXPECT_EQ(cache.class_counters(ArtifactClass::kProgram).miss, misses_before);
+    cache.program("fibcall").get();
+    EXPECT_EQ(cache.class_counters(ArtifactClass::kProgram).miss, misses_before + 1);
+    EXPECT_EQ(cache.build_stats(ArtifactClass::kProgram).built, 4u);
+}
+
+TEST(ArtifactCacheLru, OverBudgetSingleArtifactIsAdmittedThenEvictedByTheNext) {
+    // A budget smaller than any single artifact: the freshly built entry is
+    // admitted anyway (the build already paid for it) and stays until the
+    // next completion pushes it off the back of the LRU list.
+    ArtifactCache cache;
+    cache.set_byte_budget(1);
+    cache.program("crc32").get();
+    EXPECT_EQ(cache.lru_evictions(), 0u);
+    EXPECT_GT(cache.cached_bytes(), 1u);  // resident although over budget
+
+    cache.program("fibcall").get();
+    EXPECT_EQ(cache.lru_evictions(), 1u);  // crc32 made way
+    const std::uint64_t misses_before = cache.class_counters(ArtifactClass::kProgram).miss;
+    cache.program("fibcall").get();  // newest entry still resident
+    EXPECT_EQ(cache.class_counters(ArtifactClass::kProgram).miss, misses_before);
+}
+
+TEST(ArtifactCacheLru, ByteAccountingIsExactAcrossEvictRebuildCycles) {
+    // estimated_bytes is deterministic, so evict + rebuild must return the
+    // accounting to the exact same figure, cycle after cycle.
+    ArtifactCache cache;
+    cache.program("crc32").get();
+    const std::uint64_t bytes_crc32 = cache.cached_bytes();
+    cache.program("fibcall").get();
+    const std::uint64_t total = cache.cached_bytes();
+
+    EXPECT_GT(bytes_crc32, 0u);
+    for (int cycle = 0; cycle < 3; ++cycle) {
+        cache.set_byte_budget(total - 1);  // evict exactly one (the LRU front)
+        cache.set_byte_budget(0);          // disarm so the rebuild sticks
+        cache.program("crc32").get();
+        cache.program("fibcall").get();
+        EXPECT_EQ(cache.cached_bytes(), total) << "cycle " << cycle;
+    }
+    EXPECT_EQ(cache.lru_evictions(), 3u);
+}
+
+TEST(ArtifactCacheLru, EvictedCounterRoundTripsThroughMetricsSnapshot) {
+    ArtifactCache cache;
+    cache.program("crc32").get();
+    cache.program("fibcall").get();
+    cache.set_byte_budget(1);  // evicts all but the newest
+    const ArtifactBuildStats stats = cache.build_stats(ArtifactClass::kProgram);
+    EXPECT_EQ(stats.evicted_lru, 1u);
+    const obs::MetricsSnapshot snapshot = cache.metrics_snapshot();
+    EXPECT_EQ(snapshot.counter_value("cache.program.evicted_lru"), stats.evicted_lru);
+    EXPECT_EQ(snapshot.counter_value("cache.trace.evicted_lru"), 0u);
+}
+
+TEST(ArtifactCacheLru, PreseededTableReplacementKeepsAccountingStable) {
+    // put_delay_table twice under the same key must not double-account: the
+    // replaced entry is unlinked before the replacement is accounted.
+    ArtifactCache cache;
+    const timing::DesignConfig design;
+    const dta::AnalyzerConfig analyzer_config =
+        SweepEngine::analyzer_config_for(SweepSpec{}.resolved());
+    cache.put_delay_table(design, analyzer_config, dta::DelayTable(900));
+    const std::uint64_t bytes = cache.cached_bytes();
+    EXPECT_GT(bytes, 0u);
+    cache.put_delay_table(design, analyzer_config, dta::DelayTable(901));
+    EXPECT_EQ(cache.cached_bytes(), bytes);
+    EXPECT_DOUBLE_EQ(cache.delay_table(design, analyzer_config).get().static_period_ps(), 901);
+}
+
+TEST(ArtifactCacheLru, ConcurrentBudgetedLoadServesEveryRequest) {
+    // TSan-facing: many threads hammer a budgeted cache across every
+    // artifact class while LRU eviction churns underneath. Every .get()
+    // must succeed (consumers hold shared_future copies, in-flight entries
+    // are pinned), and the accounting must be consistent at quiesce.
+    const std::vector<std::string> kernels = {"crc32", "fibcall", "bitcount",
+                                              "isqrt", "prime",   "bsearch"};
+    // Size the budget off real artifact footprints: roomy enough to hold
+    // the largest single artifact (so the quiesced set always fits), tight
+    // enough to force steady eviction.
+    std::uint64_t largest = 0;
+    {
+        ArtifactCache sizing;
+        for (const auto& kernel : kernels) {
+            for (const bool with_trace : {false, true}) {
+                const std::uint64_t before = sizing.cached_bytes();
+                if (with_trace) {
+                    sizing.trace(kernel).get();
+                } else {
+                    sizing.program(kernel).get();
+                }
+                const std::uint64_t size = sizing.cached_bytes() - before;
+                if (size > largest) largest = size;
+            }
+        }
+    }
+    const std::uint64_t budget = largest + largest / 2;
+    ArtifactCache cache;
+    cache.set_byte_budget(budget);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 6; ++t) {
+        threads.emplace_back([&, t] {
+            for (int round = 0; round < 8; ++round) {
+                const auto& kernel = kernels[static_cast<std::size_t>((t + round) %
+                                                                     static_cast<int>(
+                                                                         kernels.size()))];
+                EXPECT_NO_THROW(cache.program(kernel).get());
+                EXPECT_NO_THROW(cache.trace(kernel).get());
+            }
+        });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_LE(cache.cached_bytes(), budget);
+    const ArtifactBuildStats programs = cache.build_stats(ArtifactClass::kProgram);
+    const ArtifactBuildStats traces = cache.build_stats(ArtifactClass::kTrace);
+    // Builds = initial misses + one rebuild per eviction that was
+    // re-requested; eviction count can never exceed completed builds.
+    EXPECT_GE(programs.built, kernels.size());
+    EXPECT_LE(programs.evicted_lru + traces.evicted_lru, programs.built + traces.built);
+    EXPECT_GT(cache.lru_evictions(), 0u);
+}
+
+TEST(ArtifactCacheLru, BudgetedSweepProducesByteIdenticalResults) {
+    // A sweep over a budget-starved shared cache rebuilds artifacts it
+    // would otherwise reuse — the canonical result document must not
+    // notice.
+    const SweepEngine unbounded(2);
+    const SweepResult reference = unbounded.run(small_spec());
+
+    auto cache = std::make_shared<ArtifactCache>();
+    cache->set_byte_budget(64 * 1024);  // well under one trace's footprint
+    const SweepEngine budgeted(2, cache);
+    const SweepResult result = budgeted.run(small_spec());
+    EXPECT_EQ(to_json(result, /*include_timing=*/false),
+              to_json(reference, /*include_timing=*/false));
+}
+
 }  // namespace
 }  // namespace focs::runtime

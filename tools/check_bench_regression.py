@@ -69,6 +69,11 @@ CALIBRATION_FIGURE = "characterization.materialized_cycles_per_s"
 FLOOR_FIGURES = {
     "instrumentation.disabled_vs_compiled_out_ratio": 0.97,
     "robustness.dormant_cancel_vs_plain_ratio": 0.97,
+    # The sweep daemon's serving contract: a warm burst against the shared
+    # cache performs zero characterizations / guest simulations / unit
+    # delay passes (emitted as 1 when it held, 0 otherwise — determinism,
+    # not a throughput figure, so no tolerance applies).
+    "service.warm_zero_build": 1.0,
 }
 
 

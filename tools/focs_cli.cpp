@@ -46,12 +46,16 @@
 //
 // Programs are read from a file path, or from the bundled workloads with
 // the "kernel:" prefix (e.g. kernel:crc32).
+#include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 #include "asm/assembler.hpp"
@@ -70,6 +74,8 @@
 #include "runtime/result_io.hpp"
 #include "runtime/sweep_engine.hpp"
 #include "runtime/sweep_spec.hpp"
+#include "service/client.hpp"
+#include "service/sweep_server.hpp"
 #include "sim/machine.hpp"
 #include "sim/trace_printer.hpp"
 #include "workloads/kernel.hpp"
@@ -107,6 +113,19 @@ using namespace focs;
                  "                          'build.delay_table:0.3:seed=7' (FOCS_FAULT\n"
                  "                          environment variable works too)\n"
                  "  stats <file.s|kernel:NAME> [--lut lut.txt]\n"
+                 "  serve [--port N] [--max-inflight N] [--queue-depth N]\n"
+                 "        [--deadline-default-ms X] [--cache-budget-mb N] [--jobs N]\n"
+                 "        [--replay|--live] [--metrics] [--trace-out trace.json]\n"
+                 "      long-lived sweep daemon on 127.0.0.1 (POST /sweep with a spec\n"
+                 "      body; GET /healthz, /metricsz). Bounded admission queue sheds\n"
+                 "      excess load with 503, X-Focs-Deadline-Ms returns partial results\n"
+                 "      as 206, --cache-budget-mb arms LRU eviction of shared artifacts.\n"
+                 "      SIGTERM/SIGINT drains gracefully (twice: cancel in-flight).\n"
+                 "  client --port N --spec FILE [-n N] [--concurrency C]\n"
+                 "         [--deadline-ms X] [--canonical] [-o resp.json]\n"
+                 "         [--healthz|--metricsz]\n"
+                 "      load generator: fires N concurrent sweep requests and prints the\n"
+                 "      per-status outcome counts\n"
                  "exit codes: 0 success, 2 partial sweep results, 1 fatal error\n");
     std::exit(1);
 }
@@ -187,11 +206,11 @@ runtime::SweepRunOptions parse_run_options(const std::vector<std::string>& args,
         try {
             std::size_t pos = 0;
             value = std::stod(*ms, &pos);
-            check(pos == ms->size() && value >= 0, "--deadline-ms wants a non-negative number");
+            check(pos == ms->size() && value > 0, "--deadline-ms wants a positive number");
         } catch (const Error&) {
             throw;
         } catch (const std::exception&) {
-            throw Error("--deadline-ms wants a non-negative number");
+            throw Error("--deadline-ms wants a positive number");
         }
         deadline = CancellationToken::with_deadline_ms(value);
         options.cancel = &*deadline;
@@ -477,6 +496,176 @@ int cmd_sweep(const std::vector<std::string>& args) {
     return finish_partial(result);
 }
 
+/// Write end of the serving daemon's drain pipe, published for the signal
+/// handler (the only async-signal-safe way to reach the server).
+std::atomic<int> g_serve_signal_fd{-1};
+std::atomic<int> g_serve_signal_count{0};
+
+extern "C" void serve_signal_handler(int) {
+    // First signal: graceful drain ('d'). Second: hard cancel ('c').
+    const char cmd = g_serve_signal_count.fetch_add(1) == 0 ? 'd' : 'c';
+    const int fd = g_serve_signal_fd.load();
+    if (fd >= 0) {
+        [[maybe_unused]] const ssize_t n = ::write(fd, &cmd, 1);
+    }
+}
+
+/// Parses an integer flag into [lo, hi], defaulting when absent. The error
+/// is a one-line message naming the flag and the accepted range.
+int parse_bounded_int(const std::vector<std::string>& args, const char* name, int fallback,
+                      int lo, int hi) {
+    const auto text = flag_value(args, name);
+    if (!text) return fallback;
+    const auto value = parse_int(*text);
+    if (!value || *value < lo || *value > hi) {
+        throw Error(std::string(name) + " wants an integer in [" + std::to_string(lo) + ", " +
+                    std::to_string(hi) + "]");
+    }
+    return static_cast<int>(*value);
+}
+
+/// Parses a strictly positive number flag; one-line error otherwise.
+double parse_positive_double(const std::vector<std::string>& args, const char* name,
+                             double fallback) {
+    const auto text = flag_value(args, name);
+    if (!text) return fallback;
+    try {
+        std::size_t pos = 0;
+        const double value = std::stod(*text, &pos);
+        check(pos == text->size() && value > 0,
+              std::string(name) + " wants a positive number");
+        return value;
+    } catch (const Error&) {
+        throw;
+    } catch (const std::exception&) {
+        throw Error(std::string(name) + " wants a positive number");
+    }
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+    obs_enable(args);
+    service::ServerConfig config;
+    config.port = parse_bounded_int(args, "--port", 8790, 0, 65535);
+    config.max_inflight = parse_bounded_int(args, "--max-inflight", 2, 1, 256);
+    config.queue_depth = parse_bounded_int(args, "--queue-depth", 8, 0, 4096);
+    config.deadline_default_ms = parse_positive_double(args, "--deadline-default-ms", 0);
+    const double budget_mb = parse_positive_double(args, "--cache-budget-mb", 0);
+    config.cache_budget_bytes = static_cast<std::uint64_t>(budget_mb * 1024.0 * 1024.0);
+    config.jobs = parse_jobs(args);
+    config.mode = parse_eval_mode_flags(args);
+    if (const auto spec = flag_value(args, "--fault")) fault::global_injector().configure(*spec);
+
+    service::SweepServer server(config);
+    server.start();
+    g_serve_signal_fd.store(server.signal_fd());
+    struct sigaction action {};
+    action.sa_handler = serve_signal_handler;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+
+    std::printf("focs-serve: listening on 127.0.0.1:%d (max-inflight %d, queue-depth %d, "
+                "cache-budget %llu bytes, %s mode)\n",
+                server.port(), config.max_inflight, config.queue_depth,
+                static_cast<unsigned long long>(config.cache_budget_bytes),
+                runtime::eval_mode_name(config.mode).c_str());
+    std::fflush(stdout);
+
+    server.wait();
+    g_serve_signal_fd.store(-1);
+
+    const service::ServerStats stats = server.stats();
+    std::printf("focs-serve: drained: accepted=%llu shed=%llu served_ok=%llu "
+                "served_partial=%llu bad_request=%llu error=%llu lru_evictions=%llu\n",
+                static_cast<unsigned long long>(stats.accepted),
+                static_cast<unsigned long long>(stats.shed),
+                static_cast<unsigned long long>(stats.served_ok),
+                static_cast<unsigned long long>(stats.served_partial),
+                static_cast<unsigned long long>(stats.bad_request),
+                static_cast<unsigned long long>(stats.error),
+                static_cast<unsigned long long>(server.cache()->lru_evictions()));
+    // The drain contract ends with the observability flush: --metrics /
+    // --trace-out see the final counters (server + shared cache merged).
+    obs::MetricsSnapshot merged = server.metrics_snapshot();
+    if (flag_present(args, "--metrics")) {
+        obs::MetricsSnapshot snapshot = obs::global_metrics().snapshot();
+        snapshot.merge(merged);
+        std::printf("metrics:\n%s", snapshot.to_table().c_str());
+    }
+    if (const auto trace_path = flag_value(args, "--trace-out")) {
+        obs::MetricsSnapshot snapshot = obs::global_metrics().snapshot();
+        snapshot.merge(merged);
+        std::ofstream out(*trace_path);
+        if (!out) throw Error("cannot write " + *trace_path);
+        out << obs::global_tracer().export_chrome_json(&snapshot);
+        std::printf("trace written to %s\n", trace_path->c_str());
+    }
+    return 0;
+}
+
+int cmd_client(const std::vector<std::string>& args) {
+    const int port = parse_bounded_int(args, "--port", 0, 1, 65535);
+    if (port == 0) throw Error("client wants --port");
+    const std::string host = flag_value(args, "--host").value_or("127.0.0.1");
+
+    // Probe modes: one GET, body to stdout, exit 0 on 200.
+    for (const char* probe : {"--healthz", "--metricsz"}) {
+        if (!flag_present(args, probe)) continue;
+        service::HttpRequest request;
+        request.method = "GET";
+        request.target = std::string("/") + (probe + 2);  // "--healthz" -> "/healthz"
+        const auto response = service::http_request(port, request, host);
+        std::printf("%s", response.body.c_str());
+        return response.status == 200 ? 0 : 1;
+    }
+
+    service::LoadOptions options;
+    options.port = port;
+    options.host = host;
+    const auto spec_path = flag_value(args, "--spec");
+    if (!spec_path) throw Error("client wants --spec FILE (or --healthz/--metricsz)");
+    std::ifstream in(*spec_path);
+    if (!in) throw Error("cannot open " + *spec_path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    options.spec_text = buffer.str();
+    options.requests = parse_bounded_int(args, "-n", 1, 1, 100000);
+    options.concurrency =
+        parse_bounded_int(args, "--concurrency", std::min(options.requests, 8), 1, 256);
+    options.deadline_ms = parse_positive_double(args, "--deadline-ms", 0);
+    options.canonical = flag_present(args, "--canonical");
+
+    const service::LoadReport report = service::run_load(options);
+    std::printf("client: n=%d ok=%llu partial=%llu shed=%llu client_error=%llu "
+                "server_error=%llu transport_error=%llu\n",
+                options.requests, static_cast<unsigned long long>(report.ok),
+                static_cast<unsigned long long>(report.partial),
+                static_cast<unsigned long long>(report.shed),
+                static_cast<unsigned long long>(report.client_error),
+                static_cast<unsigned long long>(report.server_error),
+                static_cast<unsigned long long>(report.transport_error));
+
+    if (const auto out_path = flag_value(args, "-o")) {
+        // First successful (200/206) body — the sole response under -n 1.
+        const std::string* body = nullptr;
+        for (std::size_t i = 0; i < report.statuses.size(); ++i) {
+            if (report.statuses[i] == 200 || report.statuses[i] == 206) {
+                body = &report.bodies[i];
+                break;
+            }
+        }
+        if (body == nullptr) throw Error("no successful response to write to " + *out_path);
+        std::ofstream out(*out_path);
+        if (!out) throw Error("cannot write " + *out_path);
+        out << *body;
+        std::printf("response written to %s\n", out_path->c_str());
+    }
+    // Shed/partial are successful protocol outcomes; only a missing HTTP
+    // response (or a 4xx/5xx surprise) fails the generator.
+    return report.transport_error == 0 && report.client_error == 0 && report.server_error == 0
+               ? 0
+               : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -493,6 +682,8 @@ int main(int argc, char** argv) {
         if (command == "suite") return cmd_suite(args);
         if (command == "sweep") return cmd_sweep(args);
         if (command == "stats") return cmd_stats(args);
+        if (command == "serve") return cmd_serve(args);
+        if (command == "client") return cmd_client(args);
         usage();
     } catch (const std::exception& e) {
         std::fprintf(stderr, "focs: %s\n", e.what());
