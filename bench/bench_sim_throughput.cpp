@@ -16,7 +16,10 @@
 // one fused unit pass; a 10-voltage replay sweep with its unit-pass
 // counters), the robustness series (replay hot loop with a dormant
 // CancellationToken threaded through, vs plain — the fault-tolerance
-// machinery must be free when nothing fires), and the service series
+// machinery must be free when nothing fires), the SIMD series (vectorized
+// replay kernels + fixed-point clock arithmetic vs the byte-identical
+// scalar reference path, with the speedup enforced as a floor when a SIMD
+// ISA is active), and the service series
 // (N concurrent clients against the loopback sweep daemon, cold vs warm —
 // the warm burst must perform zero builds), next to the pre-PR baseline
 // those numbers are tracked against. CI uploads it and enforces
@@ -139,6 +142,33 @@ void BM_ReplayCellLut(benchmark::State& state) {
                                                     benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ReplayCellLut)->Unit(benchmark::kMillisecond);
+
+// The same replay cell pinned to the scalar reference path (--no-simd):
+// the gap against BM_ReplayCellLut is the vectorized-kernel + fixed-point
+// win, with byte-identical results (the tracked artifact series enforces a
+// floor on the ratio when SIMD is active).
+void BM_ReplayCellLutScalar(benchmark::State& state) {
+    const timing::DesignConfig design;
+    static const dta::DelayTable table =
+        core::CharacterizationFlow(design).run(characterization_programs()).table;
+    static const sim::PipelineTrace trace = sim::record_trace(coremark_program());
+    static const auto unit = std::make_shared<const timing::UnitTraceDelays>(
+        timing::compute_unit_trace_delays(timing::DelayCalculator(design), trace.records));
+    core::ReplayOptions options;
+    options.force_scalar = true;
+    const core::ReplayEvaluationEngine engine(
+        trace, timing::scale_trace_delays(unit, timing::DelayCalculator(design)), table,
+        options);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        const auto result = engine.run(core::PolicyKind::kInstructionLut);
+        cycles += result.cycles;
+        benchmark::DoNotOptimize(result.speedup_vs_static);
+    }
+    state.counters["cycles/s"] = benchmark::Counter(static_cast<double>(cycles),
+                                                    benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReplayCellLutScalar)->Unit(benchmark::kMillisecond);
 
 // Replay hot-loop instrumentation overhead: 0 = the compiled-out
 // instantiation (kForceOff — the exact code a -DFOCS_OBS_COMPILE_OUT build
@@ -471,6 +501,66 @@ void emit_artifact() {
     dormant_options.cancel = &dormant_token;
     const double robust_dormant = best_replay_rate_with(dormant_options);
 
+    // Vectorized replay kernels vs the scalar reference path: the default
+    // engine dispatches to the SIMD kernel table (AVX2/NEON) when the host
+    // supports one and falls back to the scalar table otherwise, while
+    // force_scalar (--no-simd) pins the byte-identical reference loop.
+    // The two sides are measured in *interleaved* best-of-5 passes — an
+    // alternating slow window (noisy neighbor, frequency dip) then taxes
+    // both engines instead of skewing the ratio — because
+    // check_bench_regression.py enforces a floor on the speedup whenever
+    // the fresh artifact reports simd_active.
+    core::ReplayOptions scalar_options;
+    scalar_options.force_scalar = true;
+    const core::ReplayEvaluationEngine simd_side_engine(
+        trace, timing::scale_trace_delays(unit_delays, timing::DelayCalculator(design)), table);
+    const core::ReplayEvaluationEngine scalar_side_engine(
+        trace, timing::scale_trace_delays(unit_delays, timing::DelayCalculator(design)), table,
+        scalar_options);
+    double replay_simd = 0;
+    double replay_scalar = 0;
+    for (int pass = 0; pass < 5; ++pass) {
+        replay_simd = std::max(replay_simd, timed_cycles(100, [&] {
+                                   return simd_side_engine.run(core::PolicyKind::kInstructionLut)
+                                       .cycles;
+                               }).cycles_per_s);
+        replay_scalar = std::max(replay_scalar, timed_cycles(100, [&] {
+                                     return scalar_side_engine
+                                         .run(core::PolicyKind::kInstructionLut)
+                                         .cycles;
+                                 }).cycles_per_s);
+    }
+    const core::ReplayKernels* simd_kernels = core::simd_replay_kernels();
+    const bool simd_active = simd_kernels != nullptr;
+    const char* simd_isa = simd_active ? simd_kernels->name : "scalar";
+
+    // Fixed-point vs double requested-period fill: the same unit array
+    // scaled at the same operating point, filled by the plain double
+    // multiply and by the mult+shift integer path (bit-identical by
+    // construction — tests/test_replay.cpp proves the identity, this series
+    // only times it).
+    const timing::ScaledTraceDelays fp_view =
+        timing::scale_trace_delays(unit_delays, timing::DelayCalculator(design));
+    const auto fixed_point = timing::FixedPointPeriod::resolve(fp_view);
+    const std::size_t fill_cycles = trace.records.size();
+    std::vector<double> fill(fill_cycles);
+    const double* unit_row = fp_view.unit->unit_required_period_ps.data();
+    const double fill_scale = fp_view.delay_scale;
+    const double fill_double_rate = timed_cycles(200, [&] {
+        for (std::size_t c = 0; c < fill_cycles; ++c) fill[c] = unit_row[c] * fill_scale;
+        benchmark::DoNotOptimize(fill.data());
+        return static_cast<std::uint64_t>(fill_cycles);
+    }).cycles_per_s;
+    double fill_fixed_rate = 0;
+    if (fixed_point.has_value()) {
+        const timing::FixedPointPeriod& fx = *fixed_point;
+        fill_fixed_rate = timed_cycles(200, [&] {
+            for (std::size_t c = 0; c < fill_cycles; ++c) fill[c] = fx(c);
+            benchmark::DoNotOptimize(fill.data());
+            return static_cast<std::uint64_t>(fill_cycles);
+        }).cycles_per_s;
+    }
+
     // Service cold-vs-warm loopback series: N clients fire the same spec
     // at a fresh daemon (cold: every artifact built once behind shared
     // futures) and then again at the warmed daemon (warm: the shared cache
@@ -627,7 +717,7 @@ void emit_artifact() {
     }
 
     std::string out = "{\n";
-    out += "  \"schema\": " + json_string("focs-bench-sim-throughput-v7") + ",\n";
+    out += "  \"schema\": " + json_string("focs-bench-sim-throughput-v8") + ",\n";
     out += "  \"baseline\": {\n";
     out += "    \"note\": " +
            json_string("pre-PR seed implementation, commit edd42a9, measured on the repo's dev "
@@ -665,6 +755,28 @@ void emit_artifact() {
            json_number(replay.cycles_per_s / evaluation.cycles_per_s) + ",\n";
     out += "    \"replay_speedup_vs_baseline\": " +
            json_number(replay.cycles_per_s / kBaselineEvaluationCyclesPerS) + "\n  },\n";
+    out += "  \"simd\": {\n";
+    out += "    \"note\": " +
+           json_string("vectorized replay kernels (gather/max LUT fill, branch-free mask "
+                       "select, vectorized safety reduction) + fixed-point mult+shift clock "
+                       "arithmetic vs the byte-identical scalar reference path "
+                       "(ReplayOptions::force_scalar / --no-simd), best of 3 passes each; "
+                       "replay_simd_speedup is enforced as a floor by "
+                       "tools/check_bench_regression.py whenever simd_active is 1, and the "
+                       "fill series compares the double multiply against the bit-identical "
+                       "integer mult+shift requested-period fill") +
+           ",\n";
+    out += "    \"simd_active\": " + std::string(simd_active ? "1" : "0") + ",\n";
+    out += "    \"simd_isa\": " + json_string(simd_isa) + ",\n";
+    out += "    \"replay_lut_scalar_cycles_per_s\": " + json_number(replay_scalar) + ",\n";
+    out += "    \"replay_lut_simd_cycles_per_s\": " + json_number(replay_simd) + ",\n";
+    out += "    \"replay_simd_speedup\": " +
+           json_number(replay_scalar > 0 ? replay_simd / replay_scalar : 0) + ",\n";
+    out += "    \"fill_double_cycles_per_s\": " + json_number(fill_double_rate) + ",\n";
+    out += "    \"fill_fixed_point_cycles_per_s\": " + json_number(fill_fixed_rate) + ",\n";
+    out += "    \"fixed_point_vs_double_fill\": " +
+           json_number(fill_double_rate > 0 ? fill_fixed_rate / fill_double_rate : 0) +
+           "\n  },\n";
     out += "  \"instrumentation\": {\n";
     out += "    \"note\": " +
            json_string("replay hot loop under the three ReplayObsMode resolutions, best of 3 "

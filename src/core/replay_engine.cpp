@@ -22,17 +22,36 @@ ReplayEvaluationEngine::ReplayEvaluationEngine(const sim::PipelineTrace& trace,
     check(delays_.unit != nullptr, "replay engine needs a unit trace-delay artifact");
     check(delays_.cycles() == trace.cycles(),
           "trace delays were computed from a different trace (cycle count mismatch)");
+    if (!options_.force_scalar) {
+        kernels_ = simd_replay_kernels();
+        if (kernels_ == nullptr) kernels_ = &scalar_replay_kernels();
+        fx_ = timing::FixedPointPeriod::resolve(delays_);
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            for (OccKey key = 0; key < dta::kKeyCount; ++key) {
+                effective_rows_[static_cast<std::size_t>(s)][static_cast<std::size_t>(key)] =
+                    table.effective(key, static_cast<Stage>(s));
+            }
+        }
+    }
+}
+
+std::size_t ReplayEvaluationEngine::scratch_cycles() const {
+    return std::min<std::size_t>(static_cast<std::size_t>(options_.block_cycles),
+                                 std::max<std::size_t>(trace_->records.size(), 1));
 }
 
 /// Shared block loop: `fill(begin, end, out)` writes the requested period
-/// of cycles [begin, end) into out[0..end-begin); the sequential pass then
-/// applies the (stateful) clock generator and the safety check in exactly
-/// the live engine's per-cycle order, so the integrated time and violation
-/// figures are bit-identical at every block size. The required period is
-/// derived inline from the voltage-free unit array and the operating
-/// point's scale — the same fl(unit * scale) double the live calculator
+/// of cycles [begin, end) into out[0..end-begin); the grant/integrate/
+/// safety pass then consumes the block in exactly the live engine's
+/// per-cycle order, so the integrated time and violation figures are
+/// bit-identical at every block size. With the ideal generator the pass is
+/// a block reduction through the kernel table (SIMD when available); with
+/// a stateful generator it stays a sequential walk, reading the required
+/// period from the fixed-point evaluator when one resolved. Either way the
+/// required period is the same fl(unit * scale) double the live calculator
 /// produces (positive-constant multiplication is monotone under IEEE
-/// rounding, so it commutes with the per-stage max).
+/// rounding, so it commutes with the per-stage max; the fixed-point path
+/// reproduces the multiply bit for bit — see FixedPointPeriod).
 ///
 /// kObs=false is the exact pre-observability loop (no flag checks inside);
 /// kObs=true layers counters, a granted-period histogram and a per-run
@@ -41,12 +60,18 @@ ReplayEvaluationEngine::ReplayEvaluationEngine(const sim::PipelineTrace& trace,
 template <bool kObs, typename FillBlock>
 DcaRunResult ReplayEvaluationEngine::replay_blocks_impl(const ClockPolicy& policy,
                                                         clocking::ClockGenerator* generator,
-                                                        FillBlock&& fill) const {
+                                                        FillBlock&& fill,
+                                                        const GatherStage* gather_stages,
+                                                        int gather_stage_count) const {
     const double* unit = delays_.unit->unit_required_period_ps.data();
     const double scale = delays_.delay_scale;
     const std::size_t cycles = trace_->records.size();
     const std::size_t block = static_cast<std::size_t>(options_.block_cycles);
-    std::vector<double> requested(std::min<std::size_t>(block, std::max<std::size_t>(cycles, 1)));
+    std::vector<double> requested(scratch_cycles());
+    // Fixed-point required-period evaluator for the sequential generator
+    // walk (bit-exact vs unit[c] * scale — see FixedPointPeriod); nullptr
+    // on the reference path or when the view did not resolve.
+    const timing::FixedPointPeriod* fx = fx_.has_value() ? &*fx_ : nullptr;
 
 #ifndef FOCS_OBS_COMPILE_OUT
     obs::Span span;
@@ -66,16 +91,51 @@ DcaRunResult ReplayEvaluationEngine::replay_blocks_impl(const ClockPolicy& polic
         // token-free (see the cost note on ReplayOptions::cancel).
         if (options_.cancel != nullptr) options_.cancel->throw_if_cancelled();
         const std::size_t end = std::min(cycles, begin + block);
+        if (generator == nullptr && kernels_ != nullptr && gather_stages != nullptr) {
+            // Ideal generator over a pure-gather fill: the fused kernel
+            // gathers, integrates (strict cycle order) and safety-checks
+            // in one pass — no scratch round-trip, and the independent
+            // gather chains overlap the serial time-integral adds.
+            kernels_->gather_reduce_ideal(gather_stages, gather_stage_count, unit, scale,
+                                          kViolationTolerancePs, begin, end - begin,
+                                          &total_time_ps, &violations, &worst_violation_ps);
+            if constexpr (kObs) ++blocks;
+            continue;
+        }
         fill(begin, end, requested.data());
-        for (std::size_t c = begin; c < end; ++c) {
-            const double request = requested[c - begin];
-            const double granted =
-                generator != nullptr ? generator->grant_period_ps(request) : request;
-            total_time_ps += granted;
-            const double required = unit[c] * scale;
-            if (granted + kViolationTolerancePs < required) {
-                ++violations;
-                worst_violation_ps = std::max(worst_violation_ps, required - granted);
+        if (generator == nullptr && kernels_ != nullptr) {
+            // Ideal generator (granted == requested): the whole grant/
+            // integrate/safety pass is a block reduction — vectorizable
+            // except for the order-sensitive time integral, which the
+            // kernel sums in strict cycle order.
+            kernels_->reduce_ideal(requested.data(), unit, scale, kViolationTolerancePs, begin,
+                                   end - begin, &total_time_ps, &violations,
+                                   &worst_violation_ps);
+        } else if (generator != nullptr && fx != nullptr) {
+            // Stateful generator: sequential walk, required period from
+            // the integer mult+shift path.
+            for (std::size_t c = begin; c < end; ++c) {
+                const double granted = generator->grant_period_ps(requested[c - begin]);
+                total_time_ps += granted;
+                const double required = (*fx)(c);
+                if (granted + kViolationTolerancePs < required) {
+                    ++violations;
+                    worst_violation_ps = std::max(worst_violation_ps, required - granted);
+                }
+            }
+        } else {
+            // Reference walk (force_scalar, or an unresolvable fixed-point
+            // view): the exact pre-kernel per-cycle loop.
+            for (std::size_t c = begin; c < end; ++c) {
+                const double request = requested[c - begin];
+                const double granted =
+                    generator != nullptr ? generator->grant_period_ps(request) : request;
+                total_time_ps += granted;
+                const double required = unit[c] * scale;
+                if (granted + kViolationTolerancePs < required) {
+                    ++violations;
+                    worst_violation_ps = std::max(worst_violation_ps, required - granted);
+                }
             }
         }
         if constexpr (kObs) ++blocks;
@@ -118,9 +178,12 @@ DcaRunResult ReplayEvaluationEngine::replay_blocks_impl(const ClockPolicy& polic
 template <typename FillBlock>
 DcaRunResult ReplayEvaluationEngine::replay_blocks(const ClockPolicy& policy,
                                                    clocking::ClockGenerator* generator,
-                                                   FillBlock&& fill) const {
+                                                   FillBlock&& fill,
+                                                   const GatherStage* gather_stages,
+                                                   int gather_stage_count) const {
 #ifdef FOCS_OBS_COMPILE_OUT
-    return replay_blocks_impl<false>(policy, generator, std::forward<FillBlock>(fill));
+    return replay_blocks_impl<false>(policy, generator, std::forward<FillBlock>(fill),
+                                     gather_stages, gather_stage_count);
 #else
     bool instrumented = false;
     switch (options_.obs) {
@@ -131,8 +194,10 @@ DcaRunResult ReplayEvaluationEngine::replay_blocks(const ClockPolicy& policy,
         case ReplayObsMode::kForceOn: instrumented = true; break;
     }
     return instrumented
-               ? replay_blocks_impl<true>(policy, generator, std::forward<FillBlock>(fill))
-               : replay_blocks_impl<false>(policy, generator, std::forward<FillBlock>(fill));
+               ? replay_blocks_impl<true>(policy, generator, std::forward<FillBlock>(fill),
+                                          gather_stages, gather_stage_count)
+               : replay_blocks_impl<false>(policy, generator, std::forward<FillBlock>(fill),
+                                           gather_stages, gather_stage_count);
 #endif
 }
 
@@ -142,8 +207,36 @@ DcaRunResult ReplayEvaluationEngine::replay_class_select(const ClockPolicy& poli
                                                          double slow_period_ps) const {
     const dta::DelayTable& table = *table_;
     const auto& keys = trace_->stage_keys;
-    // Per-(key, stage) "forces the slow period" bitmap, hoisted out of the
-    // cycle loop: critical class or uncharacterized entry.
+    if (kernels_ != nullptr && slow_period_ps >= fast_period_ps && fast_period_ps >= 0.0) {
+        // Branch-free mask kernel: per-stage select rows (slow-or-
+        // uncharacterized ? slow : fast), then the shared gather/max fill.
+        // Because slow >= fast >= 0, "max over per-stage selects" equals
+        // "any stage slow ? slow : fast" exactly — no bitmap, no byte
+        // scratch, no per-cycle branch. (Both class policies satisfy the
+        // guard by construction; it protects hypothetical period choices.)
+        std::array<std::array<double, dta::kKeyCount>, sim::kStageCount> select{};
+        std::array<GatherStage, sim::kStageCount> stages{};
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            for (OccKey key = 0; key < dta::kKeyCount; ++key) {
+                const bool slow = TwoClassPolicy::is_slow_key(key) ||
+                                  !table.characterized(key, static_cast<Stage>(s));
+                select[static_cast<std::size_t>(s)][static_cast<std::size_t>(key)] =
+                    slow ? slow_period_ps : fast_period_ps;
+            }
+            stages[static_cast<std::size_t>(s)] = {
+                keys[static_cast<std::size_t>(s)].data(),
+                select[static_cast<std::size_t>(s)].data()};
+        }
+        return replay_blocks(policy, generator,
+                             [&](std::size_t begin, std::size_t end, double* out) {
+                                 kernels_->gather_max(stages.data(), sim::kStageCount, begin,
+                                                      end - begin, out);
+                             },
+                             stages.data(), sim::kStageCount);
+    }
+    // Reference path: per-(key, stage) "forces the slow period" bitmap,
+    // hoisted out of the cycle loop: critical class or uncharacterized
+    // entry.
     std::array<std::array<bool, sim::kStageCount>, dta::kKeyCount> slow{};
     for (OccKey key = 0; key < dta::kKeyCount; ++key) {
         for (int s = 0; s < sim::kStageCount; ++s) {
@@ -152,11 +245,9 @@ DcaRunResult ReplayEvaluationEngine::replay_class_select(const ClockPolicy& poli
                 !table.characterized(key, static_cast<Stage>(s));
         }
     }
-    // Block-sized scratch, reused across blocks (same size clamp as the
-    // requested-period buffer in replay_blocks).
-    std::vector<char> any_slow(std::min<std::size_t>(
-        static_cast<std::size_t>(options_.block_cycles),
-        std::max<std::size_t>(trace_->records.size(), 1)));
+    // Block-sized scratch, reused across blocks (the same sizing rule as
+    // the requested-period buffer).
+    std::vector<char> any_slow(scratch_cycles());
     return replay_blocks(
         policy, generator, [&](std::size_t begin, std::size_t end, double* out) {
             const std::size_t count = end - begin;
@@ -187,10 +278,25 @@ DcaRunResult ReplayEvaluationEngine::run(PolicyKind kind,
     const dta::DelayTable& table = *table_;
     const auto& keys = trace_->stage_keys;
 
-    // Stage-major SoA max (paper eq. 2): one pass per stage over the
-    // block's key row, maxing the fallback-resolved entries in place.
-    // Shared by the lut kernel and (with a trailing compression multiply)
-    // the approx-lut kernel.
+    // Kernel-table gather descriptors over the stage-major transposed
+    // effective rows (built at construction); unused on the reference path.
+    std::array<GatherStage, sim::kStageCount> lut_stages{};
+    if (kernels_ != nullptr) {
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            lut_stages[static_cast<std::size_t>(s)] = {
+                keys[static_cast<std::size_t>(s)].data(),
+                effective_rows_[static_cast<std::size_t>(s)].data()};
+        }
+    }
+    // Stage-major SoA max (paper eq. 2) through the kernel table: one
+    // gather/max pass per stage over the block's key row. Shared by the
+    // lut kernel and (with a trailing compression multiply) the approx-lut
+    // kernel.
+    const auto fill_lut_kernel = [&](std::size_t begin, std::size_t end, double* out) {
+        kernels_->gather_max(lut_stages.data(), sim::kStageCount, begin, end - begin, out);
+    };
+    // Reference shape of the same fill: one plain indexed-load pass per
+    // stage, maxing the fallback-resolved entries in place.
     const auto fill_lut_max = [&](std::size_t begin, std::size_t end, double* out) {
         const std::size_t count = end - begin;
         std::fill(out, out + count, 0.0);
@@ -216,6 +322,12 @@ DcaRunResult ReplayEvaluationEngine::run(PolicyKind kind,
             // row scaled to the operating point.
             const double* unit = delays_.unit->unit_required_period_ps.data();
             const double scale = delays_.delay_scale;
+            if (kernels_ != nullptr) {
+                return replay_blocks(*policy, generator,
+                                     [&](std::size_t begin, std::size_t end, double* out) {
+                                         kernels_->scale(unit + begin, scale, end - begin, out);
+                                     });
+            }
             return replay_blocks(*policy, generator,
                                  [&](std::size_t begin, std::size_t end, double* out) {
                                      for (std::size_t c = begin; c < end; ++c) {
@@ -224,6 +336,10 @@ DcaRunResult ReplayEvaluationEngine::run(PolicyKind kind,
                                  });
         }
         case PolicyKind::kInstructionLut:
+            if (kernels_ != nullptr) {
+                return replay_blocks(*policy, generator, fill_lut_kernel, lut_stages.data(),
+                                     sim::kStageCount);
+            }
             return replay_blocks(*policy, generator, fill_lut_max);
         case PolicyKind::kApproxLut: {
             const auto* approx = dynamic_cast<const ApproximateLutPolicy*>(policy.get());
@@ -231,6 +347,13 @@ DcaRunResult ReplayEvaluationEngine::run(PolicyKind kind,
             const double approx_scale = approx->scale();
             // The LUT max pass, then one compression multiply per cycle —
             // the same fl order as the live cycle_period_ps(record) * scale.
+            if (kernels_ != nullptr) {
+                return replay_blocks(
+                    *policy, generator, [&](std::size_t begin, std::size_t end, double* out) {
+                        fill_lut_kernel(begin, end, out);
+                        kernels_->scale(out, approx_scale, end - begin, out);
+                    });
+            }
             return replay_blocks(
                 *policy, generator, [&](std::size_t begin, std::size_t end, double* out) {
                     fill_lut_max(begin, end, out);
@@ -242,6 +365,23 @@ DcaRunResult ReplayEvaluationEngine::run(PolicyKind kind,
             check(ex_only != nullptr, "ex-only policy kind produced an unexpected policy type");
             const double floor = ex_only->floor_ps();
             const OccKey* ex_row = keys[static_cast<std::size_t>(Stage::kEx)].data();
+            if (kernels_ != nullptr) {
+                // Fold the floor into a single-stage value row: the fill
+                // becomes a one-stage gather/max (identical doubles — the
+                // max with the floor is precomputed per key).
+                std::array<double, dta::kKeyCount> ex_values{};
+                for (OccKey key = 0; key < dta::kKeyCount; ++key) {
+                    ex_values[static_cast<std::size_t>(key)] =
+                        std::max(table.effective(key, Stage::kEx), floor);
+                }
+                const GatherStage ex_stage{ex_row, ex_values.data()};
+                return replay_blocks(*policy, generator,
+                                     [&](std::size_t begin, std::size_t end, double* out) {
+                                         kernels_->gather_max(&ex_stage, 1, begin, end - begin,
+                                                              out);
+                                     },
+                                     &ex_stage, 1);
+            }
             return replay_blocks(*policy, generator,
                                  [&](std::size_t begin, std::size_t end, double* out) {
                                      for (std::size_t c = begin; c < end; ++c) {

@@ -14,13 +14,26 @@
 // Custom ClockPolicy objects fall back to the generic DcaEngine::replay
 // walk. Every path produces DcaRunResults byte-identical to a live
 // DcaEngine::run of the same cell at any block size.
+//
+// The block fills dispatch through a kernel table (replay_kernels.hpp):
+// explicit SIMD (AVX2/NEON) when compiled in and supported, a portable
+// scalar table otherwise, and — under ReplayOptions::force_scalar — the
+// original handwritten reference loops. The sequential generator walk
+// reads its required period through a fixed-point mult+shift evaluator
+// (timing::FixedPointPeriod) that is bit-exact against the double path.
+// All of these are byte-identity-preserving; force_scalar exists as the
+// escape hatch and as the baseline the tests diff against.
 #pragma once
 
+#include <array>
+#include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "common/cancel.hpp"
 #include "core/dca_engine.hpp"
 #include "core/policies.hpp"
+#include "core/replay_kernels.hpp"
 #include "dta/delay_table.hpp"
 #include "sim/trace_recorder.hpp"
 #include "timing/trace_delays.hpp"
@@ -51,6 +64,11 @@ struct ReplayOptions {
     int block_cycles = 4096;
     /// Instrumentation of the block loop (never affects results).
     ReplayObsMode obs = ReplayObsMode::kAuto;
+    /// Pin the handwritten scalar reference path (CLI --no-simd): no SIMD
+    /// kernel table, no branch-free mask kernel, no fixed-point period
+    /// arithmetic. Results are byte-identical either way — this is the
+    /// escape hatch and the baseline the scalar==SIMD tests diff against.
+    bool force_scalar = false;
     /// Optional cooperative cancellation, polled once per block (never per
     /// cycle — a dormant token costs one relaxed load per block_cycles): a
     /// fired token throws CancelledError at the next block boundary.
@@ -82,28 +100,63 @@ public:
     const sim::PipelineTrace& trace() const { return *trace_; }
     const timing::ScaledTraceDelays& delays() const { return delays_; }
 
+    /// True when this engine dispatches through an ISA-specific kernel
+    /// table (compiled in, supported by the CPU, not forced scalar).
+    bool simd_active() const { return kernels_ != nullptr && kernels_ != &scalar_replay_kernels(); }
+    /// "reference" (force_scalar), "scalar", "avx2" or "neon".
+    const char* kernels_name() const { return kernels_ != nullptr ? kernels_->name : "reference"; }
+
 private:
     /// Dispatches to replay_blocks_impl<true/false> per ReplayObsMode (one
     /// branch per run; the cycle loop itself is branch-free either way).
+    /// `gather_stages` (optional) describes a fill that is a pure
+    /// gather/max over those stage rows; ideal-generator blocks then take
+    /// the fused gather_reduce_ideal kernel — one pass, no scratch
+    /// round-trip — instead of fill-then-reduce. Same figures either way.
     template <typename FillBlock>
     DcaRunResult replay_blocks(const ClockPolicy& policy, clocking::ClockGenerator* generator,
-                               FillBlock&& fill) const;
+                               FillBlock&& fill, const GatherStage* gather_stages = nullptr,
+                               int gather_stage_count = 0) const;
 
     template <bool kObs, typename FillBlock>
     DcaRunResult replay_blocks_impl(const ClockPolicy& policy, clocking::ClockGenerator* generator,
-                                    FillBlock&& fill) const;
+                                    FillBlock&& fill, const GatherStage* gather_stages,
+                                    int gather_stage_count) const;
 
-    /// Shared kernel of the two-class family (two-class, dual-cycle): one
-    /// critical/uncharacterized bitmap hoisted out of the cycle loop, then a
-    /// stage-major OR-reduction and a two-way period select per block.
+    /// Shared kernel of the two-class family (two-class, dual-cycle). On
+    /// the kernel-table path the slow-bitmap select is restructured into a
+    /// branch-free mask kernel: each stage gets a kKeyCount select row
+    /// (slow-or-uncharacterized ? slow_period : fast_period) and the block
+    /// fill is the same gather/max-reduce the LUT kernel uses — valid
+    /// because slow >= fast makes "any stage slow" and "max over per-stage
+    /// selects" the same function. The reference path keeps the hoisted
+    /// bitmap + stage-major OR-reduction + two-way select.
     DcaRunResult replay_class_select(const ClockPolicy& policy,
                                      clocking::ClockGenerator* generator, double fast_period_ps,
                                      double slow_period_ps) const;
+
+    /// One block's worth of per-cycle scratch, clamped to the trace length
+    /// — the single sizing rule for every scratch buffer (requested-period
+    /// block, reference-path any_slow), so block-size-1 runs allocate
+    /// exactly one element per buffer. Never zero: .data() must stay
+    /// dereferenceable on empty traces.
+    std::size_t scratch_cycles() const;
 
     const sim::PipelineTrace* trace_;
     timing::ScaledTraceDelays delays_;
     const dta::DelayTable* table_;
     ReplayOptions options_;
+    /// Kernel table of the block fills: SIMD when available, the portable
+    /// scalar table otherwise; nullptr iff force_scalar (the handwritten
+    /// reference path).
+    const ReplayKernels* kernels_ = nullptr;
+    /// Integer mult+shift period evaluator (bit-exact vs the double path);
+    /// engaged on the kernel-table path when the view resolves.
+    std::optional<timing::FixedPointPeriod> fx_;
+    /// Stage-major transpose of the fallback-resolved delay table
+    /// (DelayTable::effective is key-major) so each gather reads one
+    /// contiguous per-stage value row.
+    std::array<std::array<double, dta::kKeyCount>, sim::kStageCount> effective_rows_{};
 };
 
 }  // namespace focs::core

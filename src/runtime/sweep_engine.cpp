@@ -262,6 +262,7 @@ SweepResult SweepEngine::run(const SweepSpec& raw_spec, const SweepRunOptions& o
                     const auto generator = job.generator->instantiate(delays.static_period_ps);
                     core::ReplayOptions replay_options;
                     replay_options.cancel = options.cancel;
+                    replay_options.force_scalar = options.force_scalar_replay;
                     const core::ReplayEvaluationEngine replay(trace, delays, table,
                                                               replay_options);
                     run = replay.run(job.policy,

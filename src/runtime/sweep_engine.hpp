@@ -105,6 +105,10 @@ struct SweepCell {
 /// reusable across runs with different failure handling).
 struct SweepRunOptions {
     FailureMode failure_mode = FailureMode::kKeepGoing;
+    /// Pin replay cells to the scalar reference path (CLI --no-simd): no
+    /// SIMD kernel table, no fixed-point period arithmetic. Never affects
+    /// results — replay is byte-identical either way.
+    bool force_scalar_replay = false;
     /// Optional cooperative cancellation (deadline- or caller-driven),
     /// polled at cell boundaries and threaded into artifact builds and the
     /// replay block loop. Cells not finished when the token fires are

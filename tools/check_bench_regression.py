@@ -76,6 +76,15 @@ FLOOR_FIGURES = {
     "service.warm_zero_build": 1.0,
 }
 
+# Floors enforced only when the fresh artifact reports a live SIMD ISA
+# (simd.simd_active == 1): the vectorized replay kernels must beat the
+# byte-identical scalar reference path by this factor on the replay-LUT
+# cell. Skipped (reported, not enforced) on hosts where the build fell
+# back to the scalar table — there is no vector unit to hold to a floor.
+SIMD_FLOOR_FIGURES = {
+    "simd.replay_simd_speedup": 2.5,
+}
+
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
@@ -137,6 +146,21 @@ def main():
         ok = value >= floor
         print(f"  {'ok' if ok else 'FAIL':4}  {name}: {value:.6g} (floor {floor:g})")
         if not ok:
+            failures.append(name)
+
+    simd_active = lookup(fresh, "simd.simd_active")
+    simd_enforced = simd_active == 1
+    print("SIMD floor figures "
+          f"({'enforced: SIMD ISA active' if simd_enforced else 'report-only: scalar host'}):")
+    for name, floor in SIMD_FLOOR_FIGURES.items():
+        value = lookup(fresh, name)
+        if value is None:
+            print(f"  skip  {name}: not present in the fresh artifact")
+            continue
+        ok = value >= floor
+        tag = "ok" if ok else ("FAIL" if simd_enforced else "warn")
+        print(f"  {tag:4}  {name}: {value:.6g} (floor {floor:g})")
+        if not ok and simd_enforced:
             failures.append(name)
 
     if failures:

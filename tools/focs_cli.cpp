@@ -94,10 +94,10 @@ using namespace focs;
                  "               [--batch N] [--streaming|--materialized]\n"
                  "  evaluate <file.s|kernel:NAME> [--lut lut.txt] [--policy P] [--taps N]\n"
                  "  suite [--lut lut.txt] [--policy P] [--jobs N] [--replay|--live]\n"
-                 "        [--metrics] [--trace-out trace.json]\n"
+                 "        [--metrics] [--trace-out trace.json] [--no-simd]\n"
                  "  sweep <spec.sweep> [--jobs N] [--replay|--live] [-o results.json]\n"
                  "        [--canonical] [--metrics] [--trace-out trace.json]\n"
-                 "        [--fail-fast] [--deadline-ms N] [--fault SPEC]\n"
+                 "        [--fail-fast] [--deadline-ms N] [--fault SPEC] [--no-simd]\n"
                  "      --replay (default): simulate each kernel once, replay every\n"
                  "                          policy/generator cell from the cached trace\n"
                  "      --live:             full per-cell simulation (reference path)\n"
@@ -112,10 +112,13 @@ using namespace focs;
                  "      --fault SPEC:       arm the deterministic fault injector, e.g.\n"
                  "                          'build.delay_table:0.3:seed=7' (FOCS_FAULT\n"
                  "                          environment variable works too)\n"
+                 "      --no-simd:          replay on the scalar reference path (no SIMD\n"
+                 "                          kernels, no fixed-point clock arithmetic);\n"
+                 "                          results are byte-identical either way\n"
                  "  stats <file.s|kernel:NAME> [--lut lut.txt]\n"
                  "  serve [--port N] [--max-inflight N] [--queue-depth N]\n"
                  "        [--deadline-default-ms X] [--cache-budget-mb N] [--jobs N]\n"
-                 "        [--replay|--live] [--metrics] [--trace-out trace.json]\n"
+                 "        [--replay|--live] [--metrics] [--trace-out trace.json] [--no-simd]\n"
                  "      long-lived sweep daemon on 127.0.0.1 (POST /sweep with a spec\n"
                  "      body; GET /healthz, /metricsz). Bounded admission queue sheds\n"
                  "      excess load with 503, X-Focs-Deadline-Ms returns partial results\n"
@@ -201,6 +204,7 @@ runtime::SweepRunOptions parse_run_options(const std::vector<std::string>& args,
     if (flag_present(args, "--fail-fast")) {
         options.failure_mode = runtime::FailureMode::kFailFast;
     }
+    options.force_scalar_replay = flag_present(args, "--no-simd");
     if (const auto ms = flag_value(args, "--deadline-ms")) {
         double value = 0;
         try {
@@ -553,6 +557,7 @@ int cmd_serve(const std::vector<std::string>& args) {
     config.cache_budget_bytes = static_cast<std::uint64_t>(budget_mb * 1024.0 * 1024.0);
     config.jobs = parse_jobs(args);
     config.mode = parse_eval_mode_flags(args);
+    config.force_scalar_replay = flag_present(args, "--no-simd");
     if (const auto spec = flag_value(args, "--fault")) fault::global_injector().configure(*spec);
 
     service::SweepServer server(config);
@@ -674,6 +679,16 @@ int main(int argc, char** argv) {
     std::vector<std::string> args;
     for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
     try {
+        // --no-simd only means something where replay runs (same usage
+        // taxonomy as a non-positive --deadline-ms: reject, exit 1).
+        if (command != "suite" && command != "sweep" && command != "serve") {
+            for (const std::string& arg : args) {
+                if (arg == "--no-simd") {
+                    throw Error("--no-simd only applies to replaying commands "
+                                "(suite, sweep, serve)");
+                }
+            }
+        }
         if (command == "kernels") return cmd_kernels();
         if (command == "asm") return cmd_asm(args);
         if (command == "run") return cmd_run(args);
