@@ -14,7 +14,10 @@
 // wall-clock comparison of the two evaluation modes at 1/2/4/8 workers,
 // the voltage-axis amortization series (per-voltage delay passes vs
 // one fused unit pass; a 10-voltage replay sweep with its unit-pass
-// counters), the robustness series (replay hot loop with a dormant
+// counters), the characterization-axis collapse series (V per-voltage
+// reference characterizations vs one nominal pass plus V bit-identical
+// DelayTable::scaled views; fused multi-generator replay vs per-variant
+// runs), the robustness series (replay hot loop with a dormant
 // CancellationToken threaded through, vs plain — the fault-tolerance
 // machinery must be free when nothing fires), the SIMD series (vectorized
 // replay kernels + fixed-point clock arithmetic vs the byte-identical
@@ -534,6 +537,54 @@ void emit_artifact() {
     const bool simd_active = simd_kernels != nullptr;
     const char* simd_isa = simd_active ? simd_kernels->name : "scalar";
 
+    // Fused multi-generator replay: one {ideal, taps:8, pll} policy column
+    // scored by a single run_fused pass (the request fill paid once, each
+    // variant paying only its own grant/integrate walk) vs G independent
+    // run() calls — byte-identical results, so the ratio is pure fill
+    // amortization. Generators are stateful and re-instantiated inside the
+    // timed body on both sides.
+    const std::vector<runtime::GeneratorSpec> fused_gens = {
+        runtime::GeneratorSpec::parse("ideal"), runtime::GeneratorSpec::parse("taps:8"),
+        runtime::GeneratorSpec::parse("pll:1300/1500:4")};
+    const double fused_static_period =
+        timing::scale_trace_delays(unit_delays, timing::DelayCalculator(design))
+            .static_period_ps;
+    const auto fused_column_cycles = [&](bool fused) {
+        std::vector<std::unique_ptr<clocking::ClockGenerator>> owned;
+        std::vector<clocking::ClockGenerator*> variants;
+        owned.reserve(fused_gens.size());
+        variants.reserve(fused_gens.size());
+        for (const runtime::GeneratorSpec& gen : fused_gens) {
+            owned.push_back(gen.instantiate(fused_static_period));
+            variants.push_back(gen.kind == runtime::GeneratorSpec::Kind::kIdeal
+                                   ? nullptr
+                                   : owned.back().get());
+        }
+        std::uint64_t cycles = 0;
+        if (fused) {
+            for (const auto& result :
+                 simd_side_engine.run_fused(core::PolicyKind::kInstructionLut, variants)) {
+                cycles += result.cycles;
+            }
+        } else {
+            for (clocking::ClockGenerator* generator : variants) {
+                cycles +=
+                    simd_side_engine.run(core::PolicyKind::kInstructionLut, generator).cycles;
+            }
+        }
+        return cycles;
+    };
+    double fused_replay_rate = 0;
+    double per_variant_replay_rate = 0;
+    for (int pass = 0; pass < 3; ++pass) {
+        per_variant_replay_rate =
+            std::max(per_variant_replay_rate,
+                     timed_cycles(50, [&] { return fused_column_cycles(false); }).cycles_per_s);
+        fused_replay_rate =
+            std::max(fused_replay_rate,
+                     timed_cycles(50, [&] { return fused_column_cycles(true); }).cycles_per_s);
+    }
+
     // Fixed-point vs double requested-period fill: the same unit array
     // scaled at the same operating point, filled by the plain double
     // multiply and by the mult+shift integer path (bit-identical by
@@ -678,6 +729,48 @@ void emit_artifact() {
         axis_wall_ms[i] = best_ms;
     }
 
+    // Characterization-axis collapse: the same 10-point axis paid two
+    // ways. Reference: one full characterization flow per operating point
+    // (what --reference-characterization re-enables). Nominal-once: a
+    // single characterization at the nominal point plus 10 scaled views
+    // (DelayTable::scaled re-applies the guard-band rule on the scaled raw
+    // samples). The views must serialize bit-identically to the reference
+    // tables — emitted as a determinism bit and enforced as a floor next
+    // to the nominal-pass speedup by tools/check_bench_regression.py.
+    double char_reference_ms = 0;
+    double char_nominal_ms = 0;
+    bool scaled_views_identical = true;
+    {
+        std::vector<dta::DelayTable> reference_tables;
+        reference_tables.reserve(kAxisPoints);
+        const auto t0 = std::chrono::steady_clock::now();
+        for (const double voltage : kAxisVoltages) {
+            timing::DesignConfig point = design;
+            point.voltage_v = voltage;
+            reference_tables.push_back(
+                core::CharacterizationFlow(point).run(programs).table);
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        timing::DesignConfig nominal_point = design;
+        nominal_point.voltage_v = timing::kNominalVoltageV;
+        const dta::DelayTable nominal_table =
+            core::CharacterizationFlow(nominal_point).run(programs).table;
+        std::vector<dta::DelayTable> views;
+        views.reserve(kAxisPoints);
+        for (const double voltage : kAxisVoltages) {
+            views.push_back(nominal_table.scaled(library.delay_scale(voltage) / nominal_scale));
+        }
+        const auto t2 = std::chrono::steady_clock::now();
+        char_reference_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+        char_nominal_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
+        for (int i = 0; i < kAxisPoints; ++i) {
+            if (views[static_cast<std::size_t>(i)].serialize() !=
+                reference_tables[static_cast<std::size_t>(i)].serialize()) {
+                scaled_views_identical = false;
+            }
+        }
+    }
+
     // Sweep wall-clock, same grid in both modes at 1/2/4/8 workers: the
     // full benchmark suite x all five policies x {ideal, taps:8}. Each run
     // gets a fresh cache pre-seeded with the delay table, so the wall-clock
@@ -717,7 +810,7 @@ void emit_artifact() {
     }
 
     std::string out = "{\n";
-    out += "  \"schema\": " + json_string("focs-bench-sim-throughput-v8") + ",\n";
+    out += "  \"schema\": " + json_string("focs-bench-sim-throughput-v9") + ",\n";
     out += "  \"baseline\": {\n";
     out += "    \"note\": " +
            json_string("pre-PR seed implementation, commit edd42a9, measured on the repo's dev "
@@ -903,6 +996,33 @@ void emit_artifact() {
                (i + 1 < axis_wall_ms.size() ? ",\n" : "\n");
     }
     out += "      }\n    }\n  },\n";
+    out += "  \"characterization_axis\": {\n";
+    out += "    \"note\": " +
+           json_string("the characterization-collapse win: the same 10-point voltage axis "
+                       "paid as 10 full per-voltage characterization flows (the "
+                       "--reference-characterization escape hatch) vs one nominal "
+                       "characterization plus 10 DelayTable::scaled views; "
+                       "scaled_views_identical certifies the views serialize bit-identically "
+                       "to the reference tables (both enforced as floors by "
+                       "tools/check_bench_regression.py), and the fused series times one "
+                       "run_fused pass over an {ideal, taps:8, pll} generator column against "
+                       "per-variant replays of the same cells, byte-identical results, best "
+                       "of 3 passes each") +
+           ",\n";
+    out += "    \"voltages\": " + std::to_string(kAxisPoints) + ",\n";
+    out += "    \"reference_passes_ms\": " + json_number(char_reference_ms) + ",\n";
+    out += "    \"nominal_pass_plus_views_ms\": " + json_number(char_nominal_ms) + ",\n";
+    out += "    \"nominal_pass_speedup\": " +
+           json_number(char_nominal_ms > 0 ? char_reference_ms / char_nominal_ms : 0) + ",\n";
+    out += "    \"scaled_views_identical\": " +
+           std::string(scaled_views_identical ? "1" : "0") + ",\n";
+    out += "    \"per_variant_replay_cycles_per_s\": " + json_number(per_variant_replay_rate) +
+           ",\n";
+    out += "    \"fused_replay_cycles_per_s\": " + json_number(fused_replay_rate) + ",\n";
+    out += "    \"fused_replay_speedup\": " +
+           json_number(per_variant_replay_rate > 0 ? fused_replay_rate / per_variant_replay_rate
+                                                   : 0) +
+           "\n  },\n";
     out += "  \"peak_rss\": {\n";
     out += "    \"note\": " +
            json_string("deltas of the process high-water mark; streaming stays bounded under "

@@ -107,11 +107,11 @@ double EvaluationFlow::static_period_ps() const {
 }
 
 DcaRunResult evaluate_cell(const timing::DesignConfig& design, const dta::DelayTable& table,
-                           const assembler::Program& program, PolicyKind kind,
+                           const assembler::Program& program, const PolicySpec& policy_spec,
                            clocking::ClockGenerator* generator,
                            const sim::MachineConfig& machine_config) {
     DcaEngine engine(design, machine_config);
-    const auto policy = make_policy(kind, table, engine.calculator().static_period_ps());
+    const auto policy = make_policy(policy_spec, table, engine.calculator().static_period_ps());
     if (generator != nullptr) return engine.run(program, *policy, *generator);
     return engine.run(program, *policy);
 }

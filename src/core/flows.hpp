@@ -121,13 +121,14 @@ struct SuiteResult {
     std::uint64_t total_violations = 0;
 };
 
-/// Evaluates one sweep cell: `program` under `kind` against a prepared
+/// Evaluates one sweep cell: `program` under `policy` against a prepared
 /// delay table, optionally through a concrete clock generator. This is the
 /// unit of work the runtime's SweepEngine schedules onto worker threads —
 /// it constructs all mutable state (engine, policy) locally, so concurrent
-/// calls sharing `table` and `program` (both read-only here) are safe.
+/// calls sharing `table` and `program` (both read-only here) are safe. A
+/// bare PolicyKind converts implicitly (default parameter).
 DcaRunResult evaluate_cell(const timing::DesignConfig& design, const dta::DelayTable& table,
-                           const assembler::Program& program, PolicyKind kind,
+                           const assembler::Program& program, const PolicySpec& policy,
                            clocking::ClockGenerator* generator = nullptr,
                            const sim::MachineConfig& machine_config = {});
 

@@ -92,10 +92,13 @@ double TwoClassPolicy::requested_period_ps(const PolicyContext& context) {
     return fast_period_ps_;
 }
 
-DualCyclePolicy::DualCyclePolicy(const DelayTable& table) : table_(&table) {
+DualCyclePolicy::DualCyclePolicy(const DelayTable& table, double stretch)
+    : table_(&table), stretch_(stretch) {
+    check(stretch >= 1.0, "dual-cycle stretch must be >= 1");
     // The fast period covers every characterized non-critical entry; the
-    // slow (2x) period must cover the critical class and the uncharacterized
-    // static fallback, or the scheme degenerates safely to the fallback.
+    // stretched period must cover the critical class and the
+    // uncharacterized static fallback, or the scheme degenerates safely to
+    // the fallback.
     double fast = 0;
     for (OccKey key = 0; key < dta::kKeyCount; ++key) {
         if (TwoClassPolicy::is_slow_key(key)) continue;
@@ -107,9 +110,9 @@ DualCyclePolicy::DualCyclePolicy(const DelayTable& table) : table_(&table) {
         }
     }
     fast_period_ps_ = fast > 0 ? fast : table.static_period_ps();
-    // Two fast cycles must cover the static limit so stretched cycles and
-    // fallback cases stay safe.
-    fast_period_ps_ = std::max(fast_period_ps_, 0.5 * table.static_period_ps());
+    // `stretch` fast cycles must cover the static limit so stretched cycles
+    // and fallback cases stay safe.
+    fast_period_ps_ = std::max(fast_period_ps_, table.static_period_ps() / stretch_);
 }
 
 double DualCyclePolicy::requested_period_ps(const PolicyContext& context) {
@@ -118,10 +121,17 @@ double DualCyclePolicy::requested_period_ps(const PolicyContext& context) {
         const OccKey key = keys[static_cast<std::size_t>(s)];
         if (TwoClassPolicy::is_slow_key(key) ||
             !table_->characterized(key, static_cast<Stage>(s))) {
-            return 2.0 * fast_period_ps_;  // occasional two-cycle operation
+            return stretch_ * fast_period_ps_;  // occasional stretched cycle
         }
     }
     return fast_period_ps_;
+}
+
+std::string DualCyclePolicy::name() const {
+    if (stretch_ == kDualCycleKindStretch) return "dual-cycle";
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "dual-cycle/%.2f", stretch_);
+    return buf;
 }
 
 ApproximateLutPolicy::ApproximateLutPolicy(const DelayTable& table, double scale)
@@ -139,17 +149,93 @@ std::string ApproximateLutPolicy::name() const {
     return buf;
 }
 
+double PolicySpec::resolved_param() const {
+    if (param >= 0) return param;
+    switch (kind) {
+        case PolicyKind::kApproxLut: return kApproxLutKindScale;
+        case PolicyKind::kDualCycle: return kDualCycleKindStretch;
+        default: return param;
+    }
+}
+
+namespace {
+
+/// Shortest decimal that round-trips to `value` exactly (tries increasing
+/// "%.*g" precision, 1..17). Keeps explicit policy parameters readable in
+/// labels and canonical spec text ("0.8", not "0.80000000000000004") while
+/// staying lossless.
+std::string format_param(double value) {
+    char buf[64];
+    for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+        if (std::stod(buf) == value) break;
+    }
+    return buf;
+}
+
+/// The default parameter of a kind, or -1 when the kind takes none.
+double kind_default_param(PolicyKind kind) {
+    return PolicySpec{kind}.resolved_param();
+}
+
+}  // namespace
+
+std::string PolicySpec::label() const {
+    std::string text = policy_kind_name(kind);
+    if (param >= 0 && param != kind_default_param(kind)) {
+        text += ':' + format_param(param);
+    }
+    return text;
+}
+
+PolicySpec PolicySpec::parse(const std::string& text) {
+    const auto colon = text.find(':');
+    PolicySpec spec;
+    spec.kind = parse_policy_kind(colon == std::string::npos ? text : text.substr(0, colon));
+    if (colon == std::string::npos) return spec;
+    check(spec.kind == PolicyKind::kApproxLut || spec.kind == PolicyKind::kDualCycle,
+          "policy '" + text + "': only approx-lut and dual-cycle take a parameter");
+    const std::string param_text = text.substr(colon + 1);
+    double param = 0;
+    try {
+        std::size_t pos = 0;
+        param = std::stod(param_text, &pos);
+        check(pos == param_text.size(),
+              "policy '" + text + "': trailing characters in parameter");
+    } catch (const std::invalid_argument&) {
+        throw Error("policy '" + text + "': malformed parameter '" + param_text + "'");
+    } catch (const std::out_of_range&) {
+        throw Error("policy '" + text + "': parameter out of range");
+    }
+    if (spec.kind == PolicyKind::kApproxLut) {
+        check(param > 0 && param <= 1.0,
+              "policy '" + text + "': approx-lut scale must be in (0, 1]");
+    } else {
+        check(param >= 1.0, "policy '" + text + "': dual-cycle stretch must be >= 1");
+    }
+    // Normalize a spelled-out default back to "no parameter" so equal grids
+    // compare, hash and serialize identically.
+    spec.param = param == kind_default_param(spec.kind) ? -1 : param;
+    return spec;
+}
+
 std::unique_ptr<ClockPolicy> make_policy(PolicyKind kind, const DelayTable& table,
                                          double static_period_ps) {
-    switch (kind) {
+    return make_policy(PolicySpec{kind}, table, static_period_ps);
+}
+
+std::unique_ptr<ClockPolicy> make_policy(const PolicySpec& spec, const DelayTable& table,
+                                         double static_period_ps) {
+    switch (spec.kind) {
         case PolicyKind::kStatic: return std::make_unique<StaticClockPolicy>(static_period_ps);
         case PolicyKind::kGenie: return std::make_unique<GenieOraclePolicy>();
         case PolicyKind::kInstructionLut: return std::make_unique<InstructionLutPolicy>(table);
         case PolicyKind::kExOnly: return std::make_unique<ExOnlyPolicy>(table);
         case PolicyKind::kTwoClass: return std::make_unique<TwoClassPolicy>(table);
         case PolicyKind::kApproxLut:
-            return std::make_unique<ApproximateLutPolicy>(table, kApproxLutKindScale);
-        case PolicyKind::kDualCycle: return std::make_unique<DualCyclePolicy>(table);
+            return std::make_unique<ApproximateLutPolicy>(table, spec.resolved_param());
+        case PolicyKind::kDualCycle:
+            return std::make_unique<DualCyclePolicy>(table, spec.resolved_param());
     }
     check(false, "unknown policy kind");
     return nullptr;

@@ -122,18 +122,24 @@ private:
 /// Dual-cycle baseline in the spirit of CRISTA [6] (Ghosh et al., TCAD'07):
 /// the clock runs at a fixed fast period that covers everything except the
 /// isolated critical unit (multiplier/divider); when a critical instruction
-/// is in flight the cycle is stretched to two fast periods. No per-
-/// instruction LUT, only a single critical-class detector.
+/// is in flight the cycle is stretched to `stretch` fast periods (two in
+/// the original scheme). No per-instruction LUT, only a single
+/// critical-class detector.
 class DualCyclePolicy final : public ClockPolicy {
 public:
-    explicit DualCyclePolicy(const dta::DelayTable& table);
+    /// `stretch` >= 1 scales the stretched (critical) cycle relative to the
+    /// fast period; the fast period is floored at static/stretch so the
+    /// stretched cycle always covers the static limit.
+    explicit DualCyclePolicy(const dta::DelayTable& table, double stretch = 2.0);
     double requested_period_ps(const PolicyContext& context) override;
-    std::string name() const override { return "dual-cycle"; }
+    std::string name() const override;
     double fast_period_ps() const { return fast_period_ps_; }
+    double stretch() const { return stretch_; }
 
 private:
     const dta::DelayTable* table_;
     double fast_period_ps_;
+    double stretch_;
 };
 
 /// Factory enum used by the evaluation flow, the sweep axis and benches.
@@ -150,12 +156,56 @@ enum class PolicyKind {
     kDualCycle,
 };
 
-/// Period compression of the promoted approx-lut PolicyKind (the paper's
-/// Sec. IV-A approximate-operation trade-off at one canonical grid point;
-/// other scales remain available via ApproximateLutPolicy directly).
+/// Period compression of the promoted approx-lut PolicyKind when no
+/// explicit parameter is given (the paper's Sec. IV-A approximate-operation
+/// trade-off at one canonical grid point).
 inline constexpr double kApproxLutKindScale = 0.9;
 
+/// Stretch factor of the promoted dual-cycle PolicyKind when no explicit
+/// parameter is given (the original CRISTA-style two-cycle operation).
+inline constexpr double kDualCycleKindStretch = 2.0;
+
+/// One policy axis point: a kind plus its optional parameter. The two
+/// parameterized kinds are approx-lut (param = compression scale in
+/// (0, 1], default kApproxLutKindScale) and dual-cycle (param = critical-
+/// cycle stretch >= 1, default kDualCycleKindStretch); every other kind
+/// takes no parameter. Implicitly constructible from a bare PolicyKind so
+/// kind-only call sites keep working unchanged.
+struct PolicySpec {
+    PolicyKind kind = PolicyKind::kInstructionLut;
+    /// < 0 means "the kind's default" (see resolved_param); parse()
+    /// normalizes an explicit parameter equal to the default back to -1, so
+    /// equal grids compare and serialize equal.
+    double param = -1;
+
+    PolicySpec() = default;
+    PolicySpec(PolicyKind kind, double param = -1) : kind(kind), param(param) {}
+
+    /// The effective parameter: `param` when explicit, the kind's default
+    /// otherwise (meaningful only for the parameterized kinds).
+    double resolved_param() const;
+
+    /// Stable label, also the spec-file syntax: the kind's short name, plus
+    /// ":PARAM" (shortest round-trip decimal) when the parameter differs
+    /// from the kind's default — "approx-lut:0.8", "dual-cycle:3".
+    std::string label() const;
+
+    /// Inverse of label(). Validates at parse time: approx-lut scale must
+    /// be in (0, 1], dual-cycle stretch >= 1, and no other kind accepts a
+    /// parameter; violations throw focs::Error (a usage error — the CLI
+    /// reports it and exits 1).
+    static PolicySpec parse(const std::string& text);
+
+    friend bool operator==(const PolicySpec&, const PolicySpec&) = default;
+};
+
 std::unique_ptr<ClockPolicy> make_policy(PolicyKind kind, const dta::DelayTable& table,
+                                         double static_period_ps);
+
+/// PolicySpec-aware factory: threads the spec's resolved parameter into the
+/// approx-lut / dual-cycle constructors; identical to the kind overload for
+/// every other kind.
+std::unique_ptr<ClockPolicy> make_policy(const PolicySpec& spec, const dta::DelayTable& table,
                                          double static_period_ps);
 
 /// Stable short name of a kind ("static"|"two-class"|"ex-only"|"lut"|

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <functional>
 #include <utility>
 
 #include "common/error.hpp"
@@ -268,13 +269,15 @@ DcaRunResult ReplayEvaluationEngine::replay_class_select(const ClockPolicy& poli
         });
 }
 
-DcaRunResult ReplayEvaluationEngine::run(PolicyKind kind,
+DcaRunResult ReplayEvaluationEngine::run(const PolicySpec& spec,
                                          clocking::ClockGenerator* generator) const {
     // The policy object supplies the exact name string and the derived
-    // constants (ex-only floor, class fast periods, approx scale) of the
-    // live path; its virtual request hook is never called — the kernels
-    // below are the devirtualized equivalents over the trace's SoA rows.
-    const auto policy = make_policy(kind, *table_, delays_.static_period_ps);
+    // constants (ex-only floor, class fast periods, approx scale, dual-
+    // cycle stretch) of the live path; its virtual request hook is never
+    // called — the kernels below are the devirtualized equivalents over
+    // the trace's SoA rows.
+    const auto policy = make_policy(spec, *table_, delays_.static_period_ps);
+    const PolicyKind kind = spec.kind;
     const dta::DelayTable& table = *table_;
     const auto& keys = trace_->stage_keys;
 
@@ -400,7 +403,7 @@ DcaRunResult ReplayEvaluationEngine::run(PolicyKind kind,
             const auto* dual = dynamic_cast<const DualCyclePolicy*>(policy.get());
             check(dual != nullptr, "dual-cycle policy kind produced an unexpected type");
             const double fast = dual->fast_period_ps();
-            return replay_class_select(*policy, generator, fast, 2.0 * fast);
+            return replay_class_select(*policy, generator, fast, dual->stretch() * fast);
         }
     }
     check(false, "unknown policy kind");
@@ -411,8 +414,312 @@ std::vector<DcaRunResult> ReplayEvaluationEngine::run_batch(
     const std::vector<ReplayRequest>& requests) const {
     std::vector<DcaRunResult> results;
     results.reserve(requests.size());
-    for (const ReplayRequest& request : requests) {
-        results.push_back(run(request.kind, request.generator));
+    // Fuse runs of consecutive requests that share a policy: their request
+    // arrays are identical, so one block fill serves the whole run.
+    std::size_t begin = 0;
+    while (begin < requests.size()) {
+        std::size_t end = begin + 1;
+        while (end < requests.size() && requests[end].policy == requests[begin].policy) ++end;
+        std::vector<clocking::ClockGenerator*> generators;
+        generators.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) generators.push_back(requests[i].generator);
+        auto fused = run_fused(requests[begin].policy, generators);
+        for (auto& result : fused) results.push_back(std::move(result));
+        begin = end;
+    }
+    return results;
+}
+
+std::vector<DcaRunResult> ReplayEvaluationEngine::run_fused(
+    const PolicySpec& spec, const std::vector<clocking::ClockGenerator*>& generators) const {
+    if (generators.empty()) return {};
+    if (generators.size() == 1) return {run(spec, generators[0])};
+
+    const auto policy = make_policy(spec, *table_, delays_.static_period_ps);
+    const dta::DelayTable& table = *table_;
+    const auto& keys = trace_->stage_keys;
+    const double* unit = delays_.unit->unit_required_period_ps.data();
+    const double scale = delays_.delay_scale;
+
+    // --- Requested-period fill of this policy, type-erased: exactly the
+    // fills run() builds, but one closure now serves every variant, so the
+    // per-block gather/max (or select/scale) pass is paid once per column
+    // instead of once per cell. Value rows referenced by the closure are
+    // owned by the locals below and outlive the block loop.
+    std::array<GatherStage, sim::kStageCount> lut_stages{};
+    if (kernels_ != nullptr) {
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            lut_stages[static_cast<std::size_t>(s)] = {
+                keys[static_cast<std::size_t>(s)].data(),
+                effective_rows_[static_cast<std::size_t>(s)].data()};
+        }
+    }
+    std::array<double, dta::kKeyCount> ex_values{};
+    GatherStage ex_stage{};
+    std::array<std::array<double, dta::kKeyCount>, sim::kStageCount> select{};
+    std::array<GatherStage, sim::kStageCount> select_stages{};
+    std::array<std::array<bool, sim::kStageCount>, dta::kKeyCount> slow_map{};
+    std::vector<char> any_slow;
+
+    const auto fill_lut_max = [&](std::size_t begin, std::size_t end, double* out) {
+        const std::size_t count = end - begin;
+        std::fill(out, out + count, 0.0);
+        for (int s = 0; s < sim::kStageCount; ++s) {
+            const OccKey* row = keys[static_cast<std::size_t>(s)].data() + begin;
+            for (std::size_t i = 0; i < count; ++i) {
+                const double d = table.effective(row[i], static_cast<Stage>(s));
+                if (d > out[i]) out[i] = d;
+            }
+        }
+    };
+    // Class-select fill shared by two-class and dual-cycle: the same
+    // branch-free mask kernel / hoisted-bitmap pair replay_class_select
+    // uses, with identical guards, so fused figures match per-variant runs
+    // bit for bit.
+    const auto make_class_select_fill =
+        [&](double fast_period_ps,
+            double slow_period_ps) -> std::function<void(std::size_t, std::size_t, double*)> {
+        if (kernels_ != nullptr && slow_period_ps >= fast_period_ps && fast_period_ps >= 0.0) {
+            for (int s = 0; s < sim::kStageCount; ++s) {
+                for (OccKey key = 0; key < dta::kKeyCount; ++key) {
+                    const bool slow = TwoClassPolicy::is_slow_key(key) ||
+                                      !table.characterized(key, static_cast<Stage>(s));
+                    select[static_cast<std::size_t>(s)][static_cast<std::size_t>(key)] =
+                        slow ? slow_period_ps : fast_period_ps;
+                }
+                select_stages[static_cast<std::size_t>(s)] = {
+                    keys[static_cast<std::size_t>(s)].data(),
+                    select[static_cast<std::size_t>(s)].data()};
+            }
+            return [&](std::size_t begin, std::size_t end, double* out) {
+                kernels_->gather_max(select_stages.data(), sim::kStageCount, begin, end - begin,
+                                     out);
+            };
+        }
+        for (OccKey key = 0; key < dta::kKeyCount; ++key) {
+            for (int s = 0; s < sim::kStageCount; ++s) {
+                slow_map[static_cast<std::size_t>(key)][static_cast<std::size_t>(s)] =
+                    TwoClassPolicy::is_slow_key(key) ||
+                    !table.characterized(key, static_cast<Stage>(s));
+            }
+        }
+        any_slow.assign(scratch_cycles(), 0);
+        return [&, fast_period_ps, slow_period_ps](std::size_t begin, std::size_t end,
+                                                   double* out) {
+            const std::size_t count = end - begin;
+            std::fill(any_slow.begin(), any_slow.begin() + static_cast<std::ptrdiff_t>(count),
+                      0);
+            for (int s = 0; s < sim::kStageCount; ++s) {
+                const OccKey* row = keys[static_cast<std::size_t>(s)].data() + begin;
+                for (std::size_t i = 0; i < count; ++i) {
+                    any_slow[i] |= static_cast<char>(
+                        slow_map[static_cast<std::size_t>(row[i])][static_cast<std::size_t>(s)]);
+                }
+            }
+            for (std::size_t i = 0; i < count; ++i) {
+                out[i] = any_slow[i] != 0 ? slow_period_ps : fast_period_ps;
+            }
+        };
+    };
+
+    std::function<void(std::size_t, std::size_t, double*)> fill;
+    switch (spec.kind) {
+        case PolicyKind::kStatic: {
+            const double period = delays_.static_period_ps;
+            fill = [period](std::size_t begin, std::size_t end, double* out) {
+                std::fill(out, out + (end - begin), period);
+            };
+            break;
+        }
+        case PolicyKind::kGenie:
+            if (kernels_ != nullptr) {
+                fill = [&](std::size_t begin, std::size_t end, double* out) {
+                    kernels_->scale(unit + begin, scale, end - begin, out);
+                };
+            } else {
+                fill = [&](std::size_t begin, std::size_t end, double* out) {
+                    for (std::size_t c = begin; c < end; ++c) out[c - begin] = unit[c] * scale;
+                };
+            }
+            break;
+        case PolicyKind::kInstructionLut:
+            if (kernels_ != nullptr) {
+                fill = [&](std::size_t begin, std::size_t end, double* out) {
+                    kernels_->gather_max(lut_stages.data(), sim::kStageCount, begin, end - begin,
+                                         out);
+                };
+            } else {
+                fill = fill_lut_max;
+            }
+            break;
+        case PolicyKind::kApproxLut: {
+            const auto* approx = dynamic_cast<const ApproximateLutPolicy*>(policy.get());
+            check(approx != nullptr, "approx-lut policy kind produced an unexpected type");
+            const double approx_scale = approx->scale();
+            if (kernels_ != nullptr) {
+                fill = [&, approx_scale](std::size_t begin, std::size_t end, double* out) {
+                    kernels_->gather_max(lut_stages.data(), sim::kStageCount, begin, end - begin,
+                                         out);
+                    kernels_->scale(out, approx_scale, end - begin, out);
+                };
+            } else {
+                fill = [&, approx_scale](std::size_t begin, std::size_t end, double* out) {
+                    fill_lut_max(begin, end, out);
+                    for (std::size_t i = 0; i < end - begin; ++i) out[i] *= approx_scale;
+                };
+            }
+            break;
+        }
+        case PolicyKind::kExOnly: {
+            const auto* ex_only = dynamic_cast<const ExOnlyPolicy*>(policy.get());
+            check(ex_only != nullptr, "ex-only policy kind produced an unexpected policy type");
+            const double floor = ex_only->floor_ps();
+            const OccKey* ex_row = keys[static_cast<std::size_t>(Stage::kEx)].data();
+            if (kernels_ != nullptr) {
+                for (OccKey key = 0; key < dta::kKeyCount; ++key) {
+                    ex_values[static_cast<std::size_t>(key)] =
+                        std::max(table.effective(key, Stage::kEx), floor);
+                }
+                ex_stage = {ex_row, ex_values.data()};
+                fill = [&](std::size_t begin, std::size_t end, double* out) {
+                    kernels_->gather_max(&ex_stage, 1, begin, end - begin, out);
+                };
+            } else {
+                fill = [&, floor, ex_row](std::size_t begin, std::size_t end, double* out) {
+                    for (std::size_t c = begin; c < end; ++c) {
+                        out[c - begin] = std::max(table.effective(ex_row[c], Stage::kEx), floor);
+                    }
+                };
+            }
+            break;
+        }
+        case PolicyKind::kTwoClass: {
+            const auto* two_class = dynamic_cast<const TwoClassPolicy*>(policy.get());
+            check(two_class != nullptr, "two-class policy kind produced an unexpected type");
+            fill = make_class_select_fill(two_class->fast_period_ps(), table.static_period_ps());
+            break;
+        }
+        case PolicyKind::kDualCycle: {
+            const auto* dual = dynamic_cast<const DualCyclePolicy*>(policy.get());
+            check(dual != nullptr, "dual-cycle policy kind produced an unexpected type");
+            const double fast = dual->fast_period_ps();
+            fill = make_class_select_fill(fast, dual->stretch() * fast);
+            break;
+        }
+    }
+    check(fill != nullptr, "unknown policy kind");
+
+    // --- One block loop, G variant walks per filled block. Each variant
+    // keeps private accumulator state and consumes the shared block in the
+    // live engine's per-cycle order, so every variant's figures are bit-
+    // identical to its own run() call.
+    struct VariantState {
+        clocking::ClockGenerator* generator;
+        double total_time_ps = 0;
+        std::uint64_t violations = 0;
+        double worst_violation_ps = 0;
+    };
+    std::vector<VariantState> variants;
+    variants.reserve(generators.size());
+    for (clocking::ClockGenerator* generator : generators) {
+        if (generator != nullptr) generator->reset();
+        variants.push_back(VariantState{generator});
+    }
+
+    const std::size_t cycles = trace_->records.size();
+    const std::size_t block = static_cast<std::size_t>(options_.block_cycles);
+    std::vector<double> requested(scratch_cycles());
+    const timing::FixedPointPeriod* fx = fx_.has_value() ? &*fx_ : nullptr;
+
+#ifndef FOCS_OBS_COMPILE_OUT
+    bool instrumented = false;
+    switch (options_.obs) {
+        case ReplayObsMode::kAuto:
+            instrumented = obs::global_metrics().enabled() || obs::global_tracer().enabled();
+            break;
+        case ReplayObsMode::kForceOff: instrumented = false; break;
+        case ReplayObsMode::kForceOn: instrumented = true; break;
+    }
+    obs::Span span;
+    if (instrumented) {
+        span = obs::global_tracer().span("replay.run_fused");
+        span.arg("policy", policy->name())
+            .arg("variants", static_cast<std::int64_t>(variants.size()))
+            .arg("cycles", static_cast<std::int64_t>(cycles));
+    }
+#endif
+
+    [[maybe_unused]] std::uint64_t blocks = 0;
+    for (std::size_t begin = 0; begin < cycles; begin += block) {
+        if (options_.cancel != nullptr) options_.cancel->throw_if_cancelled();
+        const std::size_t end = std::min(cycles, begin + block);
+        fill(begin, end, requested.data());
+        ++blocks;
+        for (VariantState& variant : variants) {
+            if (variant.generator == nullptr && kernels_ != nullptr) {
+                // Ideal variant: the whole grant/integrate/safety pass is a
+                // block reduction over the shared request array.
+                kernels_->reduce_ideal(requested.data(), unit, scale, kViolationTolerancePs,
+                                       begin, end - begin, &variant.total_time_ps,
+                                       &variant.violations, &variant.worst_violation_ps);
+            } else if (variant.generator != nullptr && fx != nullptr) {
+                for (std::size_t c = begin; c < end; ++c) {
+                    const double granted =
+                        variant.generator->grant_period_ps(requested[c - begin]);
+                    variant.total_time_ps += granted;
+                    const double required = (*fx)(c);
+                    if (granted + kViolationTolerancePs < required) {
+                        ++variant.violations;
+                        variant.worst_violation_ps =
+                            std::max(variant.worst_violation_ps, required - granted);
+                    }
+                }
+            } else {
+                for (std::size_t c = begin; c < end; ++c) {
+                    const double request = requested[c - begin];
+                    const double granted = variant.generator != nullptr
+                                               ? variant.generator->grant_period_ps(request)
+                                               : request;
+                    variant.total_time_ps += granted;
+                    const double required = unit[c] * scale;
+                    if (granted + kViolationTolerancePs < required) {
+                        ++variant.violations;
+                        variant.worst_violation_ps =
+                            std::max(variant.worst_violation_ps, required - granted);
+                    }
+                }
+            }
+        }
+    }
+
+#ifndef FOCS_OBS_COMPILE_OUT
+    if (instrumented) {
+        obs::MetricsRegistry& metrics = obs::global_metrics();
+        static const struct Ids {
+            obs::MetricsRegistry::Id batches, variants, blocks;
+            explicit Ids(obs::MetricsRegistry& m)
+                : batches(m.counter("replay.fused_batches")),
+                  variants(m.counter("replay.fused_variants")),
+                  blocks(m.counter("replay.fused_blocks")) {}
+        } ids(metrics);
+        metrics.add(ids.batches);
+        metrics.add(ids.variants, variants.size());
+        metrics.add(ids.blocks, blocks);
+        span.arg("blocks", static_cast<std::int64_t>(blocks));
+    }
+#endif
+
+    std::vector<DcaRunResult> results;
+    results.reserve(variants.size());
+    for (const VariantState& variant : variants) {
+        DcaRunResult result = finish_run(
+            policy->name(),
+            variant.generator != nullptr ? variant.generator->name()
+                                         : clocking::IdealClockGenerator().name(),
+            cycles, variant.total_time_ps, delays_.static_period_ps, variant.violations,
+            variant.worst_violation_ps);
+        result.guest = trace_->guest;
+        results.push_back(std::move(result));
     }
     return results;
 }

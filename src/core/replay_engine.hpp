@@ -78,7 +78,7 @@ struct ReplayOptions {
 /// One (policy, generator) cell of a replay batch. A null generator means
 /// the ideal (continuously tunable) clock generator.
 struct ReplayRequest {
-    PolicyKind kind = PolicyKind::kInstructionLut;
+    PolicySpec policy = PolicyKind::kInstructionLut;
     clocking::ClockGenerator* generator = nullptr;
 };
 
@@ -91,11 +91,25 @@ public:
     ReplayEvaluationEngine(const sim::PipelineTrace& trace, timing::ScaledTraceDelays delays,
                            const dta::DelayTable& table, ReplayOptions options = {});
 
-    /// Replays one bundled policy kind through its devirtualized kernel.
-    DcaRunResult run(PolicyKind kind, clocking::ClockGenerator* generator = nullptr) const;
+    /// Replays one bundled policy through its devirtualized kernel. The
+    /// spec's parameter (approx-lut scale, dual-cycle stretch) is threaded
+    /// into the kernel constants; a bare PolicyKind converts implicitly and
+    /// gets the kind's default parameter.
+    DcaRunResult run(const PolicySpec& spec, clocking::ClockGenerator* generator = nullptr) const;
 
     /// Replays a whole policy x generator batch over the shared trace.
+    /// Consecutive requests sharing a policy are fused (see run_fused).
     std::vector<DcaRunResult> run_batch(const std::vector<ReplayRequest>& requests) const;
+
+    /// Fused multi-generator replay: scores one policy across all generator
+    /// variants of a sweep column (nullptr = ideal) in a single pass over
+    /// the trace. The requested-period array of a block depends only on the
+    /// policy, never on the generator, so one block fill serves every
+    /// variant; each variant then pays only its own grant/integrate/safety
+    /// walk. Results are byte-identical to per-variant run() calls — a
+    /// G-variant column costs one gather/max fill instead of G.
+    std::vector<DcaRunResult> run_fused(
+        const PolicySpec& spec, const std::vector<clocking::ClockGenerator*>& generators) const;
 
     const sim::PipelineTrace& trace() const { return *trace_; }
     const timing::ScaledTraceDelays& delays() const { return delays_; }

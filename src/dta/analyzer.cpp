@@ -83,17 +83,20 @@ void DynamicTimingAnalysis::analyze(const EventLog& log, const OccupancyTrace& t
 
     // Phase 1 (per-endpoint slack -> per-stage grouping -> per-cycle maxima).
     // The paper identifies, per endpoint and cycle, the last data event and
-    // relates it to the *next* clock edge at the same endpoint: the dynamic
-    // delay requirement is (arrival + setup) - skew.
+    // relates it to the *next* clock edge at the same endpoint. Events carry
+    // the arrival already normalized by setup and skew (see
+    // GateLevelSimulation::on_cycle), so the dynamic delay requirement is
+    // the arrival field itself — an exact read, with no re-rounding between
+    // the timing model and the per-stage maxima.
     for (const auto& event : log.events()) {
         check(event.cycle < cycles, "event log references a cycle beyond the trace");
         const auto id = static_cast<std::size_t>(event.endpoint_id);
         check(id < spec_.endpoints.size(), "event log references an unknown endpoint");
         const auto& info = spec_.endpoints[id];
-        const double required = event.data_arrival_ps + info.setup_ps - info.skew_ps;
+        const double required = event.data_arrival_ps;
         // Dynamic slack against the gate-sim clock (kept as a sanity check
         // that the relaxed simulation clock never violated timing).
-        const double slack = event.clock_edge_ps - event.data_arrival_ps - info.setup_ps;
+        const double slack = event.clock_edge_ps - event.data_arrival_ps - info.skew_ps;
         check(slack >= 0, "gate-level simulation clock violated an endpoint");
         auto& stage_delay =
             cycle_delays_[event.cycle][static_cast<std::size_t>(info.stage)];
@@ -143,8 +146,8 @@ void DynamicTimingAnalysis::consume_cycle(const TraceEntry& entry,
         const auto id = static_cast<std::size_t>(event.endpoint_id);
         check(id < spec_.endpoints.size(), "event stream references an unknown endpoint");
         const auto& info = spec_.endpoints[id];
-        const double required = event.data_arrival_ps + info.setup_ps - info.skew_ps;
-        const double slack = event.clock_edge_ps - event.data_arrival_ps - info.setup_ps;
+        const double required = event.data_arrival_ps;
+        const double slack = event.clock_edge_ps - event.data_arrival_ps - info.skew_ps;
         check(slack >= 0, "gate-level simulation clock violated an endpoint");
         auto& stage_delay = delays[static_cast<std::size_t>(info.stage)];
         stage_delay = std::max(stage_delay, required);
@@ -206,14 +209,16 @@ Histogram DynamicTimingAnalysis::key_stage_histogram(OccKey key, Stage stage, in
 }
 
 DelayTable DynamicTimingAnalysis::build_delay_table() const {
-    DelayTable table(config_.static_period_ps);
+    // The table keeps the raw observed maximum and the guard band separate
+    // (set_characterized applies min(raw + guard, static)), so a nominal
+    // table can be retargeted to any operating point as an exact scaled()
+    // view instead of re-characterizing per voltage.
+    DelayTable table(config_.static_period_ps, config_.lut_guard_ps);
     for (OccKey key = 0; key < kKeyCount; ++key) {
         for (int s = 0; s < sim::kStageCount; ++s) {
             const auto& ks = key_stats_[static_cast<std::size_t>(key)][static_cast<std::size_t>(s)];
             if (ks.occurrences < static_cast<std::uint64_t>(config_.min_occurrences)) continue;
-            const double entry =
-                std::min(ks.max_ps + config_.lut_guard_ps, config_.static_period_ps);
-            table.set(key, static_cast<Stage>(s), entry);
+            table.set_characterized(key, static_cast<Stage>(s), ks.max_ps);
         }
     }
     return table;

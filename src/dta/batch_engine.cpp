@@ -275,7 +275,6 @@ void BatchCharacterizationEngine::run_shard(const std::vector<Segment>& shard,
                                             const std::array<double, sim::kStageCount>* stage_ps,
                                             std::size_t count, double* partial) const {
     const double* skew = soa_.skew_ps.data();
-    const double* setup = soa_.setup_ps.data();
     const std::uint64_t* jitter_key = soa_.jitter_key.data();
     const double sim_period = sim_period_ps_;
 
@@ -302,15 +301,16 @@ void BatchCharacterizationEngine::run_shard(const std::vector<Segment>& shard,
                 if (i - seg.stage_first != worst) {
                     endpoint_required *= 0.45 + 0.5 * hash_unit_double(cycle_mix + jitter_key[i]);
                 }
-                // Fused event production + slack recovery, with the exact
-                // floating-point expression order of GateLevelSimulation
-                // and DynamicTimingAnalysis::consume_cycle so the worst
-                // endpoint's recovered requirement matches bit for bit.
-                const double arrival = endpoint_required + skew[i] - setup[i];
-                const double recovered = arrival + setup[i] - skew[i];
-                const double slack = sim_period + skew[i] - arrival - setup[i];
+                // Fused event production + slack recovery: events carry the
+                // normalized requirement directly (see GateLevelSimulation),
+                // so the recovered value is the requirement itself. The
+                // slack check keeps the exact floating-point expression
+                // order of DynamicTimingAnalysis::consume_cycle so the two
+                // paths accept/reject identically.
+                const double clock_edge = sim_period + skew[i];
+                const double slack = clock_edge - endpoint_required - skew[i];
                 if (slack < 0) throw_violated_endpoint();
-                if (recovered > stage_max) stage_max = recovered;
+                if (endpoint_required > stage_max) stage_max = endpoint_required;
             }
             local[seg.stage] = stage_max;
         }

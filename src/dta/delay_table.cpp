@@ -1,5 +1,6 @@
 #include "dta/delay_table.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -41,17 +42,31 @@ std::string_view key_name(OccKey key) {
     return isa::mnemonic(static_cast<isa::Opcode>(key));
 }
 
-DelayTable::DelayTable(double static_period_ps) : static_period_ps_(static_period_ps) {
+DelayTable::DelayTable(double static_period_ps, double lut_guard_ps)
+    : static_period_ps_(static_period_ps), lut_guard_ps_(lut_guard_ps) {
     check(static_period_ps >= 0, "negative static period");
+    check(lut_guard_ps >= 0, "negative LUT guard band");
     for (auto& row : effective_) row.fill(static_period_ps_);
 }
 
 void DelayTable::set(OccKey key, Stage stage, double delay_ps) {
     check(key >= 0 && key < kKeyCount, "delay table key out of range");
     check(delay_ps > 0, "delay table entry must be positive");
+    has_raw_ = false;
     delays_[static_cast<std::size_t>(key)][static_cast<std::size_t>(stage)] = delay_ps;
     present_[static_cast<std::size_t>(key)][static_cast<std::size_t>(stage)] = true;
     effective_[static_cast<std::size_t>(key)][static_cast<std::size_t>(stage)] = delay_ps;
+}
+
+void DelayTable::set_characterized(OccKey key, Stage stage, double raw_max_ps) {
+    check(key >= 0 && key < kKeyCount, "delay table key out of range");
+    check(raw_max_ps > 0, "raw characterized maximum must be positive");
+    check(has_raw_, "cannot mix raw characterized entries into a legacy table");
+    raw_[static_cast<std::size_t>(key)][static_cast<std::size_t>(stage)] = raw_max_ps;
+    const double entry = std::min(raw_max_ps + lut_guard_ps_, static_period_ps_);
+    delays_[static_cast<std::size_t>(key)][static_cast<std::size_t>(stage)] = entry;
+    present_[static_cast<std::size_t>(key)][static_cast<std::size_t>(stage)] = true;
+    effective_[static_cast<std::size_t>(key)][static_cast<std::size_t>(stage)] = entry;
 }
 
 bool DelayTable::characterized(OccKey key, Stage stage) const {
@@ -90,10 +105,19 @@ double DelayTable::cycle_period_ps(const sim::CycleRecord& record) const {
 
 DelayTable DelayTable::scaled(double factor) const {
     check(factor > 0, "scale factor must be positive");
-    DelayTable out(static_period_ps_ * factor);
+    DelayTable out(static_period_ps_ * factor, lut_guard_ps_);
     for (OccKey key = 0; key < kKeyCount; ++key) {
         for (int s = 0; s < sim::kStageCount; ++s) {
-            if (characterized(key, static_cast<Stage>(s))) {
+            if (!characterized(key, static_cast<Stage>(s))) continue;
+            if (has_raw_) {
+                // Scale the raw maximum, then re-apply the voltage-
+                // independent guard band and the scaled static clamp inside
+                // set_characterized — the exact expression a reference
+                // characterization at the target operating point computes.
+                out.set_characterized(
+                    key, static_cast<Stage>(s),
+                    raw_[static_cast<std::size_t>(key)][static_cast<std::size_t>(s)] * factor);
+            } else {
                 out.set(key, static_cast<Stage>(s),
                         delays_[static_cast<std::size_t>(key)][static_cast<std::size_t>(s)] *
                             factor);
@@ -104,8 +128,25 @@ DelayTable DelayTable::scaled(double factor) const {
 }
 
 std::string DelayTable::serialize() const {
-    std::string out = "delay_table v1 static_ps=" + std::to_string(static_period_ps_) + "\n";
-    char line[128];
+    char line[160];
+    std::string out;
+    if (has_raw_) {
+        // v2: raw maxima at full precision so a deserialized table keeps
+        // producing bit-identical scaled() views.
+        std::snprintf(line, sizeof line, "delay_table v2 static_ps=%.17g guard_ps=%.17g\n",
+                      static_period_ps_, lut_guard_ps_);
+        out = line;
+        for (OccKey key = 0; key < kKeyCount; ++key) {
+            for (int s = 0; s < sim::kStageCount; ++s) {
+                if (!characterized(key, static_cast<Stage>(s))) continue;
+                std::snprintf(line, sizeof line, "%d %d %.17g\n", key, s,
+                              raw_[static_cast<std::size_t>(key)][static_cast<std::size_t>(s)]);
+                out += line;
+            }
+        }
+        return out;
+    }
+    out = "delay_table v1 static_ps=" + std::to_string(static_period_ps_) + "\n";
     for (OccKey key = 0; key < kKeyCount; ++key) {
         for (int s = 0; s < sim::kStageCount; ++s) {
             if (!characterized(key, static_cast<Stage>(s))) continue;
@@ -122,11 +163,14 @@ DelayTable DelayTable::deserialize(const std::string& text) {
     std::string header;
     std::getline(in, header);
     const auto fields = split_whitespace(header);
-    if (fields.size() != 3 || fields[0] != "delay_table" || fields[1] != "v1" ||
-        !starts_with(fields[2], "static_ps=")) {
+    const bool v1 = fields.size() == 3 && fields[1] == "v1" && starts_with(fields[2], "static_ps=");
+    const bool v2 = fields.size() == 4 && fields[1] == "v2" &&
+                    starts_with(fields[2], "static_ps=") && starts_with(fields[3], "guard_ps=");
+    if (fields.empty() || fields[0] != "delay_table" || (!v1 && !v2)) {
         throw ParseError("malformed delay table header: " + header);
     }
-    DelayTable table(std::stod(fields[2].substr(10)));
+    const double guard = v2 ? std::stod(fields[3].substr(9)) : 0.0;
+    DelayTable table(std::stod(fields[2].substr(10)), guard);
     std::string line;
     int line_no = 1;
     while (std::getline(in, line)) {
@@ -140,7 +184,12 @@ DelayTable DelayTable::deserialize(const std::string& text) {
             *stage >= sim::kStageCount) {
             throw ParseError("delay table entry out of range", line_no);
         }
-        table.set(static_cast<OccKey>(*key), static_cast<Stage>(*stage), std::stod(parts[2]));
+        if (v2) {
+            table.set_characterized(static_cast<OccKey>(*key), static_cast<Stage>(*stage),
+                                    std::stod(parts[2]));
+        } else {
+            table.set(static_cast<OccKey>(*key), static_cast<Stage>(*stage), std::stod(parts[2]));
+        }
     }
     return table;
 }

@@ -5,7 +5,10 @@
 // stages. Entries hold the worst dynamic delay observed during
 // characterization (plus the guard band); uncharacterized entries fall back
 // to the static timing limit, exactly as the paper handles instructions
-// with too few occurrences in the characterization benchmark.
+// with too few occurrences in the characterization benchmark. Each entry is
+// stored split into its scalable raw maximum and the voltage-independent
+// guard band, so one nominal characterization serves every operating point
+// through exact scaled() views (see DelayTable::scaled).
 #pragma once
 
 #include <array>
@@ -39,13 +42,38 @@ std::string_view key_name(OccKey key);
 
 class DelayTable {
 public:
-    /// `static_period_ps` is the STA clock period used as fallback.
-    explicit DelayTable(double static_period_ps = 0);
+    /// `static_period_ps` is the STA clock period used as fallback;
+    /// `lut_guard_ps` is the guard band added on top of raw characterized
+    /// maxima by set_characterized().
+    explicit DelayTable(double static_period_ps = 0, double lut_guard_ps = 0);
 
     double static_period_ps() const { return static_period_ps_; }
+    double lut_guard_ps() const { return lut_guard_ps_; }
 
-    /// Sets a characterized entry.
+    /// Sets an entry directly (legacy/manual form). The final LUT value is
+    /// stored as-is, with no raw/guard decomposition, so the table loses
+    /// its exact-rescaling property: scaled() falls back to multiplying
+    /// finished entries.
     void set(OccKey key, sim::Stage stage, double delay_ps);
+
+    /// Sets a characterized entry from the RAW observed maximum (before the
+    /// guard band): the finished LUT value becomes
+    /// min(raw_max_ps + lut_guard_ps, static_period_ps). Keeping the raw
+    /// maximum lets scaled() reproduce a per-voltage reference
+    /// characterization bit-identically (scale the raw part, then re-apply
+    /// the voltage-independent guard band and the scaled static clamp).
+    void set_characterized(OccKey key, sim::Stage stage, double raw_max_ps);
+
+    /// True while every entry was produced by set_characterized(): the
+    /// table carries raw maxima and scaled() is an exact reference-
+    /// characterization image. A single legacy set() clears it for good.
+    bool has_raw() const { return has_raw_; }
+
+    /// Raw characterized maximum (before guard band); only meaningful when
+    /// has_raw() and characterized(key, stage).
+    double raw(OccKey key, sim::Stage stage) const {
+        return raw_[static_cast<std::size_t>(key)][static_cast<std::size_t>(stage)];
+    }
 
     /// True when characterization produced an entry for (key, stage).
     bool characterized(OccKey key, sim::Stage stage) const;
@@ -71,13 +99,25 @@ public:
         return effective_[static_cast<std::size_t>(key)][static_cast<std::size_t>(stage)];
     }
 
-    /// Copy with every entry (and the static fallback) multiplied by
-    /// `factor`. This is the paper's proposed "(online-)updating of the
-    /// used delay prediction table": rescaling by the cell library's delay
-    /// ratio retargets a characterization to a different operating point.
+    /// Voltage view: retargets the table to another operating point by
+    /// `factor` (the cell library's delay-scale ratio). This is the paper's
+    /// proposed "(online-)updating of the used delay prediction table".
+    /// For a table built with set_characterized() (has_raw()), the view is
+    /// bit-identical to re-running the characterization at the target
+    /// operating point: the per-voltage reference computes
+    ///   min(fl(fl(raw * factor) + guard), fl(static * factor))
+    /// because per-cycle delays scale as fl(unit * factor) and max commutes
+    /// with multiplication by a positive constant under IEEE rounding
+    /// (rounding monotonicity), and scaled() evaluates exactly that
+    /// expression. Legacy tables (manual set(), v1 deserialization) fall
+    /// back to multiplying finished entries, which matches the pre-split
+    /// semantics but not a reference characterization bit-for-bit.
     DelayTable scaled(double factor) const;
 
-    /// Serialization (text, one line per characterized entry).
+    /// Serialization (text, one line per characterized entry). Raw-backed
+    /// tables emit the v2 format (guard band in the header, full-precision
+    /// raw maxima); legacy tables keep emitting v1. deserialize() accepts
+    /// both.
     std::string serialize() const;
     static DelayTable deserialize(const std::string& text);
 
@@ -87,11 +127,18 @@ public:
 
 private:
     double static_period_ps_;
+    double lut_guard_ps_;
+    /// Sticky raw-backed flag: true until the first legacy set().
+    bool has_raw_ = true;
     std::array<std::array<double, sim::kStageCount>, kKeyCount> delays_{};
     std::array<std::array<bool, sim::kStageCount>, kKeyCount> present_{};
+    /// Raw characterized maxima (before the guard band); the scalable part
+    /// of each entry. Only maintained by set_characterized().
+    std::array<std::array<double, sim::kStageCount>, kKeyCount> raw_{};
     /// Fallback-resolved view of the table: the characterized delay where
-    /// present, the static period otherwise. Maintained by set() so the
-    /// per-cycle hot path is a plain load per stage.
+    /// present, the static period otherwise. Maintained by set() /
+    /// set_characterized() so the per-cycle hot path is a plain load per
+    /// stage.
     std::array<std::array<double, sim::kStageCount>, kKeyCount> effective_{};
 };
 

@@ -1,11 +1,15 @@
 // Endpoint event log — the equivalent of the paper's TSSI event log
 // produced by SDF gate-level simulation.
 //
-// For every clock cycle and sequential endpoint the log records the time of
-// the last data-input event and the arrival of the next active clock edge
-// at that same endpoint (which differs per endpoint because of clock skew).
-// The dynamic timing analyzer recovers per-endpoint slack from exactly
-// these two timestamps, as described in paper Sec. II-B.2.
+// For every clock cycle and sequential endpoint the log records the
+// endpoint's dynamic delay requirement (the last data-input event already
+// normalized by the endpoint's setup margin and clock skew) and the arrival
+// of the next active clock edge at that same endpoint (which differs per
+// endpoint because of clock skew). The dynamic timing analyzer recovers
+// per-endpoint slack from exactly these two timestamps, as described in
+// paper Sec. II-B.2; producers pre-normalize the arrival so the recovered
+// requirement is an exact floating-point image of the timing model output
+// (the invariant behind DelayTable's scaled voltage views).
 #pragma once
 
 #include <cstdint>
@@ -21,7 +25,7 @@ namespace focs::dta {
 struct EndpointEvent {
     std::uint64_t cycle = 0;
     std::int32_t endpoint_id = 0;
-    double data_arrival_ps = 0;  ///< last data-pin event, relative to launch edge
+    double data_arrival_ps = 0;  ///< setup/skew-normalized last data-pin event
     double clock_edge_ps = 0;    ///< next capture edge at this endpoint
 };
 

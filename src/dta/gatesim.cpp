@@ -50,9 +50,16 @@ void GateLevelSimulation::on_cycle(const sim::CycleRecord& record) {
             EndpointEvent event;
             event.cycle = record.cycle;
             event.endpoint_id = soa_.id[i];
-            // The data pin settles `setup` before the "virtual" capture
-            // deadline; the clock edge at this endpoint is skewed.
-            event.data_arrival_ps = endpoint_required + soa_.skew_ps[i] - soa_.setup_ps[i];
+            // Events carry the setup-and-skew-normalized arrival directly
+            // (the endpoint's dynamic period requirement): the raw data-pin
+            // timestamp would be endpoint_required + skew - setup, and the
+            // analyzer would immediately undo that shift. Folding the
+            // normalization into the producer keeps the recovered per-stage
+            // delay an exact floating-point image of the timing model's
+            // output, which the voltage-scaling identity of
+            // DelayTable::scaled depends on. The clock edge at this endpoint
+            // is still skewed.
+            event.data_arrival_ps = endpoint_required;
             event.clock_edge_ps = sim_period_ps_ + soa_.skew_ps[i];
             cycle_events_.push_back(event);
         }

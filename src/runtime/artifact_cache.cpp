@@ -9,8 +9,10 @@
 #include "asm/assembler.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/strings.hpp"
 #include "core/flows.hpp"
 #include "obs/span_tracer.hpp"
+#include "timing/cell_library.hpp"
 #include "workloads/kernel.hpp"
 
 namespace focs::runtime {
@@ -33,6 +35,9 @@ std::uint64_t estimated_bytes_of(const sim::PipelineTrace& trace) {
 }
 std::uint64_t estimated_bytes_of(const std::shared_ptr<const timing::UnitTraceDelays>& unit) {
     return unit == nullptr ? 0 : unit->estimated_bytes();
+}
+std::uint64_t estimated_bytes_of(const std::shared_ptr<const dta::DelayTable>& table) {
+    return table == nullptr ? 0 : table->estimated_bytes();
 }
 
 }  // namespace
@@ -65,6 +70,9 @@ ArtifactCache::ArtifactCache(int max_build_attempts)
         ids.evicted = metrics_.counter(prefix + "evicted");
         ids.evicted_lru = metrics_.counter(prefix + "evicted_lru");
     }
+    nominal_passes_id_ = metrics_.counter("cache.delay_table.nominal_passes");
+    scaled_views_id_ = metrics_.counter("cache.delay_table.scaled_views");
+    reference_passes_id_ = metrics_.counter("cache.delay_table.reference_passes");
 }
 
 template <typename T>
@@ -171,7 +179,16 @@ void ArtifactCache::evict_over_budget_locked() {
         const LruNode victim = lru_.front();
         switch (victim.artifact_class) {
             case ArtifactClass::kProgram: evict(programs_, victim); break;
-            case ArtifactClass::kDelayTable: evict(tables_, victim); break;
+            case ArtifactClass::kDelayTable:
+                // Per-voltage tables and the shared nominal entry live in
+                // separate maps under the same class; the key prefix tells
+                // them apart.
+                if (starts_with(victim.key, "nominal/")) {
+                    evict(nominal_tables_, victim);
+                } else {
+                    evict(tables_, victim);
+                }
+                break;
             case ArtifactClass::kTrace: evict(traces_, victim); break;
             case ArtifactClass::kUnitDelays: evict(unit_delays_, victim); break;
         }
@@ -209,6 +226,18 @@ std::string ArtifactCache::design_key(const timing::DesignConfig& design,
     char buf[160];
     std::snprintf(buf, sizeof buf, "v%d:%.6f:%llu:g%.6f:m%d",
                   static_cast<int>(design.variant), design.voltage_v,
+                  static_cast<unsigned long long>(design.seed), analyzer_config.lut_guard_ps,
+                  analyzer_config.min_occurrences);
+    return buf;
+}
+
+std::string ArtifactCache::nominal_key(const timing::DesignConfig& design,
+                                       const dta::AnalyzerConfig& analyzer_config) {
+    // Voltage-free: one nominal characterization serves the whole voltage
+    // axis of a (variant, seed, analyzer config) combination.
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "nominal/v%d:%llu:g%.6f:m%d",
+                  static_cast<int>(design.variant),
                   static_cast<unsigned long long>(design.seed), analyzer_config.lut_guard_ps,
                   analyzer_config.min_occurrences);
     return buf;
@@ -272,7 +301,7 @@ std::shared_future<std::vector<assembler::Program>> ArtifactCache::characterizat
 
 std::shared_future<dta::DelayTable> ArtifactCache::delay_table(
     const timing::DesignConfig& design, const dta::AnalyzerConfig& analyzer_config,
-    int flow_threads, const CancellationToken* cancel) {
+    int flow_threads, const CancellationToken* cancel, bool reference_characterization) {
     const std::string key = design_key(design, analyzer_config);
     std::promise<dta::DelayTable> promise;
     std::shared_future<dta::DelayTable> future = promise.get_future().share();
@@ -285,23 +314,95 @@ std::shared_future<dta::DelayTable> ArtifactCache::delay_table(
         }
         tables_.emplace(key, Entry<dta::DelayTable>{future});
     }
+    // An explicit static-period override breaks the pure delay-scale
+    // relation between operating points, so such requests always take the
+    // reference flow.
+    const bool reference = reference_characterization || analyzer_config.static_period_ps > 0;
     metrics_.add(ids(ArtifactClass::kDelayTable).miss);
     const auto start = std::chrono::steady_clock::now();
     FOCS_OBS_SPAN(span, obs::global_tracer(), "cache.build.delay_table");
     span.arg("key", key).arg("flow_threads", static_cast<std::int64_t>(flow_threads));
     run_build(
         ArtifactClass::kDelayTable, key, tables_, promise,
-        [&] {
-            // Dependency fetched inside the build so a retry after a failed
-            // suite assembly re-elects that builder too.
-            const auto programs = characterization_programs();
-            const core::CharacterizationFlow flow(design, analyzer_config);
-            core::CharacterizationOptions options;
-            options.threads = flow_threads;
-            options.cancel = cancel;
-            return flow.run(programs.get(), options).table;
+        [&]() -> dta::DelayTable {
+            if (reference) {
+                // Per-voltage reference characterization: the byte-identity
+                // escape hatch (and the explicit-static-period path).
+                // Dependency fetched inside the build so a retry after a
+                // failed suite assembly re-elects that builder too.
+                const auto programs = characterization_programs();
+                const core::CharacterizationFlow flow(design, analyzer_config);
+                core::CharacterizationOptions options;
+                options.threads = flow_threads;
+                options.cancel = cancel;
+                dta::DelayTable table = flow.run(programs.get(), options).table;
+                metrics_.add(reference_passes_id_);
+                return table;
+            }
+            // Derived view: scale the shared nominal table by the cell
+            // library's delay ratio. delay_scale(kNominalVoltageV) == 1.0
+            // exactly, so the ratio is delay_scale(target) itself and the
+            // view is bit-identical to a reference characterization at the
+            // target voltage (DelayTable::scaled).
+            const auto nominal =
+                nominal_delay_table(design, analyzer_config, flow_threads, cancel);
+            const double factor =
+                timing::CellLibrary::fdsoi28().delay_scale(design.voltage_v);
+            dta::DelayTable table = nominal.get()->scaled(factor);
+            metrics_.add(scaled_views_id_);
+            return table;
         },
         cancel);
+    metrics_.observe(ids(ArtifactClass::kDelayTable).build_ms, ms_since(start));
+    return future;
+}
+
+std::shared_future<std::shared_ptr<const dta::DelayTable>> ArtifactCache::nominal_delay_table(
+    const timing::DesignConfig& design, const dta::AnalyzerConfig& analyzer_config,
+    int flow_threads, const CancellationToken* cancel) {
+    const std::string key = nominal_key(design, analyzer_config);
+    std::promise<std::shared_ptr<const dta::DelayTable>> promise;
+    std::shared_future<std::shared_ptr<const dta::DelayTable>> future =
+        promise.get_future().share();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (const auto it = nominal_tables_.find(key); it != nominal_tables_.end()) {
+            if (it->second.resident) lru_.splice(lru_.end(), lru_, it->second.lru);
+            return it->second.future;
+        }
+        nominal_tables_.emplace(key, Entry<std::shared_ptr<const dta::DelayTable>>{future});
+    }
+    // This thread won the nominal build. No in-place retry here: a failure
+    // is published to the current waiters and the slot cleared, so the
+    // per-voltage builder's retry (run_build) re-elects a nominal builder
+    // with a fresh attempt ordinal.
+    const auto start = std::chrono::steady_clock::now();
+    FOCS_OBS_SPAN(span, obs::global_tracer(), "cache.build.nominal_table");
+    span.arg("key", key).arg("flow_threads", static_cast<std::int64_t>(flow_threads));
+    try {
+        FOCS_FAULT_POINT_AT_CANCEL("build.nominal_table", key,
+                                   next_build_attempt(ArtifactClass::kDelayTable, key), cancel);
+        timing::DesignConfig nominal_design = design;
+        nominal_design.voltage_v = timing::kNominalVoltageV;
+        const auto programs = characterization_programs();
+        const core::CharacterizationFlow flow(nominal_design, analyzer_config);
+        core::CharacterizationOptions options;
+        options.threads = flow_threads;
+        options.cancel = cancel;
+        auto table =
+            std::make_shared<const dta::DelayTable>(flow.run(programs.get(), options).table);
+        const std::uint64_t bytes = estimated_bytes_of(table);
+        promise.set_value(std::move(table));
+        metrics_.add(nominal_passes_id_);
+        make_resident(ArtifactClass::kDelayTable, key, nominal_tables_, bytes);
+    } catch (...) {
+        promise.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (const auto it = nominal_tables_.find(key);
+            it != nominal_tables_.end() && !it->second.resident) {
+            nominal_tables_.erase(it);
+        }
+    }
     metrics_.observe(ids(ArtifactClass::kDelayTable).build_ms, ms_since(start));
     return future;
 }
@@ -408,7 +509,20 @@ ArtifactBuildStats ArtifactCache::build_stats(ArtifactClass artifact_class) cons
 }
 
 std::uint64_t ArtifactCache::characterizations_built() const {
-    return metrics_.counter_value(ids(ArtifactClass::kDelayTable).built);
+    return metrics_.counter_value(nominal_passes_id_) +
+           metrics_.counter_value(reference_passes_id_);
+}
+
+std::uint64_t ArtifactCache::nominal_passes() const {
+    return metrics_.counter_value(nominal_passes_id_);
+}
+
+std::uint64_t ArtifactCache::scaled_views() const {
+    return metrics_.counter_value(scaled_views_id_);
+}
+
+std::uint64_t ArtifactCache::reference_passes() const {
+    return metrics_.counter_value(reference_passes_id_);
 }
 
 std::uint64_t ArtifactCache::cache_hits() const {

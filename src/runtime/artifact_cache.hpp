@@ -2,17 +2,33 @@
 //
 // A sweep grid re-uses four expensive artifacts across many cells:
 // assembled Programs (one per kernel, shared by every policy/generator/
-// voltage cell), the characterization DelayTable (one per design operating
-// point, shared by every cell at that point), recorded PipelineTraces (one
-// guest simulation per (kernel, machine config), shared by every clocking
-// scheme replayed over it), and UnitTraceDelays (the voltage-free per-cycle
-// required-period ground truth, one per (trace, design variant) — the
-// *entire voltage axis* of a sweep derives its ScaledTraceDelays views from
-// this one array). The cache computes each artifact exactly once behind a
-// std::shared_future: the first requester becomes the builder, every
-// concurrent requester blocks on the same future, and later requesters get
-// the cached value immediately. All artifacts are immutable after
-// construction, so sharing references across worker threads is safe.
+// voltage cell), the characterization DelayTable (see below), recorded
+// PipelineTraces (one guest simulation per (kernel, machine config), shared
+// by every clocking scheme replayed over it), and UnitTraceDelays (the
+// voltage-free per-cycle required-period ground truth, one per (trace,
+// design variant) — the *entire voltage axis* of a sweep derives its
+// ScaledTraceDelays views from this one array). The cache computes each
+// artifact exactly once behind a std::shared_future: the first requester
+// becomes the builder, every concurrent requester blocks on the same
+// future, and later requesters get the cached value immediately. All
+// artifacts are immutable after construction, so sharing references across
+// worker threads is safe.
+//
+// Delay tables are factorized along the voltage axis the same way the unit
+// trace delays are: the expensive gate-level characterization flow runs
+// exactly once per voltage-free nominal key (variant, seed, analyzer
+// config) at the cell library's nominal operating point (0.70 V, where
+// delay_scale == 1.0 exactly), and every per-voltage table is derived from
+// that shared nominal entry as a DelayTable::scaled view — bit-identical to
+// a reference characterization at the target voltage (see
+// DelayTable::scaled for the rounding-monotonicity argument). The nominal
+// entry sits behind its own shared_future<shared_ptr<const DelayTable>>
+// with the same exactly-once election, and participates in the byte-budget
+// LRU like any other entry. cache.delay_table.nominal_passes counts nominal
+// flows actually executed and cache.delay_table.scaled_views counts derived
+// per-voltage views; the per-voltage reference flow stays available behind
+// delay_table(..., reference_characterization=true), counted in
+// cache.delay_table.reference_passes.
 //
 // Every lookup lands in exactly one of three outcomes per artifact class,
 // counted on an embedded (always-enabled, private) metrics registry:
@@ -116,22 +132,32 @@ public:
     /// suite). Throws focs::Error through the future on unknown kernels.
     std::shared_future<assembler::Program> program(const std::string& kernel);
 
-    /// Characterization delay table of one operating point. Runs the full
-    /// gate-level characterization flow on first request; `analyzer_config`
-    /// participates in the cache key, so different guard bands are distinct
-    /// artifacts. `flow_threads` sets the batched characterization engine's
-    /// intra-flow worker count for a build triggered by this request (it
-    /// does not affect the artifact — every thread count produces the same
-    /// table — so it is not part of the cache key); sweeps pass > 1 when
-    /// grid-level parallelism would otherwise sit idle behind the build.
-    /// `cancel` (optional, like flow_threads not part of the key) is
-    /// polled by the characterization flow at batch boundaries: a fired
-    /// token fails the build with the token's cancellation code, which
-    /// evicts the entry — a later request without the token rebuilds.
+    /// Characterization delay table of one operating point. By default the
+    /// table is derived as a DelayTable::scaled view of the shared nominal
+    /// entry (one gate-level characterization per voltage-free nominal key,
+    /// bit-identical to characterizing at the target voltage); pass
+    /// `reference_characterization = true` to force the per-voltage
+    /// reference flow instead (the byte-identity escape hatch). A table
+    /// pre-seeded via put_delay_table for this operating point always wins
+    /// over both paths. `analyzer_config` participates in the cache key, so
+    /// different guard bands are distinct artifacts; an explicit
+    /// analyzer_config.static_period_ps (> 0) disables the nominal
+    /// factorization for that request (the override breaks the pure
+    /// delay-scale relation the view depends on). `flow_threads` sets the
+    /// batched characterization engine's intra-flow worker count for a
+    /// build triggered by this request (it does not affect the artifact —
+    /// every thread count produces the same table — so it is not part of
+    /// the cache key); sweeps pass > 1 when grid-level parallelism would
+    /// otherwise sit idle behind the build. `cancel` (optional, like
+    /// flow_threads not part of the key) is polled by the characterization
+    /// flow at batch boundaries: a fired token fails the build with the
+    /// token's cancellation code, which evicts the entry — a later request
+    /// without the token rebuilds.
     std::shared_future<dta::DelayTable> delay_table(const timing::DesignConfig& design,
                                                     const dta::AnalyzerConfig& analyzer_config,
                                                     int flow_threads = 1,
-                                                    const CancellationToken* cancel = nullptr);
+                                                    const CancellationToken* cancel = nullptr,
+                                                    bool reference_characterization = false);
 
     /// Pre-seeds the table cache (e.g. a LUT loaded from disk with --lut),
     /// so the sweep skips characterization for this operating point.
@@ -155,10 +181,26 @@ public:
         const std::string& kernel, const timing::DesignConfig& design,
         const sim::MachineConfig& machine_config = {});
 
-    /// Number of characterization flows actually executed (not pre-seeded,
-    /// not cache hits). The determinism test asserts this is exactly the
-    /// number of distinct operating points in a sweep.
+    /// Number of gate-level characterization flows actually executed (not
+    /// pre-seeded, not cache hits, not derived scaled views): nominal
+    /// passes plus reference passes. The determinism test asserts a
+    /// V-voltage sweep pays exactly one (the nominal pass), independent of
+    /// V.
     std::uint64_t characterizations_built() const;
+
+    /// Nominal characterization flows executed (one per distinct
+    /// voltage-free nominal key; the cache.delay_table.nominal_passes
+    /// counter).
+    std::uint64_t nominal_passes() const;
+
+    /// Per-voltage tables derived from a nominal entry via
+    /// DelayTable::scaled (the cache.delay_table.scaled_views counter).
+    std::uint64_t scaled_views() const;
+
+    /// Per-voltage reference characterization flows executed on behalf of
+    /// delay_table(..., reference_characterization=true) requests (the
+    /// cache.delay_table.reference_passes counter).
+    std::uint64_t reference_passes() const;
 
     /// Total requests answered from an already-present entry (hit + wait,
     /// summed over all four artifact classes).
@@ -211,6 +253,10 @@ public:
 
     static std::string design_key(const timing::DesignConfig& design,
                                   const dta::AnalyzerConfig& analyzer_config);
+    /// Voltage-free key of the shared nominal delay-table entry ("nominal/"
+    /// prefix + variant, seed, guard band, min occurrences).
+    static std::string nominal_key(const timing::DesignConfig& design,
+                                   const dta::AnalyzerConfig& analyzer_config);
     static std::string trace_key(const std::string& kernel,
                                  const sim::MachineConfig& machine_config);
 
@@ -238,6 +284,17 @@ private:
     /// Assembled characterization suite, shared by every operating point's
     /// characterization run (assembly is voltage-independent).
     std::shared_future<std::vector<assembler::Program>> characterization_programs();
+
+    /// Shared nominal delay-table entry: runs the characterization flow at
+    /// the nominal operating point (delay_scale == 1.0) exactly once per
+    /// nominal_key. Internal lookups on this map are not counted in the
+    /// miss/hit/wait taxonomy (the public per-voltage lookup already was);
+    /// executed flows bump cache.delay_table.nominal_passes. On failure the
+    /// slot is cleared so the per-voltage builder's in-place retry
+    /// re-elects a nominal builder.
+    std::shared_future<std::shared_ptr<const dta::DelayTable>> nominal_delay_table(
+        const timing::DesignConfig& design, const dta::AnalyzerConfig& analyzer_config,
+        int flow_threads, const CancellationToken* cancel);
 
     /// Classifies a found entry as hit (ready) or wait (pending) and bumps
     /// the class counter accordingly.
@@ -282,6 +339,9 @@ private:
     std::map<std::string, std::uint64_t> build_attempts_;
     std::map<std::string, Entry<assembler::Program>> programs_;
     std::map<std::string, Entry<dta::DelayTable>> tables_;
+    /// Shared voltage-free nominal entries (keys carry the "nominal/"
+    /// prefix; LRU nodes dispatch on it within ArtifactClass::kDelayTable).
+    std::map<std::string, Entry<std::shared_ptr<const dta::DelayTable>>> nominal_tables_;
     std::map<std::string, Entry<sim::PipelineTrace>> traces_;
     std::map<std::string, Entry<std::shared_ptr<const timing::UnitTraceDelays>>> unit_delays_;
     std::shared_future<std::vector<assembler::Program>> characterization_programs_;
@@ -303,6 +363,9 @@ private:
         obs::MetricsRegistry::Id build_failed, retried, evicted, evicted_lru;
     };
     std::array<ClassIds, 4> ids_;
+    /// Delay-table-only counters of the nominal factorization (metric names
+    /// cache.delay_table.{nominal_passes,scaled_views,reference_passes}).
+    obs::MetricsRegistry::Id nominal_passes_id_, scaled_views_id_, reference_passes_id_;
 
     const ClassIds& ids(ArtifactClass artifact_class) const {
         return ids_[static_cast<std::size_t>(artifact_class)];

@@ -95,7 +95,7 @@ ArtifactClassCounters parse_class_counters(const Value& value) {
 
 std::string to_json(const SweepResult& result, bool include_timing) {
     std::string out = "{\n";
-    out += "  \"schema\": \"focs-sweep-v5\",\n";
+    out += "  \"schema\": \"focs-sweep-v6\",\n";
     // The spec stamp is canonical (grid-derived, not run-dependent): two
     // runs of the same spec carry the same stamp regardless of job count or
     // evaluation mode, so cached results.json files stay traceable AND the
@@ -107,6 +107,8 @@ std::string to_json(const SweepResult& result, bool include_timing) {
         out += "  \"mode\": " + json_string(result.mode) + ",\n";
         out += "  \"wall_ms\": " + json_number(result.wall_ms) + ",\n";
         out += "  \"characterizations\": " + std::to_string(result.characterizations) + ",\n";
+        out += "  \"nominal_passes\": " + std::to_string(result.nominal_passes) + ",\n";
+        out += "  \"scaled_views\": " + std::to_string(result.scaled_views) + ",\n";
         out += "  \"cache_hits\": " + std::to_string(result.cache_hits) + ",\n";
         out += "  \"guest_simulations\": " + std::to_string(result.guest_simulations) + ",\n";
         out += "  \"unit_delay_passes\": " + std::to_string(result.unit_delay_passes) + ",\n";
@@ -137,13 +139,14 @@ SweepResult from_json(const std::string& text) {
     const Value document = json::parse(text);
     const Object& root = document.object();
     const std::string& schema = field(root, "schema").string();
-    // v4: pre-fault-tolerance documents without cell statuses; v3:
-    // pre-observability documents without the metrics block and per-cell
-    // timing; v2: pre-unit-delays documents without the voltage-axis
-    // counters; v1: pre-replay documents without the spec stamp. All still
-    // readable.
-    check(schema == "focs-sweep-v5" || schema == "focs-sweep-v4" || schema == "focs-sweep-v3" ||
-              schema == "focs-sweep-v2" || schema == "focs-sweep-v1",
+    // v5: pre-characterization-collapse documents without the
+    // nominal_passes / scaled_views counters; v4: pre-fault-tolerance
+    // documents without cell statuses; v3: pre-observability documents
+    // without the metrics block and per-cell timing; v2: pre-unit-delays
+    // documents without the voltage-axis counters; v1: pre-replay documents
+    // without the spec stamp. All still readable.
+    check(schema == "focs-sweep-v6" || schema == "focs-sweep-v5" || schema == "focs-sweep-v4" ||
+              schema == "focs-sweep-v3" || schema == "focs-sweep-v2" || schema == "focs-sweep-v1",
           "unknown sweep result schema '" + schema + "'");
 
     SweepResult result;
@@ -164,6 +167,12 @@ SweepResult from_json(const std::string& text) {
     }
     if (const auto it = root.find("characterizations"); it != root.end()) {
         result.characterizations = as_u64(it->second);
+    }
+    if (const auto it = root.find("nominal_passes"); it != root.end()) {
+        result.nominal_passes = as_u64(it->second);
+    }
+    if (const auto it = root.find("scaled_views"); it != root.end()) {
+        result.scaled_views = as_u64(it->second);
     }
     if (const auto it = root.find("cache_hits"); it != root.end()) {
         result.cache_hits = as_u64(it->second);
@@ -237,8 +246,8 @@ SweepResult from_json(const std::string& text) {
         result.cells.push_back(std::move(cell));
     }
     // Per-status counts: trust the header when stamped (partial-result
-    // documents), otherwise derive from the cells so all-ok v5 documents
-    // and every pre-v5 vintage report cells_ok == cells.size().
+    // documents), otherwise derive from the cells so all-ok v6 documents
+    // and every pre-v6 vintage report cells_ok == cells.size().
     if (const auto it = root.find("cells_ok"); it != root.end()) {
         result.cells_ok = as_u64(it->second);
         if (const auto failed = root.find("cells_failed"); failed != root.end()) {

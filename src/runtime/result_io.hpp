@@ -24,10 +24,12 @@ namespace focs::runtime {
 std::string json_number(double value);
 std::string json_string(const std::string& value);
 
-/// Serializes a sweep result (schema "focs-sweep-v5", which adds the
-/// fault-tolerance vocabulary to v4: header cells_ok / cells_failed /
+/// Serializes a sweep result (schema "focs-sweep-v6", which adds the
+/// characterization-collapse counters to v5: header nominal_passes /
+/// scaled_views, stamped alongside the other run-dependent counters). v5
+/// added the fault-tolerance vocabulary (header cells_ok / cells_failed /
 /// cells_cancelled counts and per-cell status / error_code / error
-/// fields). Failure fields are emitted only when present — a fully
+/// fields); failure fields are emitted only when present — a fully
 /// successful sweep's document differs from v4 solely in the schema
 /// string, so canonical byte-comparison across job counts and evaluation
 /// modes stays valid. The originating spec text and its stable hash are
@@ -37,8 +39,9 @@ std::string json_string(const std::string& value);
 /// per-cell timing); switch it off to obtain the canonical document.
 std::string to_json(const SweepResult& result, bool include_timing = true);
 
-/// Parses a document produced by to_json (v5, the pre-fault-tolerance v4,
-/// the pre-observability v3, the pre-unit-delays v2, or the pre-replay v1
+/// Parses a document produced by to_json (v6, the pre-characterization-
+/// collapse v5, the pre-fault-tolerance v4, the pre-observability v3, the
+/// pre-unit-delays v2, or the pre-replay v1
 /// without the spec stamp). Throws focs::Error on malformed input. Header
 /// fields absent from the document are left zero/empty; per-status cell
 /// counts are derived from the cells when the header lacks them, so

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <thread>
 #include <utility>
@@ -25,7 +26,7 @@ namespace {
 /// One expanded grid cell awaiting execution.
 struct SweepJob {
     std::string kernel;
-    core::PolicyKind policy;
+    core::PolicySpec policy;
     const GeneratorSpec* generator = nullptr;
     timing::DesignConfig design;
 };
@@ -127,6 +128,8 @@ SweepResult SweepEngine::run(const SweepSpec& raw_spec, const SweepRunOptions& o
 
     const dta::AnalyzerConfig analyzer_config = analyzer_config_for(spec);
     const std::uint64_t tables_before = cache_->characterizations_built();
+    const std::uint64_t nominal_before = cache_->nominal_passes();
+    const std::uint64_t views_before = cache_->scaled_views();
     const std::uint64_t hits_before = cache_->cache_hits();
     const std::uint64_t traces_before = cache_->traces_recorded();
     const std::uint64_t unit_passes_before = cache_->unit_delay_passes();
@@ -157,13 +160,26 @@ SweepResult SweepEngine::run(const SweepSpec& raw_spec, const SweepRunOptions& o
         }
     }
 
+    // Generator fusion: the expansion above is generator-innermost, so the
+    // cells of one (voltage, kernel, policy) column sit at adjacent
+    // indices. In replay mode the pool schedules whole columns and fuses
+    // each column's variants into a single pass over the shared trace (one
+    // request fill serving every generator — the request array depends only
+    // on the policy); live mode and single-variant columns evaluate per
+    // cell. Either way every cell's result is byte-identical.
+    const std::size_t group_size = std::max<std::size_t>(1, spec.generators.size());
+    const bool fuse_columns = mode_ == EvalMode::kReplay && group_size > 1;
+    const std::size_t unit_count =
+        fuse_columns ? jobs_list.size() / group_size : jobs_list.size();
+
     // Jobs precedence: explicit engine argument (e.g. a --jobs flag) beats
     // the spec's `jobs =` line, which beats hardware concurrency. The pool
-    // never exceeds the number of cells.
+    // never exceeds the number of schedulable units (cells, or fused
+    // columns).
     int worker_count = jobs_ > 0 ? jobs_ : spec.jobs;
     if (worker_count <= 0) worker_count = static_cast<int>(std::thread::hardware_concurrency());
     if (worker_count <= 0) worker_count = 1;
-    worker_count = std::max(1, std::min<int>(worker_count, static_cast<int>(jobs_list.size())));
+    worker_count = std::max(1, std::min<int>(worker_count, static_cast<int>(unit_count)));
 
     // Intra-flow pipeline parallelism for the characterization artifacts:
     // when the grid needs few distinct delay tables, most workers block on
@@ -200,115 +216,242 @@ SweepResult SweepEngine::run(const SweepSpec& raw_spec, const SweepRunOptions& o
     std::exception_ptr first_error;
     std::mutex error_mutex;
 
-    const auto worker = [&] {
-        while (!abort_sweep.load(std::memory_order_relaxed)) {
-            const std::size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
-            if (index >= jobs_list.size()) return;
-            const SweepJob& job = jobs_list[index];
-            // Label the cell before evaluating so failed and cancelled
-            // cells still carry their grid coordinates.
-            SweepCell& cell = result.cells[index];
-            cell.kernel = job.kernel;
-            cell.policy = core::policy_kind_name(job.policy);
-            cell.generator = job.generator->label();
-            cell.voltage_v = job.design.voltage_v;
-            // Queue wait: the job was runnable at sweep start; this is how
-            // long it sat before a worker reached it.
-            const auto dequeued = std::chrono::steady_clock::now();
-            cell.queue_wait_ms =
-                std::chrono::duration<double, std::milli>(dequeued - start).count();
-            // Cell-boundary cancellation check: once the token fires the
-            // remaining queue drains as cancelled cells without paying for
-            // any further evaluation.
-            if (options.cancel != nullptr && options.cancel->cancelled()) {
-                cell.error_code = options.cancel->reason();
-                cell.error = cell.error_code == ErrorCode::kDeadline
-                                 ? "deadline exceeded before evaluation"
-                                 : "cancelled before evaluation";
-                cell.status = CellStatus::kCancelled;
-                continue;
+    // Stores `cell`'s failure as the sweep's first error and aborts the
+    // pool (fail-fast only). Returns true when the caller must stop
+    // pulling work. Fail-fast names the failing cell: the whole point of
+    // aborting early is telling the user where.
+    const auto abort_on_failure = [&](const SweepCell& cell) {
+        if (options.failure_mode != FailureMode::kFailFast) return false;
+        {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) {
+                first_error = std::make_exception_ptr(Error(
+                    "sweep cell " + cell_key(cell) + " failed: " + cell.error, cell.error_code));
             }
+        }
+        abort_sweep.store(true, std::memory_order_relaxed);
+        return true;
+    };
+
+    // Labels a cell ahead of evaluation (so failed and cancelled cells
+    // still carry their grid coordinates) and stamps its queue wait: the
+    // job was runnable at sweep start, this is how long it sat before a
+    // worker reached it.
+    const auto label_cell = [&](std::size_t index,
+                                std::chrono::steady_clock::time_point dequeued) -> SweepCell& {
+        const SweepJob& job = jobs_list[index];
+        SweepCell& cell = result.cells[index];
+        cell.kernel = job.kernel;
+        cell.policy = job.policy.label();
+        cell.generator = job.generator->label();
+        cell.voltage_v = job.design.voltage_v;
+        cell.queue_wait_ms = std::chrono::duration<double, std::milli>(dequeued - start).count();
+        return cell;
+    };
+
+    // Cell-boundary cancellation check: once the token fires the remaining
+    // queue drains as cancelled cells without paying for any further
+    // evaluation. Returns true when the cell was drained.
+    const auto drain_if_cancelled = [&](SweepCell& cell) {
+        if (options.cancel == nullptr || !options.cancel->cancelled()) return false;
+        cell.error_code = options.cancel->reason();
+        cell.error = cell.error_code == ErrorCode::kDeadline
+                         ? "deadline exceeded before evaluation"
+                         : "cancelled before evaluation";
+        cell.status = CellStatus::kCancelled;
+        return true;
+    };
+
+    // Per-cell evaluation (live mode and single-variant columns). Returns
+    // false when the worker must stop pulling work (fail-fast abort).
+    const auto evaluate_one = [&](std::size_t index) {
+        const SweepJob& job = jobs_list[index];
+        const auto dequeued = std::chrono::steady_clock::now();
+        SweepCell& cell = label_cell(index, dequeued);
+        if (drain_if_cancelled(cell)) return true;
+        try {
+            FOCS_OBS_SPAN(cell_span, obs::global_tracer(), "sweep.cell");
+            cell_span.arg("kernel", job.kernel)
+                .arg("policy", cell.policy)
+                .arg("generator", cell.generator)
+                .arg("voltage_v", job.design.voltage_v)
+                .arg("queue_wait_ms", cell.queue_wait_ms);
+            // The token rides into the inject point so an injected
+            // delay rule cannot stall a cell past its deadline.
+            FOCS_FAULT_POINT_CANCEL("eval.cell", cell_key(cell), options.cancel);
+            // Shared artifacts: built once, then served from the cache.
+            auto table_future =
+                cache_->delay_table(job.design, analyzer_config, flow_threads, options.cancel,
+                                    options.reference_characterization);
+
+            core::DcaRunResult run;
+            if (mode_ == EvalMode::kReplay) {
+                // Record-once / replay-many: the trace is one guest
+                // simulation per (kernel, machine config), the unit
+                // delay array one fused pass per (kernel, variant) —
+                // voltage-free, so every operating point of the grid
+                // derives a ScaledTraceDelays view (one scalar) from
+                // the same cache-hot array and this cell only pays the
+                // devirtualized policy kernel.
+                auto trace_future = cache_->trace(job.kernel);
+                auto unit_future = cache_->unit_trace_delays(job.kernel, job.design);
+                const sim::PipelineTrace& trace = trace_future.get();
+                const dta::DelayTable& table = table_future.get();
+                const timing::DelayCalculator calculator(job.design);
+                const timing::ScaledTraceDelays delays =
+                    timing::scale_trace_delays(unit_future.get(), calculator);
+
+                const auto generator = job.generator->instantiate(delays.static_period_ps);
+                core::ReplayOptions replay_options;
+                replay_options.cancel = options.cancel;
+                replay_options.force_scalar = options.force_scalar_replay;
+                const core::ReplayEvaluationEngine replay(trace, delays, table, replay_options);
+                run = replay.run(job.policy, job.generator->kind == GeneratorSpec::Kind::kIdeal
+                                                 ? nullptr
+                                                 : generator.get());
+            } else {
+                auto program_future = cache_->program(job.kernel);
+                const assembler::Program& program = program_future.get();
+                const dta::DelayTable& table = table_future.get();
+
+                // Private mutable state: engine, policy and generator
+                // are constructed per job inside evaluate_cell / here.
+                const double static_period_ps =
+                    timing::DelayCalculator(job.design).static_period_ps();
+                const auto generator = job.generator->instantiate(static_period_ps);
+                run = core::evaluate_cell(
+                    job.design, table, program, job.policy,
+                    job.generator->kind == GeneratorSpec::Kind::kIdeal ? nullptr
+                                                                       : generator.get());
+            }
+
+            cell.result = std::move(run);
+            cell.wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - dequeued)
+                               .count();
+            cell_span.arg("wall_ms", cell.wall_ms);
+        } catch (const std::exception& e) {
+            record_failure(cell, e);
+            cell.wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - dequeued)
+                               .count();
+            if (abort_on_failure(cell)) return false;
+        }
+        return true;
+    };
+
+    // Fused evaluation of one (voltage, kernel, policy) column: every
+    // per-cell isolation point survives — each cell runs its own
+    // cancellation drain, eval.cell fault point, AND artifact acquisition
+    // (fetch + wait), so a poisoned cache entry fails only the cell that
+    // observed it and the next cell re-elects a fresh builder, exactly as
+    // under per-cell scheduling. Only the survivors join the single fused
+    // replay pass (one request fill serving every generator variant).
+    // Returns false on fail-fast abort.
+    const auto evaluate_column = [&](std::size_t group) {
+        const std::size_t base = group * group_size;
+        const std::size_t limit = std::min(jobs_list.size(), base + group_size);
+        const auto dequeued = std::chrono::steady_clock::now();
+        std::vector<std::size_t> live;
+        live.reserve(limit - base);
+        std::optional<std::shared_future<dta::DelayTable>> table_future;
+        std::optional<std::shared_future<sim::PipelineTrace>> trace_future;
+        std::optional<std::shared_future<std::shared_ptr<const timing::UnitTraceDelays>>>
+            unit_future;
+        for (std::size_t index = base; index < limit; ++index) {
+            SweepCell& cell = label_cell(index, dequeued);
+            if (drain_if_cancelled(cell)) continue;
+            const SweepJob& job = jobs_list[index];
             try {
-                FOCS_OBS_SPAN(cell_span, obs::global_tracer(), "sweep.cell");
-                cell_span.arg("kernel", job.kernel)
-                    .arg("policy", cell.policy)
-                    .arg("generator", cell.generator)
-                    .arg("voltage_v", job.design.voltage_v)
-                    .arg("queue_wait_ms", cell.queue_wait_ms);
                 // The token rides into the inject point so an injected
                 // delay rule cannot stall a cell past its deadline.
                 FOCS_FAULT_POINT_CANCEL("eval.cell", cell_key(cell), options.cancel);
-                // Shared artifacts: built once, then served from the cache.
-                auto table_future =
-                    cache_->delay_table(job.design, analyzer_config, flow_threads, options.cancel);
-
-                core::DcaRunResult run;
-                if (mode_ == EvalMode::kReplay) {
-                    // Record-once / replay-many: the trace is one guest
-                    // simulation per (kernel, machine config), the unit
-                    // delay array one fused pass per (kernel, variant) —
-                    // voltage-free, so every operating point of the grid
-                    // derives a ScaledTraceDelays view (one scalar) from
-                    // the same cache-hot array and this cell only pays the
-                    // devirtualized policy kernel.
-                    auto trace_future = cache_->trace(job.kernel);
-                    auto unit_future = cache_->unit_trace_delays(job.kernel, job.design);
-                    const sim::PipelineTrace& trace = trace_future.get();
-                    const dta::DelayTable& table = table_future.get();
-                    const timing::DelayCalculator calculator(job.design);
-                    const timing::ScaledTraceDelays delays =
-                        timing::scale_trace_delays(unit_future.get(), calculator);
-
-                    const auto generator = job.generator->instantiate(delays.static_period_ps);
-                    core::ReplayOptions replay_options;
-                    replay_options.cancel = options.cancel;
-                    replay_options.force_scalar = options.force_scalar_replay;
-                    const core::ReplayEvaluationEngine replay(trace, delays, table,
-                                                              replay_options);
-                    run = replay.run(job.policy,
-                                     job.generator->kind == GeneratorSpec::Kind::kIdeal
-                                         ? nullptr
-                                         : generator.get());
-                } else {
-                    auto program_future = cache_->program(job.kernel);
-                    const assembler::Program& program = program_future.get();
-                    const dta::DelayTable& table = table_future.get();
-
-                    // Private mutable state: engine, policy and generator
-                    // are constructed per job inside evaluate_cell / here.
-                    const double static_period_ps =
-                        timing::DelayCalculator(job.design).static_period_ps();
-                    const auto generator = job.generator->instantiate(static_period_ps);
-                    run = core::evaluate_cell(
-                        job.design, table, program, job.policy,
-                        job.generator->kind == GeneratorSpec::Kind::kIdeal ? nullptr
-                                                                           : generator.get());
-                }
-
-                cell.result = std::move(run);
-                cell.wall_ms =
-                    std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                              dequeued)
-                        .count();
-                cell_span.arg("wall_ms", cell.wall_ms);
+                // One fetch-and-wait triple per cell keeps the cache's
+                // per-class serving accounting identical to per-cell
+                // scheduling; on success the later fetches alias the
+                // earlier ones (the artifacts are built exactly once).
+                auto cell_table =
+                    cache_->delay_table(job.design, analyzer_config, flow_threads, options.cancel,
+                                        options.reference_characterization);
+                auto cell_trace = cache_->trace(job.kernel);
+                auto cell_unit = cache_->unit_trace_delays(job.kernel, job.design);
+                cell_table.get();
+                cell_trace.get();
+                cell_unit.get();
+                table_future = std::move(cell_table);
+                trace_future = std::move(cell_trace);
+                unit_future = std::move(cell_unit);
+                live.push_back(index);
             } catch (const std::exception& e) {
                 record_failure(cell, e);
-                cell.wall_ms =
-                    std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                              dequeued)
-                        .count();
-                if (options.failure_mode == FailureMode::kFailFast) {
-                    std::lock_guard<std::mutex> lock(error_mutex);
-                    if (!first_error) {
-                        // Fail-fast names the failing cell: the whole point
-                        // of aborting early is telling the user where.
-                        first_error = std::make_exception_ptr(Error(
-                            "sweep cell " + cell_key(cell) + " failed: " + cell.error,
-                            cell.error_code));
-                    }
-                    abort_sweep.store(true, std::memory_order_relaxed);
-                    return;
-                }
+                if (abort_on_failure(cell)) return false;
+            }
+        }
+        if (live.empty()) return true;
+        try {
+            const SweepJob& job = jobs_list[live.front()];
+            FOCS_OBS_SPAN(column_span, obs::global_tracer(), "sweep.column");
+            column_span.arg("kernel", job.kernel)
+                .arg("policy", result.cells[live.front()].policy)
+                .arg("voltage_v", job.design.voltage_v)
+                .arg("variants", static_cast<std::int64_t>(live.size()));
+            const sim::PipelineTrace& trace = trace_future->get();
+            const dta::DelayTable& table = table_future->get();
+            const timing::DelayCalculator calculator(job.design);
+            const timing::ScaledTraceDelays delays =
+                timing::scale_trace_delays(unit_future->get(), calculator);
+
+            // Per-variant generators (mutable; nullptr = ideal), in the
+            // column's declaration order.
+            std::vector<std::unique_ptr<clocking::ClockGenerator>> owned;
+            std::vector<clocking::ClockGenerator*> variants;
+            owned.reserve(live.size());
+            variants.reserve(live.size());
+            for (const std::size_t index : live) {
+                const SweepJob& variant_job = jobs_list[index];
+                owned.push_back(variant_job.generator->instantiate(delays.static_period_ps));
+                variants.push_back(variant_job.generator->kind == GeneratorSpec::Kind::kIdeal
+                                       ? nullptr
+                                       : owned.back().get());
+            }
+            core::ReplayOptions replay_options;
+            replay_options.cancel = options.cancel;
+            replay_options.force_scalar = options.force_scalar_replay;
+            const core::ReplayEvaluationEngine replay(trace, delays, table, replay_options);
+            auto fused = replay.run_fused(job.policy, variants);
+
+            // The fused pass is shared work: every participating cell gets
+            // the column's wall time (run-dependent fields either way).
+            const double wall = std::chrono::duration<double, std::milli>(
+                                    std::chrono::steady_clock::now() - dequeued)
+                                    .count();
+            for (std::size_t k = 0; k < live.size(); ++k) {
+                SweepCell& cell = result.cells[live[k]];
+                cell.result = std::move(fused[k]);
+                cell.wall_ms = wall;
+            }
+            column_span.arg("wall_ms", wall);
+        } catch (const std::exception& e) {
+            const double wall = std::chrono::duration<double, std::milli>(
+                                    std::chrono::steady_clock::now() - dequeued)
+                                    .count();
+            for (const std::size_t index : live) {
+                record_failure(result.cells[index], e);
+                result.cells[index].wall_ms = wall;
+            }
+            if (abort_on_failure(result.cells[live.front()])) return false;
+        }
+        return true;
+    };
+
+    const auto worker = [&] {
+        while (!abort_sweep.load(std::memory_order_relaxed)) {
+            const std::size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (index >= unit_count) return;
+            if (fuse_columns) {
+                if (!evaluate_column(index)) return;
+            } else {
+                if (!evaluate_one(index)) return;
             }
         }
     };
@@ -341,6 +484,8 @@ SweepResult SweepEngine::run(const SweepSpec& raw_spec, const SweepRunOptions& o
         result.mean_speedup /= static_cast<double>(result.cells_ok);
     }
     result.characterizations = cache_->characterizations_built() - tables_before;
+    result.nominal_passes = cache_->nominal_passes() - nominal_before;
+    result.scaled_views = cache_->scaled_views() - views_before;
     result.cache_hits = cache_->cache_hits() - hits_before;
     result.guest_simulations = mode_ == EvalMode::kReplay
                                    ? cache_->traces_recorded() - traces_before

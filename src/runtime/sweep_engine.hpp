@@ -81,7 +81,7 @@ CellStatus parse_cell_status(const std::string& name);
 /// One evaluated grid cell, labelled by its axis coordinates.
 struct SweepCell {
     std::string kernel;
-    std::string policy;     ///< PolicyKind short name
+    std::string policy;     ///< PolicySpec label (short name, or name:param)
     std::string generator;  ///< GeneratorSpec label
     double voltage_v = 0;
     /// Per-cell isolation: failures land here instead of tearing down the
@@ -109,6 +109,12 @@ struct SweepRunOptions {
     /// SIMD kernel table, no fixed-point period arithmetic. Never affects
     /// results — replay is byte-identical either way.
     bool force_scalar_replay = false;
+    /// Characterize every operating point with the full per-voltage
+    /// gate-level flow (CLI --reference-characterization) instead of
+    /// deriving scaled views of the shared nominal table. Never affects
+    /// results — the views are bit-identical to the reference — only how
+    /// the tables are produced (V characterizations instead of 1).
+    bool reference_characterization = false;
     /// Optional cooperative cancellation (deadline- or caller-driven),
     /// polled at cell boundaries and threaded into artifact builds and the
     /// replay block loop. Cells not finished when the token fires are
@@ -148,7 +154,17 @@ struct SweepResult {
     int jobs = 0;                  ///< worker threads actually used
     std::string mode;              ///< eval_mode_name of the executing engine
     double wall_ms = 0;
-    std::uint64_t characterizations = 0;  ///< delay tables built this sweep
+    /// Gate-level characterization flows this sweep executed (nominal +
+    /// reference passes; NOT derived scaled views). Exactly 1 on a cold
+    /// cache regardless of the voltage-axis width, unless
+    /// reference_characterization forces one per operating point.
+    std::uint64_t characterizations = 0;
+    /// Nominal characterization passes this sweep executed (cold cache: 1;
+    /// warm or pre-seeded: 0; reference mode: 0).
+    std::uint64_t nominal_passes = 0;
+    /// Per-voltage delay tables derived as DelayTable::scaled views of the
+    /// shared nominal entry (cold cache: one per operating point).
+    std::uint64_t scaled_views = 0;
     std::uint64_t cache_hits = 0;
     /// Guest simulations this sweep paid for its cells: traces recorded in
     /// replay mode (exactly one per (kernel, machine config) on a cold
@@ -212,8 +228,12 @@ private:
     EvalMode mode_;
 };
 
-/// FNV-1a 64-bit hash of `text`, formatted "fnv1a:%016x" — the spec stamp
-/// in sweep JSON artifacts (dependency-free, stable across platforms).
+/// FNV-1a 64-bit hash (offset basis 0xcbf29ce484222325, prime 0x100000001b3)
+/// of `text`, formatted "fnv1a:%016llx" (16 lowercase hex digits). Sweep
+/// results stamp stable_text_hash(spec.resolved().serialize()) — the hash
+/// is over the *canonical* spec text, so any textual variant that resolves
+/// to the same grid hashes identically (dependency-free, stable across
+/// platforms).
 std::string stable_text_hash(const std::string& text);
 
 }  // namespace focs::runtime

@@ -104,7 +104,7 @@ SweepSpec SweepSpec::resolved() const {
     if (out.kernels.empty()) {
         for (const auto& kernel : workloads::benchmark_suite()) out.kernels.push_back(kernel.name);
     }
-    if (out.policies.empty()) out.policies.push_back(core::PolicyKind::kInstructionLut);
+    if (out.policies.empty()) out.policies.push_back(core::PolicySpec{});
     if (out.generators.empty()) out.generators.push_back(GeneratorSpec{});
     if (out.voltages_v.empty()) out.voltages_v.push_back(timing::DesignConfig{}.voltage_v);
     return out;
@@ -143,7 +143,7 @@ SweepSpec SweepSpec::parse(const std::string& text) {
             spec.kernels = split_list(value);
         } else if (key == "policies") {
             for (const auto& name : split_list(value)) {
-                spec.policies.push_back(core::parse_policy_kind(name));
+                spec.policies.push_back(core::PolicySpec::parse(name));
             }
         } else if (key == "generators") {
             for (const auto& label : split_list(value)) {
@@ -191,7 +191,7 @@ std::string SweepSpec::serialize() const {
     if (!kernels.empty()) out += "kernels = " + join(kernels) + "\n";
     if (!policies.empty()) {
         std::vector<std::string> names;
-        for (const auto kind : policies) names.push_back(core::policy_kind_name(kind));
+        for (const auto& policy : policies) names.push_back(policy.label());
         out += "policies = " + join(names) + "\n";
     }
     if (!generators.empty()) {

@@ -44,7 +44,10 @@ struct GeneratorSpec {
 /// design's default voltage).
 struct SweepSpec {
     std::vector<std::string> kernels;
-    std::vector<core::PolicyKind> policies;
+    /// Policy axis points; parameterized kinds carry their parameter
+    /// ("approx-lut:0.8", "dual-cycle:3" in spec syntax). Bare PolicyKinds
+    /// convert implicitly and get the kind's default parameter.
+    std::vector<core::PolicySpec> policies;
     std::vector<GeneratorSpec> generators;
     std::vector<double> voltages_v;
 

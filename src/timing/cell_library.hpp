@@ -15,6 +15,13 @@
 
 namespace focs::timing {
 
+/// The calibration reference voltage: delay_scale(kNominalVoltageV) is
+/// exactly 1.0 (0.70 V is a characterized grid node, so the log-linear
+/// interpolation evaluates to exp(0) with no rounding). Nominal-once
+/// characterization runs at this point, making the nominal DelayTable
+/// bit-identical to the unit (voltage-free) delay domain.
+inline constexpr double kNominalVoltageV = 0.70;
+
 struct OperatingPoint {
     double voltage_v = 0;
     double delay_scale = 1.0;       ///< relative to 0.70 V

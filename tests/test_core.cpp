@@ -8,6 +8,7 @@
 
 #include "asm/assembler.hpp"
 #include "clock/clock_generator.hpp"
+#include "common/error.hpp"
 #include "core/dca_engine.hpp"
 #include "core/flows.hpp"
 #include "core/policies.hpp"
@@ -231,6 +232,35 @@ TEST(Flows, StreamingMatchesMaterializedAcrossKernelsAndVoltages) {
     }
 }
 
+TEST(Flows, ScaledViewsMatchPerVoltageCharacterizationOnDenseGrid) {
+    // The characterization-collapse contract at the table level: for each
+    // benchmark kernel, every point of a dense voltage grid must get a
+    // delay table bit-identical to a full per-voltage characterization
+    // when derived as a scaled view of the single nominal table. This is
+    // the rounding-monotonicity argument behind DelayTable::scaled made
+    // concrete — fl(raw * s) plus the re-applied guard-band rule commutes
+    // with the per-voltage flow's own arithmetic at every grid point.
+    const auto& library = timing::CellLibrary::fdsoi28();
+    for (const char* kernel : {"crc32", "fir", "fsm"}) {
+        const std::vector<assembler::Program> programs =
+            workloads::assemble_programs({workloads::find_kernel(kernel)});
+        timing::DesignConfig nominal;
+        nominal.voltage_v = timing::kNominalVoltageV;
+        const dta::DelayTable nominal_table =
+            CharacterizationFlow(nominal).run(programs).table;
+        for (const double voltage : {0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90}) {
+            timing::DesignConfig point;
+            point.voltage_v = voltage;
+            const dta::DelayTable reference =
+                CharacterizationFlow(point).run(programs).table;
+            const double ratio =
+                library.delay_scale(voltage) / library.delay_scale(timing::kNominalVoltageV);
+            EXPECT_EQ(nominal_table.scaled(ratio).serialize(), reference.serialize())
+                << kernel << " @ " << voltage << " V";
+        }
+    }
+}
+
 TEST(Flows, MakePolicyFactoryCoversAllKinds) {
     const auto& table = characterization().table;
     for (const PolicyKind kind :
@@ -241,6 +271,59 @@ TEST(Flows, MakePolicyFactoryCoversAllKinds) {
         ASSERT_NE(policy, nullptr);
         EXPECT_EQ(parse_policy_kind(policy_kind_name(kind)), kind);
     }
+}
+
+TEST(PolicySpec, ParseLabelRoundTrip) {
+    // Every label re-parses to an equal spec, bare kinds label as their
+    // plain names, and an explicitly spelled default parameter normalizes
+    // to the bare form (equal specs produce equal labels and spec hashes).
+    for (const char* text : {"static", "lut", "genie", "ex-only", "two-class", "approx-lut",
+                             "dual-cycle", "approx-lut:0.8", "approx-lut:0.125",
+                             "dual-cycle:3", "dual-cycle:1.5", "dual-cycle:1"}) {
+        const PolicySpec spec = PolicySpec::parse(text);
+        EXPECT_EQ(spec.label(), text);
+        EXPECT_EQ(PolicySpec::parse(spec.label()), spec);
+    }
+    EXPECT_EQ(PolicySpec::parse("approx-lut:0.9"), PolicySpec{PolicyKind::kApproxLut});
+    EXPECT_EQ(PolicySpec::parse("approx-lut:0.9").label(), "approx-lut");
+    EXPECT_EQ(PolicySpec::parse("dual-cycle:2"), PolicySpec{PolicyKind::kDualCycle});
+    EXPECT_EQ(PolicySpec::parse("dual-cycle:2").label(), "dual-cycle");
+    // Bare kinds convert implicitly and resolve to the kind's default.
+    const PolicySpec bare = PolicyKind::kApproxLut;
+    EXPECT_EQ(bare.param, -1.0);
+    EXPECT_EQ(bare.resolved_param(), kApproxLutKindScale);
+    EXPECT_EQ(PolicySpec::parse("dual-cycle:3").resolved_param(), 3.0);
+}
+
+TEST(PolicySpec, RejectsOutOfRangeAndMalformedParameters) {
+    // approx-lut scale must land in (0, 1], dual-cycle stretch in [1, inf);
+    // only those two kinds take a parameter at all. All rejections are
+    // usage errors (focs::Error) raised at parse time, before any build.
+    for (const char* text : {"approx-lut:0", "approx-lut:-0.5", "approx-lut:1.0001",
+                             "approx-lut:2", "dual-cycle:0.99", "dual-cycle:0",
+                             "dual-cycle:-3", "lut:0.8", "static:2", "genie:1",
+                             "approx-lut:", "approx-lut:abc", "approx-lut:0.8x",
+                             "dual-cycle:1e999", "bogus", "bogus:1"}) {
+        EXPECT_THROW((void)PolicySpec::parse(text), Error) << text;
+    }
+}
+
+TEST(PolicySpec, ParameterReachesTheConstructedPolicy) {
+    const auto& table = characterization().table;
+    // The factory hands the resolved parameter to the concrete policy: a
+    // parameterized spec produces the same decisions as the directly
+    // constructed policy object.
+    const auto via_spec = make_policy(PolicySpec::parse("dual-cycle:3"), table, 2026.0);
+    DualCyclePolicy direct(table, 3.0);
+    EXPECT_EQ(via_spec->name(), direct.name());
+    EXPECT_EQ(via_spec->name(), "dual-cycle/3.00");
+    const auto approx = make_policy(PolicySpec::parse("approx-lut:0.8"), table, 2026.0);
+    EXPECT_EQ(approx->name(), "approx-lut/0.80");
+    // Defaults keep their historical names, so existing result documents
+    // and golden files are unaffected.
+    EXPECT_EQ(make_policy(PolicySpec::parse("dual-cycle"), table, 2026.0)->name(),
+              "dual-cycle");
+    EXPECT_EQ(make_policy(PolicyKind::kApproxLut, table, 2026.0)->name(), "approx-lut/0.90");
 }
 
 }  // namespace

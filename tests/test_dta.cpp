@@ -42,6 +42,81 @@ TEST(DelayTable, CyclePeriodIsMaxOverStages) {
     EXPECT_DOUBLE_EQ(table.cycle_period_ps(keys), 800.0 + 100.0 * (sim::kStageCount - 1));
 }
 
+TEST(DelayTable, ScaledByOneIsIdentity) {
+    // Factor 1.0 must reproduce the table bit for bit: fl(x * 1.0) == x for
+    // every finite x, so the nominal view of the nominal table is itself.
+    DelayTable table(2026.0, 10.0);
+    table.set_characterized(static_cast<OccKey>(isa::Opcode::kMul), Stage::kEx, 1899.25);
+    table.set_characterized(kKeyBubble, Stage::kAdr, 612.5);
+    const DelayTable view = table.scaled(1.0);
+    EXPECT_EQ(view.static_period_ps(), table.static_period_ps());
+    EXPECT_EQ(view.lut_guard_ps(), table.lut_guard_ps());
+    EXPECT_TRUE(view.has_raw());
+    for (int key = 0; key < kKeyCount; ++key) {
+        for (int stage = 0; stage < sim::kStageCount; ++stage) {
+            const auto k = static_cast<OccKey>(key);
+            const auto s = static_cast<Stage>(stage);
+            EXPECT_EQ(view.characterized(k, s), table.characterized(k, s));
+            EXPECT_EQ(view.lookup(k, s), table.lookup(k, s));
+            EXPECT_EQ(view.effective(k, s), table.effective(k, s));
+        }
+    }
+}
+
+TEST(DelayTable, ScaledKeepsUncharacterizedFallback) {
+    // Uncharacterized entries fall back to the static period; in a scaled
+    // view they must fall back to the SCALED static period, not the nominal
+    // one (the operating point's STA limit moves with the voltage).
+    DelayTable table(2000.0, 5.0);
+    table.set_characterized(static_cast<OccKey>(isa::Opcode::kAdd), Stage::kEx, 900.0);
+    const DelayTable view = table.scaled(1.5);
+    EXPECT_FALSE(view.characterized(kKeyBubble, Stage::kWb));
+    EXPECT_EQ(view.lookup(kKeyBubble, Stage::kWb), 2000.0 * 1.5);
+    EXPECT_EQ(view.effective(kKeyBubble, Stage::kWb), 2000.0 * 1.5);
+    // The characterized entry follows the scaling rule: the raw part
+    // scales, the guard band does not.
+    EXPECT_EQ(view.lookup(static_cast<OccKey>(isa::Opcode::kAdd), Stage::kEx),
+              900.0 * 1.5 + 5.0);
+}
+
+TEST(DelayTable, ScaledReappliesStaticClampAtBandBoundary) {
+    // An entry whose raw+guard exceeds the static period is clamped to the
+    // static period; the scaled view clamps against the SCALED static
+    // period. An entry just under the boundary stays unclamped, on both
+    // sides of the view.
+    DelayTable table(1000.0, 50.0);
+    table.set_characterized(static_cast<OccKey>(isa::Opcode::kDiv), Stage::kEx, 980.0);
+    table.set_characterized(static_cast<OccKey>(isa::Opcode::kAdd), Stage::kEx, 940.0);
+    EXPECT_EQ(table.lookup(static_cast<OccKey>(isa::Opcode::kDiv), Stage::kEx), 1000.0);
+    EXPECT_EQ(table.lookup(static_cast<OccKey>(isa::Opcode::kAdd), Stage::kEx), 990.0);
+    const DelayTable up = table.scaled(2.0);
+    // raw 980 * 2 + guard 50 = 2010 > static 2000 -> clamped.
+    EXPECT_EQ(up.lookup(static_cast<OccKey>(isa::Opcode::kDiv), Stage::kEx), 2000.0);
+    // raw 940 * 2 + guard 50 = 1930 < 2000 -> exact scaled value. Note the
+    // guard band did NOT double: at nominal this entry sat at 990, a naive
+    // finished-entry multiply would give 1980.
+    EXPECT_EQ(up.lookup(static_cast<OccKey>(isa::Opcode::kAdd), Stage::kEx), 1930.0);
+    // Shrinking the period can push a previously-unclamped entry into the
+    // clamp: raw 940 * 0.5 + 50 = 520 > static 500.
+    const DelayTable down = table.scaled(0.5);
+    EXPECT_EQ(down.lookup(static_cast<OccKey>(isa::Opcode::kAdd), Stage::kEx), 500.0);
+}
+
+TEST(DelayTable, LegacySetFallsBackToFinishedEntryScaling) {
+    // A manual set() abandons the raw/guard split for good: scaled() then
+    // multiplies finished entries (the pre-split semantics).
+    DelayTable table(2000.0, 50.0);
+    table.set_characterized(static_cast<OccKey>(isa::Opcode::kAdd), Stage::kEx, 900.0);
+    EXPECT_TRUE(table.has_raw());
+    table.set(static_cast<OccKey>(isa::Opcode::kMul), Stage::kEx, 1200.0);
+    EXPECT_FALSE(table.has_raw());
+    const DelayTable view = table.scaled(2.0);
+    EXPECT_FALSE(view.has_raw());
+    // Finished entry 900 + 50 = 950 doubles wholesale (guard band included).
+    EXPECT_EQ(view.lookup(static_cast<OccKey>(isa::Opcode::kAdd), Stage::kEx), 1900.0);
+    EXPECT_EQ(view.lookup(static_cast<OccKey>(isa::Opcode::kMul), Stage::kEx), 2400.0);
+}
+
 TEST(DelayTable, SerializeRoundTrip) {
     DelayTable table(2026.0);
     table.set(static_cast<OccKey>(isa::Opcode::kMul), Stage::kEx, 1899.25);
@@ -141,12 +216,14 @@ TEST(Analyzer, RecoversReferenceDelaysExactly) {
                                    config);
     analysis.analyze(artifacts.log, artifacts.trace);
     ASSERT_EQ(analysis.cycles(), artifacts.reference.size());
-    // The analyzer reconstructs per-stage delays from raw endpoint events
-    // (arrival + setup - skew); they must match the model's ground truth.
+    // The analyzer reconstructs per-stage delays from raw endpoint events;
+    // events carry the endpoint's required period directly, so recovery is
+    // an identity and must match the model's ground truth bit for bit (the
+    // nominal-once characterization rests on this exactness).
     for (std::size_t c = 0; c < artifacts.reference.size(); c += 7) {
         for (int s = 0; s < sim::kStageCount; ++s) {
-            EXPECT_NEAR(analysis.cycle_stage_delays()[c][static_cast<std::size_t>(s)],
-                        artifacts.reference[c][static_cast<std::size_t>(s)], 1e-6)
+            EXPECT_EQ(analysis.cycle_stage_delays()[c][static_cast<std::size_t>(s)],
+                      artifacts.reference[c][static_cast<std::size_t>(s)])
                 << "cycle " << c << " stage " << s;
         }
     }

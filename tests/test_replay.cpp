@@ -211,9 +211,82 @@ TEST(Replay, RunBatchSharesOneTrace) {
         auto generator = make_generator(requests[i].generator != nullptr ? 1 : 0,
                                         f.delays.static_period_ps);
         expect_identical(
-            evaluate_cell(f.design, f.table, f.program, requests[i].kind, generator.get()),
+            evaluate_cell(f.design, f.table, f.program, requests[i].policy, generator.get()),
             results[i]);
     }
+}
+
+TEST(Replay, ParameterizedSpecsDispatchToKernelsAndMatchLive) {
+    const ReplayFixture& f = fixture();
+    // Parameterized grid points must hit the same devirtualized kernel
+    // paths as their default-parameter kinds: the replayed result, the
+    // scalar-forced replayed result, and the live run are all byte-
+    // identical, for every generator family.
+    const ReplayEvaluationEngine engine(f.trace, f.delays, f.table);
+    ReplayOptions scalar_options;
+    scalar_options.force_scalar = true;
+    const ReplayEvaluationEngine scalar(f.trace, f.delays, f.table, scalar_options);
+    for (const char* text : {"approx-lut:0.8", "approx-lut:0.95", "dual-cycle:3",
+                             "dual-cycle:1", "dual-cycle:1.5"}) {
+        const PolicySpec spec = PolicySpec::parse(text);
+        for (int which = 0; which < 3; ++which) {
+            SCOPED_TRACE(std::string(text) + "/generator" + std::to_string(which));
+            auto live_generator = make_generator(which, f.delays.static_period_ps);
+            const DcaRunResult live =
+                evaluate_cell(f.design, f.table, f.program, spec, live_generator.get());
+            auto replay_generator = make_generator(which, f.delays.static_period_ps);
+            expect_identical(live, engine.run(spec, replay_generator.get()));
+            auto scalar_generator = make_generator(which, f.delays.static_period_ps);
+            expect_identical(live, scalar.run(spec, scalar_generator.get()));
+        }
+    }
+    // The parameter reaches the policy: a non-default scale shows up in the
+    // reported name and changes the figures.
+    const DcaRunResult tight = engine.run(PolicySpec::parse("approx-lut:0.8"));
+    EXPECT_EQ(tight.policy, "approx-lut/0.80");
+    EXPECT_GT(tight.timing_violations, engine.run(PolicyKind::kApproxLut).timing_violations);
+    EXPECT_EQ(engine.run(PolicySpec::parse("dual-cycle:3")).policy, "dual-cycle/3.00");
+    // The defaults keep their historical names (result bytes unchanged).
+    EXPECT_EQ(engine.run(PolicySpec::parse("dual-cycle:2")).policy, "dual-cycle");
+    EXPECT_EQ(engine.run(PolicySpec::parse("approx-lut:0.9")).policy, "approx-lut/0.90");
+}
+
+TEST(Replay, FusedRunIsByteIdenticalToPerVariantRuns) {
+    const ReplayFixture& f = fixture();
+    const ReplayEvaluationEngine engine(f.trace, f.delays, f.table);
+    // One fused pass over {ideal, taps, pll} vs three independent runs:
+    // byte-identical per variant, for every policy kind (the request fill
+    // is generator-independent, so fusion must not perturb a single bit).
+    const std::vector<PolicySpec> specs = {
+        PolicyKind::kStatic,          PolicyKind::kGenie,
+        PolicyKind::kInstructionLut,  PolicyKind::kExOnly,
+        PolicyKind::kTwoClass,        PolicyKind::kApproxLut,
+        PolicyKind::kDualCycle,       PolicySpec::parse("approx-lut:0.8"),
+        PolicySpec::parse("dual-cycle:3")};
+    for (const PolicySpec& spec : specs) {
+        SCOPED_TRACE(spec.label());
+        std::vector<std::unique_ptr<clocking::ClockGenerator>> owned;
+        std::vector<clocking::ClockGenerator*> variants;
+        for (int which = 0; which < 3; ++which) {
+            owned.push_back(make_generator(which, f.delays.static_period_ps));
+            variants.push_back(owned.back().get());  // nullptr for ideal
+        }
+        const auto fused = engine.run_fused(spec, variants);
+        ASSERT_EQ(fused.size(), variants.size());
+        for (int which = 0; which < 3; ++which) {
+            SCOPED_TRACE("generator" + std::to_string(which));
+            auto solo = make_generator(which, f.delays.static_period_ps);
+            expect_identical(engine.run(spec, solo.get()), fused[static_cast<std::size_t>(which)]);
+        }
+    }
+    // Degenerate shapes: a single-variant fuse delegates to run(), an empty
+    // variant list is a no-op.
+    auto solo = make_generator(1, f.delays.static_period_ps);
+    auto again = make_generator(1, f.delays.static_period_ps);
+    const auto one = engine.run_fused(PolicyKind::kInstructionLut, {solo.get()});
+    ASSERT_EQ(one.size(), 1u);
+    expect_identical(engine.run(PolicyKind::kInstructionLut, again.get()), one[0]);
+    EXPECT_TRUE(engine.run_fused(PolicyKind::kInstructionLut, {}).empty());
 }
 
 TEST(TraceRecorder, CapturesGuestMetadataAndKeys) {

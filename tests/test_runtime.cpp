@@ -69,13 +69,18 @@ TEST(SweepEngine, ReplayIsByteIdenticalToLiveAtEveryJobCount) {
     // documents, for 1/2/8 workers (8 > cell-per-kernel count, so workers
     // race for shared trace futures under TSan). The grid spans every
     // bundled policy kind — including the promoted approx-lut/dual-cycle
-    // kernels — and two voltage points, so the shared unit delay arrays
-    // are raced and scaled across the voltage axis too.
+    // kernels and two parameterized grid points — and two voltage points,
+    // so the shared unit delay arrays are raced and scaled across the
+    // voltage axis too. With two generators per column the replay side
+    // schedules fused columns, so this also proves fusion is invisible in
+    // the bytes at every job count.
     SweepSpec spec = small_spec();
     spec.policies = {core::PolicyKind::kInstructionLut, core::PolicyKind::kStatic,
                      core::PolicyKind::kGenie, core::PolicyKind::kExOnly,
                      core::PolicyKind::kTwoClass, core::PolicyKind::kApproxLut,
-                     core::PolicyKind::kDualCycle};
+                     core::PolicyKind::kDualCycle,
+                     core::PolicySpec::parse("approx-lut:0.8"),
+                     core::PolicySpec::parse("dual-cycle:3")};
     spec.voltages_v = {0.65, 0.70};
     const SweepResult live = SweepEngine(2, nullptr, EvalMode::kLive).run(spec);
     EXPECT_EQ(live.mode, "live");
@@ -86,7 +91,7 @@ TEST(SweepEngine, ReplayIsByteIdenticalToLiveAtEveryJobCount) {
         const SweepResult replayed = SweepEngine(jobs, nullptr, EvalMode::kReplay).run(spec);
         EXPECT_EQ(replayed.mode, "replay");
         // Exactly one guest simulation AND one unit delay pass per kernel,
-        // regardless of the 14 policy x generator cells and 2 voltage
+        // regardless of the 18 policy x generator cells and 2 voltage
         // points stacked on each.
         EXPECT_EQ(replayed.guest_simulations, spec.kernels.size()) << jobs << " jobs";
         EXPECT_EQ(replayed.unit_delay_passes, spec.kernels.size()) << jobs << " jobs";
@@ -190,7 +195,7 @@ TEST(SweepEngine, StampsSpecTextAndHash) {
     EXPECT_TRUE(canonical.mode.empty());
 }
 
-TEST(SweepEngine, CharacterizesEachOperatingPointExactlyOnce) {
+TEST(SweepEngine, VoltageAxisPaysOneNominalCharacterization) {
     auto cache = std::make_shared<ArtifactCache>();
     const SweepEngine engine(4, cache);
     SweepSpec spec = small_spec();
@@ -198,15 +203,46 @@ TEST(SweepEngine, CharacterizesEachOperatingPointExactlyOnce) {
 
     const SweepResult result = engine.run(spec);
     EXPECT_EQ(result.cells.size(), 24u);
-    // Two voltages -> two delay tables, each built once despite 12 cells
-    // racing for it.
-    EXPECT_EQ(result.characterizations, 2u);
-    EXPECT_EQ(cache->characterizations_built(), 2u);
+    // Two voltages -> ONE nominal characterization; each operating point's
+    // table is a derived scaled view (including 0.70 V itself, whose view
+    // is the factor-1.0 identity), each built once despite 12 cells racing
+    // for it.
+    EXPECT_EQ(result.characterizations, 1u);
+    EXPECT_EQ(result.nominal_passes, 1u);
+    EXPECT_EQ(result.scaled_views, 2u);
+    EXPECT_EQ(cache->characterizations_built(), 1u);
+    EXPECT_EQ(cache->reference_passes(), 0u);
 
     // A second sweep over the same grid is served entirely from the cache.
     const SweepResult again = engine.run(spec);
     EXPECT_EQ(again.characterizations, 0u);
+    EXPECT_EQ(again.nominal_passes, 0u);
+    EXPECT_EQ(again.scaled_views, 0u);
     EXPECT_EQ(to_json(result, false), to_json(again, false));
+}
+
+TEST(SweepEngine, ReferenceCharacterizationIsByteIdenticalToScaledViews) {
+    // The escape hatch characterizes every operating point with the full
+    // per-voltage flow; canonical output must be byte-identical to the
+    // nominal-once scaled-view path.
+    SweepSpec spec = small_spec();
+    spec.voltages_v = {0.62, 0.70, 0.78};
+
+    auto derived_cache = std::make_shared<ArtifactCache>();
+    const SweepResult derived = SweepEngine(4, derived_cache).run(spec);
+
+    auto reference_cache = std::make_shared<ArtifactCache>();
+    SweepRunOptions options;
+    options.reference_characterization = true;
+    const SweepResult reference = SweepEngine(4, reference_cache).run(spec, options);
+
+    EXPECT_EQ(derived.nominal_passes, 1u);
+    EXPECT_EQ(derived.scaled_views, 3u);
+    EXPECT_EQ(reference.nominal_passes, 0u);
+    EXPECT_EQ(reference.scaled_views, 0u);
+    EXPECT_EQ(reference.characterizations, 3u);
+    EXPECT_EQ(reference_cache->reference_passes(), 3u);
+    EXPECT_EQ(to_json(derived, false), to_json(reference, false));
 }
 
 TEST(SweepEngine, CellsArriveInSpecDeclarationOrder) {
@@ -349,10 +385,15 @@ TEST(ResultIo, JsonRoundTripIsLossless) {
     const SweepResult result = engine.run(spec);
 
     const std::string json = to_json(result);
-    EXPECT_NE(json.find("\"focs-sweep-v5\""), std::string::npos);
+    EXPECT_NE(json.find("\"focs-sweep-v6\""), std::string::npos);
     const SweepResult parsed = from_json(json);
     EXPECT_EQ(parsed.jobs, result.jobs);
     EXPECT_EQ(parsed.characterizations, result.characterizations);
+    EXPECT_EQ(parsed.nominal_passes, result.nominal_passes);
+    EXPECT_EQ(parsed.scaled_views, result.scaled_views);
+    // The stamped spec hash matches an independent recomputation over the
+    // round-tripped canonical spec text (FNV-1a over the exact bytes).
+    EXPECT_EQ(parsed.spec_hash, stable_text_hash(parsed.spec_text));
     EXPECT_EQ(parsed.unit_delay_passes, result.unit_delay_passes);
     EXPECT_EQ(parsed.unit_delay_reuses, result.unit_delay_reuses);
     // The metrics block survives the round trip.
@@ -386,10 +427,26 @@ TEST(ResultIo, ParsesOlderSchemaDocuments) {
     spec.kernels = {"crc32"};
     const SweepResult result = engine.run(spec);
 
-    // Reconstruct a v4 document from the v5 emission: an all-ok sweep's
-    // wire format is identical, only the schema string changed — so the
-    // rename alone produces a faithful v4 artifact.
-    std::string v4 = to_json(result);
+    // Reconstruct a v5 document from the v6 emission: rename the schema
+    // string and drop the characterization-collapse counters.
+    std::string v5 = to_json(result);
+    const auto v6_at = v5.find("focs-sweep-v6");
+    ASSERT_NE(v6_at, std::string::npos);
+    v5.replace(v6_at, 13, "focs-sweep-v5");
+    const auto nominal_at = v5.find("  \"nominal_passes\"");
+    ASSERT_NE(nominal_at, std::string::npos);
+    const auto views_end = v5.find('\n', v5.find("\"scaled_views\""));
+    ASSERT_NE(views_end, std::string::npos);
+    v5.erase(nominal_at, views_end + 1 - nominal_at);
+    const SweepResult parsed_v5 = from_json(v5);
+    EXPECT_EQ(parsed_v5.nominal_passes, 0u);
+    EXPECT_EQ(parsed_v5.scaled_views, 0u);
+    EXPECT_EQ(parsed_v5.characterizations, result.characterizations);
+
+    // A v4 document on top: an all-ok sweep's wire format is identical,
+    // only the schema string changed — so the rename alone produces a
+    // faithful v4 artifact.
+    std::string v4 = v5;
     const auto v5_at = v4.find("focs-sweep-v5");
     ASSERT_NE(v5_at, std::string::npos);
     v4.replace(v5_at, 13, "focs-sweep-v4");
@@ -473,7 +530,7 @@ TEST(ResultIo, RejectsTruncatedAndCorruptDocuments) {
     EXPECT_THROW(from_json(json + "x"), Error);  // trailing garbage
 }
 
-TEST(ResultIo, V5RoundTripPreservesFailureFields) {
+TEST(ResultIo, V6RoundTripPreservesFailureFields) {
     FOCS_REQUIRE_FAULT_POINTS();
     const GlobalFaultGuard guard("eval.cell:0.5:seed=11");
     const SweepResult result = SweepEngine(2).run(small_spec());
@@ -512,8 +569,8 @@ TEST(ResultIo, V5RoundTripPreservesFailureFields) {
 
 TEST(ResultIo, AllOkDocumentCarriesNoFailureVocabulary) {
     // A fully successful sweep's document must not mention failures at all:
-    // v5 differs from a v4 emission only in the schema string, keeping
-    // historical byte-comparison workflows valid.
+    // a canonical v6 emission differs from a v4 one only in the schema
+    // string, keeping historical byte-comparison workflows valid.
     const SweepResult result = SweepEngine(2).run(small_spec());
     ASSERT_TRUE(result.complete());
     for (const std::string& json :

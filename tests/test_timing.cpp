@@ -108,7 +108,12 @@ TEST(TimingParams, TableIFactorsReproduced) {
 // ---- Cell library -----------------------------------------------------------
 
 TEST(CellLibrary, NominalPointIsUnity) {
-    EXPECT_NEAR(CellLibrary::fdsoi28().delay_scale(0.70), 1.0, 1e-9);
+    // Exactly 1.0, not approximately: 0.70 V is a grid node of the
+    // log-interpolated table, so delay_scale evaluates exp(0). The nominal-
+    // once characterization depends on this — a sweep cell AT the nominal
+    // voltage must see the nominal table itself, bit for bit.
+    EXPECT_EQ(CellLibrary::fdsoi28().delay_scale(kNominalVoltageV), 1.0);
+    EXPECT_EQ(kNominalVoltageV, 0.70);
 }
 
 TEST(CellLibrary, PaperIsoThroughputPoint) {

@@ -55,6 +55,7 @@ ABSOLUTE_FIGURES = [
     "characterization.characterization_batched_cycles_per_s.threads_1",
     "characterization.streaming_cycles_per_s",
     "voltage_axis.delay_pass.axis_speedup",
+    "characterization_axis.fused_replay_speedup",
 ]
 
 CALIBRATION_FIGURE = "characterization.materialized_cycles_per_s"
@@ -74,6 +75,13 @@ FLOOR_FIGURES = {
     # delay passes (emitted as 1 when it held, 0 otherwise — determinism,
     # not a throughput figure, so no tolerance applies).
     "service.warm_zero_build": 1.0,
+    # The characterization-collapse contract: a 10-point voltage axis paid
+    # as one nominal pass plus scaled views must be several times cheaper
+    # than 10 per-voltage reference passes (same code path run V times vs
+    # once, so the ratio transfers across hosts), and the scaled views must
+    # serialize bit-identically to the reference tables (determinism bit).
+    "characterization_axis.nominal_pass_speedup": 5.0,
+    "characterization_axis.scaled_views_identical": 1.0,
 }
 
 # Floors enforced only when the fresh artifact reports a live SIMD ISA

@@ -12,11 +12,16 @@
 //   focs evaluate <file.s|kernel:NAME> [--lut lut.txt] [--policy P] [--taps N]
 //                                               delay-annotated run; P in
 //                                               static|two-class|ex-only|lut|
-//                                               genie|approx-lut|dual-cycle
+//                                               genie|approx-lut[:S]|
+//                                               dual-cycle[:S] (approx-lut:S
+//                                               scales the LUT by S in (0,1],
+//                                               dual-cycle:S stretches the
+//                                               slow class by S >= 1)
 //   focs suite [--lut lut.txt] [--policy P] [--jobs N] [--replay|--live]
 //                                               run the whole Fig. 8 suite
 //   focs sweep <spec.sweep> [--jobs N] [--replay|--live] [-o results.json]
 //              [--canonical] [--fail-fast] [--deadline-ms N] [--fault SPEC]
+//              [--reference-characterization]
 //                                               batch-evaluate a (kernel x
 //                                               policy x generator x voltage)
 //                                               grid on the parallel runtime.
@@ -98,6 +103,7 @@ using namespace focs;
                  "  sweep <spec.sweep> [--jobs N] [--replay|--live] [-o results.json]\n"
                  "        [--canonical] [--metrics] [--trace-out trace.json]\n"
                  "        [--fail-fast] [--deadline-ms N] [--fault SPEC] [--no-simd]\n"
+                 "        [--reference-characterization]\n"
                  "      --replay (default): simulate each kernel once, replay every\n"
                  "                          policy/generator cell from the cached trace\n"
                  "      --live:             full per-cell simulation (reference path)\n"
@@ -114,6 +120,10 @@ using namespace focs;
                  "                          environment variable works too)\n"
                  "      --no-simd:          replay on the scalar reference path (no SIMD\n"
                  "                          kernels, no fixed-point clock arithmetic);\n"
+                 "                          results are byte-identical either way\n"
+                 "      --reference-characterization:\n"
+                 "                          characterize every voltage point from scratch\n"
+                 "                          instead of scaling one nominal delay table;\n"
                  "                          results are byte-identical either way\n"
                  "  stats <file.s|kernel:NAME> [--lut lut.txt]\n"
                  "  serve [--port N] [--max-inflight N] [--queue-depth N]\n"
@@ -205,6 +215,7 @@ runtime::SweepRunOptions parse_run_options(const std::vector<std::string>& args,
         options.failure_mode = runtime::FailureMode::kFailFast;
     }
     options.force_scalar_replay = flag_present(args, "--no-simd");
+    options.reference_characterization = flag_present(args, "--reference-characterization");
     if (const auto ms = flag_value(args, "--deadline-ms")) {
         double value = 0;
         try {
@@ -370,11 +381,13 @@ int cmd_evaluate(const std::vector<std::string>& args) {
     timing::DesignConfig design;
     if (const auto v = flag_value(args, "--voltage")) design.voltage_v = std::stod(*v);
     const auto program = assembler::assemble(load_source(args[0]));
+    // Parse the policy before the (potentially expensive) table build so a
+    // bad parameter is rejected immediately.
+    const auto spec = core::PolicySpec::parse(flag_value(args, "--policy").value_or("lut"));
     const dta::DelayTable table = load_or_build_table(args, design);
-    const auto kind = core::parse_policy_kind(flag_value(args, "--policy").value_or("lut"));
 
     core::DcaEngine engine(design);
-    const auto policy = core::make_policy(kind, table, engine.calculator().static_period_ps());
+    const auto policy = core::make_policy(spec, table, engine.calculator().static_period_ps());
     core::DcaRunResult result;
     if (const auto taps = flag_value(args, "--taps")) {
         clocking::QuantizedClockGenerator cg = clocking::QuantizedClockGenerator::
@@ -414,7 +427,7 @@ int cmd_suite(const std::vector<std::string>& args) {
     // The whole Fig. 8 suite is a one-policy sweep; running it through the
     // runtime gives --jobs parallelism with identical (spec-ordered) rows.
     runtime::SweepSpec spec;
-    spec.policies.push_back(core::parse_policy_kind(flag_value(args, "--policy").value_or("lut")));
+    spec.policies.push_back(core::PolicySpec::parse(flag_value(args, "--policy").value_or("lut")));
 
     std::optional<CancellationToken> deadline;
     const runtime::SweepRunOptions run_options = parse_run_options(args, deadline);
@@ -686,6 +699,16 @@ int main(int argc, char** argv) {
                 if (arg == "--no-simd") {
                     throw Error("--no-simd only applies to replaying commands "
                                 "(suite, sweep, serve)");
+                }
+            }
+        }
+        // --reference-characterization only means something where the
+        // runtime derives per-voltage delay tables (same taxonomy).
+        if (command != "suite" && command != "sweep") {
+            for (const std::string& arg : args) {
+                if (arg == "--reference-characterization") {
+                    throw Error("--reference-characterization only applies to sweeping "
+                                "commands (suite, sweep)");
                 }
             }
         }
